@@ -1,0 +1,246 @@
+(* revmax — command-line front end for the REVMAX library.
+
+   Subcommands:
+     list                       enumerate the reproducible experiments
+     experiment <id>|all        regenerate a table/figure of the paper
+     datasets                   print Table-1-style statistics
+     plan                       build a dataset, run an algorithm, report
+                                the strategy and (optionally) simulate it *)
+
+module Config = Revmax_experiments.Config
+module Experiments = Revmax_experiments.Experiments
+module Datasets = Revmax_experiments.Datasets
+module Runner = Revmax_experiments.Runner
+module Pipeline = Revmax_datagen.Pipeline
+module Scalability = Revmax_datagen.Scalability
+module Instance = Revmax.Instance
+module Strategy = Revmax.Strategy
+module Revenue = Revmax.Revenue
+module Simulate = Revmax.Simulate
+module Algorithms = Revmax.Algorithms
+module Triple = Revmax.Triple
+module Rng = Revmax_prelude.Rng
+module Table = Revmax_prelude.Table
+
+open Cmdliner
+
+(* ----- shared options ----- *)
+
+let scale_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "quick" -> Ok Config.Quick
+    | "default" -> Ok Config.Default
+    | "full" -> Ok Config.Full
+    | other -> Error (`Msg (Printf.sprintf "unknown scale %S (quick|default|full)" other))
+  in
+  let print ppf s = Format.pp_print_string ppf (Config.scale_name s) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Config.Default
+    & info [ "scale" ] ~docv:"SCALE" ~doc:"Experiment scale: quick, default or full.")
+
+let seed_arg =
+  Arg.(value & opt int 20140901 & info [ "seed" ] ~docv:"SEED" ~doc:"Master random seed.")
+
+let config_term =
+  let make scale seed = { (Config.of_scale ~seed scale) with Config.scale } in
+  Term.(const make $ scale_arg $ seed_arg)
+
+(* ----- list ----- *)
+
+let list_cmd =
+  let run () =
+    let t = Table.create ~columns:[ "id"; "description" ] in
+    List.iter (fun (id, desc, _) -> Table.add_row t [ id; desc ]) Experiments.all;
+    Table.print t
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the reproducible tables and figures.") Term.(const run $ const ())
+
+(* ----- experiment ----- *)
+
+let experiment_cmd =
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id (see $(b,list)) or $(b,all).")
+  in
+  let run cfg id =
+    if id = "all" then begin
+      List.iter (fun (_id, _desc, f) -> f cfg) Experiments.all;
+      `Ok ()
+    end
+    else if Experiments.run_by_id id cfg then `Ok ()
+    else `Error (false, Printf.sprintf "unknown experiment %S; try `revmax list'" id)
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a table or figure of the paper.")
+    Term.(ret (const run $ config_term $ id_arg))
+
+(* ----- datasets ----- *)
+
+let datasets_cmd =
+  let run cfg = Experiments.table1 cfg in
+  Cmd.v
+    (Cmd.info "datasets" ~doc:"Print Table-1-style statistics of the generated datasets.")
+    Term.(const run $ config_term)
+
+(* ----- plan ----- *)
+
+let dataset_arg =
+  Arg.(
+    value
+    & opt (enum [ ("amazon", `Amazon); ("epinions", `Epinions); ("synthetic", `Synthetic) ]) `Amazon
+    & info [ "dataset" ] ~docv:"NAME" ~doc:"Dataset to plan on: amazon, epinions or synthetic.")
+
+let algo_arg =
+  let parse s =
+    match Algorithms.parse s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "unknown algorithm %S (gg|gg-no|slg|rlg[:N]|toprev|toprat)" s))
+  in
+  let print ppf a = Format.pp_print_string ppf (Algorithms.name a) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Algorithms.G_greedy
+    & info [ "algo" ] ~docv:"ALGO" ~doc:"Planning algorithm: gg, gg-no, slg, rlg[:N], toprev, toprat.")
+
+let beta_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "beta" ] ~docv:"B" ~doc:"Fixed saturation factor in [0,1]; default: uniform random.")
+
+let simulate_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "simulate" ] ~docv:"N"
+        ~doc:"Also Monte-Carlo simulate the strategy with N worlds and report the empirical mean.")
+
+let show_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "show" ] ~docv:"N" ~doc:"Print the first N planned recommendations.")
+
+let save_instance_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-instance" ] ~docv:"FILE" ~doc:"Write the generated instance to FILE.")
+
+let save_strategy_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-strategy" ] ~docv:"FILE" ~doc:"Write the planned strategy to FILE.")
+
+let plan_cmd =
+  let run cfg dataset algo beta simulate show save_instance save_strategy =
+    let beta_spec =
+      match beta with
+      | None -> Pipeline.Beta_uniform
+      | Some b -> Pipeline.Beta_fixed b
+    in
+    let inst =
+      match dataset with
+      | `Amazon | `Epinions ->
+          let prepared =
+            match dataset with `Amazon -> Datasets.amazon cfg | _ -> Datasets.epinions cfg
+          in
+          let users = prepared.Pipeline.num_users in
+          Datasets.instance cfg prepared ~capacity:(Config.cap_gaussian cfg ~users) ~beta:beta_spec
+            ()
+      | `Synthetic ->
+          Scalability.generate
+            (Scalability.with_users (Config.fig6_base cfg) (List.hd (Config.fig6_user_counts cfg)))
+            ~seed:cfg.Config.seed
+    in
+    Format.printf "instance: %a@." Instance.pp_stats inst;
+    (match save_instance with
+    | Some path ->
+        Revmax.Io.save_instance path inst;
+        Printf.printf "instance written to %s\n" path
+    | None -> ());
+    let s, seconds =
+      Revmax_prelude.Util.time_it (fun () -> Algorithms.run algo inst ~seed:cfg.Config.seed)
+    in
+    Printf.printf "%s planned %d recommendations in %.2fs\n" (Algorithms.name algo)
+      (Strategy.size s) seconds;
+    Printf.printf "expected total revenue: %.2f\n" (Revenue.total s);
+    Printf.printf "strategy valid: %b\n" (Strategy.is_valid s);
+    (match save_strategy with
+    | Some path ->
+        Revmax.Io.save_strategy path s;
+        Printf.printf "strategy written to %s\n" path
+    | None -> ());
+    if simulate > 0 then begin
+      let est = Simulate.estimate_revenue s ~samples:simulate (Rng.create cfg.Config.seed) in
+      Printf.printf "simulated revenue over %d worlds: %.2f (stderr %.2f)\n" simulate
+        est.Revmax_stats.Mc.mean est.Revmax_stats.Mc.std_error
+    end;
+    if show > 0 then begin
+      let t = Table.create ~columns:[ "user"; "item"; "time"; "price"; "q"; "qS" ] in
+      List.iter
+        (fun (z : Triple.t) ->
+          Table.add_row t
+            [
+              string_of_int z.u;
+              string_of_int z.i;
+              string_of_int z.t;
+              Printf.sprintf "%.2f" (Instance.price inst ~i:z.i ~time:z.t);
+              Printf.sprintf "%.3f" (Instance.q inst ~u:z.u ~i:z.i ~time:z.t);
+              Printf.sprintf "%.3f" (Revenue.dynamic_probability_in s z);
+            ])
+        (Revmax_prelude.Util.take show (Strategy.to_list s));
+      Table.print t
+    end
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Generate a dataset, run a planning algorithm, report the strategy.")
+    Term.(
+      const run $ config_term $ dataset_arg $ algo_arg $ beta_arg $ simulate_arg $ show_arg
+      $ save_instance_arg $ save_strategy_arg)
+
+(* ----- solve (file-based workflow) ----- *)
+
+let solve_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"INSTANCE" ~doc:"Instance file in the revmax-instance format (see Revmax.Io).")
+  in
+  let run cfg file algo simulate save_strategy =
+    match Revmax.Io.load_instance file with
+    | exception Failure msg -> `Error (false, msg)
+    | inst ->
+        Format.printf "instance: %a@." Instance.pp_stats inst;
+        let s, seconds =
+          Revmax_prelude.Util.time_it (fun () -> Algorithms.run algo inst ~seed:cfg.Config.seed)
+        in
+        Printf.printf "%s planned %d recommendations in %.2fs\n" (Algorithms.name algo)
+          (Strategy.size s) seconds;
+        Printf.printf "expected total revenue: %.2f\n" (Revenue.total s);
+        (match save_strategy with
+        | Some path ->
+            Revmax.Io.save_strategy path s;
+            Printf.printf "strategy written to %s\n" path
+        | None -> ());
+        if simulate > 0 then begin
+          let est = Simulate.estimate_revenue s ~samples:simulate (Rng.create cfg.Config.seed) in
+          Printf.printf "simulated revenue over %d worlds: %.2f (stderr %.2f)\n" simulate
+            est.Revmax_stats.Mc.mean est.Revmax_stats.Mc.std_error
+        end;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Plan on an instance loaded from a file.")
+    Term.(ret (const run $ config_term $ file_arg $ algo_arg $ simulate_arg $ save_strategy_arg))
+
+let () =
+  let doc = "revenue-maximizing dynamic recommendations (VLDB 2014 reproduction)" in
+  let info = Cmd.info "revmax" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; experiment_cmd; datasets_cmd; plan_cmd; solve_cmd ]))

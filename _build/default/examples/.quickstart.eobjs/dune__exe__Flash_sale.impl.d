@@ -1,0 +1,1 @@
+examples/flash_sale.ml: Array List Printf Revmax Revmax_datagen Revmax_stats

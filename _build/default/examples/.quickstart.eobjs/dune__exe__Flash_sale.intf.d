@@ -1,0 +1,1 @@
+examples/flash_sale.mli:

@@ -1,0 +1,1 @@
+examples/overbooking.ml: List Printf Revmax Revmax_prelude

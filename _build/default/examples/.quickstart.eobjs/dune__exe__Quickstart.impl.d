@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf Revmax Revmax_prelude Revmax_stats

@@ -1,0 +1,1 @@
+examples/random_prices.ml: Array List Printf Revmax Revmax_datagen Revmax_prelude Revmax_stats

@@ -1,0 +1,1 @@
+examples/smartphone_war.ml: Array List Printf Revmax Revmax_prelude String

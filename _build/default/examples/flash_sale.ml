@@ -1,0 +1,90 @@
+(* The paper's §1 motivating scenario: a product is scheduled to go on sale
+   in a few days. A strategic planner should
+
+     - recommend it to HIGH-valuation users BEFORE the price drops (they
+       are willing to pay full price, so sell high), and
+     - postpone the recommendation to LOW-valuation users UNTIL the sale
+       (they only convert at the sale price).
+
+   A static planner cannot make this distinction. This example constructs
+   exactly that market, derives adoption probabilities from Gaussian
+   valuations (the §6 formula), and shows that G-Greedy discovers the
+   postpone-vs-preempt policy on its own.
+
+     dune exec examples/flash_sale.exe *)
+
+module Instance = Revmax.Instance
+module Strategy = Revmax.Strategy
+module Revenue = Revmax.Revenue
+module Greedy = Revmax.Greedy
+module Baselines = Revmax.Baselines
+module Triple = Revmax.Triple
+module Distribution = Revmax_stats.Distribution
+module Valuation = Revmax_datagen.Valuation
+
+let horizon = 5
+let sale_day = 4
+let full_price = 100.0
+let sale_price = 70.0
+
+let price_on day = if day >= sale_day then sale_price else full_price
+
+let () =
+  (* one product; 6 users: 3 high-valuation (val ~ N(115, 10)) and 3
+     low-valuation (val ~ N(80, 10)); everyone rates it highly *)
+  let num_users = 6 in
+  let valuation_of u =
+    if u < 3 then Distribution.Gaussian { mean = 115.0; sigma = 10.0 }
+    else Distribution.Gaussian { mean = 80.0; sigma = 10.0 }
+  in
+  let q_vector u =
+    Array.init horizon (fun idx ->
+        Valuation.adoption_probability ~valuation:(valuation_of u) ~rating:4.5 ~r_max:5.0
+          ~price:(price_on (idx + 1)))
+  in
+  let instance =
+    Instance.create ~num_users ~num_items:1 ~horizon ~display_limit:1 ~class_of:[| 0 |]
+      ~capacity:[| num_users |]
+      ~saturation:[| 0.3 |] (* repeating the same product quickly bores people *)
+      ~price:[| Array.init horizon (fun idx -> price_on (idx + 1)) |]
+      ~adoption:(List.init num_users (fun u -> (u, 0, q_vector u)))
+      ()
+  in
+  Printf.printf "price schedule: ";
+  for day = 1 to horizon do
+    Printf.printf "%s$%.0f" (if day > 1 then ", " else "") (price_on day)
+  done;
+  Printf.printf "  (sale starts day %d)\n\n" sale_day;
+
+  Printf.printf "adoption probability of the product, per user and day:\n";
+  for u = 0 to num_users - 1 do
+    Printf.printf "  user %d (%s): " u (if u < 3 then "high valuation" else "low valuation ");
+    Array.iter (fun q -> Printf.printf "%.2f " q) (q_vector u);
+    print_newline ()
+  done;
+
+  let strategy, _ = Greedy.run instance in
+  Printf.printf "\nG-Greedy's plan (first recommendation per user):\n";
+  for u = 0 to num_users - 1 do
+    let first =
+      List.filter (fun (z : Triple.t) -> z.u = u) (Strategy.to_list strategy)
+      |> List.map (fun (z : Triple.t) -> z.t)
+      |> function
+      | [] -> None
+      | ts -> Some (List.fold_left min max_int ts)
+    in
+    match first with
+    | None -> Printf.printf "  user %d: never recommended\n" u
+    | Some day ->
+        Printf.printf "  user %d (%s): first shown on day %d — %s\n" u
+          (if u < 3 then "high valuation" else "low valuation ")
+          day
+          (if day >= sale_day then "waits for the sale" else "sells at full price")
+  done;
+
+  let dynamic = Revenue.total strategy in
+  let static = Revenue.total (Baselines.top_revenue instance) in
+  Printf.printf "\nexpected revenue, dynamic plan:            %.2f\n" dynamic;
+  Printf.printf "expected revenue, static TopRevenue plan:  %.2f\n" static;
+  Printf.printf "strategic timing gain:                     +%.1f%%\n"
+    (100.0 *. ((dynamic /. static) -. 1.0))

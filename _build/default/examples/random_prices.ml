@@ -1,0 +1,78 @@
+(* §7 of the paper: prices are only known as distributions. This example
+   builds a small market whose adoption probabilities follow prices through
+   Gaussian valuations, plans against the MEAN prices (the paper's
+   suggestion for reusing the §5 algorithms), and then scores the plan
+   three ways:
+
+     - the mean-price heuristic (order-1 Taylor): ignores price noise;
+     - the paper's Taylor approximation with second-order terms;
+     - Monte-Carlo over price realizations (ground truth).
+
+   As §7 predicts, the mean-price value is systematically optimistic and
+   the second-order correction recovers most of the gap at moderate noise.
+
+     dune exec examples/random_prices.exe *)
+
+module Instance = Revmax.Instance
+module Greedy = Revmax.Greedy
+module Random_price = Revmax.Random_price
+module Distribution = Revmax_stats.Distribution
+module Valuation = Revmax_datagen.Valuation
+module Rng = Revmax_prelude.Rng
+
+let horizon = 4
+let num_users = 10
+let num_items = 6
+
+let mean_price i time = 40.0 +. (15.0 *. float_of_int i) +. (2.0 *. float_of_int time)
+
+let valuation i = Distribution.Gaussian { mean = 55.0 +. (15.0 *. float_of_int i); sigma = 18.0 }
+
+let rating u i = 3.0 +. float_of_int ((u + i) mod 3) *. 0.7
+
+let q_of_price ~u ~i ~price =
+  Valuation.adoption_probability ~valuation:(valuation i) ~rating:(rating u i) ~r_max:5.0 ~price
+
+let () =
+  let model =
+    {
+      Random_price.mean = (fun ~i ~time -> mean_price i time);
+      sigma = (fun ~i ~time -> 0.08 *. mean_price i time) (* 8%% daily price noise *);
+      corr = 0.25;
+      q_of_price;
+    }
+  in
+  (* a structural instance: classes pair up items; capacities modest *)
+  let skeleton =
+    Instance.create ~num_users ~num_items ~horizon ~display_limit:2
+      ~class_of:(Array.init num_items (fun i -> i / 2))
+      ~capacity:(Array.make num_items 5)
+      ~saturation:(Array.make num_items 0.6)
+      ~price:(Array.init num_items (fun i -> Array.init horizon (fun t -> mean_price i (t + 1))))
+      ~adoption:
+        (List.concat
+           (List.init num_users (fun u ->
+                List.init num_items (fun i ->
+                    ( u,
+                      i,
+                      Array.init horizon (fun t -> q_of_price ~u ~i ~price:(mean_price i (t + 1)))
+                    )))))
+      ()
+  in
+  (* plan against mean prices with G-Greedy, as §7 suggests *)
+  let plan_instance = Random_price.mean_instance skeleton model in
+  let strategy, _ = Greedy.run plan_instance in
+
+  let order1 = Random_price.taylor_revenue ~order:`One skeleton model strategy in
+  let order2 = Random_price.taylor_revenue ~order:`Two skeleton model strategy in
+  let mc = Random_price.mc_revenue skeleton model strategy ~samples:50_000 (Rng.create 11) in
+
+  Printf.printf "planned %d recommendations against mean prices\n\n"
+    (Revmax.Strategy.size strategy);
+  Printf.printf "expected revenue under random prices (8%% noise, corr 0.25):\n";
+  Printf.printf "  mean-price heuristic (order 1): %8.2f\n" order1;
+  Printf.printf "  Taylor with 2nd-order terms   : %8.2f\n" order2;
+  Printf.printf "  Monte-Carlo ground truth      : %8.2f  (+- %.2f)\n" mc.Revmax_stats.Mc.mean
+    (1.96 *. mc.Revmax_stats.Mc.std_error);
+  Printf.printf "\nsecond-order correction covers %.0f%% of the mean-price bias\n"
+    (100.0 *. (order1 -. order2) /. (order1 -. mc.Revmax_stats.Mc.mean))

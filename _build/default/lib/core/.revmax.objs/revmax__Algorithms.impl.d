@@ -1,0 +1,1 @@
+lib/core/algorithms.ml: Baselines Greedy Local_greedy Revmax_prelude String

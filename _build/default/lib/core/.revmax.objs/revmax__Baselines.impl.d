@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Array Instance Revmax_prelude Strategy Triple

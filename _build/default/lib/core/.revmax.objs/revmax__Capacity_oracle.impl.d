@@ -1,0 +1,1 @@
+lib/core/capacity_oracle.ml: Array Hashtbl Instance List Revenue Revmax_prelude Revmax_stats Simulate Strategy Triple

@@ -1,0 +1,1 @@
+lib/core/capacity_oracle.mli: Revmax_prelude Strategy Triple

@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Instance Printf Revenue Revmax_flow Strategy Triple

@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Instance List Revenue Revmax_pqueue Strategy Triple

@@ -1,0 +1,1 @@
+lib/core/greedy.mli: Instance Strategy Triple

@@ -1,0 +1,1 @@
+lib/core/hardness.ml: Array Instance Printf Revenue Strategy Triple

@@ -1,0 +1,1 @@
+lib/core/io.ml: Array Fun In_channel Instance List Printf Strategy String Triple

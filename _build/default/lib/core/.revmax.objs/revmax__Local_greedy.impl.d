@@ -1,0 +1,1 @@
+lib/core/local_greedy.ml: Array Greedy Hashtbl Instance List Revenue Revmax_pqueue Revmax_prelude Strategy Triple

@@ -1,0 +1,1 @@
+lib/core/local_greedy.mli: Greedy Instance Revmax_prelude Strategy Triple

@@ -1,0 +1,1 @@
+lib/core/local_search.ml: Array Instance List Relaxed Revmax_matroid Strategy Triple

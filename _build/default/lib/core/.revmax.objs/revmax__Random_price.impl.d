@@ -1,0 +1,1 @@
+lib/core/random_price.ml: Array Float Hashtbl Instance List Revenue Revmax_prelude Revmax_stats Strategy Triple

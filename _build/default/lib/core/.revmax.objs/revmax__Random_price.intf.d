@@ -1,0 +1,1 @@
+lib/core/random_price.mli: Instance Revmax_prelude Revmax_stats Strategy

@@ -1,0 +1,1 @@
+lib/core/relaxed.ml: Capacity_oracle Instance List Revenue Strategy Triple

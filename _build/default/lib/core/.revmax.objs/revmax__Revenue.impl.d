@@ -1,0 +1,1 @@
+lib/core/revenue.ml: Hashtbl Instance List Strategy Triple

@@ -1,0 +1,1 @@
+lib/core/revenue.mli: Instance Strategy Triple

@@ -1,0 +1,1 @@
+lib/core/rolling.ml: Greedy Instance List Local_greedy Revmax_prelude Strategy Triple

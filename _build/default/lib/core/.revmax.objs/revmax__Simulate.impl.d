@@ -1,0 +1,1 @@
+lib/core/simulate.ml: Array Hashtbl Instance List Revenue Revmax_prelude Revmax_stats Strategy Triple

@@ -1,0 +1,1 @@
+lib/core/simulate.mli: Instance Revmax_prelude Revmax_stats Strategy Triple

@@ -1,0 +1,1 @@
+lib/core/triple.ml: Format Int

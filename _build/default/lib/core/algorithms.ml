@@ -1,0 +1,45 @@
+module Rng = Revmax_prelude.Rng
+
+type t =
+  | G_greedy
+  | Global_no
+  | Sl_greedy
+  | Rl_greedy of int
+  | Top_revenue
+  | Top_rating
+
+let name = function
+  | G_greedy -> "GG"
+  | Global_no -> "GG-No"
+  | Sl_greedy -> "SLG"
+  | Rl_greedy _ -> "RLG"
+  | Top_revenue -> "TopRev"
+  | Top_rating -> "TopRat"
+
+let run algo inst ~seed =
+  match algo with
+  | G_greedy -> fst (Greedy.run inst)
+  | Global_no -> fst (Greedy.run ~with_saturation:false inst)
+  | Sl_greedy -> fst (Local_greedy.sl_greedy inst)
+  | Rl_greedy n -> fst (Local_greedy.rl_greedy ~permutations:n inst (Rng.create seed))
+  | Top_revenue -> Baselines.top_revenue inst
+  | Top_rating -> Baselines.top_rating inst
+
+let default_suite = [ G_greedy; Global_no; Rl_greedy 20; Sl_greedy; Top_revenue; Top_rating ]
+
+let parse s =
+  let lower = String.lowercase_ascii (String.trim s) in
+  match lower with
+  | "gg" -> Some G_greedy
+  | "gg-no" | "ggno" | "globalno" -> Some Global_no
+  | "slg" | "sl-greedy" -> Some Sl_greedy
+  | "rlg" | "rl-greedy" -> Some (Rl_greedy 20)
+  | "toprev" | "topre" -> Some Top_revenue
+  | "toprat" | "topra" -> Some Top_rating
+  | _ ->
+      (* rlg:N *)
+      if String.length lower > 4 && String.sub lower 0 4 = "rlg:" then
+        match int_of_string_opt (String.sub lower 4 (String.length lower - 4)) with
+        | Some n when n > 0 -> Some (Rl_greedy n)
+        | _ -> None
+      else None

@@ -1,0 +1,29 @@
+(** Registry of the algorithms evaluated in §6, so experiments and the CLI
+    can run a named suite uniformly.
+
+    Every run returns a Problem-1-valid strategy; GlobalNo {e plans} without
+    saturation but the returned strategy is always scored under the true
+    model (the caller evaluates with {!Revenue.total}). *)
+
+type t =
+  | G_greedy  (** GG: Global Greedy, Algorithm 1 *)
+  | Global_no  (** GG-No: Global Greedy planning with β = 1 *)
+  | Sl_greedy  (** SLG: Sequential Local Greedy, Algorithm 2 *)
+  | Rl_greedy of int  (** RLG: Randomized Local Greedy with N permutations *)
+  | Top_revenue  (** TopRE baseline *)
+  | Top_rating  (** TopRA baseline *)
+
+val name : t -> string
+(** Paper-style short name: GG, GG-No, RLG, SLG, TopRev, TopRat. *)
+
+val run : t -> Instance.t -> seed:int -> Strategy.t
+(** Execute the algorithm. Deterministic given [seed] (only RL-Greedy
+    consumes randomness). *)
+
+val default_suite : t list
+(** The six algorithms of Figures 1–3, in the paper's legend order:
+    GG, GG-No, RLG (N=20), SLG, TopRev, TopRat. *)
+
+val parse : string -> t option
+(** Inverse of [name] (case-insensitive); [RLG] accepts an optional
+    [:N] suffix, e.g. ["rlg:10"]. *)

@@ -1,0 +1,35 @@
+module Util = Revmax_prelude.Util
+
+(* Recommend each user their k best items under [score], repeated at every
+   time step; skip items whose capacity is exhausted by earlier users. *)
+let static_top score inst =
+  let s = Strategy.create inst in
+  let k = Instance.display_limit inst in
+  let horizon = Instance.horizon inst in
+  for u = 0 to Instance.num_users inst - 1 do
+    let cands = Instance.candidates inst u in
+    let ranked = Util.top_k_by (Array.length cands) (score u) cands in
+    let taken = ref 0 in
+    Array.iter
+      (fun (i, _qs) ->
+        if !taken < k && Strategy.item_user_count s i < Instance.capacity inst i then begin
+          incr taken;
+          for tm = 1 to horizon do
+            Strategy.add s (Triple.make ~u ~i ~t:tm)
+          done
+        end)
+      ranked
+  done;
+  s
+
+let top_rating inst =
+  let score u (i, qs) =
+    match Instance.rating inst ~u ~i with
+    | Some r -> r
+    | None -> Util.mean qs (* fallback proxy, monotone in the rating *)
+  in
+  static_top score inst
+
+let top_revenue inst =
+  let score _u (i, qs) = Instance.price inst ~i ~time:1 *. qs.(0) in
+  static_top score inst

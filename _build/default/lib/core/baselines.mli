@@ -1,0 +1,22 @@
+(** The two static baselines of §6 ("Algorithms Evaluated").
+
+    {b TopRA} (top rating) recommends to every user the k items with the
+    highest predicted rating; {b TopRE} (top revenue) the k items with the
+    highest static expected revenue — price × primitive adoption probability
+    on the first time step's snapshot. Both are inherently static, so the
+    chosen items are repeated at {e every} time step of the horizon, as the
+    paper prescribes when evaluating them over [\[T\]].
+
+    Interpretation choices (documented in DESIGN.md): the static snapshot is
+    time 1; when an instance carries no predicted ratings, TopRA falls back
+    to ranking by the mean primitive adoption probability over the horizon
+    (monotone in the rating under the §6 estimation formula). Item capacity
+    is enforced greedily — once an item's capacity is exhausted, later users
+    receive their next-best item — so that both baselines always return
+    valid strategies comparable with the greedy algorithms. *)
+
+val top_rating : Instance.t -> Strategy.t
+(** The TopRA baseline. *)
+
+val top_revenue : Instance.t -> Strategy.t
+(** The TopRE baseline. *)

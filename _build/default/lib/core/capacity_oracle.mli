@@ -1,0 +1,26 @@
+(** The capacity factor [B_S(i,t)] of Definition 4: the probability that at
+    most [q_i − 1] of the users who were recommended item [i] up to time [t]
+    (other than the user under consideration) adopt it.
+
+    The paper computes this "exactly in worst-case exponential time in q_i"
+    or estimates it by Monte-Carlo. Because each user's adoption events for
+    the item across time steps are mutually exclusive, user [v]'s probability
+    of adopting [i] by time [t] is [Σ_{τ≤t, (v,i,τ)∈S} qS(v,i,τ)], and the
+    number of adopters is Poisson-binomial over distinct users — computable
+    exactly by the [O(n·q_i)] dynamic program of
+    {!Revmax_stats.Poisson_binomial}. Both the exact DP and the paper's
+    Monte-Carlo estimator are provided; tests cross-validate them. *)
+
+val adopter_probabilities : Strategy.t -> Triple.t -> float array
+(** Per-distinct-user probabilities of adopting [z.i] by time [z.t], for
+    users other than [z.u] recommended the item at times ≤ [z.t]. *)
+
+val prob_capacity_free : Strategy.t -> Triple.t -> float
+(** Exact [B_S(i,t)] via the Poisson-binomial DP. Equals 1 whenever fewer
+    than [q_i] other users were recommended the item up to [t]. *)
+
+val prob_capacity_free_mc :
+  Strategy.t -> Triple.t -> samples:int -> Revmax_prelude.Rng.t -> float
+(** Monte-Carlo estimate: each sample simulates every other recipient's
+    (user, class) chain with {!Simulate.simulate_chain} and counts how many
+    adopted item [z.i] by time [z.t]. *)

@@ -1,0 +1,52 @@
+let brute_force ?(max_ground = 18) inst =
+  let ground = ref [] in
+  Instance.iter_candidate_triples inst (fun z _ -> ground := z :: !ground);
+  let ground = Array.of_list !ground in
+  if Array.length ground > max_ground then
+    invalid_arg
+      (Printf.sprintf "Exact.brute_force: %d candidate triples exceed the limit of %d"
+         (Array.length ground) max_ground);
+  let s = Strategy.create inst in
+  let best = ref [] and best_value = ref 0.0 in
+  (* depth-first over include/exclude decisions; [acc] is Rev of current S,
+     maintained incrementally through marginals *)
+  let rec go idx acc =
+    if acc > !best_value then begin
+      best_value := acc;
+      best := Strategy.to_list s
+    end;
+    if idx < Array.length ground then begin
+      let z = ground.(idx) in
+      (* exclude *)
+      go (idx + 1) acc;
+      (* include, if valid *)
+      if Strategy.can_add s z then begin
+        let gain = Revenue.marginal s z in
+        Strategy.add s z;
+        go (idx + 1) (acc +. gain);
+        Strategy.remove s z
+      end
+    end
+  in
+  go 0 0.0;
+  (Strategy.of_list inst !best, !best_value)
+
+let solve_t1 inst =
+  if Instance.horizon inst <> 1 then invalid_arg "Exact.solve_t1: horizon must be 1";
+  let edges = ref [] in
+  Instance.iter_candidate_triples inst (fun z q ->
+      let w = Instance.price inst ~i:z.i ~time:1 *. q in
+      edges := (z.u, z.i, w) :: !edges);
+  let dcs =
+    Revmax_flow.Max_dcs.solve
+      {
+        left = Instance.num_users inst;
+        right = Instance.num_items inst;
+        left_bound = Array.make (Instance.num_users inst) (Instance.display_limit inst);
+        right_bound = Array.init (Instance.num_items inst) (Instance.capacity inst);
+        edges = Array.of_list !edges;
+      }
+  in
+  let s = Strategy.create inst in
+  Array.iter (fun (u, i, _w) -> Strategy.add s (Triple.make ~u ~i ~t:1)) dcs.chosen;
+  (s, dcs.weight)

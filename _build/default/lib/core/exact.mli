@@ -1,0 +1,20 @@
+(** Exact REVMAX solvers.
+
+    [brute_force] enumerates all valid strategies over the candidate ground
+    set — exponential, usable only on micro instances; it is the optimality
+    oracle behind the approximation-gap tests and the [abl-exact] benchmark,
+    and its blow-up is the practical face of Theorem 1 (NP-hardness).
+
+    [solve_t1] is the polynomial special case of §3.2: for T = 1 REVMAX is a
+    maximum-weight degree-constrained subgraph problem on the bipartite
+    user–item graph (edge weight [p(i,1)·q(u,i,1)], user degree bound k,
+    item degree bound q_i), solved exactly by {!Revmax_flow.Max_dcs}. *)
+
+val brute_force : ?max_ground:int -> Instance.t -> Strategy.t * float
+(** Optimal valid strategy and its expected revenue. Raises
+    [Invalid_argument] when the instance has more than [max_ground]
+    (default 18) candidate triples. *)
+
+val solve_t1 : Instance.t -> Strategy.t * float
+(** Exact solution for a one-step horizon. Raises [Invalid_argument] when
+    [Instance.horizon inst <> 1]. *)

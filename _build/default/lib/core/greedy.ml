@@ -1,0 +1,115 @@
+module Tl = Revmax_pqueue.Two_level_heap
+module Bh = Revmax_pqueue.Binary_heap
+
+type stats = { marginal_evaluations : int; pops : int; selected : int }
+
+type elt = { z : Triple.t; mutable flag : int }
+
+let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
+    ?(allowed = fun _ -> true) ?base ?trace inst =
+  if (not lazy_forward) && heap = `Giant then
+    invalid_arg "Greedy.run: eager refresh requires the two-level heap";
+  let s = match base with Some b -> Strategy.copy b | None -> Strategy.create inst in
+  let evals = ref 0 and pops = ref 0 and selected = ref 0 in
+  let running_total = ref 0.0 in
+  let num_items = Instance.num_items inst in
+  let chain_size_of (z : Triple.t) =
+    Strategy.chain_size s ~u:z.u ~cls:(Instance.class_of inst z.i)
+  in
+  let marginal (z : Triple.t) =
+    incr evals;
+    Revenue.marginal ~with_saturation s z
+  in
+  (* key for a triple whose chain is known empty: marginal reduces to p·q
+     (Algorithm 1 line 8); avoids a chain lookup per candidate at startup *)
+  let initial_key (z : Triple.t) =
+    if chain_size_of z = 0 then
+      Instance.price inst ~i:z.i ~time:z.t *. Instance.q inst ~u:z.u ~i:z.i ~time:z.t
+    else marginal z
+  in
+  let capacity_blocked (z : Triple.t) =
+    (not (Strategy.item_has_user s ~i:z.i ~u:z.u))
+    && Strategy.item_user_count s z.i >= Instance.capacity inst z.i
+  in
+  let accept (z : Triple.t) key =
+    Strategy.add s z;
+    incr selected;
+    running_total := !running_total +. key;
+    match trace with Some f -> f (Strategy.size s) !running_total | None -> ()
+  in
+  (match heap with
+  | `Two_level ->
+      let h = Tl.create () in
+      Instance.iter_candidate_triples inst (fun z _q ->
+          if allowed z && not (Strategy.mem s z) then begin
+            let e = { z; flag = chain_size_of z } in
+            Tl.insert h ~pair:((z.u * num_items) + z.i) ~key:(initial_key z) e
+          end);
+      (* eager mode: after each selection refresh every candidate pair of the
+         selected triple's (user, class) *)
+      let eager_refresh (z : Triple.t) =
+        let cls = Instance.class_of inst z.i in
+        let cur = Strategy.chain_size s ~u:z.u ~cls in
+        List.iter
+          (fun j ->
+            Tl.refresh_pair h
+              ((z.u * num_items) + j)
+              ~f:(fun e _old ->
+                e.flag <- cur;
+                Some (marginal e.z)))
+          (Instance.candidate_items_in_class inst ~u:z.u ~cls)
+      in
+      let rec loop () =
+        match Tl.find_max h with
+        | None -> ()
+        | Some (pair, e, key) ->
+            incr pops;
+            if not (Strategy.can_add s e.z) then begin
+              if capacity_blocked e.z then Tl.drop_pair h pair else ignore (Tl.delete_max h);
+              loop ()
+            end
+            else begin
+              let cur = chain_size_of e.z in
+              if e.flag < cur then begin
+                Tl.refresh_pair h pair ~f:(fun e' _old ->
+                    e'.flag <- cur;
+                    Some (marginal e'.z));
+                loop ()
+              end
+              else if key <= 0.0 then () (* fresh maximum non-positive: done *)
+              else begin
+                ignore (Tl.delete_max h);
+                accept e.z key;
+                if not lazy_forward then eager_refresh e.z;
+                loop ()
+              end
+            end
+      in
+      loop ()
+  | `Giant ->
+      let h = Bh.create () in
+      Instance.iter_candidate_triples inst (fun z _q ->
+          if allowed z && not (Strategy.mem s z) then
+            ignore (Bh.insert h ~key:(initial_key z) { z; flag = chain_size_of z }));
+      let rec loop () =
+        match Bh.delete_max h with
+        | None -> ()
+        | Some (e, key) ->
+            incr pops;
+            if not (Strategy.can_add s e.z) then loop () (* permanently infeasible *)
+            else begin
+              let cur = chain_size_of e.z in
+              if e.flag < cur then begin
+                e.flag <- cur;
+                ignore (Bh.insert h ~key:(marginal e.z) e);
+                loop ()
+              end
+              else if key <= 0.0 then ()
+              else begin
+                accept e.z key;
+                loop ()
+              end
+            end
+      in
+      loop ());
+  (s, { marginal_evaluations = !evals; pops = !pops; selected = !selected })

@@ -1,0 +1,41 @@
+(** The Global Greedy algorithm (G-Greedy, Algorithm 1 of §5.1): a
+    hill-climber over the whole ground set [U × I × \[T\]] that repeatedly
+    adds the feasible triple of largest positive marginal revenue, with the
+    paper's two implementation-level optimizations — the two-level heap data
+    structure and Minoux's lazy-forward evaluation, whose soundness rests on
+    the submodularity of [Rev] (Theorem 2).
+
+    Variants used by the experiments:
+    - [~with_saturation:false] is the {b GlobalNo} baseline of §6: marginal
+      revenue is computed as if [β_i = 1] everywhere (the output is then
+      evaluated under the true saturation factors by the caller);
+    - [~heap:`Giant] replaces the two-level structure with one flat heap
+      (same output, different constants) — the [abl-heap] ablation;
+    - [~lazy_forward:false] eagerly refreshes every affected candidate after
+      each selection (same output, many more marginal evaluations);
+    - [~allowed] and [~base] support the §6.3 gradual-price-availability
+      setting through {!Rolling}: selection is restricted to allowed
+      triples while the committed [base] strategy contributes to chains and
+      constraints. *)
+
+type stats = {
+  marginal_evaluations : int;  (** calls to {!Revenue.marginal} *)
+  pops : int;  (** heap roots examined *)
+  selected : int;  (** triples added to the strategy *)
+}
+
+val run :
+  ?with_saturation:bool ->
+  ?heap:[ `Two_level | `Giant ] ->
+  ?lazy_forward:bool ->
+  ?allowed:(Triple.t -> bool) ->
+  ?base:Strategy.t ->
+  ?trace:(int -> float -> unit) ->
+  Instance.t ->
+  Strategy.t * stats
+(** [run inst] returns a valid strategy and execution statistics.
+
+    [trace size revenue_so_far] is invoked after every selection with the
+    strategy size and the running sum of (fresh) marginal revenues — the
+    series plotted in Figure 4. The running sum equals [Revenue.total] of
+    the growing strategy when [with_saturation] is [true]. *)

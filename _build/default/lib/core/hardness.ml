@@ -1,0 +1,159 @@
+type rtd = {
+  num_craftsmen : int;
+  num_jobs : int;
+  available : bool array array;
+  requires : bool array array;
+}
+
+let hours = 3
+
+let availability_count r c =
+  Array.fold_left (fun n a -> if a then n + 1 else n) 0 r.available.(c)
+
+let workload r c =
+  Array.fold_left (fun n x -> if x then n + 1 else n) 0 r.requires.(c)
+
+let validate r =
+  if Array.length r.available <> r.num_craftsmen || Array.length r.requires <> r.num_craftsmen
+  then Error "row counts do not match num_craftsmen"
+  else if Array.exists (fun row -> Array.length row <> hours) r.available then
+    Error "availability rows must have 3 hours"
+  else if Array.exists (fun row -> Array.length row <> r.num_jobs) r.requires then
+    Error "requirement rows must have num_jobs entries"
+  else begin
+    let rec check c =
+      if c >= r.num_craftsmen then Ok ()
+      else begin
+        let avail = availability_count r c in
+        if avail < 2 then Error (Printf.sprintf "craftsman %d is not a 2- or 3-craftsman" c)
+        else if workload r c <> avail then Error (Printf.sprintf "craftsman %d is not tight" c)
+        else check (c + 1)
+      end
+    in
+    check 0
+  end
+
+let total_work r =
+  let n = ref 0 in
+  Array.iter (Array.iter (fun x -> if x then incr n)) r.requires;
+  !n
+
+let total_unavailable r =
+  let n = ref 0 in
+  Array.iter (Array.iter (fun a -> if not a then incr n)) r.available;
+  !n
+
+(* item layout: job items b*3 + h (class b, price 1 exactly at hour h+1);
+   expensive items 3*num_jobs + c (private class, price E always) *)
+let to_revmax r =
+  (match validate r with Ok () -> () | Error msg -> invalid_arg ("Hardness.to_revmax: " ^ msg));
+  let n = total_work r and upsilon = total_unavailable r in
+  let e_price = float_of_int (n + 1) in
+  let num_items = (3 * r.num_jobs) + r.num_craftsmen in
+  let class_of =
+    Array.init num_items (fun i -> if i < 3 * r.num_jobs then i / 3 else r.num_jobs + i - (3 * r.num_jobs))
+  in
+  let price =
+    Array.init num_items (fun i ->
+        if i < 3 * r.num_jobs then Array.init hours (fun t -> if t = i mod 3 then 1.0 else 0.0)
+        else Array.make hours e_price)
+  in
+  let adoption = ref [] in
+  for c = 0 to r.num_craftsmen - 1 do
+    for b = 0 to r.num_jobs - 1 do
+      if r.requires.(c).(b) then
+        for h = 0 to hours - 1 do
+          adoption := (c, (b * 3) + h, Array.make hours 1.0) :: !adoption
+        done
+    done;
+    let unavailable = Array.map (fun a -> if a then 0.0 else 1.0) r.available.(c) in
+    if Array.exists (fun q -> q > 0.0) unavailable then
+      adoption := (c, (3 * r.num_jobs) + c, unavailable) :: !adoption
+  done;
+  let inst =
+    Instance.create ~num_users:r.num_craftsmen ~num_items ~horizon:hours ~display_limit:1
+      ~class_of
+      ~capacity:(Array.make num_items 1)
+      ~saturation:(Array.make num_items 1.0)
+      ~price ~adoption:!adoption ()
+  in
+  (inst, float_of_int n +. (float_of_int upsilon *. e_price))
+
+let feasible r =
+  (match validate r with Ok () -> () | Error msg -> invalid_arg ("Hardness.feasible: " ^ msg));
+  (* tasks = (craftsman, job) pairs with R = 1; assign each a distinct hour
+     within the craftsman's availability, no job double-booked per hour *)
+  let tasks = ref [] in
+  for c = 0 to r.num_craftsmen - 1 do
+    for b = 0 to r.num_jobs - 1 do
+      if r.requires.(c).(b) then tasks := (c, b) :: !tasks
+    done
+  done;
+  let craftsman_busy = Array.make_matrix r.num_craftsmen hours false in
+  let job_busy = Array.make_matrix r.num_jobs hours false in
+  let rec assign = function
+    | [] -> true
+    | (c, b) :: rest ->
+        let rec try_hour h =
+          h < hours
+          && ((r.available.(c).(h)
+              && (not craftsman_busy.(c).(h))
+              && not job_busy.(b).(h))
+              && begin
+                craftsman_busy.(c).(h) <- true;
+                job_busy.(b).(h) <- true;
+                let ok = assign rest in
+                craftsman_busy.(c).(h) <- false;
+                job_busy.(b).(h) <- false;
+                ok
+              end
+             || try_hour (h + 1))
+        in
+        try_hour 0
+  in
+  assign !tasks
+
+(* Zero-price triples have non-positive marginal revenue in every context
+   (they earn nothing and only discount later same-class triples), so the
+   optimum is attained over the pruned ground set of profitable triples:
+   job item ib_h recommended exactly at hour h, and expensive items at the
+   craftsman's unavailable hours. *)
+let pruned_ground r inst =
+  let ground = ref [] in
+  Instance.iter_candidate_triples inst (fun z _q ->
+      let profitable =
+        if z.Triple.i < 3 * r.num_jobs then z.Triple.i mod 3 = z.Triple.t - 1
+        else true (* expensive items are only candidates at profitable hours *)
+      in
+      if profitable then ground := z :: !ground);
+  !ground
+
+let optimal_revenue ?(max_ground = 22) r =
+  let inst, _threshold = to_revmax r in
+  let ground = Array.of_list (pruned_ground r inst) in
+  if Array.length ground > max_ground then
+    invalid_arg
+      (Printf.sprintf "Hardness.optimal_revenue: %d triples exceed the limit of %d"
+         (Array.length ground) max_ground);
+  let s = Strategy.create inst in
+  let best = ref 0.0 in
+  let rec go idx acc =
+    if acc > !best then best := acc;
+    if idx < Array.length ground then begin
+      let z = ground.(idx) in
+      go (idx + 1) acc;
+      if Strategy.can_add s z then begin
+        let gain = Revenue.marginal s z in
+        Strategy.add s z;
+        go (idx + 1) (acc +. gain);
+        Strategy.remove s z
+      end
+    end
+  in
+  go 0 0.0;
+  !best
+
+let equivalence_holds ?max_ground r =
+  let _inst, threshold = to_revmax r in
+  let opt = optimal_revenue ?max_ground r in
+  feasible r = (opt >= threshold -. 1e-6)

@@ -1,0 +1,48 @@
+(** The NP-hardness reduction of Theorem 1, as executable code.
+
+    The paper reduces the Restricted Timetable-Design problem (RTD, Even,
+    Itai & Shamir 1975) to the decision version of REVMAX: craftsmen become
+    users, the three hours become time steps, each job becomes a class of
+    three unit-capacity items (one per hour) priced 1 exactly at "their"
+    hour, and each craftsman gets a private expensive item that is adoptable
+    precisely at his unavailable hours. A feasible timetable exists iff some
+    valid strategy earns expected revenue ≥ N + Υ·E (N = total required
+    work, Υ = total unavailable hours, E > N the expensive price).
+
+    The module builds the reduction and provides a brute-force RTD solver so
+    tests can verify both directions of the equivalence on small instances —
+    a mechanical check of the proof of Theorem 1. *)
+
+type rtd = {
+  num_craftsmen : int;
+  num_jobs : int;
+  available : bool array array;
+      (** [available.(c).(h)], h ∈ 0..2: craftsman [c] works at hour [h+1] *)
+  requires : bool array array;
+      (** [requires.(c).(b)]: craftsman [c] must spend one hour on job [b]
+          (the paper's R(c,b) ∈ {0,1}) *)
+}
+
+val validate : rtd -> (unit, string) result
+(** Check the RTD restrictions: three hours; every craftsman is available
+    for exactly 2 or 3 hours and is {e tight}
+    ([Σ_b R(c,b) = |A(c)|]). *)
+
+val to_revmax : rtd -> Instance.t * float
+(** The D-REVMAX instance and the decision threshold [N + Υ·E]. The
+    instance has [3·num_jobs + num_craftsmen] items (expensive items in
+    private classes), display limit 1, unit capacities on job items, and no
+    saturation (the reduction needs none — Theorem 1 holds even with
+    β = 1). *)
+
+val feasible : rtd -> bool
+(** Brute-force RTD solver (exponential; intended for instances with a
+    handful of craftsmen and jobs). *)
+
+val optimal_revenue : ?max_ground:int -> rtd -> float
+(** [Exact.brute_force] on the reduced instance — exponential as Theorem 1
+    demands. *)
+
+val equivalence_holds : ?max_ground:int -> rtd -> bool
+(** Check both directions of the reduction on one instance:
+    [feasible rtd ⟺ optimal_revenue rtd ≥ threshold − ε]. *)

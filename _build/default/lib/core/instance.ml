@@ -1,0 +1,164 @@
+type t = {
+  num_users : int;
+  num_items : int;
+  horizon : int;
+  display_limit : int;
+  class_of : int array;
+  num_classes : int;
+  class_sizes : int array;
+  capacity : int array;
+  saturation : float array;
+  price : float array array;
+  (* candidate adoption rows per user, item-ascending *)
+  cands : (int * float array) array array;
+  (* (u * num_items + i) -> probability vector, for O(1) lookup *)
+  q_index : (int, float array) Hashtbl.t;
+  ratings : (int, float) Hashtbl.t;
+  num_candidate_triples : int;
+}
+
+let create ~num_users ~num_items ~horizon ~display_limit ~class_of ~capacity ~saturation ~price
+    ?(ratings = []) ~adoption () =
+  if num_users < 0 || num_items < 0 then invalid_arg "Instance.create: negative dimensions";
+  if horizon < 1 then invalid_arg "Instance.create: horizon must be at least 1";
+  if display_limit < 1 then invalid_arg "Instance.create: display_limit must be at least 1";
+  if Array.length class_of <> num_items then invalid_arg "Instance.create: class_of length";
+  if Array.length capacity <> num_items then invalid_arg "Instance.create: capacity length";
+  if Array.length saturation <> num_items then invalid_arg "Instance.create: saturation length";
+  if Array.length price <> num_items then invalid_arg "Instance.create: price rows";
+  Array.iter (fun c -> if c < 0 then invalid_arg "Instance.create: negative class id") class_of;
+  Array.iter (fun c -> if c < 0 then invalid_arg "Instance.create: negative capacity") capacity;
+  Array.iter
+    (fun b ->
+      if b < 0.0 || b > 1.0 || Float.is_nan b then
+        invalid_arg "Instance.create: saturation must be in [0,1]")
+    saturation;
+  Array.iter
+    (fun row ->
+      if Array.length row <> horizon then invalid_arg "Instance.create: price row length";
+      Array.iter
+        (fun p ->
+          if (not (Float.is_finite p)) || p < 0.0 then
+            invalid_arg "Instance.create: prices must be finite and non-negative")
+        row)
+    price;
+  let num_classes = Array.fold_left (fun m c -> max m (c + 1)) 0 class_of in
+  let class_sizes = Array.make num_classes 0 in
+  Array.iter (fun c -> class_sizes.(c) <- class_sizes.(c) + 1) class_of;
+  let q_index = Hashtbl.create (max 16 (List.length adoption)) in
+  let buckets = Array.make num_users [] in
+  let triples = ref 0 in
+  List.iter
+    (fun (u, i, qs) ->
+      if u < 0 || u >= num_users || i < 0 || i >= num_items then
+        invalid_arg "Instance.create: adoption id out of range";
+      if Array.length qs <> horizon then invalid_arg "Instance.create: adoption vector length";
+      Array.iter
+        (fun p ->
+          if p < 0.0 || p > 1.0 || Float.is_nan p then
+            invalid_arg "Instance.create: adoption probabilities must be in [0,1]")
+        qs;
+      let key = (u * num_items) + i in
+      if Hashtbl.mem q_index key then invalid_arg "Instance.create: duplicate (user, item) adoption";
+      let qs = Array.copy qs in
+      Hashtbl.replace q_index key qs;
+      buckets.(u) <- (i, qs) :: buckets.(u);
+      Array.iter (fun p -> if p > 0.0 then incr triples) qs)
+    adoption;
+  let cands =
+    Array.map
+      (fun l ->
+        let a = Array.of_list l in
+        Array.sort (fun (i1, _) (i2, _) -> compare i1 i2) a;
+        a)
+      buckets
+  in
+  let rating_tbl = Hashtbl.create (max 16 (List.length ratings)) in
+  List.iter
+    (fun (u, i, r) ->
+      if u < 0 || u >= num_users || i < 0 || i >= num_items then
+        invalid_arg "Instance.create: rating id out of range";
+      Hashtbl.replace rating_tbl ((u * num_items) + i) r)
+    ratings;
+  {
+    num_users;
+    num_items;
+    horizon;
+    display_limit;
+    class_of = Array.copy class_of;
+    num_classes;
+    class_sizes;
+    capacity = Array.copy capacity;
+    saturation = Array.copy saturation;
+    price = Array.map Array.copy price;
+    cands;
+    q_index;
+    ratings = rating_tbl;
+    num_candidate_triples = !triples;
+  }
+
+let num_users t = t.num_users
+let num_items t = t.num_items
+let horizon t = t.horizon
+let display_limit t = t.display_limit
+let num_classes t = t.num_classes
+
+let class_of t i = t.class_of.(i)
+let class_size t c = t.class_sizes.(c)
+let capacity t i = t.capacity.(i)
+let saturation t i = t.saturation.(i)
+
+let check_time t time =
+  if time < 1 || time > t.horizon then invalid_arg "Instance: time step out of range"
+
+let price t ~i ~time =
+  check_time t time;
+  t.price.(i).(time - 1)
+
+let q t ~u ~i ~time =
+  check_time t time;
+  match Hashtbl.find_opt t.q_index ((u * t.num_items) + i) with
+  | None -> 0.0
+  | Some qs -> qs.(time - 1)
+
+let is_candidate t ~u ~i = Hashtbl.mem t.q_index ((u * t.num_items) + i)
+
+let candidates t u = t.cands.(u)
+
+let candidate_items_in_class t ~u ~cls =
+  Array.fold_left
+    (fun acc (i, _) -> if t.class_of.(i) = cls then i :: acc else acc)
+    [] t.cands.(u)
+  |> List.rev
+
+let num_candidate_triples t = t.num_candidate_triples
+
+let iter_candidate_triples t f =
+  Array.iteri
+    (fun u row ->
+      Array.iter
+        (fun (i, qs) ->
+          Array.iteri (fun idx p -> if p > 0.0 then f (Triple.make ~u ~i ~t:(idx + 1)) p) qs)
+        row)
+    t.cands
+
+let rating t ~u ~i = Hashtbl.find_opt t.ratings ((u * t.num_items) + i)
+
+let with_saturation_disabled t = { t with saturation = Array.make t.num_items 1.0 }
+
+let with_prices t price =
+  if Array.length price <> t.num_items then invalid_arg "Instance.with_prices: price rows";
+  Array.iter
+    (fun row ->
+      if Array.length row <> t.horizon then invalid_arg "Instance.with_prices: price row length";
+      Array.iter
+        (fun p ->
+          if (not (Float.is_finite p)) || p < 0.0 then
+            invalid_arg "Instance.with_prices: prices must be finite and non-negative")
+        row)
+    price;
+  { t with price = Array.map Array.copy price }
+
+let pp_stats ppf t =
+  Format.fprintf ppf "users=%d items=%d classes=%d T=%d k=%d candidate-triples=%d" t.num_users
+    t.num_items t.num_classes t.horizon t.display_limit t.num_candidate_triples

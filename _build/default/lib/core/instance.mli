@@ -1,0 +1,106 @@
+(** A REVMAX problem instance (Problem 1 of the paper): users, items grouped
+    into competition classes, a short discrete horizon [1..T], a display
+    limit [k], per-item capacities and saturation factors, exogenous prices
+    [p(i,t)], and sparse primitive adoption probabilities [q(u,i,t)].
+
+    Only (user, item) pairs with a positive adoption probability at some time
+    are *candidates*; everything else is implicitly zero and never enters any
+    algorithm's ground set — the paper's "number of triples with positive q
+    is the true input size" (§6). Optionally a predicted rating [r̂_ui] per
+    candidate pair is carried for the TopRA baseline.
+
+    Time steps are 1-based ([1..horizon]) throughout the public API, matching
+    the paper's [\[T\] = {1, …, T}]. *)
+
+type t
+
+val create :
+  num_users:int ->
+  num_items:int ->
+  horizon:int ->
+  display_limit:int ->
+  class_of:int array ->
+  capacity:int array ->
+  saturation:float array ->
+  price:float array array ->
+  ?ratings:(int * int * float) list ->
+  adoption:(int * int * float array) list ->
+  unit ->
+  t
+(** [create] validates and freezes an instance.
+
+    - [class_of], [capacity], [saturation] have length [num_items]; classes
+      are dense ids starting at 0; [saturation.(i) ∈ [0,1]]; capacities are
+      non-negative.
+    - [price.(i)] has length [horizon] and holds [p(i, 1) … p(i, T)]; prices
+      must be finite and non-negative.
+    - [adoption] lists candidate pairs as [(u, i, qs)] with [qs] of length
+      [horizon], [qs.(t-1) = q(u,i,t) ∈ [0,1]]; at most one entry per (u,i).
+    - [ratings] optionally attaches predicted ratings to (u,i) pairs.
+
+    Raises [Invalid_argument] on any violation. *)
+
+(** {1 Dimensions and parameters} *)
+
+val num_users : t -> int
+val num_items : t -> int
+
+val horizon : t -> int
+(** [T]; valid time steps are [1..T]. *)
+
+val display_limit : t -> int
+(** [k]: maximum number of items shown to a user per time step. *)
+
+val num_classes : t -> int
+
+val class_of : t -> int -> int
+(** Competition class of an item. *)
+
+val class_size : t -> int -> int
+(** Number of items in a class. *)
+
+val capacity : t -> int -> int
+(** [q_i]: maximum number of distinct users the item may be recommended to. *)
+
+val saturation : t -> int -> float
+(** [β_i]: the item's saturation factor. *)
+
+val price : t -> i:int -> time:int -> float
+(** [p(i,t)] for [time ∈ 1..T]. *)
+
+(** {1 Adoption probabilities} *)
+
+val q : t -> u:int -> i:int -> time:int -> float
+(** Primitive adoption probability [q(u,i,t)]; 0 for non-candidate pairs. *)
+
+val is_candidate : t -> u:int -> i:int -> bool
+
+val candidates : t -> int -> (int * float array) array
+(** [candidates t u]: the user's candidate items with their per-time
+    probability vectors (index [t-1] is time [t]). Do not mutate. *)
+
+val candidate_items_in_class : t -> u:int -> cls:int -> int list
+(** Candidate items of user [u] belonging to class [cls]. *)
+
+val num_candidate_triples : t -> int
+(** Number of triples with [q(u,i,t) > 0] — the input size of Table 1. *)
+
+val iter_candidate_triples : t -> (Triple.t -> float -> unit) -> unit
+(** Visit every positive-probability triple with its probability. *)
+
+val rating : t -> u:int -> i:int -> float option
+(** Predicted rating [r̂_ui] if attached. *)
+
+(** {1 Derived views} *)
+
+val with_saturation_disabled : t -> t
+(** A copy whose saturation factors are all 1 (shares the underlying adoption
+    data) — used by the GlobalNo variant, which plans as if there were no
+    saturation. O(num_items). *)
+
+val with_prices : t -> float array array -> t
+(** A copy with a replaced price matrix (same shape checks as [create]) —
+    used by the random-price extension to plan against mean prices. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line instance statistics (users/items/classes/triples). *)

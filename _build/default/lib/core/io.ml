@@ -1,0 +1,135 @@
+let fp = Printf.fprintf
+
+let write_instance oc inst =
+  fp oc "revmax-instance 1\n";
+  fp oc "# users items horizon display_limit\n";
+  fp oc "dims %d %d %d %d\n" (Instance.num_users inst) (Instance.num_items inst)
+    (Instance.horizon inst) (Instance.display_limit inst);
+  let horizon = Instance.horizon inst in
+  for i = 0 to Instance.num_items inst - 1 do
+    fp oc "item %d %d %d %.17g" i (Instance.class_of inst i) (Instance.capacity inst i)
+      (Instance.saturation inst i);
+    for t = 1 to horizon do
+      fp oc " %.17g" (Instance.price inst ~i ~time:t)
+    done;
+    fp oc "\n"
+  done;
+  for u = 0 to Instance.num_users inst - 1 do
+    Array.iter
+      (fun (i, qs) ->
+        (match Instance.rating inst ~u ~i with
+        | Some r -> fp oc "rating %d %d %.17g\n" u i r
+        | None -> ());
+        fp oc "q %d %d" u i;
+        Array.iter (fun q -> fp oc " %.17g" q) qs;
+        fp oc "\n")
+      (Instance.candidates inst u)
+  done;
+  fp oc "end\n"
+
+type parse_state = {
+  mutable line_no : int;
+  ic : in_channel;
+}
+
+let fail st msg = failwith (Printf.sprintf "Io: line %d: %s" st.line_no msg)
+
+(* next non-comment, non-blank line split on whitespace; None at EOF *)
+let rec next_fields st =
+  match In_channel.input_line st.ic with
+  | None -> None
+  | Some line ->
+      st.line_no <- st.line_no + 1;
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then next_fields st
+      else Some (String.split_on_char ' ' line |> List.filter (fun s -> s <> ""))
+
+let int_field st s =
+  match int_of_string_opt s with Some v -> v | None -> fail st ("bad integer " ^ s)
+
+let float_field st s =
+  match float_of_string_opt s with Some v -> v | None -> fail st ("bad float " ^ s)
+
+let read_instance ic =
+  let st = { line_no = 0; ic } in
+  (match next_fields st with
+  | Some [ "revmax-instance"; "1" ] -> ()
+  | _ -> fail st "expected header: revmax-instance 1");
+  let num_users, num_items, horizon, display_limit =
+    match next_fields st with
+    | Some [ "dims"; a; b; c; d ] ->
+        (int_field st a, int_field st b, int_field st c, int_field st d)
+    | _ -> fail st "expected: dims <users> <items> <horizon> <k>"
+  in
+  let class_of = Array.make num_items 0 in
+  let capacity = Array.make num_items 0 in
+  let saturation = Array.make num_items 0.0 in
+  let price = Array.init num_items (fun _ -> Array.make horizon 0.0) in
+  let seen_item = Array.make num_items false in
+  let ratings = ref [] and adoption = ref [] in
+  let finished = ref false in
+  while not !finished do
+    match next_fields st with
+    | None -> fail st "unexpected end of file (missing `end')"
+    | Some [ "end" ] -> finished := true
+    | Some ("item" :: idx :: cls :: cap :: sat :: prices) ->
+        let i = int_field st idx in
+        if i < 0 || i >= num_items then fail st "item id out of range";
+        if seen_item.(i) then fail st "duplicate item record";
+        seen_item.(i) <- true;
+        class_of.(i) <- int_field st cls;
+        capacity.(i) <- int_field st cap;
+        saturation.(i) <- float_field st sat;
+        if List.length prices <> horizon then fail st "wrong number of prices";
+        List.iteri (fun t p -> price.(i).(t) <- float_field st p) prices
+    | Some [ "rating"; u; i; r ] ->
+        ratings := (int_field st u, int_field st i, float_field st r) :: !ratings
+    | Some ("q" :: u :: i :: qs) ->
+        if List.length qs <> horizon then fail st "wrong number of probabilities";
+        let arr = Array.of_list (List.map (float_field st) qs) in
+        adoption := (int_field st u, int_field st i, arr) :: !adoption
+    | Some (tag :: _) -> fail st ("unknown record " ^ tag)
+    | Some [] -> ()
+  done;
+  Array.iteri (fun i seen -> if not seen then fail st (Printf.sprintf "item %d missing" i)) seen_item;
+  try
+    Instance.create ~num_users ~num_items ~horizon ~display_limit ~class_of ~capacity ~saturation
+      ~price ~ratings:!ratings ~adoption:!adoption ()
+  with Invalid_argument msg -> failwith ("Io: " ^ msg)
+
+let write_strategy oc s =
+  fp oc "revmax-strategy 1\n";
+  List.iter (fun (z : Triple.t) -> fp oc "triple %d %d %d\n" z.u z.i z.t) (Strategy.to_list s);
+  fp oc "end\n"
+
+let read_strategy inst ic =
+  let st = { line_no = 0; ic } in
+  (match next_fields st with
+  | Some [ "revmax-strategy"; "1" ] -> ()
+  | _ -> fail st "expected header: revmax-strategy 1");
+  let s = Strategy.create inst in
+  let finished = ref false in
+  while not !finished do
+    match next_fields st with
+    | None -> fail st "unexpected end of file (missing `end')"
+    | Some [ "end" ] -> finished := true
+    | Some [ "triple"; u; i; t ] -> (
+        let z = Triple.make ~u:(int_field st u) ~i:(int_field st i) ~t:(int_field st t) in
+        try Strategy.add s z with Invalid_argument msg -> fail st msg)
+    | Some (tag :: _) -> fail st ("unknown record " ^ tag)
+    | Some [] -> ()
+  done;
+  s
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let with_in path f =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+
+let save_instance path inst = with_out path (fun oc -> write_instance oc inst)
+let load_instance path = with_in path read_instance
+let save_strategy path s = with_out path (fun oc -> write_strategy oc s)
+let load_strategy inst path = with_in path (read_strategy inst)

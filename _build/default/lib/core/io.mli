@@ -1,0 +1,37 @@
+(** Plain-text serialization of instances and strategies.
+
+    A downstream user needs to move problem instances between the generator,
+    the planner and external tooling; this module defines a line-oriented,
+    human-inspectable format (one logical record per line, `#` comments,
+    whitespace-separated fields) with full round-tripping.
+
+    Format (version header `revmax-instance 1`):
+    {v
+    revmax-instance 1
+    dims <num_users> <num_items> <horizon> <display_limit>
+    item <i> <class> <capacity> <saturation> <p(i,1)> ... <p(i,T)>   (per item)
+    rating <u> <i> <r>                                               (optional)
+    q <u> <i> <q(u,i,1)> ... <q(u,i,T)>                              (per candidate)
+    end
+    v}
+
+    Strategies (`revmax-strategy 1`) are lists of `triple <u> <i> <t>` lines.
+    Floats are printed with ["%.17g"] so round-trips are exact. *)
+
+val write_instance : out_channel -> Instance.t -> unit
+
+val read_instance : in_channel -> Instance.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val save_instance : string -> Instance.t -> unit
+(** Write to a file path. *)
+
+val load_instance : string -> Instance.t
+
+val write_strategy : out_channel -> Strategy.t -> unit
+
+val read_strategy : Instance.t -> in_channel -> Strategy.t
+(** Triples are validated against the instance's dimensions. *)
+
+val save_strategy : string -> Strategy.t -> unit
+val load_strategy : Instance.t -> string -> Strategy.t

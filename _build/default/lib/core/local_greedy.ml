@@ -1,0 +1,114 @@
+module Bh = Revmax_pqueue.Binary_heap
+module Rng = Revmax_prelude.Rng
+
+type stats = Greedy.stats = { marginal_evaluations : int; pops : int; selected : int }
+
+type elt = { z : Triple.t; mutable flag : int }
+
+let greedy_in_order ?(with_saturation = true) ?(allowed = fun _ -> true) ?base ?trace inst ~order
+    =
+  let horizon = Instance.horizon inst in
+  let seen_time = Array.make (horizon + 1) false in
+  List.iter
+    (fun tm ->
+      if tm < 1 || tm > horizon then invalid_arg "Local_greedy: time step out of range";
+      if seen_time.(tm) then invalid_arg "Local_greedy: duplicate time step in order";
+      seen_time.(tm) <- true)
+    order;
+  let s = match base with Some b -> Strategy.copy b | None -> Strategy.create inst in
+  let evals = ref 0 and pops = ref 0 and selected = ref 0 in
+  let running_total = ref 0.0 in
+  let chain_size_of (z : Triple.t) =
+    Strategy.chain_size s ~u:z.u ~cls:(Instance.class_of inst z.i)
+  in
+  let marginal (z : Triple.t) =
+    incr evals;
+    Revenue.marginal ~with_saturation s z
+  in
+  let round tm =
+    let h = Bh.create () in
+    (* Algorithm 2 line 7: populate with marginal revenue given the current
+       global S (which holds the recommendations of earlier rounds) *)
+    Array.iteri
+      (fun u row ->
+        Array.iter
+          (fun (i, qs) ->
+            if qs.(tm - 1) > 0.0 then begin
+              let z = Triple.make ~u ~i ~t:tm in
+              if allowed z && not (Strategy.mem s z) then
+                ignore (Bh.insert h ~key:(marginal z) { z; flag = chain_size_of z })
+            end)
+          row)
+      (Array.init (Instance.num_users inst) (Instance.candidates inst));
+    let rec consume () =
+      match Bh.delete_max h with
+      | None -> ()
+      | Some (e, key) ->
+          incr pops;
+          if not (Strategy.can_add s e.z) then consume ()
+          else begin
+            let cur = chain_size_of e.z in
+            if e.flag < cur then begin
+              (* lazy forward within the round *)
+              e.flag <- cur;
+              ignore (Bh.insert h ~key:(marginal e.z) e);
+              consume ()
+            end
+            else if key <= 0.0 then ()
+            else begin
+              Strategy.add s e.z;
+              incr selected;
+              running_total := !running_total +. key;
+              (match trace with Some f -> f (Strategy.size s) !running_total | None -> ());
+              consume ()
+            end
+          end
+    in
+    consume ()
+  in
+  List.iter round order;
+  (s, { marginal_evaluations = !evals; pops = !pops; selected = !selected })
+
+let sl_greedy ?with_saturation ?allowed ?base ?trace inst =
+  let order = List.init (Instance.horizon inst) (fun idx -> idx + 1) in
+  greedy_in_order ?with_saturation ?allowed ?base ?trace inst ~order
+
+let factorial_capped n cap =
+  let rec go acc i = if i > n || acc >= cap then min acc cap else go (acc * i) (i + 1) in
+  go 1 2
+
+let rl_greedy ?with_saturation ?(permutations = 20) ?allowed ?base inst rng =
+  if permutations < 1 then invalid_arg "Local_greedy.rl_greedy: need at least one permutation";
+  let horizon = Instance.horizon inst in
+  let n = min permutations (factorial_capped horizon permutations) in
+  (* always include the chronological order, then distinct random ones *)
+  let chrono = List.init horizon (fun idx -> idx + 1) in
+  let seen = Hashtbl.create n in
+  Hashtbl.replace seen chrono ();
+  let orders = ref [ chrono ] in
+  while List.length !orders < n do
+    let p = Array.to_list (Array.map (fun idx -> idx + 1) (Rng.permutation rng horizon)) in
+    if not (Hashtbl.mem seen p) then begin
+      Hashtbl.replace seen p ();
+      orders := p :: !orders
+    end
+  done;
+  let best = ref None in
+  let total_stats = ref { marginal_evaluations = 0; pops = 0; selected = 0 } in
+  List.iter
+    (fun order ->
+      let s, st = greedy_in_order ?with_saturation ?allowed ?base inst ~order in
+      total_stats :=
+        {
+          marginal_evaluations = !total_stats.marginal_evaluations + st.marginal_evaluations;
+          pops = !total_stats.pops + st.pops;
+          selected = !total_stats.selected + st.selected;
+        };
+      let v = Revenue.total s in
+      match !best with
+      | Some (_, bv) when bv >= v -> ()
+      | _ -> best := Some (s, v))
+    !orders;
+  match !best with
+  | Some (s, _) -> (s, !total_stats)
+  | None -> (Strategy.create inst, !total_stats)

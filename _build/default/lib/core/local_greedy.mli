@@ -1,0 +1,50 @@
+(** The per-time-step ("local") greedy algorithms of §5.2.
+
+    {b SL-Greedy} (Algorithm 2) finalizes all recommendations for time step
+    1, then 2, …, then T: within each round a heap keyed by marginal revenue
+    w.r.t. the global partial strategy is consumed with lazy-forward
+    refreshes, exactly as in G-Greedy but restricted to one time step.
+
+    {b RL-Greedy} samples N distinct permutations of [\[T\]] (chronological
+    order is not always optimal — Example 4 of the paper), runs the same
+    per-step greedy in each order, and keeps the strategy of largest
+    expected revenue. The paper uses N = 20. *)
+
+type stats = Greedy.stats
+
+val greedy_in_order :
+  ?with_saturation:bool ->
+  ?allowed:(Triple.t -> bool) ->
+  ?base:Strategy.t ->
+  ?trace:(int -> float -> unit) ->
+  Instance.t ->
+  order:int list ->
+  Strategy.t * stats
+(** Run the per-time-step greedy over the time steps listed in [order]
+    (each in [1..T], no duplicates). [allowed], [base] and [trace] behave as
+    in {!Greedy.run}; the [trace] running revenue restarts from the base's
+    revenue and increases by fresh marginals, showing the "segments" of
+    Figure 4 at round switches. *)
+
+val sl_greedy :
+  ?with_saturation:bool ->
+  ?allowed:(Triple.t -> bool) ->
+  ?base:Strategy.t ->
+  ?trace:(int -> float -> unit) ->
+  Instance.t ->
+  Strategy.t * stats
+(** [greedy_in_order] with the chronological order [1; 2; …; T]. *)
+
+val rl_greedy :
+  ?with_saturation:bool ->
+  ?permutations:int ->
+  ?allowed:(Triple.t -> bool) ->
+  ?base:Strategy.t ->
+  Instance.t ->
+  Revmax_prelude.Rng.t ->
+  Strategy.t * stats
+(** Randomized local greedy with [permutations] (default 20) distinct sampled
+    orders of [\[T\]] — fewer when T! is smaller. Statistics are summed over
+    all executions. The chronological order is always among the sampled ones,
+    so RL-Greedy never returns less revenue than SL-Greedy on the same
+    instance. *)

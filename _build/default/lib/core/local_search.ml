@@ -1,0 +1,21 @@
+module Matroid = Revmax_matroid.Matroid
+module Submodular = Revmax_matroid.Submodular
+
+type result = { strategy : Strategy.t; value : float; oracle_calls : int; moves : int }
+
+let solve ?eps ?capacity_oracle inst =
+  let ground = ref [] in
+  Instance.iter_candidate_triples inst (fun z _ -> ground := z :: !ground);
+  let ground = Array.of_list (List.rev !ground) in
+  let horizon = Instance.horizon inst in
+  (* Lemma 2: block of a triple = its (user, time) pair; bound = k *)
+  let part_of = Array.map (fun (z : Triple.t) -> (z.u * horizon) + (z.t - 1)) ground in
+  let bound = Array.make (Instance.num_users inst * horizon) (Instance.display_limit inst) in
+  let matroid = Matroid.partition ~part_of ~bound in
+  let f indices =
+    let s = Strategy.of_list inst (List.map (fun idx -> ground.(idx)) indices) in
+    Relaxed.total ?oracle:capacity_oracle s
+  in
+  let indices, value, stats = Submodular.local_search ?eps ~matroid ~f () in
+  let strategy = Strategy.of_list inst (List.map (fun idx -> ground.(idx)) indices) in
+  { strategy; value; oracle_calls = stats.oracle_calls; moves = stats.moves }

@@ -1,0 +1,30 @@
+(** The 1/(4+ε)-approximation for R-REVMAX (§4.2).
+
+    The ground set is the instance's candidate triples; the display
+    constraint becomes the partition matroid of Lemma 2 (blocks = (user,
+    time) pairs, bound k); the objective is the relaxed revenue
+    {!Relaxed.total}, a non-negative non-monotone submodular function; and
+    the search is the Lee et al. local-search algorithm provided by
+    {!Revmax_matroid.Submodular}.
+
+    Its cost — O(n⁴ log n / ε) value-oracle calls in the worst case, each an
+    O(|S|²)-ish revenue evaluation — is the paper's stated reason for
+    preferring the greedy heuristics; the oracle-call count is surfaced so
+    benchmarks can demonstrate exactly that. *)
+
+type result = {
+  strategy : Strategy.t;  (** display-valid; may exceed capacities (R-REVMAX) *)
+  value : float;  (** relaxed revenue of the strategy *)
+  oracle_calls : int;
+  moves : int;
+}
+
+val solve :
+  ?eps:float ->
+  ?capacity_oracle:(Strategy.t -> Triple.t -> float) ->
+  Instance.t ->
+  result
+(** [solve inst] approximately maximizes the relaxed revenue under the
+    display matroid. [eps] (default 0.5) is the local-search slack;
+    [capacity_oracle] overrides the [B_S] computation (default: the exact
+    Poisson-binomial DP). Intended for small instances. *)

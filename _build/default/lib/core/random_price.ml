@@ -1,0 +1,159 @@
+module Rng = Revmax_prelude.Rng
+module Mc = Revmax_stats.Mc
+
+type model = {
+  mean : i:int -> time:int -> float;
+  sigma : i:int -> time:int -> float;
+  corr : float;
+  q_of_price : u:int -> i:int -> price:float -> float;
+}
+
+let mean_instance inst model =
+  let horizon = Instance.horizon inst in
+  let num_items = Instance.num_items inst in
+  let price =
+    Array.init num_items (fun i -> Array.init horizon (fun idx -> model.mean ~i ~time:(idx + 1)))
+  in
+  let adoption = ref [] and ratings = ref [] in
+  for u = 0 to Instance.num_users inst - 1 do
+    Array.iter
+      (fun (i, _qs) ->
+        let qs =
+          Array.init horizon (fun idx ->
+              model.q_of_price ~u ~i ~price:(model.mean ~i ~time:(idx + 1)))
+        in
+        adoption := (u, i, qs) :: !adoption;
+        match Instance.rating inst ~u ~i with
+        | Some r -> ratings := (u, i, r) :: !ratings
+        | None -> ())
+      (Instance.candidates inst u)
+  done;
+  Instance.create ~num_users:(Instance.num_users inst) ~num_items ~horizon
+    ~display_limit:(Instance.display_limit inst)
+    ~class_of:(Array.init num_items (Instance.class_of inst))
+    ~capacity:(Array.init num_items (Instance.capacity inst))
+    ~saturation:(Array.init num_items (Instance.saturation inst))
+    ~price ~ratings:!ratings ~adoption:!adoption ()
+
+(* Revenue contribution of triple [z] within its chain, as a function of the
+   chain-prefix price vector. [prefix] lists the chain triples with τ ≤ t
+   (time-ascending, z included); [prices.(a)] is the price of [prefix.(a)]. *)
+let contribution inst model ~chain (z : Triple.t) ~prefix ~prices =
+  let q_at a =
+    let (z' : Triple.t) = prefix.(a) in
+    model.q_of_price ~u:z'.u ~i:z'.i ~price:(Float.max 0.0 prices.(a))
+  in
+  let own = ref (-1) in
+  Array.iteri (fun a z' -> if Triple.equal z' z then own := a) prefix;
+  assert (!own >= 0);
+  let m = Revenue.memory ~chain ~time:z.t in
+  let sat = if m = 0.0 then 1.0 else Instance.saturation inst z.i ** m in
+  let comp = ref 1.0 in
+  Array.iteri
+    (fun a (z' : Triple.t) ->
+      if z'.t < z.t || (z'.t = z.t && z'.i <> z.i) then comp := !comp *. (1.0 -. q_at a))
+    prefix;
+  Float.max 0.0 prices.(!own) *. q_at !own *. sat *. !comp
+
+let prefix_of chain (z : Triple.t) =
+  Array.of_list (List.filter (fun (z' : Triple.t) -> z'.t <= z.t) chain)
+
+let mean_prices model prefix =
+  Array.map (fun (z' : Triple.t) -> model.mean ~i:z'.i ~time:z'.t) prefix
+
+(* iterate over the strategy's (user, class) chains exactly once *)
+let fold_chains s ~init ~f =
+  let inst = Strategy.instance s in
+  let seen = Hashtbl.create 64 in
+  List.fold_left
+    (fun acc (z : Triple.t) ->
+      let cls = Instance.class_of inst z.i in
+      let key = (z.u * Instance.num_classes inst) + cls in
+      if Hashtbl.mem seen key then acc
+      else begin
+        Hashtbl.add seen key ();
+        f acc (Strategy.chain s ~u:z.u ~cls)
+      end)
+    init (Strategy.to_list s)
+
+let taylor_revenue ?(order = `Two) inst model s =
+  fold_chains s ~init:0.0 ~f:(fun acc chain ->
+      List.fold_left
+        (fun acc (z : Triple.t) ->
+          let prefix = prefix_of chain z in
+          let means = mean_prices model prefix in
+          let g prices = contribution inst model ~chain z ~prefix ~prices in
+          let base = g means in
+          match order with
+          | `One -> acc +. base
+          | `Two ->
+              let n = Array.length prefix in
+              let sigma_of a =
+                let (z' : Triple.t) = prefix.(a) in
+                model.sigma ~i:z'.i ~time:z'.t
+              in
+              let step a = Float.max 1e-5 (1e-3 *. Float.max 1.0 (Float.abs means.(a))) in
+              let eval_at deltas =
+                let prices = Array.copy means in
+                List.iter (fun (a, d) -> prices.(a) <- prices.(a) +. d) deltas;
+                g prices
+              in
+              let second = ref 0.0 in
+              for a = 0 to n - 1 do
+                let va = sigma_of a in
+                if va > 0.0 then begin
+                  let ha = step a in
+                  (* diagonal: ½ g_aa var(z_a) *)
+                  let gaa =
+                    (eval_at [ (a, ha) ] -. (2.0 *. base) +. eval_at [ (a, -.ha) ]) /. (ha *. ha)
+                  in
+                  second := !second +. (0.5 *. gaa *. va *. va);
+                  (* off-diagonal: g_ab cov(z_a, z_b) over a < b *)
+                  for b = a + 1 to n - 1 do
+                    let vb = sigma_of b in
+                    if vb > 0.0 && model.corr <> 0.0 then begin
+                      let hb = step b in
+                      let gab =
+                        (eval_at [ (a, ha); (b, hb) ]
+                        -. eval_at [ (a, ha); (b, -.hb) ]
+                        -. eval_at [ (a, -.ha); (b, hb) ]
+                        +. eval_at [ (a, -.ha); (b, -.hb) ])
+                        /. (4.0 *. ha *. hb)
+                      in
+                      second := !second +. (gab *. model.corr *. va *. vb)
+                    end
+                  done
+                end
+              done;
+              acc +. base +. !second)
+        acc chain)
+
+let mc_revenue inst model s ~samples rng =
+  if model.corr < 0.0 || model.corr > 1.0 then invalid_arg "Random_price: corr must be in [0,1]";
+  Mc.estimate ~samples rng (fun rng ->
+      fold_chains s ~init:0.0 ~f:(fun acc chain ->
+          (* one correlated Gaussian price draw per chain: common factor w
+             plus idiosyncratic noise gives pairwise correlation corr *)
+          let w = Rng.gaussian rng in
+          let chain_arr = Array.of_list chain in
+          let prices_all =
+            Array.map
+              (fun (z' : Triple.t) ->
+                let mu = model.mean ~i:z'.i ~time:z'.t in
+                let sg = model.sigma ~i:z'.i ~time:z'.t in
+                mu
+                +. sg
+                   *. ((sqrt model.corr *. w) +. (sqrt (1.0 -. model.corr) *. Rng.gaussian rng)))
+              chain_arr
+          in
+          let price_of (z' : Triple.t) =
+            let idx = ref (-1) in
+            Array.iteri (fun a c -> if Triple.equal c z' then idx := a) chain_arr;
+            prices_all.(!idx)
+          in
+          List.fold_left
+            (fun acc (z : Triple.t) ->
+              let prefix = prefix_of chain z in
+              let prices = Array.map price_of prefix in
+              acc +. contribution inst model ~chain z ~prefix ~prices)
+            acc chain))

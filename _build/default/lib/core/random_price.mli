@@ -1,0 +1,53 @@
+(** The random-price extension of §7: prices [p(i,t)] are random variables
+    known only through a price-prediction model, and the planner maximizes
+    revenue in expectation over both adoption events and prices.
+
+    A {!model} supplies per-(item, time) price means and standard
+    deviations, a uniform pairwise correlation between distinct price
+    variables, and the link [q_of_price] mapping a price to the primitive
+    adoption probability (the §6.1 valuation formula
+    [Pr\[val ≥ p\]·r̂/r_max] — adoption probabilities must follow prices for
+    the extension to make sense, which is the paper's criticism of the naive
+    approach).
+
+    Three evaluators are provided:
+    - [taylor_revenue ~order:`Two]: the paper's proposal — expand each
+      triple's contribution [g(z)] around the mean price vector of its
+      competing prefix [\[z\]_S] to second order, so that
+      [E\[g\] ≈ g(z̄) + ½ Σ_{a,b} ∂²g/∂z_a∂z_b cov(z_a, z_b)]
+      (Equation 7/8; we keep the Hessian factors the paper's Equation 8
+      elides). Derivatives are central finite differences.
+    - [taylor_revenue ~order:`One]: the "obvious" mean-price heuristic,
+      [g(z̄)] alone.
+    - [mc_revenue]: Monte-Carlo ground truth by sampling correlated Gaussian
+      price vectors (negative samples are clamped at zero).
+
+    [mean_instance] rebuilds the instance with mean prices and
+    mean-price-consistent adoption probabilities, so any §5 algorithm can
+    plan under price uncertainty; the resulting strategy is then scored by
+    the evaluators above — the workflow of the [ext-taylor] benchmark. *)
+
+type model = {
+  mean : i:int -> time:int -> float;  (** E\[p(i,t)\] *)
+  sigma : i:int -> time:int -> float;  (** std of p(i,t); 0 = deterministic *)
+  corr : float;  (** pairwise correlation of distinct prices, in [0,1] *)
+  q_of_price : u:int -> i:int -> price:float -> float;
+      (** primitive adoption probability at a given price *)
+}
+
+val mean_instance : Instance.t -> model -> Instance.t
+(** Same structure (classes, capacities, saturation, candidates, ratings),
+    with prices replaced by their means and adoption probabilities recomputed
+    through [q_of_price] at those means. *)
+
+val taylor_revenue :
+  ?order:[ `One | `Two ] -> Instance.t -> model -> Strategy.t -> float
+(** Taylor-approximated expected revenue of a strategy under the price
+    model (default [`Two]). The instance supplies structure only; prices
+    and adoption probabilities come from the model. *)
+
+val mc_revenue :
+  Instance.t -> model -> Strategy.t -> samples:int -> Revmax_prelude.Rng.t ->
+  Revmax_stats.Mc.estimate
+(** Monte-Carlo expectation over price realizations (adoption uncertainty is
+    integrated exactly per realization). *)

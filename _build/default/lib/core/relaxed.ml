@@ -1,0 +1,10 @@
+let effective_probability ?(oracle = Capacity_oracle.prob_capacity_free) s z =
+  let q = Revenue.dynamic_probability_in s z in
+  if q <= 0.0 then 0.0 else q *. oracle s z
+
+let total ?oracle s =
+  let inst = Strategy.instance s in
+  List.fold_left
+    (fun acc (z : Triple.t) ->
+      acc +. (Instance.price inst ~i:z.i ~time:z.t *. effective_probability ?oracle s z))
+    0.0 (Strategy.to_list s)

@@ -1,0 +1,18 @@
+(** The relaxed revenue-maximization problem R-REVMAX of §4.2.
+
+    R-REVMAX drops the hard capacity constraint and instead multiplies every
+    triple's dynamic adoption probability by the capacity factor [B_S(i,t)]
+    (Definition 4), yielding the {e effective} dynamic adoption probability
+    [E_S(u,i,t)] (Equation 5). A strategy is valid when it merely satisfies
+    the display constraint, which is a partition matroid (Lemma 2), so the
+    objective below is exactly the non-negative non-monotone submodular
+    function that {!Local_search} maximizes to a factor 1/(4+ε). *)
+
+val effective_probability :
+  ?oracle:(Strategy.t -> Triple.t -> float) -> Strategy.t -> Triple.t -> float
+(** [E_S(u,i,t)] for a strategy triple (0 when absent):
+    [qS(u,i,t) · B_S(i,t)]. [oracle] overrides the capacity-factor
+    computation (default {!Capacity_oracle.prob_capacity_free}). *)
+
+val total : ?oracle:(Strategy.t -> Triple.t -> float) -> Strategy.t -> float
+(** The R-REVMAX objective [Σ p(i,t) · E_S(u,i,t)]. *)

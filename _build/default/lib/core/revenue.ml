@@ -1,0 +1,74 @@
+let memory ~chain ~time =
+  List.fold_left
+    (fun acc (z : Triple.t) ->
+      if z.t < time then acc +. (1.0 /. float_of_int (time - z.t)) else acc)
+    0.0 chain
+
+let dynamic_probability ?(with_saturation = true) inst ~chain (z : Triple.t) =
+  let q0 = Instance.q inst ~u:z.u ~i:z.i ~time:z.t in
+  if q0 <= 0.0 then 0.0
+  else begin
+    let sat =
+      if with_saturation then begin
+        let m = memory ~chain ~time:z.t in
+        if m = 0.0 then 1.0 else Instance.saturation inst z.i ** m
+      end
+      else 1.0
+    in
+    let comp =
+      List.fold_left
+        (fun acc (z' : Triple.t) ->
+          if z'.t < z.t || (z'.t = z.t && z'.i <> z.i) then
+            acc *. (1.0 -. Instance.q inst ~u:z'.u ~i:z'.i ~time:z'.t)
+          else acc)
+        1.0 chain
+    in
+    q0 *. sat *. comp
+  end
+
+let chain_revenue ?with_saturation inst chain =
+  List.fold_left
+    (fun acc (z : Triple.t) ->
+      acc
+      +. Instance.price inst ~i:z.i ~time:z.t
+         *. dynamic_probability ?with_saturation inst ~chain z)
+    0.0 chain
+
+let total ?with_saturation s =
+  let inst = Strategy.instance s in
+  (* group triples into chains via the strategy's own chain index *)
+  let seen = Hashtbl.create 64 in
+  List.fold_left
+    (fun acc (z : Triple.t) ->
+      let cls = Instance.class_of inst z.i in
+      let key = (z.u * Instance.num_classes inst) + cls in
+      if Hashtbl.mem seen key then acc
+      else begin
+        Hashtbl.add seen key ();
+        acc +. chain_revenue ?with_saturation inst (Strategy.chain s ~u:z.u ~cls)
+      end)
+    0.0 (Strategy.to_list s)
+
+let dynamic_probability_in ?with_saturation s z =
+  if not (Strategy.mem s z) then 0.0
+  else
+    dynamic_probability ?with_saturation (Strategy.instance s)
+      ~chain:(Strategy.chain_of_triple s z) z
+
+(* insert into a time-ascending chain, preserving order *)
+let chain_insert l (z : Triple.t) =
+  let before (a : Triple.t) (b : Triple.t) = a.t < b.t || (a.t = b.t && a.i <= b.i) in
+  let rec go = function
+    | [] -> [ z ]
+    | x :: tl -> if before x z then x :: go tl else z :: x :: tl
+  in
+  go l
+
+let marginal ?with_saturation s z =
+  if Strategy.mem s z then 0.0
+  else begin
+    let inst = Strategy.instance s in
+    let chain = Strategy.chain_of_triple s z in
+    chain_revenue ?with_saturation inst (chain_insert chain z)
+    -. chain_revenue ?with_saturation inst chain
+  end

@@ -1,0 +1,42 @@
+(** The revenue model of §3.1: memory (Equation 1), dynamic adoption
+    probability (Definition 1), the expected-revenue objective
+    (Definition 2), and marginal revenue (Definition 3).
+
+    Because a triple's dynamic adoption probability depends only on the
+    same-user same-class triples at earlier-or-equal times, [Rev] decomposes
+    over (user, class) chains; all functions below work on such chains and
+    the hot path of every greedy algorithm — [marginal] — touches a single
+    chain in O(m²) for a chain of m ≤ kT triples.
+
+    All functions take [?with_saturation] (default [true]); [false] computes
+    the β = 1 variant used by the GlobalNo baseline, which plans as though
+    saturation did not exist. *)
+
+val memory : chain:Triple.t list -> time:int -> float
+(** [M_S(u,i,t)] (Equation 1): [Σ 1/(t−τ)] over chain triples with [τ < t].
+    Note the memory is class-level — every same-class triple contributes,
+    whichever item it recommends. *)
+
+val dynamic_probability :
+  ?with_saturation:bool -> Instance.t -> chain:Triple.t list -> Triple.t -> float
+(** [dynamic_probability inst ~chain z] is [qS(z)] of Definition 1 where
+    [chain] is the (user, class) chain of [z] in [S], {e including} [z]
+    itself. The saturation exponent uses the chain's earlier triples; the
+    competition products use primitive probabilities of earlier triples and
+    of same-time triples recommending a different item. *)
+
+val chain_revenue : ?with_saturation:bool -> Instance.t -> Triple.t list -> float
+(** Expected revenue contributed by one chain:
+    [Σ_{z ∈ chain} p(z.i, z.t) · qS(z)]. *)
+
+val total : ?with_saturation:bool -> Strategy.t -> float
+(** [Rev(S)] (Definition 2). *)
+
+val dynamic_probability_in : ?with_saturation:bool -> Strategy.t -> Triple.t -> float
+(** [qS(u,i,t)] for a triple of the strategy; 0 when [(u,i,t) ∉ S]
+    (Definition 1's convention). *)
+
+val marginal : ?with_saturation:bool -> Strategy.t -> Triple.t -> float
+(** [RevS(z) = Rev(S ∪ {z}) − Rev(S)] (Definition 3): the gain from [z]
+    itself minus the loss it inflicts on later same-class triples of the
+    same user. 0 if [z ∈ S]. Does not check validity. *)

@@ -1,0 +1,26 @@
+module Rng = Revmax_prelude.Rng
+
+type algo = allowed:(Triple.t -> bool) -> base:Strategy.t -> Instance.t -> Strategy.t
+
+let windows ~horizon ~cutoffs =
+  let rec go lo = function
+    | [] -> if lo <= horizon then [ (lo, horizon) ] else []
+    | c :: rest ->
+        if c < lo || c >= horizon then
+          invalid_arg "Rolling.windows: cut-offs must be ascending and inside the horizon";
+        (lo, c) :: go (c + 1) rest
+  in
+  go 1 cutoffs
+
+let run algo inst ~cutoffs =
+  let ws = windows ~horizon:(Instance.horizon inst) ~cutoffs in
+  List.fold_left
+    (fun base (lo, hi) ->
+      algo ~allowed:(fun (z : Triple.t) -> z.t >= lo && z.t <= hi) ~base inst)
+    (Strategy.create inst) ws
+
+let g_greedy ~allowed ~base inst = fst (Greedy.run ~allowed ~base inst)
+
+let rl_greedy ?permutations ~seed () ~allowed ~base inst =
+  let rng = Rng.create seed in
+  fst (Local_greedy.rl_greedy ?permutations ~allowed ~base inst rng)

@@ -1,0 +1,34 @@
+(** Gradual price availability (§6.3): the horizon is divided into
+    sub-horizons [\[T_1\], \[T_2\], …] and prices become known one
+    sub-horizon at a time, so the planner commits to the recommendations of
+    each sub-horizon before seeing the next one.
+
+    Holistic algorithms (G-Greedy, RL-Greedy) lose revenue in this setting —
+    they can no longer trade off triples across the cut — while SL-Greedy is
+    unaffected because it already finalizes time steps chronologically. The
+    Figure 7 experiment runs G-Greedy and RL-Greedy through this adapter
+    with cut-offs 2, 4 and 5 on a 7-step horizon. *)
+
+type algo =
+  allowed:(Triple.t -> bool) -> base:Strategy.t -> Instance.t -> Strategy.t
+(** A planning algorithm that extends the committed [base] strategy with
+    triples satisfying [allowed]. *)
+
+val windows : horizon:int -> cutoffs:int list -> (int * int) list
+(** [windows ~horizon ~cutoffs] turns ascending cut-offs into inclusive
+    time windows: cut-offs [\[c\]] give [\[(1,c); (c+1,T)\]], and so on.
+    Raises [Invalid_argument] on non-ascending or out-of-range cut-offs. *)
+
+val run : algo -> Instance.t -> cutoffs:int list -> Strategy.t
+(** Fold the algorithm over the windows, committing each window's selections
+    before planning the next. An empty [cutoffs] reproduces the original
+    full-information setting. *)
+
+val g_greedy : algo
+(** {!Greedy.run} packaged for this adapter. *)
+
+val rl_greedy : ?permutations:int -> seed:int -> unit -> algo
+(** {!Local_greedy.rl_greedy} packaged for this adapter; the permutation
+    sampling is seeded deterministically. Within a window only the window's
+    time steps are considered in the sampled orders (the others contribute
+    no allowed triples). *)

@@ -1,0 +1,85 @@
+module Rng = Revmax_prelude.Rng
+module Mc = Revmax_stats.Mc
+
+(* Draw the desire coins of a chain, then find the earliest time step whose
+   only desired triple also passes its saturation coin. *)
+let simulate_chain inst chain rng =
+  let desires =
+    List.map (fun (z : Triple.t) -> (z, Rng.bernoulli rng (Instance.q inst ~u:z.u ~i:z.i ~time:z.t))) chain
+  in
+  (* the adoption candidate is the unique desired triple at the earliest time
+     carrying any desire; competition kills simultaneous desires *)
+  let earliest =
+    List.fold_left
+      (fun acc ((z : Triple.t), desired) ->
+        if not desired then acc
+        else match acc with Some (tm, _) when tm < z.t -> acc | Some (tm, _) when tm = z.t -> Some (tm, None)
+                          | _ -> Some (z.t, Some z))
+      None desires
+  in
+  match earliest with
+  | None | Some (_, None) -> None
+  | Some (_, Some z) ->
+      let m = Revenue.memory ~chain ~time:z.t in
+      let sat = if m = 0.0 then 1.0 else Instance.saturation inst z.i ** m in
+      if Rng.bernoulli rng sat then Some z else None
+
+let iter_chains s f =
+  let inst = Strategy.instance s in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (z : Triple.t) ->
+      let cls = Instance.class_of inst z.i in
+      let key = (z.u * Instance.num_classes inst) + cls in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        f (Strategy.chain s ~u:z.u ~cls)
+      end)
+    (Strategy.to_list s)
+
+let revenue_once s rng =
+  let inst = Strategy.instance s in
+  let acc = ref 0.0 in
+  iter_chains s (fun chain ->
+      match simulate_chain inst chain rng with
+      | None -> ()
+      | Some z -> acc := !acc +. Instance.price inst ~i:z.i ~time:z.t);
+  !acc
+
+let estimate_revenue s ~samples rng = Mc.estimate ~samples rng (fun rng -> revenue_once s rng)
+
+type sales_report = { revenue : float; adoptions : Triple.t list; stockouts : int }
+
+let run_with_stock s rng =
+  let inst = Strategy.instance s in
+  (* simulate every chain, collect would-be adoptions, then replay them in
+     time order against finite stock *)
+  let would_adopt = ref [] in
+  iter_chains s (fun chain ->
+      match simulate_chain inst chain rng with
+      | None -> ()
+      | Some z -> would_adopt := z :: !would_adopt);
+  let arr = Array.of_list !would_adopt in
+  Rng.shuffle rng arr (* random order within a time step *);
+  let ordered = Array.to_list arr |> List.stable_sort (fun (a : Triple.t) b -> compare a.t b.t) in
+  let stock = Hashtbl.create 32 in
+  let stock_of i =
+    match Hashtbl.find_opt stock i with
+    | Some s -> s
+    | None ->
+        let s = Instance.capacity inst i in
+        Hashtbl.replace stock i s;
+        s
+  in
+  let revenue = ref 0.0 and adoptions = ref [] and stockouts = ref 0 in
+  List.iter
+    (fun (z : Triple.t) ->
+      let s = stock_of z.i in
+      if s > 0 then begin
+        Hashtbl.replace stock z.i (s - 1);
+        revenue := !revenue +. Instance.price inst ~i:z.i ~time:z.t;
+        adoptions := z :: !adoptions
+      end
+      else incr stockouts)
+    ordered;
+  { revenue = !revenue; adoptions = List.rev !adoptions; stockouts = !stockouts }

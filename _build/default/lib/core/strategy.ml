@@ -1,0 +1,164 @@
+type t = {
+  inst : Instance.t;
+  triples : (Triple.t, unit) Hashtbl.t;
+  (* (u * num_classes + cls) -> ascending-time chain *)
+  chains : (int, Triple.t list) Hashtbl.t;
+  (* (u * (horizon+1) + time) -> #items displayed *)
+  display : (int, int) Hashtbl.t;
+  (* item -> user -> #triples of this (user, item) pair *)
+  item_users : (int, (int, int) Hashtbl.t) Hashtbl.t;
+  mutable cardinality : int;
+}
+
+let create inst =
+  {
+    inst;
+    triples = Hashtbl.create 256;
+    chains = Hashtbl.create 256;
+    display = Hashtbl.create 256;
+    item_users = Hashtbl.create 64;
+    cardinality = 0;
+  }
+
+let instance t = t.inst
+
+let size t = t.cardinality
+
+let mem t z = Hashtbl.mem t.triples z
+
+let chain_key t (z : Triple.t) = (z.u * Instance.num_classes t.inst) + Instance.class_of t.inst z.i
+
+let display_key t (z : Triple.t) = (z.u * (Instance.horizon t.inst + 1)) + z.t
+
+(* chains are kept sorted by (time, item) ascending *)
+let chain_insert l z =
+  let before (a : Triple.t) (b : Triple.t) = a.t < b.t || (a.t = b.t && a.i <= b.i) in
+  let rec go = function
+    | [] -> [ z ]
+    | x :: tl -> if before x z then x :: go tl else z :: x :: tl
+  in
+  go l
+
+let check_range t (z : Triple.t) =
+  if
+    z.u < 0
+    || z.u >= Instance.num_users t.inst
+    || z.i < 0
+    || z.i >= Instance.num_items t.inst
+    || z.t < 1
+    || z.t > Instance.horizon t.inst
+  then invalid_arg "Strategy: triple out of range"
+
+let add t z =
+  check_range t z;
+  if Hashtbl.mem t.triples z then invalid_arg "Strategy.add: duplicate triple";
+  Hashtbl.replace t.triples z ();
+  let ck = chain_key t z in
+  let chain = try Hashtbl.find t.chains ck with Not_found -> [] in
+  Hashtbl.replace t.chains ck (chain_insert chain z);
+  let dk = display_key t z in
+  let d = try Hashtbl.find t.display dk with Not_found -> 0 in
+  Hashtbl.replace t.display dk (d + 1);
+  let users =
+    match Hashtbl.find_opt t.item_users z.i with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 8 in
+        Hashtbl.replace t.item_users z.i h;
+        h
+  in
+  let c = try Hashtbl.find users z.u with Not_found -> 0 in
+  Hashtbl.replace users z.u (c + 1);
+  t.cardinality <- t.cardinality + 1
+
+let remove t z =
+  if not (Hashtbl.mem t.triples z) then invalid_arg "Strategy.remove: absent triple";
+  Hashtbl.remove t.triples z;
+  let ck = chain_key t z in
+  let chain = Hashtbl.find t.chains ck in
+  (match List.filter (fun x -> not (Triple.equal x z)) chain with
+  | [] -> Hashtbl.remove t.chains ck
+  | rest -> Hashtbl.replace t.chains ck rest);
+  let dk = display_key t z in
+  let d = Hashtbl.find t.display dk in
+  if d <= 1 then Hashtbl.remove t.display dk else Hashtbl.replace t.display dk (d - 1);
+  let users = Hashtbl.find t.item_users z.i in
+  let c = Hashtbl.find users z.u in
+  if c <= 1 then Hashtbl.remove users z.u else Hashtbl.replace users z.u (c - 1);
+  if Hashtbl.length users = 0 then Hashtbl.remove t.item_users z.i;
+  t.cardinality <- t.cardinality - 1
+
+let to_list t =
+  Hashtbl.fold (fun z () acc -> z :: acc) t.triples [] |> List.sort Triple.compare
+
+let of_list inst l =
+  let t = create inst in
+  List.iter (add t) l;
+  t
+
+let copy t = of_list t.inst (to_list t)
+
+let chain t ~u ~cls =
+  match Hashtbl.find_opt t.chains ((u * Instance.num_classes t.inst) + cls) with
+  | None -> []
+  | Some c -> c
+
+let chain_of_triple t (z : Triple.t) = chain t ~u:z.u ~cls:(Instance.class_of t.inst z.i)
+
+let chain_size t ~u ~cls = List.length (chain t ~u ~cls)
+
+let display_count t ~u ~time =
+  match Hashtbl.find_opt t.display ((u * (Instance.horizon t.inst + 1)) + time) with
+  | None -> 0
+  | Some d -> d
+
+let item_user_count t i =
+  match Hashtbl.find_opt t.item_users i with None -> 0 | Some h -> Hashtbl.length h
+
+let item_has_user t ~i ~u =
+  match Hashtbl.find_opt t.item_users i with None -> false | Some h -> Hashtbl.mem h u
+
+let can_add t (z : Triple.t) =
+  (not (mem t z))
+  && display_count t ~u:z.u ~time:z.t < Instance.display_limit t.inst
+  && (item_has_user t ~i:z.i ~u:z.u || item_user_count t z.i < Instance.capacity t.inst z.i)
+
+let is_valid_display_only t =
+  let k = Instance.display_limit t.inst in
+  Hashtbl.fold (fun _ d ok -> ok && d <= k) t.display true
+
+let is_valid t =
+  is_valid_display_only t
+  && Hashtbl.fold
+       (fun i users ok -> ok && Hashtbl.length users <= Instance.capacity t.inst i)
+       t.item_users true
+
+let repeat_histogram t =
+  let hist = Array.make (Instance.horizon t.inst) 0 in
+  Hashtbl.iter
+    (fun _ users ->
+      Hashtbl.iter
+        (fun _ count ->
+          let idx = min count (Array.length hist) - 1 in
+          hist.(idx) <- hist.(idx) + 1)
+        users)
+    t.item_users;
+  hist
+
+let item_recommendations_up_to t ~i ~time =
+  let out = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (z : Triple.t) () ->
+      if z.i = i && z.t <= time then begin
+        let prev = try Hashtbl.find out z.u with Not_found -> [] in
+        Hashtbl.replace out z.u (z :: prev)
+      end)
+    t.triples;
+  Hashtbl.iter
+    (fun u l -> Hashtbl.replace out u (List.sort (fun (a : Triple.t) b -> compare a.t b.t) l))
+    out;
+  out
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") Triple.pp)
+    (to_list t)

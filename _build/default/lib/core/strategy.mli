@@ -1,0 +1,84 @@
+(** A mutable recommendation strategy [S ⊆ U × I × \[T\]] with the indices
+    the algorithms of §5 need in O(1)/O(log):
+
+    - membership and cardinality;
+    - the (user, class) {e chains} — time-sorted lists of same-user
+      same-class triples, the unit over which revenue decomposes;
+    - display counters per (user, time) and distinct-user counters per item,
+      for the two validity constraints of Problem 1. *)
+
+type t
+
+val create : Instance.t -> t
+(** Empty strategy for an instance. *)
+
+val instance : t -> Instance.t
+
+val size : t -> int
+
+val mem : t -> Triple.t -> bool
+
+val add : t -> Triple.t -> unit
+(** Raises [Invalid_argument] if the triple is already present or its ids
+    are out of range. Does {e not} enforce validity — R-REVMAX strategies
+    may exceed capacities on purpose; use [can_add] / [is_valid] to enforce
+    Problem 1's constraints. *)
+
+val remove : t -> Triple.t -> unit
+(** Raises [Invalid_argument] if absent. *)
+
+val to_list : t -> Triple.t list
+(** All triples in [Triple.compare] order. *)
+
+val of_list : Instance.t -> Triple.t list -> t
+
+val copy : t -> t
+(** Independent deep copy. *)
+
+(** {1 Chains} *)
+
+val chain : t -> u:int -> cls:int -> Triple.t list
+(** Same-user same-class triples in ascending time order (ties in time in
+    ascending item order). *)
+
+val chain_of_triple : t -> Triple.t -> Triple.t list
+(** The chain that the triple's (user, class) pair selects — whether or not
+    the triple itself is in the strategy. *)
+
+val chain_size : t -> u:int -> cls:int -> int
+(** O(1); this is the paper's [|set(u, C(i))|], the lazy-forward flag
+    reference value of Algorithm 1. *)
+
+(** {1 Constraint bookkeeping} *)
+
+val display_count : t -> u:int -> time:int -> int
+(** Number of items recommended to [u] at [time]. *)
+
+val item_user_count : t -> int -> int
+(** Number of distinct users the item is recommended to. *)
+
+val item_has_user : t -> i:int -> u:int -> bool
+
+val can_add : t -> Triple.t -> bool
+(** True iff the triple is absent and adding it keeps both the display
+    constraint ([display_count < k]) and the capacity constraint
+    ([item_user_count < q_i], unless the user already receives the item). *)
+
+val is_valid : t -> bool
+(** Both constraints of Problem 1 hold for the whole strategy. *)
+
+val is_valid_display_only : t -> bool
+(** Only the display constraint — validity in the R-REVMAX sense (§4.2). *)
+
+(** {1 Reporting} *)
+
+val repeat_histogram : t -> int array
+(** Element [r-1] counts (user, item) pairs recommended exactly [r] times —
+    the data behind Figure 5. Length = horizon. *)
+
+val item_recommendations_up_to :
+  t -> i:int -> time:int -> (int, Triple.t list) Hashtbl.t
+(** Per-user lists of recommendations of item [i] at times ≤ [time]
+    (ascending time within a user) — the [S_{i,t}] of Definition 4. *)
+
+val pp : Format.formatter -> t -> unit

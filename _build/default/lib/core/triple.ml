@@ -1,0 +1,17 @@
+type t = { u : int; i : int; t : int }
+
+let make ~u ~i ~t = { u; i; t }
+
+let compare a b =
+  let c = Int.compare a.u b.u in
+  if c <> 0 then c
+  else begin
+    let c = Int.compare a.t b.t in
+    if c <> 0 then c else Int.compare a.i b.i
+  end
+
+let equal a b = a.u = b.u && a.i = b.i && a.t = b.t
+
+let pp ppf z = Format.fprintf ppf "(%d, %d, %d)" z.u z.i z.t
+
+let to_string z = Format.asprintf "%a" pp z

@@ -1,0 +1,17 @@
+(** A user–item–time triple, the atoms of a recommendation strategy
+    (§3.1: [(u, i, t) ∈ S] means item [i] is recommended to user [u] at
+    time step [t]). Times run over [1 .. T]. *)
+
+type t = { u : int; i : int; t : int }
+
+val make : u:int -> i:int -> t:int -> t
+
+val compare : t -> t -> int
+(** Total order: by user, then time, then item. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [(u, i, t)]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/datagen/amazon_like.ml: Array Catalog Pipeline Price_model Ratings_gen Revmax_mf Revmax_prelude Revmax_stats

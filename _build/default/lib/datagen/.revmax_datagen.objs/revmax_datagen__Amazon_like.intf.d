@@ -1,0 +1,1 @@
+lib/datagen/amazon_like.mli: Pipeline

@@ -1,0 +1,1 @@
+lib/datagen/catalog.ml: Array Revmax_prelude

@@ -1,0 +1,1 @@
+lib/datagen/catalog.mli: Revmax_prelude

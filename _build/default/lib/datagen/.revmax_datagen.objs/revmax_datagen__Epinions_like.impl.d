@@ -1,0 +1,1 @@
+lib/datagen/epinions_like.ml: Array Catalog Float Pipeline Price_model Ratings_gen Revmax_mf Revmax_prelude Revmax_stats

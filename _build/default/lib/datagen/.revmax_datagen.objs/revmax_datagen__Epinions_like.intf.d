@@ -1,0 +1,1 @@
+lib/datagen/epinions_like.mli: Pipeline

@@ -1,0 +1,1 @@
+lib/datagen/pipeline.ml: Array Catalog Float List Revmax Revmax_mf Revmax_prelude Revmax_stats Valuation

@@ -1,0 +1,1 @@
+lib/datagen/pipeline.mli: Revmax Revmax_mf Revmax_stats

@@ -1,0 +1,1 @@
+lib/datagen/price_model.ml: Array Revmax_prelude

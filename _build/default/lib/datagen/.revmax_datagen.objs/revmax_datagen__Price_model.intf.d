@@ -1,0 +1,1 @@
+lib/datagen/price_model.mli: Revmax_prelude

@@ -1,0 +1,1 @@
+lib/datagen/ratings_gen.ml: Array Hashtbl Revmax_mf Revmax_prelude

@@ -1,0 +1,1 @@
+lib/datagen/ratings_gen.mli: Revmax_mf Revmax_prelude

@@ -1,0 +1,1 @@
+lib/datagen/scalability.ml: Array Catalog Float Pipeline Price_model Revmax Revmax_prelude

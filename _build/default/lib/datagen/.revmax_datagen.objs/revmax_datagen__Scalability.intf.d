@@ -1,0 +1,1 @@
+lib/datagen/scalability.mli: Pipeline Revmax

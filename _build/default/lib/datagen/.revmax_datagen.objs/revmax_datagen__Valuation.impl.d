@@ -1,0 +1,1 @@
+lib/datagen/valuation.ml: Array Revmax_prelude Revmax_stats

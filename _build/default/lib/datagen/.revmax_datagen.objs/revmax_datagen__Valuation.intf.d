@@ -1,0 +1,1 @@
+lib/datagen/valuation.mli: Revmax_stats

@@ -1,0 +1,91 @@
+module Rng = Revmax_prelude.Rng
+module Kde = Revmax_stats.Kde
+module Trainer = Revmax_mf.Trainer
+
+type scale = {
+  num_users : int;
+  num_items : int;
+  num_classes : int;
+  top_n : int;
+  horizon : int;
+  crawl_days : int;
+  ratings_per_user : float;
+}
+
+let default_scale =
+  {
+    num_users = 2300;
+    num_items = 420;
+    num_classes = 94;
+    top_n = 100;
+    horizon = 7;
+    crawl_days = 62;
+    ratings_per_user = 30.0;
+  }
+
+let paper_scale =
+  {
+    num_users = 23_000;
+    num_items = 4_200;
+    num_classes = 94;
+    top_n = 100;
+    horizon = 7;
+    crawl_days = 62;
+    ratings_per_user = 30.0;
+  }
+
+let r_max = 5.0
+
+let prepare ?(scale = default_scale) ~seed () =
+  let rng = Rng.create seed in
+  let class_of =
+    Catalog.zipf_classes ~exponent:1.2 ~num_items:scale.num_items ~num_classes:scale.num_classes
+      (Rng.split rng)
+  in
+  (* per-class base price level: electronics range roughly $15–$600 *)
+  let class_mu =
+    Array.init scale.num_classes (fun _ -> Rng.uniform_in rng (log 15.0) (log 600.0))
+  in
+  let price_rng = Rng.split rng in
+  let series =
+    Array.init scale.num_items (fun i ->
+        let base = Rng.lognormal price_rng ~mu:class_mu.(class_of.(i)) ~sigma:0.25 in
+        Price_model.amazon_series ~base ~days:scale.crawl_days price_rng)
+  in
+  (* the horizon is one contiguous week of the crawl *)
+  let start = Rng.int rng (scale.crawl_days - scale.horizon) in
+  let price =
+    Array.map (fun s -> Price_model.window s ~start ~len:scale.horizon) series
+  in
+  (* valuation: KDE over the item's full crawled price history *)
+  let valuation =
+    Array.map (fun (s : Price_model.series) -> Kde.gaussian_proxy (Kde.fit s.daily)) series
+  in
+  let ratings =
+    Ratings_gen.generate
+      ~config:
+        {
+          Ratings_gen.default_config with
+          ratings_per_user = scale.ratings_per_user;
+          r_max;
+          r_min = 1.0;
+        }
+      ~num_users:scale.num_users ~num_items:scale.num_items (Rng.split rng)
+  in
+  let mf = Trainer.train ~r_range:(1.0, r_max) ratings (Rng.split rng) in
+  let adoption, ratings_pred =
+    Pipeline.build_candidates ~mf ~valuation ~price ~top_n:scale.top_n ~r_max
+  in
+  {
+    Pipeline.name = "Amazon";
+    num_users = scale.num_users;
+    num_items = scale.num_items;
+    horizon = scale.horizon;
+    class_of;
+    price;
+    adoption;
+    ratings_pred;
+    valuation;
+    source_ratings = ratings;
+    mf_model = mf;
+  }

@@ -1,0 +1,34 @@
+(** The Amazon-like dataset: a synthetic stand-in for the paper's crawl of
+    5000 popular Electronics items with 62 days of daily prices and 681K
+    historical ratings from 23K users (§6.1).
+
+    What is reproduced (see DESIGN.md §3 for the substitution argument):
+    - heavy-tailed class sizes (94 classes; largest ≫ median, Table 1);
+    - per-class log-normal base prices with the Electronics price spread;
+    - daily price fluctuation with scheduled sales over a 62-day crawl, from
+      which a 7-day window becomes the recommendation horizon;
+    - per-item valuation distributions estimated by Gaussian-kernel KDE over
+      the item's crawled daily prices (the same machinery §6.1 applies to
+      Epinions price reports);
+    - ratings with ≈30 observations/user on which a vanilla MF model is
+      trained, whose top-100 predictions per user define the candidates.
+
+    The default scale divides the paper's user count by 10 (2.3K users,
+    420 items) so the whole evaluation suite runs on a laptop; [paper_scale]
+    restores the crawl's dimensions. *)
+
+type scale = {
+  num_users : int;
+  num_items : int;
+  num_classes : int;
+  top_n : int;  (** candidate items per user *)
+  horizon : int;
+  crawl_days : int;
+  ratings_per_user : float;
+}
+
+val default_scale : scale
+val paper_scale : scale
+
+val prepare : ?scale:scale -> seed:int -> unit -> Pipeline.t
+(** Deterministic in [seed]. *)

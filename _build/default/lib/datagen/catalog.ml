@@ -1,0 +1,46 @@
+module Rng = Revmax_prelude.Rng
+
+let check ~num_items ~num_classes =
+  if num_classes < 1 || num_items < num_classes then
+    invalid_arg "Catalog: need num_items >= num_classes >= 1"
+
+let zipf_classes ?(exponent = 1.0) ~num_items ~num_classes rng =
+  check ~num_items ~num_classes;
+  let weights = Array.init num_classes (fun c -> 1.0 /. (float_of_int (c + 1) ** exponent)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cum = Array.make num_classes 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun c w ->
+      acc := !acc +. (w /. total);
+      cum.(c) <- !acc)
+    weights;
+  let pick () =
+    let x = Rng.unit_float rng in
+    let rec find c = if c >= num_classes - 1 || cum.(c) >= x then c else find (c + 1) in
+    find 0
+  in
+  (* give every class one item first, then fill the rest by weight *)
+  let assignment = Array.make num_items 0 in
+  for c = 0 to num_classes - 1 do
+    assignment.(c) <- c
+  done;
+  for i = num_classes to num_items - 1 do
+    assignment.(i) <- pick ()
+  done;
+  Rng.shuffle rng assignment;
+  assignment
+
+let uniform_classes ~num_items ~num_classes rng =
+  check ~num_items ~num_classes;
+  let assignment = Array.init num_items (fun i -> i mod num_classes) in
+  Rng.shuffle rng assignment;
+  assignment
+
+let singleton_classes ~num_items = Array.init num_items (fun i -> i)
+
+let class_sizes assignment =
+  let num_classes = Array.fold_left (fun m c -> max m (c + 1)) 0 assignment in
+  let sizes = Array.make num_classes 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) assignment;
+  sizes

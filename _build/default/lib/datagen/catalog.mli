@@ -1,0 +1,27 @@
+(** Item-catalog structure: assignment of items to competition classes.
+
+    Table 1 of the paper shows heavily skewed class sizes on Amazon (largest
+    1081, median 12 out of 4.2K items in 94 classes) and mild skew on
+    Epinions (largest 52, median 27); [zipf_classes] reproduces that shape
+    with a Zipf weight per class. *)
+
+val zipf_classes :
+  ?exponent:float ->
+  num_items:int ->
+  num_classes:int ->
+  Revmax_prelude.Rng.t ->
+  int array
+(** Item-to-class assignment where class [c] receives items with probability
+    ∝ [1/(c+1)^exponent] (default exponent 1.0). Every class is guaranteed
+    at least one item (so class ids stay dense). Requires
+    [num_items ≥ num_classes ≥ 1]. *)
+
+val uniform_classes : num_items:int -> num_classes:int -> Revmax_prelude.Rng.t -> int array
+(** Near-equal class sizes (random assignment). *)
+
+val singleton_classes : num_items:int -> int array
+(** Every item in its own class — the "class size = 1" setting of
+    Figures 1(c,d) and 3. *)
+
+val class_sizes : int array -> int array
+(** Size of each class given an assignment. *)

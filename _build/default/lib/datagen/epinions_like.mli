@@ -1,0 +1,28 @@
+(** The Epinions-like dataset: a synthetic stand-in for the paper's Epinions
+    crawl (21.3K users, 1.1K items, 32.9K ratings, 43 classes, §6.1) whose
+    distinguishing features are ultra-sparse ratings and {e user-reported
+    prices} instead of a price time series.
+
+    The §6.1 estimation pipeline is executed verbatim on synthetic price
+    reports: each item's 10–50 reports are fitted with a Gaussian-kernel KDE
+    under Silverman's bandwidth; T prices are drawn from the estimate and
+    "treated as if they were the prices of i in a week"; and the same
+    estimate serves as the item's valuation distribution, giving
+    [Pr\[val ≥ p\] = ½(1 − erf((p − μ_i)/(√2 σ_i)))]. *)
+
+type scale = {
+  num_users : int;
+  num_items : int;
+  num_classes : int;
+  top_n : int;
+  horizon : int;
+  reports_min : int;  (** fewest price reports per item (paper filter: 10) *)
+  reports_max : int;
+  ratings_per_user : float;
+}
+
+val default_scale : scale
+val paper_scale : scale
+
+val prepare : ?scale:scale -> seed:int -> unit -> Pipeline.t
+(** Deterministic in [seed]. *)

@@ -1,0 +1,121 @@
+module Rng = Revmax_prelude.Rng
+module Distribution = Revmax_stats.Distribution
+module Mf_model = Revmax_mf.Mf_model
+module Ratings = Revmax_mf.Ratings
+module Instance = Revmax.Instance
+
+type t = {
+  name : string;
+  num_users : int;
+  num_items : int;
+  horizon : int;
+  class_of : int array;
+  price : float array array;
+  adoption : (int * int * float array) list;
+  ratings_pred : (int * int * float) list;
+  valuation : Distribution.t array;
+  source_ratings : Ratings.t;
+  mf_model : Mf_model.t;
+}
+
+type capacity_spec =
+  | Cap_gaussian of { mean : float; sigma : float }
+  | Cap_exponential of { mean : float }
+  | Cap_power of { alpha : float; x_min : float }
+  | Cap_uniform of { lo : int; hi : int }
+  | Cap_fixed of int
+
+type beta_spec = Beta_uniform | Beta_fixed of float
+
+let capacity_name = function
+  | Cap_gaussian _ -> "normal"
+  | Cap_exponential _ -> "exponential"
+  | Cap_power _ -> "power"
+  | Cap_uniform _ -> "uniform"
+  | Cap_fixed _ -> "fixed"
+
+let sample_capacity spec rng =
+  let v =
+    match spec with
+    | Cap_gaussian { mean; sigma } -> Rng.gaussian_mv rng ~mean ~sigma
+    | Cap_exponential { mean } -> Rng.exponential rng ~rate:(1.0 /. mean)
+    | Cap_power { alpha; x_min } -> Rng.pareto rng ~alpha ~x_min
+    | Cap_uniform { lo; hi } -> Rng.uniform_in rng (float_of_int lo) (float_of_int (hi + 1))
+    | Cap_fixed n -> float_of_int n
+  in
+  max 1 (int_of_float (Float.round v))
+
+let sample_beta spec rng =
+  match spec with
+  | Beta_uniform -> Rng.unit_float rng
+  | Beta_fixed b ->
+      if b < 0.0 || b > 1.0 then invalid_arg "Pipeline: saturation must be in [0,1]";
+      b
+
+let instantiate ?(display_limit = 5) ?(singleton_classes = false) ~capacity ~beta ~seed t =
+  let rng = Rng.create seed in
+  let class_of =
+    if singleton_classes then Catalog.singleton_classes ~num_items:t.num_items
+    else Array.copy t.class_of
+  in
+  let cap = Array.init t.num_items (fun _ -> sample_capacity capacity rng) in
+  let sat = Array.init t.num_items (fun _ -> sample_beta beta rng) in
+  Instance.create ~num_users:t.num_users ~num_items:t.num_items ~horizon:t.horizon
+    ~display_limit ~class_of ~capacity:cap ~saturation:sat ~price:t.price
+    ~ratings:t.ratings_pred ~adoption:t.adoption ()
+
+let build_candidates_with ~num_users ~top_n_of ~valuation ~price ~r_max =
+  let adoption = ref [] and preds = ref [] in
+  for u = 0 to num_users - 1 do
+    Array.iter
+      (fun (i, rating) ->
+        let qs =
+          Valuation.q_vector ~valuation:valuation.(i) ~rating ~r_max ~prices:price.(i)
+        in
+        adoption := (u, i, qs) :: !adoption;
+        preds := (u, i, rating) :: !preds)
+      (top_n_of u)
+  done;
+  (!adoption, !preds)
+
+let build_candidates ~mf ~valuation ~price ~top_n ~r_max =
+  build_candidates_with ~num_users:(Mf_model.num_users mf)
+    ~top_n_of:(fun u -> Mf_model.top_n mf ~user:u ~n:top_n ())
+    ~valuation ~price ~r_max
+
+let item_features t =
+  let num_classes = Array.fold_left (fun m c -> max m (c + 1)) 0 t.class_of in
+  let popularity = Array.make t.num_items 0 in
+  Array.iter
+    (fun (o : Ratings.observation) -> popularity.(o.item) <- popularity.(o.item) + 1)
+    (Ratings.observations t.source_ratings);
+  Array.init t.num_items (fun i ->
+      let row = Array.make (num_classes + 2) 0.0 in
+      row.(t.class_of.(i)) <- 1.0;
+      let mean_price = Revmax_prelude.Util.mean t.price.(i) in
+      row.(num_classes) <- log (1.0 +. Float.max 0.0 mean_price);
+      row.(num_classes + 1) <- log (1.0 +. float_of_int popularity.(i));
+      row)
+
+let stats_row t =
+  let positive =
+    List.fold_left
+      (fun acc (_, _, qs) -> acc + Array.fold_left (fun n q -> if q > 0.0 then n + 1 else n) 0 qs)
+      0 t.adoption
+  in
+  let sizes = Catalog.class_sizes t.class_of in
+  let sorted = Array.copy sizes in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let median = if n = 0 then 0 else sorted.(n / 2) in
+  [
+    t.name;
+    string_of_int t.num_users;
+    string_of_int t.num_items;
+    string_of_int (Ratings.num_ratings t.source_ratings);
+    string_of_int positive;
+    string_of_int n;
+    (if n = 0 then "0" else string_of_int sorted.(n - 1));
+    (if n = 0 then "0" else string_of_int sorted.(0));
+    string_of_int median;
+  ]

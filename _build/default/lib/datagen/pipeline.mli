@@ -1,0 +1,91 @@
+(** The end-to-end dataset-preparation pipeline of §6.1 and the experiment
+    parameterization of §6.1 ("Parameter Settings").
+
+    A {!t} ("prepared dataset") holds everything that is fixed per dataset —
+    prices over the horizon, the MF model's predicted ratings, the per-item
+    valuation distributions, and the candidate adoption-probability vectors
+    for each user's top-N predicted items. What the paper varies {e per
+    experiment} — the capacity distribution, the saturation regime, the
+    display limit, and whether classes are collapsed to singletons — is
+    applied by {!instantiate}, which produces the immutable
+    {!Revmax.Instance.t} the algorithms consume. *)
+
+type t = {
+  name : string;
+  num_users : int;
+  num_items : int;
+  horizon : int;
+  class_of : int array;
+  price : float array array;  (** [num_items × horizon] *)
+  adoption : (int * int * float array) list;
+      (** candidate (user, item, q-vector) rows: the top-N pipeline output *)
+  ratings_pred : (int * int * float) list;  (** r̂ per candidate pair *)
+  valuation : Revmax_stats.Distribution.t array;  (** per item *)
+  source_ratings : Revmax_mf.Ratings.t;  (** the observations MF trained on *)
+  mf_model : Revmax_mf.Mf_model.t;
+}
+
+(** Capacity-value distributions used across Figures 1, 2 and 7:
+    Gaussian and exponential (§6.1 "Parameter Settings"), power law and
+    uniform (Figure 1/7 panels). Samples are rounded and clamped to ≥ 1. *)
+type capacity_spec =
+  | Cap_gaussian of { mean : float; sigma : float }
+  | Cap_exponential of { mean : float }
+  | Cap_power of { alpha : float; x_min : float }
+  | Cap_uniform of { lo : int; hi : int }
+  | Cap_fixed of int
+
+(** Saturation regimes: [Beta_uniform] draws each β_i uniformly from [0,1]
+    (Figure 1); [Beta_fixed] hard-wires a common value (Figures 2, 3, 5). *)
+type beta_spec = Beta_uniform | Beta_fixed of float
+
+val capacity_name : capacity_spec -> string
+(** "normal", "exponential", "power", "uniform", "fixed" — the Figure 1
+    x-axis labels. *)
+
+val instantiate :
+  ?display_limit:int ->
+  ?singleton_classes:bool ->
+  capacity:capacity_spec ->
+  beta:beta_spec ->
+  seed:int ->
+  t ->
+  Revmax.Instance.t
+(** Materialize an instance: sample capacities and saturation factors with
+    the given seed, optionally collapse every item into its own class
+    ("class size = 1"), and attach prices, candidates and predicted ratings
+    from the prepared dataset. [display_limit] defaults to 5 (the paper's
+    top-k display setting). *)
+
+val build_candidates :
+  mf:Revmax_mf.Mf_model.t ->
+  valuation:Revmax_stats.Distribution.t array ->
+  price:float array array ->
+  top_n:int ->
+  r_max:float ->
+  (int * int * float array) list * (int * int * float) list
+(** The §6 candidate computation shared by the dataset builders: for every
+    user, take the [top_n] items by predicted rating and turn each into a
+    q-vector via the valuation formula. Returns (adoption rows, predicted
+    ratings). *)
+
+val build_candidates_with :
+  num_users:int ->
+  top_n_of:(int -> (int * float) array) ->
+  valuation:Revmax_stats.Distribution.t array ->
+  price:float array array ->
+  r_max:float ->
+  (int * int * float array) list * (int * int * float) list
+(** Recommender-agnostic variant (the framework "allows any type of RS",
+    §1/§2): [top_n_of u] returns the user's top items with predicted
+    ratings from {e any} substrate — {!Revmax_mf.Mf_model.top_n},
+    {!Revmax_mf.Knn.top_n}, or anything else. *)
+
+val item_features : t -> float array array
+(** Content features per item for the content-based recommender substrate:
+    a one-hot competition-class block, the item's log mean price over the
+    horizon, and its log rating-popularity. One row per item. *)
+
+val stats_row : t -> string list
+(** Name, #users, #items, #ratings, #positive-q triples, #classes and class
+    size min/median/max — one Table 1 row. *)

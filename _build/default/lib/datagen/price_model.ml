@@ -1,0 +1,43 @@
+module Rng = Revmax_prelude.Rng
+
+type series = { base : float; daily : float array }
+
+let amazon_series ?(volatility = 0.03) ?(reversion = 0.25) ?(sale_probability = 0.08)
+    ?(sale_depth = 0.3) ~base ~days rng =
+  if base <= 0.0 then invalid_arg "Price_model.amazon_series: base must be positive";
+  if days < 1 then invalid_arg "Price_model.amazon_series: days must be positive";
+  let log_base = log base in
+  let daily = Array.make days base in
+  let log_p = ref log_base in
+  let sale_left = ref 0 and sale_discount = ref 0.0 in
+  for d = 0 to days - 1 do
+    (* AR(1) around the base in log space *)
+    log_p :=
+      !log_p
+      +. (reversion *. (log_base -. !log_p))
+      +. (volatility *. Rng.gaussian rng);
+    if !sale_left > 0 then decr sale_left
+    else if Rng.bernoulli rng sale_probability then begin
+      sale_left := Rng.int rng 3 (* sale spans this day plus 0–2 more *);
+      sale_discount := Rng.uniform_in rng (0.3 *. sale_depth) sale_depth
+    end;
+    let discount = if !sale_left > 0 || !sale_discount > 0.0 then !sale_discount else 0.0 in
+    (* a sale ends when its counter drains; reset the discount then *)
+    if !sale_left = 0 then sale_discount := 0.0;
+    daily.(d) <- exp !log_p *. (1.0 -. discount)
+  done;
+  { base; daily }
+
+let reported_prices ?(dispersion = 0.15) ~base ~count rng =
+  if base <= 0.0 then invalid_arg "Price_model.reported_prices: base must be positive";
+  if count < 1 then invalid_arg "Price_model.reported_prices: count must be positive";
+  Array.init count (fun _ -> Rng.lognormal rng ~mu:(log base) ~sigma:dispersion)
+
+let uniform_series ~x ~days rng =
+  if x <= 0.0 then invalid_arg "Price_model.uniform_series: x must be positive";
+  { base = 1.5 *. x; daily = Array.init days (fun _ -> Rng.uniform_in rng x (2.0 *. x)) }
+
+let window s ~start ~len =
+  if start < 0 || len < 1 || start + len > Array.length s.daily then
+    invalid_arg "Price_model.window: out of range";
+  Array.sub s.daily start len

@@ -1,0 +1,47 @@
+(** Price time-series generators.
+
+    The Amazon crawl of §6.1 recorded one price per item per day for 62 days
+    and found frequent fluctuation (the Wall Street Journal's "toilet paper
+    priced like airline tickets" phenomenon the paper cites). [amazon_series]
+    reproduces that texture: a mean-reverting log-price AR(1) around a base
+    price with occasional multi-day sale events (scheduled discounts, the
+    dynamic-recommendation opportunity motivating the paper's §1 example).
+
+    [reported_prices] produces the Epinions-style user-reported price
+    samples — noisy observations of an item's street price across sellers —
+    that feed the KDE pipeline of §6.1.
+
+    [uniform_series] is the §6 synthetic model: [x_i ~ U\[10,500\]] and
+    [p(i,t) ~ U\[x_i, 2 x_i\]]. *)
+
+type series = {
+  base : float;  (** the item's reference price *)
+  daily : float array;  (** one price per day *)
+}
+
+val amazon_series :
+  ?volatility:float ->
+  ?reversion:float ->
+  ?sale_probability:float ->
+  ?sale_depth:float ->
+  base:float ->
+  days:int ->
+  Revmax_prelude.Rng.t ->
+  series
+(** Mean-reverting log-AR(1) daily prices around [base]. [volatility]
+    (default 0.03) is the daily log shock; [reversion] (default 0.25) the
+    pull toward the base; each day starts a sale with probability
+    [sale_probability] (default 0.08) applying a relative discount of up to
+    [sale_depth] (default 0.3) for 1–3 days. *)
+
+val reported_prices :
+  ?dispersion:float -> base:float -> count:int -> Revmax_prelude.Rng.t -> float array
+(** [count] user-reported prices, log-normally dispersed around [base]
+    (default dispersion 0.15). *)
+
+val uniform_series : x:float -> days:int -> Revmax_prelude.Rng.t -> series
+(** §6 synthetic prices: each day uniform in [\[x, 2x\]]. *)
+
+val window : series -> start:int -> len:int -> float array
+(** Extract [len] consecutive days starting at day [start] (0-based) — the
+    recommendation horizon cut out of a longer crawl. *)

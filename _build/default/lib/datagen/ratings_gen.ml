@@ -1,0 +1,96 @@
+module Rng = Revmax_prelude.Rng
+module Util = Revmax_prelude.Util
+module Ratings = Revmax_mf.Ratings
+
+type config = {
+  factors : int;
+  ratings_per_user : float;
+  popularity_exponent : float;
+  noise : float;
+  r_min : float;
+  r_max : float;
+  mean_rating : float;
+}
+
+let default_config =
+  {
+    factors = 8;
+    ratings_per_user = 20.0;
+    popularity_exponent = 0.8;
+    noise = 0.6;
+    r_min = 1.0;
+    r_max = 5.0;
+    mean_rating = 3.5;
+  }
+
+let poisson rng lambda =
+  (* Knuth's method; lambda is small here *)
+  let l = exp (-.lambda) in
+  let rec go k p =
+    let p = p *. Rng.unit_float rng in
+    if p <= l then k else go (k + 1) p
+  in
+  go 0 1.0
+
+let generate ?(config = default_config) ~num_users ~num_items rng =
+  if num_users < 1 || num_items < 1 then invalid_arg "Ratings_gen.generate: empty dimensions";
+  let f = config.factors in
+  let scale = 1.0 /. sqrt (float_of_int f) in
+  let vec () = Array.init f (fun _ -> scale *. Rng.gaussian rng) in
+  let user_vec = Array.init num_users (fun _ -> vec ()) in
+  let item_vec = Array.init num_items (fun _ -> vec ()) in
+  let user_bias = Array.init num_users (fun _ -> 0.3 *. Rng.gaussian rng) in
+  let item_bias = Array.init num_items (fun _ -> 0.3 *. Rng.gaussian rng) in
+  (* popularity: a random permutation defines item "rank"; weight 1/rank^e *)
+  let rank = Rng.permutation rng num_items in
+  let weight = Array.make num_items 0.0 in
+  Array.iteri
+    (fun i r -> weight.(i) <- 1.0 /. (float_of_int (r + 1) ** config.popularity_exponent))
+    rank;
+  let cum = Array.make num_items 0.0 in
+  let total = Array.fold_left ( +. ) 0.0 weight in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cum.(i) <- !acc)
+    weight;
+  let pick_item () =
+    let x = Rng.unit_float rng in
+    (* binary search on the cumulative weights *)
+    let lo = ref 0 and hi = ref (num_items - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cum.(mid) >= x then hi := mid else lo := mid + 1
+    done;
+    !lo
+  in
+  let dot a b =
+    let s = ref 0.0 in
+    for idx = 0 to f - 1 do
+      s := !s +. (a.(idx) *. b.(idx))
+    done;
+    !s
+  in
+  let obs = ref [] in
+  for u = 0 to num_users - 1 do
+    let n = max 1 (poisson rng config.ratings_per_user) in
+    let chosen = Hashtbl.create n in
+    let attempts = ref 0 in
+    while Hashtbl.length chosen < min n num_items && !attempts < 20 * n do
+      incr attempts;
+      let i = pick_item () in
+      if not (Hashtbl.mem chosen i) then Hashtbl.add chosen i ()
+    done;
+    Hashtbl.iter
+      (fun i () ->
+        let value =
+          config.mean_rating +. user_bias.(u) +. item_bias.(i)
+          +. dot user_vec.(u) item_vec.(i)
+          +. (config.noise *. Rng.gaussian rng)
+        in
+        let value = Util.clamp ~lo:config.r_min ~hi:config.r_max value in
+        obs := { Ratings.user = u; item = i; value } :: !obs)
+      chosen
+  done;
+  Ratings.create ~num_users ~num_items !obs

@@ -1,0 +1,30 @@
+(** Synthetic sparse rating data with a latent-factor ground truth.
+
+    The real datasets' ratings are unavailable (crawled Amazon/Epinions
+    data); this generator produces observations with the statistical
+    properties the MF substrate and the REVMAX pipeline depend on: a
+    low-rank structure the factorization can learn (so cross-validated RMSE
+    is meaningfully below the rating scale's spread), additive noise (so it
+    cannot be zero), power-law item popularity, and per-user activity
+    matching each dataset's sparsity (≈30 ratings/user for the Amazon-like
+    set, ≈1.5 for the ultra-sparse Epinions-like set). *)
+
+type config = {
+  factors : int;  (** rank of the ground-truth model *)
+  ratings_per_user : float;  (** mean observations per user (≥ min 1) *)
+  popularity_exponent : float;  (** Zipf skew of item popularity *)
+  noise : float;  (** std of the additive rating noise *)
+  r_min : float;
+  r_max : float;
+  mean_rating : float;
+}
+
+val default_config : config
+(** 8 factors, 20 ratings/user, exponent 0.8, noise 0.6, scale 1–5,
+    mean 3.5. *)
+
+val generate :
+  ?config:config -> num_users:int -> num_items:int -> Revmax_prelude.Rng.t -> Revmax_mf.Ratings.t
+(** Each user rates a Poisson-distributed number of items sampled by
+    popularity, without repetition; values are the ground-truth low-rank
+    score plus noise, clamped to the rating scale. *)

@@ -1,0 +1,10 @@
+module Util = Revmax_prelude.Util
+module Distribution = Revmax_stats.Distribution
+
+let adoption_probability ~valuation ~rating ~r_max ~price =
+  if r_max <= 0.0 then invalid_arg "Valuation.adoption_probability: r_max must be positive";
+  let rating = Util.clamp ~lo:0.0 ~hi:r_max rating in
+  Util.clamp_prob (Distribution.sf valuation price *. rating /. r_max)
+
+let q_vector ~valuation ~rating ~r_max ~prices =
+  Array.map (fun price -> adoption_probability ~valuation ~rating ~r_max ~price) prices

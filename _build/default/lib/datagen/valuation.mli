@@ -1,0 +1,22 @@
+(** The adoption-probability link of §6: under the independent-private-value
+    assumption each user's valuation of an item is drawn from the item's
+    valuation distribution, and
+
+    [q(u,i,t) = Pr\[val_ui ≥ p(i,t)\] · r̂_ui / r_max].
+
+    Higher prices lower the exceedance probability, giving the
+    anti-monotonicity in price the paper postulates (footnote 1: the
+    framework does not {e require} it, but the learned model has it). *)
+
+val adoption_probability :
+  valuation:Revmax_stats.Distribution.t -> rating:float -> r_max:float -> price:float -> float
+(** The §6 formula, clamped into [\[0,1\]]. [rating] is clamped into
+    [\[0, r_max\]] first. *)
+
+val q_vector :
+  valuation:Revmax_stats.Distribution.t ->
+  rating:float ->
+  r_max:float ->
+  prices:float array ->
+  float array
+(** Adoption probabilities across a price horizon. *)

@@ -1,0 +1,1 @@
+lib/experiments/config.ml: Float Option Printf Revmax_datagen String Sys

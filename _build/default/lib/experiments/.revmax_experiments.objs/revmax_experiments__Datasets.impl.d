@@ -1,0 +1,1 @@
+lib/experiments/datasets.ml: Config Hashtbl Printf Revmax_datagen

@@ -1,0 +1,1 @@
+lib/experiments/datasets.mli: Config Revmax Revmax_datagen

@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Array Config Datasets Hashtbl List Printf Revmax Revmax_datagen Revmax_mf Revmax_prelude Revmax_stats Runner String

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: List Printf Revmax Revmax_prelude

@@ -1,0 +1,127 @@
+module Amazon_like = Revmax_datagen.Amazon_like
+module Epinions_like = Revmax_datagen.Epinions_like
+module Pipeline = Revmax_datagen.Pipeline
+module Scalability = Revmax_datagen.Scalability
+
+type scale = Quick | Default | Full
+
+type t = { scale : scale; seed : int; rlg_permutations : int }
+
+let scale_name = function Quick -> "quick" | Default -> "default" | Full -> "full"
+
+let of_scale ?(seed = 20140901) scale =
+  { scale; seed; rlg_permutations = (match scale with Quick -> 5 | Default | Full -> 20) }
+
+let load () =
+  let scale =
+    match Option.map String.lowercase_ascii (Sys.getenv_opt "REVMAX_SCALE") with
+    | Some "quick" -> Quick
+    | Some "full" -> Full
+    | Some "default" | None -> Default
+    | Some other ->
+        Printf.eprintf "REVMAX_SCALE=%s not recognized; using default\n%!" other;
+        Default
+  in
+  let seed =
+    match Option.bind (Sys.getenv_opt "REVMAX_SEED") int_of_string_opt with
+    | Some s -> s
+    | None -> 20140901
+  in
+  of_scale ~seed scale
+
+let amazon_scale t =
+  match t.scale with
+  | Quick ->
+      {
+        Amazon_like.num_users = 120;
+        num_items = 60;
+        num_classes = 12;
+        top_n = 15;
+        horizon = 7;
+        crawl_days = 30;
+        ratings_per_user = 10.0;
+      }
+  | Default ->
+      {
+        Amazon_like.num_users = 1500;
+        num_items = 420;
+        num_classes = 94;
+        top_n = 40;
+        horizon = 7;
+        crawl_days = 62;
+        ratings_per_user = 30.0;
+      }
+  | Full -> Amazon_like.paper_scale
+
+let epinions_scale t =
+  match t.scale with
+  | Quick ->
+      {
+        Epinions_like.num_users = 110;
+        num_items = 40;
+        num_classes = 10;
+        top_n = 15;
+        horizon = 7;
+        reports_min = 10;
+        reports_max = 25;
+        ratings_per_user = 1.6;
+      }
+  | Default ->
+      {
+        Epinions_like.num_users = 1400;
+        num_items = 110;
+        num_classes = 43;
+        top_n = 40;
+        horizon = 7;
+        reports_min = 10;
+        reports_max = 50;
+        ratings_per_user = 1.6;
+      }
+  | Full -> Epinions_like.paper_scale
+
+let capacity_mean ~users = Float.max 4.0 (0.22 *. float_of_int users)
+
+let cap_gaussian _t ~users =
+  let mean = capacity_mean ~users in
+  Pipeline.Cap_gaussian { mean; sigma = 0.06 *. mean }
+
+let cap_exponential _t ~users = Pipeline.Cap_exponential { mean = capacity_mean ~users }
+
+let cap_power _t ~users =
+  (* Pareto with alpha 2 has mean 2·x_min; match the Gaussian mean *)
+  Pipeline.Cap_power { alpha = 2.0; x_min = 0.5 *. capacity_mean ~users }
+
+let cap_uniform _t ~users =
+  let mean = capacity_mean ~users in
+  Pipeline.Cap_uniform
+    { lo = max 1 (int_of_float (0.5 *. mean)); hi = max 2 (int_of_float (1.5 *. mean)) }
+
+let fig6_user_counts t =
+  match t.scale with
+  | Quick -> [ 200; 400; 600 ]
+  | Default -> [ 2_000; 4_000; 6_000; 8_000; 10_000 ]
+  | Full -> [ 100_000; 200_000; 300_000; 400_000; 500_000 ]
+
+let fig6_base t =
+  match t.scale with
+  | Quick ->
+      {
+        Scalability.default_config with
+        Scalability.num_items = 400;
+        num_classes = 40;
+        items_per_user = 20;
+      }
+  | Default ->
+      {
+        Scalability.default_config with
+        Scalability.num_items = 4_000;
+        num_classes = 200;
+        items_per_user = 50;
+      }
+  | Full ->
+      {
+        Scalability.default_config with
+        Scalability.num_items = 20_000;
+        num_classes = 500;
+        items_per_user = 100;
+      }

@@ -1,0 +1,49 @@
+(** Experiment sizing and seeding.
+
+    The paper's experiments run on 23K/21.3K-user datasets and synthetic
+    sweeps up to 250M candidate triples on a 256 GB server. Three scales are
+    provided, selected by the [REVMAX_SCALE] environment variable:
+
+    - [Quick] — smoke-test sizes; the full benchmark suite finishes in well
+      under a minute. Used while iterating.
+    - [Default] — roughly 1/15 of the paper's user counts; every
+      table/figure reproduces with the paper's qualitative shape in a few
+      minutes of wall clock.
+    - [Full] — the paper's dataset dimensions (hours of wall clock).
+
+    [REVMAX_SEED] overrides the master seed (default 20140901 — the paper's
+    crawl start date). *)
+
+type scale = Quick | Default | Full
+
+type t = {
+  scale : scale;
+  seed : int;
+  rlg_permutations : int;  (** N for RL-Greedy; the paper uses 20 *)
+}
+
+val load : unit -> t
+(** Read [REVMAX_SCALE] ("quick" | "default" | "full") and [REVMAX_SEED]. *)
+
+val of_scale : ?seed:int -> scale -> t
+
+val scale_name : scale -> string
+
+val amazon_scale : t -> Revmax_datagen.Amazon_like.scale
+val epinions_scale : t -> Revmax_datagen.Epinions_like.scale
+
+val capacity_mean : users:int -> float
+(** Paper ratio: capacities average ≈ 22% of the user count
+    (N(5000, 200–300) for 21–23K users). *)
+
+val cap_gaussian : t -> users:int -> Revmax_datagen.Pipeline.capacity_spec
+val cap_exponential : t -> users:int -> Revmax_datagen.Pipeline.capacity_spec
+val cap_power : t -> users:int -> Revmax_datagen.Pipeline.capacity_spec
+val cap_uniform : t -> users:int -> Revmax_datagen.Pipeline.capacity_spec
+
+val fig6_user_counts : t -> int list
+(** The scalability sweep (paper: 100K…500K users). *)
+
+val fig6_base : t -> Revmax_datagen.Scalability.config
+(** Scalability generator configuration at this scale (user count is swept
+    with {!Revmax_datagen.Scalability.with_users}). *)

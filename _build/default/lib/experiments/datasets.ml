@@ -1,0 +1,37 @@
+module Pipeline = Revmax_datagen.Pipeline
+module Amazon_like = Revmax_datagen.Amazon_like
+module Epinions_like = Revmax_datagen.Epinions_like
+
+let cache : (string, Pipeline.t) Hashtbl.t = Hashtbl.create 8
+
+let memo key build =
+  match Hashtbl.find_opt cache key with
+  | Some p -> p
+  | None ->
+      let p = build () in
+      Hashtbl.replace cache key p;
+      p
+
+let amazon (cfg : Config.t) =
+  let key = Printf.sprintf "amazon-%s-%d" (Config.scale_name cfg.Config.scale) cfg.Config.seed in
+  memo key (fun () -> Amazon_like.prepare ~scale:(Config.amazon_scale cfg) ~seed:cfg.Config.seed ())
+
+let epinions (cfg : Config.t) =
+  let key =
+    Printf.sprintf "epinions-%s-%d" (Config.scale_name cfg.Config.scale) cfg.Config.seed
+  in
+  memo key (fun () ->
+      Epinions_like.prepare ~scale:(Config.epinions_scale cfg) ~seed:(cfg.Config.seed + 1) ())
+
+let both cfg = [ amazon cfg; epinions cfg ]
+
+let instance (cfg : Config.t) prepared ~capacity ~beta ?(singleton_classes = false) () =
+  (* derive a distinct but reproducible seed per experimental setting *)
+  let tag =
+    Printf.sprintf "%s|%s|%s|%b" prepared.Pipeline.name
+      (Pipeline.capacity_name capacity)
+      (match beta with Pipeline.Beta_uniform -> "u" | Pipeline.Beta_fixed b -> string_of_float b)
+      singleton_classes
+  in
+  let seed = cfg.Config.seed + (Hashtbl.hash tag land 0xFFFF) in
+  Pipeline.instantiate ~capacity ~beta ~singleton_classes ~seed prepared

@@ -1,0 +1,36 @@
+module Algorithms = Revmax.Algorithms
+module Strategy = Revmax.Strategy
+module Revenue = Revmax.Revenue
+module Util = Revmax_prelude.Util
+
+type timed_result = {
+  algo : Algorithms.t;
+  revenue : float;
+  seconds : float;
+  strategy_size : int;
+}
+
+let resolve_suite ~rlg_permutations = function
+  | Some s -> s
+  | None ->
+      List.map
+        (function Algorithms.Rl_greedy _ -> Algorithms.Rl_greedy rlg_permutations | a -> a)
+        Algorithms.default_suite
+
+let run_suite ?suite ~rlg_permutations ~seed inst =
+  List.map
+    (fun algo ->
+      let s, seconds = Util.time_it (fun () -> Algorithms.run algo inst ~seed) in
+      if not (Strategy.is_valid s) then
+        failwith (Printf.sprintf "Runner: %s produced an invalid strategy" (Algorithms.name algo));
+      { algo; revenue = Revenue.total s; seconds; strategy_size = Strategy.size s })
+    (resolve_suite ~rlg_permutations suite)
+
+let header = List.map Algorithms.name Algorithms.default_suite
+
+let revenue_row results = List.map (fun r -> Printf.sprintf "%.1f" r.revenue) results
+
+let time_row results = List.map (fun r -> Printf.sprintf "%.2f" r.seconds) results
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title

@@ -1,0 +1,33 @@
+(** Shared machinery for running the §6 algorithm suite and reporting. *)
+
+type timed_result = {
+  algo : Revmax.Algorithms.t;
+  revenue : float;  (** expected total revenue of the returned strategy *)
+  seconds : float;  (** wall-clock planning time *)
+  strategy_size : int;
+}
+
+val run_suite :
+  ?suite:Revmax.Algorithms.t list ->
+  rlg_permutations:int ->
+  seed:int ->
+  Revmax.Instance.t ->
+  timed_result list
+(** Run the (default: paper's six-algorithm) suite on one instance. The
+    RL-Greedy entry's permutation count is overridden by
+    [rlg_permutations]. Every returned strategy is checked valid — a
+    violation raises, so experiment output can never silently come from an
+    invalid plan. *)
+
+val header : string list
+(** Column labels in paper legend order: GG, GG-No, RLG, SLG, TopRev,
+    TopRat. *)
+
+val revenue_row : timed_result list -> string list
+(** Revenues formatted for a table row, suite order. *)
+
+val time_row : timed_result list -> string list
+(** Planning times (seconds) formatted for a table row. *)
+
+val section : string -> unit
+(** Print a section banner for an experiment. *)

@@ -1,0 +1,1 @@
+lib/flow/max_dcs.mli:

@@ -1,0 +1,77 @@
+type instance = {
+  left : int;
+  right : int;
+  left_bound : int array;
+  right_bound : int array;
+  edges : (int * int * float) array;
+}
+
+type solution = { chosen : (int * int * float) array; weight : float }
+
+let validate inst =
+  if inst.left < 0 || inst.right < 0 then invalid_arg "Max_dcs: negative node counts";
+  if Array.length inst.left_bound <> inst.left then invalid_arg "Max_dcs: left_bound length mismatch";
+  if Array.length inst.right_bound <> inst.right then
+    invalid_arg "Max_dcs: right_bound length mismatch";
+  Array.iter (fun b -> if b < 0 then invalid_arg "Max_dcs: negative degree bound") inst.left_bound;
+  Array.iter (fun b -> if b < 0 then invalid_arg "Max_dcs: negative degree bound") inst.right_bound;
+  Array.iter
+    (fun (u, v, _) ->
+      if u < 0 || u >= inst.left || v < 0 || v >= inst.right then
+        invalid_arg "Max_dcs: edge endpoint out of range")
+    inst.edges
+
+let solve inst =
+  validate inst;
+  (* nodes: 0 = source, 1..left = left nodes, left+1..left+right = right
+     nodes, last = sink *)
+  let source = 0 in
+  let sink = inst.left + inst.right + 1 in
+  let net = Mcmf.create (sink + 1) in
+  Array.iteri
+    (fun u b -> if b > 0 then ignore (Mcmf.add_edge net ~src:source ~dst:(1 + u) ~cap:b ~cost:0.0))
+    inst.left_bound;
+  Array.iteri
+    (fun v b ->
+      if b > 0 then
+        ignore (Mcmf.add_edge net ~src:(1 + inst.left + v) ~dst:sink ~cap:b ~cost:0.0))
+    inst.right_bound;
+  let edge_ids =
+    Array.map
+      (fun (u, v, w) ->
+        if w > 0.0 then
+          Some (Mcmf.add_edge net ~src:(1 + u) ~dst:(1 + inst.left + v) ~cap:1 ~cost:(-.w))
+        else None)
+      inst.edges
+  in
+  let _result = Mcmf.solve ~stop_when_unprofitable:true net ~source ~sink in
+  let chosen = ref [] and weight = ref 0.0 in
+  Array.iteri
+    (fun idx id ->
+      match id with
+      | Some e when Mcmf.flow_on net e > 0 ->
+          let (u, v, w) = inst.edges.(idx) in
+          chosen := (u, v, w) :: !chosen;
+          weight := !weight +. w
+      | Some _ | None -> ())
+    edge_ids;
+  { chosen = Array.of_list (List.rev !chosen); weight = !weight }
+
+let greedy_lower_bound inst =
+  validate inst;
+  let left_used = Array.make inst.left 0 in
+  let right_used = Array.make inst.right 0 in
+  let sorted = Array.copy inst.edges in
+  Array.sort (fun (_, _, w1) (_, _, w2) -> compare w2 w1) sorted;
+  let chosen = ref [] and weight = ref 0.0 in
+  Array.iter
+    (fun (u, v, w) ->
+      if w > 0.0 && left_used.(u) < inst.left_bound.(u) && right_used.(v) < inst.right_bound.(v)
+      then begin
+        left_used.(u) <- left_used.(u) + 1;
+        right_used.(v) <- right_used.(v) + 1;
+        chosen := (u, v, w) :: !chosen;
+        weight := !weight +. w
+      end)
+    sorted;
+  { chosen = Array.of_list (List.rev !chosen); weight = !weight }

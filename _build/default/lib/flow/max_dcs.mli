@@ -1,0 +1,36 @@
+(** Maximum-weight degree-constrained subgraph (Max-DCS) on bipartite graphs.
+
+    §3.2 of the paper: REVMAX with a one-step horizon (T = 1) is solvable in
+    polynomial time by casting it as Max-DCS on the bipartite user–item graph
+    with user degree bounds [k] (display constraint), item degree bounds
+    [q_i] (capacity constraint), and edge weights
+    [w(u,i) = p(i,1) · q(u,i,1)].
+
+    The solver reduces Max-DCS to min-cost flow: a super-source feeds every
+    left node with capacity [deg bound], each weighted edge becomes an arc of
+    capacity 1 and cost [−w], and every right node drains into a super-sink
+    with capacity equal to its bound. Augmentation stops when no remaining
+    path is profitable, so edges of zero or negative weight never enter the
+    solution and the selected subgraph has maximum total weight. *)
+
+type instance = {
+  left : int;  (** number of left (user) nodes *)
+  right : int;  (** number of right (item) nodes *)
+  left_bound : int array;  (** degree bound per left node, length [left] *)
+  right_bound : int array;  (** degree bound per right node, length [right] *)
+  edges : (int * int * float) array;  (** (left node, right node, weight) *)
+}
+
+type solution = {
+  chosen : (int * int * float) array;  (** selected edges *)
+  weight : float;  (** their total weight *)
+}
+
+val solve : instance -> solution
+(** Exact optimum. Edges with non-positive weight are never selected.
+    Raises [Invalid_argument] on malformed instances (out-of-range node ids,
+    negative bounds, mismatched array lengths). *)
+
+val greedy_lower_bound : instance -> solution
+(** Simple weight-descending greedy respecting both degree bounds. Used in
+    tests as a feasible lower bound for the exact solver. *)

@@ -1,0 +1,38 @@
+(** Minimum-cost flow by successive shortest augmenting paths with Johnson
+    potentials (Dijkstra on reduced costs after one Bellman–Ford pass for
+    graphs with negative arcs).
+
+    Used by {!Max_dcs} to solve the paper's T=1 special case of REVMAX
+    exactly (§3.2): the maximum-weight degree-constrained subgraph reduces to
+    a flow whose augmentation stops as soon as the cheapest augmenting path
+    stops being profitable. *)
+
+type t
+(** A mutable flow network. *)
+
+type edge
+(** Identifier of an added edge; use it to read back the shipped flow. *)
+
+val create : int -> t
+(** [create n] builds an empty network on nodes [0 .. n-1]. *)
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> cost:float -> edge
+(** Directed edge with integer capacity and real cost per unit of flow. *)
+
+type result = { flow : int; cost : float }
+(** Total units shipped and their total cost. *)
+
+val solve : ?stop_when_unprofitable:bool -> t -> source:int -> sink:int -> result
+(** Run successive shortest paths from [source] to [sink].
+
+    With [stop_when_unprofitable:true] (profit mode) augmentation stops once
+    the cheapest remaining augmenting path has non-negative cost, yielding
+    the flow of minimum cost over {e all} flow values — exactly what
+    maximum-weight matching-style reductions need. With the default [false],
+    the maximum flow of minimum cost is computed.
+
+    The solver may be called once per network; re-solving a partially
+    saturated network is not supported. *)
+
+val flow_on : t -> edge -> int
+(** Units shipped on an edge after [solve]. *)

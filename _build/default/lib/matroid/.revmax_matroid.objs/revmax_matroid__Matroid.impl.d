@@ -1,0 +1,1 @@
+lib/matroid/matroid.ml: Array Hashtbl List Revmax_prelude

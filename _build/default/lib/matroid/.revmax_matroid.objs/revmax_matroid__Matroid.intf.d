@@ -1,0 +1,1 @@
+lib/matroid/matroid.mli: Revmax_prelude Stdlib

@@ -1,0 +1,1 @@
+lib/matroid/submodular.ml: Array Float Hashtbl List Matroid

@@ -1,0 +1,1 @@
+lib/matroid/submodular.mli: Matroid

@@ -1,0 +1,106 @@
+module Rng = Revmax_prelude.Rng
+
+type t =
+  | Uniform of { ground : int; rank : int }
+  | Partition of { ground : int; part_of : int array; bound : int array }
+
+let uniform ~ground ~rank =
+  if ground < 0 || rank < 0 then invalid_arg "Matroid.uniform: negative parameter";
+  Uniform { ground; rank }
+
+let partition ~part_of ~bound =
+  let ground = Array.length part_of in
+  Array.iter
+    (fun b ->
+      if b < 0 || b >= Array.length bound then invalid_arg "Matroid.partition: block out of range")
+    part_of;
+  Array.iter (fun b -> if b < 0 then invalid_arg "Matroid.partition: negative bound") bound;
+  Partition { ground; part_of; bound }
+
+let ground_size = function Uniform { ground; _ } -> ground | Partition { ground; _ } -> ground
+
+let rank_upper_bound = function
+  | Uniform { ground; rank } -> min ground rank
+  | Partition { part_of; bound; _ } ->
+      (* sum of bounds over non-empty blocks *)
+      let used = Array.make (Array.length bound) false in
+      Array.iter (fun b -> used.(b) <- true) part_of;
+      let acc = ref 0 in
+      Array.iteri (fun b u -> if u then acc := !acc + bound.(b)) used;
+      !acc
+
+let no_duplicates s =
+  let tbl = Hashtbl.create (List.length s) in
+  List.for_all
+    (fun e ->
+      if Hashtbl.mem tbl e then false
+      else begin
+        Hashtbl.add tbl e ();
+        true
+      end)
+    s
+
+let is_independent t s =
+  no_duplicates s
+  &&
+  match t with
+  | Uniform { ground; rank } ->
+      List.length s <= rank && List.for_all (fun e -> e >= 0 && e < ground) s
+  | Partition { ground; part_of; bound } ->
+      let counts = Array.make (Array.length bound) 0 in
+      List.for_all
+        (fun e ->
+          e >= 0 && e < ground
+          &&
+          let b = part_of.(e) in
+          counts.(b) <- counts.(b) + 1;
+          counts.(b) <= bound.(b))
+        s
+
+let can_add t s e =
+  match t with
+  | Uniform { ground; rank } -> e >= 0 && e < ground && List.length s < rank
+  | Partition { ground; part_of; bound } ->
+      e >= 0 && e < ground
+      &&
+      let b = part_of.(e) in
+      let in_block = List.fold_left (fun n x -> if part_of.(x) = b then n + 1 else n) 0 s in
+      in_block < bound.(b)
+
+let check_axioms t ~samples rng =
+  let n = ground_size t in
+  if not (is_independent t []) then Error "empty set is not independent"
+  else begin
+    let sample_independent () =
+      (* grow a random independent set *)
+      let order = Rng.permutation rng n in
+      let s = ref [] in
+      Array.iter (fun e -> if can_add t !s e && Rng.bool rng then s := e :: !s) order;
+      !s
+    in
+    let violation = ref None in
+    let record msg = if !violation = None then violation := Some msg in
+    for _ = 1 to samples do
+      if !violation = None then begin
+        let s = sample_independent () in
+        if not (is_independent t s) then record "can_add admitted a dependent set";
+        (* downward closure: drop a random element *)
+        (match s with
+        | [] -> ()
+        | _ ->
+            let drop = List.nth s (Rng.int rng (List.length s)) in
+            let sub = List.filter (fun e -> e <> drop) s in
+            if not (is_independent t sub) then record "downward closure violated");
+        (* augmentation: compare with an independently sampled set *)
+        let s' = sample_independent () in
+        let small, large = if List.length s < List.length s' then (s, s') else (s', s) in
+        if List.length small < List.length large then begin
+          let extends =
+            List.exists (fun e -> (not (List.mem e small)) && can_add t small e) large
+          in
+          if not extends then record "augmentation violated"
+        end
+      end
+    done;
+    match !violation with None -> Ok () | Some msg -> Error msg
+  end

@@ -1,0 +1,38 @@
+(** Matroids over an integer ground set [0 .. ground_size − 1].
+
+    §4.2 of the paper turns the display constraint of REVMAX into a partition
+    matroid (Lemma 2): project triples onto (user, time) pairs; each block
+    may carry at most [k] selected triples. This module provides that
+    matroid, the uniform matroid, and the independence oracles used by the
+    local-search approximation algorithm in {!Submodular}. *)
+
+type t
+(** An abstract matroid with an independence oracle. *)
+
+val uniform : ground:int -> rank:int -> t
+(** Independent sets are those of size ≤ [rank]. *)
+
+val partition : part_of:int array -> bound:int array -> t
+(** [partition ~part_of ~bound]: element [e] belongs to block [part_of.(e)];
+    a set is independent iff it has at most [bound.(b)] elements in every
+    block [b]. Raises [Invalid_argument] if some [part_of.(e)] is outside
+    [bound]'s index range. *)
+
+val ground_size : t -> int
+
+val rank_upper_bound : t -> int
+(** An upper bound on the matroid's rank (exact for the provided matroids). *)
+
+val is_independent : t -> int list -> bool
+(** Full independence test. Duplicate elements make a set dependent. *)
+
+val can_add : t -> int list -> int -> bool
+(** [can_add m s e] assumes [s] independent and [e ∉ s]; true iff
+    [s ∪ {e}] is independent. O(|s|) for the provided matroids. *)
+
+val check_axioms :
+  t -> samples:int -> Revmax_prelude.Rng.t -> (unit, string) Stdlib.result
+(** Randomized check of the three matroid axioms (∅ independent; downward
+    closure; augmentation) on sampled independent sets — a test helper that
+    returns a description of the first violated axiom, if any. Exhaustive for
+    tiny ground sets, sampled otherwise. *)

@@ -1,0 +1,155 @@
+type stats = { oracle_calls : int; moves : int }
+
+(* Memoised oracle over sorted-list keys. *)
+let memoise f =
+  let cache = Hashtbl.create 1024 in
+  let calls = ref 0 in
+  let eval s =
+    let key = List.sort compare s in
+    match Hashtbl.find_opt cache key with
+    | Some v -> v
+    | None ->
+        incr calls;
+        let v = f key in
+        Hashtbl.add cache key v;
+        v
+  in
+  (eval, calls)
+
+(* One pass of Lee et al. local search restricted to [allowed] elements. *)
+let local_search_pass ~eps ~matroid ~eval ~moves ~allowed =
+  let n = max 1 (List.length allowed) in
+  let nf = float_of_int n in
+  let threshold = 1.0 +. (eps /. (nf *. nf *. nf *. nf)) in
+  (* best singleton start *)
+  let best_single =
+    List.fold_left
+      (fun acc e ->
+        if Matroid.can_add matroid [] e then begin
+          let v = eval [ e ] in
+          match acc with Some (_, bv) when bv >= v -> acc | _ -> Some (e, v)
+        end
+        else acc)
+      None allowed
+  in
+  match best_single with
+  | None -> ([], 0.0)
+  | Some (e0, v0) ->
+      let s = ref [ e0 ] and v = ref v0 in
+      let improved = ref true in
+      while !improved do
+        improved := false;
+        (* delete moves *)
+        List.iter
+          (fun e ->
+            if not !improved then begin
+              let s' = List.filter (fun x -> x <> e) !s in
+              let v' = eval s' in
+              if v' > threshold *. !v then begin
+                s := s';
+                v := v';
+                incr moves;
+                improved := true
+              end
+            end)
+          !s;
+        (* add moves *)
+        if not !improved then
+          List.iter
+            (fun e ->
+              if (not !improved) && (not (List.mem e !s)) && Matroid.can_add matroid !s e then begin
+                let v' = eval (e :: !s) in
+                if v' > threshold *. !v then begin
+                  s := e :: !s;
+                  v := v';
+                  incr moves;
+                  improved := true
+                end
+              end)
+            allowed;
+        (* swap moves: exchange one inside element for one outside element *)
+        if not !improved then
+          List.iter
+            (fun e_out ->
+              if (not !improved) && not (List.mem e_out !s) then
+                List.iter
+                  (fun e_in ->
+                    if not !improved then begin
+                      let s_minus = List.filter (fun x -> x <> e_in) !s in
+                      if Matroid.can_add matroid s_minus e_out then begin
+                        let v' = eval (e_out :: s_minus) in
+                        if v' > threshold *. !v then begin
+                          s := e_out :: s_minus;
+                          v := v';
+                          incr moves;
+                          improved := true
+                        end
+                      end
+                    end)
+                  !s)
+            allowed
+      done;
+      (!s, !v)
+
+let local_search ?(eps = 0.5) ~matroid ~f () =
+  if eps <= 0.0 then invalid_arg "Submodular.local_search: eps must be positive";
+  let eval, calls = memoise f in
+  let moves = ref 0 in
+  let n = Matroid.ground_size matroid in
+  let all = List.init n (fun i -> i) in
+  let s1, v1 = local_search_pass ~eps ~matroid ~eval ~moves ~allowed:all in
+  (* second pass on the complement of the first local optimum *)
+  let rest = List.filter (fun e -> not (List.mem e s1)) all in
+  let s2, v2 = local_search_pass ~eps ~matroid ~eval ~moves ~allowed:rest in
+  let s, v = if v1 >= v2 then (s1, v1) else (s2, v2) in
+  (List.sort compare s, v, { oracle_calls = !calls; moves = !moves })
+
+let lazy_greedy ~matroid ~f () =
+  let eval, calls = memoise f in
+  let moves = ref 0 in
+  let n = Matroid.ground_size matroid in
+  let s = ref [] and v = ref (eval []) in
+  (* cached upper bounds on marginal gains; valid by submodularity *)
+  let bound = Array.make n Float.infinity in
+  let fresh = Array.make n false in
+  let active = Array.make n true in
+  let continue_loop = ref (n > 0) in
+  while !continue_loop do
+    (* invalidate freshness from the previous round *)
+    Array.fill fresh 0 n false;
+    let rec pick () =
+      (* choose the active element with the largest cached bound *)
+      let best = ref (-1) and best_v = ref 0.0 in
+      for e = 0 to n - 1 do
+        if active.(e) && (!best < 0 || bound.(e) > !best_v) then begin
+          best := e;
+          best_v := bound.(e)
+        end
+      done;
+      if !best < 0 then None
+      else begin
+        let e = !best in
+        if not (Matroid.can_add matroid !s e) then begin
+          active.(e) <- false;
+          pick ()
+        end
+        else if fresh.(e) then
+          if bound.(e) > 0.0 then Some e
+          else None (* freshest maximum non-positive: stop *)
+        else begin
+          let gain = eval (e :: !s) -. !v in
+          bound.(e) <- gain;
+          fresh.(e) <- true;
+          pick ()
+        end
+      end
+    in
+    match pick () with
+    | None -> continue_loop := false
+    | Some e ->
+        s := e :: !s;
+        v := eval !s;
+        active.(e) <- false;
+        incr moves
+  done;
+  (List.sort compare !s, !v, { oracle_calls = !calls; moves = !moves })

@@ -1,0 +1,44 @@
+(** Maximization of non-negative (possibly non-monotone) submodular set
+    functions subject to a matroid constraint.
+
+    [local_search] implements the algorithm of Lee, Mirrokni, Nagarajan and
+    Sviridenko ("Maximizing nonmonotone submodular functions under matroid or
+    knapsack constraints", SIAM J. Discrete Math. 23(4), 2010) specialised to
+    a single matroid, which §4.2 of the paper invokes to approximate
+    R-REVMAX to a factor 1/(4+ε): start from a best singleton; apply delete,
+    add, and swap moves while they improve the value by more than a factor
+    (1 + ε/n⁴); then repeat the search on the ground set minus the first
+    local optimum and return the better of the two solutions.
+
+    The value oracle is memoised per run, and the number of oracle calls is
+    reported so that benchmarks can exhibit the O(n⁴ log n / ε) cost that
+    motivates the paper's greedy heuristics.
+
+    [lazy_greedy] is the classic accelerated greedy (Minoux) under the same
+    matroid, provided for comparison; it carries guarantees only for monotone
+    objectives but is the natural fast baseline. *)
+
+type stats = {
+  oracle_calls : int;  (** objective evaluations performed *)
+  moves : int;  (** accepted local moves *)
+}
+
+val local_search :
+  ?eps:float ->
+  matroid:Matroid.t ->
+  f:(int list -> float) ->
+  unit ->
+  int list * float * stats
+(** [local_search ~eps ~matroid ~f ()] returns an approximately optimal
+    independent set, its value, and search statistics. [f] must be
+    non-negative on independent sets; [eps] (default 0.5) controls the
+    improvement threshold (larger = faster, looser). *)
+
+val lazy_greedy :
+  matroid:Matroid.t ->
+  f:(int list -> float) ->
+  unit ->
+  int list * float * stats
+(** Accelerated greedy: repeatedly add the feasible element of largest
+    positive marginal gain, with stale upper bounds refreshed lazily
+    (soundness from submodularity, §5.1 of the paper). *)

@@ -1,0 +1,1 @@
+lib/mf/content_based.ml: Array Float Hashtbl List Option Ratings Revmax_prelude

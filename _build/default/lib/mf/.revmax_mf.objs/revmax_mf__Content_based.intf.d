@@ -1,0 +1,1 @@
+lib/mf/content_based.mli: Ratings

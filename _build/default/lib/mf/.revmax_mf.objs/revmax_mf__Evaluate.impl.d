@@ -1,0 +1,1 @@
+lib/mf/evaluate.ml: Array Mf_model Ratings Trainer

@@ -1,0 +1,1 @@
+lib/mf/evaluate.mli: Mf_model Ratings Revmax_prelude Trainer

@@ -1,0 +1,1 @@
+lib/mf/knn.ml: Array Hashtbl List Ratings Revmax_prelude

@@ -1,0 +1,1 @@
+lib/mf/knn.mli: Ratings

@@ -1,0 +1,1 @@
+lib/mf/mf_model.ml: Array Hashtbl List Revmax_prelude

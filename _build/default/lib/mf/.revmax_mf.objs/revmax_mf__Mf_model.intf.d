@@ -1,0 +1,1 @@
+lib/mf/mf_model.mli: Revmax_prelude

@@ -1,0 +1,1 @@
+lib/mf/ratings.ml: Array Float Hashtbl List Revmax_prelude

@@ -1,0 +1,1 @@
+lib/mf/ratings.mli: Revmax_prelude

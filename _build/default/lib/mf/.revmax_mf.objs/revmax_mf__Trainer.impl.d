@@ -1,0 +1,1 @@
+lib/mf/trainer.ml: Array List Mf_model Ratings Revmax_prelude

@@ -1,0 +1,1 @@
+lib/mf/trainer.mli: Mf_model Ratings Revmax_prelude

@@ -1,0 +1,107 @@
+module Util = Revmax_prelude.Util
+
+type config = { alignment_weight : float }
+
+let default_config = { alignment_weight = 1.5 }
+
+type t = {
+  config : config;
+  features : float array array; (* item x feature, L2-normalized rows *)
+  profiles : float array option array; (* user profiles, L2-normalized *)
+  user_mean : float array;
+  item_mean : float array;
+  global_mean : float;
+  r_min : float;
+  r_max : float;
+  num_items : int;
+}
+
+let l2_normalize v =
+  let n = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v) in
+  if n > 0.0 then Array.map (fun x -> x /. n) v else Array.copy v
+
+let dot a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. (x *. b.(i))) a;
+  !acc
+
+let train ?(config = default_config) ~item_features ratings =
+  let num_items = Ratings.num_items ratings in
+  let num_users = Ratings.num_users ratings in
+  if Array.length item_features <> num_items then
+    invalid_arg "Content_based.train: one feature row per item required";
+  let dim = if num_items = 0 then 0 else Array.length item_features.(0) in
+  if dim = 0 && num_items > 0 then invalid_arg "Content_based.train: empty feature vectors";
+  Array.iter
+    (fun row ->
+      if Array.length row <> dim then
+        invalid_arg "Content_based.train: inconsistent feature dimensions")
+    item_features;
+  let features = Array.map l2_normalize item_features in
+  let global_mean = Ratings.global_mean ratings in
+  let user_sum = Array.make num_users 0.0 and user_cnt = Array.make num_users 0 in
+  let item_sum = Array.make num_items 0.0 and item_cnt = Array.make num_items 0 in
+  Array.iter
+    (fun (o : Ratings.observation) ->
+      user_sum.(o.user) <- user_sum.(o.user) +. o.value;
+      user_cnt.(o.user) <- user_cnt.(o.user) + 1;
+      item_sum.(o.item) <- item_sum.(o.item) +. o.value;
+      item_cnt.(o.item) <- item_cnt.(o.item) + 1)
+    (Ratings.observations ratings);
+  let user_mean =
+    Array.init num_users (fun u ->
+        if user_cnt.(u) = 0 then global_mean else user_sum.(u) /. float_of_int user_cnt.(u))
+  in
+  let item_mean =
+    Array.init num_items (fun i ->
+        if item_cnt.(i) = 0 then global_mean else item_sum.(i) /. float_of_int item_cnt.(i))
+  in
+  (* Rocchio profile: mean-centred-rating-weighted centroid of features *)
+  let profiles =
+    Array.init num_users (fun u ->
+        let row = Ratings.by_user ratings u in
+        if Array.length row = 0 then None
+        else begin
+          let acc = Array.make dim 0.0 in
+          let weighted = ref false in
+          Array.iter
+            (fun (o : Ratings.observation) ->
+              let w = o.value -. user_mean.(u) in
+              if Float.abs w > 1e-12 then begin
+                weighted := true;
+                Array.iteri (fun f x -> acc.(f) <- acc.(f) +. (w *. x)) features.(o.item)
+              end)
+            row;
+          if not !weighted then begin
+            (* uniform centroid when every rating equals the user's mean *)
+            Array.iter
+              (fun (o : Ratings.observation) ->
+                Array.iteri (fun f x -> acc.(f) <- acc.(f) +. x) features.(o.item))
+              row
+          end;
+          let p = l2_normalize acc in
+          if Array.for_all (fun x -> x = 0.0) p then None else Some p
+        end)
+  in
+  let r_min, r_max = Ratings.value_range ratings in
+  { config; features; profiles; user_mean; item_mean; global_mean; r_min; r_max; num_items }
+
+let profile t u = Option.map Array.copy t.profiles.(u)
+
+let predict t u i =
+  match t.profiles.(u) with
+  | None -> t.item_mean.(i) +. (t.user_mean.(u) -. t.global_mean)
+  | Some p -> t.user_mean.(u) +. (t.config.alignment_weight *. dot p t.features.(i))
+
+let predict_clamped t u i = Util.clamp ~lo:t.r_min ~hi:t.r_max (predict t u i)
+
+let top_n t ~user ~n ?(exclude = []) () =
+  let excluded = Hashtbl.create (List.length exclude) in
+  List.iter (fun i -> Hashtbl.replace excluded i ()) exclude;
+  let candidates = ref [] in
+  for i = 0 to t.num_items - 1 do
+    if not (Hashtbl.mem excluded i) then candidates := (i, predict_clamped t user i) :: !candidates
+  done;
+  let arr = Array.of_list !candidates in
+  Array.sort (fun (_, a) (_, b) -> compare b a) arr;
+  Array.sub arr 0 (min n (Array.length arr))

@@ -1,0 +1,35 @@
+(** Content-based recommendation — the third recommender family of §2
+    (besides memory-based and model-based CF), completing the framework's
+    "allows any type of RS" claim with an executable instance.
+
+    Items are described by caller-supplied feature vectors (e.g. a class
+    one-hot plus a log-price coordinate, as the dataset generators can
+    produce). A user's profile is the Rocchio-style weighted centroid of the
+    features of the items she rated, weighted by her mean-centred ratings;
+    the predicted rating is the user's mean shifted by the cosine alignment
+    between her profile and the item's features, rescaled to the rating
+    range. Cold users fall back to item/global means. *)
+
+type config = {
+  alignment_weight : float;
+      (** rating points per unit of cosine alignment (default 1.5) *)
+}
+
+val default_config : config
+
+type t
+
+val train : ?config:config -> item_features:float array array -> Ratings.t -> t
+(** [train ~item_features ratings]: one feature row per item (all the same
+    positive length). O(ratings · features) time. *)
+
+val profile : t -> int -> float array option
+(** The user's learned profile vector ([None] for users with no usable
+    ratings). Do not mutate. *)
+
+val predict : t -> int -> int -> float
+val predict_clamped : t -> int -> int -> float
+
+val top_n : t -> user:int -> n:int -> ?exclude:int list -> unit -> (int * float) array
+(** Same surface as {!Mf_model.top_n} / {!Knn.top_n}, so it plugs into
+    {!Revmax_datagen.Pipeline.build_candidates_with}. *)

@@ -1,0 +1,25 @@
+let rmse model ratings =
+  let obs = Ratings.observations ratings in
+  let n = Array.length obs in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter
+      (fun (o : Ratings.observation) ->
+        let e = o.value -. Mf_model.predict_clamped model o.user o.item in
+        acc := !acc +. (e *. e))
+      obs;
+    sqrt (!acc /. float_of_int n)
+  end
+
+let cross_validate ?config ~folds ratings rng =
+  let r_range = Ratings.value_range ratings in
+  let splits = Ratings.split_folds ratings ~folds rng in
+  let total =
+    Array.fold_left
+      (fun acc (train, test) ->
+        let model = Trainer.train ?config ~r_range train rng in
+        acc +. rmse model test)
+      0.0 splits
+  in
+  total /. float_of_int folds

@@ -1,0 +1,14 @@
+(** Accuracy evaluation of the MF substrate: RMSE and k-fold cross
+    validation, matching the paper's methodology (five-fold CV RMSE of 0.91
+    on Amazon and 1.04 on Epinions, §6.1). *)
+
+val rmse : Mf_model.t -> Ratings.t -> float
+(** Root-mean-square error of clamped predictions on a rating store. *)
+
+val cross_validate :
+  ?config:Trainer.config ->
+  folds:int ->
+  Ratings.t ->
+  Revmax_prelude.Rng.t ->
+  float
+(** Mean test RMSE over [folds] train/test splits. *)

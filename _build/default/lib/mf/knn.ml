@@ -1,0 +1,115 @@
+module Util = Revmax_prelude.Util
+
+type config = { neighbours : int; min_overlap : int; shrinkage : float }
+
+let default_config = { neighbours = 20; min_overlap = 2; shrinkage = 10.0 }
+
+type t = {
+  config : config;
+  ratings : Ratings.t;
+  sim : float array array; (* item x item adjusted-cosine *)
+  item_mean : float array;
+  user_mean : float array;
+  global_mean : float;
+  r_min : float;
+  r_max : float;
+  (* per user: (item, value) pairs for fast prediction *)
+  user_rows : (int * float) array array;
+}
+
+let train ?(config = default_config) ratings =
+  let num_users = Ratings.num_users ratings in
+  let num_items = Ratings.num_items ratings in
+  let global_mean = Ratings.global_mean ratings in
+  let user_sum = Array.make num_users 0.0 and user_cnt = Array.make num_users 0 in
+  let item_sum = Array.make num_items 0.0 and item_cnt = Array.make num_items 0 in
+  Array.iter
+    (fun (o : Ratings.observation) ->
+      user_sum.(o.user) <- user_sum.(o.user) +. o.value;
+      user_cnt.(o.user) <- user_cnt.(o.user) + 1;
+      item_sum.(o.item) <- item_sum.(o.item) +. o.value;
+      item_cnt.(o.item) <- item_cnt.(o.item) + 1)
+    (Ratings.observations ratings);
+  let user_mean =
+    Array.init num_users (fun u ->
+        if user_cnt.(u) = 0 then global_mean else user_sum.(u) /. float_of_int user_cnt.(u))
+  in
+  let item_mean =
+    Array.init num_items (fun i ->
+        if item_cnt.(i) = 0 then global_mean else item_sum.(i) /. float_of_int item_cnt.(i))
+  in
+  (* adjusted cosine: accumulate over users' co-rated item pairs *)
+  let dot = Array.make_matrix num_items num_items 0.0 in
+  let norm = Array.make num_items 0.0 in
+  let overlap = Array.make_matrix num_items num_items 0 in
+  let user_rows =
+    Array.init num_users (fun u ->
+        Array.map (fun (o : Ratings.observation) -> (o.item, o.value)) (Ratings.by_user ratings u))
+  in
+  Array.iteri
+    (fun u row ->
+      let centred = Array.map (fun (i, v) -> (i, v -. user_mean.(u))) row in
+      Array.iter (fun (i, v) -> norm.(i) <- norm.(i) +. (v *. v)) centred;
+      Array.iteri
+        (fun a (i, vi) ->
+          for b = a + 1 to Array.length centred - 1 do
+            let j, vj = centred.(b) in
+            let lo, hi = if i < j then (i, j) else (j, i) in
+            dot.(lo).(hi) <- dot.(lo).(hi) +. (vi *. vj);
+            overlap.(lo).(hi) <- overlap.(lo).(hi) + 1
+          done)
+        centred)
+    user_rows;
+  let sim = Array.make_matrix num_items num_items 0.0 in
+  for i = 0 to num_items - 1 do
+    for j = i + 1 to num_items - 1 do
+      let n = overlap.(i).(j) in
+      if n >= config.min_overlap && norm.(i) > 0.0 && norm.(j) > 0.0 then begin
+        let raw = dot.(i).(j) /. (sqrt norm.(i) *. sqrt norm.(j)) in
+        (* damp similarities supported by few co-raters *)
+        let damped = raw *. (float_of_int n /. (float_of_int n +. config.shrinkage)) in
+        sim.(i).(j) <- damped;
+        sim.(j).(i) <- damped
+      end
+    done
+  done;
+  let r_min, r_max = Ratings.value_range ratings in
+  { config; ratings; sim; item_mean; user_mean; global_mean; r_min; r_max; user_rows }
+
+let similarity t i j = if i = j then 1.0 else t.sim.(i).(j)
+
+let predict t u i =
+  let row = t.user_rows.(u) in
+  (* take the k most similar rated items with positive similarity *)
+  let scored =
+    Array.to_list row
+    |> List.filter_map (fun (j, v) ->
+           let s = if j = i then 0.0 else t.sim.(i).(j) in
+           if s > 0.0 then Some (s, v, j) else None)
+    |> List.sort (fun (s1, _, _) (s2, _, _) -> compare s2 s1)
+    |> Util.take t.config.neighbours
+  in
+  let baseline = t.item_mean.(i) +. (t.user_mean.(u) -. t.global_mean) in
+  match scored with
+  | [] -> baseline
+  | neighbours ->
+      let num = ref 0.0 and den = ref 0.0 in
+      List.iter
+        (fun (s, v, j) ->
+          num := !num +. (s *. (v -. t.item_mean.(j)));
+          den := !den +. s)
+        neighbours;
+      t.item_mean.(i) +. (!num /. !den)
+
+let predict_clamped t u i = Util.clamp ~lo:t.r_min ~hi:t.r_max (predict t u i)
+
+let top_n t ~user ~n ?(exclude = []) () =
+  let excluded = Hashtbl.create (List.length exclude) in
+  List.iter (fun i -> Hashtbl.replace excluded i ()) exclude;
+  let candidates = ref [] in
+  for i = 0 to Ratings.num_items t.ratings - 1 do
+    if not (Hashtbl.mem excluded i) then candidates := (i, predict_clamped t user i) :: !candidates
+  done;
+  let arr = Array.of_list !candidates in
+  Array.sort (fun (_, a) (_, b) -> compare b a) arr;
+  Array.sub arr 0 (min n (Array.length arr))

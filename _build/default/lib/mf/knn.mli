@@ -1,0 +1,41 @@
+(** Item-based k-nearest-neighbour collaborative filtering — the
+    "memory-based CF" family of §2.
+
+    The REVMAX framework is explicitly recommender-agnostic ("our framework
+    allows any type of RS to be used, be it content-based, memory-based CF,
+    or model-based"); this module provides the classic memory-based
+    alternative to {!Mf_model} so the claim is actually exercisable: item
+    similarities are adjusted-cosine over co-raters, and a user's predicted
+    rating is the similarity-weighted average of her ratings on the target
+    item's neighbours, falling back to item/global means.
+
+    Predictions expose the same [predict_clamped] / [top_n] surface as the
+    MF model, so {!Revmax_datagen.Pipeline.build_candidates_with} can build
+    the REVMAX candidate set from either substrate. *)
+
+type config = {
+  neighbours : int;  (** k: neighbours considered per prediction *)
+  min_overlap : int;  (** minimum co-raters for a similarity to count *)
+  shrinkage : float;  (** damping of similarities with few co-raters *)
+}
+
+val default_config : config
+(** 20 neighbours, overlap ≥ 2, shrinkage 10. *)
+
+type t
+
+val train : ?config:config -> Ratings.t -> t
+(** Precompute item-item similarities; O(ratings² / users) time,
+    O(items²) space — fine at the dataset scales of this repository. *)
+
+val similarity : t -> int -> int -> float
+(** Adjusted-cosine similarity between two items (0 when undefined). *)
+
+val predict : t -> int -> int -> float
+(** Raw prediction for (user, item). *)
+
+val predict_clamped : t -> int -> int -> float
+(** Prediction clamped to the observed rating range. *)
+
+val top_n : t -> user:int -> n:int -> ?exclude:int list -> unit -> (int * float) array
+(** The [n] items with the highest clamped prediction, best first. *)

@@ -1,0 +1,53 @@
+module Rng = Revmax_prelude.Rng
+module Util = Revmax_prelude.Util
+
+type t = {
+  factors : int;
+  global_bias : float;
+  user_bias : float array;
+  item_bias : float array;
+  user_vec : float array array;
+  item_vec : float array array;
+  r_min : float;
+  r_max : float;
+}
+
+let num_users t = Array.length t.user_bias
+let num_items t = Array.length t.item_bias
+
+let init ~num_users ~num_items ~factors ~global_bias ~r_min ~r_max ~init_std rng =
+  if factors <= 0 then invalid_arg "Mf_model.init: factors must be positive";
+  if r_min >= r_max then invalid_arg "Mf_model.init: empty rating range";
+  let vec () = Array.init factors (fun _ -> init_std *. Rng.gaussian rng) in
+  {
+    factors;
+    global_bias;
+    user_bias = Array.make num_users 0.0;
+    item_bias = Array.make num_items 0.0;
+    user_vec = Array.init num_users (fun _ -> vec ());
+    item_vec = Array.init num_items (fun _ -> vec ());
+    r_min;
+    r_max;
+  }
+
+let dot a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let predict t u i = t.global_bias +. t.user_bias.(u) +. t.item_bias.(i) +. dot t.user_vec.(u) t.item_vec.(i)
+
+let predict_clamped t u i = Util.clamp ~lo:t.r_min ~hi:t.r_max (predict t u i)
+
+let top_n t ~user ~n ?(exclude = []) () =
+  let excluded = Hashtbl.create (List.length exclude) in
+  List.iter (fun i -> Hashtbl.replace excluded i ()) exclude;
+  let candidates = ref [] in
+  for i = 0 to num_items t - 1 do
+    if not (Hashtbl.mem excluded i) then candidates := (i, predict_clamped t user i) :: !candidates
+  done;
+  let arr = Array.of_list !candidates in
+  Array.sort (fun (_, a) (_, b) -> compare b a) arr;
+  Array.sub arr 0 (min n (Array.length arr))

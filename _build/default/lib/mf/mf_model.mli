@@ -1,0 +1,44 @@
+(** Biased matrix-factorization model (Koren, Bell, Volinsky 2009 — the
+    paper's reference [18]): the predicted rating is
+
+    [r̂_ui = μ + b_u + b_i + p_u · q_i]
+
+    with [f]-dimensional latent vectors [p_u], [q_i]. The REVMAX pipeline
+    uses the model only through [predict] / [predict_clamped] and [top_n]. *)
+
+type t = {
+  factors : int;
+  global_bias : float;
+  user_bias : float array;
+  item_bias : float array;
+  user_vec : float array array;  (** [num_users × factors] *)
+  item_vec : float array array;  (** [num_items × factors] *)
+  r_min : float;  (** rating-scale lower bound, for clamping *)
+  r_max : float;  (** rating-scale upper bound *)
+}
+
+val num_users : t -> int
+val num_items : t -> int
+
+val init :
+  num_users:int ->
+  num_items:int ->
+  factors:int ->
+  global_bias:float ->
+  r_min:float ->
+  r_max:float ->
+  init_std:float ->
+  Revmax_prelude.Rng.t ->
+  t
+(** Model with small Gaussian-initialized latent vectors and zero biases. *)
+
+val predict : t -> int -> int -> float
+(** Raw (unclamped) prediction. *)
+
+val predict_clamped : t -> int -> int -> float
+(** Prediction clamped into [\[r_min, r_max\]] — the value fed to the
+    adoption-probability formula [q = Pr\[val ≥ p\] · r̂/r_max] of §6. *)
+
+val top_n : t -> user:int -> n:int -> ?exclude:int list -> unit -> (int * float) array
+(** The [n] items with the highest clamped prediction for the user, best
+    first, skipping [exclude] (e.g. already-rated items). *)

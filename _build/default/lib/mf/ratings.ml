@@ -1,0 +1,71 @@
+module Rng = Revmax_prelude.Rng
+
+type observation = { user : int; item : int; value : float }
+
+type t = {
+  num_users : int;
+  num_items : int;
+  obs : observation array;
+  user_index : int array array; (* observation indices per user *)
+}
+
+let create ~num_users ~num_items observations =
+  let obs = Array.of_list observations in
+  Array.iter
+    (fun o ->
+      if o.user < 0 || o.user >= num_users || o.item < 0 || o.item >= num_items then
+        invalid_arg "Ratings.create: id out of range")
+    obs;
+  let buckets = Array.make num_users [] in
+  Array.iteri (fun idx o -> buckets.(o.user) <- idx :: buckets.(o.user)) obs;
+  let user_index = Array.map (fun l -> Array.of_list (List.rev l)) buckets in
+  { num_users; num_items; obs; user_index }
+
+let num_users t = t.num_users
+let num_items t = t.num_items
+let num_ratings t = Array.length t.obs
+let observations t = t.obs
+
+let by_user t u =
+  if u < 0 || u >= t.num_users then invalid_arg "Ratings.by_user: user out of range";
+  Array.map (fun idx -> t.obs.(idx)) t.user_index.(u)
+
+let rated_items t u =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun idx ->
+      let i = t.obs.(idx).item in
+      if not (Hashtbl.mem seen i) then Hashtbl.add seen i ())
+    t.user_index.(u);
+  Hashtbl.fold (fun i () acc -> i :: acc) seen []
+
+let value_range t =
+  if Array.length t.obs = 0 then (0.0, 1.0)
+  else
+    Array.fold_left
+      (fun (lo, hi) o -> (Float.min lo o.value, Float.max hi o.value))
+      (t.obs.(0).value, t.obs.(0).value)
+      t.obs
+
+let global_mean t =
+  let n = Array.length t.obs in
+  if n = 0 then 0.0
+  else Array.fold_left (fun acc o -> acc +. o.value) 0.0 t.obs /. float_of_int n
+
+let split_folds t ~folds rng =
+  if folds < 2 then invalid_arg "Ratings.split_folds: need at least 2 folds";
+  let n = Array.length t.obs in
+  let assignment = Array.init n (fun i -> i mod folds) in
+  Rng.shuffle rng assignment;
+  Array.init folds (fun fold ->
+      let train = ref [] and test = ref [] in
+      for idx = n - 1 downto 0 do
+        let o = t.obs.(idx) in
+        if assignment.(idx) = fold then test := o :: !test else train := o :: !train
+      done;
+      ( create ~num_users:t.num_users ~num_items:t.num_items !train,
+        create ~num_users:t.num_users ~num_items:t.num_items !test ))
+
+let density t =
+  let cells = float_of_int t.num_users *. float_of_int t.num_items in
+  if cells <= 0.0 then 0.0 else float_of_int (Array.length t.obs) /. cells

@@ -1,0 +1,41 @@
+(** Sparse user–item rating data, the input of the matrix-factorization
+    recommender substrate (§2 / §6 of the paper).
+
+    Users and items are dense integer ids. The store keeps the observations
+    in a flat array plus per-user indices, which is all SGD training and
+    evaluation need. *)
+
+type observation = { user : int; item : int; value : float }
+
+type t
+
+val create : num_users:int -> num_items:int -> observation list -> t
+(** Build a store. Raises [Invalid_argument] on out-of-range ids. Duplicate
+    (user, item) observations are kept as given (later folds may separate
+    them). *)
+
+val num_users : t -> int
+val num_items : t -> int
+val num_ratings : t -> int
+
+val observations : t -> observation array
+(** The backing array (not copied — do not mutate). *)
+
+val by_user : t -> int -> observation array
+(** All observations of one user. *)
+
+val rated_items : t -> int -> int list
+(** Item ids the user has rated (with multiplicity removed). *)
+
+val value_range : t -> float * float
+(** [(min, max)] observed rating values; [(0., 1.)] when empty. *)
+
+val global_mean : t -> float
+(** Mean observed rating; 0 when empty. *)
+
+val split_folds : t -> folds:int -> Revmax_prelude.Rng.t -> (t * t) array
+(** [split_folds t ~folds rng] produces [folds] (train, test) pairs for
+    cross-validation; each observation appears in exactly one test fold. *)
+
+val density : t -> float
+(** Fraction of the user×item matrix that is observed. *)

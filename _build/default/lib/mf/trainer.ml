@@ -1,0 +1,73 @@
+module Rng = Revmax_prelude.Rng
+
+type config = {
+  factors : int;
+  epochs : int;
+  learning_rate : float;
+  regularization : float;
+  init_std : float;
+  lr_decay : float;
+}
+
+let default_config =
+  {
+    factors = 16;
+    epochs = 60;
+    learning_rate = 0.025;
+    regularization = 0.015;
+    init_std = 0.1;
+    lr_decay = 0.97;
+  }
+
+type history = { epoch : int; train_rmse : float }
+
+let rmse_on model obs =
+  let n = Array.length obs in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter
+      (fun (o : Ratings.observation) ->
+        let e = o.value -. Mf_model.predict model o.user o.item in
+        acc := !acc +. (e *. e))
+      obs;
+    sqrt (!acc /. float_of_int n)
+  end
+
+let train_with_history ?(config = default_config) ?r_range ratings rng =
+  let r_min, r_max = match r_range with Some r -> r | None -> Ratings.value_range ratings in
+  let model =
+    Mf_model.init
+      ~num_users:(Ratings.num_users ratings)
+      ~num_items:(Ratings.num_items ratings)
+      ~factors:config.factors ~global_bias:(Ratings.global_mean ratings) ~r_min ~r_max
+      ~init_std:config.init_std rng
+  in
+  let obs = Ratings.observations ratings in
+  let n = Array.length obs in
+  let order = Array.init n (fun i -> i) in
+  let lr = ref config.learning_rate in
+  let history = ref [] in
+  for epoch = 1 to config.epochs do
+    Rng.shuffle rng order;
+    Array.iter
+      (fun idx ->
+        let o = obs.(idx) in
+        let u = o.user and i = o.item in
+        let err = o.value -. Mf_model.predict model u i in
+        let reg = config.regularization in
+        model.user_bias.(u) <- model.user_bias.(u) +. (!lr *. (err -. (reg *. model.user_bias.(u))));
+        model.item_bias.(i) <- model.item_bias.(i) +. (!lr *. (err -. (reg *. model.item_bias.(i))));
+        let pu = model.user_vec.(u) and qi = model.item_vec.(i) in
+        for f = 0 to config.factors - 1 do
+          let puf = pu.(f) and qif = qi.(f) in
+          pu.(f) <- puf +. (!lr *. ((err *. qif) -. (reg *. puf)));
+          qi.(f) <- qif +. (!lr *. ((err *. puf) -. (reg *. qif)))
+        done)
+      order;
+    lr := !lr *. config.lr_decay;
+    history := { epoch; train_rmse = rmse_on model obs } :: !history
+  done;
+  (model, List.rev !history)
+
+let train ?config ?r_range ratings rng = fst (train_with_history ?config ?r_range ratings rng)

@@ -1,0 +1,35 @@
+(** Stochastic-gradient-descent training of the biased MF model with the
+    RMSE loss — the "vanilla MF model (we used the stochastic gradient
+    descent algorithm)" of §6. *)
+
+type config = {
+  factors : int;  (** latent dimensionality [f] *)
+  epochs : int;  (** full passes over the training data *)
+  learning_rate : float;
+  regularization : float;  (** L2 penalty on biases and vectors *)
+  init_std : float;  (** scale of the latent-vector initialization *)
+  lr_decay : float;  (** multiplicative learning-rate decay per epoch *)
+}
+
+val default_config : config
+(** 16 factors, 60 epochs, lr 0.025 (decay 0.97), reg 0.015, init 0.1. *)
+
+val train :
+  ?config:config ->
+  ?r_range:float * float ->
+  Ratings.t ->
+  Revmax_prelude.Rng.t ->
+  Mf_model.t
+(** Train on the full store. [r_range] fixes the rating scale used for
+    clamping (default: the observed range). Deterministic given the RNG. *)
+
+type history = { epoch : int; train_rmse : float }
+
+val train_with_history :
+  ?config:config ->
+  ?r_range:float * float ->
+  Ratings.t ->
+  Revmax_prelude.Rng.t ->
+  Mf_model.t * history list
+(** Same, also reporting the training RMSE after each epoch (ascending
+    epoch order) — used by tests to assert that SGD actually descends. *)

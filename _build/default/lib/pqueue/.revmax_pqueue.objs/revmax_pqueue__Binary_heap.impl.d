@@ -1,0 +1,1 @@
+lib/pqueue/binary_heap.ml: Array List Obj

@@ -1,0 +1,1 @@
+lib/pqueue/two_level_heap.ml: Binary_heap Hashtbl List Option

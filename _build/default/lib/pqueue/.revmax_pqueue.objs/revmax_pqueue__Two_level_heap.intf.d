@@ -1,0 +1,1 @@
+lib/pqueue/two_level_heap.mli:

@@ -1,0 +1,129 @@
+type 'a handle = {
+  mutable hkey : float;
+  hvalue : 'a;
+  mutable pos : int; (* -1 once removed *)
+  owner : int; (* identity of the owning heap, to catch cross-heap misuse *)
+}
+
+type 'a t = {
+  mutable data : 'a handle array; (* data.(0 .. size-1) are live *)
+  mutable heap_size : int;
+  id : int;
+}
+
+let next_id = ref 0
+
+let create ?(capacity = 16) () =
+  incr next_id;
+  { data = Array.make (max capacity 1) (Obj.magic 0); heap_size = 0; id = !next_id }
+
+let size t = t.heap_size
+
+let is_empty t = t.heap_size = 0
+
+let swap t i j =
+  let a = t.data.(i) and b = t.data.(j) in
+  t.data.(i) <- b;
+  t.data.(j) <- a;
+  a.pos <- j;
+  b.pos <- i
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.data.(parent).hkey < t.data.(i).hkey then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let largest = ref i in
+  if l < t.heap_size && t.data.(l).hkey > t.data.(!largest).hkey then largest := l;
+  if r < t.heap_size && t.data.(r).hkey > t.data.(!largest).hkey then largest := r;
+  if !largest <> i then begin
+    swap t i !largest;
+    sift_down t !largest
+  end
+
+let grow t =
+  let cap = Array.length t.data in
+  if t.heap_size = cap then begin
+    let data = Array.make (2 * cap) t.data.(0) in
+    Array.blit t.data 0 data 0 cap;
+    t.data <- data
+  end
+
+let insert t ~key v =
+  grow t;
+  let h = { hkey = key; hvalue = v; pos = t.heap_size; owner = t.id } in
+  t.data.(t.heap_size) <- h;
+  t.heap_size <- t.heap_size + 1;
+  sift_up t h.pos;
+  h
+
+let find_max t = if t.heap_size = 0 then None else Some (t.data.(0).hvalue, t.data.(0).hkey)
+
+let find_max_handle t = if t.heap_size = 0 then None else Some t.data.(0)
+
+let check t h =
+  if h.owner <> t.id || h.pos < 0 || h.pos >= t.heap_size || t.data.(h.pos) != h then
+    invalid_arg "Binary_heap: stale or foreign handle"
+
+let remove t h =
+  check t h;
+  let i = h.pos in
+  let last = t.heap_size - 1 in
+  if i <> last then swap t i last;
+  t.heap_size <- last;
+  h.pos <- -1;
+  if i < t.heap_size then begin
+    sift_down t i;
+    sift_up t i
+  end
+
+let delete_max t =
+  if t.heap_size = 0 then None
+  else begin
+    let h = t.data.(0) in
+    remove t h;
+    Some (h.hvalue, h.hkey)
+  end
+
+let update_key t h key =
+  check t h;
+  let old = h.hkey in
+  h.hkey <- key;
+  if key > old then sift_up t h.pos else if key < old then sift_down t h.pos
+
+let contains t h = h.owner = t.id && h.pos >= 0 && h.pos < t.heap_size && t.data.(h.pos) == h
+
+let key h = h.hkey
+
+let value h = h.hvalue
+
+let iter t f =
+  for i = 0 to t.heap_size - 1 do
+    f t.data.(i).hvalue t.data.(i).hkey
+  done
+
+let of_list l =
+  let t = create ~capacity:(max 1 (List.length l)) () in
+  List.iter
+    (fun (k, v) ->
+      grow t;
+      let h = { hkey = k; hvalue = v; pos = t.heap_size; owner = t.id } in
+      t.data.(t.heap_size) <- h;
+      t.heap_size <- t.heap_size + 1)
+    l;
+  (* bottom-up heapify: O(n) *)
+  for i = (t.heap_size / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  t
+
+let to_sorted_list t =
+  let items = ref [] in
+  iter t (fun v k -> items := (v, k) :: !items);
+  List.sort (fun (_, k1) (_, k2) -> compare k2 k1) !items

@@ -1,0 +1,112 @@
+type 'a t = {
+  lower : (int, 'a Binary_heap.t) Hashtbl.t;
+  upper : int Binary_heap.t;
+  upper_handle : (int, int Binary_heap.handle) Hashtbl.t;
+  mutable total : int;
+}
+
+let create () =
+  {
+    lower = Hashtbl.create 1024;
+    upper = Binary_heap.create ();
+    upper_handle = Hashtbl.create 1024;
+    total = 0;
+  }
+
+let size t = t.total
+
+let is_empty t = t.total = 0
+
+(* Re-establish the upper-level key of [pair] after its lower heap changed.
+   Removes the pair entirely when its lower heap has drained. *)
+let sync_upper t pair lower =
+  match Binary_heap.find_max lower with
+  | None ->
+      Hashtbl.remove t.lower pair;
+      (match Hashtbl.find_opt t.upper_handle pair with
+      | Some h ->
+          Binary_heap.remove t.upper h;
+          Hashtbl.remove t.upper_handle pair
+      | None -> ())
+  | Some (_, root_key) -> (
+      match Hashtbl.find_opt t.upper_handle pair with
+      | Some h -> Binary_heap.update_key t.upper h root_key
+      | None ->
+          let h = Binary_heap.insert t.upper ~key:root_key pair in
+          Hashtbl.replace t.upper_handle pair h)
+
+let insert t ~pair ~key v =
+  let lower =
+    match Hashtbl.find_opt t.lower pair with
+    | Some l -> l
+    | None ->
+        let l = Binary_heap.create ~capacity:8 () in
+        Hashtbl.replace t.lower pair l;
+        l
+  in
+  ignore (Binary_heap.insert lower ~key v);
+  t.total <- t.total + 1;
+  sync_upper t pair lower
+
+let find_max t =
+  match Binary_heap.find_max t.upper with
+  | None -> None
+  | Some (pair, _) -> (
+      let lower = Hashtbl.find t.lower pair in
+      match Binary_heap.find_max lower with
+      | None -> None (* unreachable: empty groups are removed eagerly *)
+      | Some (v, k) -> Some (pair, v, k))
+
+let delete_max t =
+  match Binary_heap.find_max t.upper with
+  | None -> None
+  | Some (pair, _) -> (
+      let lower = Hashtbl.find t.lower pair in
+      match Binary_heap.delete_max lower with
+      | None -> None
+      | Some (v, k) ->
+          t.total <- t.total - 1;
+          sync_upper t pair lower;
+          Some (pair, v, k))
+
+let refresh_pair t pair ~f =
+  match Hashtbl.find_opt t.lower pair with
+  | None -> ()
+  | Some lower ->
+      let old = ref [] in
+      Binary_heap.iter lower (fun v k -> old := (v, k) :: !old);
+      let n_old = List.length !old in
+      let rekeyed =
+        List.filter_map (fun (v, k) -> Option.map (fun k' -> (k', v)) (f v k)) !old
+      in
+      let fresh = Binary_heap.of_list rekeyed in
+      t.total <- t.total - n_old + Binary_heap.size fresh;
+      if Binary_heap.is_empty fresh then begin
+        Hashtbl.remove t.lower pair;
+        match Hashtbl.find_opt t.upper_handle pair with
+        | Some h ->
+            Binary_heap.remove t.upper h;
+            Hashtbl.remove t.upper_handle pair
+        | None -> ()
+      end
+      else begin
+        Hashtbl.replace t.lower pair fresh;
+        sync_upper t pair fresh
+      end
+
+let drop_pair t pair =
+  match Hashtbl.find_opt t.lower pair with
+  | None -> ()
+  | Some lower ->
+      t.total <- t.total - Binary_heap.size lower;
+      Hashtbl.remove t.lower pair;
+      (match Hashtbl.find_opt t.upper_handle pair with
+      | Some h ->
+          Binary_heap.remove t.upper h;
+          Hashtbl.remove t.upper_handle pair
+      | None -> ())
+
+let pair_size t pair =
+  match Hashtbl.find_opt t.lower pair with None -> 0 | Some l -> Binary_heap.size l
+
+let iter t f = Hashtbl.iter (fun pair lower -> Binary_heap.iter lower (fun v k -> f pair v k)) t.lower

@@ -1,0 +1,48 @@
+(** The two-level heap of §5.1 of the paper.
+
+    Elements are grouped by an integer [pair] (in the paper: a (user, item)
+    pair). Each group is a small lower-level max-heap over its elements (in
+    the paper: the time steps of that pair); a master upper-level heap orders
+    the groups by the key of their lower-level root. The globally best
+    element is always the root of the upper-level root's lower heap.
+
+    The payoff over one giant heap is that key updates triggered by a greedy
+    selection only traverse a lower heap of at most [T] elements plus the
+    upper heap of at most [|U|·|I|] groups — the rationale given in the
+    paper, and measured by the [abl-heap] benchmark. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+(** Total number of stored elements across all groups. *)
+
+val is_empty : 'a t -> bool
+
+val insert : 'a t -> pair:int -> key:float -> 'a -> unit
+(** Add an element to group [pair]; O(log) in the group and upper sizes. *)
+
+val find_max : 'a t -> (int * 'a * float) option
+(** Best element overall as [(pair, element, key)]; O(1). *)
+
+val delete_max : 'a t -> (int * 'a * float) option
+(** Remove and return the best element, fixing up both levels. Empty groups
+    are dropped from the upper level. *)
+
+val refresh_pair : 'a t -> int -> f:('a -> float -> float option) -> unit
+(** [refresh_pair t pair ~f] recomputes the key of every element in group
+    [pair]: [f elt old_key] returns the new key, or [None] to discard the
+    element. The group is re-heapified in O(group size) and the upper level
+    is updated. No-op if the group does not exist. This is the bulk
+    "recompute all stale triples of the lower heap" step of Algorithm 1. *)
+
+val drop_pair : 'a t -> int -> unit
+(** Remove an entire group (e.g. when a constraint permanently rules out all
+    of its elements). No-op if absent. *)
+
+val pair_size : 'a t -> int -> int
+(** Number of elements currently in a group (0 if absent). *)
+
+val iter : 'a t -> (int -> 'a -> float -> unit) -> unit
+(** Visit every stored element. The callback must not modify the heap. *)

@@ -1,0 +1,1 @@
+lib/prelude/summary.ml: Array Float Format Util

@@ -1,0 +1,1 @@
+lib/prelude/util.ml: Array Float Hashtbl List Unix

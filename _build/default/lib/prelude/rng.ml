@@ -1,0 +1,121 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = int64 t in
+  { state = mix64 s }
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (int64 t) 34)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound <= 1 lsl 30 then begin
+    (* rejection sampling to avoid modulo bias *)
+    let rec go () =
+      let r = bits30 t in
+      let v = r mod bound in
+      if r - v + (bound - 1) < 0 then go () else v
+    in
+    go ()
+  end else
+    (* large bounds: use 62 bits *)
+    let rec go () =
+      let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+      let v = r mod bound in
+      if r - v + (bound - 1) < 0 then go () else v
+    in
+    go ()
+
+let unit_float t =
+  (* 53 random bits mapped to [0,1) *)
+  let bits = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int bits *. 0x1.0p-53
+
+let float t x = unit_float t *. x
+
+let bool t = Int64.compare (int64 t) 0L < 0
+
+let bernoulli t p = unit_float t < p
+
+let uniform_in t lo hi = lo +. (unit_float t *. (hi -. lo))
+
+let gaussian t =
+  (* Box–Muller; draw until u1 is nonzero so the log is finite *)
+  let rec nonzero () =
+    let u = unit_float t in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = unit_float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let gaussian_mv t ~mean ~sigma = mean +. (sigma *. gaussian t)
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  let rec nonzero () =
+    let u = unit_float t in
+    if u > 0.0 then u else nonzero ()
+  in
+  -.log (nonzero ()) /. rate
+
+let pareto t ~alpha ~x_min =
+  if alpha <= 0.0 || x_min <= 0.0 then invalid_arg "Rng.pareto: parameters must be positive";
+  let rec nonzero () =
+    let u = unit_float t in
+    if u > 0.0 then u else nonzero ()
+  in
+  x_min /. (nonzero () ** (1.0 /. alpha))
+
+let lognormal t ~mu ~sigma = exp (mu +. (sigma *. gaussian t))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a
+
+let sample_without_replacement t n k =
+  if k > n then invalid_arg "Rng.sample_without_replacement: k > n";
+  if k * 3 >= n then begin
+    let p = permutation t n in
+    Array.sub p 0 k
+  end else begin
+    (* sparse draw with a hash-set of chosen values *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let v = int t n in
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out.(!filled) <- v;
+        incr filled
+      end
+    done;
+    out
+  end
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,73 @@
+type t = {
+  count : int;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+  median : float;
+  q25 : float;
+  q75 : float;
+}
+
+let quantile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Summary.quantile: empty array";
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let of_array xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.of_array: empty array";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let mean = Util.mean xs in
+  let var =
+    if n < 2 then 0.0
+    else begin
+      let acc = ref 0.0 in
+      Array.iter
+        (fun x ->
+          let d = x -. mean in
+          acc := !acc +. (d *. d))
+        xs;
+      !acc /. float_of_int (n - 1)
+    end
+  in
+  {
+    count = n;
+    mean;
+    std = sqrt var;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    median = quantile sorted 0.5;
+    q25 = quantile sorted 0.25;
+    q75 = quantile sorted 0.75;
+  }
+
+let histogram ?(bins = 10) xs =
+  let n = Array.length xs in
+  if n = 0 || bins <= 0 then [||]
+  else begin
+    let lo = Array.fold_left Float.min xs.(0) xs in
+    let hi = Array.fold_left Float.max xs.(0) xs in
+    let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+    let counts = Array.make bins 0 in
+    Array.iter
+      (fun x ->
+        let b = int_of_float ((x -. lo) /. width) in
+        let b = if b >= bins then bins - 1 else if b < 0 then 0 else b in
+        counts.(b) <- counts.(b) + 1)
+      xs;
+    Array.init bins (fun b ->
+        (lo +. (float_of_int b *. width), lo +. (float_of_int (b + 1) *. width), counts.(b)))
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.4g std=%.4g min=%.4g q25=%.4g med=%.4g q75=%.4g max=%.4g"
+    t.count t.mean t.std t.min t.q25 t.median t.q75 t.max

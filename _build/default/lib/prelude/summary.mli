@@ -1,0 +1,27 @@
+(** Descriptive statistics over float samples. *)
+
+type t = {
+  count : int;
+  mean : float;
+  std : float;  (** sample standard deviation (n−1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+  q25 : float;  (** lower quartile (linear interpolation) *)
+  q75 : float;  (** upper quartile (linear interpolation) *)
+}
+
+val of_array : float array -> t
+(** Summary of a sample. Raises [Invalid_argument] on the empty array. *)
+
+val quantile : float array -> float -> float
+(** [quantile sorted p] is the [p]-quantile (0 ≤ p ≤ 1) of an already
+    ascending-sorted array, with linear interpolation between order
+    statistics. *)
+
+val histogram : ?bins:int -> float array -> (float * float * int) array
+(** [histogram ~bins xs] buckets [xs] into [bins] equal-width bins over
+    [\[min xs, max xs\]] and returns [(lo, hi, count)] per bin. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-line rendering. *)

@@ -1,0 +1,46 @@
+type t = { columns : string array; mutable rows : string array list }
+
+let create ~columns = { columns = Array.of_list columns; rows = [] }
+
+let add_row t cells =
+  let n = Array.length t.columns in
+  let cells = Array.of_list cells in
+  if Array.length cells > n then invalid_arg "Table.add_row: too many cells";
+  let row = Array.make n "" in
+  Array.blit cells 0 row 0 (Array.length cells);
+  t.rows <- row :: t.rows
+
+let add_floats t ~label vs =
+  add_row t (label :: List.map (Printf.sprintf "%.4g") vs)
+
+let render t =
+  let rows = List.rev t.rows in
+  let n = Array.length t.columns in
+  let widths = Array.map String.length t.columns in
+  List.iter
+    (fun row ->
+      for i = 0 to n - 1 do
+        widths.(i) <- max widths.(i) (String.length row.(i))
+      done)
+    rows;
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    for i = 0 to n - 1 do
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf row.(i);
+      Buffer.add_string buf (String.make (widths.(i) - String.length row.(i)) ' ')
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.columns;
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_string buf "  ";
+    Buffer.add_string buf (String.make widths.(i) '-')
+  done;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  flush stdout

@@ -1,0 +1,24 @@
+(** Minimal ASCII table renderer for experiment reports.
+
+    Benchmarks print paper-style tables ("rows/series the paper reports")
+    through this module so that every experiment's output is uniform and easy
+    to diff across runs. *)
+
+type t
+
+val create : columns:string list -> t
+(** Table with the given header row. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Rows shorter than the header are right-padded with empty
+    cells; longer rows raise [Invalid_argument]. *)
+
+val add_floats : t -> label:string -> float list -> unit
+(** Convenience: a row whose first cell is [label] and remaining cells are
+    floats rendered with [%.4g]. *)
+
+val render : t -> string
+(** Render with aligned columns and a separator under the header. *)
+
+val print : t -> unit
+(** [render] to stdout, followed by a newline. *)

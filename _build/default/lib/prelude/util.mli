@@ -1,0 +1,45 @@
+(** Small general-purpose helpers shared across the library. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] restricts [x] to the closed interval [\[lo, hi\]]. *)
+
+val clamp_prob : float -> float
+(** [clamp_prob x] clamps [x] to [\[0, 1\]]. *)
+
+val float_equal : ?eps:float -> float -> float -> bool
+(** Approximate float equality: absolute or relative difference below [eps]
+    (default [1e-9]). *)
+
+val sum_floats : float array -> float
+(** Numerically robust (Kahan-compensated) sum. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val argmax : ('a -> float) -> 'a array -> int
+(** Index of the maximizer (first among ties). Raises [Invalid_argument] on
+    the empty array. *)
+
+val take : int -> 'a list -> 'a list
+(** First [n] elements (or fewer if the list is short). *)
+
+val range : int -> int list
+(** [range n] is [\[0; 1; ...; n-1\]]. *)
+
+val fold_range : int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** [fold_range n ~init ~f] folds [f] over [0..n-1]. *)
+
+val time_it : (unit -> 'a) -> 'a * float
+(** [time_it f] runs [f ()] and returns its result together with the elapsed
+    wall-clock time in seconds. *)
+
+val with_index : 'a array -> (int * 'a) array
+(** Pair every element with its index. *)
+
+val group_by : ('a -> int) -> 'a list -> (int, 'a list) Hashtbl.t
+(** Bucket list elements by an integer key. Order within a bucket follows the
+    input order. *)
+
+val top_k_by : int -> ('a -> float) -> 'a array -> 'a array
+(** [top_k_by k score a] returns the [k] highest-scoring elements of [a]
+    in descending score order (fewer if [a] is short). [a] is not modified. *)

@@ -1,0 +1,1 @@
+lib/stats/distribution.ml: Array Format Revmax_prelude Special

@@ -1,0 +1,1 @@
+lib/stats/kde.ml: Array Distribution Float Revmax_prelude Special

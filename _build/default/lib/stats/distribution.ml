@@ -1,0 +1,57 @@
+module Rng = Revmax_prelude.Rng
+
+type t =
+  | Gaussian of { mean : float; sigma : float }
+  | Exponential of { rate : float }
+  | Lognormal of { mu : float; sigma : float }
+  | Uniform of { lo : float; hi : float }
+  | Pareto of { alpha : float; x_min : float }
+
+let pdf t x =
+  match t with
+  | Gaussian { mean; sigma } -> Special.gaussian_pdf ~mean ~sigma x
+  | Exponential { rate } -> if x < 0.0 then 0.0 else rate *. exp (-.rate *. x)
+  | Lognormal { mu; sigma } ->
+      if x <= 0.0 then 0.0
+      else Special.gaussian_pdf ~mean:mu ~sigma (log x) /. x
+  | Uniform { lo; hi } -> if x < lo || x > hi then 0.0 else 1.0 /. (hi -. lo)
+  | Pareto { alpha; x_min } ->
+      if x < x_min then 0.0 else alpha *. (x_min ** alpha) /. (x ** (alpha +. 1.0))
+
+let cdf t x =
+  match t with
+  | Gaussian { mean; sigma } -> Special.gaussian_cdf ~mean ~sigma x
+  | Exponential { rate } -> if x < 0.0 then 0.0 else 1.0 -. exp (-.rate *. x)
+  | Lognormal { mu; sigma } ->
+      if x <= 0.0 then 0.0 else Special.gaussian_cdf ~mean:mu ~sigma (log x)
+  | Uniform { lo; hi } ->
+      if x < lo then 0.0 else if x > hi then 1.0 else (x -. lo) /. (hi -. lo)
+  | Pareto { alpha; x_min } -> if x < x_min then 0.0 else 1.0 -. ((x_min /. x) ** alpha)
+
+let sf t x = 1.0 -. cdf t x
+
+let mean = function
+  | Gaussian { mean; _ } -> mean
+  | Exponential { rate } -> 1.0 /. rate
+  | Lognormal { mu; sigma } -> exp (mu +. (0.5 *. sigma *. sigma))
+  | Uniform { lo; hi } -> 0.5 *. (lo +. hi)
+  | Pareto { alpha; x_min } ->
+      if alpha <= 1.0 then invalid_arg "Distribution.mean: Pareto with alpha <= 1"
+      else alpha *. x_min /. (alpha -. 1.0)
+
+let sample t rng =
+  match t with
+  | Gaussian { mean; sigma } -> Rng.gaussian_mv rng ~mean ~sigma
+  | Exponential { rate } -> Rng.exponential rng ~rate
+  | Lognormal { mu; sigma } -> Rng.lognormal rng ~mu ~sigma
+  | Uniform { lo; hi } -> Rng.uniform_in rng lo hi
+  | Pareto { alpha; x_min } -> Rng.pareto rng ~alpha ~x_min
+
+let sample_n t rng n = Array.init n (fun _ -> sample t rng)
+
+let pp ppf = function
+  | Gaussian { mean; sigma } -> Format.fprintf ppf "Gaussian(mean=%g, sigma=%g)" mean sigma
+  | Exponential { rate } -> Format.fprintf ppf "Exponential(rate=%g)" rate
+  | Lognormal { mu; sigma } -> Format.fprintf ppf "Lognormal(mu=%g, sigma=%g)" mu sigma
+  | Uniform { lo; hi } -> Format.fprintf ppf "Uniform(%g, %g)" lo hi
+  | Pareto { alpha; x_min } -> Format.fprintf ppf "Pareto(alpha=%g, x_min=%g)" alpha x_min

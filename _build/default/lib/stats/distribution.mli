@@ -1,0 +1,31 @@
+(** Univariate probability distributions used throughout the data models:
+    Gaussian valuations (§6.1), exponential and Gaussian capacities (§6.1),
+    power-law capacities (Figure 1/7), log-normal base prices, and uniform
+    synthetic prices (§6, synthetic data). *)
+
+type t =
+  | Gaussian of { mean : float; sigma : float }
+  | Exponential of { rate : float }  (** inverse scale; mean is [1/rate] *)
+  | Lognormal of { mu : float; sigma : float }
+      (** parameters of the underlying normal *)
+  | Uniform of { lo : float; hi : float }
+  | Pareto of { alpha : float; x_min : float }
+      (** power law with tail exponent [alpha] *)
+
+val pdf : t -> float -> float
+val cdf : t -> float -> float
+
+val sf : t -> float -> float
+(** Survival function [Pr\[X ≥ x\]]. *)
+
+val mean : t -> float
+(** Expected value. Raises [Invalid_argument] for a Pareto with
+    [alpha <= 1] (infinite mean). *)
+
+val sample : t -> Revmax_prelude.Rng.t -> float
+(** One random deviate. *)
+
+val sample_n : t -> Revmax_prelude.Rng.t -> int -> float array
+(** [n] independent deviates. *)
+
+val pp : Format.formatter -> t -> unit

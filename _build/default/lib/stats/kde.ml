@@ -1,0 +1,74 @@
+module Rng = Revmax_prelude.Rng
+module Util = Revmax_prelude.Util
+
+type t = { points : float array; h : float }
+
+let sample_std xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = Util.mean xs in
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        let d = x -. m in
+        acc := !acc +. (d *. d))
+      xs;
+    sqrt (!acc /. float_of_int (n - 1))
+  end
+
+let silverman_bandwidth xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Kde.silverman_bandwidth: empty sample";
+  let sigma = sample_std xs in
+  if sigma <= 0.0 then
+    (* degenerate sample: use a bandwidth proportional to the magnitude so the
+       density remains proper instead of a Dirac spike *)
+    Float.max 1e-3 (0.01 *. Float.abs xs.(0))
+  else (4.0 *. (sigma ** 5.0) /. (3.0 *. float_of_int n)) ** 0.2
+
+let fit ?bandwidth xs =
+  if Array.length xs = 0 then invalid_arg "Kde.fit: empty sample";
+  let h = match bandwidth with Some h -> h | None -> silverman_bandwidth xs in
+  if h <= 0.0 then invalid_arg "Kde.fit: bandwidth must be positive";
+  { points = Array.copy xs; h }
+
+let bandwidth t = t.h
+
+let sample_points t = Array.copy t.points
+
+let pdf t x =
+  let n = Array.length t.points in
+  let acc = ref 0.0 in
+  Array.iter (fun p -> acc := !acc +. Special.gaussian_pdf ~mean:p ~sigma:t.h x) t.points;
+  !acc /. float_of_int n
+
+let cdf t x =
+  let n = Array.length t.points in
+  let acc = ref 0.0 in
+  Array.iter (fun p -> acc := !acc +. Special.gaussian_cdf ~mean:p ~sigma:t.h x) t.points;
+  !acc /. float_of_int n
+
+let sf t x = 1.0 -. cdf t x
+
+let draw t rng =
+  let p = Rng.choose rng t.points in
+  Rng.gaussian_mv rng ~mean:p ~sigma:t.h
+
+let draw_n t rng n = Array.init n (fun _ -> draw t rng)
+
+let mean t = Util.mean t.points
+
+let variance t =
+  let n = Array.length t.points in
+  let m = mean t in
+  let acc = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let d = x -. m in
+      acc := !acc +. (d *. d))
+    t.points;
+  (!acc /. float_of_int n) +. (t.h *. t.h)
+
+let gaussian_proxy t =
+  Distribution.Gaussian { mean = mean t; sigma = sqrt (variance t) }

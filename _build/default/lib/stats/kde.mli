@@ -1,0 +1,47 @@
+(** Gaussian-kernel kernel density estimation with Silverman's
+    rule-of-thumb bandwidth — the price/valuation learning pipeline of §6.1.
+
+    Given the list of prices reported for an item, the paper fits
+    [f̂(x) = 1/(n·h) Σ_j φ((x − p_j)/h)] with the standard Gaussian kernel
+    [φ] and bandwidth [h* = (4σ̂⁵ / 3n)^{1/5}], samples [T] prices from the
+    estimate, and reuses the estimate as the item's valuation distribution. *)
+
+type t
+(** A fitted density estimate. *)
+
+val silverman_bandwidth : float array -> float
+(** [h* = (4 σ̂⁵ / (3 n))^{1/5}] where [σ̂] is the sample standard deviation.
+    Falls back to a small positive bandwidth when the sample is constant or a
+    singleton so the estimate stays proper. *)
+
+val fit : ?bandwidth:float -> float array -> t
+(** Fit on a non-empty sample. [bandwidth] overrides Silverman's rule. *)
+
+val bandwidth : t -> float
+val sample_points : t -> float array
+
+val pdf : t -> float -> float
+(** Mixture density at a point. *)
+
+val cdf : t -> float -> float
+(** Exact mixture CDF (average of Gaussian CDFs centred at the data). *)
+
+val sf : t -> float -> float
+(** Survival function [Pr\[X ≥ x\]]. *)
+
+val draw : t -> Revmax_prelude.Rng.t -> float
+(** Sample from the estimated density: pick a data point uniformly, add
+    Gaussian noise of scale [bandwidth]. *)
+
+val draw_n : t -> Revmax_prelude.Rng.t -> int -> float array
+
+val mean : t -> float
+(** Mean of the estimated density (= sample mean). *)
+
+val variance : t -> float
+(** Variance of the estimated density (= sample variance + h²). *)
+
+val gaussian_proxy : t -> Distribution.t
+(** Single-Gaussian moment-matched summary of the estimate, used as the
+    item's valuation distribution exactly as §6.1 does ("the distribution f_i
+    remains Gaussian"): mean and variance are those of the KDE mixture. *)

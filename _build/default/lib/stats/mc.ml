@@ -1,0 +1,19 @@
+type estimate = { mean : float; std_error : float; samples : int }
+
+let estimate ~samples rng f =
+  if samples <= 0 then invalid_arg "Mc.estimate: samples must be positive";
+  let acc = ref 0.0 and acc2 = ref 0.0 in
+  for _ = 1 to samples do
+    let v = f rng in
+    acc := !acc +. v;
+    acc2 := !acc2 +. (v *. v)
+  done;
+  let n = float_of_int samples in
+  let mean = !acc /. n in
+  let var = Float.max 0.0 ((!acc2 /. n) -. (mean *. mean)) in
+  let std_error = if samples > 1 then sqrt (var /. (n -. 1.0)) else Float.infinity in
+  { mean; std_error; samples }
+
+let ci95 e = (e.mean -. (1.96 *. e.std_error), e.mean +. (1.96 *. e.std_error))
+
+let within_ci e x = Float.abs (x -. e.mean) <= 4.0 *. e.std_error +. 1e-12

@@ -1,0 +1,18 @@
+(** Monte-Carlo estimation helpers. *)
+
+type estimate = {
+  mean : float;
+  std_error : float;
+  samples : int;
+}
+
+val estimate : samples:int -> Revmax_prelude.Rng.t -> (Revmax_prelude.Rng.t -> float) -> estimate
+(** [estimate ~samples rng f] averages [samples] evaluations of [f]. The
+    standard error is the sample standard deviation divided by √samples. *)
+
+val ci95 : estimate -> float * float
+(** 95% normal confidence interval [(lo, hi)]. *)
+
+val within_ci : estimate -> float -> bool
+(** Whether a reference value lies inside a (slightly widened, 4σ) interval —
+    the predicate used by stochastic tests to keep flakiness negligible. *)

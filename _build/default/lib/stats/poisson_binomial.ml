@@ -1,0 +1,62 @@
+module Rng = Revmax_prelude.Rng
+
+let check ps =
+  Array.iter
+    (fun p ->
+      if p < 0.0 || p > 1.0 || Float.is_nan p then
+        invalid_arg "Poisson_binomial: probabilities must lie in [0,1]")
+    ps
+
+let pmf ps =
+  check ps;
+  let n = Array.length ps in
+  let dp = Array.make (n + 1) 0.0 in
+  dp.(0) <- 1.0;
+  for i = 0 to n - 1 do
+    let p = ps.(i) in
+    (* descending j so dp.(j-1) is still the previous round's value *)
+    for j = i + 1 downto 1 do
+      dp.(j) <- (dp.(j) *. (1.0 -. p)) +. (dp.(j - 1) *. p)
+    done;
+    dp.(0) <- dp.(0) *. (1.0 -. p)
+  done;
+  dp
+
+let at_most ps m =
+  check ps;
+  let n = Array.length ps in
+  if m < 0 then 0.0
+  else if m >= n then 1.0
+  else begin
+    (* truncated DP: states 0..m plus an absorbing ">m" bucket *)
+    let dp = Array.make (m + 1) 0.0 in
+    dp.(0) <- 1.0;
+    for i = 0 to n - 1 do
+      let p = ps.(i) in
+      for j = min m (i + 1) downto 1 do
+        dp.(j) <- (dp.(j) *. (1.0 -. p)) +. (dp.(j - 1) *. p)
+      done;
+      dp.(0) <- dp.(0) *. (1.0 -. p)
+    done;
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. x) dp;
+    Float.min 1.0 !acc
+  end
+
+let at_least ps m =
+  if m <= 0 then 1.0 else 1.0 -. at_most ps (m - 1)
+
+let mean ps =
+  check ps;
+  Array.fold_left ( +. ) 0.0 ps
+
+let monte_carlo_at_most ps m ~samples rng =
+  check ps;
+  if samples <= 0 then invalid_arg "Poisson_binomial.monte_carlo_at_most: samples must be positive";
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    let successes = ref 0 in
+    Array.iter (fun p -> if Rng.bernoulli rng p then incr successes) ps;
+    if !successes <= m then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples

@@ -1,0 +1,28 @@
+(** Poisson-binomial distribution: the number of successes among independent
+    Bernoulli trials with heterogeneous probabilities.
+
+    This is the exact tool behind the paper's capacity factor
+    [B_S(i,t) = Pr\[at most q_i − 1 users in S_{i,t} adopt i\]]
+    (Definition 4). The paper computes it "exactly in worst-case exponential
+    time" or by Monte-Carlo; the standard dynamic program below is exact in
+    [O(n · min(n, m+1))] time and is what the library uses by default, with
+    Monte-Carlo retained for cross-validation. *)
+
+val pmf : float array -> float array
+(** [pmf ps] is the full probability mass function: element [j] is
+    [Pr\[exactly j successes\]], length [Array.length ps + 1]. O(n²). *)
+
+val at_most : float array -> int -> float
+(** [at_most ps m = Pr\[#successes ≤ m\]], exact DP truncated at [m+1]
+    states: O(n · (m+1)). [m < 0] gives 0; [m ≥ n] gives 1. *)
+
+val at_least : float array -> int -> float
+(** [at_least ps m = Pr\[#successes ≥ m\]]. *)
+
+val mean : float array -> float
+(** Expected number of successes [Σ p_j]. *)
+
+val monte_carlo_at_most :
+  float array -> int -> samples:int -> Revmax_prelude.Rng.t -> float
+(** Monte-Carlo estimate of [at_most], for testing the DP against the
+    paper's suggested estimator. *)

@@ -1,0 +1,60 @@
+(* erfc with fractional error < 1.2e-7 everywhere (Numerical Recipes §6.2,
+   Chebyshev fit to the scaled complementary error function). *)
+let erfc x =
+  let z = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.5 *. z)) in
+  let poly =
+    -1.26551223
+    +. t
+       *. (1.00002368
+          +. t
+             *. (0.37409196
+                +. t
+                   *. (0.09678418
+                      +. t
+                         *. (-0.18628806
+                            +. t
+                               *. (0.27886807
+                                  +. t
+                                     *. (-1.13520398
+                                        +. t
+                                           *. (1.48851587
+                                              +. t *. (-0.82215223 +. (t *. 0.17087277)))))))))
+  in
+  let ans = t *. exp ((-.z *. z) +. poly) in
+  if x >= 0.0 then ans else 2.0 -. ans
+
+let erf x = 1.0 -. erfc x
+
+let sqrt_2pi = sqrt (2.0 *. Float.pi)
+
+let gaussian_pdf ~mean ~sigma x =
+  if sigma <= 0.0 then invalid_arg "Special.gaussian_pdf: sigma must be positive";
+  let z = (x -. mean) /. sigma in
+  exp (-0.5 *. z *. z) /. (sigma *. sqrt_2pi)
+
+let gaussian_cdf ~mean ~sigma x =
+  if sigma <= 0.0 then invalid_arg "Special.gaussian_cdf: sigma must be positive";
+  0.5 *. erfc (-.(x -. mean) /. (sigma *. sqrt 2.0))
+
+let gaussian_sf ~mean ~sigma x =
+  if sigma <= 0.0 then invalid_arg "Special.gaussian_sf: sigma must be positive";
+  0.5 *. erfc ((x -. mean) /. (sigma *. sqrt 2.0))
+
+let log_factorial =
+  let table_size = 256 in
+  let table = lazy (
+    let t = Array.make table_size 0.0 in
+    for n = 2 to table_size - 1 do
+      t.(n) <- t.(n - 1) +. log (float_of_int n)
+    done;
+    t)
+  in
+  fun n ->
+    if n < 0 then invalid_arg "Special.log_factorial: negative argument";
+    if n < table_size then (Lazy.force table).(n)
+    else begin
+      (* Stirling series with 1/(12n) correction *)
+      let x = float_of_int n in
+      (x *. log x) -. x +. (0.5 *. log (2.0 *. Float.pi *. x)) +. (1.0 /. (12.0 *. x))
+    end

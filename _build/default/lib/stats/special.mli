@@ -1,0 +1,27 @@
+(** Special functions needed by the statistical substrate.
+
+    OCaml's standard library has no error function; the valuation model of
+    the paper (§6.1) needs [Pr\[val ≥ p\] = ½(1 − erf((p−μ)/(√2 σ)))], so we
+    provide an [erf] accurate to ~1.2e-7 relative error (sufficient for
+    probability estimation from noisy data) together with the Gaussian
+    pdf/cdf built on it. *)
+
+val erf : float -> float
+(** Gauss error function. *)
+
+val erfc : float -> float
+(** Complementary error function [1 - erf x], computed without cancellation
+    for large [x]. *)
+
+val gaussian_pdf : mean:float -> sigma:float -> float -> float
+(** Normal density. [sigma] must be positive. *)
+
+val gaussian_cdf : mean:float -> sigma:float -> float -> float
+(** Normal cumulative distribution function. *)
+
+val gaussian_sf : mean:float -> sigma:float -> float -> float
+(** Normal survival function [Pr\[X ≥ x\]] — the paper's
+    [Pr\[val_ui ≥ p(i,t)\]] valuation-exceedance probability. *)
+
+val log_factorial : int -> float
+(** [log n!], exact summation for small [n], Stirling series beyond. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array List Revmax Revmax_prelude

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Hashtbl Helpers List Printf QCheck2 QCheck_alcotest Revmax Revmax_prelude Revmax_stats

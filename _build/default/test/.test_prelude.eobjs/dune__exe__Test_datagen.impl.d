@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Helpers List Printf Revmax Revmax_datagen Revmax_mf Revmax_prelude Revmax_stats

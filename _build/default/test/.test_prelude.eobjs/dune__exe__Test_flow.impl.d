@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Helpers QCheck2 QCheck_alcotest Revmax_flow Revmax_prelude

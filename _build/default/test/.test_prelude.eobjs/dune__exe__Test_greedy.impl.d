@@ -1,0 +1,1 @@
+test/test_greedy.ml: Alcotest Array Float Helpers List QCheck2 QCheck_alcotest Revmax Revmax_prelude

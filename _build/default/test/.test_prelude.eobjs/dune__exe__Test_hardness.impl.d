@@ -1,0 +1,1 @@
+test/test_hardness.ml: Alcotest Array Helpers Revmax Revmax_prelude

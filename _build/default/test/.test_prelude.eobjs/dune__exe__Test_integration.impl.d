@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Helpers Lazy List Printf Revmax Revmax_datagen Revmax_mf Revmax_prelude Revmax_stats

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Filename Fun Helpers List Out_channel Revmax Revmax_prelude Sys

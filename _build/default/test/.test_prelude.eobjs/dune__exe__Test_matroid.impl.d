@@ -1,0 +1,1 @@
+test/test_matroid.ml: Alcotest Array Hashtbl Helpers List QCheck2 QCheck_alcotest Revmax_matroid Revmax_prelude

@@ -1,0 +1,1 @@
+test/test_mf.ml: Alcotest Array Helpers List Revmax_datagen Revmax_mf Revmax_prelude Revmax_stats

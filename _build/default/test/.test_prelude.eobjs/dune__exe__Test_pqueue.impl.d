@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest Float Helpers List QCheck2 QCheck_alcotest Revmax_pqueue

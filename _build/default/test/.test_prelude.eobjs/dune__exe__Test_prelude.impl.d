@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Fun Hashtbl Helpers List Revmax_prelude String

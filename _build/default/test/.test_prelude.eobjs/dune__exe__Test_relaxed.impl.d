@@ -1,0 +1,1 @@
+test/test_relaxed.ml: Alcotest Array Float Helpers List Printf QCheck2 QCheck_alcotest Revmax Revmax_matroid Revmax_prelude Revmax_stats

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Format Helpers List Printf QCheck2 QCheck_alcotest Revmax_prelude Revmax_stats

@@ -1,0 +1,572 @@
+module Rng = Revmax_prelude.Rng
+module Instance = Revmax.Instance
+module Triple = Revmax.Triple
+module Strategy = Revmax.Strategy
+module Revenue = Revmax.Revenue
+module Simulate = Revmax.Simulate
+module Capacity_oracle = Revmax.Capacity_oracle
+open Helpers
+
+(* ----- Instance ----- *)
+
+let test_instance_accessors () =
+  let inst = example4_instance () in
+  Alcotest.(check int) "users" 1 (Instance.num_users inst);
+  Alcotest.(check int) "items" 1 (Instance.num_items inst);
+  Alcotest.(check int) "horizon" 2 (Instance.horizon inst);
+  Alcotest.(check int) "k" 1 (Instance.display_limit inst);
+  Alcotest.(check int) "classes" 1 (Instance.num_classes inst);
+  Alcotest.(check int) "class size" 1 (Instance.class_size inst 0);
+  Alcotest.(check int) "capacity" 2 (Instance.capacity inst 0);
+  check_float "saturation" 0.1 (Instance.saturation inst 0);
+  check_float "price t1" 1.0 (Instance.price inst ~i:0 ~time:1);
+  check_float "price t2" 0.95 (Instance.price inst ~i:0 ~time:2);
+  check_float "q t1" 0.5 (Instance.q inst ~u:0 ~i:0 ~time:1);
+  check_float "q t2" 0.6 (Instance.q inst ~u:0 ~i:0 ~time:2);
+  Alcotest.(check bool) "candidate" true (Instance.is_candidate inst ~u:0 ~i:0);
+  Alcotest.(check int) "candidate triples" 2 (Instance.num_candidate_triples inst)
+
+let test_instance_validation () =
+  let bad f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "bad horizon" true
+    (bad (fun () ->
+         ignore
+           (Instance.create ~num_users:1 ~num_items:1 ~horizon:0 ~display_limit:1
+              ~class_of:[| 0 |] ~capacity:[| 1 |] ~saturation:[| 1.0 |] ~price:[| [||] |]
+              ~adoption:[] ())));
+  Alcotest.(check bool) "bad saturation" true
+    (bad (fun () ->
+         ignore
+           (Instance.create ~num_users:1 ~num_items:1 ~horizon:1 ~display_limit:1
+              ~class_of:[| 0 |] ~capacity:[| 1 |] ~saturation:[| 1.5 |] ~price:[| [| 1.0 |] |]
+              ~adoption:[] ())));
+  Alcotest.(check bool) "bad adoption prob" true
+    (bad (fun () ->
+         ignore
+           (Instance.create ~num_users:1 ~num_items:1 ~horizon:1 ~display_limit:1
+              ~class_of:[| 0 |] ~capacity:[| 1 |] ~saturation:[| 1.0 |] ~price:[| [| 1.0 |] |]
+              ~adoption:[ (0, 0, [| 1.2 |]) ] ())));
+  Alcotest.(check bool) "duplicate adoption" true
+    (bad (fun () ->
+         ignore
+           (Instance.create ~num_users:1 ~num_items:1 ~horizon:1 ~display_limit:1
+              ~class_of:[| 0 |] ~capacity:[| 1 |] ~saturation:[| 1.0 |] ~price:[| [| 1.0 |] |]
+              ~adoption:[ (0, 0, [| 0.5 |]); (0, 0, [| 0.4 |]) ] ())));
+  Alcotest.(check bool) "negative price" true
+    (bad (fun () ->
+         ignore
+           (Instance.create ~num_users:1 ~num_items:1 ~horizon:1 ~display_limit:1
+              ~class_of:[| 0 |] ~capacity:[| 1 |] ~saturation:[| 1.0 |] ~price:[| [| -1.0 |] |]
+              ~adoption:[] ())))
+
+let test_instance_candidate_views () =
+  let inst = example1_instance 0.4 in
+  let cands = Instance.candidates inst 0 in
+  Alcotest.(check int) "two candidate items" 2 (Array.length cands);
+  Alcotest.(check (list int)) "class members" [ 0; 1 ]
+    (List.sort compare (Instance.candidate_items_in_class inst ~u:0 ~cls:0));
+  Alcotest.(check int) "positive triples" 6 (Instance.num_candidate_triples inst);
+  let count = ref 0 in
+  Instance.iter_candidate_triples inst (fun _ q ->
+      incr count;
+      check_float "q value" 0.4 q);
+  Alcotest.(check int) "iterated all" 6 !count
+
+let test_saturation_disabled_view () =
+  let inst = example4_instance () in
+  let inst' = Instance.with_saturation_disabled inst in
+  check_float "disabled" 1.0 (Instance.saturation inst' 0);
+  check_float "original untouched" 0.1 (Instance.saturation inst 0)
+
+(* ----- Strategy ----- *)
+
+let test_strategy_add_remove () =
+  let inst = example1_instance 0.4 in
+  let s = Strategy.create inst in
+  let z1 = triple 0 0 1 and z2 = triple 0 1 2 in
+  Strategy.add s z1;
+  Strategy.add s z2;
+  Alcotest.(check int) "size" 2 (Strategy.size s);
+  Alcotest.(check bool) "mem" true (Strategy.mem s z1);
+  Strategy.remove s z1;
+  Alcotest.(check bool) "removed" false (Strategy.mem s z1);
+  Alcotest.(check int) "size after remove" 1 (Strategy.size s);
+  Alcotest.check_raises "duplicate add" (Invalid_argument "Strategy.add: duplicate triple")
+    (fun () ->
+      Strategy.add s z2);
+  Alcotest.check_raises "absent remove" (Invalid_argument "Strategy.remove: absent triple")
+    (fun () -> Strategy.remove s z1)
+
+let test_strategy_chain_order () =
+  let inst = example1_instance 0.4 in
+  let s = Strategy.create inst in
+  (* insert out of order; chain must come back time-ascending *)
+  Strategy.add s (triple 0 0 3);
+  Strategy.add s (triple 0 1 1);
+  Strategy.add s (triple 0 0 2);
+  let chain = Strategy.chain s ~u:0 ~cls:0 in
+  Alcotest.(check (list int)) "ascending times" [ 1; 2; 3 ]
+    (List.map (fun (z : Triple.t) -> z.t) chain);
+  Alcotest.(check int) "chain size" 3 (Strategy.chain_size s ~u:0 ~cls:0)
+
+let test_strategy_constraints () =
+  let inst = example1_instance 0.4 in
+  (* k = 1: two items at the same time violate the display constraint *)
+  let s = Strategy.create inst in
+  Strategy.add s (triple 0 0 1);
+  Alcotest.(check bool) "display blocks" false (Strategy.can_add s (triple 0 1 1));
+  Alcotest.(check bool) "other time fine" true (Strategy.can_add s (triple 0 1 2));
+  Alcotest.(check int) "display count" 1 (Strategy.display_count s ~u:0 ~time:1);
+  Alcotest.(check bool) "valid" true (Strategy.is_valid s);
+  (* force a violation and check the validators *)
+  Strategy.add s (triple 0 1 1);
+  Alcotest.(check bool) "invalid display" false (Strategy.is_valid_display_only s);
+  Alcotest.(check bool) "invalid overall" false (Strategy.is_valid s)
+
+let test_strategy_capacity_tracking () =
+  let inst =
+    Instance.create ~num_users:3 ~num_items:1 ~horizon:2 ~display_limit:1 ~class_of:[| 0 |]
+      ~capacity:[| 2 |] ~saturation:[| 1.0 |]
+      ~price:[| [| 1.0; 1.0 |] |]
+      ~adoption:[ (0, 0, [| 0.5; 0.5 |]); (1, 0, [| 0.5; 0.5 |]); (2, 0, [| 0.5; 0.5 |]) ]
+      ()
+  in
+  let s = Strategy.create inst in
+  Strategy.add s (triple 0 0 1);
+  Strategy.add s (triple 0 0 2);
+  (* same user twice: only one distinct user *)
+  Alcotest.(check int) "distinct users" 1 (Strategy.item_user_count s 0);
+  Strategy.add s (triple 1 0 1);
+  Alcotest.(check int) "two users" 2 (Strategy.item_user_count s 0);
+  Alcotest.(check bool) "capacity blocks third" false (Strategy.can_add s (triple 2 0 1));
+  Alcotest.(check bool) "existing user still allowed" true (Strategy.can_add s (triple 1 0 2));
+  Alcotest.(check bool) "still valid" true (Strategy.is_valid s)
+
+let test_strategy_copy_independent () =
+  let inst = example1_instance 0.3 in
+  let s = Strategy.create inst in
+  Strategy.add s (triple 0 0 1);
+  let s' = Strategy.copy s in
+  Strategy.add s' (triple 0 1 2);
+  Alcotest.(check int) "original unchanged" 1 (Strategy.size s);
+  Alcotest.(check int) "copy grew" 2 (Strategy.size s')
+
+let test_repeat_histogram () =
+  let inst = example1_instance 0.3 in
+  let s = Strategy.create inst in
+  Strategy.add s (triple 0 0 1);
+  Strategy.add s (triple 0 0 2);
+  Strategy.add s (triple 0 1 3);
+  let hist = Strategy.repeat_histogram s in
+  Alcotest.(check int) "one pair once" 1 hist.(0);
+  Alcotest.(check int) "one pair twice" 1 hist.(1);
+  Alcotest.(check int) "none thrice" 0 hist.(2)
+
+(* ----- Revenue: the paper's worked examples ----- *)
+
+let test_memory_formula () =
+  let chain = [ triple 0 0 1; triple 0 1 2 ] in
+  check_float "M at t=3" (0.5 +. 1.0) (Revenue.memory ~chain ~time:3);
+  check_float "M at t=1" 0.0 (Revenue.memory ~chain ~time:1);
+  check_float "M at t=2" 1.0 (Revenue.memory ~chain ~time:2)
+
+(* Example 1 of the paper: S = {(u,i,1), (u,j,2), (u,i,3)}, C(i) = C(j),
+   all primitive probabilities a:
+   qS(u,i,1) = a
+   qS(u,j,2) = (1−a) · a · β^1
+   qS(u,i,3) = (1−a)² · a · β^{1 + 1/2} *)
+let test_example1_dynamic_probabilities () =
+  let a = 0.4 in
+  let inst = example1_instance a in
+  let beta = Instance.saturation inst 0 in
+  let s = Strategy.of_list inst [ triple 0 0 1; triple 0 1 2; triple 0 0 3 ] in
+  check_float "qS(u,i,1)" a (Revenue.dynamic_probability_in s (triple 0 0 1));
+  check_float "qS(u,j,2)"
+    ((1.0 -. a) *. a *. beta)
+    (Revenue.dynamic_probability_in s (triple 0 1 2));
+  check_float "qS(u,i,3)"
+    ((1.0 -. a) ** 2.0 *. a *. (beta ** 1.5))
+    (Revenue.dynamic_probability_in s (triple 0 0 3))
+
+(* Example 4 / Theorem 2 non-monotonicity: Rev({(u,i,2)}) = 0.57 while
+   Rev({(u,i,1),(u,i,2)}) = 0.5285 *)
+let test_example4_revenues () =
+  let inst = example4_instance () in
+  let s_small = Strategy.of_list inst [ triple 0 0 2 ] in
+  let s_large = Strategy.of_list inst [ triple 0 0 1; triple 0 0 2 ] in
+  check_float ~eps:1e-12 "Rev(S)" 0.57 (Revenue.total s_small);
+  check_float ~eps:1e-12 "Rev(S')" 0.5285 (Revenue.total s_large);
+  Alcotest.(check bool) "non-monotone" true (Revenue.total s_large < Revenue.total s_small)
+
+let test_same_time_competition () =
+  (* two same-class items at the same time: each discounted by the other *)
+  let inst =
+    Instance.create ~num_users:1 ~num_items:2 ~horizon:1 ~display_limit:2 ~class_of:[| 0; 0 |]
+      ~capacity:[| 1; 1 |] ~saturation:[| 1.0; 1.0 |]
+      ~price:[| [| 1.0 |]; [| 1.0 |] |]
+      ~adoption:[ (0, 0, [| 0.5 |]); (0, 1, [| 0.8 |]) ]
+      ()
+  in
+  let s = Strategy.of_list inst [ triple 0 0 1; triple 0 1 1 ] in
+  check_float "qS(i)" (0.5 *. 0.2) (Revenue.dynamic_probability_in s (triple 0 0 1));
+  check_float "qS(j)" (0.8 *. 0.5) (Revenue.dynamic_probability_in s (triple 0 1 1));
+  check_float "Rev" ((0.5 *. 0.2) +. (0.8 *. 0.5)) (Revenue.total s)
+
+let test_cross_class_independence () =
+  (* items in different classes never interact *)
+  let inst =
+    Instance.create ~num_users:1 ~num_items:2 ~horizon:2 ~display_limit:2 ~class_of:[| 0; 1 |]
+      ~capacity:[| 1; 1 |] ~saturation:[| 0.5; 0.5 |]
+      ~price:[| [| 2.0; 2.0 |]; [| 3.0; 3.0 |] |]
+      ~adoption:[ (0, 0, [| 0.5; 0.5 |]); (0, 1, [| 0.4; 0.4 |]) ]
+      ()
+  in
+  let s = Strategy.of_list inst [ triple 0 0 1; triple 0 1 2 ] in
+  check_float "item 0 untouched" 0.5 (Revenue.dynamic_probability_in s (triple 0 0 1));
+  check_float "item 1 untouched" 0.4 (Revenue.dynamic_probability_in s (triple 0 1 2));
+  check_float "additive revenue" ((2.0 *. 0.5) +. (3.0 *. 0.4)) (Revenue.total s)
+
+let test_full_saturation_beta_zero () =
+  (* β = 0: any repetition within the class kills later probability *)
+  let inst =
+    Instance.create ~num_users:1 ~num_items:1 ~horizon:2 ~display_limit:1 ~class_of:[| 0 |]
+      ~capacity:[| 1 |] ~saturation:[| 0.0 |]
+      ~price:[| [| 1.0; 1.0 |] |]
+      ~adoption:[ (0, 0, [| 0.3; 0.9 |]) ]
+      ()
+  in
+  let s = Strategy.of_list inst [ triple 0 0 1; triple 0 0 2 ] in
+  check_float "first unaffected" 0.3 (Revenue.dynamic_probability_in s (triple 0 0 1));
+  check_float "second killed" 0.0 (Revenue.dynamic_probability_in s (triple 0 0 2))
+
+let test_probability_of_absent_triple_is_zero () =
+  let inst = example4_instance () in
+  let s = Strategy.of_list inst [ triple 0 0 1 ] in
+  check_float "absent triple" 0.0 (Revenue.dynamic_probability_in s (triple 0 0 2))
+
+let test_marginal_identity_small () =
+  let inst = example4_instance () in
+  let s = Strategy.of_list inst [ triple 0 0 2 ] in
+  let z = triple 0 0 1 in
+  let m = Revenue.marginal s z in
+  let s' = Strategy.of_list inst [ triple 0 0 1; triple 0 0 2 ] in
+  check_float ~eps:1e-12 "marginal = Rev(S+z) − Rev(S)"
+    (Revenue.total s' -. Revenue.total s)
+    m;
+  Alcotest.(check bool) "negative marginal here" true (m < 0.0);
+  check_float "marginal of member is 0" 0.0 (Revenue.marginal s (triple 0 0 2))
+
+(* ----- Property-based: model laws on random instances ----- *)
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let prop_marginal_identity =
+  QCheck2.Test.make ~name:"RevS(z) = Rev(S∪{z}) − Rev(S)" ~count:150 seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance rng in
+      let s = random_valid_strategy inst rng in
+      let all = candidate_triples inst in
+      List.for_all
+        (fun z ->
+          if Strategy.mem s z then true
+          else begin
+            let before = Revenue.total s in
+            let m = Revenue.marginal s z in
+            let s' = Strategy.copy s in
+            Strategy.add s' z;
+            Helpers.float_eq ~eps:1e-9 (Revenue.total s' -. before) m
+          end)
+        all)
+
+let prop_probabilities_in_unit_interval =
+  QCheck2.Test.make ~name:"qS(u,i,t) ∈ [0,1]" ~count:150 seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance rng in
+      let s = random_valid_strategy inst rng in
+      List.for_all
+        (fun z ->
+          let q = Revenue.dynamic_probability_in s z in
+          q >= 0.0 && q <= 1.0)
+        (Strategy.to_list s))
+
+(* Lemma 1: qS(u,i,t) is non-increasing in S *)
+let prop_lemma1_probability_non_increasing =
+  QCheck2.Test.make ~name:"Lemma 1: qS non-increasing in S" ~count:150 seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance rng in
+      let s = random_valid_strategy inst rng in
+      let extra = List.filter (fun z -> not (Strategy.mem s z)) (candidate_triples inst) in
+      match extra with
+      | [] -> true
+      | w :: _ ->
+          let before = List.map (fun z -> Revenue.dynamic_probability_in s z) (Strategy.to_list s) in
+          let s' = Strategy.copy s in
+          Strategy.add s' w;
+          List.for_all2
+            (fun b z -> Revenue.dynamic_probability_in s' z <= b +. 1e-12)
+            before (Strategy.to_list s))
+
+(* Theorem 2, Case 1 of the paper's proof — the provable regime: when [z]
+   comes strictly later than every same-class triple of its user in S', the
+   marginal is a pure gain and shrinks with the set (Lemma 1). The general
+   claim of Theorem 2 is NOT universally true — see the pinned
+   counterexample below and the Theory-notes section of DESIGN.md. *)
+let prop_submodularity_case1 =
+  QCheck2.Test.make ~name:"submodularity when z succeeds its chain (Case 1)" ~count:150 seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance rng in
+      let all = Array.of_list (candidate_triples inst) in
+      if Array.length all < 2 then true
+      else begin
+        Rng.shuffle rng all;
+        let s = Strategy.create inst and s' = Strategy.create inst in
+        Array.iteri
+          (fun idx z ->
+            if idx mod 3 = 0 then begin
+              Strategy.add s z;
+              Strategy.add s' z
+            end
+            else if idx mod 3 = 1 then Strategy.add s' z)
+          all;
+        Array.for_all
+          (fun (z : Triple.t) ->
+            let chain = Strategy.chain_of_triple s' z in
+            let succeeds_all = List.for_all (fun (c : Triple.t) -> c.t < z.t) chain in
+            Strategy.mem s' z || (not succeeds_all)
+            || Revenue.marginal s z >= Revenue.marginal s' z -. 1e-9)
+          all
+      end)
+
+(* Counterexample to the unrestricted Theorem 2: one item, T = 3, no
+   saturation (β = 1), q = (0.5, 0.5, 1.0), p = (1, 0.1, 10).
+   With S = {(u,i,3)} ⊂ S' = {(u,i,2), (u,i,3)} and z = (u,i,1):
+     RevS(z)  = 0.5 − 10·1·0.5            = −4.5
+     RevS'(z) = 0.5 − 0.1·0.25 − 10·0.25  = −2.025 > RevS(z).
+   The cheap triple at t=2 "shields" the expensive one at t=3, so adding z
+   destroys less value in the larger set — diminishing returns fail. *)
+let test_theorem2_counterexample () =
+  let inst =
+    Instance.create ~num_users:1 ~num_items:1 ~horizon:3 ~display_limit:1 ~class_of:[| 0 |]
+      ~capacity:[| 1 |] ~saturation:[| 1.0 |]
+      ~price:[| [| 1.0; 0.1; 10.0 |] |]
+      ~adoption:[ (0, 0, [| 0.5; 0.5; 1.0 |]) ]
+      ()
+  in
+  let s = Strategy.of_list inst [ triple 0 0 3 ] in
+  let s' = Strategy.of_list inst [ triple 0 0 2; triple 0 0 3 ] in
+  let z = triple 0 0 1 in
+  check_float ~eps:1e-12 "RevS(z)" (-4.5) (Revenue.marginal s z);
+  check_float ~eps:1e-12 "RevS'(z)" (-2.025) (Revenue.marginal s' z);
+  Alcotest.(check bool) "submodularity violated on this instance" true
+    (Revenue.marginal s z < Revenue.marginal s' z)
+
+let prop_revenue_nonnegative =
+  QCheck2.Test.make ~name:"Rev(S) >= 0" ~count:100 seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance rng in
+      let s = random_valid_strategy inst rng in
+      Revenue.total s >= 0.0)
+
+(* saturation-free view: β=1 revenue is an upper bound on the true one *)
+let prop_saturation_only_hurts =
+  QCheck2.Test.make ~name:"Rev with saturation <= Rev without" ~count:100 seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance rng in
+      let s = random_valid_strategy inst rng in
+      Revenue.total s <= Revenue.total ~with_saturation:false s +. 1e-9)
+
+(* total revenue decomposes over (user, class) chains *)
+let prop_chain_decomposition =
+  QCheck2.Test.make ~name:"Rev(S) = sum of chain revenues" ~count:100 seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance rng in
+      let s = random_valid_strategy inst rng in
+      let seen = Hashtbl.create 16 in
+      let by_chains =
+        List.fold_left
+          (fun acc (z : Triple.t) ->
+            let cls = Instance.class_of inst z.i in
+            let key = (z.u * Instance.num_classes inst) + cls in
+            if Hashtbl.mem seen key then acc
+            else begin
+              Hashtbl.add seen key ();
+              acc +. Revenue.chain_revenue inst (Strategy.chain s ~u:z.u ~cls)
+            end)
+          0.0 (Strategy.to_list s)
+      in
+      Helpers.float_eq ~eps:1e-9 (Revenue.total s) by_chains)
+
+(* triples outside a chain's class never change its revenue *)
+let prop_chain_isolation =
+  QCheck2.Test.make ~name:"cross-class triples don't perturb a chain" ~count:100 seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance ~max_classes:2 rng in
+      if Instance.num_classes inst < 2 then true
+      else begin
+        let s = random_valid_strategy inst rng in
+        match Strategy.to_list s with
+        | [] -> true
+        | z :: _ ->
+            let cls = Instance.class_of inst z.i in
+            let before =
+              List.map (fun t -> Revenue.dynamic_probability_in s t) (Strategy.chain s ~u:z.u ~cls)
+            in
+            (* add any candidate of a different class *)
+            let other =
+              List.find_opt
+                (fun (w : Triple.t) ->
+                  (not (Strategy.mem s w)) && Instance.class_of inst w.i <> cls)
+                (candidate_triples inst)
+            in
+            (match other with
+            | None -> true
+            | Some w ->
+                let s' = Strategy.copy s in
+                Strategy.add s' w;
+                let after =
+                  List.map
+                    (fun t -> Revenue.dynamic_probability_in s' t)
+                    (Strategy.chain s' ~u:z.u ~cls)
+                in
+                List.for_all2 (Helpers.float_eq ~eps:0.0) before after)
+      end)
+
+(* ----- Simulation agrees with the analytic objective ----- *)
+
+let test_simulation_unbiased_small () =
+  let inst = example4_instance () in
+  let s = Strategy.of_list inst [ triple 0 0 1; triple 0 0 2 ] in
+  let rng = Rng.create 77 in
+  let est = Simulate.estimate_revenue s ~samples:200_000 rng in
+  Alcotest.(check bool)
+    (Printf.sprintf "simulated %.4f vs analytic %.4f" est.Revmax_stats.Mc.mean 0.5285)
+    true
+    (Revmax_stats.Mc.within_ci est 0.5285)
+
+let prop_simulation_matches_revenue =
+  QCheck2.Test.make ~name:"simulator mean ≈ Rev(S)" ~count:12 seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance rng in
+      let s = random_valid_strategy inst rng in
+      let expected = Revenue.total s in
+      let est = Simulate.estimate_revenue s ~samples:60_000 rng in
+      Revmax_stats.Mc.within_ci est expected)
+
+let test_simulation_exclusive_adoptions () =
+  (* within one class a user adopts at most once per simulated world *)
+  let inst = example1_instance 0.9 in
+  let chain = [ triple 0 0 1; triple 0 1 2; triple 0 0 3 ] in
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    match Simulate.simulate_chain inst chain rng with
+    | None -> ()
+    | Some z -> if not (List.exists (Triple.equal z) chain) then Alcotest.fail "alien adoption"
+  done
+
+let test_run_with_stock_limits () =
+  (* capacity 1, two users with adoption probability 1: only one sale *)
+  let inst =
+    Instance.create ~num_users:2 ~num_items:1 ~horizon:1 ~display_limit:1 ~class_of:[| 0 |]
+      ~capacity:[| 1 |] ~saturation:[| 1.0 |]
+      ~price:[| [| 10.0 |] |]
+      ~adoption:[ (0, 0, [| 1.0 |]); (1, 0, [| 1.0 |]) ]
+      ()
+  in
+  (* exceed the capacity deliberately (R-REVMAX style over-recommendation) *)
+  let s = Strategy.of_list inst [ triple 0 0 1; triple 1 0 1 ] in
+  let report = Simulate.run_with_stock s (Rng.create 3) in
+  check_float "revenue capped by stock" 10.0 report.Simulate.revenue;
+  Alcotest.(check int) "one stockout" 1 report.Simulate.stockouts
+
+(* ----- Capacity oracle ----- *)
+
+let test_capacity_oracle_below_capacity () =
+  let inst = example4_instance () in
+  let s = Strategy.of_list inst [ triple 0 0 1 ] in
+  check_float "B = 1 when under capacity" 1.0
+    (Capacity_oracle.prob_capacity_free s (triple 0 0 1))
+
+let test_capacity_oracle_exact_value () =
+  (* capacity 1, three users recommended the item at t=1; for user 2 the
+     other two are independent adopters with probability 0.5 and 0.8:
+     B = Pr[at most 0 adopt] = 0.5 · 0.2 = 0.1 *)
+  let inst =
+    Instance.create ~num_users:3 ~num_items:1 ~horizon:1 ~display_limit:1 ~class_of:[| 0 |]
+      ~capacity:[| 1 |] ~saturation:[| 1.0 |]
+      ~price:[| [| 1.0 |] |]
+      ~adoption:[ (0, 0, [| 0.5 |]); (1, 0, [| 0.8 |]); (2, 0, [| 0.4 |]) ]
+      ()
+  in
+  let s = Strategy.of_list inst [ triple 0 0 1; triple 1 0 1; triple 2 0 1 ] in
+  check_float ~eps:1e-12 "B_S" 0.1 (Capacity_oracle.prob_capacity_free s (triple 2 0 1))
+
+let prop_capacity_oracle_dp_vs_mc =
+  QCheck2.Test.make ~name:"B_S: exact DP ≈ Monte-Carlo" ~count:10 seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance ~max_users:4 ~max_items:2 rng in
+      let s = random_valid_strategy inst rng in
+      List.for_all
+        (fun z ->
+          let exact = Capacity_oracle.prob_capacity_free s z in
+          let mc = Capacity_oracle.prob_capacity_free_mc s z ~samples:20_000 rng in
+          Float.abs (exact -. mc) < 0.03)
+        (Strategy.to_list s))
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "instance",
+        [
+          Alcotest.test_case "accessors" `Quick test_instance_accessors;
+          Alcotest.test_case "validation" `Quick test_instance_validation;
+          Alcotest.test_case "candidate views" `Quick test_instance_candidate_views;
+          Alcotest.test_case "saturation-disabled view" `Quick test_saturation_disabled_view;
+        ] );
+      ( "strategy",
+        [
+          Alcotest.test_case "add/remove" `Quick test_strategy_add_remove;
+          Alcotest.test_case "chain order" `Quick test_strategy_chain_order;
+          Alcotest.test_case "display constraint" `Quick test_strategy_constraints;
+          Alcotest.test_case "capacity tracking" `Quick test_strategy_capacity_tracking;
+          Alcotest.test_case "copy independence" `Quick test_strategy_copy_independent;
+          Alcotest.test_case "repeat histogram" `Quick test_repeat_histogram;
+        ] );
+      ( "revenue",
+        [
+          Alcotest.test_case "memory formula" `Quick test_memory_formula;
+          Alcotest.test_case "paper example 1" `Quick test_example1_dynamic_probabilities;
+          Alcotest.test_case "paper example 4" `Quick test_example4_revenues;
+          Alcotest.test_case "same-time competition" `Quick test_same_time_competition;
+          Alcotest.test_case "cross-class independence" `Quick test_cross_class_independence;
+          Alcotest.test_case "full saturation" `Quick test_full_saturation_beta_zero;
+          Alcotest.test_case "absent triple" `Quick test_probability_of_absent_triple_is_zero;
+          Alcotest.test_case "marginal identity (example)" `Quick test_marginal_identity_small;
+        ] );
+      ( "revenue-properties",
+        [
+          QCheck_alcotest.to_alcotest prop_marginal_identity;
+          QCheck_alcotest.to_alcotest prop_probabilities_in_unit_interval;
+          QCheck_alcotest.to_alcotest prop_lemma1_probability_non_increasing;
+          QCheck_alcotest.to_alcotest prop_submodularity_case1;
+          Alcotest.test_case "Theorem 2 counterexample" `Quick test_theorem2_counterexample;
+          QCheck_alcotest.to_alcotest prop_revenue_nonnegative;
+          QCheck_alcotest.to_alcotest prop_saturation_only_hurts;
+          QCheck_alcotest.to_alcotest prop_chain_decomposition;
+          QCheck_alcotest.to_alcotest prop_chain_isolation;
+        ] );
+      ( "simulate",
+        [
+          Alcotest.test_case "unbiased on example 4" `Slow test_simulation_unbiased_small;
+          QCheck_alcotest.to_alcotest prop_simulation_matches_revenue;
+          Alcotest.test_case "exclusive adoptions" `Quick test_simulation_exclusive_adoptions;
+          Alcotest.test_case "stock limits" `Quick test_run_with_stock_limits;
+        ] );
+      ( "capacity_oracle",
+        [
+          Alcotest.test_case "under capacity" `Quick test_capacity_oracle_below_capacity;
+          Alcotest.test_case "exact value" `Quick test_capacity_oracle_exact_value;
+          QCheck_alcotest.to_alcotest prop_capacity_oracle_dp_vs_mc;
+        ] );
+    ]

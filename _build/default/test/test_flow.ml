@@ -1,0 +1,207 @@
+module Mcmf = Revmax_flow.Mcmf
+module Max_dcs = Revmax_flow.Max_dcs
+module Rng = Revmax_prelude.Rng
+
+(* ----- Mcmf ----- *)
+
+let test_mcmf_single_path () =
+  let net = Mcmf.create 3 in
+  let e1 = Mcmf.add_edge net ~src:0 ~dst:1 ~cap:4 ~cost:1.0 in
+  let e2 = Mcmf.add_edge net ~src:1 ~dst:2 ~cap:3 ~cost:2.0 in
+  let r = Mcmf.solve net ~source:0 ~sink:2 in
+  Alcotest.(check int) "flow" 3 r.Mcmf.flow;
+  Helpers.check_float "cost" 9.0 r.Mcmf.cost;
+  Alcotest.(check int) "edge1 flow" 3 (Mcmf.flow_on net e1);
+  Alcotest.(check int) "edge2 flow" 3 (Mcmf.flow_on net e2)
+
+let test_mcmf_prefers_cheap_path () =
+  (* two parallel 0→1 routes via intermediate nodes; cheap one saturates first *)
+  let net = Mcmf.create 4 in
+  let cheap = Mcmf.add_edge net ~src:0 ~dst:1 ~cap:1 ~cost:1.0 in
+  let expensive = Mcmf.add_edge net ~src:0 ~dst:2 ~cap:1 ~cost:5.0 in
+  let _ = Mcmf.add_edge net ~src:1 ~dst:3 ~cap:1 ~cost:0.0 in
+  let _ = Mcmf.add_edge net ~src:2 ~dst:3 ~cap:1 ~cost:0.0 in
+  let r = Mcmf.solve net ~source:0 ~sink:3 in
+  Alcotest.(check int) "max flow" 2 r.Mcmf.flow;
+  Helpers.check_float "total cost" 6.0 r.Mcmf.cost;
+  Alcotest.(check int) "cheap used" 1 (Mcmf.flow_on net cheap);
+  Alcotest.(check int) "expensive used" 1 (Mcmf.flow_on net expensive)
+
+let test_mcmf_negative_costs () =
+  (* a negative-cost arc requires the Bellman-Ford potential seeding *)
+  let net = Mcmf.create 3 in
+  let _ = Mcmf.add_edge net ~src:0 ~dst:1 ~cap:2 ~cost:(-3.0) in
+  let _ = Mcmf.add_edge net ~src:1 ~dst:2 ~cap:2 ~cost:1.0 in
+  let r = Mcmf.solve net ~source:0 ~sink:2 in
+  Alcotest.(check int) "flow" 2 r.Mcmf.flow;
+  Helpers.check_float "cost" (-4.0) r.Mcmf.cost
+
+let test_mcmf_stop_when_unprofitable () =
+  (* profitable unit (-2 + 1 = -1) then unprofitable unit (0 + 1 = +1):
+     profit mode must ship exactly one unit *)
+  let net = Mcmf.create 3 in
+  let _ = Mcmf.add_edge net ~src:0 ~dst:1 ~cap:1 ~cost:(-2.0) in
+  let _ = Mcmf.add_edge net ~src:0 ~dst:1 ~cap:1 ~cost:0.0 in
+  let _ = Mcmf.add_edge net ~src:1 ~dst:2 ~cap:2 ~cost:1.0 in
+  let r = Mcmf.solve ~stop_when_unprofitable:true net ~source:0 ~sink:2 in
+  Alcotest.(check int) "flow" 1 r.Mcmf.flow;
+  Helpers.check_float "cost" (-1.0) r.Mcmf.cost
+
+let test_mcmf_disconnected () =
+  let net = Mcmf.create 2 in
+  let r = Mcmf.solve net ~source:0 ~sink:1 in
+  Alcotest.(check int) "no flow" 0 r.Mcmf.flow;
+  Helpers.check_float "no cost" 0.0 r.Mcmf.cost
+
+(* ----- Max_dcs ----- *)
+
+let solution_weight (sol : Max_dcs.solution) = sol.Max_dcs.weight
+
+let test_dcs_simple_matching () =
+  (* 2 users, 2 items, degree bounds 1: a classic assignment *)
+  let inst =
+    {
+      Max_dcs.left = 2;
+      right = 2;
+      left_bound = [| 1; 1 |];
+      right_bound = [| 1; 1 |];
+      edges = [| (0, 0, 3.0); (0, 1, 5.0); (1, 0, 4.0); (1, 1, 1.0) |];
+    }
+  in
+  let sol = Max_dcs.solve inst in
+  (* best: (0,1)=5 + (1,0)=4 = 9; greedy would also find it here *)
+  Helpers.check_float "optimal weight" 9.0 (solution_weight sol);
+  Alcotest.(check int) "two edges" 2 (Array.length sol.Max_dcs.chosen)
+
+let test_dcs_greedy_suboptimal () =
+  (* instance where weight-greedy is strictly suboptimal:
+     greedy takes (0,0)=10 then cannot take (1,0); ends with 10 + 0.
+     optimum: (0,1)=9 + (1,0)=9 = 18. *)
+  let inst =
+    {
+      Max_dcs.left = 2;
+      right = 2;
+      left_bound = [| 1; 1 |];
+      right_bound = [| 1; 1 |];
+      edges = [| (0, 0, 10.0); (0, 1, 9.0); (1, 0, 9.0) |];
+    }
+  in
+  let greedy = Max_dcs.greedy_lower_bound inst in
+  let exact = Max_dcs.solve inst in
+  Helpers.check_float "greedy weight" 10.0 greedy.Max_dcs.weight;
+  Helpers.check_float "exact weight" 18.0 exact.Max_dcs.weight
+
+let test_dcs_degree_bounds_respected () =
+  let inst =
+    {
+      Max_dcs.left = 1;
+      right = 3;
+      left_bound = [| 2 |];
+      right_bound = [| 1; 1; 1 |];
+      edges = [| (0, 0, 1.0); (0, 1, 2.0); (0, 2, 3.0) |];
+    }
+  in
+  let sol = Max_dcs.solve inst in
+  (* user degree bound 2: picks the two heaviest *)
+  Helpers.check_float "weight" 5.0 sol.Max_dcs.weight;
+  Alcotest.(check int) "edges" 2 (Array.length sol.Max_dcs.chosen)
+
+let test_dcs_negative_weights_dropped () =
+  let inst =
+    {
+      Max_dcs.left = 1;
+      right = 2;
+      left_bound = [| 2 |];
+      right_bound = [| 1; 1 |];
+      edges = [| (0, 0, -5.0); (0, 1, 2.0) |];
+    }
+  in
+  let sol = Max_dcs.solve inst in
+  Helpers.check_float "weight" 2.0 sol.Max_dcs.weight;
+  Alcotest.(check int) "only positive edge" 1 (Array.length sol.Max_dcs.chosen)
+
+let test_dcs_validation () =
+  Alcotest.check_raises "bad endpoint" (Invalid_argument "Max_dcs: edge endpoint out of range")
+    (fun () ->
+      ignore
+        (Max_dcs.solve
+           {
+             Max_dcs.left = 1;
+             right = 1;
+             left_bound = [| 1 |];
+             right_bound = [| 1 |];
+             edges = [| (0, 5, 1.0) |];
+           }))
+
+(* brute-force reference: enumerate all edge subsets on tiny instances *)
+let brute_force_dcs (inst : Max_dcs.instance) =
+  let n = Array.length inst.Max_dcs.edges in
+  let best = ref 0.0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let ldeg = Array.make inst.Max_dcs.left 0 in
+    let rdeg = Array.make inst.Max_dcs.right 0 in
+    let w = ref 0.0 in
+    let ok = ref true in
+    for e = 0 to n - 1 do
+      if mask land (1 lsl e) <> 0 then begin
+        let u, v, we = inst.Max_dcs.edges.(e) in
+        ldeg.(u) <- ldeg.(u) + 1;
+        rdeg.(v) <- rdeg.(v) + 1;
+        if ldeg.(u) > inst.Max_dcs.left_bound.(u) || rdeg.(v) > inst.Max_dcs.right_bound.(v) then
+          ok := false;
+        w := !w +. we
+      end
+    done;
+    if !ok && !w > !best then best := !w
+  done;
+  !best
+
+let prop_dcs_optimality =
+  QCheck2.Test.make ~name:"Max-DCS matches brute force" ~count:100
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let left = 1 + Rng.int rng 3 and right = 1 + Rng.int rng 3 in
+      let edges = ref [] in
+      for u = 0 to left - 1 do
+        for v = 0 to right - 1 do
+          if Rng.bernoulli rng 0.7 then
+            edges := (u, v, Rng.uniform_in rng (-2.0) 10.0) :: !edges
+        done
+      done;
+      let inst =
+        {
+          Max_dcs.left;
+          right;
+          left_bound = Array.init left (fun _ -> 1 + Rng.int rng 2);
+          right_bound = Array.init right (fun _ -> 1 + Rng.int rng 2);
+          edges = Array.of_list !edges;
+        }
+      in
+      let sol = Max_dcs.solve inst in
+      let greedy = Max_dcs.greedy_lower_bound inst in
+      let opt = brute_force_dcs inst in
+      Helpers.float_eq ~eps:1e-6 opt sol.Max_dcs.weight
+      && greedy.Max_dcs.weight <= sol.Max_dcs.weight +. 1e-9)
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "mcmf",
+        [
+          Alcotest.test_case "single path" `Quick test_mcmf_single_path;
+          Alcotest.test_case "prefers cheap path" `Quick test_mcmf_prefers_cheap_path;
+          Alcotest.test_case "negative costs" `Quick test_mcmf_negative_costs;
+          Alcotest.test_case "stop when unprofitable" `Quick test_mcmf_stop_when_unprofitable;
+          Alcotest.test_case "disconnected" `Quick test_mcmf_disconnected;
+        ] );
+      ( "max_dcs",
+        [
+          Alcotest.test_case "simple matching" `Quick test_dcs_simple_matching;
+          Alcotest.test_case "greedy suboptimal" `Quick test_dcs_greedy_suboptimal;
+          Alcotest.test_case "degree bounds" `Quick test_dcs_degree_bounds_respected;
+          Alcotest.test_case "negative weights dropped" `Quick test_dcs_negative_weights_dropped;
+          Alcotest.test_case "validation" `Quick test_dcs_validation;
+          QCheck_alcotest.to_alcotest prop_dcs_optimality;
+        ] );
+    ]

@@ -1,0 +1,118 @@
+(* Mechanical verification of Theorem 1's reduction: Restricted Timetable
+   Design instances map to D-REVMAX instances whose optimal revenue crosses
+   the threshold N + Υ·E exactly when a feasible timetable exists. *)
+
+module Rng = Revmax_prelude.Rng
+module Hardness = Revmax.Hardness
+module Instance = Revmax.Instance
+
+let rtd ~available ~requires =
+  {
+    Hardness.num_craftsmen = Array.length available;
+    num_jobs = (if Array.length requires = 0 then 0 else Array.length requires.(0));
+    available;
+    requires;
+  }
+
+(* one 2-craftsman available at hours 1,2 who must serve two jobs *)
+let tiny_feasible =
+  rtd
+    ~available:[| [| true; true; false |] |]
+    ~requires:[| [| true; true |] |]
+
+(* three 2-craftsmen sharing hours {1,2} all requiring both jobs: job 0
+   would need three distinct hours out of two — infeasible *)
+let tiny_infeasible =
+  rtd
+    ~available:[| [| true; true; false |]; [| true; true; false |]; [| true; true; false |] |]
+    ~requires:[| [| true; true |]; [| true; true |]; [| true; true |] |]
+
+let test_validate () =
+  (match Hardness.validate tiny_feasible with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  (* not tight: available 2 hours but requires only 1 job *)
+  let loose = rtd ~available:[| [| true; true; false |] |] ~requires:[| [| true; false |] |] in
+  (match Hardness.validate loose with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected tightness violation");
+  (* 1-craftsman (single available hour) is outside RTD *)
+  let single = rtd ~available:[| [| true; false; false |] |] ~requires:[| [| true; false |] |] in
+  match Hardness.validate single with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected availability violation"
+
+let test_feasibility_solver () =
+  Alcotest.(check bool) "tiny feasible" true (Hardness.feasible tiny_feasible);
+  Alcotest.(check bool) "tiny infeasible" false (Hardness.feasible tiny_infeasible)
+
+let test_reduction_structure () =
+  let inst, threshold = Hardness.to_revmax tiny_feasible in
+  (* 3 items per job + 1 expensive item; display limit 1; T = 3 *)
+  Alcotest.(check int) "items" 7 (Instance.num_items inst);
+  Alcotest.(check int) "horizon" 3 (Instance.horizon inst);
+  Alcotest.(check int) "k" 1 (Instance.display_limit inst);
+  (* N = 2 units of work, Υ = 1 unavailable hour, E = N + 1 = 3 *)
+  Helpers.check_float "threshold" (2.0 +. (1.0 *. 3.0)) threshold;
+  (* job item 0 of job 0 is priced 1 exactly at hour 1 *)
+  Helpers.check_float "price at own hour" 1.0 (Instance.price inst ~i:0 ~time:1);
+  Helpers.check_float "price elsewhere" 0.0 (Instance.price inst ~i:0 ~time:2);
+  (* the expensive item is adoptable exactly at the unavailable hour 3 *)
+  Helpers.check_float "expensive unavailable hour" 1.0 (Instance.q inst ~u:0 ~i:6 ~time:3);
+  Helpers.check_float "expensive available hour" 0.0 (Instance.q inst ~u:0 ~i:6 ~time:1)
+
+let test_equivalence_on_pinned_instances () =
+  Alcotest.(check bool) "feasible instance crosses threshold" true
+    (Hardness.equivalence_holds tiny_feasible);
+  let inst, threshold = Hardness.to_revmax tiny_feasible in
+  ignore inst;
+  Alcotest.(check bool) "optimum reaches the bound exactly" true
+    (Helpers.float_eq ~eps:1e-9 threshold (Hardness.optimal_revenue tiny_feasible))
+
+let test_equivalence_infeasible () =
+  (* 21 profitable triples: a Slow but decisive check of the ⟸ direction *)
+  Alcotest.(check bool) "infeasible instance stays below threshold" true
+    (Hardness.equivalence_holds tiny_infeasible)
+
+(* random tight RTD instances with 2-hour craftsmen (kept small so the
+   exponential search stays fast — the blow-up is the point of Theorem 1) *)
+let random_rtd rng ~num_craftsmen ~num_jobs =
+  let available =
+    Array.init num_craftsmen (fun _ ->
+        let skip = Rng.int rng 3 in
+        Array.init 3 (fun h -> h <> skip))
+  in
+  let requires =
+    Array.init num_craftsmen (fun _ ->
+        let jobs = Rng.sample_without_replacement rng num_jobs 2 in
+        let row = Array.make num_jobs false in
+        Array.iter (fun b -> row.(b) <- true) jobs;
+        row)
+  in
+  rtd ~available ~requires
+
+let test_equivalence_random () =
+  let rng = Rng.create 2014 in
+  let feasible_seen = ref 0 and infeasible_seen = ref 0 in
+  for _ = 1 to 25 do
+    let r = random_rtd rng ~num_craftsmen:2 ~num_jobs:(2 + Rng.int rng 2) in
+    if Hardness.feasible r then incr feasible_seen else incr infeasible_seen;
+    if not (Hardness.equivalence_holds r) then Alcotest.fail "reduction equivalence violated"
+  done;
+  (* the sample must exercise at least the feasible side *)
+  Alcotest.(check bool) "sampled feasible instances" true (!feasible_seen > 0)
+
+let () =
+  Alcotest.run "hardness"
+    [
+      ( "reduction",
+        [
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "feasibility solver" `Quick test_feasibility_solver;
+          Alcotest.test_case "reduction structure" `Quick test_reduction_structure;
+          Alcotest.test_case "equivalence (pinned feasible)" `Quick
+            test_equivalence_on_pinned_instances;
+          Alcotest.test_case "equivalence (pinned infeasible)" `Slow test_equivalence_infeasible;
+          Alcotest.test_case "equivalence (random)" `Slow test_equivalence_random;
+        ] );
+    ]

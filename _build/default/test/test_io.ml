@@ -1,0 +1,139 @@
+module Rng = Revmax_prelude.Rng
+module Instance = Revmax.Instance
+module Strategy = Revmax.Strategy
+module Revenue = Revmax.Revenue
+module Io = Revmax.Io
+module Greedy = Revmax.Greedy
+open Helpers
+
+let roundtrip_instance inst =
+  let path = Filename.temp_file "revmax" ".inst" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.save_instance path inst;
+      Io.load_instance path)
+
+let assert_instances_equal a b =
+  Alcotest.(check int) "users" (Instance.num_users a) (Instance.num_users b);
+  Alcotest.(check int) "items" (Instance.num_items a) (Instance.num_items b);
+  Alcotest.(check int) "horizon" (Instance.horizon a) (Instance.horizon b);
+  Alcotest.(check int) "k" (Instance.display_limit a) (Instance.display_limit b);
+  for i = 0 to Instance.num_items a - 1 do
+    Alcotest.(check int) "class" (Instance.class_of a i) (Instance.class_of b i);
+    Alcotest.(check int) "capacity" (Instance.capacity a i) (Instance.capacity b i);
+    check_float ~eps:0.0 "saturation" (Instance.saturation a i) (Instance.saturation b i);
+    for t = 1 to Instance.horizon a do
+      check_float ~eps:0.0 "price" (Instance.price a ~i ~time:t) (Instance.price b ~i ~time:t)
+    done
+  done;
+  for u = 0 to Instance.num_users a - 1 do
+    for i = 0 to Instance.num_items a - 1 do
+      (match (Instance.rating a ~u ~i, Instance.rating b ~u ~i) with
+      | Some ra, Some rb -> check_float ~eps:0.0 "rating" ra rb
+      | None, None -> ()
+      | _ -> Alcotest.fail "rating presence mismatch");
+      for t = 1 to Instance.horizon a do
+        check_float ~eps:0.0 "q" (Instance.q a ~u ~i ~time:t) (Instance.q b ~u ~i ~time:t)
+      done
+    done
+  done
+
+let test_instance_roundtrip_small () =
+  let inst = example4_instance () in
+  assert_instances_equal inst (roundtrip_instance inst)
+
+let test_instance_roundtrip_with_ratings () =
+  let inst =
+    Instance.create ~num_users:2 ~num_items:2 ~horizon:2 ~display_limit:1 ~class_of:[| 0; 1 |]
+      ~capacity:[| 1; 2 |] ~saturation:[| 0.25; 1.0 |]
+      ~price:[| [| 1.5; 2.5 |]; [| 3.25; 0.125 |] |]
+      ~ratings:[ (0, 0, 4.5); (1, 1, 2.0) ]
+      ~adoption:[ (0, 0, [| 0.1; 0.9 |]); (1, 1, [| 0.5; 0.0 |]) ]
+      ()
+  in
+  assert_instances_equal inst (roundtrip_instance inst)
+
+let prop_instance_roundtrip_random () =
+  for seed = 0 to 29 do
+    let rng = Rng.create seed in
+    let inst = random_instance rng in
+    assert_instances_equal inst (roundtrip_instance inst)
+  done
+
+let test_strategy_roundtrip () =
+  let rng = Rng.create 5 in
+  let inst = random_instance rng in
+  let s, _ = Greedy.run inst in
+  let path = Filename.temp_file "revmax" ".strategy" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.save_strategy path s;
+      let s' = Io.load_strategy inst path in
+      Alcotest.(check int) "size" (Strategy.size s) (Strategy.size s');
+      check_float ~eps:0.0 "revenue preserved" (Revenue.total s) (Revenue.total s');
+      Alcotest.(check bool) "same triples" true
+        (List.for_all2 Revmax.Triple.equal (Strategy.to_list s) (Strategy.to_list s')))
+
+let expect_failure name input =
+  let path = Filename.temp_file "revmax" ".bad" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc -> output_string oc input);
+      match Io.load_instance path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "%s: expected a parse failure" name)
+
+let test_malformed_inputs () =
+  expect_failure "empty" "";
+  expect_failure "wrong header" "revmax-strategy 1\nend\n";
+  expect_failure "missing end" "revmax-instance 1\ndims 1 1 1 1\nitem 0 0 1 1.0 1.0\n";
+  expect_failure "missing item" "revmax-instance 1\ndims 1 2 1 1\nitem 0 0 1 1.0 1.0\nend\n";
+  expect_failure "bad float" "revmax-instance 1\ndims 1 1 1 1\nitem 0 0 1 oops 1.0\nend\n";
+  expect_failure "wrong price count" "revmax-instance 1\ndims 1 1 2 1\nitem 0 0 1 1.0 1.0\nend\n";
+  expect_failure "invalid probability"
+    "revmax-instance 1\ndims 1 1 1 1\nitem 0 0 1 1.0 1.0\nq 0 0 1.5\nend\n"
+
+let test_comments_and_blank_lines () =
+  let path = Filename.temp_file "revmax" ".inst" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc
+            "# a comment\nrevmax-instance 1\n\ndims 1 1 1 1\n# another\nitem 0 0 1 0.5 9.0\nq 0 0 0.25\nend\n");
+      let inst = Io.load_instance path in
+      check_float "price" 9.0 (Instance.price inst ~i:0 ~time:1);
+      check_float "q" 0.25 (Instance.q inst ~u:0 ~i:0 ~time:1))
+
+let test_strategy_rejects_out_of_range () =
+  let inst = example4_instance () in
+  let path = Filename.temp_file "revmax" ".strategy" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc "revmax-strategy 1\ntriple 5 0 1\nend\n");
+      match Io.load_strategy inst path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "expected a range failure")
+
+let () =
+  Alcotest.run "io"
+    [
+      ( "instance",
+        [
+          Alcotest.test_case "roundtrip example 4" `Quick test_instance_roundtrip_small;
+          Alcotest.test_case "roundtrip with ratings" `Quick test_instance_roundtrip_with_ratings;
+          Alcotest.test_case "roundtrip random instances" `Quick prop_instance_roundtrip_random;
+          Alcotest.test_case "malformed inputs" `Quick test_malformed_inputs;
+          Alcotest.test_case "comments and blanks" `Quick test_comments_and_blank_lines;
+        ] );
+      ( "strategy",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_strategy_roundtrip;
+          Alcotest.test_case "out-of-range rejected" `Quick test_strategy_rejects_out_of_range;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+module Matroid = Revmax_matroid.Matroid
+module Submodular = Revmax_matroid.Submodular
+module Rng = Revmax_prelude.Rng
+
+(* ----- Matroid ----- *)
+
+let test_uniform_independence () =
+  let m = Matroid.uniform ~ground:5 ~rank:2 in
+  Alcotest.(check bool) "empty" true (Matroid.is_independent m []);
+  Alcotest.(check bool) "size 2" true (Matroid.is_independent m [ 0; 4 ]);
+  Alcotest.(check bool) "size 3" false (Matroid.is_independent m [ 0; 1; 2 ]);
+  Alcotest.(check bool) "duplicate" false (Matroid.is_independent m [ 1; 1 ]);
+  Alcotest.(check bool) "out of range" false (Matroid.is_independent m [ 9 ]);
+  Alcotest.(check bool) "can_add" true (Matroid.can_add m [ 0 ] 1);
+  Alcotest.(check bool) "can_add at rank" false (Matroid.can_add m [ 0; 1 ] 2);
+  Alcotest.(check int) "rank bound" 2 (Matroid.rank_upper_bound m)
+
+let test_partition_independence () =
+  (* elements 0,1 in block 0 (bound 1); 2,3,4 in block 1 (bound 2) *)
+  let m = Matroid.partition ~part_of:[| 0; 0; 1; 1; 1 |] ~bound:[| 1; 2 |] in
+  Alcotest.(check bool) "ok set" true (Matroid.is_independent m [ 0; 2; 3 ]);
+  Alcotest.(check bool) "block 0 overflow" false (Matroid.is_independent m [ 0; 1 ]);
+  Alcotest.(check bool) "block 1 overflow" false (Matroid.is_independent m [ 2; 3; 4 ]);
+  Alcotest.(check bool) "can_add block 1" true (Matroid.can_add m [ 0; 2 ] 3);
+  Alcotest.(check bool) "can_add full block" false (Matroid.can_add m [ 0 ] 1);
+  Alcotest.(check int) "rank bound" 3 (Matroid.rank_upper_bound m)
+
+let test_partition_validation () =
+  Alcotest.check_raises "block out of range"
+    (Invalid_argument "Matroid.partition: block out of range") (fun () ->
+      ignore (Matroid.partition ~part_of:[| 0; 7 |] ~bound:[| 1 |]))
+
+let test_axioms_uniform () =
+  let rng = Rng.create 3 in
+  match Matroid.check_axioms (Matroid.uniform ~ground:8 ~rank:3) ~samples:200 rng with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_axioms_partition () =
+  let rng = Rng.create 4 in
+  let m = Matroid.partition ~part_of:[| 0; 0; 1; 1; 2; 2; 2 |] ~bound:[| 1; 2; 1 |] in
+  match Matroid.check_axioms m ~samples:200 rng with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let prop_axioms_random_partitions =
+  QCheck2.Test.make ~name:"random partition matroids satisfy the axioms" ~count:50
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let blocks = 1 + Rng.int rng 4 in
+      let ground = 1 + Rng.int rng 10 in
+      let part_of = Array.init ground (fun _ -> Rng.int rng blocks) in
+      let bound = Array.init blocks (fun _ -> Rng.int rng 3) in
+      let m = Matroid.partition ~part_of ~bound in
+      match Matroid.check_axioms m ~samples:100 rng with Ok () -> true | Error _ -> false)
+
+(* ----- Submodular maximization ----- *)
+
+(* weighted coverage: f(S) = total weight of elements covered by chosen sets;
+   submodular and monotone *)
+let coverage_objective sets weights s =
+  let covered = Hashtbl.create 16 in
+  List.iter (fun idx -> List.iter (fun e -> Hashtbl.replace covered e ()) sets.(idx)) s;
+  Hashtbl.fold (fun e () acc -> acc +. weights.(e)) covered 0.0
+
+let test_lazy_greedy_coverage () =
+  let sets = [| [ 0; 1 ]; [ 1; 2 ]; [ 3 ]; [ 0; 1; 2 ] |] in
+  let weights = [| 5.0; 1.0; 4.0; 3.0 |] in
+  let m = Matroid.uniform ~ground:4 ~rank:2 in
+  let s, v, stats = Submodular.lazy_greedy ~matroid:m ~f:(coverage_objective sets weights) () in
+  (* greedy: set 3 covers {0,1,2} = 10, then set 2 adds 3 → 13 (optimal) *)
+  Helpers.check_float "value" 13.0 v;
+  Alcotest.(check (list int)) "solution" [ 2; 3 ] (List.sort compare s);
+  Alcotest.(check bool) "oracle calls counted" true (stats.Submodular.oracle_calls > 0)
+
+let test_local_search_coverage () =
+  let sets = [| [ 0 ]; [ 1 ]; [ 0; 1 ] |] in
+  let weights = [| 2.0; 3.0 |] in
+  let m = Matroid.uniform ~ground:3 ~rank:1 in
+  let s, v, _ = Submodular.local_search ~matroid:m ~f:(coverage_objective sets weights) () in
+  Helpers.check_float "picks the covering set" 5.0 v;
+  Alcotest.(check (list int)) "solution" [ 2 ] s
+
+(* a non-monotone submodular function: cut function of a small graph *)
+let cut_value edges s =
+  let inside = Hashtbl.create 8 in
+  List.iter (fun v -> Hashtbl.replace inside v ()) s;
+  List.fold_left
+    (fun acc (a, b, w) ->
+      let ia = Hashtbl.mem inside a and ib = Hashtbl.mem inside b in
+      if ia <> ib then acc +. w else acc)
+    0.0 edges
+
+let test_local_search_cut () =
+  (* path graph 0-1-2 with weights 3, 5: max cut = {1} with value 8 *)
+  let edges = [ (0, 1, 3.0); (1, 2, 5.0) ] in
+  let m = Matroid.uniform ~ground:3 ~rank:3 in
+  let s, v, _ = Submodular.local_search ~matroid:m ~f:(cut_value edges) () in
+  Helpers.check_float "max cut value" 8.0 v;
+  Alcotest.(check (list int)) "cut set" [ 1 ] s
+
+let brute_force_best matroid f ground =
+  let best = ref 0.0 in
+  let rec go idx s =
+    let v = f s in
+    if v > !best then best := v;
+    if idx < ground then begin
+      go (idx + 1) s;
+      if Matroid.can_add matroid s idx then go (idx + 1) (idx :: s)
+    end
+  in
+  go 0 [];
+  !best
+
+let prop_local_search_quality =
+  (* the 1/(4+eps) guarantee, checked against brute force on random
+     non-monotone cut functions under random partition matroids *)
+  QCheck2.Test.make ~name:"local search achieves >= 1/5 of optimum" ~count:40
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let ground = 3 + Rng.int rng 4 in
+      let edges = ref [] in
+      for a = 0 to ground - 1 do
+        for b = a + 1 to ground - 1 do
+          if Rng.bernoulli rng 0.6 then edges := (a, b, Rng.uniform_in rng 0.1 5.0) :: !edges
+        done
+      done;
+      let blocks = 1 + Rng.int rng 2 in
+      let m =
+        Matroid.partition
+          ~part_of:(Array.init ground (fun _ -> Rng.int rng blocks))
+          ~bound:(Array.init blocks (fun _ -> 1 + Rng.int rng 2))
+      in
+      let f = cut_value !edges in
+      let _, v, _ = Submodular.local_search ~eps:0.1 ~matroid:m ~f () in
+      let opt = brute_force_best m f ground in
+      v >= (opt /. 5.0) -. 1e-9)
+
+let prop_greedy_feasible =
+  QCheck2.Test.make ~name:"both searches return independent sets" ~count:50
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let ground = 2 + Rng.int rng 6 in
+      let edges = ref [] in
+      for a = 0 to ground - 1 do
+        for b = a + 1 to ground - 1 do
+          if Rng.bool rng then edges := (a, b, Rng.uniform_in rng 0.0 3.0) :: !edges
+        done
+      done;
+      let m = Matroid.uniform ~ground ~rank:(1 + Rng.int rng ground) in
+      let f = cut_value !edges in
+      let s1, _, _ = Submodular.local_search ~matroid:m ~f () in
+      let s2, _, _ = Submodular.lazy_greedy ~matroid:m ~f () in
+      Matroid.is_independent m s1 && Matroid.is_independent m s2)
+
+let () =
+  Alcotest.run "matroid"
+    [
+      ( "matroid",
+        [
+          Alcotest.test_case "uniform independence" `Quick test_uniform_independence;
+          Alcotest.test_case "partition independence" `Quick test_partition_independence;
+          Alcotest.test_case "partition validation" `Quick test_partition_validation;
+          Alcotest.test_case "axioms uniform" `Quick test_axioms_uniform;
+          Alcotest.test_case "axioms partition" `Quick test_axioms_partition;
+          QCheck_alcotest.to_alcotest prop_axioms_random_partitions;
+        ] );
+      ( "submodular",
+        [
+          Alcotest.test_case "lazy greedy coverage" `Quick test_lazy_greedy_coverage;
+          Alcotest.test_case "local search coverage" `Quick test_local_search_coverage;
+          Alcotest.test_case "local search max cut" `Quick test_local_search_cut;
+          QCheck_alcotest.to_alcotest prop_local_search_quality;
+          QCheck_alcotest.to_alcotest prop_greedy_feasible;
+        ] );
+    ]

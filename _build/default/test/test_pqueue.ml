@@ -1,0 +1,194 @@
+module Bh = Revmax_pqueue.Binary_heap
+module Tl = Revmax_pqueue.Two_level_heap
+
+(* ----- Binary_heap unit tests ----- *)
+
+let test_heap_basic () =
+  let h = Bh.create () in
+  Alcotest.(check bool) "empty" true (Bh.is_empty h);
+  ignore (Bh.insert h ~key:1.0 "a");
+  ignore (Bh.insert h ~key:3.0 "b");
+  ignore (Bh.insert h ~key:2.0 "c");
+  Alcotest.(check int) "size" 3 (Bh.size h);
+  (match Bh.find_max h with
+  | Some ("b", 3.0) -> ()
+  | _ -> Alcotest.fail "wrong max");
+  (match Bh.delete_max h with
+  | Some ("b", 3.0) -> ()
+  | _ -> Alcotest.fail "wrong delete_max");
+  Alcotest.(check int) "size after delete" 2 (Bh.size h)
+
+let test_heap_update_key () =
+  let h = Bh.create () in
+  let ha = Bh.insert h ~key:1.0 "a" in
+  let _hb = Bh.insert h ~key:2.0 "b" in
+  Bh.update_key h ha 5.0;
+  (match Bh.find_max h with
+  | Some ("a", 5.0) -> ()
+  | _ -> Alcotest.fail "increase-key did not percolate");
+  Bh.update_key h ha 0.5;
+  match Bh.find_max h with
+  | Some ("b", 2.0) -> ()
+  | _ -> Alcotest.fail "decrease-key did not percolate"
+
+let test_heap_remove () =
+  let h = Bh.create () in
+  let ha = Bh.insert h ~key:10.0 "a" in
+  let _ = Bh.insert h ~key:5.0 "b" in
+  Bh.remove h ha;
+  Alcotest.(check bool) "handle gone" false (Bh.contains h ha);
+  (match Bh.find_max h with
+  | Some ("b", 5.0) -> ()
+  | _ -> Alcotest.fail "wrong max after remove");
+  Alcotest.check_raises "stale handle" (Invalid_argument "Binary_heap: stale or foreign handle")
+    (fun () -> Bh.remove h ha)
+
+let test_heap_of_list_sorted () =
+  let items = List.init 100 (fun i -> (float_of_int ((i * 37) mod 100), i)) in
+  let h = Bh.of_list items in
+  let sorted = Bh.to_sorted_list h in
+  let keys = List.map snd sorted in
+  let expected = List.sort (fun a b -> compare b a) (List.map fst items) in
+  Alcotest.(check (list (float 1e-9))) "descending keys" expected keys
+
+(* Model-based property test: the heap behaves like a sorted reference
+   list under a random operation sequence. *)
+let prop_heap_model =
+  QCheck2.Test.make ~name:"heap matches sorted-list model" ~count:200
+    QCheck2.Gen.(list (pair (float_range (-100.0) 100.0) small_int))
+    (fun ops ->
+      let h = Bh.create () in
+      let model = ref [] in
+      List.iter
+        (fun (k, v) ->
+          if v mod 3 = 0 && !model <> [] then begin
+            (* delete max in both *)
+            (match Bh.delete_max h with
+            | Some (_, key) ->
+                let best = List.fold_left (fun acc (k', _) -> Float.max acc k') neg_infinity !model in
+                if not (Helpers.float_eq key best) then failwith "max mismatch";
+                (* remove one element with the max key from the model *)
+                let removed = ref false in
+                model :=
+                  List.filter
+                    (fun (k', _) ->
+                      if (not !removed) && Helpers.float_eq k' best then begin
+                        removed := true;
+                        false
+                      end
+                      else true)
+                    !model
+            | None -> failwith "heap empty but model non-empty")
+          end
+          else begin
+            ignore (Bh.insert h ~key:k v);
+            model := (k, v) :: !model
+          end)
+        ops;
+      Bh.size h = List.length !model)
+
+(* ----- Two_level_heap tests ----- *)
+
+let test_tl_global_max () =
+  let h = Tl.create () in
+  Tl.insert h ~pair:0 ~key:1.0 "p0a";
+  Tl.insert h ~pair:0 ~key:4.0 "p0b";
+  Tl.insert h ~pair:1 ~key:3.0 "p1a";
+  (match Tl.find_max h with
+  | Some (0, "p0b", 4.0) -> ()
+  | _ -> Alcotest.fail "wrong global max");
+  (match Tl.delete_max h with
+  | Some (0, "p0b", 4.0) -> ()
+  | _ -> Alcotest.fail "wrong delete_max");
+  match Tl.find_max h with
+  | Some (1, "p1a", 3.0) -> ()
+  | _ -> Alcotest.fail "upper level not resynced"
+
+let test_tl_drain_pair () =
+  let h = Tl.create () in
+  Tl.insert h ~pair:7 ~key:2.0 "x";
+  ignore (Tl.delete_max h);
+  Alcotest.(check int) "pair drained" 0 (Tl.pair_size h 7);
+  Alcotest.(check bool) "empty" true (Tl.is_empty h)
+
+let test_tl_refresh () =
+  let h = Tl.create () in
+  Tl.insert h ~pair:0 ~key:10.0 "a";
+  Tl.insert h ~pair:0 ~key:9.0 "b";
+  Tl.insert h ~pair:1 ~key:5.0 "c";
+  (* rekey pair 0: demote "a", drop "b" *)
+  Tl.refresh_pair h 0 ~f:(fun v _old -> if v = "b" then None else Some 1.0);
+  Alcotest.(check int) "size after refresh" 2 (Tl.size h);
+  (match Tl.find_max h with
+  | Some (1, "c", 5.0) -> ()
+  | _ -> Alcotest.fail "refresh did not update the upper level");
+  (* rekey to empty removes the pair *)
+  Tl.refresh_pair h 0 ~f:(fun _ _ -> None);
+  Alcotest.(check int) "pair 0 dropped" 0 (Tl.pair_size h 0)
+
+let test_tl_missing_pair_noops () =
+  let h = Tl.create () in
+  Tl.insert h ~pair:1 ~key:1.0 "a";
+  Tl.refresh_pair h 99 ~f:(fun _ _ -> Some 5.0);
+  Tl.drop_pair h 99;
+  Alcotest.(check int) "untouched" 1 (Tl.size h);
+  match Tl.find_max h with
+  | Some (1, "a", 1.0) -> ()
+  | _ -> Alcotest.fail "no-op refresh disturbed the heap"
+
+let test_tl_drop_pair () =
+  let h = Tl.create () in
+  Tl.insert h ~pair:3 ~key:1.0 "a";
+  Tl.insert h ~pair:3 ~key:2.0 "b";
+  Tl.insert h ~pair:4 ~key:1.5 "c";
+  Tl.drop_pair h 3;
+  Alcotest.(check int) "size" 1 (Tl.size h);
+  match Tl.find_max h with
+  | Some (4, "c", _) -> ()
+  | _ -> Alcotest.fail "wrong survivor"
+
+(* Property: popping a two-level heap yields the same key sequence as a
+   single flat heap over the same (pair, key) inserts. *)
+let prop_tl_matches_flat =
+  QCheck2.Test.make ~name:"two-level pops = flat heap pops" ~count:200
+    QCheck2.Gen.(list (pair (int_bound 5) (float_range 0.0 100.0)))
+    (fun inserts ->
+      let tl = Tl.create () in
+      let flat = Bh.create () in
+      List.iteri
+        (fun idx (pair, key) ->
+          Tl.insert tl ~pair ~key idx;
+          ignore (Bh.insert flat ~key idx))
+        inserts;
+      let rec drain acc =
+        match Tl.delete_max tl with
+        | None -> List.rev acc
+        | Some (_, _, k) -> drain (k :: acc)
+      in
+      let rec drain_flat acc =
+        match Bh.delete_max flat with None -> List.rev acc | Some (_, k) -> drain_flat (k :: acc)
+      in
+      let a = drain [] and b = drain_flat [] in
+      List.length a = List.length b && List.for_all2 Helpers.float_eq a b)
+
+let () =
+  Alcotest.run "pqueue"
+    [
+      ( "binary_heap",
+        [
+          Alcotest.test_case "basic" `Quick test_heap_basic;
+          Alcotest.test_case "update_key" `Quick test_heap_update_key;
+          Alcotest.test_case "remove" `Quick test_heap_remove;
+          Alcotest.test_case "of_list sorted" `Quick test_heap_of_list_sorted;
+          QCheck_alcotest.to_alcotest prop_heap_model;
+        ] );
+      ( "two_level_heap",
+        [
+          Alcotest.test_case "global max" `Quick test_tl_global_max;
+          Alcotest.test_case "drain pair" `Quick test_tl_drain_pair;
+          Alcotest.test_case "refresh" `Quick test_tl_refresh;
+          Alcotest.test_case "missing pair no-ops" `Quick test_tl_missing_pair_noops;
+          Alcotest.test_case "drop pair" `Quick test_tl_drop_pair;
+          QCheck_alcotest.to_alcotest prop_tl_matches_flat;
+        ] );
+    ]

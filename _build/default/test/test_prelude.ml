@@ -1,0 +1,206 @@
+module Rng = Revmax_prelude.Rng
+module Util = Revmax_prelude.Util
+module Summary = Revmax_prelude.Summary
+module Table = Revmax_prelude.Table
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_split_independence () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  (* the split stream must differ from the parent's continuation *)
+  let xs = List.init 16 (fun _ -> Rng.int64 a) in
+  let ys = List.init 16 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of range: %d" v
+  done;
+  (* large bound path *)
+  for _ = 1 to 1_000 do
+    let v = Rng.int rng (1 lsl 40) in
+    if v < 0 || v >= 1 lsl 40 then Alcotest.failf "out of range (large): %d" v
+  done
+
+let test_rng_int_uniformity () =
+  let rng = Rng.create 3 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 5 then
+        Alcotest.failf "bucket %d skewed: %d vs %d" i c expected)
+    counts
+
+let test_unit_float_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.unit_float rng in
+    if v < 0.0 || v >= 1.0 then Alcotest.failf "unit_float out of range: %f" v
+  done
+
+let test_gaussian_moments () =
+  let rng = Rng.create 5 in
+  let n = 200_000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian rng) in
+  let s = Summary.of_array xs in
+  Helpers.check_float ~eps:0.02 "gaussian mean" 0.0 s.Summary.mean;
+  Helpers.check_float ~eps:0.02 "gaussian std" 1.0 s.Summary.std
+
+let test_exponential_mean () =
+  let rng = Rng.create 6 in
+  let xs = Array.init 100_000 (fun _ -> Rng.exponential rng ~rate:2.0) in
+  Helpers.check_float ~eps:0.02 "exponential mean" 0.5 (Util.mean xs)
+
+let test_pareto_support () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 10_000 do
+    let v = Rng.pareto rng ~alpha:2.0 ~x_min:3.0 in
+    if v < 3.0 then Alcotest.failf "pareto below x_min: %f" v
+  done
+
+let test_shuffle_permutes () =
+  let rng = Rng.create 9 in
+  let a = Array.init 50 (fun i -> i) in
+  let b = Array.copy a in
+  Rng.shuffle rng b;
+  let sorted = Array.copy b in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" a sorted
+
+let test_permutation_valid () =
+  let rng = Rng.create 10 in
+  let p = Rng.permutation rng 20 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 (fun i -> i)) sorted
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 12 in
+  (* dense and sparse paths *)
+  List.iter
+    (fun (n, k) ->
+      let s = Rng.sample_without_replacement rng n k in
+      Alcotest.(check int) "count" k (Array.length s);
+      let tbl = Hashtbl.create k in
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= n then Alcotest.failf "out of range: %d" v;
+          if Hashtbl.mem tbl v then Alcotest.failf "duplicate: %d" v;
+          Hashtbl.add tbl v ())
+        s)
+    [ (10, 8); (1000, 5); (5, 5); (7, 0) ]
+
+let test_bernoulli_frequency () =
+  let rng = Rng.create 13 in
+  let n = 100_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  Helpers.check_float ~eps:0.01 "bernoulli(0.3)" 0.3 (float_of_int !hits /. float_of_int n)
+
+let test_clamp () =
+  Helpers.check_float "below" 0.0 (Util.clamp ~lo:0.0 ~hi:1.0 (-5.0));
+  Helpers.check_float "above" 1.0 (Util.clamp ~lo:0.0 ~hi:1.0 7.0);
+  Helpers.check_float "inside" 0.5 (Util.clamp ~lo:0.0 ~hi:1.0 0.5)
+
+let test_sum_floats_kahan () =
+  (* naive summation loses the small additions; Kahan keeps them *)
+  let a = Array.make 10_001 1e-8 in
+  a.(0) <- 1e8;
+  let expected = 1e8 +. (1e-8 *. 10_000.0) in
+  Helpers.check_float ~eps:1e-12 "kahan sum" expected (Util.sum_floats a)
+
+let test_argmax () =
+  let a = [| 3.0; 9.0; 2.0; 9.0 |] in
+  Alcotest.(check int) "first max" 1 (Util.argmax Fun.id a);
+  Alcotest.check_raises "empty" (Invalid_argument "Util.argmax: empty array") (fun () ->
+      ignore (Util.argmax Fun.id [||]))
+
+let test_top_k_by () =
+  let a = [| 5; 1; 9; 3; 7 |] in
+  let top = Util.top_k_by 3 float_of_int a in
+  Alcotest.(check (array int)) "top 3 desc" [| 9; 7; 5 |] top;
+  let all = Util.top_k_by 10 float_of_int a in
+  Alcotest.(check int) "short array" 5 (Array.length all)
+
+let test_summary () =
+  let s = Summary.of_array [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Helpers.check_float "mean" 3.0 s.Summary.mean;
+  Helpers.check_float "median" 3.0 s.Summary.median;
+  Helpers.check_float "min" 1.0 s.Summary.min;
+  Helpers.check_float "max" 5.0 s.Summary.max;
+  Helpers.check_float ~eps:1e-9 "std" (sqrt 2.5) s.Summary.std
+
+let test_quantile_interpolation () =
+  let sorted = [| 0.0; 10.0 |] in
+  Helpers.check_float "q25" 2.5 (Summary.quantile sorted 0.25);
+  Helpers.check_float "q50" 5.0 (Summary.quantile sorted 0.5)
+
+let test_histogram () =
+  let h = Summary.histogram ~bins:2 [| 0.0; 0.1; 0.9; 1.0 |] in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  let _, _, c0 = h.(0) and _, _, c1 = h.(1) in
+  Alcotest.(check int) "low bin" 2 c0;
+  Alcotest.(check int) "high bin" 2 c1
+
+let contains_substring haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1)) in
+  go 0
+
+let test_table_render () =
+  let t = Table.create ~columns:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_floats t ~label:"beta" [ 2.5 ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has header" true (contains_substring s "name");
+  Alcotest.(check bool) "contains alpha" true (contains_substring s "alpha");
+  Alcotest.(check bool) "contains beta row" true (contains_substring s "2.5")
+
+let () =
+  Alcotest.run "prelude"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int uniformity" `Slow test_rng_int_uniformity;
+          Alcotest.test_case "unit_float range" `Quick test_unit_float_range;
+          Alcotest.test_case "gaussian moments" `Slow test_gaussian_moments;
+          Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+          Alcotest.test_case "pareto support" `Quick test_pareto_support;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+          Alcotest.test_case "permutation valid" `Quick test_permutation_valid;
+          Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+          Alcotest.test_case "bernoulli frequency" `Slow test_bernoulli_frequency;
+        ] );
+      ( "util",
+        [
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "kahan sum" `Quick test_sum_floats_kahan;
+          Alcotest.test_case "argmax" `Quick test_argmax;
+          Alcotest.test_case "top_k_by" `Quick test_top_k_by;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "summary stats" `Quick test_summary;
+          Alcotest.test_case "quantile interpolation" `Quick test_quantile_interpolation;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
+    ]

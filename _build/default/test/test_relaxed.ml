@@ -1,0 +1,270 @@
+module Rng = Revmax_prelude.Rng
+module Instance = Revmax.Instance
+module Triple = Revmax.Triple
+module Strategy = Revmax.Strategy
+module Revenue = Revmax.Revenue
+module Relaxed = Revmax.Relaxed
+module Local_search = Revmax.Local_search
+module Random_price = Revmax.Random_price
+module Matroid = Revmax_matroid.Matroid
+open Helpers
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+(* ----- Relaxed objective (R-REVMAX) ----- *)
+
+let prop_relaxed_equals_strict_when_within_capacity =
+  QCheck2.Test.make ~name:"valid strategy ⇒ relaxed revenue = Rev" ~count:80 seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance rng in
+      let s = random_valid_strategy inst rng in
+      (* under capacity every B_S = 1 whenever fewer than q_i users got i;
+         validity guarantees exactly that, unless capacity is met exactly —
+         then B < 1 is possible, so restrict to strictly-under strategies *)
+      let strictly_under =
+        List.for_all
+          (fun (z : Triple.t) ->
+            Strategy.item_user_count s z.i < Instance.capacity inst z.i)
+          (Strategy.to_list s)
+      in
+      (not strictly_under)
+      || Helpers.float_eq ~eps:1e-9 (Revenue.total s) (Relaxed.total s))
+
+let test_effective_probability_over_capacity () =
+  (* Example 3 flavour: capacity 1, users u and v both get the item at t=1;
+     for v the factor is B = Pr[u does not adopt] = 1 − q(u) *)
+  let inst =
+    Instance.create ~num_users:2 ~num_items:1 ~horizon:1 ~display_limit:1 ~class_of:[| 0 |]
+      ~capacity:[| 1 |] ~saturation:[| 1.0 |]
+      ~price:[| [| 1.0 |] |]
+      ~adoption:[ (0, 0, [| 0.6 |]); (1, 0, [| 0.5 |]) ]
+      ()
+  in
+  let s = Strategy.of_list inst [ triple 0 0 1; triple 1 0 1 ] in
+  check_float ~eps:1e-12 "E for user 1" (0.5 *. 0.4) (Relaxed.effective_probability s (triple 1 0 1));
+  check_float ~eps:1e-12 "E for user 0" (0.6 *. 0.5) (Relaxed.effective_probability s (triple 0 0 1));
+  check_float ~eps:1e-12 "relaxed total" ((0.5 *. 0.4) +. (0.6 *. 0.5)) (Relaxed.total s)
+
+let prop_relaxed_le_unconstrained =
+  QCheck2.Test.make ~name:"relaxed revenue <= saturation-competition revenue" ~count:60 seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance rng in
+      (* any strategy, valid or not: B factors only shrink probabilities *)
+      let all = Array.of_list (candidate_triples inst) in
+      Rng.shuffle rng all;
+      let s = Strategy.create inst in
+      Array.iteri (fun idx z -> if idx mod 2 = 0 then Strategy.add s z) all;
+      Relaxed.total s <= Revenue.total s +. 1e-9)
+
+(* ----- Local search for R-REVMAX ----- *)
+
+(* brute force over display-valid subsets of the candidate ground set *)
+let brute_force_relaxed inst =
+  let ground = Array.of_list (candidate_triples inst) in
+  let n = Array.length ground in
+  let best = ref 0.0 in
+  let k = Instance.display_limit inst in
+  let rec go idx chosen =
+    if idx = n then begin
+      let s = Strategy.of_list inst chosen in
+      if Strategy.is_valid_display_only s then begin
+        let v = Relaxed.total s in
+        if v > !best then best := v
+      end
+    end
+    else begin
+      go (idx + 1) chosen;
+      let z = ground.(idx) in
+      let display_ok =
+        List.length
+          (List.filter (fun (z' : Triple.t) -> z'.u = z.u && z'.t = z.t) chosen)
+        < k
+      in
+      if display_ok then go (idx + 1) (z :: chosen)
+    end
+  in
+  go 0 [];
+  !best
+
+(* fixed seeds: the 1/(4+ε) guarantee leans on submodularity, which has
+   corner-case failures (DESIGN.md §5a), so this is an empirical bound
+   checked over a deterministic instance bank rather than fresh randomness *)
+let test_local_search_quality () =
+  for seed = 0 to 19 do
+    let rng = Rng.create seed in
+    let inst = random_instance ~max_users:2 ~max_items:2 ~max_horizon:2 rng in
+    if Instance.num_candidate_triples inst <= 7 then begin
+      let r = Local_search.solve ~eps:0.2 inst in
+      let opt = brute_force_relaxed inst in
+      if not (Strategy.is_valid_display_only r.Local_search.strategy) then
+        Alcotest.failf "seed %d: display-invalid output" seed;
+      Helpers.check_float ~eps:1e-9 "value consistent" r.Local_search.value
+        (Relaxed.total r.Local_search.strategy);
+      if r.Local_search.value < (opt /. 5.0) -. 1e-9 then
+        Alcotest.failf "seed %d: %.6f below a fifth of optimum %.6f" seed r.Local_search.value opt
+    end
+  done
+
+let test_local_search_reports_oracle_calls () =
+  let inst = example4_instance () in
+  let r = Local_search.solve inst in
+  Alcotest.(check bool) "oracle calls > 0" true (r.Local_search.oracle_calls > 0);
+  (* on example 4 the relaxed optimum is also the singleton {(u,i,2)} *)
+  check_float ~eps:1e-12 "value" 0.57 r.Local_search.value
+
+(* the display matroid built by local search matches Lemma 2 semantics *)
+let test_display_matroid_lemma2 () =
+  let part_of = [| 0; 0; 1 |] in
+  let m = Matroid.partition ~part_of ~bound:[| 1; 1 |] in
+  Alcotest.(check bool) "same (u,t) conflict" false (Matroid.is_independent m [ 0; 1 ]);
+  Alcotest.(check bool) "different (u,t) fine" true (Matroid.is_independent m [ 0; 2 ])
+
+(* ----- Random prices (§7) ----- *)
+
+(* a model with zero variance must reduce Taylor to the deterministic value *)
+let deterministic_model inst =
+  {
+    Random_price.mean = (fun ~i ~time -> Instance.price inst ~i ~time);
+    sigma = (fun ~i:_ ~time:_ -> 0.0);
+    corr = 0.0;
+    q_of_price =
+      (fun ~u ~i ~price ->
+        (* recover the instance's q at its own price; probe time steps for
+           the matching price *)
+        let horizon = Instance.horizon inst in
+        let rec find t =
+          if t > horizon then 0.0
+          else if Helpers.float_eq ~eps:1e-9 (Instance.price inst ~i ~time:t) price then
+            Instance.q inst ~u ~i ~time:t
+          else find (t + 1)
+        in
+        find 1);
+  }
+
+let test_taylor_zero_variance_reduces_to_deterministic () =
+  let inst = example4_instance () in
+  let s = Strategy.of_list inst [ triple 0 0 1; triple 0 0 2 ] in
+  let model = deterministic_model inst in
+  check_float ~eps:1e-9 "order 1" 0.5285 (Random_price.taylor_revenue ~order:`One inst model s);
+  check_float ~eps:1e-9 "order 2" 0.5285 (Random_price.taylor_revenue ~order:`Two inst model s)
+
+(* a linear-in-price valuation link on a single triple: g(p) = p·q(p) is
+   quadratic, so the order-2 Taylor value must equal the exact expectation *)
+let test_taylor_exact_on_quadratic () =
+  let inst =
+    Instance.create ~num_users:1 ~num_items:1 ~horizon:1 ~display_limit:1 ~class_of:[| 0 |]
+      ~capacity:[| 1 |] ~saturation:[| 1.0 |]
+      ~price:[| [| 5.0 |] |]
+      ~adoption:[ (0, 0, [| 0.5 |]) ]
+      ()
+  in
+  let s = Strategy.of_list inst [ triple 0 0 1 ] in
+  let sigma = 1.2 in
+  let q_of_price ~u:_ ~i:_ ~price = Revmax_prelude.Util.clamp_prob (1.0 -. (price /. 10.0)) in
+  let model =
+    {
+      Random_price.mean = (fun ~i:_ ~time:_ -> 5.0);
+      sigma = (fun ~i:_ ~time:_ -> sigma);
+      corr = 0.0;
+      q_of_price;
+    }
+  in
+  (* E[p(1 − p/10)] = μ − (μ² + σ²)/10 *)
+  let exact = 5.0 -. ((25.0 +. (sigma *. sigma)) /. 10.0) in
+  let t2 = Random_price.taylor_revenue ~order:`Two inst model s in
+  check_float ~eps:1e-4 "order-2 exact on quadratic" exact t2;
+  (* order 1 misses the variance term *)
+  let t1 = Random_price.taylor_revenue ~order:`One inst model s in
+  check_float ~eps:1e-9 "order-1 value" (5.0 -. 2.5) t1;
+  (* Monte-Carlo agrees with the exact value *)
+  let est = Random_price.mc_revenue inst model s ~samples:200_000 (Rng.create 3) in
+  Alcotest.(check bool) "MC agrees" true (Revmax_stats.Mc.within_ci est exact)
+
+let test_taylor_order2_beats_order1 () =
+  (* multi-triple chain with price-sensitive adoption: order 2 should land
+     closer to the Monte-Carlo ground truth than order 1 *)
+  let inst =
+    Instance.create ~num_users:1 ~num_items:2 ~horizon:2 ~display_limit:1 ~class_of:[| 0; 0 |]
+      ~capacity:[| 1; 1 |] ~saturation:[| 0.7; 0.7 |]
+      ~price:[| [| 6.0; 5.0 |]; [| 4.0; 4.5 |] |]
+      ~adoption:[ (0, 0, [| 0.4; 0.5 |]); (0, 1, [| 0.6; 0.55 |]) ]
+      ()
+  in
+  let s = Strategy.of_list inst [ triple 0 0 1; triple 0 1 2 ] in
+  (* smooth price-to-probability link: Taylor needs differentiability over
+     the sampled price range (a clamp kink would defeat any expansion) *)
+  let q_of_price ~u:_ ~i:_ ~price = 0.9 /. (1.0 +. exp ((price -. 5.0) /. 2.0)) in
+  let model =
+    {
+      Random_price.mean = (fun ~i ~time -> Instance.price inst ~i ~time);
+      sigma = (fun ~i:_ ~time:_ -> 0.8);
+      corr = 0.3;
+      q_of_price;
+    }
+  in
+  let truth = (Random_price.mc_revenue inst model s ~samples:400_000 (Rng.create 9)).Revmax_stats.Mc.mean in
+  let t1 = Random_price.taylor_revenue ~order:`One inst model s in
+  let t2 = Random_price.taylor_revenue ~order:`Two inst model s in
+  Alcotest.(check bool)
+    (Printf.sprintf "order2 (%.5f) closer than order1 (%.5f) to truth (%.5f)" t2 t1 truth)
+    true
+    (Float.abs (t2 -. truth) <= Float.abs (t1 -. truth) +. 1e-4)
+
+let test_mean_instance_structure () =
+  let inst = example4_instance () in
+  let model =
+    {
+      Random_price.mean = (fun ~i:_ ~time:_ -> 2.0);
+      sigma = (fun ~i:_ ~time:_ -> 0.5);
+      corr = 0.0;
+      q_of_price = (fun ~u:_ ~i:_ ~price -> Revmax_prelude.Util.clamp_prob (1.0 -. (price /. 4.0)));
+    }
+  in
+  let inst' = Random_price.mean_instance inst model in
+  check_float "mean price installed" 2.0 (Instance.price inst' ~i:0 ~time:1);
+  check_float "q recomputed" 0.5 (Instance.q inst' ~u:0 ~i:0 ~time:1);
+  Alcotest.(check int) "same users" (Instance.num_users inst) (Instance.num_users inst');
+  Alcotest.(check int) "same horizon" (Instance.horizon inst) (Instance.horizon inst');
+  check_float "saturation preserved" 0.1 (Instance.saturation inst' 0)
+
+let test_mc_corr_validation () =
+  let inst = example4_instance () in
+  let s = Strategy.of_list inst [ triple 0 0 1 ] in
+  let model =
+    {
+      Random_price.mean = (fun ~i:_ ~time:_ -> 1.0);
+      sigma = (fun ~i:_ ~time:_ -> 0.1);
+      corr = 2.0;
+      q_of_price = (fun ~u:_ ~i:_ ~price:_ -> 0.5);
+    }
+  in
+  Alcotest.check_raises "corr out of range"
+    (Invalid_argument "Random_price: corr must be in [0,1]") (fun () ->
+      ignore (Random_price.mc_revenue inst model s ~samples:10 (Rng.create 0)))
+
+let () =
+  Alcotest.run "relaxed"
+    [
+      ( "relaxed",
+        [
+          QCheck_alcotest.to_alcotest prop_relaxed_equals_strict_when_within_capacity;
+          Alcotest.test_case "over capacity" `Quick test_effective_probability_over_capacity;
+          QCheck_alcotest.to_alcotest prop_relaxed_le_unconstrained;
+        ] );
+      ( "local_search",
+        [
+          Alcotest.test_case "1/5-of-optimum bound" `Slow test_local_search_quality;
+          Alcotest.test_case "oracle calls" `Quick test_local_search_reports_oracle_calls;
+          Alcotest.test_case "Lemma 2 matroid" `Quick test_display_matroid_lemma2;
+        ] );
+      ( "random_price",
+        [
+          Alcotest.test_case "zero variance" `Quick test_taylor_zero_variance_reduces_to_deterministic;
+          Alcotest.test_case "exact on quadratic" `Slow test_taylor_exact_on_quadratic;
+          Alcotest.test_case "order 2 beats order 1" `Slow test_taylor_order2_beats_order1;
+          Alcotest.test_case "mean instance" `Quick test_mean_instance_structure;
+          Alcotest.test_case "corr validation" `Quick test_mc_corr_validation;
+        ] );
+    ]

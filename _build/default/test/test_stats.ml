@@ -1,0 +1,266 @@
+module Special = Revmax_stats.Special
+module Distribution = Revmax_stats.Distribution
+module Kde = Revmax_stats.Kde
+module Pb = Revmax_stats.Poisson_binomial
+module Mc = Revmax_stats.Mc
+module Rng = Revmax_prelude.Rng
+
+(* ----- Special functions ----- *)
+
+let test_erf_reference_values () =
+  (* reference values from Abramowitz & Stegun *)
+  List.iter
+    (fun (x, expected) -> Helpers.check_float ~eps:2e-7 (Printf.sprintf "erf %g" x) expected (Special.erf x))
+    [
+      (0.0, 0.0);
+      (0.5, 0.5204998778);
+      (1.0, 0.8427007929);
+      (2.0, 0.9953222650);
+      (-1.0, -0.8427007929);
+    ]
+
+let test_erfc_symmetry () =
+  List.iter
+    (fun x ->
+      Helpers.check_float ~eps:1e-7 "erf + erfc = 1" 1.0 (Special.erf x +. Special.erfc x);
+      Helpers.check_float ~eps:1e-7 "erf odd" (-.Special.erf x) (Special.erf (-.x)))
+    [ 0.1; 0.7; 1.3; 2.9 ]
+
+let test_gaussian_cdf_median () =
+  (* the erfc approximation carries ~1.2e-7 error, so compare at that scale *)
+  Helpers.check_float ~eps:5e-7 "cdf at mean" 0.5 (Special.gaussian_cdf ~mean:3.0 ~sigma:2.0 3.0);
+  Helpers.check_float ~eps:1e-6 "one sigma" 0.8413447
+    (Special.gaussian_cdf ~mean:0.0 ~sigma:1.0 1.0);
+  Helpers.check_float ~eps:5e-7 "sf complement" 1.0
+    (Special.gaussian_cdf ~mean:1.0 ~sigma:0.5 2.0 +. Special.gaussian_sf ~mean:1.0 ~sigma:0.5 2.0)
+
+let test_log_factorial () =
+  Helpers.check_float "0!" 0.0 (Special.log_factorial 0);
+  Helpers.check_float ~eps:1e-9 "5!" (log 120.0) (Special.log_factorial 5);
+  (* Stirling branch vs summation at the table boundary *)
+  let direct n =
+    let acc = ref 0.0 in
+    for i = 2 to n do
+      acc := !acc +. log (float_of_int i)
+    done;
+    !acc
+  in
+  Helpers.check_float ~eps:1e-6 "300!" (direct 300) (Special.log_factorial 300)
+
+(* ----- Distributions ----- *)
+
+let test_distribution_cdf_monotone =
+  QCheck2.Test.make ~name:"cdf is monotone and within [0,1]" ~count:200
+    QCheck2.Gen.(pair (float_range (-50.0) 50.0) (float_range 0.0 10.0))
+    (fun (x, dx) ->
+      let dists =
+        [
+          Distribution.Gaussian { mean = 1.0; sigma = 2.0 };
+          Distribution.Exponential { rate = 0.5 };
+          Distribution.Lognormal { mu = 0.0; sigma = 1.0 };
+          Distribution.Uniform { lo = -1.0; hi = 4.0 };
+          Distribution.Pareto { alpha = 2.0; x_min = 1.0 };
+        ]
+      in
+      List.for_all
+        (fun d ->
+          let a = Distribution.cdf d x and b = Distribution.cdf d (x +. dx) in
+          a >= -1e-12 && b <= 1.0 +. 1e-12 && b >= a -. 1e-9)
+        dists)
+
+let test_distribution_sample_mean () =
+  let rng = Rng.create 42 in
+  let check d eps =
+    let xs = Distribution.sample_n d rng 100_000 in
+    Helpers.check_float ~eps
+      (Format.asprintf "mean of %a" Distribution.pp d)
+      (Distribution.mean d) (Revmax_prelude.Util.mean xs)
+  in
+  check (Distribution.Gaussian { mean = 2.0; sigma = 1.0 }) 0.02;
+  check (Distribution.Exponential { rate = 2.0 }) 0.01;
+  check (Distribution.Uniform { lo = 0.0; hi = 10.0 }) 0.05;
+  check (Distribution.Lognormal { mu = 0.0; sigma = 0.5 }) 0.02;
+  check (Distribution.Pareto { alpha = 3.0; x_min = 1.0 }) 0.02
+
+let test_pareto_infinite_mean () =
+  Alcotest.check_raises "alpha <= 1"
+    (Invalid_argument "Distribution.mean: Pareto with alpha <= 1") (fun () ->
+      ignore (Distribution.mean (Distribution.Pareto { alpha = 1.0; x_min = 1.0 })))
+
+let test_distribution_sf_matches_samples () =
+  let rng = Rng.create 7 in
+  let d = Distribution.Gaussian { mean = 5.0; sigma = 2.0 } in
+  let threshold = 6.0 in
+  let n = 100_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Distribution.sample d rng >= threshold then incr hits
+  done;
+  Helpers.check_float ~eps:0.01 "sf vs empirical"
+    (Distribution.sf d threshold)
+    (float_of_int !hits /. float_of_int n)
+
+(* ----- KDE (the §6.1 price/valuation pipeline) ----- *)
+
+let test_silverman_formula () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let n = 5.0 in
+  let sigma = sqrt 2.5 in
+  let expected = (4.0 *. (sigma ** 5.0) /. (3.0 *. n)) ** 0.2 in
+  Helpers.check_float ~eps:1e-12 "silverman" expected (Kde.silverman_bandwidth xs)
+
+let test_silverman_degenerate () =
+  let h = Kde.silverman_bandwidth [| 3.0; 3.0; 3.0 |] in
+  Alcotest.(check bool) "positive on constant sample" true (h > 0.0)
+
+let test_kde_pdf_integrates_to_one () =
+  let kde = Kde.fit [| 10.0; 12.0; 15.0; 11.0; 13.0 |] in
+  (* trapezoidal integration over a wide support *)
+  let lo = 0.0 and hi = 30.0 and steps = 3000 in
+  let dx = (hi -. lo) /. float_of_int steps in
+  let acc = ref 0.0 in
+  for s = 0 to steps - 1 do
+    let x = lo +. (float_of_int s *. dx) in
+    acc := !acc +. (0.5 *. (Kde.pdf kde x +. Kde.pdf kde (x +. dx)) *. dx)
+  done;
+  Helpers.check_float ~eps:1e-3 "integral" 1.0 !acc
+
+let test_kde_cdf_limits () =
+  let kde = Kde.fit [| 5.0; 6.0; 7.0 |] in
+  Alcotest.(check bool) "cdf small at -inf side" true (Kde.cdf kde (-100.0) < 1e-6);
+  Alcotest.(check bool) "cdf near 1 at +inf side" true (Kde.cdf kde 200.0 > 1.0 -. 1e-6);
+  Helpers.check_float ~eps:1e-9 "sf complement" 1.0 (Kde.cdf kde 6.0 +. Kde.sf kde 6.0)
+
+let test_kde_moments () =
+  let xs = [| 1.0; 3.0; 5.0; 7.0 |] in
+  let kde = Kde.fit xs in
+  Helpers.check_float ~eps:1e-12 "mean = sample mean" 4.0 (Kde.mean kde);
+  let h = Kde.bandwidth kde in
+  Helpers.check_float ~eps:1e-12 "variance = population var + h^2" (5.0 +. (h *. h))
+    (Kde.variance kde)
+
+let test_kde_draw_distribution () =
+  let rng = Rng.create 11 in
+  let xs = [| 10.0; 20.0; 30.0 |] in
+  let kde = Kde.fit ~bandwidth:1.0 xs in
+  let samples = Kde.draw_n kde rng 60_000 in
+  Helpers.check_float ~eps:0.15 "draw mean" 20.0 (Revmax_prelude.Util.mean samples);
+  (* empirical CDF at a point matches the analytic mixture CDF *)
+  let at = 15.0 in
+  let below = Array.fold_left (fun n x -> if x <= at then n + 1 else n) 0 samples in
+  Helpers.check_float ~eps:0.01 "draw cdf" (Kde.cdf kde at)
+    (float_of_int below /. float_of_int (Array.length samples))
+
+let test_kde_gaussian_proxy () =
+  let kde = Kde.fit [| 1.0; 2.0; 3.0 |] in
+  match Kde.gaussian_proxy kde with
+  | Distribution.Gaussian { mean; sigma } ->
+      Helpers.check_float ~eps:1e-12 "proxy mean" 2.0 mean;
+      Helpers.check_float ~eps:1e-12 "proxy var" (Kde.variance kde) (sigma *. sigma)
+  | _ -> Alcotest.fail "proxy is not Gaussian"
+
+(* ----- Poisson-binomial (the B_S(i,t) engine) ----- *)
+
+let test_pb_pmf_sums_to_one =
+  QCheck2.Test.make ~name:"pmf sums to 1" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 12) (float_bound_inclusive 1.0))
+    (fun ps ->
+      let pmf = Pb.pmf (Array.of_list ps) in
+      Helpers.float_eq ~eps:1e-9 1.0 (Array.fold_left ( +. ) 0.0 pmf))
+
+let test_pb_binomial_case () =
+  (* equal probabilities reduce to a binomial *)
+  let p = 0.3 and n = 8 in
+  let pmf = Pb.pmf (Array.make n p) in
+  let choose n k =
+    let rec go acc i = if i > k then acc else go (acc *. float_of_int (n - i + 1) /. float_of_int i) (i + 1) in
+    go 1.0 1
+  in
+  for k = 0 to n do
+    let expected = choose n k *. (p ** float_of_int k) *. ((1.0 -. p) ** float_of_int (n - k)) in
+    Helpers.check_float ~eps:1e-12 (Printf.sprintf "binomial pmf k=%d" k) expected pmf.(k)
+  done
+
+let test_pb_at_most_edges () =
+  let ps = [| 0.5; 0.5 |] in
+  Helpers.check_float "m < 0" 0.0 (Pb.at_most ps (-1));
+  Helpers.check_float "m >= n" 1.0 (Pb.at_most ps 2);
+  Helpers.check_float ~eps:1e-12 "m = 0" 0.25 (Pb.at_most ps 0);
+  Helpers.check_float ~eps:1e-12 "m = 1" 0.75 (Pb.at_most ps 1);
+  Helpers.check_float ~eps:1e-12 "at_least complement" 1.0
+    (Pb.at_least ps 1 +. Pb.at_most ps 0)
+
+let test_pb_at_most_matches_pmf =
+  QCheck2.Test.make ~name:"truncated DP = pmf prefix sum" ~count:300
+    QCheck2.Gen.(pair (list_size (int_range 0 10) (float_bound_inclusive 1.0)) (int_bound 10))
+    (fun (ps, m) ->
+      let ps = Array.of_list ps in
+      let pmf = Pb.pmf ps in
+      let prefix = ref 0.0 in
+      for j = 0 to min m (Array.length ps) do
+        prefix := !prefix +. pmf.(j)
+      done;
+      let prefix = Float.min 1.0 !prefix in
+      Helpers.float_eq ~eps:1e-9 prefix (Pb.at_most ps m))
+
+let test_pb_monte_carlo_agrees () =
+  let rng = Rng.create 99 in
+  let ps = [| 0.2; 0.7; 0.4; 0.9; 0.1 |] in
+  let exact = Pb.at_most ps 2 in
+  let mc = Pb.monte_carlo_at_most ps 2 ~samples:200_000 rng in
+  Helpers.check_float ~eps:0.01 "MC vs DP" exact mc
+
+let test_pb_invalid_probability () =
+  Alcotest.check_raises "p > 1"
+    (Invalid_argument "Poisson_binomial: probabilities must lie in [0,1]") (fun () ->
+      ignore (Pb.pmf [| 0.5; 1.5 |]))
+
+(* ----- Monte-Carlo helper ----- *)
+
+let test_mc_estimate () =
+  let rng = Rng.create 4 in
+  let e = Mc.estimate ~samples:50_000 rng (fun rng -> Rng.unit_float rng) in
+  Helpers.check_float ~eps:0.01 "uniform mean" 0.5 e.Mc.mean;
+  Alcotest.(check bool) "std error sane" true (e.Mc.std_error > 0.0 && e.Mc.std_error < 0.01);
+  let lo, hi = Mc.ci95 e in
+  Alcotest.(check bool) "ci contains mean" true (lo <= 0.5 && 0.5 <= hi);
+  Alcotest.(check bool) "within_ci" true (Mc.within_ci e 0.5)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "special",
+        [
+          Alcotest.test_case "erf reference values" `Quick test_erf_reference_values;
+          Alcotest.test_case "erfc symmetry" `Quick test_erfc_symmetry;
+          Alcotest.test_case "gaussian cdf" `Quick test_gaussian_cdf_median;
+          Alcotest.test_case "log factorial" `Quick test_log_factorial;
+        ] );
+      ( "distribution",
+        [
+          QCheck_alcotest.to_alcotest test_distribution_cdf_monotone;
+          Alcotest.test_case "sample means" `Slow test_distribution_sample_mean;
+          Alcotest.test_case "pareto infinite mean" `Quick test_pareto_infinite_mean;
+          Alcotest.test_case "sf vs empirical" `Slow test_distribution_sf_matches_samples;
+        ] );
+      ( "kde",
+        [
+          Alcotest.test_case "silverman formula" `Quick test_silverman_formula;
+          Alcotest.test_case "silverman degenerate" `Quick test_silverman_degenerate;
+          Alcotest.test_case "pdf integrates to 1" `Quick test_kde_pdf_integrates_to_one;
+          Alcotest.test_case "cdf limits" `Quick test_kde_cdf_limits;
+          Alcotest.test_case "moments" `Quick test_kde_moments;
+          Alcotest.test_case "draw distribution" `Slow test_kde_draw_distribution;
+          Alcotest.test_case "gaussian proxy" `Quick test_kde_gaussian_proxy;
+        ] );
+      ( "poisson_binomial",
+        [
+          QCheck_alcotest.to_alcotest test_pb_pmf_sums_to_one;
+          Alcotest.test_case "binomial case" `Quick test_pb_binomial_case;
+          Alcotest.test_case "at_most edges" `Quick test_pb_at_most_edges;
+          QCheck_alcotest.to_alcotest test_pb_at_most_matches_pmf;
+          Alcotest.test_case "monte carlo agrees" `Slow test_pb_monte_carlo_agrees;
+          Alcotest.test_case "invalid probability" `Quick test_pb_invalid_probability;
+        ] );
+      ("mc", [ Alcotest.test_case "estimate" `Slow test_mc_estimate ]);
+    ]
