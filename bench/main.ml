@@ -51,6 +51,11 @@ let bench_marginal len =
   let z = Triple.make ~u:0 ~i:6 ~t:(Instance.horizon (Strategy.instance s)) in
   Bechamel.Staged.stage (fun () -> ignore (Revenue.marginal s z))
 
+let bench_marginal_incremental len =
+  let s = strategy_with_chain len in
+  let z = Triple.make ~u:0 ~i:6 ~t:(Instance.horizon (Strategy.instance s)) in
+  Bechamel.Staged.stage (fun () -> ignore (Revenue.marginal_incremental s z))
+
 let bench_heap_churn () =
   let module Bh = Revmax_pqueue.Binary_heap in
   Bechamel.Staged.stage (fun () ->
@@ -92,6 +97,8 @@ let micro_tests =
     [
       Test.make ~name:"marginal-revenue (chain 2)" (bench_marginal 2);
       Test.make ~name:"marginal-revenue (chain 7)" (bench_marginal 7);
+      Test.make ~name:"marginal-incremental (chain 2)" (bench_marginal_incremental 2);
+      Test.make ~name:"marginal-incremental (chain 7)" (bench_marginal_incremental 7);
       Test.make ~name:"binary-heap churn (64)" (bench_heap_churn ());
       Test.make ~name:"two-level-heap churn (64)" (bench_two_level_churn ());
       Test.make ~name:"poisson-binomial at_most (n=100,m=10)" (bench_poisson_binomial ());

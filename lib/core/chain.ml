@@ -1,0 +1,269 @@
+(* Array-backed (user, class) chain with cached per-triple aggregates.
+
+   The chain keeps its triples in a sorted dynamic array (time ascending,
+   ties by item id — Triple.chain_before) together with, per triple z_j:
+
+     q.(j)    primitive adoption probability q(u, i_j, t_j)
+     price.(j) p(i_j, t_j)
+     beta.(j) saturation factor of i_j
+     mem.(j)  memory  M_j = Σ_{t_l < t_j} 1/(t_j − t_l)          (Equation 1)
+     comp.(j) competition Π_{t_l < t_j ∨ (t_l = t_j ∧ l ≠ j)} (1 − q_l)
+     prob.(j) dynamic adoption probability q_j · β_j^{M_j} · comp_j
+
+   plus the two cached chain revenues Σ p_j·prob_j (with saturation) and
+   Σ p_j·q_j·comp_j (the β = 1 variant used by GlobalNo planning).
+
+   [insert] splices a triple in O(L): the new triple's memory and
+   competition are accumulated in one pass, and each later (or same-time)
+   triple's aggregates absorb the newcomer's 1/(Δt) memory term and (1 − q)
+   competition factor in O(1). [remove] rebuilds the aggregates from
+   scratch — removal only happens on the cold paths (brute force,
+   hardness, local search) and a division-free rebuild stays exact even
+   when some q = 1 makes the competition product unrecoverable by
+   division. [marginal] computes an insertion's revenue delta in O(L)
+   without mutating anything — the hot path of every greedy. *)
+
+type t = {
+  inst : Instance.t;
+  mutable len : int;
+  mutable zs : Triple.t array;
+  mutable q : float array;
+  mutable price : float array;
+  mutable beta : float array;
+  mutable mem : float array;
+  mutable comp : float array;
+  mutable prob : float array;
+  mutable rev_sat : float;
+  mutable rev_nosat : float;
+}
+
+let dummy = Triple.make ~u:0 ~i:0 ~t:0
+
+let create inst =
+  {
+    inst;
+    len = 0;
+    zs = [||];
+    q = [||];
+    price = [||];
+    beta = [||];
+    mem = [||];
+    comp = [||];
+    prob = [||];
+    rev_sat = 0.0;
+    rev_nosat = 0.0;
+  }
+
+let length c = c.len
+
+let to_list c = Array.to_list (Array.sub c.zs 0 c.len)
+
+let iter c f =
+  for j = 0 to c.len - 1 do
+    f c.zs.(j)
+  done
+
+(* index of the (time, item) slot, or -1 *)
+let find c (z : Triple.t) =
+  let lo = ref 0 and hi = ref (c.len - 1) and res = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = c.zs.(mid) in
+    let cmp = if x.t <> z.t then compare x.t z.t else compare x.i z.i in
+    if cmp = 0 then begin
+      res := mid;
+      lo := !hi + 1
+    end
+    else if cmp < 0 then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
+
+let mem c z =
+  let j = find c z in
+  j >= 0 && Triple.equal c.zs.(j) z
+
+let saturation_factor beta m = if m = 0.0 then 1.0 else beta ** m
+
+let prob_at c j =
+  if c.q.(j) <= 0.0 then 0.0
+  else c.q.(j) *. saturation_factor c.beta.(j) c.mem.(j) *. c.comp.(j)
+
+let refresh_revenues c =
+  let rs = ref 0.0 and rn = ref 0.0 in
+  for j = 0 to c.len - 1 do
+    rs := !rs +. (c.price.(j) *. c.prob.(j));
+    rn := !rn +. (c.price.(j) *. if c.q.(j) <= 0.0 then 0.0 else c.q.(j) *. c.comp.(j))
+  done;
+  c.rev_sat <- !rs;
+  c.rev_nosat <- !rn
+
+(* full rebuild of every cached aggregate, iterating in the same ascending
+   order as the naive evaluator so the floating-point sums and products are
+   reproduced exactly; O(L²) worst case but only used by [remove] *)
+let recompute c =
+  let j = ref 0 in
+  let prefix = ref 1.0 in
+  while !j < c.len do
+    (* the group [!j, k) shares one time step *)
+    let k = ref !j in
+    while !k < c.len && c.zs.(!k).t = c.zs.(!j).t do incr k done;
+    for a = !j to !k - 1 do
+      let m = ref 0.0 in
+      for l = 0 to !j - 1 do
+        m := !m +. (1.0 /. float_of_int (c.zs.(a).t - c.zs.(l).t))
+      done;
+      c.mem.(a) <- !m;
+      let g = ref !prefix in
+      for b = !j to !k - 1 do
+        if b <> a then g := !g *. (1.0 -. c.q.(b))
+      done;
+      c.comp.(a) <- !g;
+      c.prob.(a) <- prob_at c a
+    done;
+    for b = !j to !k - 1 do
+      prefix := !prefix *. (1.0 -. c.q.(b))
+    done;
+    j := !k
+  done;
+  refresh_revenues c
+
+let ensure_capacity c n =
+  if n > Array.length c.zs then begin
+    let cap = max 4 (max n (2 * Array.length c.zs)) in
+    let grow_t a = Array.init cap (fun j -> if j < c.len then a.(j) else dummy) in
+    let grow_f a = Array.init cap (fun j -> if j < c.len then a.(j) else 0.0) in
+    c.zs <- grow_t c.zs;
+    c.q <- grow_f c.q;
+    c.price <- grow_f c.price;
+    c.beta <- grow_f c.beta;
+    c.mem <- grow_f c.mem;
+    c.comp <- grow_f c.comp;
+    c.prob <- grow_f c.prob
+  end
+
+let insert c (z : Triple.t) =
+  ensure_capacity c (c.len + 1);
+  (let j0 = find c z in
+   if j0 >= 0 && Triple.equal c.zs.(j0) z then invalid_arg "Chain.insert: duplicate triple");
+  let qz = Instance.q c.inst ~u:z.u ~i:z.i ~time:z.t in
+  let one_minus_qz = 1.0 -. qz in
+  (* splice z's effects into the existing aggregates and accumulate z's own
+     memory / competition in the same O(L) pass *)
+  let mz = ref 0.0 and compz = ref 1.0 in
+  for j = 0 to c.len - 1 do
+    let tj = c.zs.(j).t in
+    if tj < z.t then begin
+      mz := !mz +. (1.0 /. float_of_int (z.t - tj));
+      compz := !compz *. (1.0 -. c.q.(j))
+    end
+    else if tj = z.t then begin
+      compz := !compz *. (1.0 -. c.q.(j));
+      c.comp.(j) <- c.comp.(j) *. one_minus_qz;
+      c.prob.(j) <- prob_at c j
+    end
+    else begin
+      c.mem.(j) <- c.mem.(j) +. (1.0 /. float_of_int (tj - z.t));
+      c.comp.(j) <- c.comp.(j) *. one_minus_qz;
+      c.prob.(j) <- prob_at c j
+    end
+  done;
+  (* shift the tail and write the new slot *)
+  let pos = ref c.len in
+  (try
+     for j = 0 to c.len - 1 do
+       if not (Triple.chain_before c.zs.(j) z) then begin
+         pos := j;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  for j = c.len downto !pos + 1 do
+    c.zs.(j) <- c.zs.(j - 1);
+    c.q.(j) <- c.q.(j - 1);
+    c.price.(j) <- c.price.(j - 1);
+    c.beta.(j) <- c.beta.(j - 1);
+    c.mem.(j) <- c.mem.(j - 1);
+    c.comp.(j) <- c.comp.(j - 1);
+    c.prob.(j) <- c.prob.(j - 1)
+  done;
+  let p = !pos in
+  c.zs.(p) <- z;
+  c.q.(p) <- qz;
+  c.price.(p) <- Instance.price c.inst ~i:z.i ~time:z.t;
+  c.beta.(p) <- Instance.saturation c.inst z.i;
+  c.mem.(p) <- !mz;
+  c.comp.(p) <- !compz;
+  c.len <- c.len + 1;
+  c.prob.(p) <- prob_at c p;
+  refresh_revenues c
+
+let remove c (z : Triple.t) =
+  let j0 = find c z in
+  if j0 < 0 || not (Triple.equal c.zs.(j0) z) then
+    invalid_arg "Chain.remove: absent triple";
+  for j = j0 to c.len - 2 do
+    c.zs.(j) <- c.zs.(j + 1);
+    c.q.(j) <- c.q.(j + 1);
+    c.price.(j) <- c.price.(j + 1);
+    c.beta.(j) <- c.beta.(j + 1)
+  done;
+  c.len <- c.len - 1;
+  recompute c
+
+let revenue ~with_saturation c = if with_saturation then c.rev_sat else c.rev_nosat
+
+let prob ~with_saturation c (z : Triple.t) =
+  let j = find c z in
+  if j < 0 || not (Triple.equal c.zs.(j) z) then None
+  else if with_saturation then Some c.prob.(j)
+  else Some (if c.q.(j) <= 0.0 then 0.0 else c.q.(j) *. c.comp.(j))
+
+let marginal ~with_saturation c (z : Triple.t) =
+  let qz = Instance.q c.inst ~u:z.u ~i:z.i ~time:z.t in
+  let one_minus_qz = 1.0 -. qz in
+  let mz = ref 0.0 and compz = ref 1.0 in
+  let delta = ref 0.0 in
+  for j = 0 to c.len - 1 do
+    let tj = c.zs.(j).t in
+    if tj < z.t then begin
+      mz := !mz +. (1.0 /. float_of_int (z.t - tj));
+      compz := !compz *. (1.0 -. c.q.(j))
+    end
+    else if tj = z.t then begin
+      (* z's primitive probability joins the same-time competition *)
+      compz := !compz *. (1.0 -. c.q.(j));
+      let old_p =
+        if c.q.(j) <= 0.0 then 0.0
+        else if with_saturation then c.prob.(j)
+        else c.q.(j) *. c.comp.(j)
+      in
+      delta := !delta -. (c.price.(j) *. old_p *. qz)
+    end
+    else begin
+      (* later triple: its memory gains 1/(Δt), its competition gains
+         (1 − q_z) *)
+      let old_p, new_p =
+        if c.q.(j) <= 0.0 then (0.0, 0.0)
+        else if with_saturation then
+          let m' = c.mem.(j) +. (1.0 /. float_of_int (tj - z.t)) in
+          ( c.prob.(j),
+            c.q.(j) *. saturation_factor c.beta.(j) m' *. c.comp.(j) *. one_minus_qz )
+        else
+          let p0 = c.q.(j) *. c.comp.(j) in
+          (p0, p0 *. one_minus_qz)
+      in
+      delta := !delta +. (c.price.(j) *. (new_p -. old_p))
+    end
+  done;
+  let gain =
+    if qz <= 0.0 then 0.0
+    else begin
+      let sat =
+        if with_saturation then saturation_factor (Instance.saturation c.inst z.i) !mz
+        else 1.0
+      in
+      Instance.price c.inst ~i:z.i ~time:z.t *. qz *. sat *. !compz
+    end
+  in
+  gain +. !delta

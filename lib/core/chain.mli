@@ -1,0 +1,57 @@
+(** One (user, class) chain backed by a sorted dynamic array with cached
+    per-triple aggregates — the incremental revenue engine shared by
+    {!Strategy} and {!Revenue}.
+
+    For each triple the chain caches its primitive probability, price and
+    saturation factor together with the three derived quantities the revenue
+    model of §3.1 is built from: the memory [M] (Equation 1), the
+    competition product [Π (1 − q)] over earlier-or-tied triples, and the
+    dynamic adoption probability (Definition 1). Two chain revenues are kept
+    up to date — with saturation, and the β = 1 variant used by GlobalNo
+    planning — so {!Revenue.total_incremental} is O(#chains) and
+    {!Revenue.marginal_incremental} is O(L) per candidate instead of the
+    O(L²) full re-evaluation of the naive oracle.
+
+    Triples are ordered by {!Triple.chain_before} (time ascending, ties by
+    item id); at most one triple per (time, item) may be present. *)
+
+type t
+
+val create : Instance.t -> t
+(** An empty chain. The instance supplies prices, probabilities and
+    saturation factors for cache maintenance. *)
+
+val length : t -> int
+(** O(1) — the paper's [|set(u, C(i))|] lazy-forward reference value. *)
+
+val to_list : t -> Triple.t list
+(** Triples in chain order (freshly allocated). *)
+
+val iter : t -> (Triple.t -> unit) -> unit
+
+val mem : t -> Triple.t -> bool
+(** O(log L). *)
+
+val insert : t -> Triple.t -> unit
+(** Splice a triple in, updating every cached aggregate in O(L). Raises
+    [Invalid_argument] on a duplicate. *)
+
+val remove : t -> Triple.t -> unit
+(** Remove exactly the given triple and rebuild the cached aggregates.
+    Raises [Invalid_argument] if the triple is absent — a phantom removal is
+    a bug in the caller, never a silent no-op. *)
+
+val revenue : with_saturation:bool -> t -> float
+(** Cached chain revenue, O(1). *)
+
+val prob : with_saturation:bool -> t -> Triple.t -> float option
+(** Cached dynamic adoption probability of a member triple; [None] if the
+    triple is not in the chain. O(log L). *)
+
+val marginal : with_saturation:bool -> t -> Triple.t -> float
+(** Revenue delta of inserting the (absent) triple, computed in O(L) from
+    the cached aggregates without mutating the chain: the triple's own gain
+    (its memory and competition are accumulated in the same pass) minus the
+    saturation/competition losses it inflicts on same-time and later
+    triples. Agrees with the naive [Rev(chain ∪ {z}) − Rev(chain)] up to
+    floating-point rounding. *)

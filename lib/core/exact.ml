@@ -21,7 +21,7 @@ let brute_force ?(max_ground = 18) inst =
       go (idx + 1) acc;
       (* include, if valid *)
       if Strategy.can_add s z then begin
-        let gain = Revenue.marginal s z in
+        let gain = Revenue.marginal_incremental s z in
         Strategy.add s z;
         go (idx + 1) (acc +. gain);
         Strategy.remove s z

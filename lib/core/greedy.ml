@@ -6,7 +6,7 @@ type stats = { marginal_evaluations : int; pops : int; selected : int }
 type elt = { z : Triple.t; mutable flag : int }
 
 let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
-    ?(allowed = fun _ -> true) ?base ?trace inst =
+    ?(evaluator = `Incremental) ?(allowed = fun _ -> true) ?base ?trace inst =
   if (not lazy_forward) && heap = `Giant then
     invalid_arg "Greedy.run: eager refresh requires the two-level heap";
   let s = match base with Some b -> Strategy.copy b | None -> Strategy.create inst in
@@ -18,7 +18,9 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
   in
   let marginal (z : Triple.t) =
     incr evals;
-    Revenue.marginal ~with_saturation s z
+    match evaluator with
+    | `Incremental -> Revenue.marginal_incremental ~with_saturation s z
+    | `Naive -> Revenue.marginal ~with_saturation s z
   in
   (* key for a triple whose chain is known empty: marginal reduces to p·q
      (Algorithm 1 line 8); avoids a chain lookup per candidate at startup *)

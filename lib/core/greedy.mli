@@ -13,13 +13,17 @@
       (same output, different constants) — the [abl-heap] ablation;
     - [~lazy_forward:false] eagerly refreshes every affected candidate after
       each selection (same output, many more marginal evaluations);
+    - [~evaluator:`Naive] scores marginals with the O(L²) reference oracle
+      {!Revenue.marginal} instead of the O(L) incremental engine
+      {!Revenue.marginal_incremental} (same output up to floating-point
+      rounding) — the baseline of the greedy-throughput benchmark;
     - [~allowed] and [~base] support the §6.3 gradual-price-availability
       setting through {!Rolling}: selection is restricted to allowed
       triples while the committed [base] strategy contributes to chains and
       constraints. *)
 
 type stats = {
-  marginal_evaluations : int;  (** calls to {!Revenue.marginal} *)
+  marginal_evaluations : int;  (** marginal-revenue evaluations *)
   pops : int;  (** heap roots examined *)
   selected : int;  (** triples added to the strategy *)
 }
@@ -28,6 +32,7 @@ val run :
   ?with_saturation:bool ->
   ?heap:[ `Two_level | `Giant ] ->
   ?lazy_forward:bool ->
+  ?evaluator:[ `Incremental | `Naive ] ->
   ?allowed:(Triple.t -> bool) ->
   ?base:Strategy.t ->
   ?trace:(int -> float -> unit) ->

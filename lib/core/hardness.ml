@@ -143,7 +143,7 @@ let optimal_revenue ?(max_ground = 22) r =
       let z = ground.(idx) in
       go (idx + 1) acc;
       if Strategy.can_add s z then begin
-        let gain = Revenue.marginal s z in
+        let gain = Revenue.marginal_incremental s z in
         Strategy.add s z;
         go (idx + 1) (acc +. gain);
         Strategy.remove s z

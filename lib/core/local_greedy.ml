@@ -5,8 +5,8 @@ type stats = Greedy.stats = { marginal_evaluations : int; pops : int; selected :
 
 type elt = { z : Triple.t; mutable flag : int }
 
-let greedy_in_order ?(with_saturation = true) ?(allowed = fun _ -> true) ?base ?trace inst ~order
-    =
+let greedy_in_order ?(with_saturation = true) ?(evaluator = `Incremental)
+    ?(allowed = fun _ -> true) ?base ?trace inst ~order =
   let horizon = Instance.horizon inst in
   let seen_time = Array.make (horizon + 1) false in
   List.iter
@@ -23,7 +23,9 @@ let greedy_in_order ?(with_saturation = true) ?(allowed = fun _ -> true) ?base ?
   in
   let marginal (z : Triple.t) =
     incr evals;
-    Revenue.marginal ~with_saturation s z
+    match evaluator with
+    | `Incremental -> Revenue.marginal_incremental ~with_saturation s z
+    | `Naive -> Revenue.marginal ~with_saturation s z
   in
   let round tm =
     let h = Bh.create () in
@@ -69,15 +71,15 @@ let greedy_in_order ?(with_saturation = true) ?(allowed = fun _ -> true) ?base ?
   List.iter round order;
   (s, { marginal_evaluations = !evals; pops = !pops; selected = !selected })
 
-let sl_greedy ?with_saturation ?allowed ?base ?trace inst =
+let sl_greedy ?with_saturation ?evaluator ?allowed ?base ?trace inst =
   let order = List.init (Instance.horizon inst) (fun idx -> idx + 1) in
-  greedy_in_order ?with_saturation ?allowed ?base ?trace inst ~order
+  greedy_in_order ?with_saturation ?evaluator ?allowed ?base ?trace inst ~order
 
 let factorial_capped n cap =
   let rec go acc i = if i > n || acc >= cap then min acc cap else go (acc * i) (i + 1) in
   go 1 2
 
-let rl_greedy ?with_saturation ?(permutations = 20) ?allowed ?base inst rng =
+let rl_greedy ?with_saturation ?evaluator ?(permutations = 20) ?allowed ?base inst rng =
   if permutations < 1 then invalid_arg "Local_greedy.rl_greedy: need at least one permutation";
   let horizon = Instance.horizon inst in
   let n = min permutations (factorial_capped horizon permutations) in
@@ -97,14 +99,16 @@ let rl_greedy ?with_saturation ?(permutations = 20) ?allowed ?base inst rng =
   let total_stats = ref { marginal_evaluations = 0; pops = 0; selected = 0 } in
   List.iter
     (fun order ->
-      let s, st = greedy_in_order ?with_saturation ?allowed ?base inst ~order in
+      let s, st = greedy_in_order ?with_saturation ?evaluator ?allowed ?base inst ~order in
       total_stats :=
         {
           marginal_evaluations = !total_stats.marginal_evaluations + st.marginal_evaluations;
           pops = !total_stats.pops + st.pops;
           selected = !total_stats.selected + st.selected;
         };
-      let v = Revenue.total s in
+      (* permutations are compared under the true model; the cached chain
+         revenues make this O(#chains) instead of a full re-evaluation *)
+      let v = Revenue.total_incremental s in
       match !best with
       | Some (_, bv) when bv >= v -> ()
       | _ -> best := Some (s, v))

@@ -14,6 +14,7 @@ type stats = Greedy.stats
 
 val greedy_in_order :
   ?with_saturation:bool ->
+  ?evaluator:[ `Incremental | `Naive ] ->
   ?allowed:(Triple.t -> bool) ->
   ?base:Strategy.t ->
   ?trace:(int -> float -> unit) ->
@@ -21,13 +22,14 @@ val greedy_in_order :
   order:int list ->
   Strategy.t * stats
 (** Run the per-time-step greedy over the time steps listed in [order]
-    (each in [1..T], no duplicates). [allowed], [base] and [trace] behave as
-    in {!Greedy.run}; the [trace] running revenue restarts from the base's
-    revenue and increases by fresh marginals, showing the "segments" of
-    Figure 4 at round switches. *)
+    (each in [1..T], no duplicates). [allowed], [base], [trace] and
+    [evaluator] behave as in {!Greedy.run}; the [trace] running revenue
+    restarts from the base's revenue and increases by fresh marginals,
+    showing the "segments" of Figure 4 at round switches. *)
 
 val sl_greedy :
   ?with_saturation:bool ->
+  ?evaluator:[ `Incremental | `Naive ] ->
   ?allowed:(Triple.t -> bool) ->
   ?base:Strategy.t ->
   ?trace:(int -> float -> unit) ->
@@ -37,6 +39,7 @@ val sl_greedy :
 
 val rl_greedy :
   ?with_saturation:bool ->
+  ?evaluator:[ `Incremental | `Naive ] ->
   ?permutations:int ->
   ?allowed:(Triple.t -> bool) ->
   ?base:Strategy.t ->

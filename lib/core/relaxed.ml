@@ -1,4 +1,6 @@
 let effective_probability ?(oracle = Capacity_oracle.prob_capacity_free) s z =
+  (* qS comes from the chain's cached aggregates (O(log L) lookup), so the
+     local search's value oracle no longer re-derives every probability *)
   let q = Revenue.dynamic_probability_in s z in
   if q <= 0.0 then 0.0 else q *. oracle s z
 

@@ -49,26 +49,35 @@ let total ?with_saturation s =
       end)
     0.0 (Strategy.to_list s)
 
-let dynamic_probability_in ?with_saturation s z =
+let dynamic_probability_in ?(with_saturation = true) s z =
   if not (Strategy.mem s z) then 0.0
   else
-    dynamic_probability ?with_saturation (Strategy.instance s)
-      ~chain:(Strategy.chain_of_triple s z) z
-
-(* insert into a time-ascending chain, preserving order *)
-let chain_insert l (z : Triple.t) =
-  let before (a : Triple.t) (b : Triple.t) = a.t < b.t || (a.t = b.t && a.i <= b.i) in
-  let rec go = function
-    | [] -> [ z ]
-    | x :: tl -> if before x z then x :: go tl else z :: x :: tl
-  in
-  go l
+    match Strategy.chain_view_of_triple s z with
+    | None -> 0.0 (* unreachable: membership implies a chain entry *)
+    | Some c -> ( match Chain.prob ~with_saturation c z with Some p -> p | None -> 0.0)
 
 let marginal ?with_saturation s z =
   if Strategy.mem s z then 0.0
   else begin
     let inst = Strategy.instance s in
     let chain = Strategy.chain_of_triple s z in
-    chain_revenue ?with_saturation inst (chain_insert chain z)
+    chain_revenue ?with_saturation inst (Triple.chain_insert chain z)
     -. chain_revenue ?with_saturation inst chain
   end
+
+let marginal_incremental ?(with_saturation = true) s z =
+  if Strategy.mem s z then 0.0
+  else
+    match Strategy.chain_view_of_triple s z with
+    | Some c -> Chain.marginal ~with_saturation c z
+    | None ->
+        (* empty chain: the marginal reduces to p·q (no memory, no
+           competition), exactly Algorithm 1's initialization value *)
+        let inst = Strategy.instance s in
+        let q = Instance.q inst ~u:z.u ~i:z.i ~time:z.t in
+        if q <= 0.0 then 0.0 else Instance.price inst ~i:z.i ~time:z.t *. q
+
+let total_incremental ?(with_saturation = true) s =
+  let acc = ref 0.0 in
+  Strategy.iter_chains s (fun c -> acc := !acc +. Chain.revenue ~with_saturation c);
+  !acc

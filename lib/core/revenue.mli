@@ -4,9 +4,11 @@
 
     Because a triple's dynamic adoption probability depends only on the
     same-user same-class triples at earlier-or-equal times, [Rev] decomposes
-    over (user, class) chains; all functions below work on such chains and
-    the hot path of every greedy algorithm — [marginal] — touches a single
-    chain in O(m²) for a chain of m ≤ kT triples.
+    over (user, class) chains; all functions below work on such chains. The
+    hot path of every greedy algorithm is [marginal_incremental], which
+    reads the chain's cached aggregates (see {!Chain}) and answers in O(m)
+    for a chain of m ≤ kT triples; the naive [marginal] re-scores both
+    chains in O(m²) and is kept as the reference oracle.
 
     All functions take [?with_saturation] (default [true]); [false] computes
     the β = 1 variant used by the GlobalNo baseline, which plans as though
@@ -34,9 +36,25 @@ val total : ?with_saturation:bool -> Strategy.t -> float
 
 val dynamic_probability_in : ?with_saturation:bool -> Strategy.t -> Triple.t -> float
 (** [qS(u,i,t)] for a triple of the strategy; 0 when [(u,i,t) ∉ S]
-    (Definition 1's convention). *)
+    (Definition 1's convention). Served from the chain's cached aggregates
+    in O(log L). *)
 
 val marginal : ?with_saturation:bool -> Strategy.t -> Triple.t -> float
 (** [RevS(z) = Rev(S ∪ {z}) − Rev(S)] (Definition 3): the gain from [z]
     itself minus the loss it inflicts on later same-class triples of the
-    same user. 0 if [z ∈ S]. Does not check validity. *)
+    same user. 0 if [z ∈ S]. Does not check validity.
+
+    This is the naive reference oracle: both chains are re-scored from
+    scratch in O(L²). The algorithms use {!marginal_incremental}; property
+    tests pin the two against each other. *)
+
+val marginal_incremental : ?with_saturation:bool -> Strategy.t -> Triple.t -> float
+(** Same value as {!marginal} (up to floating-point rounding, ≤ 1e-9
+    relative) computed in O(L) from the chain's cached aggregates: the
+    candidate's saturation/competition effects are spliced into the cached
+    memory and competition products instead of re-scoring both chains. The
+    hot path of G-Greedy, SL/RL-Greedy, rolling and the exact solvers. *)
+
+val total_incremental : ?with_saturation:bool -> Strategy.t -> float
+(** [Rev(S)] from the cached per-chain revenues in O(#chains) — agrees with
+    {!total} up to floating-point rounding. *)

@@ -3,14 +3,19 @@ module Rng = Revmax_prelude.Rng
 type algo = allowed:(Triple.t -> bool) -> base:Strategy.t -> Instance.t -> Strategy.t
 
 let windows ~horizon ~cutoffs =
-  let rec go lo = function
+  let rec go lo prev = function
     | [] -> if lo <= horizon then [ (lo, horizon) ] else []
     | c :: rest ->
-        if c < lo || c >= horizon then
+        (match prev with
+        | Some p when c = p ->
+            invalid_arg (Printf.sprintf "Rolling.windows: duplicate cut-off %d" c)
+        | _ -> ());
+        if c < lo || c > horizon then
           invalid_arg "Rolling.windows: cut-offs must be ascending and inside the horizon";
-        (lo, c) :: go (c + 1) rest
+        (* c = horizon is fine: the trailing window is simply empty *)
+        (lo, c) :: go (c + 1) (Some c) rest
   in
-  go 1 cutoffs
+  go 1 None cutoffs
 
 let run algo inst ~cutoffs =
   let ws = windows ~horizon:(Instance.horizon inst) ~cutoffs in

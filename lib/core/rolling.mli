@@ -15,9 +15,12 @@ type algo =
     triples satisfying [allowed]. *)
 
 val windows : horizon:int -> cutoffs:int list -> (int * int) list
-(** [windows ~horizon ~cutoffs] turns ascending cut-offs into inclusive
-    time windows: cut-offs [\[c\]] give [\[(1,c); (c+1,T)\]], and so on.
-    Raises [Invalid_argument] on non-ascending or out-of-range cut-offs. *)
+(** [windows ~horizon ~cutoffs] turns strictly-ascending cut-offs into
+    inclusive time windows: cut-offs [\[c\]] give [\[(1,c); (c+1,T)\]], and
+    so on. A cut-off equal to [horizon] is allowed and simply leaves no
+    trailing window. Raises [Invalid_argument] naming the offending value on
+    a duplicate cut-off, and with a range message on descending or
+    out-of-range ([c > horizon]) cut-offs. *)
 
 val run : algo -> Instance.t -> cutoffs:int list -> Strategy.t
 (** Fold the algorithm over the windows, committing each window's selections

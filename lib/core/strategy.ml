@@ -1,8 +1,8 @@
 type t = {
   inst : Instance.t;
   triples : (Triple.t, unit) Hashtbl.t;
-  (* (u * num_classes + cls) -> ascending-time chain *)
-  chains : (int, Triple.t list) Hashtbl.t;
+  (* (u * num_classes + cls) -> array-backed chain with cached aggregates *)
+  chains : (int, Chain.t) Hashtbl.t;
   (* (u * (horizon+1) + time) -> #items displayed *)
   display : (int, int) Hashtbl.t;
   (* item -> user -> #triples of this (user, item) pair *)
@@ -30,15 +30,6 @@ let chain_key t (z : Triple.t) = (z.u * Instance.num_classes t.inst) + Instance.
 
 let display_key t (z : Triple.t) = (z.u * (Instance.horizon t.inst + 1)) + z.t
 
-(* chains are kept sorted by (time, item) ascending *)
-let chain_insert l z =
-  let before (a : Triple.t) (b : Triple.t) = a.t < b.t || (a.t = b.t && a.i <= b.i) in
-  let rec go = function
-    | [] -> [ z ]
-    | x :: tl -> if before x z then x :: go tl else z :: x :: tl
-  in
-  go l
-
 let check_range t (z : Triple.t) =
   if
     z.u < 0
@@ -54,8 +45,15 @@ let add t z =
   if Hashtbl.mem t.triples z then invalid_arg "Strategy.add: duplicate triple";
   Hashtbl.replace t.triples z ();
   let ck = chain_key t z in
-  let chain = try Hashtbl.find t.chains ck with Not_found -> [] in
-  Hashtbl.replace t.chains ck (chain_insert chain z);
+  let chain =
+    match Hashtbl.find_opt t.chains ck with
+    | Some c -> c
+    | None ->
+        let c = Chain.create t.inst in
+        Hashtbl.replace t.chains ck c;
+        c
+  in
+  Chain.insert chain z;
   let dk = display_key t z in
   let d = try Hashtbl.find t.display dk with Not_found -> 0 in
   Hashtbl.replace t.display dk (d + 1);
@@ -75,10 +73,13 @@ let remove t z =
   if not (Hashtbl.mem t.triples z) then invalid_arg "Strategy.remove: absent triple";
   Hashtbl.remove t.triples z;
   let ck = chain_key t z in
-  let chain = Hashtbl.find t.chains ck in
-  (match List.filter (fun x -> not (Triple.equal x z)) chain with
-  | [] -> Hashtbl.remove t.chains ck
-  | rest -> Hashtbl.replace t.chains ck rest);
+  (match Hashtbl.find_opt t.chains ck with
+  | None -> invalid_arg "Strategy.remove: chain entry missing"
+  | Some chain ->
+      (* removes exactly one occurrence; raises if the chain lost track of
+         the triple instead of silently no-opping on a phantom removal *)
+      Chain.remove chain z;
+      if Chain.length chain = 0 then Hashtbl.remove t.chains ck);
   let dk = display_key t z in
   let d = Hashtbl.find t.display dk in
   if d <= 1 then Hashtbl.remove t.display dk else Hashtbl.replace t.display dk (d - 1);
@@ -98,14 +99,20 @@ let of_list inst l =
 
 let copy t = of_list t.inst (to_list t)
 
+let chain_view t ~u ~cls = Hashtbl.find_opt t.chains ((u * Instance.num_classes t.inst) + cls)
+
 let chain t ~u ~cls =
-  match Hashtbl.find_opt t.chains ((u * Instance.num_classes t.inst) + cls) with
-  | None -> []
-  | Some c -> c
+  match chain_view t ~u ~cls with None -> [] | Some c -> Chain.to_list c
 
 let chain_of_triple t (z : Triple.t) = chain t ~u:z.u ~cls:(Instance.class_of t.inst z.i)
 
-let chain_size t ~u ~cls = List.length (chain t ~u ~cls)
+let chain_view_of_triple t (z : Triple.t) =
+  chain_view t ~u:z.u ~cls:(Instance.class_of t.inst z.i)
+
+let chain_size t ~u ~cls =
+  match chain_view t ~u ~cls with None -> 0 | Some c -> Chain.length c
+
+let iter_chains t f = Hashtbl.iter (fun _ c -> f c) t.chains
 
 let display_count t ~u ~time =
   match Hashtbl.find_opt t.display ((u * (Instance.horizon t.inst + 1)) + time) with

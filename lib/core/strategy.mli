@@ -25,7 +25,9 @@ val add : t -> Triple.t -> unit
     Problem 1's constraints. *)
 
 val remove : t -> Triple.t -> unit
-(** Raises [Invalid_argument] if absent. *)
+(** Removes exactly one occurrence. Raises [Invalid_argument] if the triple
+    is absent, or if the internal chain index lost track of it (phantom
+    removals are never silently ignored). *)
 
 val to_list : t -> Triple.t list
 (** All triples in [Triple.compare] order. *)
@@ -39,15 +41,28 @@ val copy : t -> t
 
 val chain : t -> u:int -> cls:int -> Triple.t list
 (** Same-user same-class triples in ascending time order (ties in time in
-    ascending item order). *)
+    ascending item order). Freshly allocated; prefer {!chain_view} on hot
+    paths. *)
 
 val chain_of_triple : t -> Triple.t -> Triple.t list
 (** The chain that the triple's (user, class) pair selects — whether or not
     the triple itself is in the strategy. *)
 
+val chain_view : t -> u:int -> cls:int -> Chain.t option
+(** The live array-backed chain with its cached aggregates; [None] when the
+    (user, class) pair has no triples yet. The returned chain is the
+    strategy's own state — do not mutate it directly. *)
+
+val chain_view_of_triple : t -> Triple.t -> Chain.t option
+(** {!chain_view} keyed by a triple's (user, class) pair. *)
+
 val chain_size : t -> u:int -> cls:int -> int
 (** O(1); this is the paper's [|set(u, C(i))|], the lazy-forward flag
     reference value of Algorithm 1. *)
+
+val iter_chains : t -> (Chain.t -> unit) -> unit
+(** Visit every non-empty chain (arbitrary order). The callback must not
+    modify the strategy. *)
 
 (** {1 Constraint bookkeeping} *)
 

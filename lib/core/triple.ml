@@ -12,6 +12,17 @@ let compare a b =
 
 let equal a b = a.u = b.u && a.i = b.i && a.t = b.t
 
+(* chains are kept sorted by (time, item) ascending; [chain_before a b] iff
+   [a] stays in front when [b] is inserted after it *)
+let chain_before a b = a.t < b.t || (a.t = b.t && a.i <= b.i)
+
+let chain_insert l z =
+  let rec go = function
+    | [] -> [ z ]
+    | x :: tl -> if chain_before x z then x :: go tl else z :: x :: tl
+  in
+  go l
+
 let pp ppf z = Format.fprintf ppf "(%d, %d, %d)" z.u z.i z.t
 
 let to_string z = Format.asprintf "%a" pp z

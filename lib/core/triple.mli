@@ -11,6 +11,17 @@ val compare : t -> t -> int
 
 val equal : t -> t -> bool
 
+val chain_before : t -> t -> bool
+(** The (user, class) chain order: ascending time, ties broken by ascending
+    item id. [chain_before a b] iff [a] stays in front of [b] when [b] is
+    inserted. This single definition is shared by every chain representation
+    (the array-backed {!Chain} and the list-based naive revenue oracle) so
+    the tie-break cannot drift between them. *)
+
+val chain_insert : t list -> t -> t list
+(** Ordered insert into a time-ascending chain, preserving {!chain_before}
+    order. *)
+
 val pp : Format.formatter -> t -> unit
 (** Renders as [(u, i, t)]. *)
 

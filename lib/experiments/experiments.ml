@@ -330,6 +330,87 @@ let ext_taylor (cfg : Config.t) =
     [ 0.05; 0.1; 0.2 ];
   Table.print t
 
+(* ----- Greedy-throughput benchmark: naive vs incremental evaluator ----- *)
+
+let bench_greedy (cfg : Config.t) =
+  Runner.section "Benchmark: G-Greedy throughput, naive vs incremental marginal evaluator";
+  (* synthetic instances in the long-chain regime the incremental evaluator
+     is built for: few classes, long horizon, mild adoption probabilities
+     and saturation, so greedy keeps finding positive marginals and grows
+     (user, class) chains tens of triples deep (the Scalability generator's
+     near-1 probabilities make competition truncate its chains after a
+     handful of picks). Row sizes are gated by REVMAX_SCALE. *)
+  let synth ~users ~items ~classes ~horizon ~k =
+    let rng = Rng.create cfg.Config.seed in
+    let adoption = ref [] in
+    for u = 0 to users - 1 do
+      for i = 0 to items - 1 do
+        if Rng.bernoulli rng 0.8 then
+          adoption :=
+            (u, i, Array.init horizon (fun _ -> Rng.uniform_in rng 0.02 0.10)) :: !adoption
+      done
+    done;
+    Instance.create ~num_users:users ~num_items:items ~horizon ~display_limit:k
+      ~class_of:(Array.init items (fun i -> i mod classes))
+      ~capacity:(Array.make items users)
+      ~saturation:(Array.init items (fun _ -> Rng.uniform_in rng 0.7 1.0))
+      ~price:
+        (Array.init items (fun _ -> Array.init horizon (fun _ -> Rng.uniform_in rng 1.0 10.0)))
+      ~adoption:!adoption ()
+  in
+  let small = ("small", fun () -> synth ~users:100 ~items:24 ~classes:2 ~horizon:10 ~k:3) in
+  let medium = ("medium", fun () -> synth ~users:150 ~items:40 ~classes:2 ~horizon:15 ~k:5) in
+  let large = ("large", fun () -> synth ~users:400 ~items:40 ~classes:2 ~horizon:15 ~k:5) in
+  let rows =
+    match cfg.Config.scale with
+    | Config.Quick -> [ small ]
+    | Config.Default -> [ small; medium ]
+    | Config.Full -> [ small; medium; large ]
+  in
+  let t =
+    Table.create
+      ~columns:
+        [
+          "dataset"; "#triples"; "avg chain"; "naive s"; "incr s"; "speedup";
+          "naive evals/s"; "incr evals/s"; "rel dRev";
+        ]
+  in
+  List.iter
+    (fun (label, make) ->
+      let inst = make () in
+      let triples = Instance.num_candidate_triples inst in
+      let (s_n, st_n), sec_n = Util.time_it (fun () -> Greedy.run ~evaluator:`Naive inst) in
+      let (s_i, st_i), sec_i =
+        Util.time_it (fun () -> Greedy.run ~evaluator:`Incremental inst)
+      in
+      let vn = Revenue.total s_n and vi = Revenue.total s_i in
+      let rel = Float.abs (vn -. vi) /. Float.max 1.0 (Float.abs vn) in
+      if rel > 1e-9 then
+        failwith
+          (Printf.sprintf "bench-greedy %s: evaluators disagree (%.12g vs %.12g)" label vn vi);
+      let rate evals sec = float_of_int evals /. Float.max 1e-9 sec in
+      let chains = ref 0 and chained = ref 0 in
+      Strategy.iter_chains s_i (fun c ->
+          incr chains;
+          chained := !chained + Revmax.Chain.length c);
+      Table.add_row t
+        [
+          label;
+          string_of_int triples;
+          Printf.sprintf "%.1f" (float_of_int !chained /. float_of_int (max 1 !chains));
+          Printf.sprintf "%.3f" sec_n;
+          Printf.sprintf "%.3f" sec_i;
+          Printf.sprintf "%.1fx" (sec_n /. Float.max 1e-9 sec_i);
+          Printf.sprintf "%.0f" (rate st_n.Greedy.marginal_evaluations sec_n);
+          Printf.sprintf "%.0f" (rate st_i.Greedy.marginal_evaluations sec_i);
+          Printf.sprintf "%.1e" rel;
+        ])
+    rows;
+  Table.print t;
+  Printf.printf
+    "(identical selections by construction — rel dRev is the accumulated float drift;\n\
+    \ speedup grows with chain length: naive marginals are O(L^2), incremental O(L))\n"
+
 (* ----- Ablations ----- *)
 
 let abl_heap (cfg : Config.t) =
@@ -495,6 +576,7 @@ let all =
     ("fig6", "Figure 6: G-Greedy scalability", fig6);
     ("fig7", "Figure 7: gradual price availability", fig7);
     ("ext-taylor", "s7 extension: random prices (Taylor)", ext_taylor);
+    ("bench-greedy", "Benchmark: greedy throughput, naive vs incremental", bench_greedy);
     ("abl-heap", "Ablation: heaps and lazy forward", abl_heap);
     ("abl-exact", "Ablation: greedy vs exact optima", abl_exact);
     ("abl-rs", "Ablation: MF vs kNN vs content-based substrate", abl_rs);

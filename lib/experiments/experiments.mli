@@ -47,6 +47,13 @@ val ext_taylor : Config.t -> unit
     heuristic (order-1) vs Taylor order-2 vs Monte-Carlo truth, for several
     price-noise levels. *)
 
+val bench_greedy : Config.t -> unit
+(** Greedy-throughput benchmark — {!Revmax.Greedy.run} timed end-to-end with
+    the naive O(L²) marginal oracle versus the incremental O(L) engine on
+    synthetic long-chain datasets: wall time, marginal evaluations per
+    second, speedup, and the (tiny) relative revenue drift between the two.
+    Aborts if the evaluators' revenues differ by more than 1e-9 relative. *)
+
 val abl_heap : Config.t -> unit
 (** §5.1 ablation — two-level vs giant heap, lazy-forward on vs off:
     planning time and number of marginal-revenue evaluations. *)

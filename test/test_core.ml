@@ -97,6 +97,30 @@ let test_strategy_add_remove () =
   Alcotest.check_raises "absent remove" (Invalid_argument "Strategy.remove: absent triple")
     (fun () -> Strategy.remove s z1)
 
+(* regression for the old filter-based removal: removing a triple must drop
+   exactly its chain slot, keep the rest of the chain intact, and leave the
+   cached aggregates equal to a freshly-built strategy's *)
+let test_strategy_remove_exactly_one () =
+  let inst = example1_instance 0.4 in
+  let s = Strategy.of_list inst [ triple 0 0 1; triple 0 1 2; triple 0 0 3 ] in
+  Strategy.remove s (triple 0 1 2);
+  Alcotest.(check (list string)) "chain keeps the others" [ "(0, 0, 1)"; "(0, 0, 3)" ]
+    (List.map Triple.to_string (Strategy.chain s ~u:0 ~cls:0));
+  Alcotest.(check int) "chain size" 2 (Strategy.chain_size s ~u:0 ~cls:0);
+  let fresh = Strategy.of_list inst [ triple 0 0 1; triple 0 0 3 ] in
+  check_float ~eps:1e-12 "caches match a fresh build" (Revenue.total_incremental fresh)
+    (Revenue.total_incremental s);
+  (* draining the chain removes its entry entirely *)
+  Strategy.remove s (triple 0 0 1);
+  Strategy.remove s (triple 0 0 3);
+  Alcotest.(check int) "drained chain gone" 0 (Strategy.chain_size s ~u:0 ~cls:0);
+  check_float ~eps:1e-12 "empty revenue" 0.0 (Revenue.total_incremental s);
+  (* re-adding after the churn reproduces a fresh strategy's revenue *)
+  Strategy.add s (triple 0 1 2);
+  check_float ~eps:1e-12 "rebuilds cleanly"
+    (Revenue.total (Strategy.of_list inst [ triple 0 1 2 ]))
+    (Revenue.total_incremental s)
+
 let test_strategy_chain_order () =
   let inst = example1_instance 0.4 in
   let s = Strategy.create inst in
@@ -278,6 +302,53 @@ let prop_marginal_identity =
           end)
         all)
 
+(* the O(L) incremental engine agrees with the naive reference oracle in
+   both saturation modes, for every candidate insertion point *)
+let prop_incremental_marginal_matches_naive =
+  QCheck2.Test.make ~name:"marginal_incremental ≈ naive marginal" ~count:150 seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance rng in
+      let s = random_valid_strategy inst rng in
+      List.for_all
+        (fun z ->
+          List.for_all
+            (fun with_saturation ->
+              Helpers.float_eq ~eps:1e-9
+                (Revenue.marginal ~with_saturation s z)
+                (Revenue.marginal_incremental ~with_saturation s z))
+            [ true; false ])
+        (candidate_triples inst))
+
+let prop_incremental_total_matches_naive =
+  QCheck2.Test.make ~name:"total_incremental ≈ naive total" ~count:150 seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance rng in
+      let s = random_valid_strategy inst rng in
+      Helpers.float_eq ~eps:1e-9 (Revenue.total s) (Revenue.total_incremental s)
+      && Helpers.float_eq ~eps:1e-9
+           (Revenue.total ~with_saturation:false s)
+           (Revenue.total_incremental ~with_saturation:false s))
+
+(* cached chain aggregates stay consistent under arbitrary add/remove churn *)
+let prop_chain_caches_survive_churn =
+  QCheck2.Test.make ~name:"cached revenue survives add/remove churn" ~count:80 seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance rng in
+      let s = Strategy.create inst in
+      let all = Array.of_list (candidate_triples inst) in
+      Array.length all = 0
+      ||
+      let ok = ref true in
+      for _ = 1 to 40 do
+        let z = all.(Rng.int rng (Array.length all)) in
+        if Strategy.mem s z then Strategy.remove s z
+        else if Strategy.can_add s z then Strategy.add s z;
+        if not (Helpers.float_eq ~eps:1e-9 (Revenue.total s) (Revenue.total_incremental s))
+        then ok := false
+      done;
+      !ok)
+
 let prop_probabilities_in_unit_interval =
   QCheck2.Test.make ~name:"qS(u,i,t) ∈ [0,1]" ~count:150 seed_gen (fun seed ->
       let rng = Rng.create seed in
@@ -410,9 +481,6 @@ let prop_chain_isolation =
         | [] -> true
         | z :: _ ->
             let cls = Instance.class_of inst z.i in
-            let before =
-              List.map (fun t -> Revenue.dynamic_probability_in s t) (Strategy.chain s ~u:z.u ~cls)
-            in
             (* add any candidate of a different class *)
             let other =
               List.find_opt
@@ -424,6 +492,14 @@ let prop_chain_isolation =
             | None -> true
             | Some w ->
                 let s' = Strategy.copy s in
+                (* snapshot from s' itself: the cached chain aggregates are
+                   insertion-order dependent in their last float bits, so
+                   exact equality is only claimed against the same chain *)
+                let before =
+                  List.map
+                    (fun t -> Revenue.dynamic_probability_in s' t)
+                    (Strategy.chain s' ~u:z.u ~cls)
+                in
                 Strategy.add s' w;
                 let after =
                   List.map
@@ -527,6 +603,7 @@ let () =
       ( "strategy",
         [
           Alcotest.test_case "add/remove" `Quick test_strategy_add_remove;
+          Alcotest.test_case "remove exactly one" `Quick test_strategy_remove_exactly_one;
           Alcotest.test_case "chain order" `Quick test_strategy_chain_order;
           Alcotest.test_case "display constraint" `Quick test_strategy_constraints;
           Alcotest.test_case "capacity tracking" `Quick test_strategy_capacity_tracking;
@@ -547,6 +624,9 @@ let () =
       ( "revenue-properties",
         [
           QCheck_alcotest.to_alcotest prop_marginal_identity;
+          QCheck_alcotest.to_alcotest prop_incremental_marginal_matches_naive;
+          QCheck_alcotest.to_alcotest prop_incremental_total_matches_naive;
+          QCheck_alcotest.to_alcotest prop_chain_caches_survive_churn;
           QCheck_alcotest.to_alcotest prop_probabilities_in_unit_interval;
           QCheck_alcotest.to_alcotest prop_lemma1_probability_non_increasing;
           QCheck_alcotest.to_alcotest prop_submodularity_case1;

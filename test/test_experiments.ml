@@ -89,7 +89,7 @@ let test_runner_suite_shape () =
 
 let test_registry_ids_unique () =
   let ids = List.map (fun (id, _, _) -> id) Experiments.all in
-  Alcotest.(check int) "13 experiments" 13 (List.length ids);
+  Alcotest.(check int) "14 experiments" 14 (List.length ids);
   Alcotest.(check int) "unique ids" (List.length ids)
     (List.length (List.sort_uniq compare ids))
 
@@ -102,7 +102,7 @@ let test_smoke_fast_experiments () =
      the expensive ones are exercised by the bench executable *)
   List.iter
     (fun id -> Alcotest.(check bool) id true (Experiments.run_by_id id quick))
-    [ "fig4"; "fig5"; "fig6"; "abl-heap"; "abl-exact" ]
+    [ "fig4"; "fig5"; "fig6"; "abl-heap"; "abl-exact"; "bench-greedy" ]
 
 let () =
   Alcotest.run "experiments"

@@ -53,6 +53,41 @@ let test_gg_heap_variants_agree () =
         (Revenue.total s2)
   done
 
+(* the legal heap/refresh combinations — two-level+lazy, giant+lazy and
+   two-level+eager — must select the very same triples, not merely
+   revenue-equal strategies *)
+let test_gg_variants_identical_strategies () =
+  let sorted s = List.sort Triple.compare (Strategy.to_list s) in
+  for seed = 0 to 79 do
+    let rng = Rng.create seed in
+    let inst = random_instance rng in
+    let reference, _ = Greedy.run ~heap:`Two_level ~lazy_forward:true inst in
+    List.iter
+      (fun (name, s) ->
+        if sorted s <> sorted reference then
+          Alcotest.failf "seed %d: %s selected a different strategy" seed name)
+      [
+        ("giant+lazy", fst (Greedy.run ~heap:`Giant ~lazy_forward:true inst));
+        ("two-level+eager", fst (Greedy.run ~heap:`Two_level ~lazy_forward:false inst));
+      ]
+  done
+
+(* acceptance: the incremental evaluator reproduces the naive oracle's runs
+   exactly — same selections, revenue within 1e-9 *)
+let test_gg_evaluators_identical () =
+  let sorted s = List.sort Triple.compare (Strategy.to_list s) in
+  for seed = 0 to 79 do
+    let rng = Rng.create seed in
+    let inst = random_instance rng in
+    let si, _ = Greedy.run ~evaluator:`Incremental inst in
+    let sn, _ = Greedy.run ~evaluator:`Naive inst in
+    if sorted si <> sorted sn then
+      Alcotest.failf "seed %d: evaluators selected different strategies" seed;
+    if not (Helpers.float_eq ~eps:1e-9 (Revenue.total si) (Revenue.total sn)) then
+      Alcotest.failf "seed %d: incremental %.9f vs naive %.9f" seed (Revenue.total si)
+        (Revenue.total sn)
+  done
+
 let test_gg_lazy_eager_agree () =
   for seed = 0 to 79 do
     let rng = Rng.create seed in
@@ -337,9 +372,20 @@ let test_windows () =
     (Rolling.windows ~horizon:7 ~cutoffs:[ 2; 4 ]);
   Alcotest.(check (list (pair int int))) "no cutoff" [ (1, 7) ]
     (Rolling.windows ~horizon:7 ~cutoffs:[]);
-  Alcotest.check_raises "bad cutoffs"
+  (* c = horizon is legal: the trailing window is empty, not an error *)
+  Alcotest.(check (list (pair int int))) "cutoff at horizon" [ (1, 7) ]
+    (Rolling.windows ~horizon:7 ~cutoffs:[ 7 ]);
+  Alcotest.(check (list (pair int int))) "interior + horizon cutoffs" [ (1, 3); (4, 7) ]
+    (Rolling.windows ~horizon:7 ~cutoffs:[ 3; 7 ]);
+  Alcotest.check_raises "cutoff past horizon"
     (Invalid_argument "Rolling.windows: cut-offs must be ascending and inside the horizon")
-    (fun () -> ignore (Rolling.windows ~horizon:7 ~cutoffs:[ 7 ]))
+    (fun () -> ignore (Rolling.windows ~horizon:7 ~cutoffs:[ 8 ]));
+  Alcotest.check_raises "descending cutoffs"
+    (Invalid_argument "Rolling.windows: cut-offs must be ascending and inside the horizon")
+    (fun () -> ignore (Rolling.windows ~horizon:7 ~cutoffs:[ 4; 2 ]));
+  Alcotest.check_raises "duplicate cutoff"
+    (Invalid_argument "Rolling.windows: duplicate cut-off 4")
+    (fun () -> ignore (Rolling.windows ~horizon:7 ~cutoffs:[ 4; 4 ]))
 
 let test_rolling_no_cutoff_equals_full () =
   let rng = Rng.create 12 in
@@ -404,6 +450,9 @@ let () =
           Alcotest.test_case "constraints (small)" `Quick test_gg_respects_constraints_small;
           QCheck_alcotest.to_alcotest prop_gg_always_valid;
           Alcotest.test_case "heap variants agree" `Slow test_gg_heap_variants_agree;
+          Alcotest.test_case "variants identical strategies" `Slow
+            test_gg_variants_identical_strategies;
+          Alcotest.test_case "evaluators identical" `Slow test_gg_evaluators_identical;
           Alcotest.test_case "lazy vs eager" `Slow test_gg_lazy_eager_agree;
           Alcotest.test_case "eager+giant rejected" `Quick test_gg_eager_giant_rejected;
           QCheck_alcotest.to_alcotest prop_gg_never_below_optimum_check;
