@@ -6,10 +6,17 @@
 
    Scale is selected with REVMAX_SCALE=quick|default|full (see
    Config.load); REVMAX_ONLY=<id>[,<id>...] restricts to specific
-   experiments; REVMAX_SKIP_MICRO=1 drops the Bechamel section. *)
+   experiments; REVMAX_SKIP_MICRO=1 drops the Bechamel section.
+
+   Fault tolerance: REVMAX_CHECKPOINT_DIR=<dir> records each completed
+   experiment's stdout as one JSON file (atomic rename), and
+   REVMAX_RESUME=1 replays recorded cells byte-for-byte so a killed run
+   resumes at the first missing experiment. Progress/timing lines go to
+   stderr, keeping stdout deterministic experiment content. *)
 
 module Config = Revmax_experiments.Config
 module Experiments = Revmax_experiments.Experiments
+module Checkpoint = Revmax_experiments.Checkpoint
 module Util = Revmax_prelude.Util
 module Rng = Revmax_prelude.Rng
 module Instance = Revmax.Instance
@@ -128,25 +135,48 @@ let () =
   (* allocation-heavy planning benefits from a roomier minor heap *)
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 16 * 1024 * 1024; space_overhead = 200 };
   let cfg = Config.load () in
-  Printf.printf "REVMAX benchmark suite — scale=%s seed=%d\n"
+  (* meta/progress lines go to stderr: stdout carries only deterministic
+     experiment content, so checkpointed and resumed runs compare equal *)
+  Printf.eprintf "REVMAX benchmark suite — scale=%s seed=%d\n"
     (Config.scale_name cfg.Config.scale)
     cfg.Config.seed;
-  Printf.printf "(REVMAX_SCALE=quick|default|full selects sizes; see DESIGN.md section 4)\n%!";
+  Printf.eprintf "(REVMAX_SCALE=quick|default|full selects sizes; see DESIGN.md section 4)\n%!";
   let only =
     match Sys.getenv_opt "REVMAX_ONLY" with
     | None -> None
     | Some s -> Some (String.split_on_char ',' s |> List.map String.trim)
+  in
+  let resume =
+    match Sys.getenv_opt "REVMAX_RESUME" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false
+  in
+  let checkpoint =
+    Option.map
+      (fun dir -> Checkpoint.create ~dir ~resume)
+      (Sys.getenv_opt "REVMAX_CHECKPOINT_DIR")
+  in
+  let meta =
+    [
+      ("scale", Config.scale_name cfg.Config.scale);
+      ("seed", string_of_int cfg.Config.seed);
+    ]
   in
   let total_t0 = Unix.gettimeofday () in
   List.iter
     (fun (id, _desc, f) ->
       let selected = match only with None -> true | Some ids -> List.mem id ids in
       if selected then begin
-        let (), seconds = Util.time_it (fun () -> f cfg) in
-        Printf.printf "[%s finished in %.1fs]\n%!" id seconds
+        let status = ref `Ran in
+        let (), seconds =
+          Util.time_it (fun () -> status := Checkpoint.run_cell checkpoint ~id ~meta (fun () -> f cfg))
+        in
+        match !status with
+        | `Ran -> Printf.eprintf "[%s finished in %.1fs]\n%!" id seconds
+        | `Replayed -> Printf.eprintf "[%s replayed from checkpoint]\n%!" id
       end)
     Experiments.all;
   (match (only, Sys.getenv_opt "REVMAX_SKIP_MICRO") with
   | None, None -> run_micro ()
   | _ -> ());
-  Printf.printf "\nTotal benchmark time: %.1fs\n" (Unix.gettimeofday () -. total_t0)
+  Printf.eprintf "\nTotal benchmark time: %.1fs\n" (Unix.gettimeofday () -. total_t0)

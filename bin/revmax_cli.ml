@@ -21,6 +21,8 @@ module Algorithms = Revmax.Algorithms
 module Triple = Revmax.Triple
 module Rng = Revmax_prelude.Rng
 module Table = Revmax_prelude.Table
+module Budget = Revmax_prelude.Budget
+module Checkpoint = Revmax_experiments.Checkpoint
 
 open Cmdliner
 
@@ -47,6 +49,27 @@ let config_term =
   let make scale seed = { (Config.of_scale ~seed scale) with Config.scale } in
   Term.(const make $ scale_arg $ seed_arg)
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Anytime wall-clock budget: stop planning after SECONDS and return the best-so-far \
+           valid strategy.")
+
+let max_evals_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-evals" ] ~docv:"N"
+        ~doc:"Anytime evaluation budget: stop planning after N marginal-revenue evaluations.")
+
+let budget_of ~deadline ~max_evals =
+  match (deadline, max_evals) with
+  | None, None -> None
+  | _ -> Some (Budget.create ?wall_seconds:deadline ?max_evaluations:max_evals ())
+
 (* ----- list ----- *)
 
 let list_cmd =
@@ -66,17 +89,54 @@ let experiment_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id (see $(b,list)) or $(b,all).")
   in
-  let run cfg id =
-    if id = "all" then begin
-      List.iter (fun (_id, _desc, f) -> f cfg) Experiments.all;
-      `Ok ()
+  let checkpoint_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:
+            "Record each completed experiment's output as one JSON file in DIR (written \
+             atomically), so an interrupted run can be resumed with $(b,--resume).")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay experiments already recorded in the checkpoint directory instead of \
+             recomputing them; execution picks up at the first missing experiment.")
+  in
+  let run cfg id checkpoint_dir resume =
+    if resume && checkpoint_dir = None then
+      `Error (false, "--resume requires --checkpoint-dir")
+    else begin
+      let checkpoint = Option.map (fun dir -> Checkpoint.create ~dir ~resume) checkpoint_dir in
+      let meta =
+        [
+          ("scale", Config.scale_name cfg.Config.scale);
+          ("seed", string_of_int cfg.Config.seed);
+        ]
+      in
+      let run_one (eid, f) =
+        match Checkpoint.run_cell checkpoint ~id:eid ~meta (fun () -> f cfg) with
+        | `Ran -> ()
+        | `Replayed -> Printf.eprintf "[%s replayed from checkpoint]\n%!" eid
+      in
+      if id = "all" then begin
+        List.iter (fun (eid, _desc, f) -> run_one (eid, f)) Experiments.all;
+        `Ok ()
+      end
+      else
+        match List.find_opt (fun (eid, _, _) -> eid = id) Experiments.all with
+        | Some (eid, _, f) ->
+            run_one (eid, f);
+            `Ok ()
+        | None -> `Error (false, Printf.sprintf "unknown experiment %S; try `revmax list'" id)
     end
-    else if Experiments.run_by_id id cfg then `Ok ()
-    else `Error (false, Printf.sprintf "unknown experiment %S; try `revmax list'" id)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure of the paper.")
-    Term.(ret (const run $ config_term $ id_arg))
+    Term.(ret (const run $ config_term $ id_arg $ checkpoint_dir_arg $ resume_arg))
 
 (* ----- datasets ----- *)
 
@@ -138,7 +198,7 @@ let save_strategy_arg =
     & info [ "save-strategy" ] ~docv:"FILE" ~doc:"Write the planned strategy to FILE.")
 
 let plan_cmd =
-  let run cfg dataset algo beta simulate show save_instance save_strategy =
+  let run cfg dataset algo beta simulate show save_instance save_strategy deadline max_evals =
     let beta_spec =
       match beta with
       | None -> Pipeline.Beta_uniform
@@ -164,11 +224,15 @@ let plan_cmd =
         Revmax.Io.save_instance path inst;
         Printf.printf "instance written to %s\n" path
     | None -> ());
-    let s, seconds =
-      Revmax_prelude.Util.time_it (fun () -> Algorithms.run algo inst ~seed:cfg.Config.seed)
+    let budget = budget_of ~deadline ~max_evals in
+    let (s, truncated), seconds =
+      Revmax_prelude.Util.time_it (fun () ->
+          Algorithms.run_anytime ?budget algo inst ~seed:cfg.Config.seed)
     in
     Printf.printf "%s planned %d recommendations in %.2fs\n" (Algorithms.name algo)
       (Strategy.size s) seconds;
+    if truncated then
+      Printf.printf "note: budget expired; this is the best-so-far (anytime) strategy\n";
     Printf.printf "expected total revenue: %.2f\n" (Revenue.total s);
     Printf.printf "strategy valid: %b\n" (Strategy.is_valid s);
     (match save_strategy with
@@ -202,7 +266,7 @@ let plan_cmd =
     (Cmd.info "plan" ~doc:"Generate a dataset, run a planning algorithm, report the strategy.")
     Term.(
       const run $ config_term $ dataset_arg $ algo_arg $ beta_arg $ simulate_arg $ show_arg
-      $ save_instance_arg $ save_strategy_arg)
+      $ save_instance_arg $ save_strategy_arg $ deadline_arg $ max_evals_arg)
 
 (* ----- solve (file-based workflow) ----- *)
 
@@ -213,16 +277,20 @@ let solve_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"INSTANCE" ~doc:"Instance file in the revmax-instance format (see Revmax.Io).")
   in
-  let run cfg file algo simulate save_strategy =
-    match Revmax.Io.load_instance file with
-    | exception Failure msg -> `Error (false, msg)
-    | inst ->
+  let run cfg file algo simulate save_strategy deadline max_evals =
+    match Revmax.Io.load_instance_result file with
+    | Error e -> `Error (false, Revmax_prelude.Err.message e)
+    | Ok inst ->
         Format.printf "instance: %a@." Instance.pp_stats inst;
-        let s, seconds =
-          Revmax_prelude.Util.time_it (fun () -> Algorithms.run algo inst ~seed:cfg.Config.seed)
+        let budget = budget_of ~deadline ~max_evals in
+        let (s, truncated), seconds =
+          Revmax_prelude.Util.time_it (fun () ->
+              Algorithms.run_anytime ?budget algo inst ~seed:cfg.Config.seed)
         in
         Printf.printf "%s planned %d recommendations in %.2fs\n" (Algorithms.name algo)
           (Strategy.size s) seconds;
+        if truncated then
+          Printf.printf "note: budget expired; this is the best-so-far (anytime) strategy\n";
         Printf.printf "expected total revenue: %.2f\n" (Revenue.total s);
         (match save_strategy with
         | Some path ->
@@ -238,7 +306,10 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Plan on an instance loaded from a file.")
-    Term.(ret (const run $ config_term $ file_arg $ algo_arg $ simulate_arg $ save_strategy_arg))
+    Term.(
+      ret
+        (const run $ config_term $ file_arg $ algo_arg $ simulate_arg $ save_strategy_arg
+       $ deadline_arg $ max_evals_arg))
 
 let () =
   let doc = "revenue-maximizing dynamic recommendations (VLDB 2014 reproduction)" in

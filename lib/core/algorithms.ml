@@ -16,14 +16,26 @@ let name = function
   | Top_revenue -> "TopRev"
   | Top_rating -> "TopRat"
 
-let run algo inst ~seed =
+let run_anytime ?budget algo inst ~seed =
   match algo with
-  | G_greedy -> fst (Greedy.run inst)
-  | Global_no -> fst (Greedy.run ~with_saturation:false inst)
-  | Sl_greedy -> fst (Local_greedy.sl_greedy inst)
-  | Rl_greedy n -> fst (Local_greedy.rl_greedy ~permutations:n inst (Rng.create seed))
-  | Top_revenue -> Baselines.top_revenue inst
-  | Top_rating -> Baselines.top_rating inst
+  | G_greedy ->
+      let s, st = Greedy.run ?budget inst in
+      (s, st.Greedy.truncated)
+  | Global_no ->
+      let s, st = Greedy.run ~with_saturation:false ?budget inst in
+      (s, st.Greedy.truncated)
+  | Sl_greedy ->
+      let s, st = Local_greedy.sl_greedy ?budget inst in
+      (s, st.Greedy.truncated)
+  | Rl_greedy n ->
+      let s, st = Local_greedy.rl_greedy ~permutations:n ?budget inst (Rng.create seed) in
+      (s, st.Greedy.truncated)
+  (* the sort-based baselines are effectively instantaneous and ignore the
+     budget; they never truncate *)
+  | Top_revenue -> (Baselines.top_revenue inst, false)
+  | Top_rating -> (Baselines.top_rating inst, false)
+
+let run ?budget algo inst ~seed = fst (run_anytime ?budget algo inst ~seed)
 
 let default_suite = [ G_greedy; Global_no; Rl_greedy 20; Sl_greedy; Top_revenue; Top_rating ]
 

@@ -16,9 +16,17 @@ type t =
 val name : t -> string
 (** Paper-style short name: GG, GG-No, RLG, SLG, TopRev, TopRat. *)
 
-val run : t -> Instance.t -> seed:int -> Strategy.t
+val run : ?budget:Revmax_prelude.Budget.t -> t -> Instance.t -> seed:int -> Strategy.t
 (** Execute the algorithm. Deterministic given [seed] (only RL-Greedy
-    consumes randomness). *)
+    consumes randomness). With [budget], the greedy family returns its
+    best-so-far valid strategy on expiry (see {!Greedy.run}); use
+    {!run_anytime} to learn whether truncation occurred. *)
+
+val run_anytime :
+  ?budget:Revmax_prelude.Budget.t -> t -> Instance.t -> seed:int -> Strategy.t * bool
+(** Like {!run} but also reports whether the run was cut short by the
+    budget. The sort-based baselines (TopRev, TopRat) ignore the budget and
+    always report [false]. *)
 
 val default_suite : t list
 (** The six algorithms of Figures 1–3, in the paper's legend order:

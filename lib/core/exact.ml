@@ -1,4 +1,13 @@
-let brute_force ?(max_ground = 18) inst =
+module Budget = Revmax_prelude.Budget
+
+type anytime_result = {
+  strategy : Strategy.t;
+  value : float;
+  nodes : int;  (** search-tree nodes expanded *)
+  truncated : bool;
+}
+
+let brute_force_anytime ?(max_ground = 18) ?budget inst =
   let ground = ref [] in
   Instance.iter_candidate_triples inst (fun z _ -> ground := z :: !ground);
   let ground = Array.of_list !ground in
@@ -8,20 +17,32 @@ let brute_force ?(max_ground = 18) inst =
          (Array.length ground) max_ground);
   let s = Strategy.create inst in
   let best = ref [] and best_value = ref 0.0 in
+  let nodes = ref 0 in
+  let truncated = ref false in
+  let out_of_budget () =
+    match budget with
+    | Some b when !nodes > 1 && Budget.exhausted b ->
+        truncated := true;
+        true
+    | _ -> false
+  in
   (* depth-first over include/exclude decisions; [acc] is Rev of current S,
-     maintained incrementally through marginals *)
+     maintained incrementally through marginals. An exhausted budget prunes
+     the remaining subtree; the incumbent is always a valid strategy. *)
   let rec go idx acc =
+    incr nodes;
     if acc > !best_value then begin
       best_value := acc;
       best := Strategy.to_list s
     end;
-    if idx < Array.length ground then begin
+    if idx < Array.length ground && not (out_of_budget ()) then begin
       let z = ground.(idx) in
       (* exclude *)
       go (idx + 1) acc;
       (* include, if valid *)
-      if Strategy.can_add s z then begin
+      if Strategy.can_add s z && not (out_of_budget ()) then begin
         let gain = Revenue.marginal_incremental s z in
+        (match budget with Some b -> Budget.spend b 1 | None -> ());
         Strategy.add s z;
         go (idx + 1) (acc +. gain);
         Strategy.remove s z
@@ -29,7 +50,16 @@ let brute_force ?(max_ground = 18) inst =
     end
   in
   go 0 0.0;
-  (Strategy.of_list inst !best, !best_value)
+  {
+    strategy = Strategy.of_list inst !best;
+    value = !best_value;
+    nodes = !nodes;
+    truncated = !truncated;
+  }
+
+let brute_force ?max_ground ?budget inst =
+  let r = brute_force_anytime ?max_ground ?budget inst in
+  (r.strategy, r.value)
 
 let solve_t1 inst =
   if Instance.horizon inst <> 1 then invalid_arg "Exact.solve_t1: horizon must be 1";

@@ -10,10 +10,26 @@
     user–item graph (edge weight [p(i,1)·q(u,i,1)], user degree bound k,
     item degree bound q_i), solved exactly by {!Revmax_flow.Max_dcs}. *)
 
-val brute_force : ?max_ground:int -> Instance.t -> Strategy.t * float
+type anytime_result = {
+  strategy : Strategy.t;
+  value : float;
+  nodes : int;  (** search-tree nodes expanded *)
+  truncated : bool;  (** the search was pruned by an expired budget *)
+}
+
+val brute_force : ?max_ground:int -> ?budget:Revmax_prelude.Budget.t -> Instance.t -> Strategy.t * float
 (** Optimal valid strategy and its expected revenue. Raises
     [Invalid_argument] when the instance has more than [max_ground]
-    (default 18) candidate triples. *)
+    (default 18) candidate triples. With [budget], see
+    {!brute_force_anytime} — the result may then be the best incumbent
+    rather than the optimum. *)
+
+val brute_force_anytime :
+  ?max_ground:int -> ?budget:Revmax_prelude.Budget.t -> Instance.t -> anytime_result
+(** Like {!brute_force} but reports search statistics. An exhausted [budget]
+    (charged one evaluation per include-branch marginal) prunes the rest of
+    the search; the incumbent returned is always a valid strategy, and
+    [truncated] records whether pruning occurred. *)
 
 val solve_t1 : Instance.t -> Strategy.t * float
 (** Exact solution for a one-step horizon. Raises [Invalid_argument] when

@@ -1,16 +1,20 @@
 module Tl = Revmax_pqueue.Two_level_heap
 module Bh = Revmax_pqueue.Binary_heap
+module Budget = Revmax_prelude.Budget
 
-type stats = { marginal_evaluations : int; pops : int; selected : int }
+type stats = { marginal_evaluations : int; pops : int; selected : int; truncated : bool }
+
+type trace_point = { size : int; revenue : float; evaluations : int }
 
 type elt = { z : Triple.t; mutable flag : int }
 
 let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
-    ?(evaluator = `Incremental) ?(allowed = fun _ -> true) ?base ?trace inst =
+    ?(evaluator = `Incremental) ?(allowed = fun _ -> true) ?base ?trace ?budget inst =
   if (not lazy_forward) && heap = `Giant then
     invalid_arg "Greedy.run: eager refresh requires the two-level heap";
   let s = match base with Some b -> Strategy.copy b | None -> Strategy.create inst in
   let evals = ref 0 and pops = ref 0 and selected = ref 0 in
+  let truncated = ref false in
   let running_total = ref 0.0 in
   let num_items = Instance.num_items inst in
   let chain_size_of (z : Triple.t) =
@@ -18,9 +22,20 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
   in
   let marginal (z : Triple.t) =
     incr evals;
+    (match budget with Some b -> Budget.spend b 1 | None -> ());
     match evaluator with
     | `Incremental -> Revenue.marginal_incremental ~with_saturation s z
     | `Naive -> Revenue.marginal ~with_saturation s z
+  in
+  (* the budget is consulted between selections only, and only after at
+     least one selection, so an expired budget still yields a non-empty
+     anytime prefix whenever any triple is selectable *)
+  let out_of_budget () =
+    match budget with
+    | Some b when !selected > 0 && Budget.exhausted b ->
+        truncated := true;
+        true
+    | _ -> false
   in
   (* key for a triple whose chain is known empty: marginal reduces to p·q
      (Algorithm 1 line 8); avoids a chain lookup per candidate at startup *)
@@ -36,8 +51,13 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
   let accept (z : Triple.t) key =
     Strategy.add s z;
     incr selected;
+    (* a selection is a unit of work even when its key came from the
+       closed-form path below and cost no oracle call *)
+    (match budget with Some b -> Budget.spend b 1 | None -> ());
     running_total := !running_total +. key;
-    match trace with Some f -> f (Strategy.size s) !running_total | None -> ()
+    match trace with
+    | Some f -> f { size = Strategy.size s; revenue = !running_total; evaluations = !evals }
+    | None -> ()
   in
   (match heap with
   | `Two_level ->
@@ -62,30 +82,31 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
           (Instance.candidate_items_in_class inst ~u:z.u ~cls)
       in
       let rec loop () =
-        match Tl.find_max h with
-        | None -> ()
-        | Some (pair, e, key) ->
-            incr pops;
-            if not (Strategy.can_add s e.z) then begin
-              if capacity_blocked e.z then Tl.drop_pair h pair else ignore (Tl.delete_max h);
-              loop ()
-            end
-            else begin
-              let cur = chain_size_of e.z in
-              if e.flag < cur then begin
-                Tl.refresh_pair h pair ~f:(fun e' _old ->
-                    e'.flag <- cur;
-                    Some (marginal e'.z));
+        if not (out_of_budget ()) then
+          match Tl.find_max h with
+          | None -> ()
+          | Some (pair, e, key) ->
+              incr pops;
+              if not (Strategy.can_add s e.z) then begin
+                if capacity_blocked e.z then Tl.drop_pair h pair else ignore (Tl.delete_max h);
                 loop ()
               end
-              else if key <= 0.0 then () (* fresh maximum non-positive: done *)
               else begin
-                ignore (Tl.delete_max h);
-                accept e.z key;
-                if not lazy_forward then eager_refresh e.z;
-                loop ()
+                let cur = chain_size_of e.z in
+                if e.flag < cur then begin
+                  Tl.refresh_pair h pair ~f:(fun e' _old ->
+                      e'.flag <- cur;
+                      Some (marginal e'.z));
+                  loop ()
+                end
+                else if key <= 0.0 then () (* fresh maximum non-positive: done *)
+                else begin
+                  ignore (Tl.delete_max h);
+                  accept e.z key;
+                  if not lazy_forward then eager_refresh e.z;
+                  loop ()
+                end
               end
-            end
       in
       loop ()
   | `Giant ->
@@ -94,24 +115,25 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
           if allowed z && not (Strategy.mem s z) then
             ignore (Bh.insert h ~key:(initial_key z) { z; flag = chain_size_of z }));
       let rec loop () =
-        match Bh.delete_max h with
-        | None -> ()
-        | Some (e, key) ->
-            incr pops;
-            if not (Strategy.can_add s e.z) then loop () (* permanently infeasible *)
-            else begin
-              let cur = chain_size_of e.z in
-              if e.flag < cur then begin
-                e.flag <- cur;
-                ignore (Bh.insert h ~key:(marginal e.z) e);
-                loop ()
-              end
-              else if key <= 0.0 then ()
+        if not (out_of_budget ()) then
+          match Bh.delete_max h with
+          | None -> ()
+          | Some (e, key) ->
+              incr pops;
+              if not (Strategy.can_add s e.z) then loop () (* permanently infeasible *)
               else begin
-                accept e.z key;
-                loop ()
+                let cur = chain_size_of e.z in
+                if e.flag < cur then begin
+                  e.flag <- cur;
+                  ignore (Bh.insert h ~key:(marginal e.z) e);
+                  loop ()
+                end
+                else if key <= 0.0 then ()
+                else begin
+                  accept e.z key;
+                  loop ()
+                end
               end
-            end
       in
       loop ());
-  (s, { marginal_evaluations = !evals; pops = !pops; selected = !selected })
+  (s, { marginal_evaluations = !evals; pops = !pops; selected = !selected; truncated = !truncated })

@@ -20,12 +20,23 @@
     - [~allowed] and [~base] support the §6.3 gradual-price-availability
       setting through {!Rolling}: selection is restricted to allowed
       triples while the committed [base] strategy contributes to chains and
-      constraints. *)
+      constraints;
+    - [~budget] makes the run {e anytime}: the budget is consulted between
+      selections (after at least one), and on expiry the best-so-far prefix
+      — always a valid strategy, by submodularity every greedy prefix is —
+      is returned with [truncated = true] in the statistics. *)
 
 type stats = {
   marginal_evaluations : int;  (** marginal-revenue evaluations *)
   pops : int;  (** heap roots examined *)
   selected : int;  (** triples added to the strategy *)
+  truncated : bool;  (** the run stopped early because a budget expired *)
+}
+
+type trace_point = {
+  size : int;  (** strategy size after the selection *)
+  revenue : float;  (** running sum of fresh marginal revenues *)
+  evaluations : int;  (** cumulative marginal evaluations so far *)
 }
 
 val run :
@@ -35,12 +46,19 @@ val run :
   ?evaluator:[ `Incremental | `Naive ] ->
   ?allowed:(Triple.t -> bool) ->
   ?base:Strategy.t ->
-  ?trace:(int -> float -> unit) ->
+  ?trace:(trace_point -> unit) ->
+  ?budget:Revmax_prelude.Budget.t ->
   Instance.t ->
   Strategy.t * stats
 (** [run inst] returns a valid strategy and execution statistics.
 
-    [trace size revenue_so_far] is invoked after every selection with the
-    strategy size and the running sum of (fresh) marginal revenues — the
-    series plotted in Figure 4. The running sum equals [Revenue.total] of
-    the growing strategy when [with_saturation] is [true]. *)
+    [trace] is invoked after every selection with the strategy size, the
+    running sum of (fresh) marginal revenues — the series plotted in
+    Figure 4 — and the cumulative marginal-evaluation count. The running
+    sum equals [Revenue.total] of the growing strategy when
+    [with_saturation] is [true].
+
+    When [budget] is given, evaluation charges accumulate into it (so one
+    budget can be shared across several runs) and the run stops as soon as
+    the budget is exhausted after a selection; the budgeted run's selection
+    sequence is a prefix of the unbudgeted one's. *)

@@ -1,3 +1,5 @@
+module Err = Revmax_prelude.Err
+
 type t = {
   num_users : int;
   num_items : int;
@@ -17,85 +19,122 @@ type t = {
   num_candidate_triples : int;
 }
 
+exception Bad_field of string * string
+
+let create_checked ~num_users ~num_items ~horizon ~display_limit ~class_of ~capacity ~saturation
+    ~price ?(ratings = []) ~adoption () =
+  let fail field msg = raise (Bad_field (field, msg)) in
+  try
+    if num_users < 0 then fail "num_users" "negative number of users";
+    if num_items < 0 then fail "num_items" "negative number of items";
+    if horizon < 1 then fail "horizon" "horizon must be at least 1";
+    if display_limit < 1 then fail "display_limit" "display_limit must be at least 1";
+    if Array.length class_of <> num_items then
+      fail "class_of"
+        (Printf.sprintf "length %d differs from num_items %d" (Array.length class_of) num_items);
+    if Array.length capacity <> num_items then
+      fail "capacity"
+        (Printf.sprintf "length %d differs from num_items %d" (Array.length capacity) num_items);
+    if Array.length saturation <> num_items then
+      fail "saturation"
+        (Printf.sprintf "length %d differs from num_items %d" (Array.length saturation) num_items);
+    if Array.length price <> num_items then
+      fail "price"
+        (Printf.sprintf "%d rows differ from num_items %d" (Array.length price) num_items);
+    Array.iteri
+      (fun i c ->
+        if c < 0 then fail "class_of" (Printf.sprintf "item %d has negative class id %d" i c))
+      class_of;
+    Array.iteri
+      (fun i c ->
+        if c < 0 then fail "capacity" (Printf.sprintf "item %d has negative capacity %d" i c))
+      capacity;
+    Array.iteri
+      (fun i b ->
+        if b < 0.0 || b > 1.0 || Float.is_nan b then
+          fail "saturation" (Printf.sprintf "item %d: %g outside [0,1]" i b))
+      saturation;
+    Array.iteri
+      (fun i row ->
+        if Array.length row <> horizon then
+          fail "price"
+            (Printf.sprintf "item %d: row length %d differs from horizon %d" i (Array.length row)
+               horizon);
+        Array.iter
+          (fun p ->
+            if (not (Float.is_finite p)) || p < 0.0 then
+              fail "price" (Printf.sprintf "item %d: price %g not finite and non-negative" i p))
+          row)
+      price;
+    let num_classes = Array.fold_left (fun m c -> max m (c + 1)) 0 class_of in
+    let class_sizes = Array.make num_classes 0 in
+    Array.iter (fun c -> class_sizes.(c) <- class_sizes.(c) + 1) class_of;
+    let q_index = Hashtbl.create (max 16 (List.length adoption)) in
+    let buckets = Array.make num_users [] in
+    let triples = ref 0 in
+    List.iter
+      (fun (u, i, qs) ->
+        if u < 0 || u >= num_users || i < 0 || i >= num_items then
+          fail "adoption" (Printf.sprintf "pair (%d, %d) out of range" u i);
+        if Array.length qs <> horizon then
+          fail "adoption"
+            (Printf.sprintf "pair (%d, %d): vector length %d differs from horizon %d" u i
+               (Array.length qs) horizon);
+        Array.iter
+          (fun p ->
+            if p < 0.0 || p > 1.0 || Float.is_nan p then
+              fail "adoption" (Printf.sprintf "pair (%d, %d): probability %g outside [0,1]" u i p))
+          qs;
+        let key = (u * num_items) + i in
+        if Hashtbl.mem q_index key then
+          fail "adoption" (Printf.sprintf "duplicate (user, item) pair (%d, %d)" u i);
+        let qs = Array.copy qs in
+        Hashtbl.replace q_index key qs;
+        buckets.(u) <- (i, qs) :: buckets.(u);
+        Array.iter (fun p -> if p > 0.0 then incr triples) qs)
+      adoption;
+    let cands =
+      Array.map
+        (fun l ->
+          let a = Array.of_list l in
+          Array.sort (fun (i1, _) (i2, _) -> compare i1 i2) a;
+          a)
+        buckets
+    in
+    let rating_tbl = Hashtbl.create (max 16 (List.length ratings)) in
+    List.iter
+      (fun (u, i, r) ->
+        if u < 0 || u >= num_users || i < 0 || i >= num_items then
+          fail "ratings" (Printf.sprintf "pair (%d, %d) out of range" u i);
+        Hashtbl.replace rating_tbl ((u * num_items) + i) r)
+      ratings;
+    Ok
+      {
+        num_users;
+        num_items;
+        horizon;
+        display_limit;
+        class_of = Array.copy class_of;
+        num_classes;
+        class_sizes;
+        capacity = Array.copy capacity;
+        saturation = Array.copy saturation;
+        price = Array.map Array.copy price;
+        cands;
+        q_index;
+        ratings = rating_tbl;
+        num_candidate_triples = !triples;
+      }
+  with Bad_field (field, msg) -> Error (Err.Invalid_instance { field; msg })
+
 let create ~num_users ~num_items ~horizon ~display_limit ~class_of ~capacity ~saturation ~price
-    ?(ratings = []) ~adoption () =
-  if num_users < 0 || num_items < 0 then invalid_arg "Instance.create: negative dimensions";
-  if horizon < 1 then invalid_arg "Instance.create: horizon must be at least 1";
-  if display_limit < 1 then invalid_arg "Instance.create: display_limit must be at least 1";
-  if Array.length class_of <> num_items then invalid_arg "Instance.create: class_of length";
-  if Array.length capacity <> num_items then invalid_arg "Instance.create: capacity length";
-  if Array.length saturation <> num_items then invalid_arg "Instance.create: saturation length";
-  if Array.length price <> num_items then invalid_arg "Instance.create: price rows";
-  Array.iter (fun c -> if c < 0 then invalid_arg "Instance.create: negative class id") class_of;
-  Array.iter (fun c -> if c < 0 then invalid_arg "Instance.create: negative capacity") capacity;
-  Array.iter
-    (fun b ->
-      if b < 0.0 || b > 1.0 || Float.is_nan b then
-        invalid_arg "Instance.create: saturation must be in [0,1]")
-    saturation;
-  Array.iter
-    (fun row ->
-      if Array.length row <> horizon then invalid_arg "Instance.create: price row length";
-      Array.iter
-        (fun p ->
-          if (not (Float.is_finite p)) || p < 0.0 then
-            invalid_arg "Instance.create: prices must be finite and non-negative")
-        row)
-    price;
-  let num_classes = Array.fold_left (fun m c -> max m (c + 1)) 0 class_of in
-  let class_sizes = Array.make num_classes 0 in
-  Array.iter (fun c -> class_sizes.(c) <- class_sizes.(c) + 1) class_of;
-  let q_index = Hashtbl.create (max 16 (List.length adoption)) in
-  let buckets = Array.make num_users [] in
-  let triples = ref 0 in
-  List.iter
-    (fun (u, i, qs) ->
-      if u < 0 || u >= num_users || i < 0 || i >= num_items then
-        invalid_arg "Instance.create: adoption id out of range";
-      if Array.length qs <> horizon then invalid_arg "Instance.create: adoption vector length";
-      Array.iter
-        (fun p ->
-          if p < 0.0 || p > 1.0 || Float.is_nan p then
-            invalid_arg "Instance.create: adoption probabilities must be in [0,1]")
-        qs;
-      let key = (u * num_items) + i in
-      if Hashtbl.mem q_index key then invalid_arg "Instance.create: duplicate (user, item) adoption";
-      let qs = Array.copy qs in
-      Hashtbl.replace q_index key qs;
-      buckets.(u) <- (i, qs) :: buckets.(u);
-      Array.iter (fun p -> if p > 0.0 then incr triples) qs)
-    adoption;
-  let cands =
-    Array.map
-      (fun l ->
-        let a = Array.of_list l in
-        Array.sort (fun (i1, _) (i2, _) -> compare i1 i2) a;
-        a)
-      buckets
-  in
-  let rating_tbl = Hashtbl.create (max 16 (List.length ratings)) in
-  List.iter
-    (fun (u, i, r) ->
-      if u < 0 || u >= num_users || i < 0 || i >= num_items then
-        invalid_arg "Instance.create: rating id out of range";
-      Hashtbl.replace rating_tbl ((u * num_items) + i) r)
-    ratings;
-  {
-    num_users;
-    num_items;
-    horizon;
-    display_limit;
-    class_of = Array.copy class_of;
-    num_classes;
-    class_sizes;
-    capacity = Array.copy capacity;
-    saturation = Array.copy saturation;
-    price = Array.map Array.copy price;
-    cands;
-    q_index;
-    ratings = rating_tbl;
-    num_candidate_triples = !triples;
-  }
+    ?ratings ~adoption () =
+  match
+    create_checked ~num_users ~num_items ~horizon ~display_limit ~class_of ~capacity ~saturation
+      ~price ?ratings ~adoption ()
+  with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Instance.create: " ^ Err.message e)
 
 let num_users t = t.num_users
 let num_items t = t.num_items

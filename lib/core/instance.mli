@@ -40,6 +40,24 @@ val create :
 
     Raises [Invalid_argument] on any violation. *)
 
+val create_checked :
+  num_users:int ->
+  num_items:int ->
+  horizon:int ->
+  display_limit:int ->
+  class_of:int array ->
+  capacity:int array ->
+  saturation:float array ->
+  price:float array array ->
+  ?ratings:(int * int * float) list ->
+  adoption:(int * int * float array) list ->
+  unit ->
+  (t, Revmax_prelude.Err.t) result
+(** Like {!create} but never raises: any violation yields
+    [Error (Invalid_instance {field; msg})] naming the rejected field
+    ([num_users], [horizon], [class_of], [price], [adoption], …) and a
+    per-element diagnostic. *)
+
 (** {1 Dimensions and parameters} *)
 
 val num_users : t -> int

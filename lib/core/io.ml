@@ -1,3 +1,5 @@
+module Err = Revmax_prelude.Err
+
 let fp = Printf.fprintf
 
 let write_instance oc inst =
@@ -28,11 +30,31 @@ let write_instance oc inst =
   fp oc "end\n"
 
 type parse_state = {
+  file : string;
   mutable line_no : int;
+  mutable line : string; (* raw text of the current line, for column reports *)
   ic : in_channel;
 }
 
-let fail st msg = failwith (Printf.sprintf "Io: line %d: %s" st.line_no msg)
+let fail ?(col = 0) st msg =
+  Err.raise_ (Err.Parse_error { file = st.file; line = st.line_no; col; msg })
+
+(* 1-based column of [token] as a whitespace-delimited field of the current
+   raw line; 0 when it cannot be located (e.g. after trimming collapsed it) *)
+let column_of st token =
+  let line = st.line in
+  let n = String.length line and m = String.length token in
+  let is_ws c = c = ' ' || c = '\t' in
+  let rec scan i =
+    if m = 0 || i + m > n then 0
+    else if
+      (i = 0 || is_ws line.[i - 1])
+      && String.sub line i m = token
+      && (i + m = n || is_ws line.[i + m])
+    then i + 1
+    else scan (i + 1)
+  in
+  scan 0
 
 (* next non-comment, non-blank line split on whitespace; None at EOF *)
 let rec next_fields st =
@@ -40,18 +62,25 @@ let rec next_fields st =
   | None -> None
   | Some line ->
       st.line_no <- st.line_no + 1;
+      st.line <- line;
       let line = String.trim line in
       if line = "" || line.[0] = '#' then next_fields st
       else Some (String.split_on_char ' ' line |> List.filter (fun s -> s <> ""))
 
 let int_field st s =
-  match int_of_string_opt s with Some v -> v | None -> fail st ("bad integer " ^ s)
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail ~col:(column_of st s) st ("bad integer " ^ s)
 
 let float_field st s =
-  match float_of_string_opt s with Some v -> v | None -> fail st ("bad float " ^ s)
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> fail ~col:(column_of st s) st ("bad float " ^ s)
 
-let read_instance ic =
-  let st = { line_no = 0; ic } in
+let default_file = "<channel>"
+
+let read_instance_exn ?(file = default_file) ic =
+  let st = { file; line_no = 0; line = ""; ic } in
   (match next_fields st with
   | Some [ "revmax-instance"; "1" ] -> ()
   | _ -> fail st "expected header: revmax-instance 1");
@@ -61,6 +90,8 @@ let read_instance ic =
         (int_field st a, int_field st b, int_field st c, int_field st d)
     | _ -> fail st "expected: dims <users> <items> <horizon> <k>"
   in
+  if num_users < 0 || num_items < 0 || horizon < 1 || display_limit < 1 then
+    fail st "bad dimensions";
   let class_of = Array.make num_items 0 in
   let capacity = Array.make num_items 0 in
   let saturation = Array.make num_items 0.0 in
@@ -74,7 +105,7 @@ let read_instance ic =
     | Some [ "end" ] -> finished := true
     | Some ("item" :: idx :: cls :: cap :: sat :: prices) ->
         let i = int_field st idx in
-        if i < 0 || i >= num_items then fail st "item id out of range";
+        if i < 0 || i >= num_items then fail ~col:(column_of st idx) st "item id out of range";
         if seen_item.(i) then fail st "duplicate item record";
         seen_item.(i) <- true;
         class_of.(i) <- int_field st cls;
@@ -88,22 +119,30 @@ let read_instance ic =
         if List.length qs <> horizon then fail st "wrong number of probabilities";
         let arr = Array.of_list (List.map (float_field st) qs) in
         adoption := (int_field st u, int_field st i, arr) :: !adoption
-    | Some (tag :: _) -> fail st ("unknown record " ^ tag)
+    | Some (tag :: _) -> fail ~col:(column_of st tag) st ("unknown record " ^ tag)
     | Some [] -> ()
   done;
   Array.iteri (fun i seen -> if not seen then fail st (Printf.sprintf "item %d missing" i)) seen_item;
-  try
-    Instance.create ~num_users ~num_items ~horizon ~display_limit ~class_of ~capacity ~saturation
-      ~price ~ratings:!ratings ~adoption:!adoption ()
-  with Invalid_argument msg -> failwith ("Io: " ^ msg)
+  match
+    Instance.create_checked ~num_users ~num_items ~horizon ~display_limit ~class_of ~capacity
+      ~saturation ~price ~ratings:!ratings ~adoption:!adoption ()
+  with
+  | Ok inst -> inst
+  | Error e -> Err.raise_ e
+
+let read_instance_result ?file ic =
+  match read_instance_exn ?file ic with v -> Ok v | exception Err.Error e -> Error e
+
+let read_instance ?file ic =
+  try read_instance_exn ?file ic with Err.Error e -> failwith (Err.message e)
 
 let write_strategy oc s =
   fp oc "revmax-strategy 1\n";
   List.iter (fun (z : Triple.t) -> fp oc "triple %d %d %d\n" z.u z.i z.t) (Strategy.to_list s);
   fp oc "end\n"
 
-let read_strategy inst ic =
-  let st = { line_no = 0; ic } in
+let read_strategy_exn ?(file = default_file) inst ic =
+  let st = { file; line_no = 0; line = ""; ic } in
   (match next_fields st with
   | Some [ "revmax-strategy"; "1" ] -> ()
   | _ -> fail st "expected header: revmax-strategy 1");
@@ -115,11 +154,17 @@ let read_strategy inst ic =
     | Some [ "end" ] -> finished := true
     | Some [ "triple"; u; i; t ] -> (
         let z = Triple.make ~u:(int_field st u) ~i:(int_field st i) ~t:(int_field st t) in
-        try Strategy.add s z with Invalid_argument msg -> fail st msg)
-    | Some (tag :: _) -> fail st ("unknown record " ^ tag)
+        match Strategy.add_result s z with Ok () -> () | Error e -> fail st (Err.message e))
+    | Some (tag :: _) -> fail ~col:(column_of st tag) st ("unknown record " ^ tag)
     | Some [] -> ()
   done;
   s
+
+let read_strategy_result ?file inst ic =
+  match read_strategy_exn ?file inst ic with v -> Ok v | exception Err.Error e -> Error e
+
+let read_strategy ?file inst ic =
+  try read_strategy_exn ?file inst ic with Err.Error e -> failwith (Err.message e)
 
 let with_out path f =
   let oc = open_out path in
@@ -129,7 +174,27 @@ let with_in path f =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
 
+let save_atomic path f =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path) ".tmp" in
+  match with_out tmp f with
+  | () -> Sys.rename tmp path
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
 let save_instance path inst = with_out path (fun oc -> write_instance oc inst)
-let load_instance path = with_in path read_instance
+let load_instance path = with_in path (read_instance ~file:path)
+
+let load_instance_result path =
+  match with_in path (fun ic -> read_instance_result ~file:path ic) with
+  | r -> r
+  | exception Sys_error msg -> Error (Err.Io_error { path; msg })
+
 let save_strategy path s = with_out path (fun oc -> write_strategy oc s)
-let load_strategy inst path = with_in path (read_strategy inst)
+let load_strategy inst path = with_in path (read_strategy ~file:path inst)
+
+let load_strategy_result inst path =
+  match with_in path (fun ic -> read_strategy_result ~file:path inst ic) with
+  | r -> r
+  | exception Sys_error msg -> Error (Err.Io_error { path; msg })

@@ -16,22 +16,50 @@
     v}
 
     Strategies (`revmax-strategy 1`) are lists of `triple <u> <i> <t>` lines.
-    Floats are printed with ["%.17g"] so round-trips are exact. *)
+    Floats are printed with ["%.17g"] so round-trips are exact.
+
+    Malformed input is reported as a structured
+    {!Revmax_prelude.Err.Parse_error} carrying the file path, 1-based line
+    number, and — for token-level problems such as a bad integer or float —
+    the 1-based column of the offending token. The [_result] variants return
+    it; the plain variants raise [Failure] with the rendered message. *)
 
 val write_instance : out_channel -> Instance.t -> unit
 
-val read_instance : in_channel -> Instance.t
-(** Raises [Failure] with a line-numbered message on malformed input. *)
+val read_instance : ?file:string -> in_channel -> Instance.t
+(** Raises [Failure] with a [file:line:col]-prefixed message on malformed
+    input ([file] defaults to ["<channel>"]). *)
+
+val read_instance_result : ?file:string -> in_channel -> (Instance.t, Revmax_prelude.Err.t) result
+(** Like {!read_instance} but never raises: malformed input yields
+    [Error (Parse_error _)]; a structurally well-formed file describing an
+    invalid instance yields [Error (Invalid_instance _)]. *)
 
 val save_instance : string -> Instance.t -> unit
 (** Write to a file path. *)
 
 val load_instance : string -> Instance.t
 
+val load_instance_result : string -> (Instance.t, Revmax_prelude.Err.t) result
+(** Like {!load_instance} but never raises: an unreadable path yields
+    [Error (Io_error _)], malformed content [Error (Parse_error _)]. *)
+
 val write_strategy : out_channel -> Strategy.t -> unit
 
-val read_strategy : Instance.t -> in_channel -> Strategy.t
+val read_strategy : ?file:string -> Instance.t -> in_channel -> Strategy.t
 (** Triples are validated against the instance's dimensions. *)
+
+val read_strategy_result :
+  ?file:string -> Instance.t -> in_channel -> (Strategy.t, Revmax_prelude.Err.t) result
 
 val save_strategy : string -> Strategy.t -> unit
 val load_strategy : Instance.t -> string -> Strategy.t
+val load_strategy_result : Instance.t -> string -> (Strategy.t, Revmax_prelude.Err.t) result
+
+(** {1 Atomic writes} *)
+
+val save_atomic : string -> (out_channel -> unit) -> unit
+(** [save_atomic path f] writes [f]'s output to a fresh temporary file in
+    [path]'s directory and renames it over [path], so readers never observe
+    a partially-written file and a crash mid-write leaves any previous
+    content intact. The temporary file is removed if [f] raises. *)

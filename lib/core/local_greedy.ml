@@ -1,12 +1,18 @@
 module Bh = Revmax_pqueue.Binary_heap
 module Rng = Revmax_prelude.Rng
+module Budget = Revmax_prelude.Budget
 
-type stats = Greedy.stats = { marginal_evaluations : int; pops : int; selected : int }
+type stats = Greedy.stats = {
+  marginal_evaluations : int;
+  pops : int;
+  selected : int;
+  truncated : bool;
+}
 
 type elt = { z : Triple.t; mutable flag : int }
 
 let greedy_in_order ?(with_saturation = true) ?(evaluator = `Incremental)
-    ?(allowed = fun _ -> true) ?base ?trace inst ~order =
+    ?(allowed = fun _ -> true) ?base ?trace ?budget inst ~order =
   let horizon = Instance.horizon inst in
   let seen_time = Array.make (horizon + 1) false in
   List.iter
@@ -17,15 +23,25 @@ let greedy_in_order ?(with_saturation = true) ?(evaluator = `Incremental)
     order;
   let s = match base with Some b -> Strategy.copy b | None -> Strategy.create inst in
   let evals = ref 0 and pops = ref 0 and selected = ref 0 in
+  let truncated = ref false in
   let running_total = ref 0.0 in
   let chain_size_of (z : Triple.t) =
     Strategy.chain_size s ~u:z.u ~cls:(Instance.class_of inst z.i)
   in
   let marginal (z : Triple.t) =
     incr evals;
+    (match budget with Some b -> Budget.spend b 1 | None -> ());
     match evaluator with
     | `Incremental -> Revenue.marginal_incremental ~with_saturation s z
     | `Naive -> Revenue.marginal ~with_saturation s z
+  in
+  (* consulted between selections, after at least one, as in Greedy.run *)
+  let out_of_budget () =
+    match budget with
+    | Some b when !selected > 0 && Budget.exhausted b ->
+        truncated := true;
+        true
+    | _ -> false
   in
   let round tm =
     let h = Bh.create () in
@@ -43,43 +59,53 @@ let greedy_in_order ?(with_saturation = true) ?(evaluator = `Incremental)
           row)
       (Array.init (Instance.num_users inst) (Instance.candidates inst));
     let rec consume () =
-      match Bh.delete_max h with
-      | None -> ()
-      | Some (e, key) ->
-          incr pops;
-          if not (Strategy.can_add s e.z) then consume ()
-          else begin
-            let cur = chain_size_of e.z in
-            if e.flag < cur then begin
-              (* lazy forward within the round *)
-              e.flag <- cur;
-              ignore (Bh.insert h ~key:(marginal e.z) e);
-              consume ()
-            end
-            else if key <= 0.0 then ()
+      if not (out_of_budget ()) then
+        match Bh.delete_max h with
+        | None -> ()
+        | Some (e, key) ->
+            incr pops;
+            if not (Strategy.can_add s e.z) then consume ()
             else begin
-              Strategy.add s e.z;
-              incr selected;
-              running_total := !running_total +. key;
-              (match trace with Some f -> f (Strategy.size s) !running_total | None -> ());
-              consume ()
+              let cur = chain_size_of e.z in
+              if e.flag < cur then begin
+                (* lazy forward within the round *)
+                e.flag <- cur;
+                ignore (Bh.insert h ~key:(marginal e.z) e);
+                consume ()
+              end
+              else if key <= 0.0 then ()
+              else begin
+                Strategy.add s e.z;
+                incr selected;
+                (match budget with Some b -> Budget.spend b 1 | None -> ());
+                running_total := !running_total +. key;
+                (match trace with
+                | Some f ->
+                    f
+                      {
+                        Greedy.size = Strategy.size s;
+                        revenue = !running_total;
+                        evaluations = !evals;
+                      }
+                | None -> ());
+                consume ()
+              end
             end
-          end
     in
     consume ()
   in
-  List.iter round order;
-  (s, { marginal_evaluations = !evals; pops = !pops; selected = !selected })
+  List.iter (fun tm -> if not (out_of_budget ()) then round tm) order;
+  (s, { marginal_evaluations = !evals; pops = !pops; selected = !selected; truncated = !truncated })
 
-let sl_greedy ?with_saturation ?evaluator ?allowed ?base ?trace inst =
+let sl_greedy ?with_saturation ?evaluator ?allowed ?base ?trace ?budget inst =
   let order = List.init (Instance.horizon inst) (fun idx -> idx + 1) in
-  greedy_in_order ?with_saturation ?evaluator ?allowed ?base ?trace inst ~order
+  greedy_in_order ?with_saturation ?evaluator ?allowed ?base ?trace ?budget inst ~order
 
 let factorial_capped n cap =
   let rec go acc i = if i > n || acc >= cap then min acc cap else go (acc * i) (i + 1) in
   go 1 2
 
-let rl_greedy ?with_saturation ?evaluator ?(permutations = 20) ?allowed ?base inst rng =
+let rl_greedy ?with_saturation ?evaluator ?(permutations = 20) ?allowed ?base ?budget inst rng =
   if permutations < 1 then invalid_arg "Local_greedy.rl_greedy: need at least one permutation";
   let horizon = Instance.horizon inst in
   let n = min permutations (factorial_capped horizon permutations) in
@@ -96,22 +122,42 @@ let rl_greedy ?with_saturation ?evaluator ?(permutations = 20) ?allowed ?base in
     end
   done;
   let best = ref None in
-  let total_stats = ref { marginal_evaluations = 0; pops = 0; selected = 0 } in
+  let total_stats = ref { marginal_evaluations = 0; pops = 0; selected = 0; truncated = false } in
+  let ran = ref 0 in
   List.iter
     (fun order ->
-      let s, st = greedy_in_order ?with_saturation ?evaluator ?allowed ?base inst ~order in
-      total_stats :=
-        {
-          marginal_evaluations = !total_stats.marginal_evaluations + st.marginal_evaluations;
-          pops = !total_stats.pops + st.pops;
-          selected = !total_stats.selected + st.selected;
-        };
-      (* permutations are compared under the true model; the cached chain
-         revenues make this O(#chains) instead of a full re-evaluation *)
-      let v = Revenue.total_incremental s in
-      match !best with
-      | Some (_, bv) when bv >= v -> ()
-      | _ -> best := Some (s, v))
+      (* the first permutation always runs in full so an expired budget still
+         yields a usable strategy; later ones are skipped once exhausted *)
+      let skip =
+        match budget with Some b -> !ran > 0 && Budget.exhausted b | None -> false
+      in
+      if skip then total_stats := { !total_stats with truncated = true }
+      else begin
+        let inner_budget = if !ran = 0 then None else budget in
+        let s, st =
+          greedy_in_order ?with_saturation ?evaluator ?allowed ?base ?budget:inner_budget inst
+            ~order
+        in
+        incr ran;
+        total_stats :=
+          {
+            marginal_evaluations = !total_stats.marginal_evaluations + st.marginal_evaluations;
+            pops = !total_stats.pops + st.pops;
+            selected = !total_stats.selected + st.selected;
+            truncated = !total_stats.truncated || st.truncated;
+          };
+        (* the first permutation runs unbudgeted; charge its work
+           afterwards so later skip decisions account for it *)
+        (match (inner_budget, budget) with
+        | None, Some b -> Budget.spend b (st.marginal_evaluations + st.selected)
+        | _ -> ());
+        (* permutations are compared under the true model; the cached chain
+           revenues make this O(#chains) instead of a full re-evaluation *)
+        let v = Revenue.total_incremental s in
+        match !best with
+        | Some (_, bv) when bv >= v -> ()
+        | _ -> best := Some (s, v)
+      end)
     !orders;
   match !best with
   | Some (s, _) -> (s, !total_stats)

@@ -8,22 +8,33 @@
     {b RL-Greedy} samples N distinct permutations of [\[T\]] (chronological
     order is not always optimal — Example 4 of the paper), runs the same
     per-step greedy in each order, and keeps the strategy of largest
-    expected revenue. The paper uses N = 20. *)
+    expected revenue. The paper uses N = 20.
 
-type stats = Greedy.stats
+    All entry points accept [?budget] with the anytime semantics of
+    {!Greedy.run}: consulted between selections (and between RL-Greedy
+    permutations), at least one unit of progress guaranteed, best-so-far
+    valid strategy returned with [truncated = true] on expiry. *)
+
+type stats = Greedy.stats = {
+  marginal_evaluations : int;
+  pops : int;
+  selected : int;
+  truncated : bool;
+}
 
 val greedy_in_order :
   ?with_saturation:bool ->
   ?evaluator:[ `Incremental | `Naive ] ->
   ?allowed:(Triple.t -> bool) ->
   ?base:Strategy.t ->
-  ?trace:(int -> float -> unit) ->
+  ?trace:(Greedy.trace_point -> unit) ->
+  ?budget:Revmax_prelude.Budget.t ->
   Instance.t ->
   order:int list ->
   Strategy.t * stats
 (** Run the per-time-step greedy over the time steps listed in [order]
-    (each in [1..T], no duplicates). [allowed], [base], [trace] and
-    [evaluator] behave as in {!Greedy.run}; the [trace] running revenue
+    (each in [1..T], no duplicates). [allowed], [base], [trace], [budget]
+    and [evaluator] behave as in {!Greedy.run}; the [trace] running revenue
     restarts from the base's revenue and increases by fresh marginals,
     showing the "segments" of Figure 4 at round switches. *)
 
@@ -32,7 +43,8 @@ val sl_greedy :
   ?evaluator:[ `Incremental | `Naive ] ->
   ?allowed:(Triple.t -> bool) ->
   ?base:Strategy.t ->
-  ?trace:(int -> float -> unit) ->
+  ?trace:(Greedy.trace_point -> unit) ->
+  ?budget:Revmax_prelude.Budget.t ->
   Instance.t ->
   Strategy.t * stats
 (** [greedy_in_order] with the chronological order [1; 2; …; T]. *)
@@ -43,6 +55,7 @@ val rl_greedy :
   ?permutations:int ->
   ?allowed:(Triple.t -> bool) ->
   ?base:Strategy.t ->
+  ?budget:Revmax_prelude.Budget.t ->
   Instance.t ->
   Revmax_prelude.Rng.t ->
   Strategy.t * stats
@@ -50,4 +63,6 @@ val rl_greedy :
     orders of [\[T\]] — fewer when T! is smaller. Statistics are summed over
     all executions. The chronological order is always among the sampled ones,
     so RL-Greedy never returns less revenue than SL-Greedy on the same
-    instance. *)
+    instance. The first permutation always runs to completion even under an
+    expired [budget]; later permutations are budgeted and skipped once the
+    shared budget is exhausted. *)

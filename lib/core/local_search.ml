@@ -1,9 +1,16 @@
 module Matroid = Revmax_matroid.Matroid
 module Submodular = Revmax_matroid.Submodular
+module Budget = Revmax_prelude.Budget
 
-type result = { strategy : Strategy.t; value : float; oracle_calls : int; moves : int }
+type result = {
+  strategy : Strategy.t;
+  value : float;
+  oracle_calls : int;
+  moves : int;
+  truncated : bool;
+}
 
-let solve ?eps ?capacity_oracle inst =
+let solve ?eps ?capacity_oracle ?budget inst =
   let ground = ref [] in
   Instance.iter_candidate_triples inst (fun z _ -> ground := z :: !ground);
   let ground = Array.of_list (List.rev !ground) in
@@ -16,6 +23,19 @@ let solve ?eps ?capacity_oracle inst =
     let s = Strategy.of_list inst (List.map (fun idx -> ground.(idx)) indices) in
     Relaxed.total ?oracle:capacity_oracle s
   in
-  let indices, value, stats = Submodular.local_search ?eps ~matroid ~f () in
+  let stop =
+    Option.map
+      (fun b ~evaluations ->
+        Budget.note_evaluations b evaluations;
+        Budget.exhausted b)
+      budget
+  in
+  let indices, value, stats = Submodular.local_search ?eps ?stop ~matroid ~f () in
   let strategy = Strategy.of_list inst (List.map (fun idx -> ground.(idx)) indices) in
-  { strategy; value; oracle_calls = stats.oracle_calls; moves = stats.moves }
+  {
+    strategy;
+    value;
+    oracle_calls = stats.oracle_calls;
+    moves = stats.moves;
+    truncated = stats.truncated;
+  }

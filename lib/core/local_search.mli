@@ -17,14 +17,21 @@ type result = {
   value : float;  (** relaxed revenue of the strategy *)
   oracle_calls : int;
   moves : int;
+  truncated : bool;  (** the search was stopped early by an expired budget *)
 }
 
 val solve :
   ?eps:float ->
   ?capacity_oracle:(Strategy.t -> Triple.t -> float) ->
+  ?budget:Revmax_prelude.Budget.t ->
   Instance.t ->
   result
 (** [solve inst] approximately maximizes the relaxed revenue under the
     display matroid. [eps] (default 0.5) is the local-search slack;
     [capacity_oracle] overrides the [B_S] computation (default: the exact
-    Poisson-binomial DP). Intended for small instances. *)
+    Poisson-binomial DP). Intended for small instances.
+
+    [budget] stops the local search between rounds of moves once exhausted
+    (oracle calls are recorded into it via
+    {!Revmax_prelude.Budget.note_evaluations}); the iterate returned is
+    always display-valid and [truncated] is set. *)

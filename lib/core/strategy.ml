@@ -1,3 +1,5 @@
+module Err = Revmax_prelude.Err
+
 type t = {
   inst : Instance.t;
   triples : (Triple.t, unit) Hashtbl.t;
@@ -30,19 +32,13 @@ let chain_key t (z : Triple.t) = (z.u * Instance.num_classes t.inst) + Instance.
 
 let display_key t (z : Triple.t) = (z.u * (Instance.horizon t.inst + 1)) + z.t
 
-let check_range t (z : Triple.t) =
-  if
-    z.u < 0
-    || z.u >= Instance.num_users t.inst
-    || z.i < 0
-    || z.i >= Instance.num_items t.inst
-    || z.t < 1
-    || z.t > Instance.horizon t.inst
-  then invalid_arg "Strategy: triple out of range"
+let range_error t (z : Triple.t) =
+  if z.u < 0 || z.u >= Instance.num_users t.inst then Some "user id outside the instance"
+  else if z.i < 0 || z.i >= Instance.num_items t.inst then Some "item id outside the instance"
+  else if z.t < 1 || z.t > Instance.horizon t.inst then Some "time step outside the horizon"
+  else None
 
-let add t z =
-  check_range t z;
-  if Hashtbl.mem t.triples z then invalid_arg "Strategy.add: duplicate triple";
+let add_unchecked t (z : Triple.t) =
   Hashtbl.replace t.triples z ();
   let ck = chain_key t z in
   let chain =
@@ -68,6 +64,24 @@ let add t z =
   let c = try Hashtbl.find users z.u with Not_found -> 0 in
   Hashtbl.replace users z.u (c + 1);
   t.cardinality <- t.cardinality + 1
+
+let add_result t (z : Triple.t) =
+  match range_error t z with
+  | Some msg ->
+      Error (Err.Invalid_strategy (Err.Triple_out_of_range { u = z.u; i = z.i; t = z.t; msg }))
+  | None ->
+      if Hashtbl.mem t.triples z then
+        Error (Err.Invalid_strategy (Err.Duplicate_triple { u = z.u; i = z.i; t = z.t }))
+      else Ok (add_unchecked t z)
+
+let add t z =
+  match add_result t z with
+  | Ok () -> ()
+  | Error (Err.Invalid_strategy (Err.Duplicate_triple _)) ->
+      invalid_arg "Strategy.add: duplicate triple"
+  | Error (Err.Invalid_strategy (Err.Triple_out_of_range _)) ->
+      invalid_arg "Strategy: triple out of range"
+  | Error e -> invalid_arg (Err.message e)
 
 let remove t z =
   if not (Hashtbl.mem t.triples z) then invalid_arg "Strategy.remove: absent triple";
@@ -139,6 +153,45 @@ let is_valid t =
   && Hashtbl.fold
        (fun i users ok -> ok && Hashtbl.length users <= Instance.capacity t.inst i)
        t.item_users true
+
+let validate t =
+  let k = Instance.display_limit t.inst in
+  let stride = Instance.horizon t.inst + 1 in
+  (* deterministic witness: the smallest violating key, independent of
+     hashtable iteration order *)
+  let display_witness =
+    Hashtbl.fold
+      (fun dk d best ->
+        if d <= k then best
+        else
+          match best with
+          | Some (bk, _) when bk <= dk -> best
+          | _ -> Some (dk, d))
+      t.display None
+  in
+  match display_witness with
+  | Some (dk, count) ->
+      Error
+        (Err.Invalid_strategy
+           (Err.Display_limit { u = dk / stride; time = dk mod stride; count; limit = k }))
+  | None -> (
+      let capacity_witness =
+        Hashtbl.fold
+          (fun i users best ->
+            let n = Hashtbl.length users in
+            if n <= Instance.capacity t.inst i then best
+            else
+              match best with
+              | Some (bi, _) when bi <= i -> best
+              | _ -> Some (i, n))
+          t.item_users None
+      in
+      match capacity_witness with
+      | Some (i, n) ->
+          Error
+            (Err.Invalid_strategy
+               (Err.Capacity { item = i; distinct_users = n; capacity = Instance.capacity t.inst i }))
+      | None -> Ok ())
 
 let repeat_histogram t =
   let hist = Array.make (Instance.horizon t.inst) 0 in

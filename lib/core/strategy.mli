@@ -24,6 +24,10 @@ val add : t -> Triple.t -> unit
     may exceed capacities on purpose; use [can_add] / [is_valid] to enforce
     Problem 1's constraints. *)
 
+val add_result : t -> Triple.t -> (unit, Revmax_prelude.Err.t) result
+(** Like {!add} but never raises: a duplicate or out-of-range triple yields
+    [Error (Invalid_strategy _)] carrying the offending triple. *)
+
 val remove : t -> Triple.t -> unit
 (** Removes exactly one occurrence. Raises [Invalid_argument] if the triple
     is absent, or if the internal chain index lost track of it (phantom
@@ -84,6 +88,14 @@ val is_valid : t -> bool
 
 val is_valid_display_only : t -> bool
 (** Only the display constraint — validity in the R-REVMAX sense (§4.2). *)
+
+val validate : t -> (unit, Revmax_prelude.Err.t) result
+(** Like {!is_valid} but explains failure: [Error (Invalid_strategy c)]
+    names the first violated constraint — a display-limit overflow (with the
+    offending user, time, count, and limit) or a capacity overflow (with the
+    offending item, its distinct-user count, and its capacity). Display
+    violations are reported before capacity violations, and the witness is
+    deterministic (smallest offending (user, time) / item). *)
 
 (** {1 Reporting} *)
 

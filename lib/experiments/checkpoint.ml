@@ -1,0 +1,257 @@
+module Err = Revmax_prelude.Err
+module Io = Revmax.Io
+
+type t = { dir : string; resume : bool }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir ~resume =
+  mkdir_p dir;
+  if not (Sys.is_directory dir) then
+    Err.raise_ (Err.Io_error { path = dir; msg = "checkpoint path is not a directory" });
+  { dir; resume }
+
+let sanitize id =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' | '_' -> c | _ -> '_')
+    id
+
+let record_path t id = Filename.concat t.dir (sanitize id ^ ".json")
+
+(* ----- minimal JSON (strings and string-valued objects only) ----- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_record oc ~id ~meta ~output =
+  Printf.fprintf oc "{\"id\": \"%s\",\n \"meta\": {" (escape id);
+  List.iteri
+    (fun idx (k, v) ->
+      Printf.fprintf oc "%s\"%s\": \"%s\"" (if idx = 0 then "" else ", ") (escape k) (escape v))
+    meta;
+  Printf.fprintf oc "},\n \"output\": \"%s\"}\n" (escape output)
+
+exception Bad_json of string
+
+type cursor = { text : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  skip_ws c;
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> raise (Bad_json (Printf.sprintf "expected '%c', found '%c' at %d" ch x c.pos))
+  | None -> raise (Bad_json (Printf.sprintf "expected '%c', found end of input" ch))
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 32 in
+  let rec go () =
+    match peek c with
+    | None -> raise (Bad_json "unterminated string")
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | None -> raise (Bad_json "unterminated escape")
+        | Some e ->
+            advance c;
+            (match e with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 'r' -> Buffer.add_char b '\r'
+            | 't' -> Buffer.add_char b '\t'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                if c.pos + 4 > String.length c.text then raise (Bad_json "truncated \\u escape");
+                let hex = String.sub c.text c.pos 4 in
+                c.pos <- c.pos + 4;
+                let code =
+                  match int_of_string_opt ("0x" ^ hex) with
+                  | Some v -> v
+                  | None -> raise (Bad_json ("bad \\u escape " ^ hex))
+                in
+                (* records only ever escape control bytes, so \u00XX suffices *)
+                if code > 0xff then raise (Bad_json "unsupported \\u escape above 0xff");
+                Buffer.add_char b (Char.chr code)
+            | e -> raise (Bad_json (Printf.sprintf "bad escape '\\%c'" e)));
+            go ())
+    | Some ch ->
+        advance c;
+        Buffer.add_char b ch;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_string_object c =
+  expect c '{';
+  let fields = ref [] in
+  skip_ws c;
+  if peek c = Some '}' then advance c
+  else begin
+    let rec fields_loop () =
+      skip_ws c;
+      let k = parse_string c in
+      expect c ':';
+      skip_ws c;
+      let v = parse_string c in
+      fields := (k, v) :: !fields;
+      skip_ws c;
+      match peek c with
+      | Some ',' ->
+          advance c;
+          fields_loop ()
+      | _ -> expect c '}'
+    in
+    fields_loop ()
+  end;
+  List.rev !fields
+
+(* parse {"id": <string>, "meta": <string object>, "output": <string>} *)
+let parse_record text =
+  let c = { text; pos = 0 } in
+  expect c '{';
+  let id = ref None and meta = ref None and output = ref None in
+  let rec members () =
+    skip_ws c;
+    let k = parse_string c in
+    expect c ':';
+    skip_ws c;
+    (match k with
+    | "id" -> id := Some (parse_string c)
+    | "meta" -> meta := Some (parse_string_object c)
+    | "output" -> output := Some (parse_string c)
+    | other -> raise (Bad_json ("unknown record member " ^ other)));
+    skip_ws c;
+    match peek c with
+    | Some ',' ->
+        advance c;
+        members ()
+    | _ -> expect c '}'
+  in
+  members ();
+  match (!id, !meta, !output) with
+  | Some id, Some meta, Some output -> (id, meta, output)
+  | _ -> raise (Bad_json "record is missing id, meta, or output")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_record t ~id =
+  let path = record_path t id in
+  if not (Sys.file_exists path) then None
+  else
+    match parse_record (read_file path) with
+    | rid, meta, output ->
+        if rid <> id then
+          Some (Result.Error (Err.Parse_error { file = path; line = 1; col = 0; msg = "record id mismatch: " ^ rid }))
+        else Some (Ok (meta, output))
+    | exception Bad_json msg ->
+        Some (Result.Error (Err.Parse_error { file = path; line = 1; col = 0; msg }))
+    | exception Sys_error msg -> Some (Result.Error (Err.Io_error { path; msg }))
+
+let save_record t ~id ~meta ~output =
+  Io.save_atomic (record_path t id) (fun oc -> write_record oc ~id ~meta ~output)
+
+(* Run [f] with fd 1 redirected into a temp file inside the checkpoint
+   directory; returns the captured bytes. Capturing at the fd level also
+   collects output written by subprocesses or through other channels. *)
+let capture_stdout t f =
+  let capture_path = Filename.temp_file ~temp_dir:t.dir ".capture" ".tmp" in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  let fd = Unix.openfile capture_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  let restore () =
+    flush stdout;
+    Unix.dup2 saved Unix.stdout;
+    Unix.close saved
+  in
+  Fun.protect ~finally:restore f;
+  let bytes = read_file capture_path in
+  Sys.remove capture_path;
+  bytes
+
+let meta_equal a b =
+  let norm l = List.sort compare l in
+  norm a = norm b
+
+let run_cell cp ~id ~meta f =
+  match cp with
+  | None ->
+      f ();
+      `Ran
+  | Some t -> (
+      let replay =
+        if not t.resume then None
+        else
+          match load_record t ~id with
+          | None -> None
+          | Some (Ok (rmeta, output)) ->
+              if meta_equal rmeta meta then Some output
+              else
+                Err.raise_
+                  (Err.Unexpected
+                     {
+                       context = "checkpoint " ^ record_path t id;
+                       msg =
+                         Printf.sprintf
+                           "metadata mismatch (recorded: %s; current: %s) - delete the record or \
+                            the checkpoint directory to rerun"
+                           (String.concat ", "
+                              (List.map (fun (k, v) -> k ^ "=" ^ v) rmeta))
+                           (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) meta));
+                     })
+          | Some (Result.Error e) ->
+              (* self-heal: a record corrupted by a crash or disk fault is
+                 reported and the cell simply reruns *)
+              Printf.eprintf "[checkpoint] corrupt record ignored (%s); rerunning %s\n%!"
+                (Err.message e) id;
+              None
+      in
+      match replay with
+      | Some output ->
+          print_string output;
+          flush stdout;
+          `Replayed
+      | None ->
+          let output = capture_stdout t f in
+          print_string output;
+          flush stdout;
+          save_record t ~id ~meta ~output;
+          `Ran)

@@ -1,0 +1,56 @@
+(** Checkpoint/resume for long experiment sweeps.
+
+    A bench run is a sequence of {e cells} (one experiment at one scale).
+    With a checkpoint directory attached, each completed cell's stdout is
+    recorded as one small JSON file ([<id>.json], written atomically via
+    {!Revmax.Io.save_atomic}), so a run killed halfway can be resumed: cells
+    with a valid record are {e replayed} byte-for-byte from the record
+    instead of recomputed, and execution picks up at the first missing cell.
+    A resumed run therefore produces output bit-identical to an
+    uninterrupted one for deterministic cells.
+
+    Record format — a flat JSON object with string values only:
+    {v {"id": "<cell id>",
+ "meta": {"scale": "quick", "seed": "42", ...},
+ "output": "<captured stdout, JSON-escaped>"} v}
+
+    Failure handling: a record that fails to parse (e.g. truncated by a
+    crash predating the atomic rename, or corrupted on disk) is reported on
+    [stderr] and its cell reruns — corruption can cost recomputation, never
+    wrong output. A record whose [meta] disagrees with the current run's
+    (different scale or seed) raises a structured
+    {!Revmax_prelude.Err.Unexpected} instead of silently splicing
+    incompatible output into the report. *)
+
+type t
+
+val create : dir:string -> resume:bool -> t
+(** Create (mkdir -p) or attach to a checkpoint directory. With
+    [resume = false], existing records are ignored and overwritten as cells
+    complete; with [resume = true] they are replayed. Raises
+    [Revmax_prelude.Err.Error (Io_error _)] if [dir] exists and is not a
+    directory. *)
+
+val run_cell :
+  t option -> id:string -> meta:(string * string) list -> (unit -> unit) -> [ `Ran | `Replayed ]
+(** [run_cell cp ~id ~meta f] is the checkpointing wrapper around one cell:
+
+    - [cp = None]: run [f] directly (checkpointing disabled);
+    - resuming with a valid matching record: print the recorded stdout and
+      skip [f];
+    - otherwise: run [f] with stdout captured (at the file-descriptor
+      level, into a temp file inside the checkpoint directory), forward the
+      captured bytes to the real stdout, and atomically persist the record.
+
+    [meta] is compared key-set-insensitively to the recorded metadata on
+    resume; a mismatch raises (see module docs). *)
+
+val record_path : t -> string -> string
+(** Path of the record file a cell id maps to (the id is sanitized to a
+    filesystem-safe name). Exposed for tests and tooling. *)
+
+val load_record :
+  t -> id:string -> ((string * string) list * string, Revmax_prelude.Err.t) result option
+(** Read and parse a cell's record: [None] when absent, [Some (Ok (meta,
+    output))] when valid, [Some (Error _)] when unreadable or corrupt.
+    Exposed for tests and tooling. *)

@@ -43,6 +43,7 @@ let revenue_table cfg ~rows =
       let results =
         Runner.run_suite ~rlg_permutations:cfg.Config.rlg_permutations ~seed:cfg.Config.seed inst
       in
+      Runner.report_failures results;
       Table.add_row t (label :: Runner.revenue_row results))
     rows;
   Table.print t
@@ -125,7 +126,7 @@ let fig4 (cfg : Config.t) =
       in
       let capture f =
         let points = ref [] in
-        let trace size total = points := (size, total) :: !points in
+        let trace (pt : Greedy.trace_point) = points := (pt.size, pt.revenue) :: !points in
         ignore (f ~trace);
         !points
       in
@@ -202,6 +203,7 @@ let table2 (cfg : Config.t) =
       let results =
         Runner.run_suite ~rlg_permutations:cfg.Config.rlg_permutations ~seed:cfg.Config.seed inst
       in
+      Runner.report_failures results;
       Table.add_row t (prepared.Pipeline.name :: Runner.time_row results))
     (Datasets.both cfg);
   Table.print t
@@ -554,6 +556,7 @@ let abl_rs (cfg : Config.t) =
       let results =
         Runner.run_suite ~rlg_permutations:cfg.Config.rlg_permutations ~seed:cfg.Config.seed inst
       in
+      Runner.report_failures results;
       Table.add_row t (p.Pipeline.name :: Runner.revenue_row results))
     [ prepared; knn_prepared; content_prepared ];
   Table.print t;

@@ -2,13 +2,19 @@ module Algorithms = Revmax.Algorithms
 module Strategy = Revmax.Strategy
 module Revenue = Revmax.Revenue
 module Util = Revmax_prelude.Util
+module Err = Revmax_prelude.Err
 
 type timed_result = {
   algo : Algorithms.t;
   revenue : float;
   seconds : float;
   strategy_size : int;
+  truncated : bool;
 }
+
+type outcome =
+  | Completed of timed_result
+  | Failed of { algo : Algorithms.t; seconds : float; error : Err.t }
 
 let resolve_suite ~rlg_permutations = function
   | Some s -> s
@@ -17,20 +23,49 @@ let resolve_suite ~rlg_permutations = function
         (function Algorithms.Rl_greedy _ -> Algorithms.Rl_greedy rlg_permutations | a -> a)
         Algorithms.default_suite
 
-let run_suite ?suite ~rlg_permutations ~seed inst =
+let guarded ~algo run =
+  let context = Printf.sprintf "algorithm %s" (Algorithms.name algo) in
+  let outcome, seconds =
+    Util.time_it (fun () ->
+        match Err.protect ~context run with
+        | Result.Error e -> Result.Error e
+        | Ok (s, truncated) -> (
+            match Strategy.validate s with
+            | Result.Error e -> Result.Error e
+            | Ok () ->
+                Ok
+                  ( Revenue.total s,
+                    Strategy.size s,
+                    truncated )))
+  in
+  match outcome with
+  | Ok (revenue, strategy_size, truncated) ->
+      Completed { algo; revenue; seconds; strategy_size; truncated }
+  | Result.Error error -> Failed { algo; seconds; error }
+
+let run_suite ?suite ?budget ~rlg_permutations ~seed inst =
   List.map
-    (fun algo ->
-      let s, seconds = Util.time_it (fun () -> Algorithms.run algo inst ~seed) in
-      if not (Strategy.is_valid s) then
-        failwith (Printf.sprintf "Runner: %s produced an invalid strategy" (Algorithms.name algo));
-      { algo; revenue = Revenue.total s; seconds; strategy_size = Strategy.size s })
+    (fun algo -> guarded ~algo (fun () -> Algorithms.run_anytime ?budget algo inst ~seed))
     (resolve_suite ~rlg_permutations suite)
+
+let completed outcomes =
+  List.filter_map (function Completed r -> Some r | Failed _ -> None) outcomes
 
 let header = List.map Algorithms.name Algorithms.default_suite
 
-let revenue_row results = List.map (fun r -> Printf.sprintf "%.1f" r.revenue) results
+let outcome_cell f = function Completed r -> f r | Failed _ -> "FAIL"
 
-let time_row results = List.map (fun r -> Printf.sprintf "%.2f" r.seconds) results
+let revenue_row outcomes =
+  List.map (outcome_cell (fun r -> Printf.sprintf "%.1f" r.revenue)) outcomes
 
-let section title =
-  Printf.printf "\n=== %s ===\n%!" title
+let time_row outcomes = List.map (outcome_cell (fun r -> Printf.sprintf "%.2f" r.seconds)) outcomes
+
+let report_failures outcomes =
+  List.iter
+    (function
+      | Completed _ -> ()
+      | Failed { algo; error; _ } ->
+          Printf.eprintf "[runner] %s failed: %s\n%!" (Algorithms.name algo) (Err.message error))
+    outcomes
+
+let section title = Printf.printf "\n=== %s ===\n%!" title

@@ -1,33 +1,65 @@
-(** Shared machinery for running the §6 algorithm suite and reporting. *)
+(** Shared machinery for running the §6 algorithm suite and reporting.
+
+    The runner degrades gracefully: each algorithm runs inside a guard that
+    converts uncaught exceptions and invalid output strategies into a
+    structured {!Revmax_prelude.Err.t}, so one broken algorithm cannot take
+    down a whole experiment sweep — its cell renders as ["FAIL"] and the
+    remaining algorithms still run and are timed. *)
 
 type timed_result = {
   algo : Revmax.Algorithms.t;
   revenue : float;  (** expected total revenue of the returned strategy *)
   seconds : float;  (** wall-clock planning time *)
   strategy_size : int;
+  truncated : bool;  (** the run was cut short by an expired budget *)
 }
+
+type outcome =
+  | Completed of timed_result
+  | Failed of { algo : Revmax.Algorithms.t; seconds : float; error : Revmax_prelude.Err.t }
+      (** The algorithm raised, or returned a strategy violating Problem 1's
+          constraints ({!Revmax.Strategy.validate} names the constraint and
+          the offending user/time or item). [seconds] is the time spent
+          before the failure surfaced. *)
 
 val run_suite :
   ?suite:Revmax.Algorithms.t list ->
+  ?budget:Revmax_prelude.Budget.t ->
   rlg_permutations:int ->
   seed:int ->
   Revmax.Instance.t ->
-  timed_result list
+  outcome list
 (** Run the (default: paper's six-algorithm) suite on one instance. The
     RL-Greedy entry's permutation count is overridden by
-    [rlg_permutations]. Every returned strategy is checked valid — a
-    violation raises, so experiment output can never silently come from an
-    invalid plan. *)
+    [rlg_permutations]. Every returned strategy is checked with
+    {!Revmax.Strategy.validate}; a violation — or any exception the
+    algorithm raises — yields a [Failed] cell naming the violated
+    constraint, and the remaining algorithms still run. [budget] is shared
+    by the whole suite (see {!Revmax_prelude.Budget}). *)
+
+val guarded : algo:Revmax.Algorithms.t -> (unit -> Revmax.Strategy.t * bool) -> outcome
+(** Run one strategy-producing thunk (returning the strategy and its
+    truncation flag) under the suite's guard: exceptions are converted via
+    {!Revmax_prelude.Err.of_exn}, the output is validated, and wall-clock
+    time is recorded either way. Exposed for fault-injection tests. *)
+
+val completed : outcome list -> timed_result list
+(** The successfully completed cells, in suite order. *)
 
 val header : string list
 (** Column labels in paper legend order: GG, GG-No, RLG, SLG, TopRev,
     TopRat. *)
 
-val revenue_row : timed_result list -> string list
-(** Revenues formatted for a table row, suite order. *)
+val revenue_row : outcome list -> string list
+(** Revenues formatted for a table row, suite order; failed cells render as
+    ["FAIL"]. *)
 
-val time_row : timed_result list -> string list
-(** Planning times (seconds) formatted for a table row. *)
+val time_row : outcome list -> string list
+(** Planning times (seconds) formatted for a table row; failed cells render
+    as ["FAIL"]. *)
+
+val report_failures : outcome list -> unit
+(** Print one [stderr] line per failed cell (no-op when all completed). *)
 
 val section : string -> unit
 (** Print a section banner for an experiment. *)

@@ -1,4 +1,4 @@
-type stats = { oracle_calls : int; moves : int }
+type stats = { oracle_calls : int; moves : int; truncated : bool }
 
 (* Memoised oracle over sorted-list keys. *)
 let memoise f =
@@ -16,8 +16,10 @@ let memoise f =
   in
   (eval, calls)
 
-(* One pass of Lee et al. local search restricted to [allowed] elements. *)
-let local_search_pass ~eps ~matroid ~eval ~moves ~allowed =
+(* One pass of Lee et al. local search restricted to [allowed] elements.
+   [halt] is polled between rounds of moves; the current local iterate is
+   always a valid independent set, so stopping early is safe. *)
+let local_search_pass ~eps ~matroid ~eval ~moves ~allowed ~halt =
   let n = max 1 (List.length allowed) in
   let nf = float_of_int n in
   let threshold = 1.0 +. (eps /. (nf *. nf *. nf *. nf)) in
@@ -37,7 +39,7 @@ let local_search_pass ~eps ~matroid ~eval ~moves ~allowed =
   | Some (e0, v0) ->
       let s = ref [ e0 ] and v = ref v0 in
       let improved = ref true in
-      while !improved do
+      while !improved && not (halt ()) do
         improved := false;
         (* delete moves *)
         List.iter
@@ -91,18 +93,32 @@ let local_search_pass ~eps ~matroid ~eval ~moves ~allowed =
       done;
       (!s, !v)
 
-let local_search ?(eps = 0.5) ~matroid ~f () =
+let local_search ?(eps = 0.5) ?stop ~matroid ~f () =
   if eps <= 0.0 then invalid_arg "Submodular.local_search: eps must be positive";
   let eval, calls = memoise f in
   let moves = ref 0 in
+  let truncated = ref false in
+  let halt () =
+    match stop with
+    | Some g when g ~evaluations:!calls ->
+        truncated := true;
+        true
+    | _ -> false
+  in
   let n = Matroid.ground_size matroid in
   let all = List.init n (fun i -> i) in
-  let s1, v1 = local_search_pass ~eps ~matroid ~eval ~moves ~allowed:all in
-  (* second pass on the complement of the first local optimum *)
-  let rest = List.filter (fun e -> not (List.mem e s1)) all in
-  let s2, v2 = local_search_pass ~eps ~matroid ~eval ~moves ~allowed:rest in
-  let s, v = if v1 >= v2 then (s1, v1) else (s2, v2) in
-  (List.sort compare s, v, { oracle_calls = !calls; moves = !moves })
+  let s1, v1 = local_search_pass ~eps ~matroid ~eval ~moves ~allowed:all ~halt in
+  (* second pass on the complement of the first local optimum, skipped when
+     the first pass was cut short *)
+  let s, v =
+    if halt () then (s1, v1)
+    else begin
+      let rest = List.filter (fun e -> not (List.mem e s1)) all in
+      let s2, v2 = local_search_pass ~eps ~matroid ~eval ~moves ~allowed:rest ~halt in
+      if v1 >= v2 then (s1, v1) else (s2, v2)
+    end
+  in
+  (List.sort compare s, v, { oracle_calls = !calls; moves = !moves; truncated = !truncated })
 
 let lazy_greedy ~matroid ~f () =
   let eval, calls = memoise f in
@@ -152,4 +168,4 @@ let lazy_greedy ~matroid ~f () =
         active.(e) <- false;
         incr moves
   done;
-  (List.sort compare !s, !v, { oracle_calls = !calls; moves = !moves })
+  (List.sort compare !s, !v, { oracle_calls = !calls; moves = !moves; truncated = false })

@@ -21,10 +21,12 @@
 type stats = {
   oracle_calls : int;  (** objective evaluations performed *)
   moves : int;  (** accepted local moves *)
+  truncated : bool;  (** the search was stopped early by [stop] *)
 }
 
 val local_search :
   ?eps:float ->
+  ?stop:(evaluations:int -> bool) ->
   matroid:Matroid.t ->
   f:(int list -> float) ->
   unit ->
@@ -32,7 +34,13 @@ val local_search :
 (** [local_search ~eps ~matroid ~f ()] returns an approximately optimal
     independent set, its value, and search statistics. [f] must be
     non-negative on independent sets; [eps] (default 0.5) controls the
-    improvement threshold (larger = faster, looser). *)
+    improvement threshold (larger = faster, looser).
+
+    [stop] is an anytime hook: it is polled with the cumulative oracle-call
+    count between rounds of moves and between the two passes. When it
+    returns [true] the current local iterate — always a valid independent
+    set, found after at least the singleton-start round — is returned with
+    [truncated = true]. *)
 
 val lazy_greedy :
   matroid:Matroid.t ->

@@ -1,0 +1,38 @@
+type t = {
+  deadline : float option; (* absolute, Unix.gettimeofday scale *)
+  max_evaluations : int option;
+  mutable used : int;
+}
+
+let create ?wall_seconds ?max_evaluations () =
+  {
+    deadline = Option.map (fun s -> Unix.gettimeofday () +. s) wall_seconds;
+    max_evaluations;
+    used = 0;
+  }
+
+let spend t n = t.used <- t.used + n
+
+let note_evaluations t n = if n > t.used then t.used <- n
+
+let evaluations t = t.used
+
+let exhausted t =
+  (match t.max_evaluations with Some m -> t.used >= m | None -> false)
+  ||
+  match t.deadline with Some d -> Unix.gettimeofday () >= d | None -> false
+
+let remaining_seconds t = Option.map (fun d -> d -. Unix.gettimeofday ()) t.deadline
+
+let pp ppf t =
+  let parts =
+    (match t.deadline with
+    | Some d -> [ Printf.sprintf "deadline in %.3fs" (d -. Unix.gettimeofday ()) ]
+    | None -> [])
+    @
+    match t.max_evaluations with
+    | Some m -> [ Printf.sprintf "evaluations %d/%d" t.used m ]
+    | None -> []
+  in
+  Format.pp_print_string ppf
+    (match parts with [] -> "unlimited" | parts -> String.concat ", " parts)

@@ -1,0 +1,47 @@
+(** Anytime computation budgets: a wall-clock deadline and/or a cap on
+    marginal-revenue (value-oracle) evaluations.
+
+    The greedy machinery of the paper is naturally {e anytime}: every
+    prefix of Algorithm 1's selection sequence is a valid strategy, so an
+    interrupted run still returns a usable answer. A [Budget.t] makes that
+    explicit — algorithms accepting [?budget] consult it between units of
+    progress and, on expiry, return their best-so-far valid strategy with
+    a [truncated] flag in their statistics.
+
+    Semantics shared by every budgeted algorithm:
+    - the budget is consulted {e between} selections/moves, never inside
+      one, so results are always consistent states;
+    - at least one unit of progress (one greedy selection, one completed
+      permutation, one local-search start) is made before the budget is
+      honored, so an already-expired budget still yields a non-trivial
+      prefix whenever any progress is possible;
+    - a single [Budget.t] may be shared across several algorithm calls
+      (e.g. the permutations of RL-Greedy, or the windows of a rolling
+      plan): evaluation charges accumulate in the budget itself. *)
+
+type t
+
+val create : ?wall_seconds:float -> ?max_evaluations:int -> unit -> t
+(** [create ~wall_seconds ~max_evaluations ()] starts the clock now.
+    Omitted components are unlimited; [create ()] never expires. *)
+
+val spend : t -> int -> unit
+(** Charge [n] units of work — marginal-revenue evaluations, and one unit
+    per accepted selection (greedy selections whose key comes from a
+    closed-form shortcut cost no oracle call, yet are still progress a cap
+    must bound) — against the budget. *)
+
+val note_evaluations : t -> int -> unit
+(** Record an externally-maintained cumulative evaluation count (used by
+    oracles that already count calls); keeps the maximum seen. *)
+
+val evaluations : t -> int
+(** Evaluations charged so far. *)
+
+val exhausted : t -> bool
+(** True once the deadline has passed or the evaluation cap is reached. *)
+
+val remaining_seconds : t -> float option
+(** Seconds until the deadline, if one was set (may be negative). *)
+
+val pp : Format.formatter -> t -> unit

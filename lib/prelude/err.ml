@@ -1,0 +1,57 @@
+type violated_constraint =
+  | Display_limit of { u : int; time : int; count : int; limit : int }
+  | Capacity of { item : int; distinct_users : int; capacity : int }
+  | Duplicate_triple of { u : int; i : int; t : int }
+  | Triple_out_of_range of { u : int; i : int; t : int; msg : string }
+
+type t =
+  | Invalid_instance of { field : string; msg : string }
+  | Parse_error of { file : string; line : int; col : int; msg : string }
+  | Invalid_strategy of violated_constraint
+  | Io_error of { path : string; msg : string }
+  | Unexpected of { context : string; msg : string }
+
+exception Error of t
+
+let constraint_message = function
+  | Display_limit { u; time; count; limit } ->
+      Printf.sprintf "display limit violated: user %d is shown %d items at time %d (limit %d)" u
+        count time limit
+  | Capacity { item; distinct_users; capacity } ->
+      Printf.sprintf "capacity violated: item %d reaches %d distinct users (capacity %d)" item
+        distinct_users capacity
+  | Duplicate_triple { u; i; t } -> Printf.sprintf "duplicate triple (u=%d, i=%d, t=%d)" u i t
+  | Triple_out_of_range { u; i; t; msg } ->
+      Printf.sprintf "triple (u=%d, i=%d, t=%d) out of range: %s" u i t msg
+
+let message = function
+  | Invalid_instance { field; msg } -> Printf.sprintf "invalid instance (%s): %s" field msg
+  | Parse_error { file; line; col; msg } ->
+      if col > 0 then Printf.sprintf "%s:%d:%d: %s" file line col msg
+      else Printf.sprintf "%s:%d: %s" file line msg
+  | Invalid_strategy c -> "invalid strategy: " ^ constraint_message c
+  | Io_error { path; msg } ->
+      if path = "" then Printf.sprintf "io error: %s" msg
+      else Printf.sprintf "io error (%s): %s" path msg
+  | Unexpected { context; msg } -> Printf.sprintf "unexpected failure in %s: %s" context msg
+
+let pp ppf e = Format.pp_print_string ppf (message e)
+
+let raise_ e = raise (Error e)
+
+let of_exn ~context = function
+  | Error e -> e
+  | Invalid_argument msg | Failure msg -> Unexpected { context; msg }
+  | Sys_error msg -> Io_error { path = ""; msg }
+  | exn -> Unexpected { context; msg = Printexc.to_string exn }
+
+let protect ~context f =
+  match f () with
+  | v -> Ok v
+  | exception ((Out_of_memory | Stack_overflow) as fatal) -> raise fatal
+  | exception exn -> Result.Error (of_exn ~context exn)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Revmax_prelude.Err.Error: " ^ message e)
+    | _ -> None)

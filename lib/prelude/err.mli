@@ -1,0 +1,60 @@
+(** Structured errors for the resilience layer.
+
+    Every recoverable failure in the library — a malformed instance, a
+    corrupt input file, a strategy violating Problem 1's constraints, an
+    algorithm blowing up inside the harness — is describable as a typed
+    value of {!t}, so callers can pattern-match on the failure class
+    instead of parsing exception strings. Raising call sites stay
+    available as thin wrappers ([Instance.create], [Io.load_instance],
+    [Strategy.add]) for existing code; new code should prefer the
+    [Result]-returning variants ([Instance.create_checked],
+    [Io.load_instance_result], [Strategy.validate]).
+
+    The module lives in the prelude (below [lib/core]), so constraint
+    witnesses carry raw [(u, i, t)] integers rather than [Triple.t]. *)
+
+type violated_constraint =
+  | Display_limit of { u : int; time : int; count : int; limit : int }
+      (** User [u] is shown [count] > [limit] items at [time]. *)
+  | Capacity of { item : int; distinct_users : int; capacity : int }
+      (** [item] reaches [distinct_users] > [capacity] distinct users. *)
+  | Duplicate_triple of { u : int; i : int; t : int }
+      (** The triple is already in the strategy. *)
+  | Triple_out_of_range of { u : int; i : int; t : int; msg : string }
+      (** An id of the triple lies outside the instance's dimensions. *)
+
+type t =
+  | Invalid_instance of { field : string; msg : string }
+      (** [Instance.create_checked] rejected the named field. *)
+  | Parse_error of { file : string; line : int; col : int; msg : string }
+      (** A serialized instance/strategy failed to parse; [col] is 1-based
+          ([0] when the error is not attributable to a single token). *)
+  | Invalid_strategy of violated_constraint
+      (** A strategy breaks a Problem 1 constraint; the payload names the
+          violated constraint and an offending witness. *)
+  | Io_error of { path : string; msg : string }
+      (** The operating system refused a file operation. *)
+  | Unexpected of { context : string; msg : string }
+      (** An escape hatch for exceptions caught at a fault boundary. *)
+
+exception Error of t
+(** Carrier exception for the raising wrappers; registered with a
+    printer so uncaught errors stay readable. *)
+
+val message : t -> string
+(** One-line human-readable rendering. *)
+
+val pp : Format.formatter -> t -> unit
+
+val raise_ : t -> 'a
+(** [raise_ e] raises {!Error}[ e]. *)
+
+val of_exn : context:string -> exn -> t
+(** Map an arbitrary exception to a structured error: {!Error} payloads
+    pass through; [Invalid_argument]/[Failure] become {!Unexpected};
+    [Sys_error] becomes {!Io_error}. Does not catch anything itself. *)
+
+val protect : context:string -> (unit -> 'a) -> ('a, t) result
+(** [protect ~context f] runs [f], mapping any exception except
+    runtime-fatal ones ([Out_of_memory], [Stack_overflow]) through
+    {!of_exn}. The fault boundary used by the experiment runner. *)

@@ -40,6 +40,11 @@ let rec take n l =
 
 let range n = List.init n (fun i -> i)
 
+let contains_substring haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= hn && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
 let fold_range n ~init ~f =
   let acc = ref init in
   for i = 0 to n - 1 do

@@ -29,6 +29,10 @@ val range : int -> int list
 val fold_range : int -> init:'a -> f:('a -> int -> 'a) -> 'a
 (** [fold_range n ~init ~f] folds [f] over [0..n-1]. *)
 
+val contains_substring : string -> string -> bool
+(** [contains_substring haystack needle]: naive substring search, for
+    asserting on human-readable error messages in tests. *)
+
 val time_it : (unit -> 'a) -> 'a * float
 (** [time_it f] runs [f ()] and returns its result together with the elapsed
     wall-clock time in seconds. *)

@@ -71,8 +71,10 @@ let test_runner_suite_shape () =
     Datasets.instance quick prepared ~capacity:(Config.cap_gaussian quick ~users)
       ~beta:(Pipeline.Beta_fixed 0.5) ()
   in
-  let results = Runner.run_suite ~rlg_permutations:3 ~seed:1 inst in
-  Alcotest.(check int) "six algorithms" 6 (List.length results);
+  let outcomes = Runner.run_suite ~rlg_permutations:3 ~seed:1 inst in
+  Alcotest.(check int) "six algorithms" 6 (List.length outcomes);
+  let results = Runner.completed outcomes in
+  Alcotest.(check int) "all completed" 6 (List.length results);
   Alcotest.(check (list string)) "header order" [ "GG"; "GG-No"; "RLG"; "SLG"; "TopRev"; "TopRat" ]
     (List.map (fun r -> Algorithms.name r.Runner.algo) results);
   List.iter

@@ -1,0 +1,589 @@
+(* Fault-injection suite for the resilience layer (PR 2).
+
+   A spec-level corruptor mutates well-formed instance specifications before
+   they reach [Instance.create_checked]; the metamorphic property is that the
+   identity corruption is accepted while every named corruption is rejected
+   with a structured [Err.Invalid_instance] naming the corrupted field — and
+   that no corruption ever escapes as an untyped exception. File-level
+   corruptions (truncation, garbling, byte flips) are checked against
+   [Io.load_instance_result], harness faults against [Runner.guarded], and
+   checkpoint faults (corrupt records, metadata drift, SIGKILL mid-run)
+   against [Checkpoint]. *)
+
+module Rng = Revmax_prelude.Rng
+module Err = Revmax_prelude.Err
+module Util = Revmax_prelude.Util
+module Instance = Revmax.Instance
+module Strategy = Revmax.Strategy
+module Io = Revmax.Io
+module Algorithms = Revmax.Algorithms
+module Runner = Revmax_experiments.Runner
+module Checkpoint = Revmax_experiments.Checkpoint
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Spec-level corruptor                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The raw arguments of [Instance.create_checked], kept mutable-friendly so a
+   corruption can damage them before construction. *)
+type spec = {
+  num_users : int;
+  num_items : int;
+  horizon : int;
+  display_limit : int;
+  class_of : int array;
+  capacity : int array;
+  saturation : float array;
+  price : float array array;
+  adoption : (int * int * float array) list;
+}
+
+let copy_spec s =
+  {
+    s with
+    class_of = Array.copy s.class_of;
+    capacity = Array.copy s.capacity;
+    saturation = Array.copy s.saturation;
+    price = Array.map Array.copy s.price;
+    adoption = List.map (fun (u, i, qs) -> (u, i, Array.copy qs)) s.adoption;
+  }
+
+(* Mirrors Helpers.random_instance, but keeps the raw arrays; always yields at
+   least one adoption entry so every corruption has something to damage. *)
+let random_spec rng =
+  let num_users = 1 + Rng.int rng 3 in
+  let num_items = 1 + Rng.int rng 4 in
+  let horizon = 1 + Rng.int rng 3 in
+  let num_classes = 1 + Rng.int rng (min 2 num_items) in
+  let class_of =
+    Array.init num_items (fun i -> if i < num_classes then i else Rng.int rng num_classes)
+  in
+  let capacity = Array.init num_items (fun _ -> 1 + Rng.int rng num_users) in
+  let saturation = Array.init num_items (fun _ -> Rng.unit_float rng) in
+  let price =
+    Array.init num_items (fun _ -> Array.init horizon (fun _ -> Rng.uniform_in rng 0.5 10.0))
+  in
+  let adoption = ref [] in
+  for u = 0 to num_users - 1 do
+    for i = 0 to num_items - 1 do
+      if Rng.bernoulli rng 0.8 then
+        adoption := (u, i, Array.init horizon (fun _ -> Rng.unit_float rng)) :: !adoption
+    done
+  done;
+  if !adoption = [] then adoption := [ (0, 0, Array.make horizon 0.5) ];
+  {
+    num_users;
+    num_items;
+    horizon;
+    display_limit = 2;
+    class_of;
+    capacity;
+    saturation;
+    price;
+    adoption = !adoption;
+  }
+
+let build s =
+  Instance.create_checked ~num_users:s.num_users ~num_items:s.num_items ~horizon:s.horizon
+    ~display_limit:s.display_limit ~class_of:s.class_of ~capacity:s.capacity
+    ~saturation:s.saturation ~price:s.price ~adoption:s.adoption ()
+
+let set_price s v =
+  let s = copy_spec s in
+  s.price.(0).(0) <- v;
+  s
+
+let set_saturation s v =
+  let s = copy_spec s in
+  s.saturation.(0) <- v;
+  s
+
+let mutate_first_adoption s g =
+  let s = copy_spec s in
+  match s.adoption with
+  | entry :: rest -> { s with adoption = g s entry :: rest }
+  | [] -> assert false
+
+(* Named corruptions, each tagged with the Instance.create_checked field it
+   must be rejected under. *)
+let corruptions : (string * string * (spec -> spec)) list =
+  [
+    ("nan price", "price", fun s -> set_price s Float.nan);
+    ("negative price", "price", fun s -> set_price s (-1.0));
+    ("infinite price", "price", fun s -> set_price s Float.infinity);
+    ("saturation above one", "saturation", fun s -> set_saturation s 1.5);
+    ("negative saturation", "saturation", fun s -> set_saturation s (-0.25));
+    ("nan saturation", "saturation", fun s -> set_saturation s Float.nan);
+    ( "class_of wrong length",
+      "class_of",
+      fun s ->
+        let s = copy_spec s in
+        { s with class_of = Array.sub s.class_of 0 (s.num_items - 1) } );
+    ( "negative class id",
+      "class_of",
+      fun s ->
+        let s = copy_spec s in
+        s.class_of.(0) <- -1;
+        s );
+    ( "capacity wrong length",
+      "capacity",
+      fun s ->
+        let s = copy_spec s in
+        { s with capacity = Array.append s.capacity [| 1 |] } );
+    ( "negative capacity",
+      "capacity",
+      fun s ->
+        let s = copy_spec s in
+        s.capacity.(0) <- -3;
+        s );
+    ( "saturation wrong length",
+      "saturation",
+      fun s ->
+        let s = copy_spec s in
+        { s with saturation = Array.append s.saturation [| 0.5 |] } );
+    ( "price row wrong length",
+      "price",
+      fun s ->
+        let s = copy_spec s in
+        s.price.(0) <- Array.append s.price.(0) [| 1.0 |];
+        s );
+    ( "price rows missing",
+      "price",
+      fun s ->
+        let s = copy_spec s in
+        { s with price = Array.sub s.price 0 (s.num_items - 1) } );
+    ("negative num_users", "num_users", fun s -> { (copy_spec s) with num_users = -1 });
+    ("negative num_items", "num_items", fun s -> { (copy_spec s) with num_items = -2 });
+    ("zero horizon", "horizon", fun s -> { (copy_spec s) with horizon = 0 });
+    ("zero display limit", "display_limit", fun s -> { (copy_spec s) with display_limit = 0 });
+    ( "adoption pair out of range",
+      "adoption",
+      fun s ->
+        let s = copy_spec s in
+        { s with adoption = (s.num_users, 0, Array.make s.horizon 0.5) :: s.adoption } );
+    ( "adoption vector wrong length",
+      "adoption",
+      fun s -> mutate_first_adoption s (fun s (u, i, _) -> (u, i, Array.make (s.horizon + 1) 0.5))
+    );
+    ( "adoption probability above one",
+      "adoption",
+      fun s ->
+        mutate_first_adoption s (fun _ (u, i, qs) ->
+            qs.(0) <- 1.5;
+            (u, i, qs)) );
+    ( "negative adoption probability",
+      "adoption",
+      fun s ->
+        mutate_first_adoption s (fun _ (u, i, qs) ->
+            qs.(0) <- -0.5;
+            (u, i, qs)) );
+    ( "nan adoption probability",
+      "adoption",
+      fun s ->
+        mutate_first_adoption s (fun _ (u, i, qs) ->
+            qs.(0) <- Float.nan;
+            (u, i, qs)) );
+    ( "duplicate adoption pair",
+      "adoption",
+      fun s ->
+        let s = copy_spec s in
+        match s.adoption with
+        | (u, i, qs) :: _ -> { s with adoption = (u, i, Array.copy qs) :: s.adoption }
+        | [] -> assert false );
+  ]
+
+let check_corruption ~seed spec (name, field, corrupt) =
+  match build (corrupt spec) with
+  | Ok _ -> Alcotest.failf "seed %d: corruption %S accepted" seed name
+  | Error (Err.Invalid_instance { field = f; _ }) ->
+      Alcotest.(check string) (Printf.sprintf "%S names its field" name) field f
+  | Error e ->
+      Alcotest.failf "seed %d: corruption %S: unexpected error class: %s" seed name
+        (Err.message e)
+  | exception e ->
+      Alcotest.failf "seed %d: corruption %S escaped as exception %s" seed name
+        (Printexc.to_string e)
+
+(* Metamorphic test of the corruptor itself: identity accepted, every named
+   corruption rejected with the expected constructor, exhaustively. *)
+let test_corruptor_metamorphic () =
+  for seed = 0 to 14 do
+    let spec = random_spec (Rng.create seed) in
+    (match build spec with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "seed %d: pristine spec rejected: %s" seed (Err.message e)
+    | exception e ->
+        Alcotest.failf "seed %d: pristine spec raised %s" seed (Printexc.to_string e));
+    List.iter (check_corruption ~seed spec) corruptions
+  done
+
+(* The same property as a qcheck fuzz over (seed, corruption) pairs. *)
+let prop_corruptions_rejected =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"fuzzed corruptions yield structured errors" ~count:200
+       QCheck2.Gen.(pair (int_range 0 100_000) (int_range 0 (List.length corruptions - 1)))
+       (fun (seed, idx) ->
+         let spec = random_spec (Rng.create seed) in
+         (match build spec with
+         | Ok _ -> ()
+         | Error e -> QCheck2.Test.fail_reportf "pristine spec rejected: %s" (Err.message e));
+         let name, field, corrupt = List.nth corruptions idx in
+         match build (corrupt spec) with
+         | Ok _ -> QCheck2.Test.fail_reportf "corruption %S accepted" name
+         | Error (Err.Invalid_instance { field = f; _ }) -> f = field
+         | Error e ->
+             QCheck2.Test.fail_reportf "corruption %S: unexpected error: %s" name (Err.message e)))
+
+(* ------------------------------------------------------------------ *)
+(* File-level corruptions                                              *)
+(* ------------------------------------------------------------------ *)
+
+let write_temp contents =
+  let path = Filename.temp_file "revmax-fault" ".inst" in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc contents);
+  path
+
+let expect_parse_error name contents =
+  let path = write_temp contents in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match Io.load_instance_result path with
+      | Error (Err.Parse_error _) -> ()
+      | Error e -> Alcotest.failf "%s: expected Parse_error, got %s" name (Err.message e)
+      | Ok _ -> Alcotest.failf "%s: corrupted file accepted" name
+      | exception e -> Alcotest.failf "%s: exception escaped: %s" name (Printexc.to_string e))
+
+let test_garbled_files () =
+  expect_parse_error "empty file" "";
+  expect_parse_error "garbled header" "revmax-instankce 1\ndims 1 1 1 1\nend\n";
+  expect_parse_error "binary garbage" "\x00\x01\xfe\xffPK\x03\x04 junk\n\x7f\x45\x4c\x46";
+  expect_parse_error "short dims" "revmax-instance 1\ndims 1 1\nend\n";
+  expect_parse_error "unknown record"
+    "revmax-instance 1\ndims 1 1 1 1\nitem 0 0 1 1.0 1.0\nfrobnicate 3\nend\n";
+  expect_parse_error "missing end" "revmax-instance 1\ndims 1 1 1 1\nitem 0 0 1 1.0 1.0\n"
+
+(* A file that parses but carries out-of-model values is rejected by
+   Instance.create_checked, not the parser — still a structured error. *)
+let test_semantic_corruption_is_invalid_instance () =
+  let path =
+    write_temp "revmax-instance 1\ndims 1 1 1 1\nitem 0 0 1 1.0 1.0\nq 0 0 1.5\nend\n"
+  in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match Io.load_instance_result path with
+      | Error (Err.Invalid_instance { field = "adoption"; _ }) -> ()
+      | Error e -> Alcotest.failf "expected Invalid_instance, got %s" (Err.message e)
+      | Ok _ -> Alcotest.fail "out-of-range probability accepted")
+
+let test_truncated_files_rejected () =
+  for seed = 0 to 9 do
+    let inst = random_instance (Rng.create seed) in
+    let path = Filename.temp_file "revmax-fault" ".inst" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Io.save_instance path inst;
+        let full = In_channel.with_open_bin path In_channel.input_all in
+        let n = String.length full in
+        List.iter
+          (fun keep ->
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc (String.sub full 0 keep));
+            match Io.load_instance_result path with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "seed %d: file truncated to %d/%d bytes accepted" seed keep n
+            | exception e ->
+                Alcotest.failf "seed %d: truncation escaped as %s" seed (Printexc.to_string e))
+          [ n / 2; n - 2 ])
+  done
+
+(* Single-byte corruption anywhere in a valid file must never escape the
+   Result type, whatever it does to the content. *)
+let test_byte_flips_never_raise () =
+  for seed = 0 to 29 do
+    let rng = Rng.create (1000 + seed) in
+    let inst = random_instance rng in
+    let path = Filename.temp_file "revmax-fault" ".inst" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Io.save_instance path inst;
+        let full = Bytes.of_string (In_channel.with_open_bin path In_channel.input_all) in
+        let pos = Rng.int rng (Bytes.length full) in
+        Bytes.set full pos (if Bytes.get full pos = 'x' then 'y' else 'x');
+        Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc full);
+        match Io.load_instance_result path with
+        | Ok _ | Error _ -> ()
+        | exception e ->
+            Alcotest.failf "seed %d: flipped byte %d escaped as %s" seed pos
+              (Printexc.to_string e))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Harness faults: Runner.guarded                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Two users, two singleton classes, k = 1, capacity.(0) = 1: small enough to
+   build constraint violations by hand with Strategy.add (which only checks
+   range and duplicates, not Problem 1's packing constraints). *)
+let two_item_instance () =
+  Instance.create ~num_users:2 ~num_items:2 ~horizon:1 ~display_limit:1 ~class_of:[| 0; 1 |]
+    ~capacity:[| 1; 2 |] ~saturation:[| 1.0; 1.0 |]
+    ~price:[| [| 1.0 |]; [| 2.0 |] |]
+    ~adoption:[ (0, 0, [| 0.5 |]); (1, 0, [| 0.5 |]); (0, 1, [| 0.5 |]) ]
+    ()
+
+let test_guarded_converts_raise () =
+  match Runner.guarded ~algo:Algorithms.G_greedy (fun () -> failwith "boom") with
+  | Runner.Failed { error = Err.Unexpected { msg; _ }; algo; _ } ->
+      Alcotest.(check string) "algo recorded" "GG" (Algorithms.name algo);
+      Alcotest.(check bool) "message preserved" true (Util.contains_substring msg "boom")
+  | Runner.Failed { error; _ } ->
+      Alcotest.failf "expected Unexpected, got %s" (Err.message error)
+  | Runner.Completed _ -> Alcotest.fail "expected a Failed outcome"
+
+let test_guarded_rejects_display_violation () =
+  let inst = two_item_instance () in
+  let s = Strategy.create inst in
+  Strategy.add s (triple 0 0 1);
+  Strategy.add s (triple 0 1 1);
+  match Runner.guarded ~algo:Algorithms.Top_revenue (fun () -> (s, false)) with
+  | Runner.Failed { error = Err.Invalid_strategy (Err.Display_limit { u; time; count; limit }); _ }
+    ->
+      Alcotest.(check int) "witness user" 0 u;
+      Alcotest.(check int) "witness time" 1 time;
+      Alcotest.(check int) "witness count" 2 count;
+      Alcotest.(check int) "witness limit" 1 limit
+  | Runner.Failed { error; _ } ->
+      Alcotest.failf "expected Display_limit, got %s" (Err.message error)
+  | Runner.Completed _ -> Alcotest.fail "display violation not caught"
+
+let test_guarded_rejects_capacity_violation () =
+  let inst = two_item_instance () in
+  let s = Strategy.create inst in
+  Strategy.add s (triple 0 0 1);
+  Strategy.add s (triple 1 0 1);
+  match Runner.guarded ~algo:Algorithms.Top_revenue (fun () -> (s, false)) with
+  | Runner.Failed
+      { error = Err.Invalid_strategy (Err.Capacity { item; distinct_users; capacity }); _ } ->
+      Alcotest.(check int) "witness item" 0 item;
+      Alcotest.(check int) "witness users" 2 distinct_users;
+      Alcotest.(check int) "witness capacity" 1 capacity
+  | Runner.Failed { error; _ } ->
+      Alcotest.failf "expected Capacity, got %s" (Err.message error)
+  | Runner.Completed _ -> Alcotest.fail "capacity violation not caught"
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint faults                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "revmax-ckpt" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir && Sys.is_directory dir then begin
+        Array.iter (fun name -> Sys.remove (Filename.concat dir name)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+(* Run [f] with fd 1 redirected to a file; return f's value and the bytes it
+   (or a checkpoint replay) wrote to stdout. *)
+let with_stdout_captured f =
+  let path = Filename.temp_file "revmax-stdout" ".txt" in
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  let restore () =
+    flush stdout;
+    Unix.dup2 saved Unix.stdout;
+    Unix.close saved
+  in
+  let result = try Ok (Fun.protect ~finally:restore f) with e -> Error e in
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  Sys.remove path;
+  match result with Ok v -> (v, contents) | Error e -> raise e
+
+let meta = [ ("scale", "unit"); ("seed", "42") ]
+
+let test_checkpoint_record_roundtrip () =
+  with_temp_dir (fun dir ->
+      let cp = Checkpoint.create ~dir ~resume:false in
+      (* newlines, quotes, backslashes, control bytes, non-ASCII: everything
+         the JSON escaping must survive *)
+      let weird = "line one\n\ttab \"quotes\" back\\slash\ncontrol:\x00\x01 latin1:\xc3\xa9\n" in
+      let id = "weird cell/with:odd chars" in
+      let status, _ =
+        with_stdout_captured (fun () ->
+            Checkpoint.run_cell (Some cp) ~id ~meta (fun () -> print_string weird))
+      in
+      Alcotest.(check bool) "ran" true (status = `Ran);
+      match Checkpoint.load_record cp ~id with
+      | Some (Ok (meta', output)) ->
+          Alcotest.(check (list (pair string string)))
+            "meta roundtrips" (List.sort compare meta) (List.sort compare meta');
+          Alcotest.(check string) "output roundtrips byte-for-byte" weird output
+      | Some (Error e) -> Alcotest.failf "record unreadable: %s" (Err.message e)
+      | None -> Alcotest.fail "record missing")
+
+let test_checkpoint_replay_skips_rerun () =
+  with_temp_dir (fun dir ->
+      let cp = Checkpoint.create ~dir ~resume:false in
+      let _, _ =
+        with_stdout_captured (fun () ->
+            Checkpoint.run_cell (Some cp) ~id:"cell" ~meta (fun () -> print_string "once\n"))
+      in
+      let cp' = Checkpoint.create ~dir ~resume:true in
+      let ran = ref false in
+      let status, out =
+        with_stdout_captured (fun () ->
+            Checkpoint.run_cell (Some cp') ~id:"cell" ~meta (fun () ->
+                ran := true;
+                print_string "twice\n"))
+      in
+      Alcotest.(check bool) "replayed" true (status = `Replayed);
+      Alcotest.(check bool) "cell not recomputed" false !ran;
+      Alcotest.(check string) "recorded bytes replayed" "once\n" out)
+
+let test_checkpoint_corrupt_record_self_heals () =
+  with_temp_dir (fun dir ->
+      let cp = Checkpoint.create ~dir ~resume:false in
+      let _, _ =
+        with_stdout_captured (fun () ->
+            Checkpoint.run_cell (Some cp) ~id:"cell" ~meta (fun () -> print_string "v1\n"))
+      in
+      (* simulate a crash that corrupted the record on disk *)
+      Out_channel.with_open_bin
+        (Checkpoint.record_path cp "cell")
+        (fun oc -> Out_channel.output_string oc "{\"id\": \"cell\", trunca");
+      let cp' = Checkpoint.create ~dir ~resume:true in
+      let ran = ref false in
+      let status, out =
+        with_stdout_captured (fun () ->
+            Checkpoint.run_cell (Some cp') ~id:"cell" ~meta (fun () ->
+                ran := true;
+                print_string "v2\n"))
+      in
+      Alcotest.(check bool) "cell rerun" true (status = `Ran && !ran);
+      Alcotest.(check string) "fresh output" "v2\n" out;
+      match Checkpoint.load_record cp' ~id:"cell" with
+      | Some (Ok (_, output)) -> Alcotest.(check string) "record healed" "v2\n" output
+      | _ -> Alcotest.fail "record not rewritten")
+
+let test_checkpoint_meta_mismatch_raises () =
+  with_temp_dir (fun dir ->
+      let cp = Checkpoint.create ~dir ~resume:false in
+      let _, _ =
+        with_stdout_captured (fun () ->
+            Checkpoint.run_cell (Some cp) ~id:"cell" ~meta:[ ("seed", "1") ] (fun () ->
+                print_string "x\n"))
+      in
+      let cp' = Checkpoint.create ~dir ~resume:true in
+      match
+        with_stdout_captured (fun () ->
+            Checkpoint.run_cell (Some cp') ~id:"cell" ~meta:[ ("seed", "2") ] (fun () ->
+                print_string "y\n"))
+      with
+      | exception Err.Error (Err.Unexpected { msg; _ }) ->
+          Alcotest.(check bool) "mismatch explained" true
+            (Util.contains_substring msg "metadata mismatch")
+      | exception e -> Alcotest.failf "expected Err.Error, got %s" (Printexc.to_string e)
+      | _ -> Alcotest.fail "stale metadata silently accepted")
+
+(* The headline robustness scenario: a run killed with SIGKILL mid-cell, then
+   resumed over the same directory, produces byte-identical output — completed
+   cells replay, the interrupted cell reruns. *)
+let test_checkpoint_kill_and_resume () =
+  with_temp_dir (fun dir ->
+      let cells = [ ("a", "alpha 1.25\n"); ("b", "beta 2.5\n"); ("c", "gamma 3.75\n") ] in
+      let expected = String.concat "" (List.map snd cells) in
+      (match Unix.fork () with
+      | 0 ->
+          (* child: complete cells a and b, die without warning inside c *)
+          (try
+             let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+             Unix.dup2 devnull Unix.stdout;
+             Unix.close devnull;
+             let cp = Checkpoint.create ~dir ~resume:false in
+             List.iter
+               (fun (id, out) ->
+                 ignore
+                   (Checkpoint.run_cell (Some cp) ~id ~meta (fun () ->
+                        if id = "c" then begin
+                          print_string "partial output never committed";
+                          flush stdout;
+                          Unix.kill (Unix.getpid ()) Sys.sigkill
+                        end;
+                        print_string out)))
+               cells
+           with _ -> ());
+          (* only reachable if the kill failed *)
+          Unix._exit 125
+      | pid ->
+          let _, status = Unix.waitpid [] pid in
+          Alcotest.(check bool) "child died of SIGKILL" true
+            (status = Unix.WSIGNALED Sys.sigkill));
+      let cp = Checkpoint.create ~dir ~resume:true in
+      (match Checkpoint.load_record cp ~id:"c" with
+      | None -> ()
+      | Some _ -> Alcotest.fail "interrupted cell must not leave a record");
+      let replayed = ref [] and reran = ref [] in
+      let (), out =
+        with_stdout_captured (fun () ->
+            List.iter
+              (fun (id, cell_out) ->
+                match
+                  Checkpoint.run_cell (Some cp) ~id ~meta (fun () ->
+                      reran := id :: !reran;
+                      print_string cell_out)
+                with
+                | `Replayed -> replayed := id :: !replayed
+                | `Ran -> ())
+              cells)
+      in
+      Alcotest.(check (list string)) "completed cells replayed" [ "a"; "b" ] (List.rev !replayed);
+      Alcotest.(check (list string)) "interrupted cell rerun" [ "c" ] (List.rev !reran);
+      Alcotest.(check string) "resumed output is bit-identical" expected out)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "corruptor",
+        [
+          Alcotest.test_case "metamorphic: identity ok, corruptions rejected" `Quick
+            test_corruptor_metamorphic;
+          prop_corruptions_rejected;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "garbled files are Parse_error" `Quick test_garbled_files;
+          Alcotest.test_case "semantic corruption is Invalid_instance" `Quick
+            test_semantic_corruption_is_invalid_instance;
+          Alcotest.test_case "truncated files rejected" `Quick test_truncated_files_rejected;
+          Alcotest.test_case "byte flips never raise" `Quick test_byte_flips_never_raise;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "guarded converts raise" `Quick test_guarded_converts_raise;
+          Alcotest.test_case "display violation caught" `Quick
+            test_guarded_rejects_display_violation;
+          Alcotest.test_case "capacity violation caught" `Quick
+            test_guarded_rejects_capacity_violation;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "record roundtrip with hostile bytes" `Quick
+            test_checkpoint_record_roundtrip;
+          Alcotest.test_case "replay skips recomputation" `Quick test_checkpoint_replay_skips_rerun;
+          Alcotest.test_case "corrupt record self-heals" `Quick
+            test_checkpoint_corrupt_record_self_heals;
+          Alcotest.test_case "metadata mismatch raises" `Quick test_checkpoint_meta_mismatch_raises;
+          Alcotest.test_case "SIGKILL mid-run then resume" `Quick test_checkpoint_kill_and_resume;
+        ] );
+    ]

@@ -129,9 +129,9 @@ let prop_gg_trace_consistent =
       let sizes = ref [] in
       let s, _ =
         Greedy.run
-          ~trace:(fun n total ->
-            last := total;
-            sizes := n :: !sizes)
+          ~trace:(fun (pt : Greedy.trace_point) ->
+            last := pt.revenue;
+            sizes := pt.size :: !sizes)
           inst
       in
       (* sizes 1,2,3,… in order; final running total equals Rev(S) *)
@@ -140,6 +140,129 @@ let prop_gg_trace_consistent =
       ascending = expected_sizes
       && Strategy.size s = List.length ascending
       && (Strategy.size s = 0 || Helpers.float_eq ~eps:1e-9 (Revenue.total s) !last))
+
+(* ----- anytime budgets ----- *)
+
+module Budget = Revmax_prelude.Budget
+
+(* an already-expired evaluation budget still yields a non-empty valid
+   prefix of the unbudgeted run, flagged truncated *)
+let prop_gg_budget_prefix =
+  QCheck2.Test.make ~name:"budgeted run is a truncated valid prefix" ~count:60 seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance rng in
+      let full, full_stats = Greedy.run inst in
+      if full_stats.Greedy.selected < 2 then true
+      else begin
+        let budget = Budget.create ~max_evaluations:1 () in
+        let s, stats = Greedy.run ~budget inst in
+        stats.Greedy.truncated
+        && stats.Greedy.selected >= 1
+        && stats.Greedy.selected < full_stats.Greedy.selected
+        && Strategy.is_valid s
+        && Strategy.size s > 0
+        && List.for_all (Strategy.mem full) (Strategy.to_list s)
+      end)
+
+(* satellite: the budgeted run's trace agrees point-for-point with a prefix
+   of the unbudgeted run's trace (sizes, revenues, evaluation counts) *)
+let prop_gg_budget_trace_prefix =
+  QCheck2.Test.make ~name:"budgeted and unbudgeted traces share a prefix" ~count:60 seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance rng in
+      let collect ?budget () =
+        let points = ref [] in
+        let _, stats =
+          Greedy.run ?budget ~trace:(fun pt -> points := pt :: !points) inst
+        in
+        (List.rev !points, stats)
+      in
+      let full, _ = collect () in
+      let pref, _ = collect ~budget:(Budget.create ~max_evaluations:3 ()) () in
+      List.length pref <= List.length full
+      && List.for_all2
+           (fun (a : Greedy.trace_point) (b : Greedy.trace_point) ->
+             a.size = b.size && a.revenue = b.revenue && a.evaluations = b.evaluations)
+           pref
+           (Revmax_prelude.Util.take (List.length pref) full))
+
+(* trace evaluation counts are cumulative and non-decreasing *)
+let test_trace_reports_evaluations () =
+  let rng = Rng.create 11 in
+  let inst = random_instance rng in
+  let last = ref 0 in
+  let _, stats =
+    Greedy.run
+      ~trace:(fun pt ->
+        Alcotest.(check bool) "evaluations non-decreasing" true (pt.Greedy.evaluations >= !last);
+        last := pt.Greedy.evaluations)
+      inst
+  in
+  Alcotest.(check bool) "final trace count <= stats" true
+    (!last <= stats.Greedy.marginal_evaluations)
+
+let test_zero_deadline_truncates () =
+  let rng = Rng.create 3 in
+  let inst = random_instance rng in
+  let _, full_stats = Greedy.run inst in
+  if full_stats.Greedy.selected >= 2 then begin
+    let budget = Budget.create ~wall_seconds:0.0 () in
+    let s, stats = Greedy.run ~budget inst in
+    Alcotest.(check bool) "truncated" true stats.Greedy.truncated;
+    Alcotest.(check int) "exactly one selection" 1 stats.Greedy.selected;
+    Alcotest.(check bool) "valid" true (Strategy.is_valid s)
+  end
+
+let test_unbudgeted_never_truncates () =
+  for seed = 0 to 19 do
+    let rng = Rng.create seed in
+    let inst = random_instance rng in
+    let _, st = Greedy.run inst in
+    Alcotest.(check bool) "no budget, no truncation" false st.Greedy.truncated
+  done
+
+let test_local_greedy_budget () =
+  let rng = Rng.create 17 in
+  let inst = random_instance ~max_horizon:4 rng in
+  let _, full = Local_greedy.sl_greedy inst in
+  if full.Greedy.selected >= 2 then begin
+    let budget = Budget.create ~max_evaluations:1 () in
+    let s, st = Local_greedy.sl_greedy ~budget inst in
+    Alcotest.(check bool) "truncated" true st.Greedy.truncated;
+    Alcotest.(check bool) "progress" true (st.Greedy.selected >= 1);
+    Alcotest.(check bool) "valid" true (Strategy.is_valid s)
+  end;
+  (* RL-Greedy: the first permutation always completes; with horizon >= 2
+     there is at least a second permutation to skip, so the run truncates *)
+  let exercised = ref false in
+  for seed = 0 to 19 do
+    let rng = Rng.create seed in
+    let inst = random_instance ~max_horizon:4 rng in
+    let _, full = Local_greedy.sl_greedy inst in
+    if Instance.horizon inst >= 2 && full.Greedy.selected >= 1 then begin
+      exercised := true;
+      let budget = Budget.create ~max_evaluations:1 () in
+      let s, st = Local_greedy.rl_greedy ~permutations:5 ~budget inst (Rng.create 0) in
+      Alcotest.(check bool) "rlg truncated" true st.Greedy.truncated;
+      Alcotest.(check bool) "rlg valid" true (Strategy.is_valid s);
+      let chrono, _ = Local_greedy.sl_greedy inst in
+      Alcotest.(check bool) "first permutation completed in full" true
+        (Revenue.total s >= Revenue.total chrono -. 1e-9)
+    end
+  done;
+  Alcotest.(check bool) "rlg budget branch exercised" true !exercised
+
+let test_exact_budget_anytime () =
+  let inst = example4_instance () in
+  let r = Exact.brute_force_anytime inst in
+  Alcotest.(check bool) "full search not truncated" false r.Exact.truncated;
+  let budget = Budget.create ~max_evaluations:0 () in
+  let rb = Exact.brute_force_anytime ~budget inst in
+  Alcotest.(check bool) "budgeted search truncated" true rb.Exact.truncated;
+  Alcotest.(check bool) "incumbent valid" true (Strategy.is_valid rb.Exact.strategy);
+  Alcotest.(check bool) "fewer nodes" true (rb.Exact.nodes <= r.Exact.nodes)
 
 (* GG-No (planning without saturation) rarely beats GG under the true model *)
 let test_globalno_never_beats_gg () =
@@ -458,6 +581,13 @@ let () =
           QCheck_alcotest.to_alcotest prop_gg_never_below_optimum_check;
           QCheck_alcotest.to_alcotest prop_gg_trace_consistent;
           Alcotest.test_case "base and allowed" `Quick test_gg_base_and_allowed;
+          QCheck_alcotest.to_alcotest prop_gg_budget_prefix;
+          QCheck_alcotest.to_alcotest prop_gg_budget_trace_prefix;
+          Alcotest.test_case "trace reports evaluations" `Quick test_trace_reports_evaluations;
+          Alcotest.test_case "zero deadline truncates" `Quick test_zero_deadline_truncates;
+          Alcotest.test_case "no budget never truncates" `Quick test_unbudgeted_never_truncates;
+          Alcotest.test_case "local greedy budget" `Quick test_local_greedy_budget;
+          Alcotest.test_case "exact budget anytime" `Quick test_exact_budget_anytime;
           Alcotest.test_case "marginal on empty strategy" `Quick
             test_marginal_on_empty_strategy_is_price_times_q;
           Alcotest.test_case "GG >= GG-No" `Slow test_globalno_never_beats_gg;

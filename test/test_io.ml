@@ -96,6 +96,32 @@ let test_malformed_inputs () =
   expect_failure "invalid probability"
     "revmax-instance 1\ndims 1 1 1 1\nitem 0 0 1 1.0 1.0\nq 0 0 1.5\nend\n"
 
+(* satellite regression: a bad token must be reported with the file path,
+   1-based line number, and 1-based column of the offending token *)
+let test_parse_error_location () =
+  let path = Filename.temp_file "revmax" ".bad" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc "revmax-instance 1\ndims 1 1 1 1\nitem 0 0 1 oops 1.0\nend\n");
+      match Io.load_instance_result path with
+      | Ok _ -> Alcotest.fail "expected a parse error"
+      | Error (Revmax_prelude.Err.Parse_error { file; line; col; msg }) ->
+          Alcotest.(check string) "file" path file;
+          Alcotest.(check int) "line" 3 line;
+          Alcotest.(check int) "col" 12 col;
+          Alcotest.(check bool) "message names the token" true
+            (Revmax_prelude.Util.contains_substring msg "bad float")
+      | Error e -> Alcotest.failf "unexpected error: %s" (Revmax_prelude.Err.message e))
+
+let test_load_result_missing_file () =
+  match Io.load_instance_result "/nonexistent/revmax.inst" with
+  | Ok _ -> Alcotest.fail "expected an io error"
+  | Error (Revmax_prelude.Err.Io_error { path; _ }) ->
+      Alcotest.(check string) "path" "/nonexistent/revmax.inst" path
+  | Error e -> Alcotest.failf "unexpected error: %s" (Revmax_prelude.Err.message e)
+
 let test_comments_and_blank_lines () =
   let path = Filename.temp_file "revmax" ".inst" in
   Fun.protect
@@ -129,6 +155,8 @@ let () =
           Alcotest.test_case "roundtrip with ratings" `Quick test_instance_roundtrip_with_ratings;
           Alcotest.test_case "roundtrip random instances" `Quick prop_instance_roundtrip_random;
           Alcotest.test_case "malformed inputs" `Quick test_malformed_inputs;
+          Alcotest.test_case "parse error location" `Quick test_parse_error_location;
+          Alcotest.test_case "missing file is Io_error" `Quick test_load_result_missing_file;
           Alcotest.test_case "comments and blanks" `Quick test_comments_and_blank_lines;
         ] );
       ( "strategy",
