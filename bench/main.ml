@@ -137,9 +137,10 @@ let () =
   let cfg = Config.load () in
   (* meta/progress lines go to stderr: stdout carries only deterministic
      experiment content, so checkpointed and resumed runs compare equal *)
-  Printf.eprintf "REVMAX benchmark suite — scale=%s seed=%d\n"
+  Printf.eprintf "REVMAX benchmark suite — scale=%s seed=%d jobs=%d\n"
     (Config.scale_name cfg.Config.scale)
-    cfg.Config.seed;
+    cfg.Config.seed
+    (Revmax_prelude.Pool.default_jobs ());
   Printf.eprintf "(REVMAX_SCALE=quick|default|full selects sizes; see DESIGN.md section 4)\n%!";
   let only =
     match Sys.getenv_opt "REVMAX_ONLY" with
@@ -163,19 +164,21 @@ let () =
     ]
   in
   let total_t0 = Unix.gettimeofday () in
-  List.iter
-    (fun (id, _desc, f) ->
-      let selected = match only with None -> true | Some ids -> List.mem id ids in
-      if selected then begin
-        let status = ref `Ran in
-        let (), seconds =
-          Util.time_it (fun () -> status := Checkpoint.run_cell checkpoint ~id ~meta (fun () -> f cfg))
-        in
-        match !status with
-        | `Ran -> Printf.eprintf "[%s finished in %.1fs]\n%!" id seconds
-        | `Replayed -> Printf.eprintf "[%s replayed from checkpoint]\n%!" id
-      end)
-    Experiments.all;
+  (* grid cells run on up to REVMAX_JOBS processes; outputs, records and the
+     stderr progress lines below are emitted in cell order either way *)
+  let cells =
+    List.filter_map
+      (fun (id, _desc, f) ->
+        let selected = match only with None -> true | Some ids -> List.mem id ids in
+        if selected then Some (id, meta, fun () -> f cfg) else None)
+      Experiments.all
+  in
+  let on_done ~id ~status ~seconds =
+    match status with
+    | `Ran -> Printf.eprintf "[%s finished in %.1fs]\n%!" id seconds
+    | `Replayed -> Printf.eprintf "[%s replayed from checkpoint]\n%!" id
+  in
+  ignore (Checkpoint.run_cells checkpoint ~on_done cells);
   (match (only, Sys.getenv_opt "REVMAX_SKIP_MICRO") with
   | None, None -> run_micro ()
   | _ -> ());

@@ -45,9 +45,24 @@ let scale_arg =
 let seed_arg =
   Arg.(value & opt int 20140901 & info [ "seed" ] ~docv:"SEED" ~doc:"Master random seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run on up to N cores (domains for in-process parallelism, processes for experiment \
+           grids). Results are deterministic: every N produces the same strategies, revenues \
+           and outputs. Defaults to $(b,REVMAX_JOBS), or 1.")
+
 let config_term =
-  let make scale seed = { (Config.of_scale ~seed scale) with Config.scale } in
-  Term.(const make $ scale_arg $ seed_arg)
+  let make scale seed jobs =
+    (match jobs with
+    | Some j -> Revmax_prelude.Pool.set_default_jobs j
+    | None -> ());
+    { (Config.of_scale ~seed scale) with Config.scale }
+  in
+  Term.(const make $ scale_arg $ seed_arg $ jobs_arg)
 
 let deadline_arg =
   Arg.(
@@ -117,19 +132,24 @@ let experiment_cmd =
           ("seed", string_of_int cfg.Config.seed);
         ]
       in
-      let run_one (eid, f) =
-        match Checkpoint.run_cell checkpoint ~id:eid ~meta (fun () -> f cfg) with
+      let on_done ~id ~status ~seconds:_ =
+        match status with
         | `Ran -> ()
-        | `Replayed -> Printf.eprintf "[%s replayed from checkpoint]\n%!" eid
+        | `Replayed -> Printf.eprintf "[%s replayed from checkpoint]\n%!" id
+      in
+      let run_cells cells =
+        ignore
+          (Checkpoint.run_cells checkpoint ~on_done
+             (List.map (fun (eid, f) -> (eid, meta, fun () -> f cfg)) cells))
       in
       if id = "all" then begin
-        List.iter (fun (eid, _desc, f) -> run_one (eid, f)) Experiments.all;
+        run_cells (List.map (fun (eid, _desc, f) -> (eid, f)) Experiments.all);
         `Ok ()
       end
       else
         match List.find_opt (fun (eid, _, _) -> eid = id) Experiments.all with
         | Some (eid, _, f) ->
-            run_one (eid, f);
+            run_cells [ (eid, f) ];
             `Ok ()
         | None -> `Error (false, Printf.sprintf "unknown experiment %S; try `revmax list'" id)
     end

@@ -105,11 +105,14 @@ let factorial_capped n cap =
   let rec go acc i = if i > n || acc >= cap then min acc cap else go (acc * i) (i + 1) in
   go 1 2
 
-let rl_greedy ?with_saturation ?evaluator ?(permutations = 20) ?allowed ?base ?budget inst rng =
+let rl_greedy ?with_saturation ?evaluator ?(permutations = 20) ?allowed ?base ?budget ?jobs inst
+    rng =
   if permutations < 1 then invalid_arg "Local_greedy.rl_greedy: need at least one permutation";
   let horizon = Instance.horizon inst in
   let n = min permutations (factorial_capped horizon permutations) in
-  (* always include the chronological order, then distinct random ones *)
+  (* always include the chronological order, then distinct random ones; the
+     order list is drawn sequentially from [rng] before any fan-out, so it —
+     and everything downstream — is independent of [jobs] *)
   let chrono = List.init horizon (fun idx -> idx + 1) in
   let seen = Hashtbl.create n in
   Hashtbl.replace seen chrono ();
@@ -121,44 +124,57 @@ let rl_greedy ?with_saturation ?evaluator ?(permutations = 20) ?allowed ?base ?b
       orders := p :: !orders
     end
   done;
+  (* Each permutation's greedy run reads only the (immutable) instance and
+     its own strategy, so the sweep fans out across domains. [None] marks a
+     run skipped by an exhausted shared budget; the skip check happens when
+     the task starts, so at jobs = 1 this replays the sequential semantics
+     exactly (with jobs > 1 and a live budget, which permutations are
+     skipped is timing-dependent — like any wall-clock budget). *)
+  let run_one idx order =
+    (* the first permutation always runs in full so an expired budget still
+       yields a usable strategy; later ones are skipped once exhausted *)
+    let skip = match budget with Some b -> idx > 0 && Budget.exhausted b | None -> false in
+    if skip then None
+    else begin
+      let inner_budget = if idx = 0 then None else budget in
+      let s, st =
+        greedy_in_order ?with_saturation ?evaluator ?allowed ?base ?budget:inner_budget inst
+          ~order
+      in
+      (* the first permutation runs unbudgeted; charge its work afterwards
+         so later skip decisions account for it *)
+      (match (inner_budget, budget) with
+      | None, Some b -> Budget.spend b (st.marginal_evaluations + st.selected)
+      | _ -> ());
+      (* permutations are compared under the true model; the cached chain
+         revenues make this O(#chains) instead of a full re-evaluation *)
+      Some (s, st, Revenue.total_incremental s)
+    end
+  in
+  let order_array = Array.of_list !orders in
+  let results =
+    Revmax_prelude.Pool.parallel_init ?jobs (Array.length order_array) ~f:(fun idx ->
+        run_one idx order_array.(idx))
+  in
+  (* deterministic in-order reduction: stats sum in permutation order and the
+     first maximum wins ties, as in the sequential loop *)
   let best = ref None in
   let total_stats = ref { marginal_evaluations = 0; pops = 0; selected = 0; truncated = false } in
-  let ran = ref 0 in
-  List.iter
-    (fun order ->
-      (* the first permutation always runs in full so an expired budget still
-         yields a usable strategy; later ones are skipped once exhausted *)
-      let skip =
-        match budget with Some b -> !ran > 0 && Budget.exhausted b | None -> false
-      in
-      if skip then total_stats := { !total_stats with truncated = true }
-      else begin
-        let inner_budget = if !ran = 0 then None else budget in
-        let s, st =
-          greedy_in_order ?with_saturation ?evaluator ?allowed ?base ?budget:inner_budget inst
-            ~order
-        in
-        incr ran;
-        total_stats :=
-          {
-            marginal_evaluations = !total_stats.marginal_evaluations + st.marginal_evaluations;
-            pops = !total_stats.pops + st.pops;
-            selected = !total_stats.selected + st.selected;
-            truncated = !total_stats.truncated || st.truncated;
-          };
-        (* the first permutation runs unbudgeted; charge its work
-           afterwards so later skip decisions account for it *)
-        (match (inner_budget, budget) with
-        | None, Some b -> Budget.spend b (st.marginal_evaluations + st.selected)
-        | _ -> ());
-        (* permutations are compared under the true model; the cached chain
-           revenues make this O(#chains) instead of a full re-evaluation *)
-        let v = Revenue.total_incremental s in
-        match !best with
-        | Some (_, bv) when bv >= v -> ()
-        | _ -> best := Some (s, v)
-      end)
-    !orders;
+  Array.iter
+    (function
+      | None -> total_stats := { !total_stats with truncated = true }
+      | Some (s, st, v) -> (
+          total_stats :=
+            {
+              marginal_evaluations = !total_stats.marginal_evaluations + st.marginal_evaluations;
+              pops = !total_stats.pops + st.pops;
+              selected = !total_stats.selected + st.selected;
+              truncated = !total_stats.truncated || st.truncated;
+            };
+          match !best with
+          | Some (_, bv) when bv >= v -> ()
+          | _ -> best := Some (s, v)))
+    results;
   match !best with
   | Some (s, _) -> (s, !total_stats)
   | None -> (Strategy.create inst, !total_stats)

@@ -56,6 +56,7 @@ val rl_greedy :
   ?allowed:(Triple.t -> bool) ->
   ?base:Strategy.t ->
   ?budget:Revmax_prelude.Budget.t ->
+  ?jobs:int ->
   Instance.t ->
   Revmax_prelude.Rng.t ->
   Strategy.t * stats
@@ -65,4 +66,13 @@ val rl_greedy :
     so RL-Greedy never returns less revenue than SL-Greedy on the same
     instance. The first permutation always runs to completion even under an
     expired [budget]; later permutations are budgeted and skipped once the
-    shared budget is exhausted. *)
+    shared budget is exhausted.
+
+    The permutation sweep runs on up to [jobs] domains (default
+    {!Revmax_prelude.Pool.default_jobs}): orders are sampled from [rng]
+    before fan-out and the best-strategy / statistics reduction happens in
+    permutation order, so without a budget the returned strategy and
+    statistics are identical for every [jobs] value. With a shared [budget]
+    and [jobs > 1], which late permutations get skipped is timing-dependent
+    (the result is still a valid strategy, as under any wall-clock
+    budget). *)

@@ -10,7 +10,7 @@ type result = {
   truncated : bool;
 }
 
-let solve ?eps ?capacity_oracle ?budget inst =
+let solve ?eps ?capacity_oracle ?budget ?jobs inst =
   let ground = ref [] in
   Instance.iter_candidate_triples inst (fun z _ -> ground := z :: !ground);
   let ground = Array.of_list (List.rev !ground) in
@@ -30,7 +30,7 @@ let solve ?eps ?capacity_oracle ?budget inst =
         Budget.exhausted b)
       budget
   in
-  let indices, value, stats = Submodular.local_search ?eps ?stop ~matroid ~f () in
+  let indices, value, stats = Submodular.local_search ?eps ?stop ?jobs ~matroid ~f () in
   let strategy = Strategy.of_list inst (List.map (fun idx -> ground.(idx)) indices) in
   {
     strategy;

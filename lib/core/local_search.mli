@@ -24,6 +24,7 @@ val solve :
   ?eps:float ->
   ?capacity_oracle:(Strategy.t -> Triple.t -> float) ->
   ?budget:Revmax_prelude.Budget.t ->
+  ?jobs:int ->
   Instance.t ->
   result
 (** [solve inst] approximately maximizes the relaxed revenue under the
@@ -34,4 +35,9 @@ val solve :
     [budget] stops the local search between rounds of moves once exhausted
     (oracle calls are recorded into it via
     {!Revmax_prelude.Budget.note_evaluations}); the iterate returned is
-    always display-valid and [truncated] is set. *)
+    always display-valid and [truncated] is set.
+
+    [jobs] (default {!Revmax_prelude.Pool.default_jobs}) fans the
+    candidate-scan oracle evaluations across domains; the strategy, value
+    and [moves] are identical for every [jobs] value (see
+    {!Revmax_matroid.Submodular.local_search}). *)

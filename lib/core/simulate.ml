@@ -46,7 +46,11 @@ let revenue_once s rng =
       | Some z -> acc := !acc +. Instance.price inst ~i:z.i ~time:z.t);
   !acc
 
-let estimate_revenue s ~samples rng = Mc.estimate ~samples rng (fun rng -> revenue_once s rng)
+(* [Strategy.t] is read-only here (iter_chains only reads the chain arrays),
+   so worlds can be simulated on parallel domains; per-world streams come
+   from Mc's splitting, keeping the estimate bit-identical across jobs. *)
+let estimate_revenue ?jobs s ~samples rng =
+  Mc.estimate ?jobs ~samples rng (fun rng -> revenue_once s rng)
 
 type sales_report = { revenue : float; adoptions : Triple.t list; stockouts : int }
 

@@ -20,9 +20,12 @@ val revenue_once : Strategy.t -> Revmax_prelude.Rng.t -> float
 (** Total revenue of one simulated world. *)
 
 val estimate_revenue :
-  Strategy.t -> samples:int -> Revmax_prelude.Rng.t -> Revmax_stats.Mc.estimate
+  ?jobs:int -> Strategy.t -> samples:int -> Revmax_prelude.Rng.t -> Revmax_stats.Mc.estimate
 (** Monte-Carlo estimate of the expected revenue; its mean converges to
-    [Revenue.total] as samples grow. *)
+    [Revenue.total] as samples grow. Worlds are simulated on up to [jobs]
+    domains (default {!Revmax_prelude.Pool.default_jobs}) with one RNG
+    stream split off per world, so the estimate is bit-identical for every
+    [jobs] value (see {!Revmax_stats.Mc.estimate}). *)
 
 type sales_report = {
   revenue : float;

@@ -211,40 +211,42 @@ let meta_equal a b =
   let norm l = List.sort compare l in
   norm a = norm b
 
+(* The recorded output to replay for a cell, or [None] when the cell must
+   run. Raises on a metadata mismatch; reports and ignores corrupt records. *)
+let replay_output t ~id ~meta =
+  if not t.resume then None
+  else
+    match load_record t ~id with
+    | None -> None
+    | Some (Ok (rmeta, output)) ->
+        if meta_equal rmeta meta then Some output
+        else
+          Err.raise_
+            (Err.Unexpected
+               {
+                 context = "checkpoint " ^ record_path t id;
+                 msg =
+                   Printf.sprintf
+                     "metadata mismatch (recorded: %s; current: %s) - delete the record or \
+                      the checkpoint directory to rerun"
+                     (String.concat ", "
+                        (List.map (fun (k, v) -> k ^ "=" ^ v) rmeta))
+                     (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) meta));
+               })
+    | Some (Result.Error e) ->
+        (* self-heal: a record corrupted by a crash or disk fault is
+           reported and the cell simply reruns *)
+        Printf.eprintf "[checkpoint] corrupt record ignored (%s); rerunning %s\n%!"
+          (Err.message e) id;
+        None
+
 let run_cell cp ~id ~meta f =
   match cp with
   | None ->
       f ();
       `Ran
   | Some t -> (
-      let replay =
-        if not t.resume then None
-        else
-          match load_record t ~id with
-          | None -> None
-          | Some (Ok (rmeta, output)) ->
-              if meta_equal rmeta meta then Some output
-              else
-                Err.raise_
-                  (Err.Unexpected
-                     {
-                       context = "checkpoint " ^ record_path t id;
-                       msg =
-                         Printf.sprintf
-                           "metadata mismatch (recorded: %s; current: %s) - delete the record or \
-                            the checkpoint directory to rerun"
-                           (String.concat ", "
-                              (List.map (fun (k, v) -> k ^ "=" ^ v) rmeta))
-                           (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) meta));
-                     })
-          | Some (Result.Error e) ->
-              (* self-heal: a record corrupted by a crash or disk fault is
-                 reported and the cell simply reruns *)
-              Printf.eprintf "[checkpoint] corrupt record ignored (%s); rerunning %s\n%!"
-                (Err.message e) id;
-              None
-      in
-      match replay with
+      match replay_output t ~id ~meta with
       | Some output ->
           print_string output;
           flush stdout;
@@ -255,3 +257,185 @@ let run_cell cp ~id ~meta f =
           flush stdout;
           save_record t ~id ~meta ~output;
           `Ran)
+
+(* ----- parallel grid execution ----- *)
+
+(* A fresh cell runs in a forked child with fd 1 redirected into its own
+   capture file; the parent emits outputs and saves records strictly in
+   cell order, so at any instant the records on disk cover a prefix of the
+   emitted cells — the same crash/resume contract as the sequential loop,
+   and the assembled stdout is byte-identical for every [jobs] value. *)
+type plan = Replay of string | Fresh of (unit -> unit)
+
+let wait_any () =
+  let rec go () =
+    try Unix.waitpid [] (-1) with Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let wait_pid pid =
+  let rec go () =
+    try ignore (Unix.waitpid [] pid)
+    with Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let run_cells cp ?jobs ?on_done cells =
+  let jobs =
+    max 1 (match jobs with Some j -> j | None -> Revmax_prelude.Pool.default_jobs ())
+  in
+  let notify ~id ~status ~seconds =
+    match on_done with Some g -> g ~id ~status ~seconds | None -> ()
+  in
+  let run_seq () =
+    List.map
+      (fun (id, meta, f) ->
+        let t0 = Unix.gettimeofday () in
+        let status = run_cell cp ~id ~meta f in
+        notify ~id ~status ~seconds:(Unix.gettimeofday () -. t0);
+        status)
+      cells
+  in
+  let can_fork () =
+    match Unix.fork () with
+    | 0 -> Unix._exit 0
+    | pid ->
+        wait_pid pid;
+        true
+    | exception Failure _ -> false
+  in
+  if jobs <= 1 || List.length cells <= 1 then run_seq ()
+  else if
+    (Revmax_prelude.Pool.quiesce ();
+     not (can_fork ()))
+  then begin
+    Printf.eprintf
+      "[checkpoint] process-parallel grid unavailable (this OCaml runtime refuses fork once \
+       domains were spawned); running cells sequentially\n%!";
+    run_seq ()
+  end
+  else begin
+    let cells = Array.of_list cells in
+    let n = Array.length cells in
+    (* upfront replay detection: metadata mismatches surface before any fork *)
+    let plan =
+      Array.map
+        (fun (id, meta, f) ->
+          match cp with
+          | None -> Fresh f
+          | Some t -> (
+              match replay_output t ~id ~meta with
+              | Some output -> Replay output
+              | None -> Fresh f))
+        cells
+    in
+    (* OCaml 5: forking while sibling domains are live can hang the child at
+       the next stop-the-world section, so join the pool's workers first.
+       The 5.1 runtime goes further and refuses Unix.fork outright once any
+       domain has ever been spawned in the process — probe for that and
+       degrade to the sequential loop rather than crash mid-grid. *)
+    Revmax_prelude.Pool.quiesce ();
+    let temp_dir =
+      match cp with Some t -> t.dir | None -> Filename.get_temp_dir_name ()
+    in
+    let capture = Array.make n "" in
+    let started = Array.make n 0.0 in
+    let elapsed = Array.make n 0.0 in
+    let idx_of_pid = Hashtbl.create 16 in
+    let finished = Hashtbl.create 16 (* idx -> process failed? *) in
+    let running = ref 0 in
+    let cursor = ref 0 in
+    let spawn idx f =
+      let path = Filename.temp_file ~temp_dir ".capture" ".tmp" in
+      capture.(idx) <- path;
+      started.(idx) <- Unix.gettimeofday ();
+      flush stdout;
+      flush stderr;
+      match Unix.fork () with
+      | 0 ->
+          (* child: stdout goes to the capture file; _exit skips at_exit *)
+          let code =
+            try
+              let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+              Unix.dup2 fd Unix.stdout;
+              Unix.close fd;
+              f ();
+              flush stdout;
+              0
+            with e ->
+              let id, _, _ = cells.(idx) in
+              Printf.eprintf "[checkpoint] cell %s raised: %s\n%!" id (Printexc.to_string e);
+              1
+          in
+          Unix._exit code
+      | pid ->
+          Hashtbl.replace idx_of_pid pid idx;
+          incr running
+    in
+    let rec spawn_more () =
+      if !running < jobs && !cursor < n then begin
+        let idx = !cursor in
+        incr cursor;
+        (match plan.(idx) with Replay _ -> () | Fresh f -> spawn idx f);
+        spawn_more ()
+      end
+    in
+    let reap_one () =
+      let pid, status = wait_any () in
+      match Hashtbl.find_opt idx_of_pid pid with
+      | None -> () (* not one of ours *)
+      | Some idx ->
+          Hashtbl.remove idx_of_pid pid;
+          decr running;
+          elapsed.(idx) <- Unix.gettimeofday () -. started.(idx);
+          Hashtbl.replace finished idx (status <> Unix.WEXITED 0)
+    in
+    let abort_remaining () =
+      Hashtbl.iter (fun pid _ -> try Unix.kill pid Sys.sigkill with _ -> ()) idx_of_pid;
+      while !running > 0 do
+        reap_one ()
+      done;
+      Array.iter
+        (fun path ->
+          if path <> "" && Sys.file_exists path then
+            try Sys.remove path with Sys_error _ -> ())
+        capture
+    in
+    let statuses = ref [] in
+    (try
+       spawn_more ();
+       for idx = 0 to n - 1 do
+         let id, meta, _ = cells.(idx) in
+         match plan.(idx) with
+         | Replay output ->
+             print_string output;
+             flush stdout;
+             notify ~id ~status:`Replayed ~seconds:0.0;
+             statuses := `Replayed :: !statuses
+         | Fresh _ ->
+             while not (Hashtbl.mem finished idx) do
+               reap_one ();
+               spawn_more ()
+             done;
+             if Hashtbl.find finished idx then
+               Err.raise_
+                 (Err.Unexpected
+                    {
+                      context = "parallel cell " ^ id;
+                      msg = "cell process failed (see stderr); records before it are kept";
+                    });
+             let output = read_file capture.(idx) in
+             Sys.remove capture.(idx);
+             capture.(idx) <- "";
+             print_string output;
+             flush stdout;
+             (match cp with Some t -> save_record t ~id ~meta ~output | None -> ());
+             notify ~id ~status:`Ran ~seconds:elapsed.(idx);
+             statuses := `Ran :: !statuses
+       done
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       abort_remaining ();
+       Printexc.raise_with_backtrace e bt);
+    List.rev !statuses
+  end

@@ -45,6 +45,41 @@ val run_cell :
     [meta] is compared key-set-insensitively to the recorded metadata on
     resume; a mismatch raises (see module docs). *)
 
+val run_cells :
+  t option ->
+  ?jobs:int ->
+  ?on_done:(id:string -> status:[ `Ran | `Replayed ] -> seconds:float -> unit) ->
+  (string * (string * string) list * (unit -> unit)) list ->
+  [ `Ran | `Replayed ] list
+(** Run a whole grid of cells, up to [jobs] (default
+    {!Revmax_prelude.Pool.default_jobs}) at a time. With [jobs = 1] (or a
+    single cell) this is exactly the sequential {!run_cell} loop.
+
+    With [jobs > 1] each fresh cell runs in a {e forked child process} with
+    its stdout captured to a private file (stdout capture is
+    file-descriptor-level, hence process-global — domains cannot provide
+    it), while the parent emits outputs, saves records and calls [on_done]
+    strictly in cell order. Consequences:
+
+    - the assembled stdout and every record's bytes are identical for every
+      [jobs] value (cells must not depend on shared mutable state — the
+      bench experiments only read their config);
+    - records on disk always cover a prefix of the cells already emitted,
+      so a run killed mid-grid resumes exactly like a sequential one, and
+      resuming under a different [jobs] is byte-identical;
+    - a cell whose process exits nonzero (or is killed) raises a structured
+      {!Revmax_prelude.Err.Unexpected} after the cells before it have been
+      emitted and saved; the remaining children are killed and reaped.
+
+    The domain pool is {!Revmax_prelude.Pool.quiesce}d before forking
+    (forking with live sibling domains can hang the child); children reset
+    the inherited pool state on first use, so cells may themselves use
+    parallel algorithms.
+
+    [on_done ~id ~status ~seconds] fires after each cell's output is
+    emitted ([seconds] is 0 for replays); use it for progress lines on
+    stderr. *)
+
 val record_path : t -> string -> string
 (** Path of the record file a cell id maps to (the id is sanitized to a
     filesystem-safe name). Exposed for tests and tooling. *)

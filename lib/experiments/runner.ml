@@ -43,10 +43,16 @@ let guarded ~algo run =
       Completed { algo; revenue; seconds; strategy_size; truncated }
   | Result.Error error -> Failed { algo; seconds; error }
 
-let run_suite ?suite ?budget ~rlg_permutations ~seed inst =
-  List.map
-    (fun algo -> guarded ~algo (fun () -> Algorithms.run_anytime ?budget algo inst ~seed))
-    (resolve_suite ~rlg_permutations suite)
+(* Each algorithm reads only the (immutable) instance and derives its RNG
+   from [seed], so the suite fans out across domains; outcomes land in
+   suite order regardless of completion order. [seconds] are wall-clock and
+   shift under contention, but the revenues, strategies and sizes are
+   jobs-invariant (budgeted runs are timing-dependent, as always). *)
+let run_suite ?suite ?budget ?jobs ~rlg_permutations ~seed inst =
+  let algos = Array.of_list (resolve_suite ~rlg_permutations suite) in
+  Array.to_list
+    (Revmax_prelude.Pool.parallel_map ?jobs algos ~f:(fun algo ->
+         guarded ~algo (fun () -> Algorithms.run_anytime ?budget algo inst ~seed)))
 
 let completed outcomes =
   List.filter_map (function Completed r -> Some r | Failed _ -> None) outcomes

@@ -25,6 +25,7 @@ type outcome =
 val run_suite :
   ?suite:Revmax.Algorithms.t list ->
   ?budget:Revmax_prelude.Budget.t ->
+  ?jobs:int ->
   rlg_permutations:int ->
   seed:int ->
   Revmax.Instance.t ->
@@ -35,7 +36,12 @@ val run_suite :
     {!Revmax.Strategy.validate}; a violation — or any exception the
     algorithm raises — yields a [Failed] cell naming the violated
     constraint, and the remaining algorithms still run. [budget] is shared
-    by the whole suite (see {!Revmax_prelude.Budget}). *)
+    by the whole suite (see {!Revmax_prelude.Budget}).
+
+    The suite runs on up to [jobs] domains (default
+    {!Revmax_prelude.Pool.default_jobs}); outcomes are returned in suite
+    order and — apart from the wall-clock [seconds] fields and
+    budget-truncation points — are identical for every [jobs] value. *)
 
 val guarded : algo:Revmax.Algorithms.t -> (unit -> Revmax.Strategy.t * bool) -> outcome
 (** Run one strategy-producing thunk (returning the strategy and its

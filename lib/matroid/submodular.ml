@@ -1,100 +1,167 @@
+module Pool = Revmax_prelude.Pool
+
 type stats = { oracle_calls : int; moves : int; truncated : bool }
 
-(* Memoised oracle over sorted-list keys. *)
+(* Memoised oracle over sorted-list keys. The cache is shared by parallel
+   candidate scans, so lookups and inserts take a mutex; the oracle itself
+   runs outside the lock (two domains may race to evaluate the same fresh
+   key — both evaluations are counted, which only affects [oracle_calls],
+   never values). *)
 let memoise f =
   let cache = Hashtbl.create 1024 in
   let calls = ref 0 in
+  let lock = Mutex.create () in
   let eval s =
     let key = List.sort compare s in
-    match Hashtbl.find_opt cache key with
+    let cached =
+      Mutex.lock lock;
+      let c = Hashtbl.find_opt cache key in
+      Mutex.unlock lock;
+      c
+    in
+    match cached with
     | Some v -> v
     | None ->
-        incr calls;
         let v = f key in
-        Hashtbl.add cache key v;
+        Mutex.lock lock;
+        if not (Hashtbl.mem cache key) then begin
+          incr calls;
+          Hashtbl.add cache key v
+        end;
+        Mutex.unlock lock;
         v
   in
   (eval, calls)
 
+(* First candidate (in scan order) whose value passes [accepts], evaluating
+   in batches of [4·jobs] on the domain pool. Any batch size yields the same
+   accepted candidate, so results are jobs-invariant; with jobs = 1 the
+   batch size is 1 and this is exactly the sequential one-at-a-time scan,
+   including its oracle-call count. *)
+let first_improving ~jobs ~eval ~accepts cands =
+  let n = Array.length cands in
+  let batch = if jobs <= 1 then 1 else 4 * jobs in
+  let rec go start =
+    if start >= n then None
+    else begin
+      let stop = min n (start + batch) in
+      let vals =
+        Pool.parallel_map ~jobs (Array.sub cands start (stop - start)) ~f:(fun (_, set) ->
+            eval set)
+      in
+      let rec pick i =
+        if i >= Array.length vals then None
+        else if accepts vals.(i) then Some (fst cands.(start + i), snd cands.(start + i), vals.(i))
+        else pick (i + 1)
+      in
+      match pick 0 with Some r -> Some r | None -> go stop
+    end
+  in
+  go 0
+
 (* One pass of Lee et al. local search restricted to [allowed] elements.
    [halt] is polled between rounds of moves; the current local iterate is
-   always a valid independent set, so stopping early is safe. *)
-let local_search_pass ~eps ~matroid ~eval ~moves ~allowed ~halt =
+   always a valid independent set, so stopping early is safe.
+
+   The candidate scans (singleton start, add moves, swap moves) batch their
+   oracle evaluations through [first_improving], so they fan out across the
+   domain pool while still accepting the first improving move in scan order
+   — the accepted-move sequence, final set and value are identical for every
+   [jobs] value. Only [oracle_calls] can differ at jobs > 1 (a batch may
+   evaluate candidates past the accepted one). *)
+let local_search_pass ~jobs ~eps ~matroid ~eval ~moves ~allowed ~halt =
   let n = max 1 (List.length allowed) in
   let nf = float_of_int n in
   let threshold = 1.0 +. (eps /. (nf *. nf *. nf *. nf)) in
-  (* best singleton start *)
+  (* best singleton start: every feasible singleton is evaluated (also
+     sequentially), so here the fan-out is a plain parallel map with a
+     keep-first-maximum reduction in scan order *)
+  let singles =
+    Array.of_list
+      (List.filter_map
+         (fun e -> if Matroid.can_add matroid [] e then Some (e, [ e ]) else None)
+         allowed)
+  in
+  let single_vals = Pool.parallel_map ~jobs singles ~f:(fun (_, set) -> eval set) in
   let best_single =
-    List.fold_left
-      (fun acc e ->
-        if Matroid.can_add matroid [] e then begin
-          let v = eval [ e ] in
-          match acc with Some (_, bv) when bv >= v -> acc | _ -> Some (e, v)
-        end
-        else acc)
-      None allowed
+    let acc = ref None in
+    Array.iteri
+      (fun idx v ->
+        match !acc with
+        | Some (_, bv) when bv >= v -> ()
+        | _ -> acc := Some (fst singles.(idx), v))
+      single_vals;
+    !acc
   in
   match best_single with
   | None -> ([], 0.0)
   | Some (e0, v0) ->
       let s = ref [ e0 ] and v = ref v0 in
       let improved = ref true in
+      let accept set v' =
+        s := set;
+        v := v';
+        incr moves;
+        improved := true
+      in
       while !improved && not (halt ()) do
         improved := false;
-        (* delete moves *)
+        (* delete moves: the iterate stays small, scan sequentially *)
         List.iter
           (fun e ->
             if not !improved then begin
               let s' = List.filter (fun x -> x <> e) !s in
               let v' = eval s' in
-              if v' > threshold *. !v then begin
-                s := s';
-                v := v';
-                incr moves;
-                improved := true
-              end
+              if v' > threshold *. !v then accept s' v'
             end)
           !s;
         (* add moves *)
-        if not !improved then
-          List.iter
-            (fun e ->
-              if (not !improved) && (not (List.mem e !s)) && Matroid.can_add matroid !s e then begin
-                let v' = eval (e :: !s) in
-                if v' > threshold *. !v then begin
-                  s := e :: !s;
-                  v := v';
-                  incr moves;
-                  improved := true
-                end
-              end)
-            allowed;
+        if not !improved then begin
+          let cands =
+            Array.of_list
+              (List.filter_map
+                 (fun e ->
+                   if (not (List.mem e !s)) && Matroid.can_add matroid !s e then
+                     Some (e, e :: !s)
+                   else None)
+                 allowed)
+          in
+          match
+            first_improving ~jobs ~eval ~accepts:(fun v' -> v' > threshold *. !v) cands
+          with
+          | Some (_, set, v') -> accept set v'
+          | None -> ()
+        end;
         (* swap moves: exchange one inside element for one outside element *)
-        if not !improved then
-          List.iter
-            (fun e_out ->
-              if (not !improved) && not (List.mem e_out !s) then
-                List.iter
-                  (fun e_in ->
-                    if not !improved then begin
+        if not !improved then begin
+          let cands =
+            List.concat_map
+              (fun e_out ->
+                if List.mem e_out !s then []
+                else
+                  List.filter_map
+                    (fun e_in ->
                       let s_minus = List.filter (fun x -> x <> e_in) !s in
-                      if Matroid.can_add matroid s_minus e_out then begin
-                        let v' = eval (e_out :: s_minus) in
-                        if v' > threshold *. !v then begin
-                          s := e_out :: s_minus;
-                          v := v';
-                          incr moves;
-                          improved := true
-                        end
-                      end
-                    end)
-                  !s)
-            allowed
+                      if Matroid.can_add matroid s_minus e_out then
+                        Some ((e_out, e_in), e_out :: s_minus)
+                      else None)
+                    !s)
+              allowed
+          in
+          match
+            first_improving ~jobs ~eval
+              ~accepts:(fun v' -> v' > threshold *. !v)
+              (Array.of_list cands)
+          with
+          | Some (_, set, v') -> accept set v'
+          | None -> ()
+        end
       done;
       (!s, !v)
 
-let local_search ?(eps = 0.5) ?stop ~matroid ~f () =
+let local_search ?(eps = 0.5) ?stop ?jobs ~matroid ~f () =
   if eps <= 0.0 then invalid_arg "Submodular.local_search: eps must be positive";
+  let jobs = max 1 (match jobs with Some j -> j | None -> Pool.default_jobs ()) in
   let eval, calls = memoise f in
   let moves = ref 0 in
   let truncated = ref false in
@@ -107,14 +174,14 @@ let local_search ?(eps = 0.5) ?stop ~matroid ~f () =
   in
   let n = Matroid.ground_size matroid in
   let all = List.init n (fun i -> i) in
-  let s1, v1 = local_search_pass ~eps ~matroid ~eval ~moves ~allowed:all ~halt in
+  let s1, v1 = local_search_pass ~jobs ~eps ~matroid ~eval ~moves ~allowed:all ~halt in
   (* second pass on the complement of the first local optimum, skipped when
      the first pass was cut short *)
   let s, v =
     if halt () then (s1, v1)
     else begin
       let rest = List.filter (fun e -> not (List.mem e s1)) all in
-      let s2, v2 = local_search_pass ~eps ~matroid ~eval ~moves ~allowed:rest ~halt in
+      let s2, v2 = local_search_pass ~jobs ~eps ~matroid ~eval ~moves ~allowed:rest ~halt in
       if v1 >= v2 then (s1, v1) else (s2, v2)
     end
   in

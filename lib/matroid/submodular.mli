@@ -27,6 +27,7 @@ type stats = {
 val local_search :
   ?eps:float ->
   ?stop:(evaluations:int -> bool) ->
+  ?jobs:int ->
   matroid:Matroid.t ->
   f:(int list -> float) ->
   unit ->
@@ -40,7 +41,17 @@ val local_search :
     count between rounds of moves and between the two passes. When it
     returns [true] the current local iterate — always a valid independent
     set, found after at least the singleton-start round — is returned with
-    [truncated = true]. *)
+    [truncated = true].
+
+    The candidate scans (singleton start, add moves, swap moves) evaluate
+    [f] on up to [jobs] domains (default
+    {!Revmax_prelude.Pool.default_jobs}) in batches, still accepting the
+    first improving move in scan order — the accepted-move sequence, final
+    set, value and [moves] count are identical for every [jobs] value. [f]
+    must therefore be safe to call from multiple domains on disjoint
+    argument lists. Only [oracle_calls] may differ at [jobs > 1]: a batch
+    can evaluate candidates past the accepted one (which also means a [stop]
+    based on that count can trip at slightly different points). *)
 
 val lazy_greedy :
   matroid:Matroid.t ->

@@ -1,24 +1,33 @@
+(* [used] is atomic so one budget can be shared by several domains (the
+   parallel suite runner, RL-Greedy's permutation fan-out): charges are
+   lock-free increments and [exhausted] is a plain read. *)
 type t = {
   deadline : float option; (* absolute, Unix.gettimeofday scale *)
   max_evaluations : int option;
-  mutable used : int;
+  used : int Atomic.t;
 }
 
 let create ?wall_seconds ?max_evaluations () =
   {
     deadline = Option.map (fun s -> Unix.gettimeofday () +. s) wall_seconds;
     max_evaluations;
-    used = 0;
+    used = Atomic.make 0;
   }
 
-let spend t n = t.used <- t.used + n
+let spend t n = ignore (Atomic.fetch_and_add t.used n)
 
-let note_evaluations t n = if n > t.used then t.used <- n
+let note_evaluations t n =
+  (* keep the maximum seen; CAS loop because several domains may report *)
+  let rec go () =
+    let cur = Atomic.get t.used in
+    if n > cur && not (Atomic.compare_and_set t.used cur n) then go ()
+  in
+  go ()
 
-let evaluations t = t.used
+let evaluations t = Atomic.get t.used
 
 let exhausted t =
-  (match t.max_evaluations with Some m -> t.used >= m | None -> false)
+  (match t.max_evaluations with Some m -> Atomic.get t.used >= m | None -> false)
   ||
   match t.deadline with Some d -> Unix.gettimeofday () >= d | None -> false
 
@@ -31,7 +40,7 @@ let pp ppf t =
     | None -> [])
     @
     match t.max_evaluations with
-    | Some m -> [ Printf.sprintf "evaluations %d/%d" t.used m ]
+    | Some m -> [ Printf.sprintf "evaluations %d/%d" (Atomic.get t.used) m ]
     | None -> []
   in
   Format.pp_print_string ppf

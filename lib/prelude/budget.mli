@@ -17,7 +17,14 @@
       prefix whenever any progress is possible;
     - a single [Budget.t] may be shared across several algorithm calls
       (e.g. the permutations of RL-Greedy, or the windows of a rolling
-      plan): evaluation charges accumulate in the budget itself. *)
+      plan): evaluation charges accumulate in the budget itself;
+    - the work counter is atomic, so a budget may also be shared across
+      domains (the parallel suite runner, RL-Greedy's parallel permutation
+      sweep): concurrent charges never tear, and an expired deadline still
+      truncates every parallel strand to a valid prefix. Which strand
+      observes expiry first is timing-dependent — budgeted parallel runs
+      are valid but not bit-reproducible, exactly like wall-clock budgets
+      under a sequential scheduler. *)
 
 type t
 

@@ -1,0 +1,195 @@
+(* A single process-wide pool: a queue of thunks drained by worker domains
+   and by callers waiting on their own submissions (so nested parallel calls
+   help instead of deadlocking). One mutex + one condition protect the queue,
+   the worker list and every completion latch; tasks themselves run outside
+   the lock and never raise (chunk closures capture exceptions). *)
+
+let env_jobs () =
+  match Sys.getenv_opt "REVMAX_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1)
+
+let default = ref None (* None = not yet read from the environment *)
+
+let default_jobs () =
+  match !default with
+  | Some n -> n
+  | None ->
+      let n = env_jobs () in
+      default := Some n;
+      n
+
+let set_default_jobs n = default := Some (max 1 n)
+
+type pool = {
+  mutex : Mutex.t;
+  wake : Condition.t; (* signalled on new tasks, completions, shutdown *)
+  queue : (unit -> unit) Queue.t;
+  mutable workers : unit Domain.t list;
+  mutable owner_pid : int; (* pid that spawned [workers]; a fork invalidates *)
+  mutable stopping : bool;
+}
+
+let pool =
+  {
+    mutex = Mutex.create ();
+    wake = Condition.create ();
+    queue = Queue.create ();
+    workers = [];
+    owner_pid = -1;
+    stopping = false;
+  }
+
+let with_lock f =
+  Mutex.lock pool.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock pool.mutex) f
+
+let worker_count () = with_lock (fun () -> List.length pool.workers)
+
+let rec worker_loop () =
+  Mutex.lock pool.mutex;
+  let rec next () =
+    if pool.stopping then Mutex.unlock pool.mutex
+    else if Queue.is_empty pool.queue then begin
+      Condition.wait pool.wake pool.mutex;
+      next ()
+    end
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      task ();
+      worker_loop ()
+    end
+  in
+  next ()
+
+(* Must be called with the lock held. Discards state inherited through a
+   fork: the recorded workers only ever existed in the parent. *)
+let reset_after_fork_locked () =
+  if pool.owner_pid <> Unix.getpid () then begin
+    pool.workers <- [];
+    pool.stopping <- false;
+    Queue.clear pool.queue;
+    pool.owner_pid <- Unix.getpid ()
+  end
+
+let ensure_workers n =
+  with_lock (fun () ->
+      reset_after_fork_locked ();
+      let missing = n - List.length pool.workers in
+      for _ = 1 to missing do
+        pool.workers <- Domain.spawn worker_loop :: pool.workers
+      done)
+
+let quiesce () =
+  let to_join =
+    with_lock (fun () ->
+        reset_after_fork_locked ();
+        let ws = pool.workers in
+        pool.workers <- [];
+        if ws <> [] then begin
+          pool.stopping <- true;
+          Condition.broadcast pool.wake
+        end;
+        ws)
+  in
+  List.iter Domain.join to_join;
+  if to_join <> [] then with_lock (fun () -> pool.stopping <- false)
+
+(* join workers at exit so the runtime shuts down cleanly; guarded by pid so
+   a forked child does not try to join its parent's domains *)
+let () = at_exit (fun () -> if pool.owner_pid = Unix.getpid () then quiesce ())
+
+type outcome = { mutable pending : int; errors : (exn * Printexc.raw_backtrace) option array }
+
+(* Run chunk [c] = indices [lo, hi) of the shared job, storing any exception. *)
+let run_chunk out body c =
+  (try body c
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     out.errors.(c) <- Some (e, bt));
+  Mutex.lock pool.mutex;
+  out.pending <- out.pending - 1;
+  if out.pending = 0 then Condition.broadcast pool.wake;
+  Mutex.unlock pool.mutex
+
+(* Wait for [out] to settle, draining queued tasks meanwhile (possibly tasks
+   of other in-flight calls — any task may run on any domain). *)
+let help_until_done out =
+  Mutex.lock pool.mutex;
+  let rec loop () =
+    if out.pending = 0 then Mutex.unlock pool.mutex
+    else if Queue.is_empty pool.queue then begin
+      Condition.wait pool.wake pool.mutex;
+      loop ()
+    end
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      task ();
+      Mutex.lock pool.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let reraise_first out =
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+    out.errors
+
+(* Shared driver: run [body c] for chunks c in [0, chunks) across the pool.
+   [chunks >= 2] here; the caller handles the sequential case. *)
+let run_chunks ~chunks body =
+  ensure_workers (chunks - 1);
+  let out = { pending = chunks; errors = Array.make chunks None } in
+  with_lock (fun () ->
+      for c = 0 to chunks - 1 do
+        Queue.add (fun () -> run_chunk out body c) pool.queue
+      done;
+      Condition.broadcast pool.wake);
+  help_until_done out;
+  reraise_first out
+
+let effective_jobs jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ())
+
+let chunk_bounds ~n ~chunks c =
+  (* contiguous blocks, remainder spread over the first chunks; depends only
+     on (n, chunks), never on scheduling *)
+  let base = n / chunks and extra = n mod chunks in
+  let lo = (c * base) + min c extra in
+  let hi = lo + base + (if c < extra then 1 else 0) in
+  (lo, hi)
+
+let parallel_for ?jobs n ~f =
+  let jobs = effective_jobs jobs in
+  if n <= 0 then ()
+  else if jobs = 1 || n = 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let chunks = min jobs n in
+    run_chunks ~chunks (fun c ->
+        let lo, hi = chunk_bounds ~n ~chunks c in
+        for i = lo to hi - 1 do
+          f i
+        done)
+  end
+
+let parallel_init ?jobs n ~f =
+  let jobs = effective_jobs jobs in
+  if n <= 0 then [||]
+  else if jobs = 1 || n = 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    parallel_for ~jobs n ~f:(fun i -> results.(i) <- Some (f i));
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let parallel_map ?jobs a ~f = parallel_init ?jobs (Array.length a) ~f:(fun i -> f a.(i))

@@ -1,0 +1,64 @@
+(** Fixed-size domain pool for deterministic data parallelism.
+
+    The pool exposes [parallel_map]/[parallel_for]/[parallel_init] over a
+    shared set of worker domains (OCaml 5 [Domain] + [Mutex]/[Condition] —
+    no external dependency). The design invariants, argued in DESIGN.md §9:
+
+    - {b jobs = 1 is the reference semantics.} With one job the combinators
+      are plain sequential loops in index order; no domain is ever spawned.
+    - {b Determinism.} Work is split into contiguous index chunks and every
+      result lands in its own slot of a pre-sized output array, so the
+      returned array is identical for every [jobs] value — scheduling only
+      affects wall-clock, never results. Side effects performed by [f] on
+      shared state are the caller's responsibility (keep [f] pure or confine
+      mutation to the element it was given).
+    - {b Exception capture.} An exception raised by [f] is caught in the
+      worker, and after all chunks have settled the exception of the
+      lowest-indexed failing chunk is re-raised in the caller with its
+      backtrace — the same exception a sequential run would have raised
+      first.
+    - {b Nesting.} A task may itself call [parallel_map]; the waiting caller
+      helps drain the shared queue instead of blocking, so nested use cannot
+      deadlock (it degrades to sequential execution in the worst case).
+
+    The pool is lazily created at first use with [jobs - 1] workers (the
+    calling domain is the remaining executor) and grows, never shrinks.
+    [quiesce] joins all workers; it must be called before [Unix.fork] in a
+    process that has used the pool, because forking while sibling domains
+    run leaves the child with a runtime expecting domains that do not exist
+    (the child would hang at the first stop-the-world collection). The pool
+    also detects a changed pid and discards inherited state, so a forked
+    child can use it afresh. *)
+
+val default_jobs : unit -> int
+(** The process-wide default parallelism, used whenever [?jobs] is omitted.
+    Initialised from the [REVMAX_JOBS] environment variable (a positive
+    integer; unset, empty, or unparsable means [1]); overridable with
+    {!set_default_jobs} (the CLI's [--jobs] flag). *)
+
+val set_default_jobs : int -> unit
+(** Override the default parallelism. Values below 1 are clamped to 1. *)
+
+val parallel_map : ?jobs:int -> 'a array -> f:('a -> 'b) -> 'b array
+(** [parallel_map ?jobs a ~f] is [Array.map f a] computed with up to [jobs]
+    domains (default {!default_jobs}). The result is in input order and
+    identical for every [jobs] value; see the module preamble for the
+    exception and determinism contract. *)
+
+val parallel_for : ?jobs:int -> int -> f:(int -> unit) -> unit
+(** [parallel_for ?jobs n ~f] runs [f 0 .. f (n-1)], partitioned into
+    contiguous index chunks across up to [jobs] domains. With [jobs = 1]
+    this is exactly [for i = 0 to n-1 do f i done]. *)
+
+val parallel_init : ?jobs:int -> int -> f:(int -> 'a) -> 'a array
+(** [parallel_init ?jobs n ~f] is [Array.init n f] with the same contract as
+    {!parallel_map}. *)
+
+val quiesce : unit -> unit
+(** Join and discard all worker domains. Safe to call at any point where no
+    parallel call is in flight; the pool respawns workers on next use. Must
+    be called before [Unix.fork] if the pool has been used (see preamble). *)
+
+val worker_count : unit -> int
+(** Number of live worker domains (0 before first parallel use and after
+    {!quiesce}); exposed for tests. *)

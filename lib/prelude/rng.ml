@@ -19,6 +19,10 @@ let split t =
   let s = int64 t in
   { state = mix64 s }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: n must be non-negative";
+  Array.init n (fun _ -> split t)
+
 let bits30 t = Int64.to_int (Int64.shift_right_logical (int64 t) 34)
 
 let int t bound =

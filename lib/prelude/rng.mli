@@ -23,6 +23,15 @@ val split : t -> t
     hand sub-components their own randomness without coupling them to the
     caller's consumption pattern. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] advances [t] [n] times and returns [n] fresh generators,
+    pairwise independent and independent of the remainder of [t]'s stream —
+    stream [i] is exactly the [i]-th consecutive {!split}. This is the
+    stream-splitting primitive of the parallel layer: chunked work derives
+    one stream per unit {e before} fan-out, so results are bit-identical
+    for every [jobs] value (DESIGN.md §9). Deterministic: equal seeds and
+    equal [n] yield identical stream arrays. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

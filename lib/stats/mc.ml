@@ -1,13 +1,23 @@
+module Rng = Revmax_prelude.Rng
+module Pool = Revmax_prelude.Pool
+
 type estimate = { mean : float; std_error : float; samples : int }
 
-let estimate ~samples rng f =
+(* Every sample draws from its own stream split off the caller's generator
+   before fan-out, and the moment accumulation runs sequentially in sample
+   order afterwards — so the estimate is bit-identical for every [jobs]
+   value (float addition is not associative; per-chunk partial sums would
+   depend on the chunking). *)
+let estimate ?jobs ~samples rng f =
   if samples <= 0 then invalid_arg "Mc.estimate: samples must be positive";
+  let streams = Rng.split_n rng samples in
+  let values = Pool.parallel_map ?jobs streams ~f in
   let acc = ref 0.0 and acc2 = ref 0.0 in
-  for _ = 1 to samples do
-    let v = f rng in
-    acc := !acc +. v;
-    acc2 := !acc2 +. (v *. v)
-  done;
+  Array.iter
+    (fun v ->
+      acc := !acc +. v;
+      acc2 := !acc2 +. (v *. v))
+    values;
   let n = float_of_int samples in
   let mean = !acc /. n in
   let var = Float.max 0.0 ((!acc2 /. n) -. (mean *. mean)) in
@@ -16,4 +26,5 @@ let estimate ~samples rng f =
 
 let ci95 e = (e.mean -. (1.96 *. e.std_error), e.mean +. (1.96 *. e.std_error))
 
+(* 4 sigma + epsilon, deliberately wider than ci95's 1.96 sigma: see .mli *)
 let within_ci e x = Float.abs (x -. e.mean) <= 4.0 *. e.std_error +. 1e-12

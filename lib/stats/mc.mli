@@ -6,13 +6,34 @@ type estimate = {
   samples : int;
 }
 
-val estimate : samples:int -> Revmax_prelude.Rng.t -> (Revmax_prelude.Rng.t -> float) -> estimate
+val estimate :
+  ?jobs:int ->
+  samples:int ->
+  Revmax_prelude.Rng.t ->
+  (Revmax_prelude.Rng.t -> float) ->
+  estimate
 (** [estimate ~samples rng f] averages [samples] evaluations of [f]. The
-    standard error is the sample standard deviation divided by √samples. *)
+    standard error is the sample standard deviation divided by √samples.
+
+    Each sample is evaluated on its own generator, split off [rng] with
+    {!Revmax_prelude.Rng.split_n} before any work starts, and the moments
+    are accumulated sequentially in sample order — so the estimate depends
+    only on [rng]'s state and [samples], and is {e bit-identical} for every
+    [jobs] value (default {!Revmax_prelude.Pool.default_jobs}; samples are
+    fanned out across that many domains). [f] must not touch shared mutable
+    state beyond its own generator. *)
 
 val ci95 : estimate -> float * float
-(** 95% normal confidence interval [(lo, hi)]. *)
+(** 95% normal confidence interval [(lo, hi)]:
+    [mean ± 1.96 · std_error]. *)
 
 val within_ci : estimate -> float -> bool
-(** Whether a reference value lies inside a (slightly widened, 4σ) interval —
-    the predicate used by stochastic tests to keep flakiness negligible. *)
+(** Whether a reference value lies inside a {e widened} interval
+    [mean ± (4 · std_error + 1e-12)] — deliberately {b not} the 1.96σ
+    interval of {!ci95}. The 4σ widening (plus an epsilon absorbing float
+    noise when [std_error] is 0) brings the false-alarm probability of a
+    correct stochastic test below 1e-4 per check, the flakiness target of
+    the test suite; a genuinely wrong mean still fails because estimator
+    error shrinks as √samples while a real discrepancy does not. The exact
+    widths of both intervals are pinned by a unit test so this comment
+    cannot drift from the code. *)

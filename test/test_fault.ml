@@ -551,6 +551,75 @@ let test_checkpoint_kill_and_resume () =
       Alcotest.(check (list string)) "interrupted cell rerun" [ "c" ] (List.rev !reran);
       Alcotest.(check string) "resumed output is bit-identical" expected out)
 
+(* Same scenario against the parallel grid executor, driven through the
+   REVMAX_JOBS environment knob end-to-end: the driver is SIGKILLed while
+   running the grid at REVMAX_JOBS=3 (after two cells were emitted and
+   recorded), then resumed at REVMAX_JOBS=2. The resumed stdout must be
+   byte-identical to an uninterrupted run — records are only ever a prefix
+   of the emitted cells, whatever the jobs value. *)
+let test_parallel_bench_kill_and_resume () =
+  with_temp_dir (fun dir ->
+      let cells =
+        List.map
+          (fun id ->
+            ( id,
+              meta,
+              fun () ->
+                Printf.printf "== %s ==\n" id;
+                Printf.printf "%s revenue %.3f\n" id (float_of_int (String.length id) /. 3.0) ))
+          [ "t1-gg"; "t1-lsg"; "fig2"; "fig3"; "tab2" ]
+      in
+      let expected =
+        String.concat ""
+          (List.map
+             (fun (id, _, _) ->
+               Printf.sprintf "== %s ==\n%s revenue %.3f\n" id id
+                 (float_of_int (String.length id) /. 3.0))
+             cells)
+      in
+      (match Unix.fork () with
+      | 0 ->
+          (try
+             let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+             Unix.dup2 devnull Unix.stdout;
+             Unix.close devnull;
+             (* first default_jobs call in this fresh child reads the env *)
+             Unix.putenv "REVMAX_JOBS" "3";
+             let cp = Checkpoint.create ~dir ~resume:false in
+             let on_done ~id ~status:_ ~seconds:_ =
+               if id = "t1-lsg" then Unix.kill (Unix.getpid ()) Sys.sigkill
+             in
+             ignore (Checkpoint.run_cells (Some cp) ~on_done cells)
+           with _ -> ());
+          (* only reachable if the kill failed *)
+          Unix._exit 125
+      | pid ->
+          let _, status = Unix.waitpid [] pid in
+          Alcotest.(check bool) "driver died of SIGKILL" true
+            (status = Unix.WSIGNALED Sys.sigkill));
+      (* give orphaned cell processes time to finish writing and exit *)
+      Unix.sleepf 0.3;
+      (* resume under a different jobs value than the killed run *)
+      Revmax_prelude.Pool.set_default_jobs 2;
+      let finally () = Revmax_prelude.Pool.set_default_jobs 1 in
+      Fun.protect ~finally (fun () ->
+          let cp = Checkpoint.create ~dir ~resume:true in
+          List.iteri
+            (fun i (id, _, _) ->
+              let present = Checkpoint.load_record cp ~id <> None in
+              Alcotest.(check bool)
+                (Printf.sprintf "record %s %s" id (if i < 2 then "kept" else "absent"))
+                (i < 2) present)
+            cells;
+          let statuses, out =
+            with_stdout_captured (fun () -> Checkpoint.run_cells (Some cp) cells)
+          in
+          Alcotest.(check string) "resumed output is bit-identical" expected out;
+          Alcotest.(check (list string))
+            "prefix replayed, rest rerun"
+            [ "replayed"; "replayed"; "ran"; "ran"; "ran" ]
+            (List.map (function `Ran -> "ran" | `Replayed -> "replayed") statuses)))
+
 let () =
   Alcotest.run "fault"
     [
@@ -585,5 +654,7 @@ let () =
             test_checkpoint_corrupt_record_self_heals;
           Alcotest.test_case "metadata mismatch raises" `Quick test_checkpoint_meta_mismatch_raises;
           Alcotest.test_case "SIGKILL mid-run then resume" `Quick test_checkpoint_kill_and_resume;
+          Alcotest.test_case "SIGKILL mid-parallel bench, resume with other REVMAX_JOBS" `Quick
+            test_parallel_bench_kill_and_resume;
         ] );
     ]

@@ -1,0 +1,254 @@
+(* Parallel-equivalence suite (PR 3).
+
+   The determinism contract of [Revmax_prelude.Pool] is that jobs = 1 is the
+   reference semantics and every other jobs value produces identical results
+   — revenues, strategies, statistics, Monte-Carlo estimates, checkpoint
+   bytes. This suite asserts that contract at every wired site for
+   jobs ∈ {1, 2, 4, 8} and exercises the pool's exception/nesting/lifecycle
+   behaviour directly. The fork-based parallel-grid tests (crash/resume,
+   byte-identical assembly) live in [test_parallel_grid.ml]: OCaml 5.1
+   permanently refuses [Unix.fork] once a domain has been spawned, so they
+   need a process that never touches the pool. *)
+
+module Pool = Revmax_prelude.Pool
+module Rng = Revmax_prelude.Rng
+module Err = Revmax_prelude.Err
+module Budget = Revmax_prelude.Budget
+module Mc = Revmax_stats.Mc
+module Instance = Revmax.Instance
+module Strategy = Revmax.Strategy
+module Simulate = Revmax.Simulate
+module Algorithms = Revmax.Algorithms
+module Local_greedy = Revmax.Local_greedy
+module Local_search = Revmax.Local_search
+module Runner = Revmax_experiments.Runner
+open Helpers
+
+let jobs_grid = [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool combinators                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let prop_pool_map_matches_sequential =
+  QCheck2.Test.make ~name:"parallel_map = Array.map at jobs 1,2,4,8" ~count:100
+    QCheck2.Gen.(list (int_range (-1000) 1000))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let f x = (x * x) - (3 * x) + 7 in
+      let expected = Array.map f a in
+      List.for_all (fun jobs -> Pool.parallel_map ~jobs a ~f = expected) jobs_grid)
+
+let prop_pool_init_matches_sequential =
+  QCheck2.Test.make ~name:"parallel_init/for = sequential at jobs 1,2,4,8" ~count:100
+    QCheck2.Gen.(int_range 0 200)
+    (fun n ->
+      let f i = (i * 31) mod 17 in
+      let expected = Array.init n f in
+      List.for_all
+        (fun jobs ->
+          let by_init = Pool.parallel_init ~jobs n ~f in
+          let by_for = Array.make n (-1) in
+          Pool.parallel_for ~jobs n ~f:(fun i -> by_for.(i) <- f i);
+          by_init = expected && by_for = expected)
+        jobs_grid)
+
+let test_pool_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      (match
+         Pool.parallel_map ~jobs (Array.init 16 Fun.id) ~f:(fun i ->
+             if i = 11 then failwith "boom" else i)
+       with
+      | _ -> Alcotest.failf "jobs=%d: exception swallowed" jobs
+      | exception Failure msg -> Alcotest.(check string) "exception carried" "boom" msg);
+      (* the pool stays usable after a failed call *)
+      let a = Pool.parallel_map ~jobs (Array.init 8 Fun.id) ~f:succ in
+      Alcotest.(check (array int)) "pool usable after raise" (Array.init 8 succ) a)
+    jobs_grid
+
+let test_pool_lowest_chunk_exception_wins () =
+  (* two failing chunks: the one covering the lower indices is re-raised,
+     matching the first exception a sequential run would hit *)
+  match
+    Pool.parallel_map ~jobs:4 (Array.init 16 Fun.id) ~f:(fun i ->
+        if i >= 2 then failwith (string_of_int i) else i)
+  with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Failure msg ->
+      Alcotest.(check string) "lowest failing chunk re-raised" "2" msg
+
+let test_pool_nesting () =
+  let expected = Array.init 6 (fun i -> Array.init 8 (fun j -> (i * 8) + j)) in
+  let got =
+    Pool.parallel_map ~jobs:2 (Array.init 6 Fun.id) ~f:(fun i ->
+        Pool.parallel_init ~jobs:2 8 ~f:(fun j -> (i * 8) + j))
+  in
+  Alcotest.(check bool) "nested maps deterministic" true (got = expected)
+
+let test_pool_worker_lifecycle () =
+  Pool.quiesce ();
+  Alcotest.(check int) "no workers after quiesce" 0 (Pool.worker_count ());
+  ignore (Pool.parallel_map ~jobs:4 (Array.init 16 Fun.id) ~f:succ);
+  Alcotest.(check int) "jobs=4 spawns 3 workers (caller is the 4th)" 3 (Pool.worker_count ());
+  (* jobs=1 never spawns *)
+  Pool.quiesce ();
+  ignore (Pool.parallel_map ~jobs:1 (Array.init 16 Fun.id) ~f:succ);
+  Alcotest.(check int) "jobs=1 spawns none" 0 (Pool.worker_count ());
+  ignore (Pool.parallel_map ~jobs:3 (Array.init 16 Fun.id) ~f:succ);
+  Pool.quiesce ();
+  Alcotest.(check int) "quiesce joins all" 0 (Pool.worker_count ());
+  let a = Pool.parallel_map ~jobs:3 (Array.init 5 Fun.id) ~f:succ in
+  Alcotest.(check (array int)) "pool respawns after quiesce" [| 1; 2; 3; 4; 5 |] a
+
+let test_default_jobs_knob () =
+  let saved = Pool.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs saved)
+    (fun () ->
+      Pool.set_default_jobs 5;
+      Alcotest.(check int) "set_default_jobs" 5 (Pool.default_jobs ());
+      Pool.set_default_jobs 0;
+      Alcotest.(check int) "clamped to 1" 1 (Pool.default_jobs ());
+      Alcotest.(check bool) "initial default positive" true (saved >= 1))
+
+(* ------------------------------------------------------------------ *)
+(* Rng stream splitting                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_split_n_deterministic () =
+  let a = Rng.split_n (Rng.create 42) 8 and b = Rng.split_n (Rng.create 42) 8 in
+  Array.iteri
+    (fun i s -> Alcotest.(check int64) "same stream" (Rng.int64 s) (Rng.int64 b.(i)))
+    a;
+  (* stream i is the i-th consecutive split: a prefix is a prefix *)
+  let c = Rng.split_n (Rng.create 42) 3 in
+  let a' = Rng.split_n (Rng.create 42) 8 in
+  Array.iteri
+    (fun i s -> Alcotest.(check int64) "prefix property" (Rng.int64 a'.(i)) (Rng.int64 s))
+    c
+
+(* ------------------------------------------------------------------ *)
+(* Monte-Carlo estimates: bit-identical across jobs                    *)
+(* ------------------------------------------------------------------ *)
+
+let estimates_equal (a : Mc.estimate) (b : Mc.estimate) =
+  Float.equal a.Mc.mean b.Mc.mean
+  && Float.equal a.Mc.std_error b.Mc.std_error
+  && a.Mc.samples = b.Mc.samples
+
+let prop_mc_estimate_bit_identical =
+  QCheck2.Test.make ~name:"Mc.estimate bit-identical at jobs 1,2,4,8" ~count:30
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let run jobs =
+        Mc.estimate ~jobs ~samples:64 (Rng.create seed) (fun rng ->
+            Rng.unit_float rng +. Rng.gaussian rng)
+      in
+      let reference = run 1 in
+      List.for_all (fun jobs -> estimates_equal reference (run jobs)) jobs_grid)
+
+let test_simulate_estimate_bit_identical () =
+  for seed = 0 to 4 do
+    let inst = random_instance (Rng.create seed) in
+    let s = random_valid_strategy inst (Rng.create (seed + 100)) in
+    let run jobs = Simulate.estimate_revenue ~jobs s ~samples:40 (Rng.create seed) in
+    let reference = run 1 in
+    List.iter
+      (fun jobs ->
+        if not (estimates_equal reference (run jobs)) then
+          Alcotest.failf "seed %d jobs %d: estimate differs" seed jobs)
+      jobs_grid
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Algorithms: strategies and statistics invariant in jobs             *)
+(* ------------------------------------------------------------------ *)
+
+let strategy_fingerprint s = List.sort compare (Strategy.to_list s)
+
+let test_rl_greedy_jobs_invariant () =
+  for seed = 0 to 4 do
+    let inst = random_instance (Rng.create seed) in
+    let run jobs = Local_greedy.rl_greedy ~permutations:6 ~jobs inst (Rng.create seed) in
+    let s1, st1 = run 1 in
+    List.iter
+      (fun jobs ->
+        let s, st = run jobs in
+        if strategy_fingerprint s <> strategy_fingerprint s1 then
+          Alcotest.failf "seed %d jobs %d: strategy differs" seed jobs;
+        if st <> st1 then Alcotest.failf "seed %d jobs %d: stats differ" seed jobs)
+      jobs_grid
+  done
+
+let test_local_search_jobs_invariant () =
+  for seed = 0 to 2 do
+    let inst = random_instance ~max_users:2 ~max_items:3 ~max_horizon:2 (Rng.create seed) in
+    let run jobs = Local_search.solve ~jobs inst in
+    let r1 = run 1 in
+    List.iter
+      (fun jobs ->
+        let r = run jobs in
+        if strategy_fingerprint r.Local_search.strategy
+           <> strategy_fingerprint r1.Local_search.strategy
+        then Alcotest.failf "seed %d jobs %d: strategy differs" seed jobs;
+        if not (Float.equal r.Local_search.value r1.Local_search.value) then
+          Alcotest.failf "seed %d jobs %d: value differs" seed jobs;
+        (* oracle_calls may legitimately differ (batched scans over-evaluate
+           past the accepted move); moves and truncation may not *)
+        if r.Local_search.moves <> r1.Local_search.moves then
+          Alcotest.failf "seed %d jobs %d: move count differs" seed jobs;
+        if r.Local_search.truncated <> r1.Local_search.truncated then
+          Alcotest.failf "seed %d jobs %d: truncation differs" seed jobs)
+      jobs_grid
+  done
+
+(* Outcomes with the timing-dependent seconds field projected out. *)
+let outcome_fingerprint = function
+  | Runner.Completed r ->
+      Printf.sprintf "ok %s %h %d %b" (Algorithms.name r.Runner.algo) r.Runner.revenue
+        r.Runner.strategy_size r.Runner.truncated
+  | Runner.Failed { algo; error; _ } ->
+      Printf.sprintf "fail %s %s" (Algorithms.name algo) (Err.message error)
+
+let test_run_suite_jobs_invariant () =
+  for seed = 0 to 2 do
+    let inst = random_instance (Rng.create (50 + seed)) in
+    let run jobs = Runner.run_suite ~jobs ~rlg_permutations:4 ~seed:(60 + seed) inst in
+    let reference = List.map outcome_fingerprint (run 1) in
+    List.iter
+      (fun jobs ->
+        Alcotest.(check (list string))
+          (Printf.sprintf "seed %d jobs %d" seed jobs)
+          reference
+          (List.map outcome_fingerprint (run jobs)))
+      jobs_grid
+  done
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          QCheck_alcotest.to_alcotest prop_pool_map_matches_sequential;
+          QCheck_alcotest.to_alcotest prop_pool_init_matches_sequential;
+          Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "lowest chunk exception wins" `Quick
+            test_pool_lowest_chunk_exception_wins;
+          Alcotest.test_case "nesting" `Quick test_pool_nesting;
+          Alcotest.test_case "worker lifecycle" `Quick test_pool_worker_lifecycle;
+          Alcotest.test_case "default jobs knob" `Quick test_default_jobs_knob;
+        ] );
+      ("rng", [ Alcotest.test_case "split_n deterministic prefix" `Quick test_split_n_deterministic ]);
+      ( "estimates",
+        [
+          QCheck_alcotest.to_alcotest prop_mc_estimate_bit_identical;
+          Alcotest.test_case "simulate bit-identical" `Quick test_simulate_estimate_bit_identical;
+        ] );
+      ( "algorithms",
+        [
+          Alcotest.test_case "rl_greedy jobs-invariant" `Quick test_rl_greedy_jobs_invariant;
+          Alcotest.test_case "local_search jobs-invariant" `Slow test_local_search_jobs_invariant;
+          Alcotest.test_case "run_suite jobs-invariant" `Slow test_run_suite_jobs_invariant;
+        ] );
+    ]

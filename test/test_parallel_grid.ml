@@ -1,0 +1,218 @@
+(* Parallel grid executor suite (PR 3).
+
+   These tests fork: the parallel grid runs each fresh cell in a child
+   process. OCaml 5.1's runtime permanently refuses [Unix.fork] once any
+   domain has ever been spawned in the process, so they live in their own
+   executable that never touches [Revmax_prelude.Pool] — the companion
+   domain-level tests are in [test_parallel.ml]. Asserted here: assembled
+   stdout and per-cell checkpoint records are byte-identical for every
+   jobs value, progress callbacks fire in cell order, a failing cell
+   raises only after the cells before it are emitted and recorded, and
+   the headline crash scenario — SIGKILL mid-parallel grid, resume over
+   the same directory under a different jobs value, byte-identical. *)
+
+module Err = Revmax_prelude.Err
+module Util = Revmax_prelude.Util
+module Checkpoint = Revmax_experiments.Checkpoint
+
+let jobs_grid = [ 1; 2; 4; 8 ]
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "revmax-par" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir && Sys.is_directory dir then begin
+        Array.iter (fun name -> Sys.remove (Filename.concat dir name)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let with_stdout_captured f =
+  let path = Filename.temp_file "revmax-stdout" ".txt" in
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  let restore () =
+    flush stdout;
+    Unix.dup2 saved Unix.stdout;
+    Unix.close saved
+  in
+  let result = try Ok (Fun.protect ~finally:restore f) with e -> Error e in
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  Sys.remove path;
+  match result with Ok v -> (v, contents) | Error e -> raise e
+
+let meta = [ ("scale", "unit"); ("seed", "42") ]
+
+(* Deterministic multi-line cell bodies with distinct content per cell. *)
+let grid_cells =
+  List.map
+    (fun id ->
+      ( id,
+        meta,
+        fun () ->
+          Printf.printf "=== cell %s ===\n" id;
+          for k = 1 to 3 do
+            Printf.printf "%s line %d value %.3f\n" id k (float_of_int (String.length id * k) /. 7.0)
+          done ))
+    [ "alpha"; "beta"; "gamma"; "delta"; "epsilon"; "zeta" ]
+
+let expected_grid_output () =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (id, _, _) ->
+      Buffer.add_string buf (Printf.sprintf "=== cell %s ===\n" id);
+      for k = 1 to 3 do
+        Buffer.add_string buf
+          (Printf.sprintf "%s line %d value %.3f\n" id k (float_of_int (String.length id * k) /. 7.0))
+      done)
+    grid_cells;
+  Buffer.contents buf
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let test_run_cells_bytes_identical () =
+  let expected = expected_grid_output () in
+  let reference_records = ref [] in
+  List.iter
+    (fun jobs ->
+      with_temp_dir (fun dir ->
+          let cp = Checkpoint.create ~dir ~resume:false in
+          let statuses, out =
+            with_stdout_captured (fun () -> Checkpoint.run_cells (Some cp) ~jobs grid_cells)
+          in
+          Alcotest.(check string) (Printf.sprintf "jobs=%d stdout" jobs) expected out;
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d all ran" jobs)
+            true
+            (List.for_all (( = ) `Ran) statuses);
+          let records =
+            List.map (fun (id, _, _) -> read_file (Checkpoint.record_path cp id)) grid_cells
+          in
+          if jobs = 1 then reference_records := records
+          else
+            List.iteri
+              (fun i r ->
+                Alcotest.(check string)
+                  (Printf.sprintf "jobs=%d record %d bytes" jobs i)
+                  (List.nth !reference_records i) r)
+              records;
+          (* resuming the same directory replays every cell byte-for-byte *)
+          let cp' = Checkpoint.create ~dir ~resume:true in
+          let statuses', out' =
+            with_stdout_captured (fun () -> Checkpoint.run_cells (Some cp') ~jobs grid_cells)
+          in
+          Alcotest.(check string) (Printf.sprintf "jobs=%d replay stdout" jobs) expected out';
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d all replayed" jobs)
+            true
+            (List.for_all (( = ) `Replayed) statuses')))
+    jobs_grid
+
+let test_run_cells_ordered_progress () =
+  with_temp_dir (fun dir ->
+      let cp = Checkpoint.create ~dir ~resume:false in
+      let seen = ref [] in
+      let on_done ~id ~status:_ ~seconds:_ = seen := id :: !seen in
+      let _, _ =
+        with_stdout_captured (fun () -> Checkpoint.run_cells (Some cp) ~jobs:4 ~on_done grid_cells)
+      in
+      Alcotest.(check (list string))
+        "on_done fires in cell order"
+        (List.map (fun (id, _, _) -> id) grid_cells)
+        (List.rev !seen))
+
+let test_run_cells_failing_cell () =
+  with_temp_dir (fun dir ->
+      let cp = Checkpoint.create ~dir ~resume:false in
+      let cells =
+        [
+          ("a", meta, fun () -> print_string "a ok\n");
+          ("b", meta, fun () -> print_string "b ok\n");
+          ("c", meta, fun () -> failwith "cell exploded");
+          ("d", meta, fun () -> print_string "d ok\n");
+        ]
+      in
+      (match
+         with_stdout_captured (fun () -> Checkpoint.run_cells (Some cp) ~jobs:3 cells)
+       with
+      | exception Err.Error (Err.Unexpected { context; _ }) ->
+          Alcotest.(check bool) "failure names the cell" true
+            (Util.contains_substring context "c")
+      | exception e -> Alcotest.failf "expected Err.Error, got %s" (Printexc.to_string e)
+      | _ -> Alcotest.fail "failing cell not reported");
+      (* the cells before the failure were emitted and recorded *)
+      Alcotest.(check string) "record a kept" "a ok\n"
+        (match Checkpoint.load_record cp ~id:"a" with
+        | Some (Ok (_, out)) -> out
+        | _ -> "<missing>");
+      Alcotest.(check string) "record b kept" "b ok\n"
+        (match Checkpoint.load_record cp ~id:"b" with
+        | Some (Ok (_, out)) -> out
+        | _ -> "<missing>");
+      Alcotest.(check bool) "no record for the failed cell" true
+        (Checkpoint.load_record cp ~id:"c" = None))
+
+(* The headline crash scenario: the grid driver is SIGKILLed mid-parallel
+   run (after the second cell was emitted and recorded), then the run is
+   resumed over the same directory under a different jobs value. The
+   resumed output must be byte-identical to an uninterrupted sequential
+   run: completed cells replay, the rest rerun. *)
+let test_parallel_grid_kill_and_resume () =
+  with_temp_dir (fun dir ->
+      let expected = expected_grid_output () in
+      (match Unix.fork () with
+      | 0 ->
+          (try
+             let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+             Unix.dup2 devnull Unix.stdout;
+             Unix.close devnull;
+             let cp = Checkpoint.create ~dir ~resume:false in
+             let on_done ~id ~status:_ ~seconds:_ =
+               if id = "beta" then Unix.kill (Unix.getpid ()) Sys.sigkill
+             in
+             ignore (Checkpoint.run_cells (Some cp) ~jobs:3 ~on_done grid_cells)
+           with _ -> ());
+          (* only reachable if the kill failed *)
+          Unix._exit 125
+      | pid ->
+          let _, status = Unix.waitpid [] pid in
+          Alcotest.(check bool) "driver died of SIGKILL" true
+            (status = Unix.WSIGNALED Sys.sigkill));
+      (* give orphaned worker processes time to finish writing and exit *)
+      Unix.sleepf 0.3;
+      let cp = Checkpoint.create ~dir ~resume:true in
+      (* records cover exactly the prefix emitted before the kill *)
+      List.iteri
+        (fun i (id, _, _) ->
+          let present = Checkpoint.load_record cp ~id <> None in
+          Alcotest.(check bool)
+            (Printf.sprintf "record %s %s" id (if i < 2 then "kept" else "absent"))
+            (i < 2) present)
+        grid_cells;
+      (* resume under a different jobs value than the killed run *)
+      let statuses, out =
+        with_stdout_captured (fun () -> Checkpoint.run_cells (Some cp) ~jobs:2 grid_cells)
+      in
+      Alcotest.(check string) "resumed output is bit-identical" expected out;
+      Alcotest.(check (list string))
+        "prefix replayed, rest rerun"
+        [ "replayed"; "replayed"; "ran"; "ran"; "ran"; "ran" ]
+        (List.map (function `Ran -> "ran" | `Replayed -> "replayed") statuses))
+
+let () =
+  Alcotest.run "parallel-grid"
+    [
+      ( "grid",
+        [
+          Alcotest.test_case "stdout and records byte-identical" `Quick
+            test_run_cells_bytes_identical;
+          Alcotest.test_case "ordered progress callbacks" `Quick test_run_cells_ordered_progress;
+          Alcotest.test_case "failing cell raises after prefix" `Quick test_run_cells_failing_cell;
+          Alcotest.test_case "SIGKILL mid-parallel grid, resume with other jobs" `Quick
+            test_parallel_grid_kill_and_resume;
+        ] );
+    ]

@@ -87,6 +87,72 @@ let prop_heap_model =
         ops;
       Bh.size h = List.length !model)
 
+(* Stronger model-based test: random interleavings of insert, update_key
+   (increase AND decrease through live handles), remove and delete_max,
+   with keys drawn from a 5-value set so duplicate priorities are the
+   common case, checked against a sorted association-list reference.
+   Elements carry unique ids; on a popped duplicate key any id holding
+   that key is acceptable, but it must then leave the model too. *)
+let prop_heap_model_handles =
+  let open QCheck2 in
+  Test.make ~name:"heap matches model under update_key/remove/pop (dup keys)" ~count:300
+    Gen.(list (triple (int_bound 9) (int_bound 4) (int_bound 1000)))
+    (fun ops ->
+      let h = Bh.create () in
+      (* model: (uid, key) for every live element; handles: uid -> handle *)
+      let model = ref [] in
+      let handles = Hashtbl.create 16 in
+      let next_uid = ref 0 in
+      let pick_live pick = List.nth !model (pick mod List.length !model) in
+      let insert key =
+        let uid = !next_uid in
+        incr next_uid;
+        Hashtbl.replace handles uid (Bh.insert h ~key uid);
+        model := (uid, key) :: !model
+      in
+      List.iter
+        (fun (op, key_idx, pick) ->
+          let key = float_of_int key_idx in
+          if !model = [] || op <= 4 then insert key
+          else if op <= 6 then begin
+            (* update_key: key_idx may be below or above the old key, so this
+               exercises decrease-key and increase-key alike *)
+            let uid, _ = pick_live pick in
+            Bh.update_key h (Hashtbl.find handles uid) key;
+            model := List.map (fun (u, k) -> if u = uid then (u, key) else (u, k)) !model
+          end
+          else if op = 7 then begin
+            let uid, _ = pick_live pick in
+            Bh.remove h (Hashtbl.find handles uid);
+            Hashtbl.remove handles uid;
+            model := List.filter (fun (u, _) -> u <> uid) !model
+          end
+          else begin
+            match Bh.delete_max h with
+            | None -> failwith "heap empty but model non-empty"
+            | Some (uid, k) ->
+                let best = List.fold_left (fun acc (_, k') -> Float.max acc k') neg_infinity !model in
+                if not (Helpers.float_eq k best) then failwith "popped key is not the model max";
+                (match List.assoc_opt uid !model with
+                | Some k' when Helpers.float_eq k' k -> ()
+                | _ -> failwith "popped element not in model at that key");
+                Hashtbl.remove handles uid;
+                model := List.filter (fun (u, _) -> u <> uid) !model
+          end)
+        ops;
+      (* invariants after the op sequence *)
+      if Bh.size h <> List.length !model then failwith "size mismatch";
+      List.iter
+        (fun (uid, k) ->
+          let hd = Hashtbl.find handles uid in
+          if not (Bh.contains h hd) then failwith "live handle reported absent";
+          if not (Helpers.float_eq (Bh.key hd) k) then failwith "handle key drifted from model")
+        !model;
+      (* drain: the popped key sequence is the model's keys in descending order *)
+      let drained = List.map snd (Bh.to_sorted_list h) in
+      let expected = List.sort (fun a b -> compare b a) (List.map snd !model) in
+      List.length drained = List.length expected && List.for_all2 Helpers.float_eq drained expected)
+
 (* ----- Two_level_heap tests ----- *)
 
 let test_tl_global_max () =
@@ -171,6 +237,73 @@ let prop_tl_matches_flat =
       let a = drain [] and b = drain_flat [] in
       List.length a = List.length b && List.for_all2 Helpers.float_eq a b)
 
+(* Model-based test for the two-level heap: random interleavings of
+   insert, delete_max, refresh_pair (deterministic rekey-or-drop, applied
+   identically to a flat association-list model) and drop_pair, with keys
+   from a 5-value set so duplicate priorities are common. The upper/lower
+   split is an implementation detail the model does not share, so
+   agreement here pins the §5.1 structure to flat-heap semantics. *)
+let prop_tl_model_refresh =
+  let open QCheck2 in
+  Test.make ~name:"two-level heap matches model under refresh_pair (dup keys)" ~count:300
+    Gen.(list (triple (int_bound 9) (pair (int_bound 3) (int_bound 4)) (int_bound 1000)))
+    (fun ops ->
+      let h = Tl.create () in
+      (* model: (pair, uid, key) for every live element *)
+      let model = ref [] in
+      let next_uid = ref 0 in
+      List.iter
+        (fun (op, (pair, key_idx), salt) ->
+          let key = float_of_int key_idx in
+          if !model = [] || op <= 4 then begin
+            let uid = !next_uid in
+            incr next_uid;
+            Tl.insert h ~pair ~key uid;
+            model := (pair, uid, key) :: !model
+          end
+          else if op <= 6 then begin
+            (* deterministic rekey-or-drop, mirrored in the model *)
+            let rekey uid old_key =
+              if (uid + salt) mod 7 = 0 then None
+              else Some (float_of_int ((uid + salt + int_of_float old_key) mod 5))
+            in
+            Tl.refresh_pair h pair ~f:rekey;
+            model :=
+              List.filter_map
+                (fun (p, uid, k) ->
+                  if p <> pair then Some (p, uid, k)
+                  else Option.map (fun k' -> (p, uid, k')) (rekey uid k))
+                !model
+          end
+          else if op = 7 then begin
+            Tl.drop_pair h pair;
+            model := List.filter (fun (p, _, _) -> p <> pair) !model
+          end
+          else begin
+            match Tl.delete_max h with
+            | None -> failwith "heap empty but model non-empty"
+            | Some (p, uid, k) ->
+                let best =
+                  List.fold_left (fun acc (_, _, k') -> Float.max acc k') neg_infinity !model
+                in
+                if not (Helpers.float_eq k best) then failwith "popped key is not the model max";
+                if not (List.exists (fun (p', u', k') -> p' = p && u' = uid && Helpers.float_eq k' k) !model)
+                then failwith "popped element not in model";
+                model := List.filter (fun (_, u', _) -> u' <> uid) !model
+          end)
+        ops;
+      if Tl.size h <> List.length !model then failwith "size mismatch";
+      List.iter
+        (fun pair ->
+          let expected = List.length (List.filter (fun (p, _, _) -> p = pair) !model) in
+          if Tl.pair_size h pair <> expected then failwith "pair_size mismatch")
+        [ 0; 1; 2; 3 ];
+      (* drain: popped keys descend and match the model's sorted keys *)
+      let rec drain acc = match Tl.delete_max h with None -> List.rev acc | Some (_, _, k) -> drain (k :: acc) in
+      let drained = drain [] in
+      let expected = List.sort (fun a b -> compare b a) (List.map (fun (_, _, k) -> k) !model) in
+      List.length drained = List.length expected && List.for_all2 Helpers.float_eq drained expected)
+
 let () =
   Alcotest.run "pqueue"
     [
@@ -181,6 +314,7 @@ let () =
           Alcotest.test_case "remove" `Quick test_heap_remove;
           Alcotest.test_case "of_list sorted" `Quick test_heap_of_list_sorted;
           QCheck_alcotest.to_alcotest prop_heap_model;
+          QCheck_alcotest.to_alcotest prop_heap_model_handles;
         ] );
       ( "two_level_heap",
         [
@@ -190,5 +324,6 @@ let () =
           Alcotest.test_case "missing pair no-ops" `Quick test_tl_missing_pair_noops;
           Alcotest.test_case "drop pair" `Quick test_tl_drop_pair;
           QCheck_alcotest.to_alcotest prop_tl_matches_flat;
+          QCheck_alcotest.to_alcotest prop_tl_model_refresh;
         ] );
     ]

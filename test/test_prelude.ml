@@ -17,6 +17,66 @@ let test_rng_split_independence () =
   let ys = List.init 16 (fun _ -> Rng.int64 b) in
   Alcotest.(check bool) "streams differ" true (xs <> ys)
 
+(* Frozen regression vector: the exact first outputs of each stream from
+   [split_n (create 2014) 4]. Any change to the splitting scheme breaks
+   bit-identical parallel replay of recorded experiments, so it must fail
+   this test loudly rather than slip through. *)
+let test_rng_split_n_fixed_vector () =
+  let expected =
+    [|
+      [| -222154820207809816L; -6699427474680733029L; 5999488019019728583L |];
+      [| -1003571501047460538L; -19407928421901143L; -8743373286907793499L |];
+      [| 6942381633699297496L; -4158942187869236374L; 396306503263995938L |];
+      [| 1104322556368567664L; -848950122893573342L; 7047298098243484596L |];
+    |]
+  in
+  let streams = Rng.split_n (Rng.create 2014) 4 in
+  Alcotest.(check int) "stream count" 4 (Array.length streams);
+  Array.iteri
+    (fun i s ->
+      Array.iteri
+        (fun j v ->
+          Alcotest.(check int64) (Printf.sprintf "stream %d output %d" i j) v (Rng.int64 s))
+        expected.(i))
+    streams;
+  (match Rng.split_n (Rng.create 1) (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "split_n accepted a negative count");
+  Alcotest.(check int) "split_n 0 is empty" 0 (Array.length (Rng.split_n (Rng.create 1) 0))
+
+(* Statistical independence smoke test: sibling streams from [split_n]
+   should look uncorrelated — per-stream means near 1/2 and pairwise
+   sample correlations near zero. Thresholds are loose (4-sigma-ish for
+   n = 4096) so the test is deterministic-stable, yet any accidental
+   stream aliasing (correlation 1.0) fails immediately. *)
+let test_rng_split_n_independence () =
+  let k = 6 and n = 4096 in
+  let streams = Rng.split_n (Rng.create 99) k in
+  let samples = Array.map (fun s -> Array.init n (fun _ -> Rng.unit_float s)) streams in
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int n in
+  let means = Array.map mean samples in
+  Array.iteri
+    (fun i m ->
+      if Float.abs (m -. 0.5) > 0.02 then
+        Alcotest.failf "stream %d mean %.4f drifts from 1/2" i m)
+    means;
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      let xi = samples.(i) and xj = samples.(j) in
+      let mi = means.(i) and mj = means.(j) in
+      let cov = ref 0.0 and vi = ref 0.0 and vj = ref 0.0 in
+      for t = 0 to n - 1 do
+        let di = xi.(t) -. mi and dj = xj.(t) -. mj in
+        cov := !cov +. (di *. dj);
+        vi := !vi +. (di *. di);
+        vj := !vj +. (dj *. dj)
+      done;
+      let r = !cov /. sqrt (!vi *. !vj) in
+      if Float.abs r > 0.07 then
+        Alcotest.failf "streams %d,%d correlated: r = %.4f" i j r
+    done
+  done
+
 let test_rng_int_bounds () =
   let rng = Rng.create 1 in
   for _ = 1 to 10_000 do
@@ -178,6 +238,8 @@ let () =
         [
           Alcotest.test_case "determinism" `Quick test_rng_determinism;
           Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+          Alcotest.test_case "split_n fixed vector" `Quick test_rng_split_n_fixed_vector;
+          Alcotest.test_case "split_n independence" `Slow test_rng_split_n_independence;
           Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
           Alcotest.test_case "int uniformity" `Slow test_rng_int_uniformity;
           Alcotest.test_case "unit_float range" `Quick test_unit_float_range;

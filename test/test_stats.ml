@@ -226,6 +226,32 @@ let test_mc_estimate () =
   Alcotest.(check bool) "ci contains mean" true (lo <= 0.5 && 0.5 <= hi);
   Alcotest.(check bool) "within_ci" true (Mc.within_ci e 0.5)
 
+(* Pins the exact widths documented in mc.mli: [ci95] is mean ± 1.96σ and
+   [within_ci] accepts exactly mean ± (4σ + 1e-12). The two intervals are
+   deliberately different — ci95 is the reporting interval, within_ci the
+   widened acceptance band of stochastic tests — and this test is the
+   anchor keeping the .mli documentation honest. *)
+let test_mc_interval_widths () =
+  let e = { Mc.mean = 10.0; std_error = 0.5; samples = 100 } in
+  let lo, hi = Mc.ci95 e in
+  Helpers.check_float ~eps:1e-12 "ci95 lower = mean - 1.96 se" (10.0 -. (1.96 *. 0.5)) lo;
+  Helpers.check_float ~eps:1e-12 "ci95 upper = mean + 1.96 se" (10.0 +. (1.96 *. 0.5)) hi;
+  (* within_ci boundary: 4σ + 1e-12 from the mean is inside, beyond is out *)
+  let margin = (4.0 *. 0.5) +. 1e-12 in
+  Alcotest.(check bool) "mean accepted" true (Mc.within_ci e 10.0);
+  Alcotest.(check bool) "at +margin accepted" true (Mc.within_ci e (10.0 +. margin));
+  Alcotest.(check bool) "at -margin accepted" true (Mc.within_ci e (10.0 -. margin));
+  Alcotest.(check bool) "beyond +margin rejected" false (Mc.within_ci e (10.0 +. margin +. 1e-9));
+  Alcotest.(check bool) "beyond -margin rejected" false (Mc.within_ci e (10.0 -. margin -. 1e-9));
+  (* the 1.96σ interval is strictly narrower than the acceptance band:
+     a value at the edge of ci95 passes within_ci *)
+  Alcotest.(check bool) "ci95 edge passes within_ci" true (Mc.within_ci e hi);
+  (* σ = 0: the 1e-12 epsilon still absorbs float noise around the mean *)
+  let exact = { Mc.mean = 3.0; std_error = 0.0; samples = 10 } in
+  Alcotest.(check bool) "zero-se exact mean accepted" true (Mc.within_ci exact 3.0);
+  Alcotest.(check bool) "zero-se noise absorbed" true (Mc.within_ci exact (3.0 +. 1e-13));
+  Alcotest.(check bool) "zero-se real gap rejected" false (Mc.within_ci exact 3.1)
+
 let () =
   Alcotest.run "stats"
     [
@@ -262,5 +288,9 @@ let () =
           Alcotest.test_case "monte carlo agrees" `Slow test_pb_monte_carlo_agrees;
           Alcotest.test_case "invalid probability" `Quick test_pb_invalid_probability;
         ] );
-      ("mc", [ Alcotest.test_case "estimate" `Slow test_mc_estimate ]);
+      ( "mc",
+        [
+          Alcotest.test_case "estimate" `Slow test_mc_estimate;
+          Alcotest.test_case "interval widths pinned" `Quick test_mc_interval_widths;
+        ] );
     ]
