@@ -19,6 +19,8 @@ module Experiments = Revmax_experiments.Experiments
 module Checkpoint = Revmax_experiments.Checkpoint
 module Util = Revmax_prelude.Util
 module Rng = Revmax_prelude.Rng
+module Metrics = Revmax_prelude.Metrics
+module Log = Revmax_prelude.Metrics.Log
 module Instance = Revmax.Instance
 module Strategy = Revmax.Strategy
 module Revenue = Revmax.Revenue
@@ -120,13 +122,13 @@ let run_micro () =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
   let raw = Benchmark.all cfg instances micro_tests in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  Printf.printf "\n=== Microbenchmarks (Bechamel, monotonic clock) ===\n";
+  Log.out "\n=== Microbenchmarks (Bechamel, monotonic clock) ===\n";
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   List.iter
     (fun (name, ols) ->
       match Analyze.OLS.estimates ols with
-      | Some (t :: _) -> Printf.printf "%-45s %12.1f ns/run\n" name t
-      | Some [] | None -> Printf.printf "%-45s (no estimate)\n" name)
+      | Some (t :: _) -> Log.out "%-45s %12.1f ns/run\n" name t
+      | Some [] | None -> Log.out "%-45s (no estimate)\n" name)
     (List.sort compare rows)
 
 (* ----- Main ----- *)
@@ -134,14 +136,15 @@ let run_micro () =
 let () =
   (* allocation-heavy planning benefits from a roomier minor heap *)
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 16 * 1024 * 1024; space_overhead = 200 };
+  Metrics.env_setup ();
   let cfg = Config.load () in
   (* meta/progress lines go to stderr: stdout carries only deterministic
      experiment content, so checkpointed and resumed runs compare equal *)
-  Printf.eprintf "REVMAX benchmark suite — scale=%s seed=%d jobs=%d\n"
+  Log.info "REVMAX benchmark suite — scale=%s seed=%d jobs=%d\n"
     (Config.scale_name cfg.Config.scale)
     cfg.Config.seed
     (Revmax_prelude.Pool.default_jobs ());
-  Printf.eprintf "(REVMAX_SCALE=quick|default|full selects sizes; see DESIGN.md section 4)\n%!";
+  Log.info "(REVMAX_SCALE=quick|default|full selects sizes; see DESIGN.md section 4)\n";
   let only =
     match Sys.getenv_opt "REVMAX_ONLY" with
     | None -> None
@@ -175,11 +178,11 @@ let () =
   in
   let on_done ~id ~status ~seconds =
     match status with
-    | `Ran -> Printf.eprintf "[%s finished in %.1fs]\n%!" id seconds
-    | `Replayed -> Printf.eprintf "[%s replayed from checkpoint]\n%!" id
+    | `Ran -> Log.info "[%s finished in %.1fs]\n" id seconds
+    | `Replayed -> Log.info "[%s replayed from checkpoint]\n" id
   in
   ignore (Checkpoint.run_cells checkpoint ~on_done cells);
   (match (only, Sys.getenv_opt "REVMAX_SKIP_MICRO") with
   | None, None -> run_micro ()
   | _ -> ());
-  Printf.eprintf "\nTotal benchmark time: %.1fs\n" (Unix.gettimeofday () -. total_t0)
+  Log.info "\nTotal benchmark time: %.1fs\n" (Unix.gettimeofday () -. total_t0)

@@ -55,14 +55,29 @@ let jobs_arg =
            grids). Results are deterministic: every N produces the same strategies, revenues \
            and outputs. Defaults to $(b,REVMAX_JOBS), or 1.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "metrics" ] ~docv:"DEST"
+        ~doc:
+          "Enable the $(b,Metrics) registry and dump a snapshot at exit: $(b,-) (the default \
+           when DEST is omitted) writes Prometheus text to stderr; a path writes to that file \
+           (JSON when it ends in .json, Prometheus text otherwise). $(b,REVMAX_METRICS) is the \
+           environment equivalent; see also $(b,REVMAX_LOG) for diagnostic verbosity.")
+
 let config_term =
-  let make scale seed jobs =
+  let make scale seed jobs metrics =
     (match jobs with
     | Some j -> Revmax_prelude.Pool.set_default_jobs j
     | None -> ());
+    Revmax_prelude.Metrics.env_setup ();
+    (match metrics with
+    | Some dest -> Revmax_prelude.Metrics.enable_reporting dest
+    | None -> ());
     { (Config.of_scale ~seed scale) with Config.scale }
   in
-  Term.(const make $ scale_arg $ seed_arg $ jobs_arg)
+  Term.(const make $ scale_arg $ seed_arg $ jobs_arg $ metrics_arg)
 
 let deadline_arg =
   Arg.(
@@ -135,7 +150,7 @@ let experiment_cmd =
       let on_done ~id ~status ~seconds:_ =
         match status with
         | `Ran -> ()
-        | `Replayed -> Printf.eprintf "[%s replayed from checkpoint]\n%!" id
+        | `Replayed -> Revmax_prelude.Metrics.Log.info "[%s replayed from checkpoint]\n" id
       in
       let run_cells cells =
         ignore

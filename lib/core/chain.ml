@@ -23,6 +23,16 @@
    division. [marginal] computes an insertion's revenue delta in O(L)
    without mutating anything — the hot path of every greedy. *)
 
+module Metrics = Revmax_prelude.Metrics
+
+let c_inserts = Metrics.counter "chain.inserts"
+
+let c_removes = Metrics.counter "chain.removes"
+
+let c_recomputes = Metrics.counter "chain.recomputes"
+
+let c_marginals = Metrics.counter "chain.marginals"
+
 type t = {
   inst : Instance.t;
   mutable len : int;
@@ -102,6 +112,7 @@ let refresh_revenues c =
    order as the naive evaluator so the floating-point sums and products are
    reproduced exactly; O(L²) worst case but only used by [remove] *)
 let recompute c =
+  Metrics.incr c_recomputes;
   let j = ref 0 in
   let prefix = ref 1.0 in
   while !j < c.len do
@@ -143,6 +154,7 @@ let ensure_capacity c n =
   end
 
 let insert c (z : Triple.t) =
+  Metrics.incr c_inserts;
   ensure_capacity c (c.len + 1);
   (let j0 = find c z in
    if j0 >= 0 && Triple.equal c.zs.(j0) z then invalid_arg "Chain.insert: duplicate triple");
@@ -199,6 +211,7 @@ let insert c (z : Triple.t) =
   refresh_revenues c
 
 let remove c (z : Triple.t) =
+  Metrics.incr c_removes;
   let j0 = find c z in
   if j0 < 0 || not (Triple.equal c.zs.(j0) z) then
     invalid_arg "Chain.remove: absent triple";
@@ -220,6 +233,7 @@ let prob ~with_saturation c (z : Triple.t) =
   else Some (if c.q.(j) <= 0.0 then 0.0 else c.q.(j) *. c.comp.(j))
 
 let marginal ~with_saturation c (z : Triple.t) =
+  Metrics.incr c_marginals;
   let qz = Instance.q c.inst ~u:z.u ~i:z.i ~time:z.t in
   let one_minus_qz = 1.0 -. qz in
   let mz = ref 0.0 and compz = ref 1.0 in

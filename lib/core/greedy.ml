@@ -1,6 +1,19 @@
 module Tl = Revmax_pqueue.Two_level_heap
 module Bh = Revmax_pqueue.Binary_heap
 module Budget = Revmax_prelude.Budget
+module Metrics = Revmax_prelude.Metrics
+
+(* bulk-added from the run's own stat refs on exit, so the hot loop carries
+   no extra branches and the totals stay jobs-invariant *)
+let c_runs = Metrics.counter "greedy.runs"
+
+let c_evals = Metrics.counter "greedy.marginal_evaluations"
+
+let c_pops = Metrics.counter "greedy.pops"
+
+let c_selected = Metrics.counter "greedy.selected"
+
+let c_truncated = Metrics.counter "greedy.truncated"
 
 type stats = { marginal_evaluations : int; pops : int; selected : int; truncated : bool }
 
@@ -10,6 +23,7 @@ type elt = { z : Triple.t; mutable flag : int }
 
 let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
     ?(evaluator = `Incremental) ?(allowed = fun _ -> true) ?base ?trace ?budget inst =
+  Metrics.span "greedy.run" @@ fun () ->
   if (not lazy_forward) && heap = `Giant then
     invalid_arg "Greedy.run: eager refresh requires the two-level heap";
   let s = match base with Some b -> Strategy.copy b | None -> Strategy.create inst in
@@ -136,4 +150,9 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
               end
       in
       loop ());
+  Metrics.incr c_runs;
+  Metrics.incr c_evals ~by:!evals;
+  Metrics.incr c_pops ~by:!pops;
+  Metrics.incr c_selected ~by:!selected;
+  if !truncated then Metrics.incr c_truncated;
   (s, { marginal_evaluations = !evals; pops = !pops; selected = !selected; truncated = !truncated })

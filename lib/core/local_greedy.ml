@@ -1,6 +1,18 @@
 module Bh = Revmax_pqueue.Binary_heap
 module Rng = Revmax_prelude.Rng
 module Budget = Revmax_prelude.Budget
+module Metrics = Revmax_prelude.Metrics
+
+(* bulk-added from the run's stat refs on exit, as in Greedy *)
+let c_runs = Metrics.counter "local_greedy.runs"
+
+let c_evals = Metrics.counter "local_greedy.marginal_evaluations"
+
+let c_pops = Metrics.counter "local_greedy.pops"
+
+let c_selected = Metrics.counter "local_greedy.selected"
+
+let c_permutations = Metrics.counter "local_greedy.permutations"
 
 type stats = Greedy.stats = {
   marginal_evaluations : int;
@@ -95,6 +107,10 @@ let greedy_in_order ?(with_saturation = true) ?(evaluator = `Incremental)
     consume ()
   in
   List.iter (fun tm -> if not (out_of_budget ()) then round tm) order;
+  Metrics.incr c_runs;
+  Metrics.incr c_evals ~by:!evals;
+  Metrics.incr c_pops ~by:!pops;
+  Metrics.incr c_selected ~by:!selected;
   (s, { marginal_evaluations = !evals; pops = !pops; selected = !selected; truncated = !truncated })
 
 let sl_greedy ?with_saturation ?evaluator ?allowed ?base ?trace ?budget inst =
@@ -152,6 +168,7 @@ let rl_greedy ?with_saturation ?evaluator ?(permutations = 20) ?allowed ?base ?b
     end
   in
   let order_array = Array.of_list !orders in
+  Metrics.incr c_permutations ~by:(Array.length order_array);
   let results =
     Revmax_prelude.Pool.parallel_init ?jobs (Array.length order_array) ~f:(fun idx ->
         run_one idx order_array.(idx))

@@ -1,3 +1,16 @@
+module Metrics = Revmax_prelude.Metrics
+
+(* oracle-call accounting: naive vs incremental entry points, and whether
+   the incremental path hit a cached chain view or the empty-chain closed
+   form. Atomic increments, so the totals are jobs-invariant. *)
+let c_marginal_naive = Metrics.counter "revenue.marginal_naive"
+
+let c_marginal_incremental = Metrics.counter "revenue.marginal_incremental"
+
+let c_marginal_cached = Metrics.counter "revenue.marginal_cached"
+
+let c_marginal_empty = Metrics.counter "revenue.marginal_empty"
+
 let memory ~chain ~time =
   List.fold_left
     (fun acc (z : Triple.t) ->
@@ -59,6 +72,7 @@ let dynamic_probability_in ?(with_saturation = true) s z =
 let marginal ?with_saturation s z =
   if Strategy.mem s z then 0.0
   else begin
+    Metrics.incr c_marginal_naive;
     let inst = Strategy.instance s in
     let chain = Strategy.chain_of_triple s z in
     chain_revenue ?with_saturation inst (Triple.chain_insert chain z)
@@ -67,15 +81,20 @@ let marginal ?with_saturation s z =
 
 let marginal_incremental ?(with_saturation = true) s z =
   if Strategy.mem s z then 0.0
-  else
+  else begin
+    Metrics.incr c_marginal_incremental;
     match Strategy.chain_view_of_triple s z with
-    | Some c -> Chain.marginal ~with_saturation c z
+    | Some c ->
+        Metrics.incr c_marginal_cached;
+        Chain.marginal ~with_saturation c z
     | None ->
         (* empty chain: the marginal reduces to p·q (no memory, no
            competition), exactly Algorithm 1's initialization value *)
+        Metrics.incr c_marginal_empty;
         let inst = Strategy.instance s in
         let q = Instance.q inst ~u:z.u ~i:z.i ~time:z.t in
         if q <= 0.0 then 0.0 else Instance.price inst ~i:z.i ~time:z.t *. q
+  end
 
 let total_incremental ?(with_saturation = true) s =
   let acc = ref 0.0 in

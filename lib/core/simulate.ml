@@ -1,5 +1,10 @@
 module Rng = Revmax_prelude.Rng
 module Mc = Revmax_stats.Mc
+module Metrics = Revmax_prelude.Metrics
+
+(* atomic, so per-world increments from parallel domains are lossless and
+   the total is jobs-invariant *)
+let c_worlds = Metrics.counter "simulate.worlds"
 
 (* Draw the desire coins of a chain, then find the earliest time step whose
    only desired triple also passes its saturation coin. *)
@@ -38,6 +43,7 @@ let iter_chains s f =
     (Strategy.to_list s)
 
 let revenue_once s rng =
+  Metrics.incr c_worlds;
   let inst = Strategy.instance s in
   let acc = ref 0.0 in
   iter_chains s (fun chain ->

@@ -1,5 +1,7 @@
 module Err = Revmax_prelude.Err
 module Io = Revmax.Io
+module Metrics = Revmax_prelude.Metrics
+module Log = Revmax_prelude.Metrics.Log
 
 type t = { dir : string; resume : bool }
 
@@ -40,13 +42,19 @@ let escape s =
     s;
   Buffer.contents b
 
-let write_record oc ~id ~meta ~output =
+let write_record oc ~id ~meta ?metrics ~output () =
   Printf.fprintf oc "{\"id\": \"%s\",\n \"meta\": {" (escape id);
   List.iteri
     (fun idx (k, v) ->
       Printf.fprintf oc "%s\"%s\": \"%s\"" (if idx = 0 then "" else ", ") (escape k) (escape v))
     meta;
-  Printf.fprintf oc "},\n \"output\": \"%s\"}\n" (escape output)
+  Printf.fprintf oc "},\n";
+  (* the metrics member exists only when the cell ran with metrics enabled,
+     so disabled-path records are byte-identical to the pre-metrics format *)
+  (match metrics with
+  | Some m -> Printf.fprintf oc " \"metrics\": \"%s\",\n" (escape m)
+  | None -> ());
+  Printf.fprintf oc " \"output\": \"%s\"}\n" (escape output)
 
 exception Bad_json of string
 
@@ -138,11 +146,13 @@ let parse_string_object c =
   end;
   List.rev !fields
 
-(* parse {"id": <string>, "meta": <string object>, "output": <string>} *)
+(* parse {"id": <string>, "meta": <string object>, ["metrics": <string>,]
+   "output": <string>}; the metrics member is optional so records written
+   before (or without) metrics parse unchanged *)
 let parse_record text =
   let c = { text; pos = 0 } in
   expect c '{';
-  let id = ref None and meta = ref None and output = ref None in
+  let id = ref None and meta = ref None and output = ref None and metrics = ref None in
   let rec members () =
     skip_ws c;
     let k = parse_string c in
@@ -151,6 +161,7 @@ let parse_record text =
     (match k with
     | "id" -> id := Some (parse_string c)
     | "meta" -> meta := Some (parse_string_object c)
+    | "metrics" -> metrics := Some (parse_string c)
     | "output" -> output := Some (parse_string c)
     | other -> raise (Bad_json ("unknown record member " ^ other)));
     skip_ws c;
@@ -162,7 +173,7 @@ let parse_record text =
   in
   members ();
   match (!id, !meta, !output) with
-  | Some id, Some meta, Some output -> (id, meta, output)
+  | Some id, Some meta, Some output -> (id, meta, output, !metrics)
   | _ -> raise (Bad_json "record is missing id, meta, or output")
 
 let read_file path =
@@ -176,7 +187,7 @@ let load_record t ~id =
   if not (Sys.file_exists path) then None
   else
     match parse_record (read_file path) with
-    | rid, meta, output ->
+    | rid, meta, output, _metrics ->
         if rid <> id then
           Some (Result.Error (Err.Parse_error { file = path; line = 1; col = 0; msg = "record id mismatch: " ^ rid }))
         else Some (Ok (meta, output))
@@ -184,8 +195,17 @@ let load_record t ~id =
         Some (Result.Error (Err.Parse_error { file = path; line = 1; col = 0; msg }))
     | exception Sys_error msg -> Some (Result.Error (Err.Io_error { path; msg }))
 
-let save_record t ~id ~meta ~output =
-  Io.save_atomic (record_path t id) (fun oc -> write_record oc ~id ~meta ~output)
+let load_metrics t ~id =
+  let path = record_path t id in
+  if not (Sys.file_exists path) then None
+  else
+    match parse_record (read_file path) with
+    | _, _, _, metrics -> metrics
+    | exception Bad_json _ -> None
+    | exception Sys_error _ -> None
+
+let save_record t ~id ~meta ?metrics ~output () =
+  Io.save_atomic (record_path t id) (fun oc -> write_record oc ~id ~meta ?metrics ~output ())
 
 (* Run [f] with fd 1 redirected into a temp file inside the checkpoint
    directory; returns the captured bytes. Capturing at the fd level also
@@ -236,9 +256,21 @@ let replay_output t ~id ~meta =
     | Some (Result.Error e) ->
         (* self-heal: a record corrupted by a crash or disk fault is
            reported and the cell simply reruns *)
-        Printf.eprintf "[checkpoint] corrupt record ignored (%s); rerunning %s\n%!"
-          (Err.message e) id;
+        Log.warn "[checkpoint] corrupt record ignored (%s); rerunning %s\n" (Err.message e) id;
         None
+
+(* Run [f] and, when metrics are enabled, return the JSON profile of just
+   this cell's activity (the diff of the global registry around [f]). *)
+let with_cell_metrics f =
+  if not (Metrics.enabled ()) then begin
+    f ();
+    None
+  end
+  else begin
+    let before = Metrics.snapshot () in
+    f ();
+    Some (Metrics.to_json (Metrics.diff ~before ~after:(Metrics.snapshot ())))
+  end
 
 let run_cell cp ~id ~meta f =
   match cp with
@@ -248,14 +280,13 @@ let run_cell cp ~id ~meta f =
   | Some t -> (
       match replay_output t ~id ~meta with
       | Some output ->
-          print_string output;
-          flush stdout;
+          Log.out_str output;
           `Replayed
       | None ->
-          let output = capture_stdout t f in
-          print_string output;
-          flush stdout;
-          save_record t ~id ~meta ~output;
+          let metrics = ref None in
+          let output = capture_stdout t (fun () -> metrics := with_cell_metrics f) in
+          Log.out_str output;
+          save_record t ~id ~meta ?metrics:!metrics ~output ();
           `Ran)
 
 (* ----- parallel grid execution ----- *)
@@ -309,9 +340,9 @@ let run_cells cp ?jobs ?on_done cells =
     (Revmax_prelude.Pool.quiesce ();
      not (can_fork ()))
   then begin
-    Printf.eprintf
+    Log.warn
       "[checkpoint] process-parallel grid unavailable (this OCaml runtime refuses fork once \
-       domains were spawned); running cells sequentially\n%!";
+       domains were spawned); running cells sequentially\n";
     run_seq ()
   end
   else begin
@@ -353,18 +384,25 @@ let run_cells cp ?jobs ?on_done cells =
       flush stderr;
       match Unix.fork () with
       | 0 ->
-          (* child: stdout goes to the capture file; _exit skips at_exit *)
+          (* child: stdout goes to the capture file; the cell's metrics
+             profile goes to a sidecar next to it for the parent to merge
+             into the record; _exit skips at_exit (no double metric dump) *)
           let code =
             try
               let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
               Unix.dup2 fd Unix.stdout;
               Unix.close fd;
-              f ();
+              (match with_cell_metrics f with
+              | None -> ()
+              | Some m ->
+                  let oc = open_out (path ^ ".metrics") in
+                  output_string oc m;
+                  close_out oc);
               flush stdout;
               0
             with e ->
               let id, _, _ = cells.(idx) in
-              Printf.eprintf "[checkpoint] cell %s raised: %s\n%!" id (Printexc.to_string e);
+              Log.err "[checkpoint] cell %s raised: %s\n" id (Printexc.to_string e);
               1
           in
           Unix._exit code
@@ -397,8 +435,10 @@ let run_cells cp ?jobs ?on_done cells =
       done;
       Array.iter
         (fun path ->
-          if path <> "" && Sys.file_exists path then
-            try Sys.remove path with Sys_error _ -> ())
+          if path <> "" then
+            List.iter
+              (fun p -> if Sys.file_exists p then try Sys.remove p with Sys_error _ -> ())
+              [ path; path ^ ".metrics" ])
         capture
     in
     let statuses = ref [] in
@@ -408,8 +448,7 @@ let run_cells cp ?jobs ?on_done cells =
          let id, meta, _ = cells.(idx) in
          match plan.(idx) with
          | Replay output ->
-             print_string output;
-             flush stdout;
+             Log.out_str output;
              notify ~id ~status:`Replayed ~seconds:0.0;
              statuses := `Replayed :: !statuses
          | Fresh _ ->
@@ -425,11 +464,19 @@ let run_cells cp ?jobs ?on_done cells =
                       msg = "cell process failed (see stderr); records before it are kept";
                     });
              let output = read_file capture.(idx) in
+             let mpath = capture.(idx) ^ ".metrics" in
+             let metrics =
+               if Sys.file_exists mpath then begin
+                 let m = read_file mpath in
+                 Sys.remove mpath;
+                 Some m
+               end
+               else None
+             in
              Sys.remove capture.(idx);
              capture.(idx) <- "";
-             print_string output;
-             flush stdout;
-             (match cp with Some t -> save_record t ~id ~meta ~output | None -> ());
+             Log.out_str output;
+             (match cp with Some t -> save_record t ~id ~meta ?metrics ~output () | None -> ());
              notify ~id ~status:`Ran ~seconds:elapsed.(idx);
              statuses := `Ran :: !statuses
        done

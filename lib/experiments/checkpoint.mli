@@ -12,7 +12,15 @@
     Record format — a flat JSON object with string values only:
     {v {"id": "<cell id>",
  "meta": {"scale": "quick", "seed": "42", ...},
+ "metrics": "<JSON metrics profile>",   (only when metrics were enabled)
  "output": "<captured stdout, JSON-escaped>"} v}
+
+    When {!Revmax_prelude.Metrics} is enabled, each fresh cell's record
+    carries the JSON profile of just that cell's activity (the diff of the
+    metrics registry around the cell body) in an optional ["metrics"]
+    member; with metrics disabled the member is absent and records are
+    byte-identical to ones written by a build without metrics. Old records
+    (without the member) still parse.
 
     Failure handling: a record that fails to parse (e.g. truncated by a
     crash predating the atomic rename, or corrupted on disk) is reported on
@@ -88,4 +96,9 @@ val load_record :
   t -> id:string -> ((string * string) list * string, Revmax_prelude.Err.t) result option
 (** Read and parse a cell's record: [None] when absent, [Some (Ok (meta,
     output))] when valid, [Some (Error _)] when unreadable or corrupt.
+    Exposed for tests and tooling. *)
+
+val load_metrics : t -> id:string -> string option
+(** The JSON metrics profile recorded for a cell, if its record exists,
+    parses, and carries one (cells run with metrics disabled record none).
     Exposed for tests and tooling. *)

@@ -19,7 +19,7 @@ let load () =
     | Some "full" -> Full
     | Some "default" | None -> Default
     | Some other ->
-        Printf.eprintf "REVMAX_SCALE=%s not recognized; using default\n%!" other;
+        Revmax_prelude.Metrics.Log.warn "REVMAX_SCALE=%s not recognized; using default\n" other;
         Default
   in
   let seed =

@@ -1,4 +1,5 @@
 module Table = Revmax_prelude.Table
+module Log = Revmax_prelude.Metrics.Log
 module Util = Revmax_prelude.Util
 module Rng = Revmax_prelude.Rng
 module Instance = Revmax.Instance
@@ -55,7 +56,7 @@ let fig1 (cfg : Config.t) =
       List.iter
         (fun prepared ->
           let users = prepared.Pipeline.num_users in
-          Printf.printf "\n[%s%s]\n" prepared.Pipeline.name
+          Log.out "\n[%s%s]\n" prepared.Pipeline.name
             (if singleton then ", class size 1" else "");
           let rows =
             List.map
@@ -79,7 +80,7 @@ let fig23 (cfg : Config.t) ~singleton =
       let users = prepared.Pipeline.num_users in
       List.iter
         (fun (cap_label, spec) ->
-          Printf.printf "\n[%s (%s)%s]\n" prepared.Pipeline.name cap_label
+          Log.out "\n[%s (%s)%s]\n" prepared.Pipeline.name cap_label
             (if singleton then ", class size 1" else "");
           let rows =
             List.map
@@ -139,7 +140,7 @@ let fig4 (cfg : Config.t) =
         List.init horizon (fun idx -> horizon - idx) (* reverse chronological *)
       in
       let rlg = capture (fun ~trace -> Local_greedy.greedy_in_order ~trace inst ~order:rlg_order) in
-      Printf.printf "\n[%s]  (|S|, expected revenue) checkpoints\n" prepared.Pipeline.name;
+      Log.out "\n[%s]  (|S|, expected revenue) checkpoints\n" prepared.Pipeline.name;
       let t = Table.create ~columns:[ "series"; "points" ] in
       List.iter
         (fun (name, points) ->
@@ -184,7 +185,7 @@ let fig5 (cfg : Config.t) =
           in
           Table.add_row t (Printf.sprintf "%.1f" beta :: cells))
         [ 0.1; 0.5; 0.9 ];
-      Printf.printf "\n[%s]\n" prepared.Pipeline.name;
+      Log.out "\n[%s]\n" prepared.Pipeline.name;
       Table.print t)
     (Datasets.both cfg)
 
@@ -230,7 +231,7 @@ let fig6 (cfg : Config.t) =
         ])
     (Config.fig6_user_counts cfg);
   Table.print t;
-  Printf.printf "(near-constant us/triple = the near-linear growth of Figure 6)\n"
+  Log.out "(near-constant us/triple = the near-linear growth of Figure 6)\n"
 
 (* ----- Figure 7: gradual price availability ----- *)
 
@@ -259,7 +260,7 @@ let fig7 (cfg : Config.t) =
           List.iter
             (fun c -> add (Printf.sprintf "RLG_%d" c) (run_rolling rlg_algo [ c ]))
             cutoffs;
-          Printf.printf "\n[%s (%s)]\n" prepared.Pipeline.name cap_label;
+          Log.out "\n[%s (%s)]\n" prepared.Pipeline.name cap_label;
           Table.print t)
         [
           ("Gaussian", Config.cap_gaussian cfg ~users);
@@ -409,7 +410,7 @@ let bench_greedy (cfg : Config.t) =
         ])
     rows;
   Table.print t;
-  Printf.printf
+  Log.out
     "(identical selections by construction — rel dRev is the accumulated float drift;\n\
     \ speedup grows with chain length: naive marginals are O(L^2), incremental O(L))\n"
 
@@ -479,7 +480,7 @@ let abl_exact (cfg : Config.t) =
   let arr = Array.of_list !ratios in
   if Array.length arr > 0 then begin
     let summary = Revmax_prelude.Summary.of_array arr in
-    Printf.printf "G-Greedy / OPT over %d micro instances: mean %.3f, min %.3f\n"
+    Log.out "G-Greedy / OPT over %d micro instances: mean %.3f, min %.3f\n"
       summary.Revmax_prelude.Summary.count summary.Revmax_prelude.Summary.mean
       summary.Revmax_prelude.Summary.min
   end;
@@ -502,7 +503,7 @@ let abl_exact (cfg : Config.t) =
   in
   let _, v_exact = Exact.solve_t1 t1_inst in
   let s_gg, _ = Greedy.run t1_inst in
-  Printf.printf "T=1 (PTIME case): Max-DCS optimum %.2f, G-Greedy %.2f (ratio %.4f)\n" v_exact
+  Log.out "T=1 (PTIME case): Max-DCS optimum %.2f, G-Greedy %.2f (ratio %.4f)\n" v_exact
     (Revenue.total s_gg)
     (Revenue.total s_gg /. v_exact);
   (* R-REVMAX local search on a micro instance: value and oracle cost *)
@@ -510,7 +511,7 @@ let abl_exact (cfg : Config.t) =
   if Instance.num_candidate_triples ls_inst > 0 then begin
     let r = Local_search.solve ~eps:0.3 ls_inst in
     let gg, _ = Greedy.run ls_inst in
-    Printf.printf
+    Log.out
       "R-REVMAX local search: value %.3f with %d oracle calls; G-Greedy (strict) %.3f with %d triples\n"
       r.Local_search.value r.Local_search.oracle_calls (Revenue.total gg)
       (Instance.num_candidate_triples ls_inst)
@@ -560,7 +561,7 @@ let abl_rs (cfg : Config.t) =
       Table.add_row t (p.Pipeline.name :: Runner.revenue_row results))
     [ prepared; knn_prepared; content_prepared ];
   Table.print t;
-  Printf.printf
+  Log.out
     "(the algorithm hierarchy is the framework's claim; which substrate earns more depends on\n\
     \ its rating accuracy - REVMAX consumes any of the three families of s2: model-based MF,\n\
     \ memory-based kNN, content-based)\n"

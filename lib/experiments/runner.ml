@@ -3,6 +3,16 @@ module Strategy = Revmax.Strategy
 module Revenue = Revmax.Revenue
 module Util = Revmax_prelude.Util
 module Err = Revmax_prelude.Err
+module Metrics = Revmax_prelude.Metrics
+module Log = Revmax_prelude.Metrics.Log
+
+let c_suites = Metrics.counter "runner.suites"
+
+let c_algos = Metrics.counter "runner.algorithms"
+
+let c_failures = Metrics.counter "runner.failures"
+
+let t_algo = Metrics.timer "runner.algorithm"
 
 type timed_result = {
   algo : Algorithms.t;
@@ -24,9 +34,11 @@ let resolve_suite ~rlg_permutations = function
         Algorithms.default_suite
 
 let guarded ~algo run =
+  Metrics.incr c_algos;
   let context = Printf.sprintf "algorithm %s" (Algorithms.name algo) in
   let outcome, seconds =
     Util.time_it (fun () ->
+        Metrics.span_t t_algo @@ fun () ->
         match Err.protect ~context run with
         | Result.Error e -> Result.Error e
         | Ok (s, truncated) -> (
@@ -41,7 +53,9 @@ let guarded ~algo run =
   match outcome with
   | Ok (revenue, strategy_size, truncated) ->
       Completed { algo; revenue; seconds; strategy_size; truncated }
-  | Result.Error error -> Failed { algo; seconds; error }
+  | Result.Error error ->
+      Metrics.incr c_failures;
+      Failed { algo; seconds; error }
 
 (* Each algorithm reads only the (immutable) instance and derives its RNG
    from [seed], so the suite fans out across domains; outcomes land in
@@ -49,6 +63,7 @@ let guarded ~algo run =
    shift under contention, but the revenues, strategies and sizes are
    jobs-invariant (budgeted runs are timing-dependent, as always). *)
 let run_suite ?suite ?budget ?jobs ~rlg_permutations ~seed inst =
+  Metrics.incr c_suites;
   let algos = Array.of_list (resolve_suite ~rlg_permutations suite) in
   Array.to_list
     (Revmax_prelude.Pool.parallel_map ?jobs algos ~f:(fun algo ->
@@ -71,7 +86,7 @@ let report_failures outcomes =
     (function
       | Completed _ -> ()
       | Failed { algo; error; _ } ->
-          Printf.eprintf "[runner] %s failed: %s\n%!" (Algorithms.name algo) (Err.message error))
+          Log.err "[runner] %s failed: %s\n" (Algorithms.name algo) (Err.message error))
     outcomes
 
-let section title = Printf.printf "\n=== %s ===\n%!" title
+let section title = Log.out "\n=== %s ===\n" title

@@ -65,7 +65,10 @@ val time_row : outcome list -> string list
     as ["FAIL"]. *)
 
 val report_failures : outcome list -> unit
-(** Print one [stderr] line per failed cell (no-op when all completed). *)
+(** Log one error-level diagnostic line per failed cell via
+    {!Revmax_prelude.Metrics.Log.err} (no-op when all completed, silent at
+    [REVMAX_LOG=quiet]). *)
 
 val section : string -> unit
-(** Print a section banner for an experiment. *)
+(** Print a section banner for an experiment through the content sink
+    ({!Revmax_prelude.Metrics.Log.out}). *)

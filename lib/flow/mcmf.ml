@@ -1,4 +1,11 @@
 module Heap = Revmax_pqueue.Binary_heap
+module Metrics = Revmax_prelude.Metrics
+
+let c_solves = Metrics.counter "mcmf.solves"
+
+let c_augmentations = Metrics.counter "mcmf.augmentations"
+
+let c_bf_seeds = Metrics.counter "mcmf.bf_seeds"
 
 type t = {
   n : int;
@@ -8,6 +15,7 @@ type t = {
   mutable cost : float array;
   mutable arcs : int; (* number of arc slots in use *)
   adj : int list array; (* arc indices leaving each node, reversed order *)
+  mutable ever_negative : bool; (* any edge ever added with cost < 0 *)
 }
 
 type edge = int
@@ -22,6 +30,7 @@ let create n =
     cost = Array.make 16 0.0;
     arcs = 0;
     adj = Array.make n [];
+    ever_negative = false;
   }
 
 let ensure_arc_capacity t =
@@ -51,6 +60,7 @@ let add_edge t ~src ~dst ~cap ~cost =
   t.adj.(src) <- e :: t.adj.(src);
   t.adj.(dst) <- (e + 1) :: t.adj.(dst);
   t.arcs <- t.arcs + 2;
+  if cost < 0.0 then t.ever_negative <- true;
   e
 
 (* Bellman–Ford from [source] over residual arcs, to seed the potentials when
@@ -79,11 +89,27 @@ let bellman_ford t source =
 
 let solve ?(stop_when_unprofitable = false) t ~source ~sink =
   if source = sink then invalid_arg "Mcmf.solve: source = sink";
-  let has_negative = ref false in
-  for e = 0 to t.arcs - 1 do
-    if e land 1 = 0 && t.cap.(e) > 0 && t.cost.(e) < 0.0 then has_negative := true
+  Metrics.incr c_solves;
+  (* Dijkstra-with-potentials is only sound when every residual arc has a
+     non-negative reduced cost, which zero initial potentials guarantee only
+     for an all-non-negative residual network. Scan *every* residual arc —
+     reverse arcs included, since a re-solve after augmentation sees
+     negative-cost reverse arcs of positive forward edges — and fall back to
+     Bellman–Ford seeding whenever any negative residual cost exists. The
+     [ever_negative] flag (set in [add_edge]) short-circuits the scan. *)
+  let has_negative = ref t.ever_negative in
+  let e = ref 0 in
+  while (not !has_negative) && !e < t.arcs do
+    if t.cap.(!e) > 0 && t.cost.(!e) < 0.0 then has_negative := true;
+    incr e
   done;
-  let pot = if !has_negative then bellman_ford t source else Array.make t.n 0.0 in
+  let pot =
+    if !has_negative then begin
+      Metrics.incr c_bf_seeds;
+      bellman_ford t source
+    end
+    else Array.make t.n 0.0
+  in
   let total_flow = ref 0 and total_cost = ref 0.0 in
   let dist = Array.make t.n Float.infinity in
   let pred = Array.make t.n (-1) in
@@ -144,6 +170,7 @@ let solve ?(stop_when_unprofitable = false) t ~source ~sink =
           t.cap.(e lxor 1) <- t.cap.(e lxor 1) + !bottleneck;
           v := t.dst.(e lxor 1)
         done;
+        Metrics.incr c_augmentations;
         total_flow := !total_flow + !bottleneck;
         total_cost := !total_cost +. (float_of_int !bottleneck *. true_dist);
         (* potential update; unreached nodes keep their old potential *)

@@ -1,4 +1,15 @@
 module Pool = Revmax_prelude.Pool
+module Metrics = Revmax_prelude.Metrics
+
+(* NOTE: oracle_calls and cache_hits are *not* jobs-invariant — batched
+   candidate scans may evaluate past the accepted move, and two domains can
+   race to evaluate the same fresh key (see [memoise]). The jobs-invariance
+   suite therefore excludes submodular.* counters. *)
+let c_oracle_calls = Metrics.counter "submodular.oracle_calls"
+
+let c_cache_hits = Metrics.counter "submodular.cache_hits"
+
+let c_moves = Metrics.counter "submodular.moves"
 
 type stats = { oracle_calls : int; moves : int; truncated : bool }
 
@@ -20,9 +31,12 @@ let memoise f =
       c
     in
     match cached with
-    | Some v -> v
+    | Some v ->
+        Metrics.incr c_cache_hits;
+        v
     | None ->
         let v = f key in
+        Metrics.incr c_oracle_calls;
         Mutex.lock lock;
         if not (Hashtbl.mem cache key) then begin
           incr calls;
@@ -102,6 +116,7 @@ let local_search_pass ~jobs ~eps ~matroid ~eval ~moves ~allowed ~halt =
         s := set;
         v := v';
         incr moves;
+        Metrics.incr c_moves;
         improved := true
       in
       while !improved && not (halt ()) do
@@ -233,6 +248,7 @@ let lazy_greedy ~matroid ~f () =
         s := e :: !s;
         v := eval !s;
         active.(e) <- false;
-        incr moves
+        incr moves;
+        Metrics.incr c_moves
   done;
   (List.sort compare !s, !v, { oracle_calls = !calls; moves = !moves; truncated = false })

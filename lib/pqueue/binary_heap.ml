@@ -1,3 +1,16 @@
+module Metrics = Revmax_prelude.Metrics
+
+(* per-operation counters: a single branch each when metrics are disabled.
+   The two-level heap is built on this one, so its structural operations
+   show up here too. *)
+let c_inserts = Metrics.counter "binary_heap.inserts"
+
+let c_deletes = Metrics.counter "binary_heap.delete_max"
+
+let c_removes = Metrics.counter "binary_heap.removes"
+
+let c_update_keys = Metrics.counter "binary_heap.update_keys"
+
 type 'a handle = {
   mutable hkey : float;
   hvalue : 'a;
@@ -56,6 +69,7 @@ let grow t =
   end
 
 let insert t ~key v =
+  Metrics.incr c_inserts;
   grow t;
   let h = { hkey = key; hvalue = v; pos = t.heap_size; owner = t.id } in
   t.data.(t.heap_size) <- h;
@@ -71,8 +85,7 @@ let check t h =
   if h.owner <> t.id || h.pos < 0 || h.pos >= t.heap_size || t.data.(h.pos) != h then
     invalid_arg "Binary_heap: stale or foreign handle"
 
-let remove t h =
-  check t h;
+let remove_unchecked t h =
   let i = h.pos in
   let last = t.heap_size - 1 in
   if i <> last then swap t i last;
@@ -83,15 +96,22 @@ let remove t h =
     sift_up t i
   end
 
+let remove t h =
+  Metrics.incr c_removes;
+  check t h;
+  remove_unchecked t h
+
 let delete_max t =
   if t.heap_size = 0 then None
   else begin
+    Metrics.incr c_deletes;
     let h = t.data.(0) in
-    remove t h;
+    remove_unchecked t h;
     Some (h.hvalue, h.hkey)
   end
 
 let update_key t h key =
+  Metrics.incr c_update_keys;
   check t h;
   let old = h.hkey in
   h.hkey <- key;

@@ -1,3 +1,13 @@
+module Metrics = Revmax_prelude.Metrics
+
+let c_inserts = Metrics.counter "two_level_heap.inserts"
+
+let c_pops = Metrics.counter "two_level_heap.pops"
+
+let c_refresh_pairs = Metrics.counter "two_level_heap.refresh_pairs"
+
+let c_drop_pairs = Metrics.counter "two_level_heap.drop_pairs"
+
 type 'a t = {
   lower : (int, 'a Binary_heap.t) Hashtbl.t;
   upper : int Binary_heap.t;
@@ -36,6 +46,7 @@ let sync_upper t pair lower =
           Hashtbl.replace t.upper_handle pair h)
 
 let insert t ~pair ~key v =
+  Metrics.incr c_inserts;
   let lower =
     match Hashtbl.find_opt t.lower pair with
     | Some l -> l
@@ -65,6 +76,7 @@ let delete_max t =
       match Binary_heap.delete_max lower with
       | None -> None
       | Some (v, k) ->
+          Metrics.incr c_pops;
           t.total <- t.total - 1;
           sync_upper t pair lower;
           Some (pair, v, k))
@@ -73,6 +85,7 @@ let refresh_pair t pair ~f =
   match Hashtbl.find_opt t.lower pair with
   | None -> ()
   | Some lower ->
+      Metrics.incr c_refresh_pairs;
       let old = ref [] in
       Binary_heap.iter lower (fun v k -> old := (v, k) :: !old);
       let n_old = List.length !old in
@@ -98,6 +111,7 @@ let drop_pair t pair =
   match Hashtbl.find_opt t.lower pair with
   | None -> ()
   | Some lower ->
+      Metrics.incr c_drop_pairs;
       t.total <- t.total - Binary_heap.size lower;
       Hashtbl.remove t.lower pair;
       (match Hashtbl.find_opt t.upper_handle pair with

@@ -1,0 +1,334 @@
+(* One process-wide registry behind a single enable flag. The disabled path
+   of every instrument is one atomic load and a branch — no allocation, no
+   lock — so instrumented algorithms cost the same with metrics off as code
+   that never heard of this module. Enabled updates are atomic (counters,
+   gauges) or take a tiny per-instrument mutex (timer summaries), so the
+   Pool's worker domains can hit them concurrently. *)
+
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+
+let set_enabled b = Atomic.set enabled_flag b
+
+type counter = { cname : string; cell : int Atomic.t }
+
+type gauge = { gname : string; gcell : float Atomic.t }
+
+type timer = {
+  tname : string;
+  tlock : Mutex.t;
+  mutable count : int;
+  mutable sum : float;
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+(* The registry: three name-keyed tables behind one mutex. Only instrument
+   registration and snapshots take this lock; recording never does. *)
+let registry_lock = Mutex.create ()
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let timers : (string, timer) Hashtbl.t = Hashtbl.create 32
+
+let with_registry f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let counter name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+          let c = { cname = name; cell = Atomic.make 0 } in
+          Hashtbl.replace counters name c;
+          c)
+
+let incr ?(by = 1) c = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.cell by)
+
+let gauge name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some g -> g
+      | None ->
+          let g = { gname = name; gcell = Atomic.make 0.0 } in
+          Hashtbl.replace gauges name g;
+          g)
+
+let set_gauge g v = if Atomic.get enabled_flag then Atomic.set g.gcell v
+
+let add_gauge g v =
+  if Atomic.get enabled_flag then begin
+    let rec go () =
+      let cur = Atomic.get g.gcell in
+      if not (Atomic.compare_and_set g.gcell cur (cur +. v)) then go ()
+    in
+    go ()
+  end
+
+let timer name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt timers name with
+      | Some t -> t
+      | None ->
+          let t =
+            {
+              tname = name;
+              tlock = Mutex.create ();
+              count = 0;
+              sum = 0.0;
+              minv = Float.infinity;
+              maxv = Float.neg_infinity;
+            }
+          in
+          Hashtbl.replace timers name t;
+          t)
+
+let observe t seconds =
+  if Atomic.get enabled_flag then begin
+    Mutex.lock t.tlock;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. seconds;
+    if seconds < t.minv then t.minv <- seconds;
+    if seconds > t.maxv then t.maxv <- seconds;
+    Mutex.unlock t.tlock
+  end
+
+let span_t t f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect ~finally:(fun () -> observe t (Unix.gettimeofday () -. t0)) f
+  end
+
+let span name f = if not (Atomic.get enabled_flag) then f () else span_t (timer name) f
+
+(* ----- snapshots ----- *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Summary of { count : int; sum : float; min : float; max : float }
+
+type snapshot = (string * value) list
+
+let snapshot () =
+  with_registry (fun () ->
+      let acc = ref [] in
+      Hashtbl.iter (fun name c -> acc := (name, Counter (Atomic.get c.cell)) :: !acc) counters;
+      Hashtbl.iter (fun name g -> acc := (name, Gauge (Atomic.get g.gcell)) :: !acc) gauges;
+      Hashtbl.iter
+        (fun name t ->
+          Mutex.lock t.tlock;
+          let v =
+            Summary
+              {
+                count = t.count;
+                sum = t.sum;
+                min = (if t.count = 0 then 0.0 else t.minv);
+                max = (if t.count = 0 then 0.0 else t.maxv);
+              }
+          in
+          Mutex.unlock t.tlock;
+          acc := (name, v) :: !acc)
+        timers;
+      List.sort (fun (a, _) (b, _) -> compare a b) !acc)
+
+let diff ~before ~after =
+  let prior = Hashtbl.create (List.length before) in
+  List.iter (fun (name, v) -> Hashtbl.replace prior name v) before;
+  List.filter_map
+    (fun (name, v) ->
+      match (v, Hashtbl.find_opt prior name) with
+      | Counter a, Some (Counter b) -> if a = b then None else Some (name, Counter (a - b))
+      | Gauge a, Some (Gauge b) -> if a = b then None else Some (name, Gauge a)
+      | Summary a, Some (Summary b) ->
+          if a.count = b.count then None
+          else
+            (* min/max of just the window are not recoverable from two
+               cumulative summaries; report the cumulative extrema, which
+               bound the window's *)
+            Some (name, Summary { a with count = a.count - b.count; sum = a.sum -. b.sum })
+      | v, None -> (
+          match v with
+          | Counter 0 -> None
+          | Summary { count = 0; _ } -> None
+          | v -> Some (name, v))
+      | v, Some _ -> Some (name, v) (* same name, new kind: report as-is *))
+    after
+
+let reset () =
+  with_registry (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g.gcell 0.0) gauges;
+      Hashtbl.iter
+        (fun _ t ->
+          Mutex.lock t.tlock;
+          t.count <- 0;
+          t.sum <- 0.0;
+          t.minv <- Float.infinity;
+          t.maxv <- Float.neg_infinity;
+          Mutex.unlock t.tlock)
+        timers)
+
+(* ----- rendering ----- *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    name
+
+let float_str v =
+  (* shortest round-trip decimal; JSON and Prometheus both accept it *)
+  let s = Printf.sprintf "%.17g" v in
+  let short = Printf.sprintf "%g" v in
+  if float_of_string short = v then short else s
+
+let to_prometheus snap =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let m = "revmax_" ^ sanitize name in
+      match v with
+      | Counter c ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" m m c)
+      | Gauge g ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n%s %s\n" m m (float_str g))
+      | Summary { count; sum; min; max } ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" m);
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" m count);
+          Buffer.add_string b (Printf.sprintf "%s_sum %s\n" m (float_str sum));
+          Buffer.add_string b (Printf.sprintf "%s_min %s\n" m (float_str min));
+          Buffer.add_string b (Printf.sprintf "%s_max %s\n" m (float_str max)))
+    snap;
+  Buffer.contents b
+
+let to_json snap =
+  let b = Buffer.create 512 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun idx (name, v) ->
+      if idx > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "%S:" name);
+      match v with
+      | Counter c -> Buffer.add_string b (string_of_int c)
+      | Gauge g -> Buffer.add_string b (float_str g)
+      | Summary { count; sum; min; max } ->
+          Buffer.add_string b
+            (Printf.sprintf "{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s}" count
+               (float_str sum) (float_str min) (float_str max)))
+    snap;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let report dest =
+  let snap = snapshot () in
+  if dest = "-" then begin
+    output_string stderr (to_prometheus snap);
+    flush stderr
+  end
+  else begin
+    let text = if Filename.check_suffix dest ".json" then to_json snap ^ "\n" else to_prometheus snap in
+    let oc = open_out dest in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+  end
+
+(* at-exit reporting: registered once, last destination wins; a forked bench
+   cell exits with [Unix._exit] and so never double-reports *)
+let report_dest = ref None
+
+let report_registered = ref false
+
+let enable_reporting dest =
+  set_enabled true;
+  report_dest := Some dest;
+  if not !report_registered then begin
+    report_registered := true;
+    at_exit (fun () -> match !report_dest with Some d -> report d | None -> ())
+  end
+
+let env_setup () =
+  match Sys.getenv_opt "REVMAX_METRICS" with
+  | None | Some ("" | "0" | "false") -> ()
+  | Some ("1" | "true" | "-") -> enable_reporting "-"
+  | Some path -> enable_reporting path
+
+(* ----- logging ----- *)
+
+module Log = struct
+  type level = Quiet | Error | Warn | Info | Debug
+
+  let severity = function Quiet -> 0 | Error -> 1 | Warn -> 2 | Info -> 3 | Debug -> 4
+
+  let level_of_string s =
+    match String.lowercase_ascii (String.trim s) with
+    | "quiet" | "silent" | "off" -> Some Quiet
+    | "error" -> Some Error
+    | "warn" | "warning" -> Some Warn
+    | "info" -> Some Info
+    | "debug" -> Some Debug
+    | _ -> None
+
+  let configured = ref None (* None = not yet resolved from the environment *)
+
+  let level () =
+    match !configured with
+    | Some l -> l
+    | None ->
+        let l =
+          match Option.bind (Sys.getenv_opt "REVMAX_LOG") level_of_string with
+          | Some l -> l
+          | None -> Info
+        in
+        configured := Some l;
+        l
+
+  let set_level l = configured := Some l
+
+  (* One mutex serializes both sinks: each emitted string reaches its fd in
+     a single buffered write + flush, so concurrent domains and the
+     dup2-based capture in Checkpoint can never observe a partial line. *)
+  let sink_lock = Mutex.create ()
+
+  let out_sink = ref None
+
+  let set_out_sink f = out_sink := f
+
+  let emit_out s =
+    Mutex.lock sink_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock sink_lock)
+      (fun () ->
+        match !out_sink with
+        | Some f -> f s
+        | None ->
+            print_string s;
+            flush stdout)
+
+  let emit_err s =
+    Mutex.lock sink_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock sink_lock)
+      (fun () ->
+        output_string stderr s;
+        flush stderr)
+
+  let out fmt = Printf.ksprintf emit_out fmt
+
+  let out_str s = emit_out s
+
+  let logf lvl fmt =
+    Printf.ksprintf (fun s -> if severity lvl <= severity (level ()) then emit_err s) fmt
+
+  let err fmt = logf Error fmt
+
+  let warn fmt = logf Warn fmt
+
+  let info fmt = logf Info fmt
+
+  let debug fmt = logf Debug fmt
+end

@@ -1,0 +1,164 @@
+(** Process-wide observability: named counters, gauges and timer summaries,
+    lightweight span tracing, and a leveled logger with one serialized sink.
+
+    Design invariants (argued in DESIGN.md §10):
+
+    - {b Disabled is (almost) free.} Every hot-path hook — {!incr},
+      {!observe}, {!span} — starts with a single load-and-branch on the
+      global enable flag; with metrics disabled nothing else runs, no
+      allocation happens, and no lock is taken. Algorithms therefore behave
+      and perform identically whether or not the registry exists.
+    - {b Domain-safe.} Counters are [Atomic.t] increments, gauges are CAS
+      loops, and timer summaries take a per-timer mutex (enabled path
+      only) — instruments can be hit concurrently from the {!Pool} worker
+      domains without torn updates.
+    - {b Deterministic snapshots.} {!snapshot} returns entries sorted by
+      name, and counter values for deterministic quantities (oracle calls,
+      heap pops, MC samples) are jobs-invariant because the instrumented
+      sites themselves are (see DESIGN.md §9).
+
+    Instruments are registered on first use and live for the whole process;
+    re-requesting a name returns the same instrument. Values accumulate
+    until {!reset}. *)
+
+(** {1 Enabling} *)
+
+val enabled : unit -> bool
+(** Whether instruments currently record. Off by default. *)
+
+val set_enabled : bool -> unit
+(** Turn recording on or off. Off is the default; flipping the flag never
+    clears accumulated values (use {!reset}). *)
+
+val env_setup : unit -> unit
+(** Read [REVMAX_METRICS] once and configure reporting accordingly: unset,
+    [""], ["0"] or ["false"] does nothing; ["1"], ["true"] or ["-"] enables
+    recording and dumps a Prometheus snapshot to [stderr] at process exit;
+    any other value enables recording and writes the snapshot to that path
+    at exit (JSON when the path ends in [.json], Prometheus text
+    otherwise). Entry points call this; libraries never do. *)
+
+val enable_reporting : string -> unit
+(** [enable_reporting dest] enables recording and registers an at-exit
+    snapshot dump to [dest] (["-"] means [stderr]; a path means a file,
+    JSON when it ends in [.json]). Used by the CLI's [--metrics]. The dump
+    is registered at most once per process; the last destination wins. *)
+
+(** {1 Instruments} *)
+
+type counter
+
+val counter : string -> counter
+(** Find or register the named monotonic counter. *)
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1) when enabled; a single branch when disabled. *)
+
+type gauge
+
+val gauge : string -> gauge
+
+val set_gauge : gauge -> float -> unit
+
+val add_gauge : gauge -> float -> unit
+
+type timer
+
+val timer : string -> timer
+(** Find or register the named duration summary (count/sum/min/max,
+    seconds). *)
+
+val observe : timer -> float -> unit
+(** Record one duration (seconds) when enabled. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] and, when enabled, records its wall-clock
+    duration in the timer [name] (timing also exceptional exits). When
+    disabled this is one branch and a tail call to [f]. *)
+
+val span_t : timer -> (unit -> 'a) -> 'a
+(** {!span} with a pre-registered timer: no registry lookup on the enabled
+    path. *)
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Summary of { count : int; sum : float; min : float; max : float }
+
+type snapshot = (string * value) list
+(** Sorted by name. *)
+
+val snapshot : unit -> snapshot
+(** Every registered instrument and its current value (zeros included). *)
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** The activity between two snapshots: counters and summaries subtract,
+    gauges keep their [after] value; entries with no activity are dropped.
+    Instruments registered after [before] appear with their full value. *)
+
+val to_prometheus : snapshot -> string
+(** Prometheus text exposition format: names are prefixed with [revmax_]
+    and sanitized to [[a-zA-Z0-9_]]; summaries render as
+    [_count]/[_sum]/[_min]/[_max] gauge lines. *)
+
+val to_json : snapshot -> string
+(** One-line JSON object: counters as integers, gauges as floats, summaries
+    as [{"count":..,"sum":..,"min":..,"max":..}]. Empty snapshot is [{}]. *)
+
+val reset : unit -> unit
+(** Zero every registered instrument (the registry itself is kept). For
+    tests and between-cell profiling. *)
+
+val report : string -> unit
+(** Dump the current snapshot to a destination as in {!enable_reporting}:
+    ["-"] writes Prometheus text to [stderr], a [.json] path writes JSON,
+    any other path writes Prometheus text. *)
+
+(** {1 Logging} *)
+
+module Log : sig
+  (** Leveled diagnostics plus the designated content sink.
+
+      Library code must never write to [stdout]/[stderr] directly: {e
+      content} (deterministic experiment output — tables, figures; the
+      bytes checkpointing captures and replays) goes through {!out}, and
+      {e diagnostics} (progress, warnings, errors) go through the leveled
+      [err]/[warn]/[info]/[debug]. Each call formats one string and writes
+      it with a single flush under one process-wide mutex, so parallel
+      domains and the fd-capture machinery in
+      [Revmax_experiments.Checkpoint] can never interleave partial lines.
+
+      The diagnostic level comes from [REVMAX_LOG]
+      ([quiet]|[error]|[warn]|[info]|[debug], default [info]), read once on
+      first use; {!set_level} overrides it. [quiet] suppresses all
+      diagnostics; content is never filtered. *)
+
+  type level = Quiet | Error | Warn | Info | Debug
+
+  val level : unit -> level
+
+  val set_level : level -> unit
+
+  val level_of_string : string -> level option
+
+  val out : ('a, unit, string, unit) format4 -> 'a
+  (** Formatted content to the designated sink (default: [stdout],
+      flushed). *)
+
+  val out_str : string -> unit
+  (** Raw content to the designated sink. *)
+
+  val set_out_sink : (string -> unit) option -> unit
+  (** Redirect content ([None] restores the default [stdout] sink). For
+      tests and embedders. *)
+
+  val err : ('a, unit, string, unit) format4 -> 'a
+
+  val warn : ('a, unit, string, unit) format4 -> 'a
+
+  val info : ('a, unit, string, unit) format4 -> 'a
+
+  val debug : ('a, unit, string, unit) format4 -> 'a
+end

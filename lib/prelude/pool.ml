@@ -4,6 +4,19 @@
    the worker list and every completion latch; tasks themselves run outside
    the lock and never raise (chunk closures capture exceptions). *)
 
+(* scheduling observability: where chunks actually ran (worker domain vs
+   helping caller) is timing-dependent, so these counters are explicitly
+   NOT jobs-invariant — the jobs-invariance suite excludes pool.* *)
+let c_parallel_calls = Metrics.counter "pool.parallel_calls"
+
+let c_chunks = Metrics.counter "pool.chunks"
+
+let c_worker_tasks = Metrics.counter "pool.worker_tasks"
+
+let c_caller_tasks = Metrics.counter "pool.caller_tasks"
+
+let t_task = Metrics.timer "pool.task"
+
 let env_jobs () =
   match Sys.getenv_opt "REVMAX_JOBS" with
   | None -> 1
@@ -60,7 +73,8 @@ let rec worker_loop () =
     else begin
       let task = Queue.pop pool.queue in
       Mutex.unlock pool.mutex;
-      task ();
+      Metrics.incr c_worker_tasks;
+      Metrics.span_t t_task task;
       worker_loop ()
     end
   in
@@ -129,7 +143,8 @@ let help_until_done out =
     else begin
       let task = Queue.pop pool.queue in
       Mutex.unlock pool.mutex;
-      task ();
+      Metrics.incr c_caller_tasks;
+      Metrics.span_t t_task task;
       Mutex.lock pool.mutex;
       loop ()
     end
@@ -146,6 +161,8 @@ let reraise_first out =
 (* Shared driver: run [body c] for chunks c in [0, chunks) across the pool.
    [chunks >= 2] here; the caller handles the sequential case. *)
 let run_chunks ~chunks body =
+  Metrics.incr c_parallel_calls;
+  Metrics.incr c_chunks ~by:chunks;
   ensure_workers (chunks - 1);
   let out = { pending = chunks; errors = Array.make chunks None } in
   with_lock (fun () ->

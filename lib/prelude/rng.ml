@@ -15,7 +15,10 @@ let int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state
 
+let c_splits = Metrics.counter "rng.splits"
+
 let split t =
+  Metrics.incr c_splits;
   let s = int64 t in
   { state = mix64 s }
 

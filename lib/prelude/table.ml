@@ -41,6 +41,6 @@ let render t =
   List.iter emit_row rows;
   Buffer.contents buf
 
-let print t =
-  print_string (render t);
-  flush stdout
+(* table output is experiment *content*: it must reach the designated sink
+   (stdout by default) in one serialized write, never a diagnostic stream *)
+let print t = Metrics.Log.out_str (render t)

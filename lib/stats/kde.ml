@@ -21,10 +21,17 @@ let silverman_bandwidth xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Kde.silverman_bandwidth: empty sample";
   let sigma = sample_std xs in
-  if sigma <= 0.0 then
-    (* degenerate sample: use a bandwidth proportional to the magnitude so the
-       density remains proper instead of a Dirac spike *)
-    Float.max 1e-3 (0.01 *. Float.abs xs.(0))
+  if sigma <= 0.0 then begin
+    (* degenerate (constant) sample: fall back to a scale-relative bandwidth so
+       the density is proper instead of a Dirac spike.  The floor is 1% of the
+       largest sample magnitude — not an absolute 1e-3, which would dwarf
+       tiny-magnitude data — shrunk by the Silverman n^(-1/5) rate so the
+       kernel still tightens with more evidence.  All-zero samples keep a
+       small absolute floor since they carry no scale at all. *)
+    let mag = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 xs in
+    let base = if mag > 0.0 then 0.01 *. mag else 1e-3 in
+    base *. (float_of_int n ** -0.2)
+  end
   else (4.0 *. (sigma ** 5.0) /. (3.0 *. float_of_int n)) ** 0.2
 
 let fit ?bandwidth xs =

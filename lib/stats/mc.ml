@@ -1,5 +1,12 @@
 module Rng = Revmax_prelude.Rng
 module Pool = Revmax_prelude.Pool
+module Metrics = Revmax_prelude.Metrics
+
+let c_estimates = Metrics.counter "mc.estimates"
+
+let c_samples = Metrics.counter "mc.samples"
+
+let t_estimate = Metrics.timer "mc.estimate"
 
 type estimate = { mean : float; std_error : float; samples : int }
 
@@ -10,6 +17,9 @@ type estimate = { mean : float; std_error : float; samples : int }
    depend on the chunking). *)
 let estimate ?jobs ~samples rng f =
   if samples <= 0 then invalid_arg "Mc.estimate: samples must be positive";
+  Metrics.span_t t_estimate @@ fun () ->
+  Metrics.incr c_estimates;
+  Metrics.incr c_samples ~by:samples;
   let streams = Rng.split_n rng samples in
   let values = Pool.parallel_map ?jobs streams ~f in
   let acc = ref 0.0 and acc2 = ref 0.0 in

@@ -53,6 +53,111 @@ let test_mcmf_disconnected () =
   Alcotest.(check int) "no flow" 0 r.Mcmf.flow;
   Helpers.check_float "no cost" 0.0 r.Mcmf.cost
 
+(* Regression: a re-solve after augmentation sees negative-cost *reverse*
+   residual arcs even when every edge was added with non-negative cost.
+   Dijkstra with zero potentials is unsound there and silently picks the
+   wrong (more expensive) path; the solver must detect the negative
+   residual arc and fall back to Bellman–Ford potential seeding. *)
+let test_mcmf_resolve_after_augmentation () =
+  let net = Mcmf.create 6 in
+  (* phase 1: push one unit 3→2→1→4, leaving residual arc 1→2 of cost -4 *)
+  let _ = Mcmf.add_edge net ~src:3 ~dst:2 ~cap:1 ~cost:0.0 in
+  let mid = Mcmf.add_edge net ~src:2 ~dst:1 ~cap:1 ~cost:4.0 in
+  let _ = Mcmf.add_edge net ~src:1 ~dst:4 ~cap:1 ~cost:0.0 in
+  let r1 = Mcmf.solve net ~source:3 ~sink:4 in
+  Alcotest.(check int) "phase-1 flow" 1 r1.Mcmf.flow;
+  Helpers.check_float "phase-1 cost" 4.0 r1.Mcmf.cost;
+  (* phase 2: two routes 0→5 — direct via 2 at cost 3, or via the residual
+     arc at cost 5 - 4 + 0 = 1. The sink edge admits only one unit, so a
+     solver that greedily finalizes the direct route returns cost 3. *)
+  let _ = Mcmf.add_edge net ~src:0 ~dst:2 ~cap:1 ~cost:3.0 in
+  let _ = Mcmf.add_edge net ~src:0 ~dst:1 ~cap:1 ~cost:5.0 in
+  let _ = Mcmf.add_edge net ~src:2 ~dst:5 ~cap:1 ~cost:0.0 in
+  let r2 = Mcmf.solve net ~source:0 ~sink:5 in
+  Alcotest.(check int) "phase-2 flow" 1 r2.Mcmf.flow;
+  Helpers.check_float "phase-2 cost" 1.0 r2.Mcmf.cost;
+  (* the cheap route cancels the phase-1 flow on the 2→1 edge *)
+  Alcotest.(check int) "phase-1 edge flow cancelled" 0 (Mcmf.flow_on net mid)
+
+(* naive successive-shortest-path reference: Bellman–Ford over a dense
+   residual matrix, augmenting along the shortest path until the sink is
+   unreachable. Sound on any residual network without negative cycles; the
+   generator below emits DAG edges only (src < dst), so none exist. *)
+let reference_mcmf n ~source ~sink edges =
+  let cap = Array.make_matrix n n 0 in
+  let cost = Array.make_matrix n n 0.0 in
+  List.iter
+    (fun (u, v, c, w) ->
+      cap.(u).(v) <- cap.(u).(v) + c;
+      cost.(u).(v) <- w;
+      cost.(v).(u) <- -.w)
+    edges;
+  let total_flow = ref 0 and total_cost = ref 0.0 in
+  let continue_loop = ref true in
+  while !continue_loop do
+    let dist = Array.make n Float.infinity in
+    let pred = Array.make n (-1) in
+    dist.(source) <- 0.0;
+    for _ = 1 to n - 1 do
+      for u = 0 to n - 1 do
+        if Float.is_finite dist.(u) then
+          for v = 0 to n - 1 do
+            if cap.(u).(v) > 0 && dist.(u) +. cost.(u).(v) < dist.(v) -. 1e-12 then begin
+              dist.(v) <- dist.(u) +. cost.(u).(v);
+              pred.(v) <- u
+            end
+          done
+      done
+    done;
+    if not (Float.is_finite dist.(sink)) then continue_loop := false
+    else begin
+      let bottleneck = ref max_int in
+      let v = ref sink in
+      while !v <> source do
+        let u = pred.(!v) in
+        if cap.(u).(!v) < !bottleneck then bottleneck := cap.(u).(!v);
+        v := u
+      done;
+      let v = ref sink in
+      while !v <> source do
+        let u = pred.(!v) in
+        cap.(u).(!v) <- cap.(u).(!v) - !bottleneck;
+        cap.(!v).(u) <- cap.(!v).(u) + !bottleneck;
+        total_cost := !total_cost +. (float_of_int !bottleneck *. cost.(u).(!v));
+        v := u
+      done;
+      total_flow := !total_flow + !bottleneck
+    end
+  done;
+  (!total_flow, !total_cost)
+
+let prop_mcmf_matches_reference =
+  QCheck2.Test.make ~name:"Mcmf matches Bellman-Ford reference" ~count:200
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 3 + Rng.int rng 4 in
+      (* random DAG (edges only src < dst, at most one per pair) with
+         negative costs allowed: exercises the BF potential seeding *)
+      let edges = ref [] in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if Rng.bernoulli rng 0.5 then
+            edges := (u, v, 1 + Rng.int rng 3, Rng.uniform_in rng (-5.0) 10.0) :: !edges
+        done
+      done;
+      let net = Mcmf.create n in
+      List.iter (fun (u, v, c, w) -> ignore (Mcmf.add_edge net ~src:u ~dst:v ~cap:c ~cost:w)) !edges;
+      let r = Mcmf.solve net ~source:0 ~sink:(n - 1) in
+      let ref_flow, ref_cost = reference_mcmf n ~source:0 ~sink:(n - 1) !edges in
+      (* a second solve on the now-saturated residual must find nothing and,
+         in particular, not crash or mis-augment on negative residual arcs *)
+      let r2 = Mcmf.solve net ~source:0 ~sink:(n - 1) in
+      r.Mcmf.flow = ref_flow
+      && Helpers.float_eq ~eps:1e-6 ref_cost r.Mcmf.cost
+      && r2.Mcmf.flow = 0
+      && Helpers.float_eq ~eps:1e-9 0.0 r2.Mcmf.cost)
+
 (* ----- Max_dcs ----- *)
 
 let solution_weight (sol : Max_dcs.solution) = sol.Max_dcs.weight
@@ -194,6 +299,9 @@ let () =
           Alcotest.test_case "negative costs" `Quick test_mcmf_negative_costs;
           Alcotest.test_case "stop when unprofitable" `Quick test_mcmf_stop_when_unprofitable;
           Alcotest.test_case "disconnected" `Quick test_mcmf_disconnected;
+          Alcotest.test_case "re-solve after augmentation" `Quick
+            test_mcmf_resolve_after_augmentation;
+          QCheck_alcotest.to_alcotest prop_mcmf_matches_reference;
         ] );
       ( "max_dcs",
         [

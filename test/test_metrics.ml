@@ -1,0 +1,270 @@
+(* Metamorphic tests for the observability layer (DESIGN.md §10):
+
+   (a) the disabled path is inert — algorithm outputs and checkpoint
+       records are byte-identical whether or not the metrics machinery
+       has ever been touched;
+   (b) with metrics enabled, the deterministic counters (oracle calls,
+       heap operations, MC samples, chain edits) are jobs-invariant —
+       the same totals at jobs=1 and jobs=4. Scheduling-dependent
+       instruments — the pool.* and submodular.* families — are
+       exercised but excluded, as documented at their registration sites;
+   (c) at REVMAX_LOG=quiet a full Runner.run_suite emits zero bytes
+       outside the designated content sink. *)
+
+module Metrics = Revmax_prelude.Metrics
+module Log = Revmax_prelude.Metrics.Log
+module Rng = Revmax_prelude.Rng
+module Greedy = Revmax.Greedy
+module Revenue = Revmax.Revenue
+module Runner = Revmax_experiments.Runner
+module Checkpoint = Revmax_experiments.Checkpoint
+
+(* every test leaves the process-global registry the way it found it:
+   disabled, zeroed, default level and sink *)
+let pristine f =
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ();
+      Log.set_level Log.Info;
+      Log.set_out_sink None)
+    f
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "revmax-metrics" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir && Sys.is_directory dir then begin
+        Array.iter (fun name -> Sys.remove (Filename.concat dir name)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* run [f] with an fd redirected to a file; return f's value and the bytes
+   written there. fd-level, so it also catches writes bypassing channels. *)
+let with_fd_captured fd f =
+  let path = Filename.temp_file "revmax-fd" ".txt" in
+  flush stdout;
+  flush stderr;
+  let saved = Unix.dup fd in
+  let file = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  Unix.dup2 file fd;
+  Unix.close file;
+  let restore () =
+    flush stdout;
+    flush stderr;
+    Unix.dup2 saved fd;
+    Unix.close saved
+  in
+  let result = try Ok (Fun.protect ~finally:restore f) with e -> Error e in
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  Sys.remove path;
+  match result with Ok v -> (v, contents) | Error e -> raise e
+
+(* ----- registry basics ----- *)
+
+let test_counter_gated_by_flag () =
+  pristine (fun () ->
+      let c = Metrics.counter "test.gated" in
+      Metrics.incr c;
+      Metrics.incr c ~by:5;
+      Alcotest.(check bool)
+        "disabled increments invisible"
+        true
+        (List.assoc "test.gated" (Metrics.snapshot ()) = Metrics.Counter 0);
+      Metrics.set_enabled true;
+      Metrics.incr c;
+      Metrics.incr c ~by:2;
+      Alcotest.(check bool)
+        "enabled increments recorded"
+        true
+        (List.assoc "test.gated" (Metrics.snapshot ()) = Metrics.Counter 3))
+
+let test_snapshot_sorted_and_diff_drops_idle () =
+  pristine (fun () ->
+      Metrics.set_enabled true;
+      let cb = Metrics.counter "test.b" and ca = Metrics.counter "test.a" in
+      Metrics.incr ca;
+      let names = List.map fst (Metrics.snapshot ()) in
+      Alcotest.(check (list string)) "sorted by name" (List.sort compare names) names;
+      let before = Metrics.snapshot () in
+      Metrics.incr cb ~by:4;
+      let d = Metrics.diff ~before ~after:(Metrics.snapshot ()) in
+      Alcotest.(check bool) "active counter kept" true (List.mem_assoc "test.b" d);
+      Alcotest.(check bool) "idle counter dropped" false (List.mem_assoc "test.a" d);
+      Alcotest.(check bool) "delta not cumulative" true
+        (List.assoc "test.b" d = Metrics.Counter 4))
+
+let test_exposition_formats () =
+  pristine (fun () ->
+      Metrics.set_enabled true;
+      Metrics.incr (Metrics.counter "test.fmt-count") ~by:7;
+      Metrics.observe (Metrics.timer "test.fmt_timer") 0.5;
+      let snap =
+        List.filter
+          (fun (n, _) -> String.length n >= 8 && String.sub n 0 8 = "test.fmt")
+          (Metrics.snapshot ())
+      in
+      let prom = Metrics.to_prometheus snap in
+      (* sanitized names, revmax_ prefix, summary expansion *)
+      Alcotest.(check bool) "counter line" true (contains prom "revmax_test_fmt_count 7");
+      Alcotest.(check bool) "summary count line" true (contains prom "revmax_test_fmt_timer_count 1");
+      Alcotest.(check bool) "summary sum line" true (contains prom "revmax_test_fmt_timer_sum 0.5");
+      let json = Metrics.to_json snap in
+      Alcotest.(check bool) "json counter" true (contains json "\"test.fmt-count\":7");
+      Alcotest.(check bool) "json summary" true (contains json "\"count\":1"))
+
+(* ----- (a) disabled path is inert ----- *)
+
+(* same algorithm, same instance: result and statistics must be identical
+   whether the registry records or not *)
+let prop_greedy_unchanged_by_metrics =
+  QCheck2.Test.make ~name:"greedy output invariant under metrics flag" ~count:30
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      pristine (fun () ->
+          let run () =
+            let inst = Helpers.random_instance (Rng.create seed) in
+            let s, stats = Greedy.run inst in
+            (Revenue.total s, stats)
+          in
+          Metrics.set_enabled false;
+          let r_off, st_off = run () in
+          Metrics.set_enabled true;
+          let r_on, st_on = run () in
+          Helpers.float_eq r_off r_on && st_off = st_on))
+
+let test_checkpoint_records_identical_when_disabled () =
+  pristine (fun () ->
+      let meta = [ ("scale", "unit"); ("seed", "7") ] in
+      let cell () = print_string "payload\n" in
+      let record_bytes ~enabled dir =
+        let cp = Checkpoint.create ~dir ~resume:false in
+        Metrics.set_enabled enabled;
+        if enabled then ignore (Greedy.run (Helpers.example4_instance ()));
+        let _, _ =
+          with_fd_captured Unix.stdout (fun () -> Checkpoint.run_cell (Some cp) ~id:"cell" ~meta cell)
+        in
+        (cp, In_channel.with_open_bin (Checkpoint.record_path cp "cell") In_channel.input_all)
+      in
+      with_temp_dir (fun dir1 ->
+          with_temp_dir (fun dir2 ->
+              with_temp_dir (fun dir3 ->
+                  (* registry never enabled vs enabled-then-disabled: the
+                     record must not change by a byte *)
+                  let _, fresh = record_bytes ~enabled:false dir1 in
+                  Metrics.set_enabled true;
+                  ignore (Greedy.run (Helpers.example4_instance ()));
+                  Metrics.set_enabled false;
+                  let _, after_activity = record_bytes ~enabled:false dir2 in
+                  Alcotest.(check string) "records byte-identical" fresh after_activity;
+                  Alcotest.(check bool) "no metrics member" false (contains fresh "\"metrics\"");
+                  (* enabled: same id/meta/output, plus a metrics profile *)
+                  let cp3, enabled_bytes = record_bytes ~enabled:true dir3 in
+                  (match Checkpoint.load_record cp3 ~id:"cell" with
+                  | Some (Ok (meta', output)) ->
+                      Alcotest.(check (list (pair string string)))
+                        "meta unchanged" (List.sort compare meta) (List.sort compare meta');
+                      Alcotest.(check string) "output unchanged" "payload\n" output
+                  | _ -> Alcotest.fail "enabled record unreadable");
+                  (match Checkpoint.load_metrics cp3 ~id:"cell" with
+                  | Some json ->
+                      Alcotest.(check bool) "profile is a JSON object" true
+                        (String.length json >= 2 && json.[0] = '{')
+                  | None -> Alcotest.fail "enabled record lacks metrics profile");
+                  Alcotest.(check bool) "enabled record differs" true
+                    (enabled_bytes <> fresh)))))
+
+(* ----- (b) deterministic counters are jobs-invariant ----- *)
+
+(* instruments whose totals legitimately depend on scheduling; everything
+   else in the registry must agree across jobs values *)
+let scheduling_dependent name =
+  let has_prefix p = String.length name >= String.length p && String.sub name 0 (String.length p) = p in
+  has_prefix "pool." || has_prefix "submodular."
+
+let counters_only snap =
+  List.filter_map
+    (function
+      | name, Metrics.Counter v when not (scheduling_dependent name) -> Some (name, v)
+      | _ -> None)
+    snap
+
+let suite_counters ~jobs ~seed =
+  Metrics.reset ();
+  let inst = Helpers.random_instance ~max_users:4 ~max_items:4 ~max_horizon:3 (Rng.create seed) in
+  let before = Metrics.snapshot () in
+  let outcomes = Runner.run_suite ~jobs ~rlg_permutations:3 ~seed:11 inst in
+  let counts = counters_only (Metrics.diff ~before ~after:(Metrics.snapshot ())) in
+  ( List.map (function Runner.Completed r -> r.Runner.revenue | Runner.Failed _ -> -1.0) outcomes,
+    counts )
+
+let prop_counters_jobs_invariant =
+  QCheck2.Test.make ~name:"deterministic counters jobs-invariant" ~count:10
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      pristine (fun () ->
+          Metrics.set_enabled true;
+          let rev1, c1 = suite_counters ~jobs:1 ~seed in
+          let rev4, c4 = suite_counters ~jobs:4 ~seed in
+          if not (List.for_all2 (fun a b -> Helpers.float_eq a b) rev1 rev4) then
+            QCheck2.Test.fail_report "suite outcomes differ across jobs";
+          if c1 <> c4 then begin
+            let show cs = String.concat ", " (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) cs) in
+            QCheck2.Test.fail_reportf "counters differ\njobs=1: %s\njobs=4: %s" (show c1) (show c4)
+          end;
+          (* the suite actually ran: the runner counts its six algorithm
+             cells even on degenerate instances where greedy never
+             evaluates a marginal *)
+          List.assoc_opt "runner.algorithms" c1 = Some 6))
+
+(* ----- (c) quiet runs write zero bytes outside the sink ----- *)
+
+let test_quiet_suite_silent () =
+  pristine (fun () ->
+      Log.set_level Log.Quiet;
+      let sink = Buffer.create 256 in
+      Log.set_out_sink (Some (Buffer.add_string sink));
+      let inst = Helpers.random_instance (Rng.create 3) in
+      let (outcomes, err_bytes), out_bytes =
+        with_fd_captured Unix.stdout (fun () ->
+            with_fd_captured Unix.stderr (fun () ->
+                let outcomes = Runner.run_suite ~rlg_permutations:3 ~seed:5 inst in
+                Runner.section "quiet-suite";
+                Runner.report_failures outcomes;
+                Revmax_prelude.Pool.quiesce ();
+                outcomes))
+      in
+      Alcotest.(check int) "suite ran" 6 (List.length outcomes);
+      Alcotest.(check string) "stdout silent" "" out_bytes;
+      Alcotest.(check string) "stderr silent" "" err_bytes;
+      Alcotest.(check bool) "content reached the sink" true
+        (Buffer.contents sink = "\n=== quiet-suite ===\n"))
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter gated by flag" `Quick test_counter_gated_by_flag;
+          Alcotest.test_case "snapshot sorted, diff drops idle" `Quick
+            test_snapshot_sorted_and_diff_drops_idle;
+          Alcotest.test_case "exposition formats" `Quick test_exposition_formats;
+        ] );
+      ( "disabled-path identity",
+        [
+          QCheck_alcotest.to_alcotest prop_greedy_unchanged_by_metrics;
+          Alcotest.test_case "checkpoint records byte-identical" `Quick
+            test_checkpoint_records_identical_when_disabled;
+        ] );
+      ( "jobs invariance",
+        [ QCheck_alcotest.to_alcotest prop_counters_jobs_invariant ] );
+      ( "quiet logging",
+        [ Alcotest.test_case "run_suite writes only to the sink" `Quick test_quiet_suite_silent ] );
+    ]

@@ -113,6 +113,35 @@ let test_silverman_degenerate () =
   let h = Kde.silverman_bandwidth [| 3.0; 3.0; 3.0 |] in
   Alcotest.(check bool) "positive on constant sample" true (h > 0.0)
 
+(* Regression for the degenerate-sample fallback: the bandwidth must track
+   the sample's scale (1% of max magnitude, shrunk by n^(-1/5)), not an
+   absolute 1e-3 floor that dwarfs tiny-magnitude data. *)
+let test_silverman_degenerate_scale_relative () =
+  let n = 3 in
+  let shrink = float_of_int n ** -0.2 in
+  (* constant sample at ordinary magnitude: 1% of |3.0| *)
+  Helpers.check_float ~eps:1e-15 "constant sample" (0.03 *. shrink)
+    (Kde.silverman_bandwidth [| 3.0; 3.0; 3.0 |]);
+  (* tiny magnitude: fallback must shrink with the data, staying far below
+     the old absolute floor of 1e-3 *)
+  let h_tiny = Kde.silverman_bandwidth [| 1e-6; 1e-6; 1e-6 |] in
+  Helpers.check_float ~eps:1e-22 "tiny-magnitude sample" (1e-8 *. shrink) h_tiny;
+  Alcotest.(check bool) "tiny bandwidth below old floor" true (h_tiny < 1e-3);
+  (* a single sample is degenerate too (no variance): 1% of its magnitude *)
+  Helpers.check_float ~eps:1e-15 "single negative sample" 0.05
+    (Kde.silverman_bandwidth [| -5.0 |]);
+  (* all-zero sample has no scale: keeps a small absolute floor *)
+  let h_zero = Kde.silverman_bandwidth [| 0.0; 0.0; 0.0 |] in
+  Helpers.check_float ~eps:1e-18 "all-zero sample" (1e-3 *. shrink) h_zero;
+  Alcotest.(check bool) "all-zero positive" true (h_zero > 0.0)
+
+let test_kde_fit_degenerate_tiny () =
+  (* end-to-end: a KDE over near-identical tiny values must not be flattened
+     by an oversized bandwidth — the mass should stay near the data *)
+  let kde = Kde.fit [| 2e-6; 2e-6; 2e-6; 2e-6 |] in
+  Alcotest.(check bool) "mass concentrated near sample" true
+    (Kde.cdf kde 3e-6 -. Kde.cdf kde 1e-6 > 0.99)
+
 let test_kde_pdf_integrates_to_one () =
   let kde = Kde.fit [| 10.0; 12.0; 15.0; 11.0; 13.0 |] in
   (* trapezoidal integration over a wide support *)
@@ -273,6 +302,9 @@ let () =
         [
           Alcotest.test_case "silverman formula" `Quick test_silverman_formula;
           Alcotest.test_case "silverman degenerate" `Quick test_silverman_degenerate;
+          Alcotest.test_case "silverman degenerate scale-relative" `Quick
+            test_silverman_degenerate_scale_relative;
+          Alcotest.test_case "fit degenerate tiny magnitude" `Quick test_kde_fit_degenerate_tiny;
           Alcotest.test_case "pdf integrates to 1" `Quick test_kde_pdf_integrates_to_one;
           Alcotest.test_case "cdf limits" `Quick test_kde_cdf_limits;
           Alcotest.test_case "moments" `Quick test_kde_moments;
