@@ -164,6 +164,9 @@ let () =
     [
       ("scale", Config.scale_name cfg.Config.scale);
       ("seed", string_of_int cfg.Config.seed);
+      (* a different REVMAX_SHARDS changes the bench-shards cell, so a
+         resume under a new shard count is rejected like a seed change *)
+      ("shards", string_of_int (Revmax.Shard_greedy.default_shards ()));
     ]
   in
   let total_t0 = Unix.gettimeofday () in

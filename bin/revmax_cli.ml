@@ -55,6 +55,17 @@ let jobs_arg =
            grids). Results are deterministic: every N produces the same strategies, revenues \
            and outputs. Defaults to $(b,REVMAX_JOBS), or 1.")
 
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Partition users into N contiguous shards for the sharded planner (algorithm \
+           $(b,gg-sh)): each shard plans independently, then a deterministic reconciliation \
+           round restores the global capacity constraints. Defaults to $(b,REVMAX_SHARDS), or \
+           1. Orthogonal to $(b,--jobs), which bounds how many shards plan concurrently.")
+
 let metrics_arg =
   Arg.(
     value
@@ -67,9 +78,12 @@ let metrics_arg =
            environment equivalent; see also $(b,REVMAX_LOG) for diagnostic verbosity.")
 
 let config_term =
-  let make scale seed jobs metrics =
+  let make scale seed jobs shards metrics =
     (match jobs with
     | Some j -> Revmax_prelude.Pool.set_default_jobs j
+    | None -> ());
+    (match shards with
+    | Some n -> Revmax.Shard_greedy.set_default_shards n
     | None -> ());
     Revmax_prelude.Metrics.env_setup ();
     (match metrics with
@@ -77,7 +91,7 @@ let config_term =
     | None -> ());
     { (Config.of_scale ~seed scale) with Config.scale }
   in
-  Term.(const make $ scale_arg $ seed_arg $ jobs_arg $ metrics_arg)
+  Term.(const make $ scale_arg $ seed_arg $ jobs_arg $ shards_arg $ metrics_arg)
 
 let deadline_arg =
   Arg.(
@@ -145,6 +159,9 @@ let experiment_cmd =
         [
           ("scale", Config.scale_name cfg.Config.scale);
           ("seed", string_of_int cfg.Config.seed);
+          (* shard count changes sharded-planner cells, so a resume under a
+             different --shards must be rejected, like a seed change *)
+          ("shards", string_of_int (Revmax.Shard_greedy.default_shards ()));
         ]
       in
       let on_done ~id ~status ~seconds:_ =
@@ -193,13 +210,17 @@ let algo_arg =
   let parse s =
     match Algorithms.parse s with
     | Some a -> Ok a
-    | None -> Error (`Msg (Printf.sprintf "unknown algorithm %S (gg|gg-no|slg|rlg[:N]|toprev|toprat)" s))
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown algorithm %S (gg|gg-no|slg|rlg[:N]|gg-sh[:N]|toprev|toprat)" s))
   in
   let print ppf a = Format.pp_print_string ppf (Algorithms.name a) in
   Arg.(
     value
     & opt (conv (parse, print)) Algorithms.G_greedy
-    & info [ "algo" ] ~docv:"ALGO" ~doc:"Planning algorithm: gg, gg-no, slg, rlg[:N], toprev, toprat.")
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:"Planning algorithm: gg, gg-no, slg, rlg[:N], gg-sh[:N], toprev, toprat.")
 
 let beta_arg =
   Arg.(

@@ -5,6 +5,7 @@ type t =
   | Global_no
   | Sl_greedy
   | Rl_greedy of int
+  | Sharded_greedy of int
   | Top_revenue
   | Top_rating
 
@@ -13,6 +14,7 @@ let name = function
   | Global_no -> "GG-No"
   | Sl_greedy -> "SLG"
   | Rl_greedy _ -> "RLG"
+  | Sharded_greedy _ -> "GG-Sh"
   | Top_revenue -> "TopRev"
   | Top_rating -> "TopRat"
 
@@ -30,6 +32,15 @@ let run_anytime ?budget algo inst ~seed =
   | Rl_greedy n ->
       let s, st = Local_greedy.rl_greedy ~permutations:n ?budget inst (Rng.create seed) in
       (s, st.Greedy.truncated)
+  | Sharded_greedy n ->
+      (* n = 0 is the "decide at run time" sentinel produced by parsing a
+         bare "gg-sh": resolving here (not at parse time) lets a later
+         [Shard_greedy.set_default_shards] — e.g. the CLI's --shards flag,
+         whose term may evaluate after the algorithm argument — take
+         effect *)
+      let shards = if n > 0 then n else Shard_greedy.default_shards () in
+      let s, st = Shard_greedy.solve ~shards ?budget inst in
+      (s, st.Shard_greedy.truncated)
   (* the sort-based baselines are effectively instantaneous and ignore the
      budget; they never truncate *)
   | Top_revenue -> (Baselines.top_revenue inst, false)
@@ -48,10 +59,20 @@ let parse s =
   | "rlg" | "rl-greedy" -> Some (Rl_greedy 20)
   | "toprev" | "topre" -> Some Top_revenue
   | "toprat" | "topra" -> Some Top_rating
+  | "gg-sh" | "ggsh" | "sharded" -> Some (Sharded_greedy 0)
   | _ ->
-      (* rlg:N *)
-      if String.length lower > 4 && String.sub lower 0 4 = "rlg:" then
-        match int_of_string_opt (String.sub lower 4 (String.length lower - 4)) with
-        | Some n when n > 0 -> Some (Rl_greedy n)
-        | _ -> None
-      else None
+      (* rlg:N / gg-sh:N *)
+      let suffixed prefix =
+        let p = String.length prefix in
+        if String.length lower > p && String.sub lower 0 p = prefix then
+          int_of_string_opt (String.sub lower p (String.length lower - p))
+        else None
+      in
+      (match suffixed "rlg:" with
+      | Some n when n > 0 -> Some (Rl_greedy n)
+      | Some _ -> None
+      | None -> (
+          match suffixed "gg-sh:" with
+          | Some n when n > 0 -> Some (Sharded_greedy n)
+          | Some _ -> None
+          | None -> None))

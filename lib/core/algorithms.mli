@@ -10,11 +10,15 @@ type t =
   | Global_no  (** GG-No: Global Greedy planning with β = 1 *)
   | Sl_greedy  (** SLG: Sequential Local Greedy, Algorithm 2 *)
   | Rl_greedy of int  (** RLG: Randomized Local Greedy with N permutations *)
+  | Sharded_greedy of int
+      (** GG-Sh: user-sharded Global Greedy with capacity reconciliation
+          ({!Shard_greedy}) on N shards; N = 0 defers to
+          {!Shard_greedy.default_shards} at run time *)
   | Top_revenue  (** TopRE baseline *)
   | Top_rating  (** TopRA baseline *)
 
 val name : t -> string
-(** Paper-style short name: GG, GG-No, RLG, SLG, TopRev, TopRat. *)
+(** Paper-style short name: GG, GG-No, RLG, SLG, GG-Sh, TopRev, TopRat. *)
 
 val run : ?budget:Revmax_prelude.Budget.t -> t -> Instance.t -> seed:int -> Strategy.t
 (** Execute the algorithm. Deterministic given [seed] (only RL-Greedy
@@ -33,5 +37,6 @@ val default_suite : t list
     GG, GG-No, RLG (N=20), SLG, TopRev, TopRat. *)
 
 val parse : string -> t option
-(** Inverse of [name] (case-insensitive); [RLG] accepts an optional
-    [:N] suffix, e.g. ["rlg:10"]. *)
+(** Inverse of [name] (case-insensitive); [RLG] and [GG-Sh] accept an
+    optional [:N] suffix, e.g. ["rlg:10"], ["gg-sh:4"] (["gg-sh"] alone
+    uses {!Shard_greedy.default_shards}). *)

@@ -17,7 +17,7 @@ let c_truncated = Metrics.counter "greedy.truncated"
 
 type stats = { marginal_evaluations : int; pops : int; selected : int; truncated : bool }
 
-type trace_point = { size : int; revenue : float; evaluations : int }
+type trace_point = { z : Triple.t; size : int; revenue : float; evaluations : int }
 
 type elt = { z : Triple.t; mutable flag : int }
 
@@ -70,7 +70,7 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
     (match budget with Some b -> Budget.spend b 1 | None -> ());
     running_total := !running_total +. key;
     match trace with
-    | Some f -> f { size = Strategy.size s; revenue = !running_total; evaluations = !evals }
+    | Some f -> f { z; size = Strategy.size s; revenue = !running_total; evaluations = !evals }
     | None -> ()
   in
   (match heap with

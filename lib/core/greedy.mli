@@ -34,6 +34,7 @@ type stats = {
 }
 
 type trace_point = {
+  z : Triple.t;  (** the triple just selected *)
   size : int;  (** strategy size after the selection *)
   revenue : float;  (** running sum of fresh marginal revenues *)
   evaluations : int;  (** cumulative marginal evaluations so far *)

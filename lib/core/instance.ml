@@ -17,6 +17,12 @@ type t = {
   q_index : (int, float array) Hashtbl.t;
   ratings : (int, float) Hashtbl.t;
   num_candidate_triples : int;
+  (* the view's user range [u_lo, u_hi); the full instance has [0, num_users).
+     Views produced by [shard] share every array above except [capacity]
+     (which holds the shard's capacity budget) — user ids stay global, so
+     strategies planned on a view merge into the parent without renaming. *)
+  u_lo : int;
+  u_hi : int;
 }
 
 exception Bad_field of string * string
@@ -124,6 +130,8 @@ let create_checked ~num_users ~num_items ~horizon ~display_limit ~class_of ~capa
         q_index;
         ratings = rating_tbl;
         num_candidate_triples = !triples;
+        u_lo = 0;
+        u_hi = num_users;
       }
   with Bad_field (field, msg) -> Error (Err.Invalid_instance { field; msg })
 
@@ -173,13 +181,12 @@ let candidate_items_in_class t ~u ~cls =
 let num_candidate_triples t = t.num_candidate_triples
 
 let iter_candidate_triples t f =
-  Array.iteri
-    (fun u row ->
-      Array.iter
-        (fun (i, qs) ->
-          Array.iteri (fun idx p -> if p > 0.0 then f (Triple.make ~u ~i ~t:(idx + 1)) p) qs)
-        row)
-    t.cands
+  for u = t.u_lo to t.u_hi - 1 do
+    Array.iter
+      (fun (i, qs) ->
+        Array.iteri (fun idx p -> if p > 0.0 then f (Triple.make ~u ~i ~t:(idx + 1)) p) qs)
+      t.cands.(u)
+  done
 
 let rating t ~u ~i = Hashtbl.find_opt t.ratings ((u * t.num_items) + i)
 
@@ -197,6 +204,82 @@ let with_prices t price =
         row)
     price;
   { t with price = Array.map Array.copy price }
+
+(* ----- user-sharded views ----- *)
+
+type split_policy = [ `Proportional | `Water_filling ]
+
+let user_range t = (t.u_lo, t.u_hi)
+
+let view_triple_count t ~u_lo ~u_hi =
+  let n = ref 0 in
+  for u = u_lo to u_hi - 1 do
+    Array.iter (fun (_, qs) -> Array.iter (fun p -> if p > 0.0 then incr n) qs) t.cands.(u)
+  done;
+  !n
+
+(* Proportional split of one item's capacity across shard user counts:
+   floor shares first, then the leftover units go to the shards of largest
+   fractional remainder (ties to the lower shard index) — fully
+   deterministic, and the shares always sum to the capacity. *)
+let proportional_shares ~capacity ~user_counts ~num_users =
+  let shards = Array.length user_counts in
+  if num_users = 0 then Array.make shards capacity
+  else begin
+    let shares = Array.map (fun n_s -> capacity * n_s / num_users) user_counts in
+    let leftover = capacity - Array.fold_left ( + ) 0 shares in
+    let order = Array.init shards (fun s -> s) in
+    (* descending remainder, ascending shard index on ties *)
+    Array.sort
+      (fun a b ->
+        let ra = capacity * user_counts.(a) mod num_users
+        and rb = capacity * user_counts.(b) mod num_users in
+        if ra <> rb then compare rb ra else compare a b)
+      order;
+    for idx = 0 to min leftover shards - 1 do
+      let s = order.(idx) in
+      shares.(s) <- shares.(s) + 1
+    done;
+    shares
+  end
+
+let shard ?(policy = `Water_filling) ~shards t =
+  if shards < 1 then invalid_arg "Instance.shard: need at least one shard";
+  if t.u_lo <> 0 || t.u_hi <> t.num_users then
+    invalid_arg "Instance.shard: cannot re-shard a shard view";
+  let n = t.num_users in
+  let base = n / shards and extra = n mod shards in
+  let bounds =
+    Array.init shards (fun s ->
+        let lo = (s * base) + min s extra in
+        let hi = lo + base + if s < extra then 1 else 0 in
+        (lo, hi))
+  in
+  let user_counts = Array.map (fun (lo, hi) -> hi - lo) bounds in
+  let budget_of_item =
+    match policy with
+    | `Water_filling ->
+        (* optimistic: a shard may use an item up to min(q_i, shard users)
+           — capacity counts distinct users, so no shard can exceed its
+           user count anyway; global over-subscription is possible and is
+           resolved by Shard_greedy's reconciliation round *)
+        fun i -> Array.map (fun n_s -> min t.capacity.(i) n_s) user_counts
+    | `Proportional ->
+        (* conservative: shard budgets sum to exactly q_i, so the merged
+           strategy can never over-subscribe (capacity may strand in
+           shards that cannot use it) *)
+        fun i -> proportional_shares ~capacity:t.capacity.(i) ~user_counts ~num_users:n
+  in
+  let budgets = Array.init t.num_items budget_of_item in
+  Array.init shards (fun s ->
+      let u_lo, u_hi = bounds.(s) in
+      {
+        t with
+        capacity = Array.init t.num_items (fun i -> budgets.(i).(s));
+        num_candidate_triples = view_triple_count t ~u_lo ~u_hi;
+        u_lo;
+        u_hi;
+      })
 
 let pp_stats ppf t =
   Format.fprintf ppf "users=%d items=%d classes=%d T=%d k=%d candidate-triples=%d" t.num_users

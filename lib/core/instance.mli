@@ -120,5 +120,45 @@ val with_prices : t -> float array array -> t
 (** A copy with a replaced price matrix (same shape checks as [create]) —
     used by the random-price extension to plan against mean prices. *)
 
+(** {1 User-sharded views}
+
+    The only coupling between users in Problem 1 is the capacity
+    constraint: the display limit [k] binds per (user, time) while [q_i]
+    is global. A {e shard view} therefore restricts an instance to a
+    contiguous user range and equips it with a per-shard {e capacity
+    budget}; planning on the views is embarrassingly parallel and only
+    capacity needs global reconciliation (see {!Shard_greedy}). *)
+
+type split_policy = [ `Proportional | `Water_filling ]
+(** How the global capacities [q_i] are divided into per-shard budgets:
+
+    - [`Water_filling] (the default): every shard may use an item up to
+      [min q_i (shard user count)] — optimistic, since capacity counts
+      distinct users and a shard can never need more than its user count.
+      Budgets may over-subscribe [q_i] globally; {!Shard_greedy}'s
+      reconciliation round resolves the contention.
+    - [`Proportional]: [q_i] is split proportionally to shard user counts
+      with deterministic largest-remainder rounding, so budgets sum to
+      exactly [q_i] and the merged plan can never over-subscribe — at the
+      cost of stranding capacity in shards that cannot use it. *)
+
+val shard : ?policy:split_policy -> shards:int -> t -> t array
+(** [shard ~shards t] partitions the users into [shards] contiguous,
+    near-equal views (earlier shards take the remainder). Views are
+    zero-copy — they share every underlying array of [t] except the
+    capacity vector, which holds the shard's budget under [policy] — and
+    keep {e global} user ids, so strategies planned on a view merge into
+    the parent instance without renaming. [iter_candidate_triples] and
+    [num_candidate_triples] reflect only the view's users; point lookups
+    ([q], [price], [candidates], …) remain valid for any user id.
+
+    With [shards = 1] the single view's behaviour is indistinguishable
+    from [t] under both policies. Raises [Invalid_argument] when
+    [shards < 1] or [t] is itself a shard view. *)
+
+val user_range : t -> int * int
+(** The view's user range [(lo, hi)) — [(0, num_users)] for a full
+    instance. *)
+
 val pp_stats : Format.formatter -> t -> unit
 (** One-line instance statistics (users/items/classes/triples). *)

@@ -95,7 +95,8 @@ let greedy_in_order ?(with_saturation = true) ?(evaluator = `Incremental)
                 | Some f ->
                     f
                       {
-                        Greedy.size = Strategy.size s;
+                        Greedy.z = e.z;
+                        size = Strategy.size s;
                         revenue = !running_total;
                         evaluations = !evals;
                       }

@@ -68,18 +68,18 @@ let add_unchecked t (z : Triple.t) =
 let add_result t (z : Triple.t) =
   match range_error t z with
   | Some msg ->
-      Error (Err.Invalid_strategy (Err.Triple_out_of_range { u = z.u; i = z.i; t = z.t; msg }))
+      Error (Err.Invalid_strategy [ Err.Triple_out_of_range { u = z.u; i = z.i; t = z.t; msg } ])
   | None ->
       if Hashtbl.mem t.triples z then
-        Error (Err.Invalid_strategy (Err.Duplicate_triple { u = z.u; i = z.i; t = z.t }))
+        Error (Err.Invalid_strategy [ Err.Duplicate_triple { u = z.u; i = z.i; t = z.t } ])
       else Ok (add_unchecked t z)
 
 let add t z =
   match add_result t z with
   | Ok () -> ()
-  | Error (Err.Invalid_strategy (Err.Duplicate_triple _)) ->
+  | Error (Err.Invalid_strategy (Err.Duplicate_triple _ :: _)) ->
       invalid_arg "Strategy.add: duplicate triple"
-  | Error (Err.Invalid_strategy (Err.Triple_out_of_range _)) ->
+  | Error (Err.Invalid_strategy (Err.Triple_out_of_range _ :: _)) ->
       invalid_arg "Strategy: triple out of range"
   | Error e -> invalid_arg (Err.message e)
 
@@ -154,44 +154,32 @@ let is_valid t =
        (fun i users ok -> ok && Hashtbl.length users <= Instance.capacity t.inst i)
        t.item_users true
 
-let validate t =
+let violations t =
   let k = Instance.display_limit t.inst in
   let stride = Instance.horizon t.inst + 1 in
-  (* deterministic witness: the smallest violating key, independent of
-     hashtable iteration order *)
-  let display_witness =
-    Hashtbl.fold
-      (fun dk d best ->
-        if d <= k then best
-        else
-          match best with
-          | Some (bk, _) when bk <= dk -> best
-          | _ -> Some (dk, d))
-      t.display None
+  (* deterministic witness set, independent of hashtable iteration order:
+     every display violation sorted by (user, time), then every capacity
+     violation sorted by item *)
+  let display =
+    Hashtbl.fold (fun dk d acc -> if d > k then (dk, d) :: acc else acc) t.display []
+    |> List.sort compare
+    |> List.map (fun (dk, count) ->
+           Err.Display_limit { u = dk / stride; time = dk mod stride; count; limit = k })
   in
-  match display_witness with
-  | Some (dk, count) ->
-      Error
-        (Err.Invalid_strategy
-           (Err.Display_limit { u = dk / stride; time = dk mod stride; count; limit = k }))
-  | None -> (
-      let capacity_witness =
-        Hashtbl.fold
-          (fun i users best ->
-            let n = Hashtbl.length users in
-            if n <= Instance.capacity t.inst i then best
-            else
-              match best with
-              | Some (bi, _) when bi <= i -> best
-              | _ -> Some (i, n))
-          t.item_users None
-      in
-      match capacity_witness with
-      | Some (i, n) ->
-          Error
-            (Err.Invalid_strategy
-               (Err.Capacity { item = i; distinct_users = n; capacity = Instance.capacity t.inst i }))
-      | None -> Ok ())
+  let capacity =
+    Hashtbl.fold
+      (fun i users acc ->
+        let n = Hashtbl.length users in
+        if n > Instance.capacity t.inst i then (i, n) :: acc else acc)
+      t.item_users []
+    |> List.sort compare
+    |> List.map (fun (i, n) ->
+           Err.Capacity { item = i; distinct_users = n; capacity = Instance.capacity t.inst i })
+  in
+  display @ capacity
+
+let validate t =
+  match violations t with [] -> Ok () | vs -> Error (Err.Invalid_strategy vs)
 
 let repeat_histogram t =
   let hist = Array.make (Instance.horizon t.inst) 0 in

@@ -26,7 +26,7 @@ val add : t -> Triple.t -> unit
 
 val add_result : t -> Triple.t -> (unit, Revmax_prelude.Err.t) result
 (** Like {!add} but never raises: a duplicate or out-of-range triple yields
-    [Error (Invalid_strategy _)] carrying the offending triple. *)
+    [Error (Invalid_strategy [_])] carrying the offending triple. *)
 
 val remove : t -> Triple.t -> unit
 (** Removes exactly one occurrence. Raises [Invalid_argument] if the triple
@@ -89,13 +89,19 @@ val is_valid : t -> bool
 val is_valid_display_only : t -> bool
 (** Only the display constraint — validity in the R-REVMAX sense (§4.2). *)
 
+val violations : t -> Revmax_prelude.Err.violated_constraint list
+(** Every violated constraint of Problem 1, in a deterministic order:
+    display-limit overflows (with the offending user, time, count, and
+    limit) sorted by (user, time), then capacity overflows (with the
+    offending item, its distinct-user count, and its capacity) sorted by
+    item. Empty iff {!is_valid}. *)
+
 val validate : t -> (unit, Revmax_prelude.Err.t) result
-(** Like {!is_valid} but explains failure: [Error (Invalid_strategy c)]
-    names the first violated constraint — a display-limit overflow (with the
-    offending user, time, count, and limit) or a capacity overflow (with the
-    offending item, its distinct-user count, and its capacity). Display
-    violations are reported before capacity violations, and the witness is
-    deterministic (smallest offending (user, time) / item). *)
+(** Like {!is_valid} but explains failure: [Error (Invalid_strategy cs)]
+    carries the complete witness set of {!violations} — every violated
+    constraint, not just the first — so callers (e.g. the sharding
+    reconciliation tests) can assert the precise set of over-subscribed
+    items and overflowing display slots. *)
 
 (** {1 Reporting} *)
 

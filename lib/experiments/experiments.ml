@@ -414,6 +414,78 @@ let bench_greedy (cfg : Config.t) =
     "(identical selections by construction — rel dRev is the accumulated float drift;\n\
     \ speedup grows with chain length: naive marginals are O(L^2), incremental O(L))\n"
 
+(* ----- Shard-scaling benchmark: Shard_greedy vs plain greedy ----- *)
+
+let bench_shards (cfg : Config.t) =
+  Runner.section "Benchmark: user-sharded greedy, revenue ratio and wall time vs shards";
+  (* the same long-chain synthetic regime as bench-greedy, but with
+     capacities tight enough (about a third of the users) that the
+     water-filling budgets genuinely overlap and the reconciliation round
+     has real contention to resolve *)
+  let synth ~users ~items ~classes ~horizon ~k =
+    let rng = Rng.create cfg.Config.seed in
+    let adoption = ref [] in
+    for u = 0 to users - 1 do
+      for i = 0 to items - 1 do
+        if Rng.bernoulli rng 0.8 then
+          adoption :=
+            (u, i, Array.init horizon (fun _ -> Rng.uniform_in rng 0.02 0.10)) :: !adoption
+      done
+    done;
+    Instance.create ~num_users:users ~num_items:items ~horizon ~display_limit:k
+      ~class_of:(Array.init items (fun i -> i mod classes))
+      ~capacity:(Array.make items (max 1 (users / 3)))
+      ~saturation:(Array.init items (fun _ -> Rng.uniform_in rng 0.7 1.0))
+      ~price:
+        (Array.init items (fun _ -> Array.init horizon (fun _ -> Rng.uniform_in rng 1.0 10.0)))
+      ~adoption:!adoption ()
+  in
+  let inst =
+    match cfg.Config.scale with
+    | Config.Quick -> synth ~users:60 ~items:16 ~classes:2 ~horizon:8 ~k:3
+    | Config.Default -> synth ~users:150 ~items:32 ~classes:2 ~horizon:12 ~k:4
+    | Config.Full -> synth ~users:400 ~items:40 ~classes:2 ~horizon:15 ~k:5
+  in
+  let (s_ref, _), sec_ref = Util.time_it (fun () -> Greedy.run inst) in
+  let v_ref = Revenue.total s_ref in
+  let t =
+    Table.create
+      ~columns:
+        [
+          "shards"; "revenue"; "ratio"; "wall s"; "speedup"; "rounds"; "released"; "replanned";
+        ]
+  in
+  List.iter
+    (fun shards ->
+      let (s, st), sec = Util.time_it (fun () -> Revmax.Shard_greedy.solve ~shards inst) in
+      (match Strategy.validate s with
+      | Ok () -> ()
+      | Error e ->
+          failwith
+            (Printf.sprintf "bench-shards: invalid strategy at shards=%d: %s" shards
+               (Revmax_prelude.Err.message e)));
+      let v = Revenue.total s in
+      if shards = 1 && not (Revmax_prelude.Util.float_equal ~eps:1e-12 v v_ref) then
+        failwith
+          (Printf.sprintf "bench-shards: shards=1 drifted from plain greedy (%.12g vs %.12g)" v
+             v_ref);
+      Table.add_row t
+        [
+          string_of_int shards;
+          Printf.sprintf "%.1f" v;
+          Printf.sprintf "%.4f" (v /. Float.max 1e-9 v_ref);
+          Printf.sprintf "%.3f" sec;
+          Printf.sprintf "%.1fx" (sec_ref /. Float.max 1e-9 sec);
+          string_of_int st.Revmax.Shard_greedy.reconciliation_rounds;
+          string_of_int st.Revmax.Shard_greedy.released_pairs;
+          string_of_int st.Revmax.Shard_greedy.replanned;
+        ])
+    [ 1; 2; 4 ];
+  Table.print t;
+  Log.out
+    "(ratio is sharded/unsharded expected revenue — honest accounting of what the\n\
+    \ shard cut costs; shards=1 is bit-identical to plain greedy and must ratio 1)\n"
+
 (* ----- Ablations ----- *)
 
 let abl_heap (cfg : Config.t) =
@@ -581,6 +653,7 @@ let all =
     ("fig7", "Figure 7: gradual price availability", fig7);
     ("ext-taylor", "s7 extension: random prices (Taylor)", ext_taylor);
     ("bench-greedy", "Benchmark: greedy throughput, naive vs incremental", bench_greedy);
+    ("bench-shards", "Benchmark: user-sharded greedy vs unsharded (ratio, wall time)", bench_shards);
     ("abl-heap", "Ablation: heaps and lazy forward", abl_heap);
     ("abl-exact", "Ablation: greedy vs exact optima", abl_exact);
     ("abl-rs", "Ablation: MF vs kNN vs content-based substrate", abl_rs);

@@ -54,6 +54,13 @@ val bench_greedy : Config.t -> unit
     second, speedup, and the (tiny) relative revenue drift between the two.
     Aborts if the evaluators' revenues differ by more than 1e-9 relative. *)
 
+val bench_shards : Config.t -> unit
+(** Shard-scaling benchmark — {!Revmax.Shard_greedy.solve} at
+    shards ∈ {1, 2, 4} against plain {!Revmax.Greedy.run}: revenue ratio
+    (sharded/unsharded), wall time, and reconciliation work (rounds,
+    released pairs, re-planned users). Aborts if shards=1 is not
+    bit-identical to the unsharded run. *)
+
 val abl_heap : Config.t -> unit
 (** §5.1 ablation — two-level vs giant heap, lazy-forward on vs off:
     planning time and number of marginal-revenue evaluations. *)

@@ -26,12 +26,20 @@ type outcome =
   | Completed of timed_result
   | Failed of { algo : Algorithms.t; seconds : float; error : Err.t }
 
-let resolve_suite ~rlg_permutations = function
-  | Some s -> s
-  | None ->
-      List.map
-        (function Algorithms.Rl_greedy _ -> Algorithms.Rl_greedy rlg_permutations | a -> a)
-        Algorithms.default_suite
+let resolve_suite ?shards ~rlg_permutations suite =
+  let base =
+    match suite with
+    | Some s -> s
+    | None ->
+        List.map
+          (function Algorithms.Rl_greedy _ -> Algorithms.Rl_greedy rlg_permutations | a -> a)
+          Algorithms.default_suite
+  in
+  (* the shard count, like the permutation count, is a run-wide knob: any
+     sharded entry in the suite picks up the caller's value *)
+  match shards with
+  | None -> base
+  | Some n -> List.map (function Algorithms.Sharded_greedy _ -> Algorithms.Sharded_greedy n | a -> a) base
 
 let guarded ~algo run =
   Metrics.incr c_algos;
@@ -62,9 +70,9 @@ let guarded ~algo run =
    suite order regardless of completion order. [seconds] are wall-clock and
    shift under contention, but the revenues, strategies and sizes are
    jobs-invariant (budgeted runs are timing-dependent, as always). *)
-let run_suite ?suite ?budget ?jobs ~rlg_permutations ~seed inst =
+let run_suite ?suite ?budget ?jobs ?shards ~rlg_permutations ~seed inst =
   Metrics.incr c_suites;
-  let algos = Array.of_list (resolve_suite ~rlg_permutations suite) in
+  let algos = Array.of_list (resolve_suite ?shards ~rlg_permutations suite) in
   Array.to_list
     (Revmax_prelude.Pool.parallel_map ?jobs algos ~f:(fun algo ->
          guarded ~algo (fun () -> Algorithms.run_anytime ?budget algo inst ~seed)))

@@ -26,6 +26,7 @@ val run_suite :
   ?suite:Revmax.Algorithms.t list ->
   ?budget:Revmax_prelude.Budget.t ->
   ?jobs:int ->
+  ?shards:int ->
   rlg_permutations:int ->
   seed:int ->
   Revmax.Instance.t ->
@@ -41,7 +42,12 @@ val run_suite :
     The suite runs on up to [jobs] domains (default
     {!Revmax_prelude.Pool.default_jobs}); outcomes are returned in suite
     order and — apart from the wall-clock [seconds] fields and
-    budget-truncation points — are identical for every [jobs] value. *)
+    budget-truncation points — are identical for every [jobs] value.
+
+    [shards] overrides the shard count of any
+    {!Revmax.Algorithms.Sharded_greedy} entry in the suite, as
+    [rlg_permutations] does for RL-Greedy (the default suite carries no
+    sharded entry, so figures stay byte-identical to earlier releases). *)
 
 val guarded : algo:Revmax.Algorithms.t -> (unit -> Revmax.Strategy.t * bool) -> outcome
 (** Run one strategy-producing thunk (returning the strategy and its

@@ -16,6 +16,26 @@ let create ?wall_seconds ?max_evaluations () =
 
 let spend t n = ignore (Atomic.fetch_and_add t.used n)
 
+let split t n =
+  if n < 1 then invalid_arg "Budget.split: need at least one part";
+  (* the wall-clock deadline is shared (absolute time expires for everyone
+     at once); the remaining evaluation allowance is divided as evenly as
+     possible, earlier parts taking the remainder — deterministic, and the
+     parts' caps sum to exactly the remaining allowance *)
+  let share =
+    match t.max_evaluations with
+    | None -> fun _ -> None
+    | Some m ->
+        let remaining = max 0 (m - Atomic.get t.used) in
+        let base = remaining / n and extra = remaining mod n in
+        fun idx -> Some ((if idx < extra then base + 1 else base))
+  in
+  Array.init n (fun idx ->
+      { deadline = t.deadline; max_evaluations = share idx; used = Atomic.make 0 })
+
+let absorb t parts =
+  Array.iter (fun p -> ignore (Atomic.fetch_and_add t.used (Atomic.get p.used))) parts
+
 let note_evaluations t n =
   (* keep the maximum seen; CAS loop because several domains may report *)
   let rec go () =

@@ -38,6 +38,22 @@ val spend : t -> int -> unit
     closed-form shortcut cost no oracle call, yet are still progress a cap
     must bound) — against the budget. *)
 
+val split : t -> int -> t array
+(** [split t n] divides the budget into [n] fresh sub-budgets for
+    independent strands of work (the user shards of
+    [Revmax.Shard_greedy]): the wall-clock deadline, being an absolute
+    instant, is shared by every part, while the {e remaining} evaluation
+    allowance is divided as evenly as possible (earlier parts receive the
+    remainder, so the division is deterministic and the parts' caps sum to
+    the remaining allowance). Charges against a part do not flow back into
+    [t]; call {!absorb} after the strands finish. Raises
+    [Invalid_argument] when [n < 1]. *)
+
+val absorb : t -> t array -> unit
+(** [absorb t parts] charges the work recorded in each part back into [t],
+    so a budget that was split for a parallel phase again reflects the
+    total work when it is consulted afterwards. *)
+
 val note_evaluations : t -> int -> unit
 (** Record an externally-maintained cumulative evaluation count (used by
     oracles that already count calls); keeps the maximum seen. *)

@@ -7,7 +7,7 @@ type violated_constraint =
 type t =
   | Invalid_instance of { field : string; msg : string }
   | Parse_error of { file : string; line : int; col : int; msg : string }
-  | Invalid_strategy of violated_constraint
+  | Invalid_strategy of violated_constraint list
   | Io_error of { path : string; msg : string }
   | Unexpected of { context : string; msg : string }
 
@@ -29,7 +29,10 @@ let message = function
   | Parse_error { file; line; col; msg } ->
       if col > 0 then Printf.sprintf "%s:%d:%d: %s" file line col msg
       else Printf.sprintf "%s:%d: %s" file line msg
-  | Invalid_strategy c -> "invalid strategy: " ^ constraint_message c
+  | Invalid_strategy [ c ] -> "invalid strategy: " ^ constraint_message c
+  | Invalid_strategy cs ->
+      Printf.sprintf "invalid strategy: %d violated constraints: %s" (List.length cs)
+        (String.concat "; " (List.map constraint_message cs))
   | Io_error { path; msg } ->
       if path = "" then Printf.sprintf "io error: %s" msg
       else Printf.sprintf "io error (%s): %s" path msg

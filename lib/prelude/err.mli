@@ -29,9 +29,13 @@ type t =
   | Parse_error of { file : string; line : int; col : int; msg : string }
       (** A serialized instance/strategy failed to parse; [col] is 1-based
           ([0] when the error is not attributable to a single token). *)
-  | Invalid_strategy of violated_constraint
-      (** A strategy breaks a Problem 1 constraint; the payload names the
-          violated constraint and an offending witness. *)
+  | Invalid_strategy of violated_constraint list
+      (** A strategy breaks Problem 1 constraints; the payload names {e
+          every} violated constraint with an offending witness, in a
+          deterministic order (display violations sorted by (user, time),
+          then capacity violations sorted by item). The list is never
+          empty; code interested only in the primary failure can match
+          [Invalid_strategy (first :: _)]. *)
   | Io_error of { path : string; msg : string }
       (** The operating system refused a file operation. *)
   | Unexpected of { context : string; msg : string }
@@ -43,6 +47,10 @@ exception Error of t
 
 val message : t -> string
 (** One-line human-readable rendering. *)
+
+val constraint_message : violated_constraint -> string
+(** One-line rendering of a single constraint witness (the pieces
+    {!message} joins for {!Invalid_strategy}). *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -351,8 +351,8 @@ let test_guarded_rejects_display_violation () =
   Strategy.add s (triple 0 0 1);
   Strategy.add s (triple 0 1 1);
   match Runner.guarded ~algo:Algorithms.Top_revenue (fun () -> (s, false)) with
-  | Runner.Failed { error = Err.Invalid_strategy (Err.Display_limit { u; time; count; limit }); _ }
-    ->
+  | Runner.Failed
+      { error = Err.Invalid_strategy [ Err.Display_limit { u; time; count; limit } ]; _ } ->
       Alcotest.(check int) "witness user" 0 u;
       Alcotest.(check int) "witness time" 1 time;
       Alcotest.(check int) "witness count" 2 count;
@@ -368,7 +368,7 @@ let test_guarded_rejects_capacity_violation () =
   Strategy.add s (triple 1 0 1);
   match Runner.guarded ~algo:Algorithms.Top_revenue (fun () -> (s, false)) with
   | Runner.Failed
-      { error = Err.Invalid_strategy (Err.Capacity { item; distinct_users; capacity }); _ } ->
+      { error = Err.Invalid_strategy [ Err.Capacity { item; distinct_users; capacity } ]; _ } ->
       Alcotest.(check int) "witness item" 0 item;
       Alcotest.(check int) "witness users" 2 distinct_users;
       Alcotest.(check int) "witness capacity" 1 capacity
