@@ -37,6 +37,7 @@ type t = {
   inst : Instance.t;
   mutable len : int;
   mutable zs : Triple.t array;
+  mutable ts : int array; (* flat mirror of zs.(j).t, for deref-free walks *)
   mutable q : float array;
   mutable price : float array;
   mutable beta : float array;
@@ -45,6 +46,11 @@ type t = {
   mutable prob : float array;
   mutable rev_sat : float;
   mutable rev_nosat : float;
+  scratch : float array; (* unboxed oracle cells: 0-2 accumulators, 3-5 qz/price/beta inputs *)
+  inv : float array; (* inv.(d) = 1/d for d in 1..horizon: memory terms are
+                        always 1/Δt with Δt bounded by the horizon, and a
+                        table load beats a float divide in the oracle walk;
+                        the values are the same IEEE quotients *)
 }
 
 let dummy = Triple.make ~u:0 ~i:0 ~t:0
@@ -54,6 +60,7 @@ let create inst =
     inst;
     len = 0;
     zs = [||];
+    ts = [||];
     q = [||];
     price = [||];
     beta = [||];
@@ -62,6 +69,10 @@ let create inst =
     prob = [||];
     rev_sat = 0.0;
     rev_nosat = 0.0;
+    scratch = Array.make 6 0.0;
+    inv =
+      Array.init (Instance.horizon inst + 1) (fun d ->
+          if d = 0 then 0.0 else 1.0 /. float_of_int d);
   }
 
 let length c = c.len
@@ -95,18 +106,32 @@ let mem c z =
 
 let saturation_factor beta m = if m = 0.0 then 1.0 else beta ** m
 
-let prob_at c j =
-  if c.q.(j) <= 0.0 then 0.0
-  else c.q.(j) *. saturation_factor c.beta.(j) c.mem.(j) *. c.comp.(j)
+(* recompute prob.(j) = q_j · β_j^{M_j} · comp_j in place, with no float
+   crossing a call boundary: a [prob_at c j] helper returning the value
+   would box its result (and [saturation_factor]'s arguments) on every
+   chain element of every insert/remove *)
+let set_prob c j =
+  c.prob.(j) <-
+    (if c.q.(j) <= 0.0 then 0.0
+     else
+       let m = c.mem.(j) in
+       c.q.(j) *. (if m = 0.0 then 1.0 else c.beta.(j) ** m) *. c.comp.(j))
 
 let refresh_revenues c =
-  let rs = ref 0.0 and rn = ref 0.0 in
+  (* accumulate in scratch cells, not [float ref]s: without flambda every
+     [:=] on a float ref stores a freshly boxed float, so the refs would
+     allocate O(len) words on each insert — this runs once per accepted
+     triple in the greedy steady state. Slots 0/1 are free here (they are
+     the [marginal_cells] accumulators, and no marginal is in flight). *)
+  let a = c.scratch in
+  a.(0) <- 0.0;
+  a.(1) <- 0.0;
   for j = 0 to c.len - 1 do
-    rs := !rs +. (c.price.(j) *. c.prob.(j));
-    rn := !rn +. (c.price.(j) *. if c.q.(j) <= 0.0 then 0.0 else c.q.(j) *. c.comp.(j))
+    a.(0) <- a.(0) +. (c.price.(j) *. c.prob.(j));
+    a.(1) <- a.(1) +. (c.price.(j) *. if c.q.(j) <= 0.0 then 0.0 else c.q.(j) *. c.comp.(j))
   done;
-  c.rev_sat <- !rs;
-  c.rev_nosat <- !rn
+  c.rev_sat <- a.(0);
+  c.rev_nosat <- a.(1)
 
 (* full rebuild of every cached aggregate, iterating in the same ascending
    order as the naive evaluator so the floating-point sums and products are
@@ -122,7 +147,7 @@ let recompute c =
     for a = !j to !k - 1 do
       let m = ref 0.0 in
       for l = 0 to !j - 1 do
-        m := !m +. (1.0 /. float_of_int (c.zs.(a).t - c.zs.(l).t))
+        m := !m +. c.inv.(c.zs.(a).t - c.zs.(l).t)
       done;
       c.mem.(a) <- !m;
       let g = ref !prefix in
@@ -130,7 +155,7 @@ let recompute c =
         if b <> a then g := !g *. (1.0 -. c.q.(b))
       done;
       c.comp.(a) <- !g;
-      c.prob.(a) <- prob_at c a
+      set_prob c a
     done;
     for b = !j to !k - 1 do
       prefix := !prefix *. (1.0 -. c.q.(b))
@@ -142,9 +167,17 @@ let recompute c =
 let ensure_capacity c n =
   if n > Array.length c.zs then begin
     let cap = max 4 (max n (2 * Array.length c.zs)) in
-    let grow_t a = Array.init cap (fun j -> if j < c.len then a.(j) else dummy) in
-    let grow_f a = Array.init cap (fun j -> if j < c.len then a.(j) else 0.0) in
-    c.zs <- grow_t c.zs;
+    let zs = Array.make cap dummy in
+    Array.blit c.zs 0 zs 0 c.len;
+    c.zs <- zs;
+    let ts = Array.make cap 0 in
+    Array.blit c.ts 0 ts 0 c.len;
+    c.ts <- ts;
+    let grow_f a =
+      let fresh = Array.make cap 0.0 in
+      Array.blit a 0 fresh 0 c.len;
+      fresh
+    in
     c.q <- grow_f c.q;
     c.price <- grow_f c.price;
     c.beta <- grow_f c.beta;
@@ -161,23 +194,28 @@ let insert c (z : Triple.t) =
   let qz = Instance.q c.inst ~u:z.u ~i:z.i ~time:z.t in
   let one_minus_qz = 1.0 -. qz in
   (* splice z's effects into the existing aggregates and accumulate z's own
-     memory / competition in the same O(L) pass *)
-  let mz = ref 0.0 and compz = ref 1.0 in
+     memory / competition in the same O(L) pass. The accumulators live in
+     scratch cells (slot 0: memory, slot 1: competition) for the same
+     no-flambda reason as [refresh_revenues]: float refs would box on every
+     loop iteration of every accept. *)
+  let a = c.scratch in
+  a.(0) <- 0.0;
+  a.(1) <- 1.0;
   for j = 0 to c.len - 1 do
     let tj = c.zs.(j).t in
     if tj < z.t then begin
-      mz := !mz +. (1.0 /. float_of_int (z.t - tj));
-      compz := !compz *. (1.0 -. c.q.(j))
+      a.(0) <- a.(0) +. c.inv.(z.t - tj);
+      a.(1) <- a.(1) *. (1.0 -. c.q.(j))
     end
     else if tj = z.t then begin
-      compz := !compz *. (1.0 -. c.q.(j));
+      a.(1) <- a.(1) *. (1.0 -. c.q.(j));
       c.comp.(j) <- c.comp.(j) *. one_minus_qz;
-      c.prob.(j) <- prob_at c j
+      set_prob c j
     end
     else begin
-      c.mem.(j) <- c.mem.(j) +. (1.0 /. float_of_int (tj - z.t));
+      c.mem.(j) <- c.mem.(j) +. c.inv.(tj - z.t);
       c.comp.(j) <- c.comp.(j) *. one_minus_qz;
-      c.prob.(j) <- prob_at c j
+      set_prob c j
     end
   done;
   (* shift the tail and write the new slot *)
@@ -192,6 +230,7 @@ let insert c (z : Triple.t) =
    with Exit -> ());
   for j = c.len downto !pos + 1 do
     c.zs.(j) <- c.zs.(j - 1);
+    c.ts.(j) <- c.ts.(j - 1);
     c.q.(j) <- c.q.(j - 1);
     c.price.(j) <- c.price.(j - 1);
     c.beta.(j) <- c.beta.(j - 1);
@@ -201,13 +240,14 @@ let insert c (z : Triple.t) =
   done;
   let p = !pos in
   c.zs.(p) <- z;
+  c.ts.(p) <- z.t;
   c.q.(p) <- qz;
   c.price.(p) <- Instance.price c.inst ~i:z.i ~time:z.t;
   c.beta.(p) <- Instance.saturation c.inst z.i;
-  c.mem.(p) <- !mz;
-  c.comp.(p) <- !compz;
+  c.mem.(p) <- a.(0);
+  c.comp.(p) <- a.(1);
   c.len <- c.len + 1;
-  c.prob.(p) <- prob_at c p;
+  set_prob c p;
   refresh_revenues c
 
 let remove c (z : Triple.t) =
@@ -217,11 +257,23 @@ let remove c (z : Triple.t) =
     invalid_arg "Chain.remove: absent triple";
   for j = j0 to c.len - 2 do
     c.zs.(j) <- c.zs.(j + 1);
+    c.ts.(j) <- c.ts.(j + 1);
     c.q.(j) <- c.q.(j + 1);
     c.price.(j) <- c.price.(j + 1);
     c.beta.(j) <- c.beta.(j + 1)
   done;
   c.len <- c.len - 1;
+  (* clear the vacated tail slot: a stale triple left beyond [len] could
+     otherwise alias a future [find]/[iter] read after a re-insert at the
+     old boundary *)
+  c.zs.(c.len) <- dummy;
+  c.ts.(c.len) <- 0;
+  c.q.(c.len) <- 0.0;
+  c.price.(c.len) <- 0.0;
+  c.beta.(c.len) <- 0.0;
+  c.mem.(c.len) <- 0.0;
+  c.comp.(c.len) <- 0.0;
+  c.prob.(c.len) <- 0.0;
   recompute c
 
 let revenue ~with_saturation c = if with_saturation then c.rev_sat else c.rev_nosat
@@ -232,52 +284,98 @@ let prob ~with_saturation c (z : Triple.t) =
   else if with_saturation then Some c.prob.(j)
   else Some (if c.q.(j) <= 0.0 then 0.0 else c.q.(j) *. c.comp.(j))
 
-let marginal ~with_saturation c (z : Triple.t) =
+(* Allocation-free kernel of [marginal]: every per-candidate instance fact
+   (q, price, saturation base) arrives as an argument so the O(L) loop only
+   touches the chain's flat float arrays. The saturation closed form is
+   inlined by hand — without flambda a call to [saturation_factor] would
+   box its float result on every later-triple iteration — and the loop body
+   performs no tupling, no option construction and no hashtable lookups, so
+   the per-element work allocates nothing. Floating-point operations are
+   ordered exactly as the historical [marginal], keeping golden traces and
+   the naive≈incremental properties bit-stable. *)
+let oracle_cells c = c.scratch
+
+(* The one oracle call of the steady-state selection loop, with a float-free
+   signature: without flambda every float argument or result of a
+   non-inlined call is boxed on the minor heap, so the caller passes qz,
+   price and beta by storing them into [oracle_cells] slots 3..5 (unboxed
+   float-array stores) and the marginal comes back through [res.(0)] — the
+   call itself moves only immediates and pointers and allocates nothing.
+
+   The three accumulators live in the same preallocated [scratch] array:
+   a [ref] cell (or float arguments threaded through a local recursion,
+   which the non-flambda compiler boxes) would allocate on every call.
+   Each branch performs the same floating-point operations in the same
+   order as the historical accumulate-in-refs loop, so results are
+   bit-identical. The walk reads the [ts] time mirror, not [zs], to keep
+   it free of pointer chasing. *)
+let marginal_cells ~with_saturation c ~time ~res =
   Metrics.incr c_marginals;
-  let qz = Instance.q c.inst ~u:z.u ~i:z.i ~time:z.t in
+  let a = c.scratch in
+  let qz = a.(3) in
+  let price = a.(4) in
+  let beta = a.(5) in
   let one_minus_qz = 1.0 -. qz in
-  let mz = ref 0.0 and compz = ref 1.0 in
-  let delta = ref 0.0 in
-  for j = 0 to c.len - 1 do
-    let tj = c.zs.(j).t in
-    if tj < z.t then begin
-      mz := !mz +. (1.0 /. float_of_int (z.t - tj));
-      compz := !compz *. (1.0 -. c.q.(j))
+  let len = c.len in
+  a.(0) <- 0.0 (* mz *);
+  a.(1) <- 1.0 (* compz *);
+  a.(2) <- 0.0 (* delta *);
+  for j = 0 to len - 1 do
+    let tj = c.ts.(j) in
+    if tj < time then begin
+      a.(0) <- a.(0) +. c.inv.(time - tj);
+      a.(1) <- a.(1) *. (1.0 -. c.q.(j))
     end
-    else if tj = z.t then begin
+    else if tj = time then begin
       (* z's primitive probability joins the same-time competition *)
-      compz := !compz *. (1.0 -. c.q.(j));
+      a.(1) <- a.(1) *. (1.0 -. c.q.(j));
       let old_p =
         if c.q.(j) <= 0.0 then 0.0
         else if with_saturation then c.prob.(j)
         else c.q.(j) *. c.comp.(j)
       in
-      delta := !delta -. (c.price.(j) *. old_p *. qz)
+      a.(2) <- a.(2) -. (c.price.(j) *. old_p *. qz)
     end
     else begin
       (* later triple: its memory gains 1/(Δt), its competition gains
          (1 − q_z) *)
-      let old_p, new_p =
-        if c.q.(j) <= 0.0 then (0.0, 0.0)
-        else if with_saturation then
-          let m' = c.mem.(j) +. (1.0 /. float_of_int (tj - z.t)) in
-          ( c.prob.(j),
-            c.q.(j) *. saturation_factor c.beta.(j) m' *. c.comp.(j) *. one_minus_qz )
-        else
+      let d =
+        if c.q.(j) <= 0.0 then 0.0
+        else if with_saturation then begin
+          let m' = c.mem.(j) +. c.inv.(tj - time) in
+          let sat = if m' = 0.0 then 1.0 else c.beta.(j) ** m' in
+          (c.q.(j) *. sat *. c.comp.(j) *. one_minus_qz) -. c.prob.(j)
+        end
+        else begin
           let p0 = c.q.(j) *. c.comp.(j) in
-          (p0, p0 *. one_minus_qz)
+          (p0 *. one_minus_qz) -. p0
+        end
       in
-      delta := !delta +. (c.price.(j) *. (new_p -. old_p))
+      a.(2) <- a.(2) +. (c.price.(j) *. d)
     end
   done;
   let gain =
     if qz <= 0.0 then 0.0
     else begin
-      let sat =
-        if with_saturation then saturation_factor (Instance.saturation c.inst z.i) !mz
-        else 1.0
-      in
-      Instance.price c.inst ~i:z.i ~time:z.t *. qz *. sat *. !compz
+      let sat = if with_saturation then (if a.(0) = 0.0 then 1.0 else beta ** a.(0)) else 1.0 in
+      price *. qz *. sat *. a.(1)
     end
   in
-  gain +. !delta
+  res.(0) <- gain +. a.(2)
+
+(* boxed-float façade over [marginal_cells] — one implementation, so the
+   two entry points cannot drift apart numerically. [res] reuses [scratch]:
+   slot 0 (the mz accumulator) is dead by the time the result is stored. *)
+let marginal_flat ~with_saturation c ~time ~qz ~price ~beta =
+  let a = c.scratch in
+  a.(3) <- qz;
+  a.(4) <- price;
+  a.(5) <- beta;
+  marginal_cells ~with_saturation c ~time ~res:a;
+  a.(0)
+
+let marginal ~with_saturation c (z : Triple.t) =
+  marginal_flat ~with_saturation c ~time:z.t
+    ~qz:(Instance.q c.inst ~u:z.u ~i:z.i ~time:z.t)
+    ~price:(Instance.price c.inst ~i:z.i ~time:z.t)
+    ~beta:(Instance.saturation c.inst z.i)

@@ -48,6 +48,13 @@ val prob : with_saturation:bool -> t -> Triple.t -> float option
 (** Cached dynamic adoption probability of a member triple; [None] if the
     triple is not in the chain. O(log L). *)
 
+val saturation_factor : float -> float -> float
+(** [saturation_factor beta m] is the closed form [beta ** m] with the
+    [m = 0] guard that keeps an empty memory exact even for [beta = 0].
+    This is the single shared definition used by both the incremental chain
+    aggregates and {!Revenue.dynamic_probability} — the two evaluators
+    cannot drift. *)
+
 val marginal : with_saturation:bool -> t -> Triple.t -> float
 (** Revenue delta of inserting the (absent) triple, computed in O(L) from
     the cached aggregates without mutating the chain: the triple's own gain
@@ -55,3 +62,31 @@ val marginal : with_saturation:bool -> t -> Triple.t -> float
     saturation/competition losses it inflicts on same-time and later
     triples. Agrees with the naive [Rev(chain ∪ {z}) − Rev(chain)] up to
     floating-point rounding. *)
+
+val oracle_cells : t -> float array
+(** The chain's preallocated unboxed oracle cells. Slots 3, 4 and 5 are the
+    [qz] (candidate adoption probability), [price] and [beta] (item
+    saturation base) inputs of {!marginal_cells}; the caller stores them
+    with plain float-array writes, which the compiler keeps unboxed. Slots
+    0-2 are internal accumulators. The array is owned by the chain — treat
+    its contents as dead once {!marginal_cells} returns. *)
+
+val marginal_cells : with_saturation:bool -> t -> time:int -> res:float array -> unit
+(** Zero-allocation kernel of {!marginal}: reads the candidate's [qz],
+    [price] and [beta] from {!oracle_cells} slots 3..5 and stores the
+    marginal into [res.(0)]. Every argument is an immediate or a pointer —
+    without flambda a float argument or result of a non-inlined call is
+    boxed on the minor heap, and this is the one function the steady-state
+    selection loop runs per cycle, so the floats travel through
+    preallocated cells instead. The O(L) scan allocates nothing.
+    Bit-identical to {!marginal} when handed the same instance facts. *)
+
+val marginal_flat :
+  with_saturation:bool -> t -> time:int -> qz:float -> price:float -> beta:float -> float
+(** Boxed-float façade over {!marginal_cells} (same single implementation,
+    so the entry points cannot drift numerically): the candidate is
+    described by its time step plus the three instance facts [q(u,i,t)],
+    [p(i,t)] and the item's saturation base, so callers that hoist those
+    lookups pay no hashtable probe and no option/tuple allocation per
+    call. On native code the only heap traffic is the boxed float
+    result. *)

@@ -15,31 +15,96 @@ let c_selected = Metrics.counter "greedy.selected"
 
 let c_truncated = Metrics.counter "greedy.truncated"
 
+let c_celf_skips = Metrics.counter "greedy.celf_skipped_evals"
+
 type stats = { marginal_evaluations : int; pops : int; selected : int; truncated : bool }
 
 type trace_point = { z : Triple.t; size : int; revenue : float; evaluations : int }
 
-type elt = { z : Triple.t; mutable flag : int }
-
 let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
-    ?(evaluator = `Incremental) ?(allowed = fun _ -> true) ?base ?trace ?budget inst =
+    ?(lazy_policy = `Celf) ?(evaluator = `Incremental) ?(allowed = fun _ -> true) ?base ?trace
+    ?budget inst =
   Metrics.span "greedy.run" @@ fun () ->
   if (not lazy_forward) && heap = `Giant then
     invalid_arg "Greedy.run: eager refresh requires the two-level heap";
   let s = match base with Some b -> Strategy.copy b | None -> Strategy.create inst in
-  let evals = ref 0 and pops = ref 0 and selected = ref 0 in
+  let evals = ref 0 and pops = ref 0 and selected = ref 0 and celf_skips = ref 0 in
   let truncated = ref false in
-  let running_total = ref 0.0 in
+  (* running revenue total lives in a float-array cell, not a [float ref]:
+     a ref stores a fresh boxed float on every [:=], a cell stores unboxed *)
+  let running_total = [| 0.0 |] in
+  let num_users = Instance.num_users inst in
   let num_items = Instance.num_items inst in
-  let chain_size_of (z : Triple.t) =
-    Strategy.chain_size s ~u:z.u ~cls:(Instance.class_of inst z.i)
-  in
-  let marginal (z : Triple.t) =
+  let num_classes = Instance.num_classes inst in
+  let horizon = Instance.horizon inst in
+  let display_limit = Instance.display_limit inst in
+  (* Candidates are carried through the heaps as packed integer ids —
+     cid = ((u·num_items) + i)·stride + t — so the selection loop recovers
+     (u, i, t) by arithmetic alone instead of dereferencing a per-element
+     record. Every instance fact the oracle needs lives in a flat unboxed
+     array indexed by cid (or by the much smaller item/time key): q0 per
+     candidate, price per (item, time), saturation per item, and the
+     lazy-forward staleness stamp [flag] (the chain length at the last
+     evaluation). A heap element is then an immediate int: popping the
+     root, checking feasibility and calling the oracle touch no heap
+     records, no float boxes, and trigger no GC write barrier. *)
+  let stride = horizon + 1 in
+  let ncid = num_users * num_items * stride in
+  (* [flag] and [q0] interleave in one float array — slots 2·cid and
+     2·cid + 1 — because the loop reads both for the same cid back to back
+     and the candidate id is the one random index of a cycle: one fetched
+     cache line serves both reads. Chain lengths are small integers, exact
+     in floating point, so the staleness stamp compares exactly. *)
+  let fq = Array.make (2 * ncid) 0.0 in
+  let cls_arr = Array.init num_items (Instance.class_of inst) in
+  let prf = Array.make (num_items * stride) 0.0 in
+  let beta_arr = Array.init num_items (Instance.saturation inst) in
+  (* per-run chain cache: chain pointers are stable for the whole run (a
+     greedy only adds triples, and Strategy never replaces a live chain), so
+     one flat array replaces the per-evaluation hashtable probe. Slots flip
+     from None to Some exactly once, at the first accept into that chain. *)
+  let chains = Array.make (num_users * num_classes) None in
+  (for u = 0 to num_users - 1 do
+     for cls = 0 to num_classes - 1 do
+       let ck = (u * num_classes) + cls in
+       match Strategy.chain_view s ~u ~cls with Some _ as c -> chains.(ck) <- c | None -> ()
+     done
+   done);
+  let chain_size_ck ck = match chains.(ck) with None -> 0 | Some c -> Chain.length c in
+  (* result cell of the oracle and of [Tl.max_key_into]: floats enter and
+     leave the per-cycle calls through preallocated cells, because without
+     flambda every float argument or result of a non-inlined call is boxed
+     on the minor heap — with ~10^6 cycles per run those boxes were the
+     last allocation left on the steady-state path *)
+  let res = [| 0.0 |] in
+  let marginal_into cid u i t =
     incr evals;
     (match budget with Some b -> Budget.spend b 1 | None -> ());
     match evaluator with
-    | `Incremental -> Revenue.marginal_incremental ~with_saturation s z
-    | `Naive -> Revenue.marginal ~with_saturation s z
+    | `Naive -> res.(0) <- Revenue.marginal ~with_saturation s (Triple.make ~u ~i ~t)
+    | `Incremental -> (
+        (* the open-coded {!Revenue.marginal_incremental}: same arithmetic,
+           but the instance facts come from the flat per-candidate arrays
+           and the chain from the flat cache, so a steady-state evaluation
+           performs no hashtable lookup and no allocation (these oracle
+           calls are accounted under greedy.marginal_evaluations /
+           chain.marginals) *)
+        match chains.((u * num_classes) + cls_arr.(i)) with
+        | Some c ->
+            let cells = Chain.oracle_cells c in
+            cells.(3) <- fq.((2 * cid) + 1);
+            cells.(4) <- prf.((i * stride) + t);
+            cells.(5) <- beta_arr.(i);
+            Chain.marginal_cells ~with_saturation c ~time:t ~res
+        | None ->
+            let qz = fq.((2 * cid) + 1) in
+            res.(0) <- (if qz <= 0.0 then 0.0 else prf.((i * stride) + t) *. qz))
+  in
+  (* boxed-float view of the oracle for the cold paths (initial keys, bulk
+     group refreshes) *)
+  let marginal_cid cid u i t =
+    marginal_into cid u i t;
+    res.(0)
   in
   (* the budget is consulted between selections only, and only after at
      least one selection, so an expired budget still yields a non-empty
@@ -51,100 +116,236 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
         true
     | _ -> false
   in
-  (* key for a triple whose chain is known empty: marginal reduces to p·q
-     (Algorithm 1 line 8); avoids a chain lookup per candidate at startup *)
-  let initial_key (z : Triple.t) =
-    if chain_size_of z = 0 then
-      Instance.price inst ~i:z.i ~time:z.t *. Instance.q inst ~u:z.u ~i:z.i ~time:z.t
-    else marginal z
+  (* flat mirrors of the three feasibility facts [Strategy.can_add] would
+     probe hashtables for — display fill per (user, time), the distinct-user
+     holder set and count per item. The strategy remains the source of
+     truth (accept still goes through [Strategy.add]); these are read on
+     every heap pop, where four hashtable probes per cycle dominated the
+     selection loop. A membership re-check is unnecessary: the heaps hold
+     each candidate at most once and a selected triple is deleted before
+     [accept], so a popped element can never already be in the strategy. *)
+  let capacity = Array.init num_items (Instance.capacity inst) in
+  let disp = Array.make (num_users * stride) 0 in
+  let holds = Array.make (num_users * num_items) false in
+  let holders = Array.make num_items 0 in
+  let note (z : Triple.t) =
+    let dk = (z.u * stride) + z.t in
+    disp.(dk) <- disp.(dk) + 1;
+    let hk = (z.u * num_items) + z.i in
+    if not holds.(hk) then begin
+      holds.(hk) <- true;
+      holders.(z.i) <- holders.(z.i) + 1
+    end
   in
-  let capacity_blocked (z : Triple.t) =
-    (not (Strategy.item_has_user s ~i:z.i ~u:z.u))
-    && Strategy.item_user_count s z.i >= Instance.capacity inst z.i
+  List.iter note (Strategy.to_list s);
+  let feasible u i t =
+    disp.((u * stride) + t) < display_limit
+    && (holds.((u * num_items) + i) || holders.(i) < capacity.(i))
   in
-  let accept (z : Triple.t) key =
+  (* the accepted marginal arrives through [res.(0)], not a float argument:
+     without flambda a float parameter is boxed at the call boundary, and
+     [accept] runs once per selected triple in the steady-state loop *)
+  let accept u i t ck =
+    let z = Triple.make ~u ~i ~t in
     Strategy.add s z;
+    note z;
+    (match chains.(ck) with
+    | Some _ -> () (* same chain, mutated in place *)
+    | None -> chains.(ck) <- Strategy.chain_view_of_triple s z);
     incr selected;
     (* a selection is a unit of work even when its key came from the
        closed-form path below and cost no oracle call *)
     (match budget with Some b -> Budget.spend b 1 | None -> ());
-    running_total := !running_total +. key;
+    running_total.(0) <- running_total.(0) +. res.(0);
     match trace with
-    | Some f -> f { z; size = Strategy.size s; revenue = !running_total; evaluations = !evals }
+    | Some f ->
+        f { z; size = Strategy.size s; revenue = running_total.(0); evaluations = !evals }
     | None -> ()
+  in
+  (* key for a triple whose chain is known empty: marginal reduces to p·q
+     (Algorithm 1 line 8); avoids an oracle call per candidate at startup *)
+  let build_key (z : Triple.t) cid ck =
+    if chain_size_ck ck = 0 then prf.((z.i * stride) + z.t) *. fq.((2 * cid) + 1)
+    else marginal_cid cid z.u z.i z.t
+  in
+  let register (z : Triple.t) q =
+    let cid = (((z.u * num_items) + z.i) * stride) + z.t in
+    prf.((z.i * stride) + z.t) <- Instance.price inst ~i:z.i ~time:z.t;
+    let ck = (z.u * num_classes) + cls_arr.(z.i) in
+    fq.(2 * cid) <- float_of_int (chain_size_ck ck);
+    fq.((2 * cid) + 1) <- q;
+    (cid, ck)
   in
   (match heap with
   | `Two_level ->
       let h = Tl.create () in
-      Instance.iter_candidate_triples inst (fun z _q ->
+      (* Groups are keyed by the paper's (user, item) pair — the packed
+         [ui = u·num_items + i] — so a refresh event touches one pair's
+         horizon-bounded lower heap, exactly §5.1's granularity. A
+         selection staleness-marks every candidate of one (user, class),
+         i.e. all pairs of the user's same-class items, but the lazy loop
+         only refreshes the stale pairs that actually surface as the
+         global root before being re-staled; with the coarser user-sized
+         groups every event would recompute the whole stale set at once,
+         several times more oracle calls for the same trajectory. *)
+      Instance.iter_candidate_triples inst (fun z q ->
           if allowed z && not (Strategy.mem s z) then begin
-            let e = { z; flag = chain_size_of z } in
-            Tl.insert h ~pair:((z.u * num_items) + z.i) ~key:(initial_key z) e
+            let cid, ck = register z q in
+            Tl.insert h ~pair:((z.u * num_items) + z.i) ~key:(build_key z cid ck) ~tie:cid cid
           end);
-      (* eager mode: after each selection refresh every candidate pair of the
-         selected triple's (user, class) *)
-      let eager_refresh (z : Triple.t) =
-        let cls = Instance.class_of inst z.i in
-        let cur = Strategy.chain_size s ~u:z.u ~cls in
-        List.iter
-          (fun j ->
-            Tl.refresh_pair h
-              ((z.u * num_items) + j)
-              ~f:(fun e _old ->
-                e.flag <- cur;
-                Some (marginal e.z)))
-          (Instance.candidate_items_in_class inst ~u:z.u ~cls)
+      (* Recompute one entry's key and staleness stamp; the fresh key is
+         left in [res.(0)] for [Tl.refresh_pair_into] to store. Hoisted so
+         the refresh calls share one closure instead of allocating one per
+         event. *)
+      let refresh_entry cid' =
+        let ui' = cid' / stride in
+        let i' = ui' mod num_items in
+        let u' = ui' / num_items in
+        fq.(2 * cid') <- float_of_int (chain_size_ck ((u' * num_classes) + cls_arr.(i')));
+        marginal_into cid' u' i' (cid' mod stride)
+      in
+      (* CELF-style lazy skip, made exact: re-evaluate only the entries
+         whose staleness stamp shows their (user, class) chain grew since
+         their key was computed. A skipped oracle call would return the
+         stored key bit-for-bit — the marginal is a pure function of the
+         chain and the candidate, and the stamp witnesses the chain is
+         unchanged — so skipping cannot change any selection. The classic
+         CELF skip (trust the stale key as an upper bound on the fresh
+         marginal) is unsound here: REVMAX marginals can increase when a
+         chain grows — the objective is not submodular — and instrumented
+         bench runs measure roughly one naive-confirmed increase per
+         selection, which steers the upper-bound variant to a different
+         (and not reliably better) final strategy. Under pair grouping
+         every entry of a refreshed group shares the root's chain and
+         stamp, so the skip never fires and both policies coincide; it
+         fires (and pays off) under coarser groupings, and keeping it in
+         the default path documents the soundness argument lazy skipping
+         must meet. *)
+      let refresh_entry_memo cid' =
+        let ui' = cid' / stride in
+        let i' = ui' mod num_items in
+        let u' = ui' / num_items in
+        let cur' = float_of_int (chain_size_ck ((u' * num_classes) + cls_arr.(i'))) in
+        if fq.(2 * cid') < cur' then begin
+          fq.(2 * cid') <- cur';
+          marginal_into cid' u' i' (cid' mod stride)
+        end
+        else incr celf_skips (* res.(0) keeps the stored key *)
+      in
+      (* eager mode: after each selection refresh every candidate of the
+         selected triple's (user, class) — every same-class pair group of
+         the user; the user's other-class pairs keep their keys *)
+      let eager_refresh u sel_i =
+        let cls = cls_arr.(sel_i) in
+        for i' = 0 to num_items - 1 do
+          if cls_arr.(i') = cls then
+            Tl.refresh_pair_into h ((u * num_items) + i') res ~f:refresh_entry
+        done
       in
       let rec loop () =
-        if not (out_of_budget ()) then
-          match Tl.find_max h with
-          | None -> ()
-          | Some (pair, e, key) ->
-              incr pops;
-              if not (Strategy.can_add s e.z) then begin
-                if capacity_blocked e.z then Tl.drop_pair h pair else ignore (Tl.delete_max h);
-                loop ()
-              end
-              else begin
-                let cur = chain_size_of e.z in
-                if e.flag < cur then begin
-                  Tl.refresh_pair h pair ~f:(fun e' _old ->
-                      e'.flag <- cur;
-                      Some (marginal e'.z));
+        if (not (out_of_budget ())) && not (Tl.is_empty h) then begin
+          let cid = Tl.max_elt h in
+          let t = cid mod stride in
+          let ui = cid / stride in
+          let i = ui mod num_items in
+          let u = ui / num_items in
+          incr pops;
+          if not (feasible u i t) then begin
+            (* both display fill and capacity blocks are permanent during a
+               run (the strategy only grows), so the entry is dropped for
+               good — each blocked candidate costs at most one pop *)
+            Tl.drop_max h;
+            loop ()
+          end
+          else begin
+            let ck = (u * num_classes) + cls_arr.(i) in
+            let cur = chain_size_ck ck in
+            if fq.(2 * cid) < float_of_int cur then begin
+              (* stale root: re-evaluate its (user, item) group in place —
+                 all [T] time slots of the pair — through the cell ABI
+                 (allocation-free). [`Celf] additionally stamp-skips
+                 entries whose chain is provably unchanged; see
+                 [refresh_entry_memo] above. *)
+              (match lazy_policy with
+              | `Refresh_pair -> Tl.refresh_pair_into h ui res ~f:refresh_entry
+              | `Celf -> Tl.refresh_pair_into h ui res ~f:refresh_entry_memo);
+              loop ()
+            end
+            else begin
+              (* fresh root: decide and pop in one fused walk over both
+                 heap levels. [`Rekeyed] cannot surface — the root's own
+                 stored key never loses to a child under the heap's strict
+                 total order — but looping is the safe response if it ever
+                 did. *)
+              Tl.max_key_into h res;
+              match Tl.celf_step h res with
+              | `Finished -> () (* fresh maximum non-positive: done *)
+              | `Accepted ->
+                  accept u i t ck;
+                  if not lazy_forward then eager_refresh u i;
                   loop ()
-                end
-                else if key <= 0.0 then () (* fresh maximum non-positive: done *)
-                else begin
-                  ignore (Tl.delete_max h);
-                  accept e.z key;
-                  if not lazy_forward then eager_refresh e.z;
-                  loop ()
-                end
-              end
+              | `Rekeyed -> loop ()
+            end
+          end
+        end
       in
       loop ()
   | `Giant ->
       let h = Bh.create () in
-      Instance.iter_candidate_triples inst (fun z _q ->
-          if allowed z && not (Strategy.mem s z) then
-            ignore (Bh.insert h ~key:(initial_key z) { z; flag = chain_size_of z }));
+      (* capacity purge: once an item reaches its copy capacity, every entry
+         of a user outside its holder set is permanently infeasible
+         (capacity never frees during a greedy run and such a user can never
+         acquire the item). Removing them by handle keeps [pops] independent
+         of the blocked-candidate count — the flat-heap analogue of the
+         two-level path's per-pop drop. *)
+      let by_item = Array.make num_items [] in
+      let item_purged = Array.make num_items false in
+      let track i hd = if not item_purged.(i) then by_item.(i) <- hd :: by_item.(i) in
+      let purge i =
+        item_purged.(i) <- true;
+        List.iter
+          (fun hd ->
+            if Bh.contains h hd then begin
+              let u = Bh.value hd / (num_items * stride) in
+              if not holds.((u * num_items) + i) then Bh.remove h hd
+            end)
+          by_item.(i);
+        by_item.(i) <- []
+      in
+      let maybe_purge i = if (not item_purged.(i)) && holders.(i) >= capacity.(i) then purge i in
+      Instance.iter_candidate_triples inst (fun z q ->
+          if allowed z && not (Strategy.mem s z) then begin
+            let cid, ck = register z q in
+            track z.i (Bh.insert h ~key:(build_key z cid ck) ~tie:cid cid)
+          end);
+      (* a base strategy may already hold items at capacity *)
+      for i = 0 to num_items - 1 do
+        maybe_purge i
+      done;
       let rec loop () =
         if not (out_of_budget ()) then
           match Bh.delete_max h with
           | None -> ()
-          | Some (e, key) ->
+          | Some (cid, key) ->
+              let t = cid mod stride in
+              let ui = cid / stride in
+              let i = ui mod num_items in
+              let u = ui / num_items in
               incr pops;
-              if not (Strategy.can_add s e.z) then loop () (* permanently infeasible *)
+              if not (feasible u i t) then loop () (* display-blocked this round *)
               else begin
-                let cur = chain_size_of e.z in
-                if e.flag < cur then begin
-                  e.flag <- cur;
-                  ignore (Bh.insert h ~key:(marginal e.z) e);
+                let ck = (u * num_classes) + cls_arr.(i) in
+                let cur = chain_size_ck ck in
+                if fq.(2 * cid) < float_of_int cur then begin
+                  fq.(2 * cid) <- float_of_int cur;
+                  track i (Bh.insert h ~key:(marginal_cid cid u i t) ~tie:cid cid);
                   loop ()
                 end
                 else if key <= 0.0 then ()
                 else begin
-                  accept e.z key;
+                  res.(0) <- key;
+                  accept u i t ck;
+                  maybe_purge i;
                   loop ()
                 end
               end
@@ -154,5 +355,6 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
   Metrics.incr c_evals ~by:!evals;
   Metrics.incr c_pops ~by:!pops;
   Metrics.incr c_selected ~by:!selected;
+  Metrics.incr c_celf_skips ~by:!celf_skips;
   if !truncated then Metrics.incr c_truncated;
   (s, { marginal_evaluations = !evals; pops = !pops; selected = !selected; truncated = !truncated })

@@ -13,6 +13,16 @@
       (same output, different constants) — the [abl-heap] ablation;
     - [~lazy_forward:false] eagerly refreshes every affected candidate after
       each selection (same output, many more marginal evaluations);
+    - [~lazy_policy] picks how a stale two-level root is brought up to date:
+      [`Celf] (default) re-evaluates only the root element and accepts it
+      outright when its fresh marginal still dominates the global runner-up
+      key — sound because every other key is an upper bound on its own fresh
+      marginal (slot marginals are non-increasing, asserted by the
+      conformance suite) — while [`Refresh_pair] is the historical policy
+      that re-evaluates the stale root's whole lower heap. Both produce
+      identical selection sequences; [`Celf] performs strictly fewer
+      marginal evaluations on contended instances. Ignored by [`Giant] and
+      by eager refresh;
     - [~evaluator:`Naive] scores marginals with the O(L²) reference oracle
       {!Revenue.marginal} instead of the O(L) incremental engine
       {!Revenue.marginal_incremental} (same output up to floating-point
@@ -44,6 +54,7 @@ val run :
   ?with_saturation:bool ->
   ?heap:[ `Two_level | `Giant ] ->
   ?lazy_forward:bool ->
+  ?lazy_policy:[ `Celf | `Refresh_pair ] ->
   ?evaluator:[ `Incremental | `Naive ] ->
   ?allowed:(Triple.t -> bool) ->
   ?base:Strategy.t ->

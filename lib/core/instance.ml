@@ -164,9 +164,11 @@ let price t ~i ~time =
 
 let q t ~u ~i ~time =
   check_time t time;
-  match Hashtbl.find_opt t.q_index ((u * t.num_items) + i) with
-  | None -> 0.0
-  | Some qs -> qs.(time - 1)
+  (* exception form instead of [find_opt]: no [Some] allocation on a hot
+     oracle lookup *)
+  match Hashtbl.find t.q_index ((u * t.num_items) + i) with
+  | qs -> qs.(time - 1)
+  | exception Not_found -> 0.0
 
 let is_candidate t ~u ~i = Hashtbl.mem t.q_index ((u * t.num_items) + i)
 

@@ -22,10 +22,10 @@ let dynamic_probability ?(with_saturation = true) inst ~chain (z : Triple.t) =
   if q0 <= 0.0 then 0.0
   else begin
     let sat =
-      if with_saturation then begin
-        let m = memory ~chain ~time:z.t in
-        if m = 0.0 then 1.0 else Instance.saturation inst z.i ** m
-      end
+      (* one shared closed form with Chain's cached aggregates — the naive
+         and incremental evaluators cannot drift on the m = 0 guard *)
+      if with_saturation then
+        Chain.saturation_factor (Instance.saturation inst z.i) (memory ~chain ~time:z.t)
       else 1.0
     in
     let comp =

@@ -64,7 +64,8 @@ let removal_loss ~with_saturation inst s ~u ~i =
   Revenue.chain_revenue ~with_saturation inst chain
   -. Revenue.chain_revenue ~with_saturation inst keep
 
-let solve ?(policy = `Water_filling) ?shards ?jobs ?(with_saturation = true) ?budget inst =
+let solve ?(policy = `Water_filling) ?shards ?jobs ?(with_saturation = true)
+    ?(lazy_policy = `Celf) ?budget inst =
   let shards = match shards with Some n -> max 1 n | None -> default_shards () in
   Metrics.span "shard_greedy.solve" @@ fun () ->
   let views = Instance.shard ~policy ~shards inst in
@@ -73,7 +74,9 @@ let solve ?(policy = `Water_filling) ?shards ?jobs ?(with_saturation = true) ?bu
   let parts = Option.map (fun b -> Budget.split b shards) budget in
   let results =
     Pool.parallel_init ?jobs shards ~f:(fun idx ->
-        Greedy.run ~with_saturation ?budget:(Option.map (fun a -> a.(idx)) parts) views.(idx))
+        Greedy.run ~with_saturation ~lazy_policy
+          ?budget:(Option.map (fun a -> a.(idx)) parts)
+          views.(idx))
   in
   (match (budget, parts) with Some b, Some a -> Budget.absorb b a | _ -> ());
   (* deterministic merge in shard order; shards partition the users, so no
@@ -137,8 +140,9 @@ let solve ?(policy = `Water_filling) ?shards ?jobs ?(with_saturation = true) ?bu
          display slots and the true capacities are all checked w.r.t. the
          merged state, so the pass cannot reintroduce a violation *)
       let s', (st : Greedy.stats) =
-        Greedy.run ~with_saturation ~allowed:(fun z -> Hashtbl.mem losers z.u) ~base:!merged
-          ?budget inst
+        Greedy.run ~with_saturation ~lazy_policy
+          ~allowed:(fun z -> Hashtbl.mem losers z.u)
+          ~base:!merged ?budget inst
       in
       merged := s';
       evals := !evals + st.marginal_evaluations;

@@ -3,12 +3,19 @@ module Err = Revmax_prelude.Err
 type t = {
   inst : Instance.t;
   triples : (Triple.t, unit) Hashtbl.t;
-  (* (u * num_classes + cls) -> array-backed chain with cached aggregates *)
+  (* (u * num_classes + cls) -> array-backed chain with cached aggregates.
+     Deliberately a hashtable, not a flat array: [iter_chains] visits in
+     table order and [Revenue.total] folds a float sum over that visit, so
+     the container must preserve the historical iteration order exactly. *)
   chains : (int, Chain.t) Hashtbl.t;
-  (* (u * (horizon+1) + time) -> #items displayed *)
-  display : (int, int) Hashtbl.t;
-  (* item -> user -> #triples of this (user, item) pair *)
-  item_users : (int, (int, int) Hashtbl.t) Hashtbl.t;
+  (* The feasibility bookkeeping lives in flat int arrays sized by the
+     instance dimensions — these are probed on [add]/[can_add], which sit
+     on the accept path of every greedy selection, and an array read
+     replaces a hashtable probe (plus, for the per-item user sets, a
+     second-level probe). *)
+  display : int array; (* (u * (horizon+1)) + time -> #items displayed *)
+  pair_reps : int array; (* (i * num_users) + u -> #triples of this (user, item) pair *)
+  item_distinct : int array; (* item -> #distinct users holding it *)
   mutable cardinality : int;
 }
 
@@ -17,8 +24,9 @@ let create inst =
     inst;
     triples = Hashtbl.create 256;
     chains = Hashtbl.create 256;
-    display = Hashtbl.create 256;
-    item_users = Hashtbl.create 64;
+    display = Array.make (Instance.num_users inst * (Instance.horizon inst + 1)) 0;
+    pair_reps = Array.make (Instance.num_items inst * Instance.num_users inst) 0;
+    item_distinct = Array.make (Instance.num_items inst) 0;
     cardinality = 0;
   }
 
@@ -51,18 +59,10 @@ let add_unchecked t (z : Triple.t) =
   in
   Chain.insert chain z;
   let dk = display_key t z in
-  let d = try Hashtbl.find t.display dk with Not_found -> 0 in
-  Hashtbl.replace t.display dk (d + 1);
-  let users =
-    match Hashtbl.find_opt t.item_users z.i with
-    | Some h -> h
-    | None ->
-        let h = Hashtbl.create 8 in
-        Hashtbl.replace t.item_users z.i h;
-        h
-  in
-  let c = try Hashtbl.find users z.u with Not_found -> 0 in
-  Hashtbl.replace users z.u (c + 1);
+  t.display.(dk) <- t.display.(dk) + 1;
+  let pk = (z.i * Instance.num_users t.inst) + z.u in
+  if t.pair_reps.(pk) = 0 then t.item_distinct.(z.i) <- t.item_distinct.(z.i) + 1;
+  t.pair_reps.(pk) <- t.pair_reps.(pk) + 1;
   t.cardinality <- t.cardinality + 1
 
 let add_result t (z : Triple.t) =
@@ -95,12 +95,10 @@ let remove t z =
       Chain.remove chain z;
       if Chain.length chain = 0 then Hashtbl.remove t.chains ck);
   let dk = display_key t z in
-  let d = Hashtbl.find t.display dk in
-  if d <= 1 then Hashtbl.remove t.display dk else Hashtbl.replace t.display dk (d - 1);
-  let users = Hashtbl.find t.item_users z.i in
-  let c = Hashtbl.find users z.u in
-  if c <= 1 then Hashtbl.remove users z.u else Hashtbl.replace users z.u (c - 1);
-  if Hashtbl.length users = 0 then Hashtbl.remove t.item_users z.i;
+  t.display.(dk) <- t.display.(dk) - 1;
+  let pk = (z.i * Instance.num_users t.inst) + z.u in
+  t.pair_reps.(pk) <- t.pair_reps.(pk) - 1;
+  if t.pair_reps.(pk) = 0 then t.item_distinct.(z.i) <- t.item_distinct.(z.i) - 1;
   t.cardinality <- t.cardinality - 1
 
 let to_list t =
@@ -128,16 +126,13 @@ let chain_size t ~u ~cls =
 
 let iter_chains t f = Hashtbl.iter (fun _ c -> f c) t.chains
 
-let display_count t ~u ~time =
-  match Hashtbl.find_opt t.display ((u * (Instance.horizon t.inst + 1)) + time) with
-  | None -> 0
-  | Some d -> d
+(* the three feasibility probes below run once per heap pop in heap modes
+   without their own mirrors; each is a single flat array read *)
+let display_count t ~u ~time = t.display.((u * (Instance.horizon t.inst + 1)) + time)
 
-let item_user_count t i =
-  match Hashtbl.find_opt t.item_users i with None -> 0 | Some h -> Hashtbl.length h
+let item_user_count t i = t.item_distinct.(i)
 
-let item_has_user t ~i ~u =
-  match Hashtbl.find_opt t.item_users i with None -> false | Some h -> Hashtbl.mem h u
+let item_has_user t ~i ~u = t.pair_reps.((i * Instance.num_users t.inst) + u) > 0
 
 let can_add t (z : Triple.t) =
   (not (mem t z))
@@ -146,51 +141,48 @@ let can_add t (z : Triple.t) =
 
 let is_valid_display_only t =
   let k = Instance.display_limit t.inst in
-  Hashtbl.fold (fun _ d ok -> ok && d <= k) t.display true
+  Array.for_all (fun d -> d <= k) t.display
 
 let is_valid t =
   is_valid_display_only t
-  && Hashtbl.fold
-       (fun i users ok -> ok && Hashtbl.length users <= Instance.capacity t.inst i)
-       t.item_users true
+  && begin
+       let ok = ref true in
+       Array.iteri (fun i n -> if n > Instance.capacity t.inst i then ok := false) t.item_distinct;
+       !ok
+     end
 
 let violations t =
   let k = Instance.display_limit t.inst in
   let stride = Instance.horizon t.inst + 1 in
-  (* deterministic witness set, independent of hashtable iteration order:
-     every display violation sorted by (user, time), then every capacity
-     violation sorted by item *)
-  let display =
-    Hashtbl.fold (fun dk d acc -> if d > k then (dk, d) :: acc else acc) t.display []
-    |> List.sort compare
-    |> List.map (fun (dk, count) ->
-           Err.Display_limit { u = dk / stride; time = dk mod stride; count; limit = k })
-  in
-  let capacity =
-    Hashtbl.fold
-      (fun i users acc ->
-        let n = Hashtbl.length users in
-        if n > Instance.capacity t.inst i then (i, n) :: acc else acc)
-      t.item_users []
-    |> List.sort compare
-    |> List.map (fun (i, n) ->
-           Err.Capacity { item = i; distinct_users = n; capacity = Instance.capacity t.inst i })
-  in
-  display @ capacity
+  (* deterministic witness set — ascending index order matches the sorted
+     order the hashtable-backed implementation produced: every display
+     violation by (user, time), then every capacity violation by item *)
+  let display = ref [] in
+  for dk = Array.length t.display - 1 downto 0 do
+    let count = t.display.(dk) in
+    if count > k then
+      display := Err.Display_limit { u = dk / stride; time = dk mod stride; count; limit = k } :: !display
+  done;
+  let capacity = ref [] in
+  for i = Array.length t.item_distinct - 1 downto 0 do
+    let n = t.item_distinct.(i) in
+    if n > Instance.capacity t.inst i then
+      capacity := Err.Capacity { item = i; distinct_users = n; capacity = Instance.capacity t.inst i } :: !capacity
+  done;
+  !display @ !capacity
 
 let validate t =
   match violations t with [] -> Ok () | vs -> Error (Err.Invalid_strategy vs)
 
 let repeat_histogram t =
   let hist = Array.make (Instance.horizon t.inst) 0 in
-  Hashtbl.iter
-    (fun _ users ->
-      Hashtbl.iter
-        (fun _ count ->
-          let idx = min count (Array.length hist) - 1 in
-          hist.(idx) <- hist.(idx) + 1)
-        users)
-    t.item_users;
+  Array.iter
+    (fun count ->
+      if count > 0 then begin
+        let idx = min count (Array.length hist) - 1 in
+        hist.(idx) <- hist.(idx) + 1
+      end)
+    t.pair_reps;
   hist
 
 let item_recommendations_up_to t ~i ~time =

@@ -11,87 +11,239 @@ let c_removes = Metrics.counter "binary_heap.removes"
 
 let c_update_keys = Metrics.counter "binary_heap.update_keys"
 
-type 'a handle = {
-  mutable hkey : float;
-  hvalue : 'a;
-  mutable pos : int; (* -1 once removed *)
-  owner : int; (* identity of the owning heap, to catch cross-heap misuse *)
-}
+(* Structure-of-arrays layout with slot indirection. [keys] (unboxed
+   floats) and [slots] (slot ids) are parallel arrays in heap order, and
+   [posof] maps slot id → current heap position — so a sift level reads
+   and writes only unboxed int/float arrays. Keeping element pointers out
+   of the sift path is deliberate: a store into a pointer array runs the
+   GC write barrier ([caml_modify]), and with tens of sift moves per
+   greedy cycle the barrier dominated every heap-ordered-value layout
+   that was profiled. Element pointers live in [byval], indexed by slot
+   id and written exactly once per insert. [gens] carries a generation
+   counter bumped on every slot free, which is how a stale handle (its
+   slot recycled or removed) is detected from flat int arrays alone.
+   [tb] holds the per-element tie rank (slot-indexed, so it rides along
+   through sifts for free): equal keys order by SMALLER rank first —
+   matching the first-maximum-wins order of a naive argmax scan over
+   candidates — making the heap order a strict total order. Pop order is then a property of the
+   stored (key, rank) pairs alone, independent of insertion history or
+   rebuilds — the bedrock of the cross-policy / cross-shard bit-identity
+   guarantees of the greedy selection loop. *)
+type 'a handle = { hvalue : 'a; sid : int; gen : int; owner : int }
 
 type 'a t = {
-  mutable data : 'a handle array; (* data.(0 .. size-1) are live *)
+  mutable keys : float array; (* keys.(0 .. size-1) are live, heap order *)
+  mutable slots : int array; (* heap position -> slot id *)
+  mutable tb : int array; (* slot id -> tie rank; equal keys, smaller rank wins *)
+  mutable byval : 'a array; (* slot id -> element, written once per insert *)
+  mutable posof : int array; (* slot id -> heap position; -1 once removed *)
+  mutable gens : int array; (* slot id -> generation, bumped on free *)
+  mutable free : int array; (* stack of recycled slot ids *)
+  mutable free_top : int;
+  mutable nslots : int; (* high-water slot count *)
   mutable heap_size : int;
-  id : int;
+  id : int; (* identity of the owning heap, to catch cross-heap misuse *)
 }
 
 let next_id = ref 0
 
 let create ?(capacity = 16) () =
   incr next_id;
-  { data = Array.make (max capacity 1) (Obj.magic 0); heap_size = 0; id = !next_id }
+  let cap = max capacity 1 in
+  {
+    keys = Array.make cap 0.0;
+    slots = Array.make cap 0;
+    tb = Array.make cap 0;
+    byval = Array.make cap (Obj.magic 0);
+    posof = Array.make cap (-1);
+    gens = Array.make cap 0;
+    free = Array.make cap 0;
+    free_top = 0;
+    nslots = 0;
+    heap_size = 0;
+    id = !next_id;
+  }
 
 let size t = t.heap_size
 
 let is_empty t = t.heap_size = 0
 
-let swap t i j =
-  let a = t.data.(i) and b = t.data.(j) in
-  t.data.(i) <- b;
-  t.data.(j) <- a;
-  a.pos <- j;
-  b.pos <- i
+(* 8-ary, hole-based sifting. Eight children per node cut the sift depth to a third
+   of a binary heap and sit contiguously in the key array, which matters
+   because a sift is a chain of dependent loads. The hole technique holds
+   the displaced element out while ancestors or the largest child slide
+   into the hole, and writes it back once at its final position. Ties:
+   equal keys compare by tie rank ([tb]), smaller rank first — the rank
+   load sits behind the float-equality test, so the common unequal-keys
+   case pays only the branch. *)
+let arity = 8
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if t.data.(parent).hkey < t.data.(i).hkey then begin
-      swap t i parent;
-      sift_up t parent
+let sift_up t i0 =
+  let hk = t.keys.(i0) and hs = t.slots.(i0) in
+  let ht = t.tb.(hs) in
+  let i = ref i0 in
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let parent = (!i - 1) / arity in
+    let kp = t.keys.(parent) in
+    if kp < hk || (kp = hk && t.tb.(t.slots.(parent)) > ht) then begin
+      t.keys.(!i) <- t.keys.(parent);
+      t.slots.(!i) <- t.slots.(parent);
+      t.posof.(t.slots.(!i)) <- !i;
+      i := parent
     end
+    else continue_ := false
+  done;
+  if !i <> i0 then begin
+    t.keys.(!i) <- hk;
+    t.slots.(!i) <- hs;
+    t.posof.(hs) <- !i
   end
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let largest = ref i in
-  if l < t.heap_size && t.data.(l).hkey > t.data.(!largest).hkey then largest := l;
-  if r < t.heap_size && t.data.(r).hkey > t.data.(!largest).hkey then largest := r;
-  if !largest <> i then begin
-    swap t i !largest;
-    sift_down t !largest
+let sift_down t i0 =
+  let hk = t.keys.(i0) and hs = t.slots.(i0) in
+  let ht = t.tb.(hs) in
+  let i = ref i0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let first = (arity * !i) + 1 in
+    (* int [min] by hand: the polymorphic [Stdlib.min] is a generic
+       comparison call, visible in profiles at one call per sift level *)
+    let last = if first + arity - 1 < t.heap_size - 1 then first + arity - 1 else t.heap_size - 1 in
+    let largest = ref !i in
+    let lk = ref hk in
+    let lt = ref ht in
+    for c = first to last do
+      let kc = t.keys.(c) in
+      if kc > !lk || (kc = !lk && t.tb.(t.slots.(c)) < !lt) then begin
+        largest := c;
+        lk := kc;
+        lt := t.tb.(t.slots.(c))
+      end
+    done;
+    if !largest <> !i then begin
+      t.keys.(!i) <- t.keys.(!largest);
+      t.slots.(!i) <- t.slots.(!largest);
+      t.posof.(t.slots.(!i)) <- !i;
+      i := !largest
+    end
+    else continue_ := false
+  done;
+  if !i <> i0 then begin
+    t.keys.(!i) <- hk;
+    t.slots.(!i) <- hs;
+    t.posof.(hs) <- !i
   end
 
 let grow t =
-  let cap = Array.length t.data in
+  let cap = Array.length t.keys in
   if t.heap_size = cap then begin
-    let data = Array.make (2 * cap) t.data.(0) in
-    Array.blit t.data 0 data 0 cap;
-    t.data <- data
+    let keys = Array.make (2 * cap) 0.0 in
+    Array.blit t.keys 0 keys 0 cap;
+    t.keys <- keys;
+    let slots = Array.make (2 * cap) 0 in
+    Array.blit t.slots 0 slots 0 cap;
+    t.slots <- slots;
+    let tb = Array.make (2 * cap) 0 in
+    Array.blit t.tb 0 tb 0 cap;
+    t.tb <- tb;
+    let byval = Array.make (2 * cap) t.byval.(0) in
+    Array.blit t.byval 0 byval 0 cap;
+    t.byval <- byval;
+    let posof = Array.make (2 * cap) (-1) in
+    Array.blit t.posof 0 posof 0 cap;
+    t.posof <- posof;
+    let gens = Array.make (2 * cap) 0 in
+    Array.blit t.gens 0 gens 0 cap;
+    t.gens <- gens;
+    let free = Array.make (2 * cap) 0 in
+    Array.blit t.free 0 free 0 cap;
+    t.free <- free
   end
 
-let insert t ~key v =
-  Metrics.incr c_inserts;
+let alloc_slot t =
+  if t.free_top > 0 then begin
+    t.free_top <- t.free_top - 1;
+    t.free.(t.free_top)
+  end
+  else begin
+    let sid = t.nslots in
+    t.nslots <- sid + 1;
+    sid
+  end
+
+let push_unchecked t key tie v =
   grow t;
-  let h = { hkey = key; hvalue = v; pos = t.heap_size; owner = t.id } in
-  t.data.(t.heap_size) <- h;
+  let sid = alloc_slot t in
+  let h = { hvalue = v; sid; gen = t.gens.(sid); owner = t.id } in
+  t.keys.(t.heap_size) <- key;
+  t.slots.(t.heap_size) <- sid;
+  t.tb.(sid) <- tie;
+  t.byval.(sid) <- v;
+  t.posof.(sid) <- t.heap_size;
   t.heap_size <- t.heap_size + 1;
-  sift_up t h.pos;
   h
 
-let find_max t = if t.heap_size = 0 then None else Some (t.data.(0).hvalue, t.data.(0).hkey)
+let insert t ~key ?(tie = 0) v =
+  Metrics.incr c_inserts;
+  let h = push_unchecked t key tie v in
+  sift_up t t.posof.(h.sid);
+  h
 
-let find_max_handle t = if t.heap_size = 0 then None else Some t.data.(0)
+let find_max t =
+  if t.heap_size = 0 then None else Some (t.byval.(t.slots.(0)), t.keys.(0))
 
-let check t h =
-  if h.owner <> t.id || h.pos < 0 || h.pos >= t.heap_size || t.data.(h.pos) != h then
-    invalid_arg "Binary_heap: stale or foreign handle"
+(* unboxed root accessors: the greedy hot loop peeks the maximum on every
+   cycle, and the option/tuple of [find_max] would be the only allocation
+   left on that path *)
+let max_elt t =
+  if t.heap_size = 0 then invalid_arg "Binary_heap.max_elt: empty heap";
+  t.byval.(t.slots.(0))
 
-let remove_unchecked t h =
-  let i = h.pos in
+let max_key t =
+  if t.heap_size = 0 then invalid_arg "Binary_heap.max_key: empty heap";
+  t.keys.(0)
+
+(* [max_key] for the float-free hot-loop ABI: the key leaves through a
+   preallocated cell, so no boxed-float result is allocated at the call
+   boundary (without flambda every float crossing a non-inlined call is
+   boxed). *)
+let max_key_into t cell =
+  if t.heap_size = 0 then invalid_arg "Binary_heap.max_key_into: empty heap";
+  cell.(0) <- t.keys.(0)
+
+(* in a max-heap the second-largest key sits in one of the root's children *)
+let second_key_inf t =
+  if t.heap_size < 2 then neg_infinity
+  else begin
+    let last = if arity < t.heap_size - 1 then arity else t.heap_size - 1 in
+    let best = ref t.keys.(1) in
+    for c = 2 to last do
+      if t.keys.(c) > !best then best := t.keys.(c)
+    done;
+    !best
+  end
+
+let second_key t = if t.heap_size < 2 then None else Some (second_key_inf t)
+
+let contains t h = h.owner = t.id && t.gens.(h.sid) = h.gen && t.posof.(h.sid) >= 0
+
+let check t h = if not (contains t h) then invalid_arg "Binary_heap: stale or foreign handle"
+
+(* remove the element at heap position [i], freeing its slot *)
+let remove_at t i =
+  let sid = t.slots.(i) in
+  t.posof.(sid) <- -1;
+  t.gens.(sid) <- t.gens.(sid) + 1;
+  t.free.(t.free_top) <- sid;
+  t.free_top <- t.free_top + 1;
+  t.byval.(sid) <- Obj.magic 0 (* drop the vacated element reference *);
   let last = t.heap_size - 1 in
-  if i <> last then swap t i last;
   t.heap_size <- last;
-  h.pos <- -1;
-  if i < t.heap_size then begin
+  if i < last then begin
+    t.keys.(i) <- t.keys.(last);
+    t.slots.(i) <- t.slots.(last);
+    t.posof.(t.slots.(i)) <- i;
     sift_down t i;
     sift_up t i
   end
@@ -99,46 +251,173 @@ let remove_unchecked t h =
 let remove t h =
   Metrics.incr c_removes;
   check t h;
-  remove_unchecked t h
+  remove_at t t.posof.(h.sid)
 
 let delete_max t =
   if t.heap_size = 0 then None
   else begin
     Metrics.incr c_deletes;
-    let h = t.data.(0) in
-    remove_unchecked t h;
-    Some (h.hvalue, h.hkey)
+    let v = t.byval.(t.slots.(0)) in
+    let k = t.keys.(0) in
+    remove_at t 0;
+    Some (v, k)
+  end
+
+let find_max_handle t =
+  if t.heap_size = 0 then None
+  else begin
+    let sid = t.slots.(0) in
+    Some { hvalue = t.byval.(sid); sid; gen = t.gens.(sid); owner = t.id }
   end
 
 let update_key t h key =
   Metrics.incr c_update_keys;
   check t h;
-  let old = h.hkey in
-  h.hkey <- key;
-  if key > old then sift_up t h.pos else if key < old then sift_down t h.pos
+  let i = t.posof.(h.sid) in
+  let old = t.keys.(i) in
+  t.keys.(i) <- key;
+  if key > old then sift_up t i else if key < old then sift_down t i
 
-let contains t h = h.owner = t.id && h.pos >= 0 && h.pos < t.heap_size && t.data.(h.pos) == h
+(* handle-free root operations: identical heap mutations to [update_key] /
+   [remove] applied to the root (a raised key never sifts up from the
+   root; the removal path is shared), so arrangements — and hence pop
+   order and tie-breaking — match the handle forms exactly. *)
+let rekey_root t key =
+  Metrics.incr c_update_keys;
+  if t.heap_size = 0 then invalid_arg "Binary_heap.rekey_root: empty heap";
+  let old = t.keys.(0) in
+  t.keys.(0) <- key;
+  if key < old then sift_down t 0
 
-let key h = h.hkey
+let remove_root t =
+  Metrics.incr c_deletes;
+  if t.heap_size = 0 then invalid_arg "Binary_heap.remove_root: empty heap";
+  remove_at t 0
+
+(* The fused CELF decision over a two-level (lower, upper) heap pair,
+   placed here so the whole cycle runs inside one module over the raw
+   arrays: the fresh marginal arrives through [cell.(0)] and every callee
+   ([sift_down]) takes only immediates — the decision allocates nothing.
+   [m] beats the lead iff no root child of either heap orders above it in
+   the strict (key, tie rank) order (the lower children compare against
+   the root element's rank, the upper children against the root group's).
+   Returns 0 = root re-keyed to [m] (lost the lead; the mutations of
+   [rekey_root] on both levels), 1 = accepted (lower root removed, upper
+   re-keyed), 2 = finished ([m] leads but is non-positive), 3 = accepted
+   and the lower heap drained (the caller drops the group and the upper
+   root). *)
+let celf_decide lower upper cell =
+  let m = cell.(0) in
+  let beaten = ref false in
+  (if lower.heap_size >= 2 then begin
+     let rtie = lower.tb.(lower.slots.(0)) in
+     let last = if arity < lower.heap_size - 1 then arity else lower.heap_size - 1 in
+     for c = 1 to last do
+       let kc = lower.keys.(c) in
+       if kc > m || (kc = m && lower.tb.(lower.slots.(c)) < rtie) then beaten := true
+     done
+   end);
+  (if (not !beaten) && upper.heap_size >= 2 then begin
+     let utie = upper.tb.(upper.slots.(0)) in
+     let last = if arity < upper.heap_size - 1 then arity else upper.heap_size - 1 in
+     for c = 1 to last do
+       let kc = upper.keys.(c) in
+       if kc > m || (kc = m && upper.tb.(upper.slots.(c)) < utie) then beaten := true
+     done
+   end);
+  if !beaten then begin
+    Metrics.incr c_update_keys;
+    let old = lower.keys.(0) in
+    lower.keys.(0) <- m;
+    if m < old then sift_down lower 0;
+    Metrics.incr c_update_keys;
+    let oldu = upper.keys.(0) in
+    let k = lower.keys.(0) in
+    upper.keys.(0) <- k;
+    if k < oldu then sift_down upper 0;
+    0
+  end
+  else if m <= 0.0 then 2
+  else begin
+    Metrics.incr c_deletes;
+    remove_at lower 0;
+    if lower.heap_size = 0 then 3
+    else begin
+      Metrics.incr c_update_keys;
+      let oldu = upper.keys.(0) in
+      let k = lower.keys.(0) in
+      upper.keys.(0) <- k;
+      if k < oldu then sift_down upper 0;
+      1
+    end
+  end
+
+let key t h =
+  check t h;
+  t.keys.(t.posof.(h.sid))
 
 let value h = h.hvalue
 
 let iter t f =
   for i = 0 to t.heap_size - 1 do
-    f t.data.(i).hvalue t.data.(i).hkey
+    f t.byval.(t.slots.(i)) t.keys.(i)
+  done
+
+(* In-place bulk rekey: recompute every element's key with [f], dropping
+   elements for which it returns [None], then re-heapify. Slot ids — and
+   with them handles, generations and tie ranks — survive, which is what
+   keeps tie-breaking identical across the lazy policies: a rebuilt group
+   orders exactly like an incrementally maintained one. The surviving
+   elements are compacted in heap-array order (write index trails the read
+   index, so the compaction is safe in place), then heapified bottom-up in
+   O(n). No per-element allocation. *)
+let refresh_keys t ~f =
+  let n = t.heap_size in
+  let w = ref 0 in
+  for i = 0 to n - 1 do
+    let sid = t.slots.(i) in
+    match f t.byval.(sid) t.keys.(i) with
+    | Some k' ->
+        t.keys.(!w) <- k';
+        t.slots.(!w) <- sid;
+        t.posof.(sid) <- !w;
+        incr w
+    | None ->
+        t.posof.(sid) <- -1;
+        t.gens.(sid) <- t.gens.(sid) + 1;
+        t.free.(t.free_top) <- sid;
+        t.free_top <- t.free_top + 1;
+        t.byval.(sid) <- Obj.magic 0
+  done;
+  t.heap_size <- !w;
+  for i = (!w - 2) / arity downto 0 do
+    sift_down t i
+  done
+
+(* [refresh_keys] for the keep-every-element case, with the keys travelling
+   through a caller-owned cell instead of boxed floats and options: for each
+   element, [cell.(0)] is loaded with the current key, [f] is called on the
+   value alone (it rewrites [cell.(0)], or leaves it to keep the key), and
+   the cell is stored back. The whole walk allocates nothing — this is the
+   group-refresh step of the greedy steady-state loop. Heapify and element
+   order are exactly those of [refresh_keys] with an all-[Some] callback,
+   so both entry points produce bit-identical arrangements. *)
+let refresh_keys_into t cell ~f =
+  let n = t.heap_size in
+  for i = 0 to n - 1 do
+    cell.(0) <- t.keys.(i);
+    f t.byval.(t.slots.(i));
+    t.keys.(i) <- cell.(0)
+  done;
+  for i = (n - 2) / arity downto 0 do
+    sift_down t i
   done
 
 let of_list l =
   let t = create ~capacity:(max 1 (List.length l)) () in
-  List.iter
-    (fun (k, v) ->
-      grow t;
-      let h = { hkey = k; hvalue = v; pos = t.heap_size; owner = t.id } in
-      t.data.(t.heap_size) <- h;
-      t.heap_size <- t.heap_size + 1)
-    l;
+  List.iter (fun (k, v) -> ignore (push_unchecked t k 0 v)) l;
   (* bottom-up heapify: O(n) *)
-  for i = (t.heap_size / 2) - 1 downto 0 do
+  for i = (t.heap_size - 2) / arity downto 0 do
     sift_down t i
   done;
   t

@@ -8,119 +8,223 @@ let c_refresh_pairs = Metrics.counter "two_level_heap.refresh_pairs"
 
 let c_drop_pairs = Metrics.counter "two_level_heap.drop_pairs"
 
+let c_refresh_maxes = Metrics.counter "two_level_heap.refresh_maxes"
+
+(* One group per pair. The upper heap stores the group records themselves
+   (not pair ids), and each group remembers its own upper-heap handle, so
+   every hot-path operation — find_max, delete_max, find_second,
+   refresh_max — walks straight from the upper root to its lower heap
+   without touching a hashtable. The [lower] table only serves the by-pair
+   entry points (insert, refresh_pair, drop_pair, pair_size). *)
+type 'a group = {
+  pair : int;
+  mutable heap : 'a Binary_heap.t;
+  mutable uh : 'a group Binary_heap.handle option;
+}
+
 type 'a t = {
-  lower : (int, 'a Binary_heap.t) Hashtbl.t;
-  upper : int Binary_heap.t;
-  upper_handle : (int, int Binary_heap.handle) Hashtbl.t;
+  lower : (int, 'a group) Hashtbl.t;
+  upper : 'a group Binary_heap.t;
   mutable total : int;
 }
 
-let create () =
-  {
-    lower = Hashtbl.create 1024;
-    upper = Binary_heap.create ();
-    upper_handle = Hashtbl.create 1024;
-    total = 0;
-  }
+let create () = { lower = Hashtbl.create 1024; upper = Binary_heap.create (); total = 0 }
 
 let size t = t.total
 
 let is_empty t = t.total = 0
 
-(* Re-establish the upper-level key of [pair] after its lower heap changed.
-   Removes the pair entirely when its lower heap has drained. *)
-let sync_upper t pair lower =
-  match Binary_heap.find_max lower with
-  | None ->
-      Hashtbl.remove t.lower pair;
-      (match Hashtbl.find_opt t.upper_handle pair with
+(* Re-establish the upper-level key of a group after its lower heap changed.
+   Removes the group entirely when its lower heap has drained. *)
+let sync_upper t g =
+  match Binary_heap.find_max g.heap with
+  | None -> (
+      Hashtbl.remove t.lower g.pair;
+      match g.uh with
       | Some h ->
           Binary_heap.remove t.upper h;
-          Hashtbl.remove t.upper_handle pair
+          g.uh <- None
       | None -> ())
   | Some (_, root_key) -> (
-      match Hashtbl.find_opt t.upper_handle pair with
+      match g.uh with
       | Some h -> Binary_heap.update_key t.upper h root_key
-      | None ->
-          let h = Binary_heap.insert t.upper ~key:root_key pair in
-          Hashtbl.replace t.upper_handle pair h)
+      | None -> g.uh <- Some (Binary_heap.insert t.upper ~key:root_key ~tie:g.pair g))
 
-let insert t ~pair ~key v =
+let insert t ~pair ~key ?(tie = 0) v =
   Metrics.incr c_inserts;
-  let lower =
+  let g =
     match Hashtbl.find_opt t.lower pair with
-    | Some l -> l
+    | Some g -> g
     | None ->
-        let l = Binary_heap.create ~capacity:8 () in
-        Hashtbl.replace t.lower pair l;
-        l
+        let g = { pair; heap = Binary_heap.create ~capacity:8 (); uh = None } in
+        Hashtbl.replace t.lower pair g;
+        g
   in
-  ignore (Binary_heap.insert lower ~key v);
+  ignore (Binary_heap.insert g.heap ~key ~tie v);
   t.total <- t.total + 1;
-  sync_upper t pair lower
+  sync_upper t g
+
+let top_group t =
+  if Binary_heap.is_empty t.upper then None else Some (Binary_heap.max_elt t.upper)
+
+(* ----- allocation-free root accessors for the greedy hot loop -----
+   All of these require a non-empty heap (the callers guard on [is_empty])
+   and operate on the top group, which by the upper-heap invariant is the
+   upper root — so they can mutate the upper key with the handle-free
+   [Binary_heap.rekey_root]/[remove_root] and never touch the [lower]
+   hashtable. *)
+
+let max_elt t =
+  let g = Binary_heap.max_elt t.upper in
+  Binary_heap.max_elt g.heap
+
+let max_key t = Binary_heap.max_key t.upper
+
+let max_key_into t cell = Binary_heap.max_key_into t.upper cell
+
+let drop_max t =
+  Metrics.incr c_pops;
+  let g = Binary_heap.max_elt t.upper in
+  Binary_heap.remove_root g.heap;
+  t.total <- t.total - 1;
+  if Binary_heap.is_empty g.heap then begin
+    Hashtbl.remove t.lower g.pair;
+    Binary_heap.remove_root t.upper;
+    g.uh <- None
+  end
+  else Binary_heap.rekey_root t.upper (Binary_heap.max_key g.heap)
+
+(* Fused CELF decision step: the freshly recomputed marginal of the
+   current global maximum arrives through [cell.(0)] (no boxed float
+   crosses the call boundary) and {!Binary_heap.celf_decide} performs the
+   whole compare/rekey/pop cycle over the two heaps' raw arrays — a
+   handle-free root rekey or the mutations of [drop_max], fused and
+   allocation-free.
+
+   The lead test uses the strict (key, tie rank) total order, not the key
+   alone: when the fresh marginal exactly ties the runner-up's key, the
+   rank winner must be selected — an eager full refresh would order them
+   that way in the heap, so accepting the root just because its key is
+   "not below" the runner-up would let the two lazy policies pick
+   different elements of an exact marginal tie. Rekeying instead lets the
+   tie-aware sift surface the rank winner. *)
+let celf_step t cell =
+  let g = Binary_heap.max_elt t.upper in
+  match Binary_heap.celf_decide g.heap t.upper cell with
+  | 0 ->
+      Metrics.incr c_refresh_maxes;
+      `Rekeyed
+  | 2 -> `Finished
+  | 1 ->
+      Metrics.incr c_pops;
+      t.total <- t.total - 1;
+      `Accepted
+  | _ ->
+      (* accepted and the top group drained: drop it from both levels *)
+      Metrics.incr c_pops;
+      t.total <- t.total - 1;
+      Hashtbl.remove t.lower g.pair;
+      Binary_heap.remove_root t.upper;
+      g.uh <- None;
+      `Accepted
 
 let find_max t =
-  match Binary_heap.find_max t.upper with
+  match top_group t with
   | None -> None
-  | Some (pair, _) -> (
-      let lower = Hashtbl.find t.lower pair in
-      match Binary_heap.find_max lower with
+  | Some g -> (
+      match Binary_heap.find_max g.heap with
       | None -> None (* unreachable: empty groups are removed eagerly *)
-      | Some (v, k) -> Some (pair, v, k))
+      | Some (v, k) -> Some (g.pair, v, k))
 
 let delete_max t =
-  match Binary_heap.find_max t.upper with
+  match top_group t with
   | None -> None
-  | Some (pair, _) -> (
-      let lower = Hashtbl.find t.lower pair in
-      match Binary_heap.delete_max lower with
+  | Some g -> (
+      match Binary_heap.delete_max g.heap with
       | None -> None
       | Some (v, k) ->
           Metrics.incr c_pops;
           t.total <- t.total - 1;
-          sync_upper t pair lower;
-          Some (pair, v, k))
+          sync_upper t g;
+          Some (g.pair, v, k))
+
+(* Global runner-up key: either the second element of the top group's lower
+   heap, or the root of the second-best group — both O(1) peeks into flat
+   key arrays, so this never touches more than four heap slots. *)
+let find_second t =
+  match top_group t with
+  | None -> None
+  | Some g -> (
+      let within = Binary_heap.second_key g.heap in
+      let across = Binary_heap.second_key t.upper in
+      match (within, across) with
+      | None, None -> None
+      | (Some _ as s), None | None, (Some _ as s) -> s
+      | Some a, Some b -> Some (Float.max a b))
+
+let refresh_max t ~f =
+  match top_group t with
+  | None -> ()
+  | Some g -> (
+      match Binary_heap.find_max_handle g.heap with
+      | None -> () (* unreachable: empty groups are removed eagerly *)
+      | Some h -> (
+          Metrics.incr c_refresh_maxes;
+          match f (Binary_heap.value h) (Binary_heap.key g.heap h) with
+          | Some key' ->
+              Binary_heap.update_key g.heap h key';
+              sync_upper t g
+          | None ->
+              Binary_heap.remove g.heap h;
+              t.total <- t.total - 1;
+              sync_upper t g))
 
 let refresh_pair t pair ~f =
   match Hashtbl.find_opt t.lower pair with
   | None -> ()
-  | Some lower ->
+  | Some g ->
       Metrics.incr c_refresh_pairs;
-      let old = ref [] in
-      Binary_heap.iter lower (fun v k -> old := (v, k) :: !old);
-      let n_old = List.length !old in
-      let rekeyed =
-        List.filter_map (fun (v, k) -> Option.map (fun k' -> (k', v)) (f v k)) !old
-      in
-      let fresh = Binary_heap.of_list rekeyed in
-      t.total <- t.total - n_old + Binary_heap.size fresh;
-      if Binary_heap.is_empty fresh then begin
-        Hashtbl.remove t.lower pair;
-        match Hashtbl.find_opt t.upper_handle pair with
-        | Some h ->
-            Binary_heap.remove t.upper h;
-            Hashtbl.remove t.upper_handle pair
-        | None -> ()
-      end
-      else begin
-        Hashtbl.replace t.lower pair fresh;
-        sync_upper t pair fresh
-      end
+      let n_old = Binary_heap.size g.heap in
+      (* in-place rekey + heapify: keeps every element's slot and tie rank,
+         so a rebuilt group breaks exact key ties identically to a group
+         maintained one CELF rekey at a time; also drops the intermediate
+         list and heap the old rebuild allocated *)
+      Binary_heap.refresh_keys g.heap ~f;
+      t.total <- t.total - n_old + Binary_heap.size g.heap;
+      sync_upper t g
+
+(* the allocation-free [refresh_pair] for the keep-every-element case: keys
+   travel through [cell] (see {!Binary_heap.refresh_keys_into}), and the
+   upper level is re-synced from the group's new root. Arrangements are
+   bit-identical to [refresh_pair] with an all-[Some] callback. Since no
+   element is removed the group stays non-empty and keeps its upper handle,
+   so the sync is a direct [update_key] — no [find_max] wrapper, and
+   [find]'s [Not_found] is a preallocated exception, keeping the whole
+   refresh event off the minor heap (modulo the boxed root key). *)
+let refresh_pair_into t pair cell ~f =
+  match Hashtbl.find t.lower pair with
+  | exception Not_found -> ()
+  | g -> (
+      Metrics.incr c_refresh_pairs;
+      Binary_heap.refresh_keys_into g.heap cell ~f;
+      match g.uh with
+      | Some h -> Binary_heap.update_key t.upper h (Binary_heap.max_key g.heap)
+      | None -> () (* unreachable: non-empty groups always carry a handle *))
 
 let drop_pair t pair =
   match Hashtbl.find_opt t.lower pair with
   | None -> ()
-  | Some lower ->
+  | Some g -> (
       Metrics.incr c_drop_pairs;
-      t.total <- t.total - Binary_heap.size lower;
-      Hashtbl.remove t.lower pair;
-      (match Hashtbl.find_opt t.upper_handle pair with
+      t.total <- t.total - Binary_heap.size g.heap;
+      Hashtbl.remove t.lower g.pair;
+      match g.uh with
       | Some h ->
           Binary_heap.remove t.upper h;
-          Hashtbl.remove t.upper_handle pair
+          g.uh <- None
       | None -> ())
 
 let pair_size t pair =
-  match Hashtbl.find_opt t.lower pair with None -> 0 | Some l -> Binary_heap.size l
+  match Hashtbl.find_opt t.lower pair with None -> 0 | Some g -> Binary_heap.size g.heap
 
-let iter t f = Hashtbl.iter (fun pair lower -> Binary_heap.iter lower (fun v k -> f pair v k)) t.lower
+let iter t f = Hashtbl.iter (fun pair g -> Binary_heap.iter g.heap (fun v k -> f pair v k)) t.lower

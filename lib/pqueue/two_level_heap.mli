@@ -20,8 +20,12 @@ val size : 'a t -> int
 
 val is_empty : 'a t -> bool
 
-val insert : 'a t -> pair:int -> key:float -> 'a -> unit
-(** Add an element to group [pair]; O(log) in the group and upper sizes. *)
+val insert : 'a t -> pair:int -> key:float -> ?tie:int -> 'a -> unit
+(** Add an element to group [pair]; O(log) in the group and upper sizes.
+    [tie] (default [0]) is the element's tie rank within its group: equal
+    keys pop smaller-rank first. Groups with equal root keys order by the
+    smaller [pair], so with distinct ranks the global pop order is a pure
+    function of the stored (key, rank, pair) triples. *)
 
 val find_max : 'a t -> (int * 'a * float) option
 (** Best element overall as [(pair, element, key)]; O(1). *)
@@ -30,12 +34,69 @@ val delete_max : 'a t -> (int * 'a * float) option
 (** Remove and return the best element, fixing up both levels. Empty groups
     are dropped from the upper level. *)
 
+(** {2 Allocation-free root operations}
+
+    The unboxed counterparts used by the greedy steady-state loop: same
+    mutations as [find_max]/[delete_max]/[refresh_max], without the
+    option/tuple wrappers and callback closures. All of them require a
+    non-empty heap and raise [Invalid_argument] otherwise — guard with
+    [is_empty]. *)
+
+val max_elt : 'a t -> 'a
+(** Best element overall; O(1), allocation-free. *)
+
+val max_key : 'a t -> float
+(** Key of the best element; O(1). The result is a boxed float — the hot
+    loop uses {!max_key_into}. *)
+
+val max_key_into : 'a t -> float array -> unit
+(** Store the best element's key into [cell.(0)]; O(1) and allocation-free
+    (no boxed float crosses the call boundary). *)
+
+val drop_max : 'a t -> unit
+(** Remove the best element without returning it — [delete_max] minus the
+    result allocation. Empty groups are dropped from the upper level. *)
+
+val celf_step : 'a t -> float array -> [ `Accepted | `Finished | `Rekeyed ]
+(** [celf_step t cell] performs one CELF decision against the freshly
+    recomputed key of the current best element, read from [cell.(0)] (a
+    preallocated cell, so no boxed float crosses the call): [`Rekeyed]
+    means the key fell below the global runner-up and the root was
+    re-keyed in place on both levels; [`Accepted] means it still leads
+    and is positive, and the element was removed (as [drop_max]);
+    [`Finished] means it leads but is non-positive — every other key is
+    an upper bound below it, so selection is complete. "Leads" is decided
+    in the strict (key, tie rank) total order, so an exact key tie
+    resolves to the same element an eager full refresh would pick. The
+    rekeys are handle-free root rekeys, bit-identical in arrangement to
+    [update_key] on the root handle, fused into one walk over both
+    levels' raw arrays. Allocation-free. *)
+
+val find_second : 'a t -> float option
+(** Key of the globally second-best element, or [None] with fewer than two
+    elements. It is either the runner-up inside the best group's lower heap
+    or the root key of the runner-up group, so the lookup is O(1). *)
+
+val refresh_max : 'a t -> f:('a -> float -> float option) -> unit
+(** Recompute the key of only the globally best element: [f elt old_key]
+    returns its new key, or [None] to discard it. Both levels are fixed up in
+    O(log) time. No-op on an empty heap. Unlike [refresh_pair], the rest of
+    the root group keeps its (stale) keys — this is the single-element CELF
+    re-evaluation step. *)
+
 val refresh_pair : 'a t -> int -> f:('a -> float -> float option) -> unit
 (** [refresh_pair t pair ~f] recomputes the key of every element in group
     [pair]: [f elt old_key] returns the new key, or [None] to discard the
     element. The group is re-heapified in O(group size) and the upper level
     is updated. No-op if the group does not exist. This is the bulk
     "recompute all stale triples of the lower heap" step of Algorithm 1. *)
+
+val refresh_pair_into : 'a t -> int -> float array -> f:('a -> unit) -> unit
+(** [refresh_pair_into t pair cell ~f] is {!refresh_pair} for the
+    keep-every-element case, allocation-free: each element's key travels
+    through [cell.(0)] (see {!Binary_heap.refresh_keys_into}) and the upper
+    level is re-synced from the group's new root. No-op if the group does
+    not exist. *)
 
 val drop_pair : 'a t -> int -> unit
 (** Remove an entire group (e.g. when a constraint permanently rules out all

@@ -109,6 +109,88 @@ let test_gg_eager_giant_rejected () =
     (Invalid_argument "Greedy.run: eager refresh requires the two-level heap") (fun () ->
       ignore (Greedy.run ~heap:`Giant ~lazy_forward:false inst))
 
+(* ----- CELF lazy policy ----- *)
+
+let ordered_trace run =
+  let order = ref [] in
+  let s, stats = run ~trace:(fun (pt : Greedy.trace_point) -> order := pt.z :: !order) in
+  (s, stats, List.rev !order)
+
+(* the CELF stamp-skip refresh must reproduce the whole-pair refresh
+   exactly — same ordered selection sequence — while never paying more
+   oracle calls. Under the paper's (user, item) pair grouping the two
+   policies coincide (every entry of a refreshed group shares the root's
+   chain, so the stamp skip never fires): the evaluation counts must be
+   exactly equal, and the sequence identity holds by construction rather
+   than by the unsound stale-keys-are-upper-bounds argument — REVMAX
+   marginals can increase as chains grow, see lib/core/greedy.ml *)
+let test_gg_celf_vs_refresh_pair () =
+  let evals_celf = ref 0 and evals_rp = ref 0 in
+  for seed = 0 to 99 do
+    let rng = Rng.create seed in
+    let inst = random_instance rng in
+    let _, st_c, tr_c =
+      ordered_trace (fun ~trace -> Greedy.run ~lazy_policy:`Celf ~trace inst)
+    in
+    let _, st_r, tr_r =
+      ordered_trace (fun ~trace -> Greedy.run ~lazy_policy:`Refresh_pair ~trace inst)
+    in
+    if tr_c <> tr_r then Alcotest.failf "seed %d: CELF selected a different sequence" seed;
+    if st_c.Greedy.marginal_evaluations > st_r.Greedy.marginal_evaluations then
+      Alcotest.failf "seed %d: CELF did more evaluations (%d > %d)" seed
+        st_c.Greedy.marginal_evaluations st_r.Greedy.marginal_evaluations;
+    evals_celf := !evals_celf + st_c.Greedy.marginal_evaluations;
+    evals_rp := !evals_rp + st_r.Greedy.marginal_evaluations
+  done;
+  Alcotest.(check int) "pair grouping: policies do identical work" !evals_rp !evals_celf
+
+(* model-based qcheck variant over fresh random instances *)
+let prop_celf_matches_refresh_pair =
+  QCheck2.Test.make ~name:"CELF ≡ refresh-pair selections, ≤ evaluations" ~count:120 seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance rng in
+      let _, st_c, tr_c =
+        ordered_trace (fun ~trace -> Greedy.run ~lazy_policy:`Celf ~trace inst)
+      in
+      let _, st_r, tr_r =
+        ordered_trace (fun ~trace -> Greedy.run ~lazy_policy:`Refresh_pair ~trace inst)
+      in
+      tr_c = tr_r && st_c.Greedy.marginal_evaluations <= st_r.Greedy.marginal_evaluations)
+
+(* ----- giant-heap capacity purge ----- *)
+
+(* one capacity-1 item contested by [num_users] users: after the first
+   selection every other user's entries are permanently infeasible *)
+let capacity_one_instance num_users =
+  let adoption =
+    List.init num_users (fun u ->
+        if u = 0 then (0, 0, [| 0.9; 0.8; 0.7 |]) else (u, 0, [| 0.05; 0.04; 0.03 |]))
+  in
+  Instance.create ~num_users ~num_items:1 ~horizon:3 ~display_limit:1 ~class_of:[| 0 |]
+    ~capacity:[| 1 |] ~saturation:[| 0.5 |]
+    ~price:[| [| 1.0; 1.0; 1.0 |] |]
+    ~adoption ()
+
+(* regression for the one-pop-per-blocked-entry drain: the purge removes
+   capacity-blocked entries by handle, so [pops] must not scale with the
+   number of blocked candidates *)
+let test_gg_giant_pops_ignore_blocked () =
+  let run inst = Greedy.run ~heap:`Giant inst in
+  let s8, st8 = run (capacity_one_instance 8) in
+  let s64, st64 = run (capacity_one_instance 64) in
+  (* same winner, same chain, same selections *)
+  Alcotest.(check (list string)) "selections independent of contention"
+    (List.map Triple.to_string (List.sort Triple.compare (Strategy.to_list s8)))
+    (List.map Triple.to_string (List.sort Triple.compare (Strategy.to_list s64)));
+  Alcotest.(check int) "pops do not scale with blocked candidates" st8.Greedy.pops
+    st64.Greedy.pops;
+  (* and the purge does not disturb agreement with the two-level path *)
+  let s_tl, _ = Greedy.run ~heap:`Two_level (capacity_one_instance 64) in
+  Alcotest.(check (list string)) "giant agrees with two-level"
+    (List.map Triple.to_string (List.sort Triple.compare (Strategy.to_list s_tl)))
+    (List.map Triple.to_string (List.sort Triple.compare (Strategy.to_list s64)))
+
 let prop_gg_never_below_optimum_check =
   QCheck2.Test.make ~name:"greedy revenue <= brute-force optimum" ~count:40 seed_gen (fun seed ->
       let rng = Rng.create seed in
@@ -578,6 +660,9 @@ let () =
           Alcotest.test_case "evaluators identical" `Slow test_gg_evaluators_identical;
           Alcotest.test_case "lazy vs eager" `Slow test_gg_lazy_eager_agree;
           Alcotest.test_case "eager+giant rejected" `Quick test_gg_eager_giant_rejected;
+          Alcotest.test_case "CELF vs refresh-pair" `Slow test_gg_celf_vs_refresh_pair;
+          QCheck_alcotest.to_alcotest prop_celf_matches_refresh_pair;
+          Alcotest.test_case "giant purge pops" `Quick test_gg_giant_pops_ignore_blocked;
           QCheck_alcotest.to_alcotest prop_gg_never_below_optimum_check;
           QCheck_alcotest.to_alcotest prop_gg_trace_consistent;
           Alcotest.test_case "base and allowed" `Quick test_gg_base_and_allowed;

@@ -51,6 +51,29 @@ let test_heap_of_list_sorted () =
   let expected = List.sort (fun a b -> compare b a) (List.map fst items) in
   Alcotest.(check (list (float 1e-9))) "descending keys" expected keys
 
+let test_heap_second_key () =
+  let h = Bh.create () in
+  Alcotest.(check bool) "empty has no second" true (Bh.second_key h = None);
+  ignore (Bh.insert h ~key:5.0 "a");
+  Alcotest.(check bool) "singleton has no second" true (Bh.second_key h = None);
+  ignore (Bh.insert h ~key:7.0 "b");
+  Alcotest.(check (option (float 0.0))) "two elements" (Some 5.0) (Bh.second_key h);
+  ignore (Bh.insert h ~key:6.0 "c");
+  Alcotest.(check (option (float 0.0))) "root children" (Some 6.0) (Bh.second_key h)
+
+(* second_key is exactly the second element of the heap's sorted drain,
+   under random inserts with frequent duplicate keys *)
+let prop_heap_second_key =
+  QCheck2.Test.make ~name:"second_key = second of sorted drain" ~count:300
+    QCheck2.Gen.(list (float_range 0.0 9.0))
+    (fun keys ->
+      let h = Bh.create () in
+      List.iteri (fun i k -> ignore (Bh.insert h ~key:(Float.round k) i)) keys;
+      let second = Bh.second_key h in
+      match List.sort (fun a b -> compare b a) (List.map Float.round keys) with
+      | _ :: k2 :: _ -> second = Some k2
+      | _ -> second = None)
+
 (* Model-based property test: the heap behaves like a sorted reference
    list under a random operation sequence. *)
 let prop_heap_model =
@@ -146,7 +169,7 @@ let prop_heap_model_handles =
         (fun (uid, k) ->
           let hd = Hashtbl.find handles uid in
           if not (Bh.contains h hd) then failwith "live handle reported absent";
-          if not (Helpers.float_eq (Bh.key hd) k) then failwith "handle key drifted from model")
+          if not (Helpers.float_eq (Bh.key h hd) k) then failwith "handle key drifted from model")
         !model;
       (* drain: the popped key sequence is the model's keys in descending order *)
       let drained = List.map snd (Bh.to_sorted_list h) in
@@ -212,6 +235,75 @@ let test_tl_drop_pair () =
   match Tl.find_max h with
   | Some (4, "c", _) -> ()
   | _ -> Alcotest.fail "wrong survivor"
+
+let test_tl_find_second_and_refresh_max () =
+  let h = Tl.create () in
+  Alcotest.(check bool) "empty has no second" true (Tl.find_second h = None);
+  Tl.insert h ~pair:0 ~key:10.0 "a";
+  Alcotest.(check bool) "singleton has no second" true (Tl.find_second h = None);
+  (* runner-up inside the top pair *)
+  Tl.insert h ~pair:0 ~key:8.0 "b";
+  Alcotest.(check (option (float 0.0))) "within-pair second" (Some 8.0) (Tl.find_second h);
+  (* runner-up in another pair overtakes it *)
+  Tl.insert h ~pair:1 ~key:9.0 "c";
+  Alcotest.(check (option (float 0.0))) "cross-pair second" (Some 9.0) (Tl.find_second h);
+  (* refresh_max rekeys only the global root; the rest keeps its keys *)
+  Tl.refresh_max h ~f:(fun v old ->
+      Alcotest.(check string) "root element" "a" v;
+      Alcotest.(check (float 0.0)) "root key" 10.0 old;
+      Some 1.0);
+  (match Tl.find_max h with
+  | Some (1, "c", 9.0) -> ()
+  | _ -> Alcotest.fail "refresh_max did not demote the root");
+  Alcotest.(check int) "size unchanged" 3 (Tl.size h);
+  (* None discards the root *)
+  Tl.refresh_max h ~f:(fun _ _ -> None);
+  Alcotest.(check int) "root discarded" 2 (Tl.size h);
+  match Tl.find_max h with
+  | Some (0, "b", 8.0) -> ()
+  | _ -> Alcotest.fail "wrong max after discard"
+
+(* find_second agrees with the second element of a flat sorted model, and
+   refresh_max with the model's rekey-the-max, under duplicate-heavy keys *)
+let prop_tl_find_second_model =
+  let open QCheck2 in
+  Test.make ~name:"find_second / refresh_max match flat model (dup keys)" ~count:300
+    Gen.(list (triple (int_bound 4) (int_bound 4) (int_bound 1000)))
+    (fun ops ->
+      let h = Tl.create () in
+      let model = ref [] in
+      let uid = ref 0 in
+      List.iter
+        (fun (pair, key_idx, salt) ->
+          let key = float_of_int key_idx in
+          Tl.insert h ~pair ~key !uid;
+          model := (!uid, key) :: !model;
+          incr uid;
+          (* compare the runner-up key against the model *)
+          let sorted = List.sort (fun (_, a) (_, b) -> compare b a) !model in
+          (match (Tl.find_second h, sorted) with
+          | Some k2, _ :: (_, m2) :: _ ->
+              if not (Helpers.float_eq k2 m2) then failwith "find_second mismatch"
+          | None, _ :: _ :: _ -> failwith "find_second missing"
+          | Some _, ([] | [ _ ]) -> failwith "find_second on <2 elements"
+          | None, ([] | [ _ ]) -> ());
+          (* occasionally rekey the max and re-check against the model *)
+          if salt mod 3 = 0 then begin
+            let new_key = float_of_int (salt mod 5) in
+            Tl.refresh_max h ~f:(fun _ _ -> Some new_key);
+            match sorted with
+            | (max_uid, _) :: rest -> model := (max_uid, new_key) :: rest
+            | [] -> failwith "refresh_max on empty heap changed nothing"
+          end)
+        ops;
+      (* drain: keys must match the model's descending order *)
+      let rec drain acc =
+        match Tl.delete_max h with None -> List.rev acc | Some (_, _, k) -> drain (k :: acc)
+      in
+      let drained = drain [] in
+      let expected = List.sort (fun a b -> compare b a) (List.map snd !model) in
+      List.length drained = List.length expected
+      && List.for_all2 Helpers.float_eq drained expected)
 
 (* Property: popping a two-level heap yields the same key sequence as a
    single flat heap over the same (pair, key) inserts. *)
@@ -313,6 +405,8 @@ let () =
           Alcotest.test_case "update_key" `Quick test_heap_update_key;
           Alcotest.test_case "remove" `Quick test_heap_remove;
           Alcotest.test_case "of_list sorted" `Quick test_heap_of_list_sorted;
+          Alcotest.test_case "second_key" `Quick test_heap_second_key;
+          QCheck_alcotest.to_alcotest prop_heap_second_key;
           QCheck_alcotest.to_alcotest prop_heap_model;
           QCheck_alcotest.to_alcotest prop_heap_model_handles;
         ] );
@@ -323,6 +417,9 @@ let () =
           Alcotest.test_case "refresh" `Quick test_tl_refresh;
           Alcotest.test_case "missing pair no-ops" `Quick test_tl_missing_pair_noops;
           Alcotest.test_case "drop pair" `Quick test_tl_drop_pair;
+          Alcotest.test_case "find_second / refresh_max" `Quick
+            test_tl_find_second_and_refresh_max;
+          QCheck_alcotest.to_alcotest prop_tl_find_second_model;
           QCheck_alcotest.to_alcotest prop_tl_matches_flat;
           QCheck_alcotest.to_alcotest prop_tl_model_refresh;
         ] );
