@@ -367,7 +367,191 @@ let solve_cmd =
         (const run $ config_term $ file_arg $ algo_arg $ simulate_arg $ save_strategy_arg
        $ deadline_arg $ max_evals_arg))
 
+(* ----- serve / replay (online serving layer) ----- *)
+
+module Server = Revmax_serve.Server
+module Driver = Revmax_serve.Driver
+module Chaos = Revmax_serve.Chaos
+
+let data_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "data-dir" ] ~docv:"DIR"
+        ~doc:"Directory for the serving journal and snapshots (created if missing).")
+
+let serve_instance_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "instance" ] ~docv:"FILE"
+        ~doc:"Serve this instance file; a small synthetic instance is generated otherwise.")
+
+let serve_users_arg =
+  Arg.(
+    value
+    & opt int 200
+    & info [ "users" ] ~docv:"N" ~doc:"Synthetic instance size (ignored with --instance).")
+
+let snapshot_every_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:"Events between snapshots (0 = only at boot and shutdown).")
+
+let sync_every_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "sync-every" ] ~docv:"N" ~doc:"Journal fsync batching (1 = fsync every event).")
+
+let replan_evals_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "replan-evals" ] ~docv:"N"
+        ~doc:
+          "Per-event replan evaluation cap: under overload replans truncate, answers carry a \
+           stale flag and a repair event replans fully. Unbounded by default.")
+
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault injection, e.g. \
+           $(b,seed=5;fail=journal.sync:0.2;delay=journal.append:0.1:0.002;crash=journal.mid_write:40). \
+           Defaults to $(b,REVMAX_CHAOS).")
+
+let serve_inst cfg ~instance_file ~users =
+  match instance_file with
+  | Some path -> Revmax.Io.load_instance_result path
+  | None ->
+      let base = Scalability.with_users Scalability.default_config users in
+      let small =
+        {
+          base with
+          Scalability.num_items = max 2 (users * 2);
+          num_classes = max 1 (users / 10);
+          items_per_user = 10;
+        }
+      in
+      Ok (Scalability.generate small ~seed:cfg.Config.seed)
+
+let serve_config cfg ~data_dir ~snapshot_every ~sync_every ~replan_evals =
+  {
+    (Server.default_config ~data_dir) with
+    Server.snapshot_every;
+    sync_every;
+    replan_evals;
+    seed = cfg.Config.seed;
+  }
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket instead of stdin/stdout.")
+  in
+  let run cfg instance_file users data_dir socket snapshot_every sync_every replan_evals chaos =
+    (match chaos with Some spec -> Chaos.configure spec | None -> Chaos.configure_from_env ());
+    match serve_inst cfg ~instance_file ~users with
+    | Error e -> `Error (false, Revmax_prelude.Err.message e)
+    | Ok inst ->
+        Format.eprintf "serving instance: %a@." Instance.pp_stats inst;
+        let st = Server.create (serve_config cfg ~data_dir ~snapshot_every ~sync_every ~replan_evals) inst in
+        (match socket with
+        | Some path -> Server.serve_unix st ~path
+        | None -> Server.serve st ~in_fd:Unix.stdin ~out_fd:Unix.stdout);
+        Server.close st;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Crash-safe online recommendation server: WAL-journaled events, incremental \
+          replanning, degraded-mode answers. Speaks length-prefixed binary frames on \
+          stdin/stdout or a Unix socket.")
+    Term.(
+      ret
+        (const run $ config_term $ serve_instance_arg $ serve_users_arg $ data_dir_arg
+       $ socket_arg $ snapshot_every_arg $ sync_every_arg $ replan_evals_arg $ chaos_arg))
+
+let replay_cmd =
+  let events_arg =
+    Arg.(value & opt int 300 & info [ "events" ] ~docv:"N" ~doc:"Synthetic workload length.")
+  in
+  let kill_every_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "kill-every" ] ~docv:"N"
+          ~doc:"SIGKILL the serving child after every N-th acknowledged event (0 = never).")
+  in
+  let probe_every_arg =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "probe-every" ] ~docv:"N" ~doc:"Issue a top-k probe after every N-th event.")
+  in
+  let p99_slo_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "p99-slo-ms" ] ~docv:"MS"
+          ~doc:"Fail unless event and probe p99 latencies are at most MS milliseconds.")
+  in
+  let run cfg instance_file users data_dir events kill_every probe_every chaos snapshot_every
+      sync_every replan_evals p99_slo =
+    match serve_inst cfg ~instance_file ~users with
+    | Error e -> `Error (false, Revmax_prelude.Err.message e)
+    | Ok inst ->
+        let scfg = serve_config cfg ~data_dir ~snapshot_every ~sync_every ~replan_evals in
+        let wl = Driver.synth_workload inst ~seed:cfg.Config.seed ~events in
+        let r =
+          Driver.run_replay ~kill_every
+            ?chaos:(Option.map Fun.id chaos)
+            ~probe_every scfg inst wl
+        in
+        Format.printf "%a@." Driver.pp_report r;
+        let slo_ok =
+          match p99_slo with
+          | None -> true
+          | Some ms ->
+              1e3 *. r.Driver.event_latency.Driver.p99 <= ms
+              && 1e3 *. r.Driver.probe_latency.Driver.p99 <= ms
+        in
+        if not r.Driver.identical then
+          `Error (false, "replay diverged: recovered state differs from the reference fold")
+        else if not slo_ok then
+          `Error
+            ( false,
+              Printf.sprintf "p99 latency SLO (%.1f ms) violated: events %.3f ms, probes %.3f ms"
+                (Option.get p99_slo)
+                (1e3 *. r.Driver.event_latency.Driver.p99)
+                (1e3 *. r.Driver.probe_latency.Driver.p99) )
+        else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Crash-replay harness: drive a deterministic workload against a forked server, \
+          SIGKILL and chaos-fault it, restart and resend, and verify the recovered state is \
+          identical to a fault-free reference fold. Reports latency percentiles.")
+    Term.(
+      ret
+        (const run $ config_term $ serve_instance_arg $ serve_users_arg $ data_dir_arg
+       $ events_arg $ kill_every_arg $ probe_every_arg $ chaos_arg $ snapshot_every_arg
+       $ sync_every_arg $ replan_evals_arg $ p99_slo_arg))
+
 let () =
   let doc = "revenue-maximizing dynamic recommendations (VLDB 2014 reproduction)" in
   let info = Cmd.info "revmax" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; experiment_cmd; datasets_cmd; plan_cmd; solve_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; experiment_cmd; datasets_cmd; plan_cmd; solve_cmd; serve_cmd; replay_cmd ]))

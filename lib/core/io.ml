@@ -174,11 +174,37 @@ let with_in path f =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
 
+(* Write through [f], then force the bytes to stable storage before the
+   channel closes: without the [Unix.fsync] a crash shortly after the
+   rename can leave the *renamed* file empty or truncated on journaling
+   filesystems (the rename is a metadata operation and may be committed
+   before the data blocks), which is exactly the torn-checkpoint state
+   [save_atomic] exists to rule out. *)
+let with_out_sync path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      let r = f oc in
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc);
+      r)
+
+(* Best-effort directory sync so the rename itself survives power loss;
+   some platforms refuse fsync on a directory fd, which is fine to
+   ignore — the data-file fsync above already rules out torn contents. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
 let save_atomic path f =
   let dir = Filename.dirname path in
   let tmp = Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path) ".tmp" in
-  match with_out tmp f with
-  | () -> Sys.rename tmp path
+  match with_out_sync tmp f with
+  | () ->
+      Sys.rename tmp path;
+      fsync_dir dir
   | exception e ->
       (try Sys.remove tmp with Sys_error _ -> ());
       raise e

@@ -60,6 +60,12 @@ val load_strategy_result : Instance.t -> string -> (Strategy.t, Revmax_prelude.E
 
 val save_atomic : string -> (out_channel -> unit) -> unit
 (** [save_atomic path f] writes [f]'s output to a fresh temporary file in
-    [path]'s directory and renames it over [path], so readers never observe
-    a partially-written file and a crash mid-write leaves any previous
-    content intact. The temporary file is removed if [f] raises. *)
+    [path]'s directory, [fsync]s it, and renames it over [path], so readers
+    never observe a partially-written file and a crash mid-write leaves any
+    previous content intact. The data fsync happens {e before} the rename —
+    without it a journaling filesystem may commit the rename ahead of the
+    data blocks and power loss would reveal the new name with empty or
+    truncated contents, the torn-checkpoint state this function exists to
+    rule out. The parent directory is fsynced best-effort after the rename
+    so the new name itself is durable. The temporary file is removed if [f]
+    raises. *)

@@ -1,15 +1,47 @@
+(* Deadlines live on a process-wide monotonic-elapsed scale rather than raw
+   [Unix.gettimeofday]: the wall clock is sampled, but a sample earlier than
+   the previous one (an NTP step, a VM resume with a corrected clock)
+   contributes 0 elapsed time instead of a negative delta. With absolute
+   wall-clock deadlines a backward step silently extended every live
+   deadline by the step size; on the elapsed scale it merely pauses the
+   clock for one sample. Forward steps remain indistinguishable from real
+   elapsed time — the stdlib exposes no monotonic clock — so a large
+   forward jump still expires deadlines early; the clamp removes the
+   unbounded-extension failure mode, which is the dangerous one for a
+   long-running server (a deadline that never fires keeps a wedged
+   operation alive forever). *)
+let wall_source = ref Unix.gettimeofday
+let set_time_source_for_tests src =
+  wall_source := match src with Some f -> f | None -> Unix.gettimeofday
+
+let mono_mutex = Mutex.create ()
+let mono_last = ref nan (* previous wall sample; nan = never sampled *)
+let mono_acc = ref 0.0 (* accumulated non-negative elapsed seconds *)
+
+let monotonic_now () =
+  Mutex.lock mono_mutex;
+  let w = !wall_source () in
+  (if not (Float.is_nan !mono_last) then begin
+     let d = w -. !mono_last in
+     if d > 0.0 then mono_acc := !mono_acc +. d
+   end);
+  mono_last := w;
+  let v = !mono_acc in
+  Mutex.unlock mono_mutex;
+  v
+
 (* [used] is atomic so one budget can be shared by several domains (the
    parallel suite runner, RL-Greedy's permutation fan-out): charges are
    lock-free increments and [exhausted] is a plain read. *)
 type t = {
-  deadline : float option; (* absolute, Unix.gettimeofday scale *)
+  deadline : float option; (* absolute on the [monotonic_now] scale *)
   max_evaluations : int option;
   used : int Atomic.t;
 }
 
 let create ?wall_seconds ?max_evaluations () =
   {
-    deadline = Option.map (fun s -> Unix.gettimeofday () +. s) wall_seconds;
+    deadline = Option.map (fun s -> monotonic_now () +. s) wall_seconds;
     max_evaluations;
     used = Atomic.make 0;
   }
@@ -49,14 +81,14 @@ let evaluations t = Atomic.get t.used
 let exhausted t =
   (match t.max_evaluations with Some m -> Atomic.get t.used >= m | None -> false)
   ||
-  match t.deadline with Some d -> Unix.gettimeofday () >= d | None -> false
+  match t.deadline with Some d -> monotonic_now () >= d | None -> false
 
-let remaining_seconds t = Option.map (fun d -> d -. Unix.gettimeofday ()) t.deadline
+let remaining_seconds t = Option.map (fun d -> d -. monotonic_now ()) t.deadline
 
 let pp ppf t =
   let parts =
     (match t.deadline with
-    | Some d -> [ Printf.sprintf "deadline in %.3fs" (d -. Unix.gettimeofday ()) ]
+    | Some d -> [ Printf.sprintf "deadline in %.3fs" (d -. monotonic_now ()) ]
     | None -> [])
     @
     match t.max_evaluations with

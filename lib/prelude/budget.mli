@@ -32,6 +32,23 @@ val create : ?wall_seconds:float -> ?max_evaluations:int -> unit -> t
 (** [create ~wall_seconds ~max_evaluations ()] starts the clock now.
     Omitted components are unlimited; [create ()] never expires. *)
 
+val monotonic_now : unit -> float
+(** Process-wide monotonic-elapsed seconds: the wall clock is sampled on
+    every call, but a sample {e earlier} than the previous one (an NTP
+    step, a VM resume) contributes 0 elapsed time rather than a negative
+    delta. Deadlines live on this scale, so a backward wall-clock jump can
+    no longer extend a live deadline by the jump size (previously a jump
+    of [-x] added [x] seconds to every deadline — on a long-running server
+    a deadline that never fires keeps a wedged operation alive forever).
+    Forward jumps remain indistinguishable from real elapsed time, since
+    the stdlib exposes no monotonic clock; they can still expire a
+    deadline early, which is the fail-safe direction. Thread-safe. *)
+
+val set_time_source_for_tests : (unit -> float) option -> unit
+(** Replace ([Some f]) or restore ([None]) the wall-clock sampler behind
+    {!monotonic_now}. Only for unit tests that need to replay controlled
+    clock sequences (NTP steps, freezes); never call from library code. *)
+
 val spend : t -> int -> unit
 (** Charge [n] units of work — marginal-revenue evaluations, and one unit
     per accepted selection (greedy selections whose key comes from a

@@ -1,0 +1,112 @@
+module Rng = Revmax_prelude.Rng
+module Metrics = Revmax_prelude.Metrics
+
+type clause =
+  | Fail of float
+  | Delay of float * float
+  | Crash of int
+
+type site = {
+  clauses : clause list; (* in spec order *)
+  rng : Rng.t;
+  mutable hit_count : int;
+}
+
+let sites : (string, site) Hashtbl.t = Hashtbl.create 16
+let armed = ref false
+
+let c_injected = Metrics.counter "chaos.injected_failures"
+let c_delays = Metrics.counter "chaos.injected_delays"
+
+let active () = !armed
+
+let disarm () =
+  armed := false;
+  Hashtbl.reset sites
+
+(* stable site-name hash (djb2, masked positive) so a site's stream depends
+   only on (seed, name), never on registration or hit order of other sites *)
+let hash_name s =
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h * 33) + Char.code c) land 0x3FFFFFFF) s;
+  !h
+
+let bad spec msg = invalid_arg (Printf.sprintf "Chaos.configure: %s in %S" msg spec)
+
+let parse_clauses spec =
+  let seed = ref 0 and clauses = ref [] in
+  String.split_on_char ';' spec
+  |> List.iter (fun part ->
+         let part = String.trim part in
+         if part <> "" then
+           match String.index_opt part '=' with
+           | None -> bad spec ("missing `=' in clause " ^ part)
+           | Some eq -> (
+               let key = String.sub part 0 eq in
+               let value = String.sub part (eq + 1) (String.length part - eq - 1) in
+               let fields = String.split_on_char ':' value in
+               let floatf s =
+                 match float_of_string_opt s with
+                 | Some v -> v
+                 | None -> bad spec ("bad number " ^ s)
+               in
+               let intf s =
+                 match int_of_string_opt s with Some v -> v | None -> bad spec ("bad count " ^ s)
+               in
+               match (key, fields) with
+               | "seed", [ s ] -> seed := intf s
+               | "fail", [ site; p ] -> clauses := (site, Fail (floatf p)) :: !clauses
+               | "delay", [ site; p; d ] -> clauses := (site, Delay (floatf p, floatf d)) :: !clauses
+               | "crash", [ site; n ] -> clauses := (site, Crash (intf n)) :: !clauses
+               | _ -> bad spec ("unknown clause " ^ part)))
+  |> ignore;
+  (!seed, List.rev !clauses)
+
+let configure spec =
+  let seed, clauses = parse_clauses spec in
+  Hashtbl.reset sites;
+  List.iter
+    (fun (name, clause) ->
+      match Hashtbl.find_opt sites name with
+      | Some s -> Hashtbl.replace sites name { s with clauses = s.clauses @ [ clause ] }
+      | None ->
+          Hashtbl.add sites name
+            { clauses = [ clause ]; rng = Rng.create (seed lxor hash_name name); hit_count = 0 })
+    clauses;
+  armed := true
+
+let configure_from_env () =
+  match Sys.getenv_opt "REVMAX_CHAOS" with
+  | None -> ()
+  | Some "" -> ()
+  | Some spec -> configure spec
+
+let hits name =
+  match Hashtbl.find_opt sites name with Some s -> s.hit_count | None -> 0
+
+let point name =
+  if !armed then
+    match Hashtbl.find_opt sites name with
+    | None -> ()
+    | Some s ->
+        s.hit_count <- s.hit_count + 1;
+        List.iter
+          (function
+            | Crash n ->
+                if s.hit_count = n then begin
+                  (* simulate power loss: no flushing, no at_exit hooks *)
+                  Metrics.Log.warn "chaos: crashing process at %s (hit %d)\n" name n;
+                  Unix.kill (Unix.getpid ()) Sys.sigkill
+                end
+            | Delay (p, d) ->
+                if Rng.bernoulli s.rng p then begin
+                  Metrics.incr c_delays;
+                  Unix.sleepf d
+                end
+            | Fail p ->
+                if Rng.bernoulli s.rng p then begin
+                  Metrics.incr c_injected;
+                  raise
+                    (Sys_error (Printf.sprintf "chaos: injected fault at %s (hit %d)" name s.hit_count))
+                end)
+          s.clauses

@@ -1,0 +1,53 @@
+(** Deterministic fault injection for the serving layer.
+
+    The serving stack (journal, supervisor, server) threads named {e
+    injection points} through its IO paths; when chaos is armed, each hit
+    of a point may — per the configured spec, from a seeded per-site
+    random stream — raise an injected [Sys_error], sleep, or SIGKILL the
+    process. Disarmed (the default), a point is a single branch.
+
+    Determinism: every site owns an independent SplitMix64 stream derived
+    from the global chaos seed and a stable hash of the site name, plus a
+    hit counter. Two processes configured with the same spec therefore
+    inject the {e same} faults at the {e same} hits regardless of
+    registration order — chaos runs are replayable, which is what lets
+    the recovery-identity suite assert exact outcomes under injected
+    faults.
+
+    Spec syntax (also accepted from [REVMAX_CHAOS]):
+    {v seed=42;fail=journal.sync:0.25;delay=journal.append:0.5:0.002;crash=journal.mid_write:40 v}
+    - [seed=N] — global seed for the per-site streams (default 0);
+    - [fail=SITE:P] — each hit of [SITE] raises [Sys_error] with
+      probability [P];
+    - [delay=SITE:P:SECONDS] — each hit sleeps [SECONDS] with
+      probability [P];
+    - [crash=SITE:N] — the [N]-th hit of [SITE] SIGKILLs the process
+      (simulating a crash mid-operation, e.g. a torn journal write).
+
+    Multiple clauses may target one site; they are applied in spec order.
+
+    Sites currently wired: [journal.append], [journal.mid_write],
+    [journal.sync], [journal.rotate], [snapshot.write], [server.handle]. *)
+
+val configure : string -> unit
+(** Parse a spec and arm chaos. Replaces any previous configuration.
+    Raises [Invalid_argument] on a malformed spec. *)
+
+val configure_from_env : unit -> unit
+(** [configure] from [REVMAX_CHAOS] when set and non-empty; otherwise a
+    no-op. Entry points call this; libraries never do. *)
+
+val active : unit -> bool
+(** Whether chaos is armed. *)
+
+val disarm : unit -> unit
+(** Drop the configuration and all per-site state. *)
+
+val point : string -> unit
+(** Hit the named injection point: disarmed or unconfigured sites are one
+    branch; configured sites count the hit and apply their clauses (raise
+    [Sys_error], sleep, or SIGKILL the process). *)
+
+val hits : string -> int
+(** Number of times the named point fired since configuration (0 for
+    unknown sites). For tests. *)

@@ -1,0 +1,278 @@
+module Err = Revmax_prelude.Err
+module Rng = Revmax_prelude.Rng
+module Metrics = Revmax_prelude.Metrics
+module Instance = Revmax.Instance
+module Strategy = Revmax.Strategy
+module Triple = Revmax.Triple
+
+type workload = Journal.event list
+
+let synth_workload inst ~seed ~events =
+  let rng = Rng.create seed in
+  let nu = Instance.num_users inst in
+  let ni = Instance.num_items inst in
+  let h = Instance.horizon inst in
+  let rec gen k acc =
+    if k >= events then List.rev acc
+    else
+      let t = min h (max 1 (1 + (k * h / max 1 events))) in
+      let u = Rng.int rng nu in
+      let i = Rng.int rng ni in
+      let r = Rng.unit_float rng in
+      let ev =
+        if r < 0.60 then Journal.Click { u; i; t }
+        else if r < 0.90 then Journal.Adopt { u; i; t }
+        else if r < 0.98 then Journal.Cap { i; delta = (if Rng.bool rng then 1 else -1) }
+        else Journal.Repair
+      in
+      gen (k + 1) (ev :: acc)
+  in
+  gen 0 []
+
+type percentiles = { p50 : float; p95 : float; p99 : float; max : float }
+
+let percentiles_of xs =
+  match List.sort compare xs with
+  | [] -> { p50 = 0.0; p95 = 0.0; p99 = 0.0; max = 0.0 }
+  | sorted ->
+      let a = Array.of_list sorted in
+      let n = Array.length a in
+      let pick p = a.(max 0 (min (n - 1) (int_of_float (Float.ceil (p *. float_of_int n)) - 1))) in
+      { p50 = pick 0.50; p95 = pick 0.95; p99 = pick 0.99; max = a.(n - 1) }
+
+type outcome = { seq : int64; triples : (int * int * int) list; realized : float; stale : bool }
+
+let outcome_of_server st =
+  {
+    seq = Server.seq st;
+    triples =
+      List.sort compare
+        (List.map (fun (z : Triple.t) -> (z.u, z.i, z.t)) (Strategy.to_list (Server.strategy st)));
+    realized = Server.realized_revenue st;
+    stale = Server.stale_users st <> [];
+  }
+
+(* only our own state files — never a recursive delete *)
+let clean_state_files dir =
+  List.iter
+    (fun f ->
+      let p = Filename.concat dir f in
+      if Sys.file_exists p then Sys.remove p)
+    [ "snapshot.revmax"; "journal.wal" ]
+
+let reference (cfg : Server.config) inst wl =
+  Chaos.disarm ();
+  clean_state_files cfg.data_dir;
+  let st = Server.create cfg inst in
+  List.iter
+    (fun ev ->
+      match Server.apply st ev with Ok _ -> () | Error e -> Err.raise_ e)
+    wl;
+  let o = outcome_of_server st in
+  Server.close st;
+  o
+
+type report = {
+  expected : outcome;
+  actual : outcome;
+  identical : bool;
+  events_sent : int;
+  events_refused : int;
+  probes : int;
+  stale_probes : int;
+  restarts : int;
+  event_latency : percentiles;
+  probe_latency : percentiles;
+}
+
+exception Too_many_restarts
+
+let run_replay ?(kill_every = 0) ?(chaos = "") ?(probe_every = 10) ?(k = 3)
+    (cfg : Server.config) inst wl =
+  let ref_cfg = { cfg with data_dir = cfg.data_dir ^ ".ref" } in
+  let expected = reference ref_cfg inst wl in
+  clean_state_files cfg.data_dir;
+  let events = Array.of_list wl in
+  let n = Array.length events in
+  let max_restarts = 1000 + (4 * n) in
+  let restarts = ref 0 in
+  let events_sent = ref 0 in
+  let refused = ref 0 in
+  let probes = ref 0 in
+  let stale_probes = ref 0 in
+  let ev_lat = ref [] in
+  let probe_lat = ref [] in
+  let acked = ref 0 in
+  let next_idx = ref 0 in
+  (* (pid, socket) of the live child, if any *)
+  let child : (int * Unix.file_descr) option ref = ref None in
+  let spawn () =
+    flush stdout;
+    flush stderr;
+    let parent_sock, child_sock = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.fork () with
+    | 0 ->
+        Unix.close parent_sock;
+        let code =
+          try
+            if chaos <> "" then Chaos.configure chaos;
+            let st = Server.create cfg inst in
+            Server.serve st ~in_fd:child_sock ~out_fd:child_sock;
+            Server.close st;
+            0
+          with _ -> 1
+        in
+        Stdlib.exit code
+    | pid ->
+        Unix.close child_sock;
+        (pid, parent_sock)
+  in
+  let reap (pid, fd) =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+  in
+  let child_died c =
+    reap c;
+    child := None;
+    incr restarts;
+    if !restarts > max_restarts then raise Too_many_restarts
+  in
+  let rpc_once fd req =
+    try
+      Server.Wire.write_frame fd (Server.Wire.encode_request req);
+      match Server.Wire.read_frame fd with
+      | None -> None
+      | Some b -> (
+          match Server.Wire.decode_response b with
+          | Ok r -> Some r
+          | Error msg -> failwith ("driver: undecodable response: " ^ msg))
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> None
+  in
+  (* spawn-or-reuse, resyncing next_idx from the child's recovered seq:
+     events carry seq 1..n in order, so a recovered seq of s means events
+     0..s-1 (0-based) are applied and durable — resend from index s *)
+  let rec ensure_child () =
+    match !child with
+    | Some c -> c
+    | None -> (
+        let c = spawn () in
+        child := Some c;
+        match rpc_once (snd c) Server.Wire.Stats with
+        | Some (Server.Wire.Stats_r s) ->
+            next_idx := Int64.to_int s.seq;
+            c
+        | Some _ -> failwith "driver: unexpected response to Stats"
+        | None ->
+            (* died during boot (e.g. seeded crash in the boot snapshot) *)
+            child_died c;
+            ensure_child ())
+  in
+  let probe fd ev =
+    match ev with
+    | Journal.Adopt { u; t; _ } | Journal.Click { u; t; _ } -> (
+        let t0 = Unix.gettimeofday () in
+        match rpc_once fd (Server.Wire.Topk { u; time = t; k }) with
+        | Some (Server.Wire.Items { stale; _ }) ->
+            probe_lat := (Unix.gettimeofday () -. t0) :: !probe_lat;
+            incr probes;
+            if stale then incr stale_probes;
+            true
+        | Some _ -> true
+        | None -> false)
+    | _ -> true
+  in
+  let old_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ | Sys_error _ -> None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (match !child with Some c -> reap c | None -> ());
+      match old_sigpipe with Some b -> Sys.set_signal Sys.sigpipe b | None -> ())
+    (fun () ->
+      while !next_idx < n do
+        let ((pid, fd) as c) = ensure_child () in
+        let idx = !next_idx in
+        let t0 = Unix.gettimeofday () in
+        match rpc_once fd (Server.Wire.Event events.(idx)) with
+        | None -> child_died c
+        | Some resp -> (
+            ev_lat := (Unix.gettimeofday () -. t0) :: !ev_lat;
+            incr events_sent;
+            match resp with
+            | Server.Wire.Ack _ ->
+                next_idx := idx + 1;
+                incr acked;
+                let alive =
+                  if probe_every > 0 && (idx + 1) mod probe_every = 0 then probe fd events.(idx)
+                  else true
+                in
+                if not alive then child_died c
+                else if kill_every > 0 && !acked mod kill_every = 0 then begin
+                  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+                  child_died c
+                end
+            | Server.Wire.Err_r _ ->
+                (* refused = not journaled, not applied: retry the same
+                   event; a quarantined journal recovers via probe calls *)
+                incr refused;
+                if !refused > 100 * max 1 n then
+                  failwith "driver: event refused too many times; journal never recovered"
+            | _ -> failwith "driver: unexpected response to Event")
+      done;
+      (* final state, surviving any further child deaths *)
+      let rec finalize () =
+        let ((_, fd) as c) = ensure_child () in
+        match (rpc_once fd Server.Wire.Stats, rpc_once fd Server.Wire.Dump) with
+        | Some (Server.Wire.Stats_r s), Some (Server.Wire.Dump_r triples) ->
+            ignore (rpc_once fd Server.Wire.Shutdown);
+            reap c;
+            child := None;
+            {
+              seq = s.seq;
+              triples = List.sort compare triples;
+              realized = s.realized;
+              stale = s.stale;
+            }
+        | None, _ | _, None ->
+            child_died c;
+            finalize ()
+        | _ -> failwith "driver: unexpected finalize responses"
+      in
+      let actual = finalize () in
+      let identical =
+        Int64.equal expected.seq actual.seq
+        && expected.triples = actual.triples
+        && Float.equal expected.realized actual.realized
+        && Bool.equal expected.stale actual.stale
+      in
+      {
+        expected;
+        actual;
+        identical;
+        events_sent = !events_sent;
+        events_refused = !refused;
+        probes = !probes;
+        stale_probes = !stale_probes;
+        restarts = !restarts;
+        event_latency = percentiles_of !ev_lat;
+        probe_latency = percentiles_of !probe_lat;
+      })
+
+let pp_percentiles ppf p =
+  Format.fprintf ppf "p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, max %.3f ms" (1e3 *. p.p50)
+    (1e3 *. p.p95) (1e3 *. p.p99) (1e3 *. p.max)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>replay: %s@,\
+     events sent %d (refused %d), probes %d (stale %d), restarts %d@,\
+     final: seq %Ld, %d triples, realized %.6f%s@,\
+     event latency: %a@,\
+     probe latency: %a@]"
+    (if r.identical then "IDENTICAL" else "DIVERGED")
+    r.events_sent r.events_refused r.probes r.stale_probes r.restarts r.actual.seq
+    (List.length r.actual.triples)
+    r.actual.realized
+    (if r.actual.stale then " (stale)" else "")
+    pp_percentiles r.event_latency pp_percentiles r.probe_latency

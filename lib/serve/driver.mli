@@ -1,0 +1,79 @@
+(** Traffic generation and crash-replay harness for the serving layer.
+
+    The driver plays a deterministic synthetic event stream against a
+    {!Server} in two ways:
+
+    - {!reference}: in-process, fault-free — one [Server.create] + a
+      sequential [Server.apply] fold in a scratch directory. This is the
+      ground truth the chaos runs are compared against.
+    - {!run_replay}: the server runs in a forked child behind a
+      socketpair speaking {!Server.Wire}; the parent drives events and
+      [Topk] probes, measures per-request latency, and — when the child
+      dies (seeded chaos crash, or the parent's own [kill_every]
+      SIGKILL schedule) — restarts it against the same data directory,
+      asks [Stats] for the recovered sequence number, and resends the
+      event suffix. A run "passes" when the surviving server's final
+      strategy, sequence number and realized revenue are identical to the
+      reference — crash-recovery identity, end to end.
+
+    Everything is deterministic given (instance, workload seed, chaos
+    spec, kill schedule): reruns produce byte-identical final state. *)
+
+type workload = Journal.event list
+
+val synth_workload :
+  Revmax.Instance.t -> seed:int -> events:int -> workload
+(** A deterministic stream of [events] events: times walk the horizon
+    left to right; ~60% clicks, ~30% adoptions, ~8% capacity shocks
+    (±1), ~2% repair requests. Users and items are drawn uniformly, so
+    both planned and organic adoptions occur. *)
+
+type percentiles = { p50 : float; p95 : float; p99 : float; max : float }
+
+val percentiles_of : float list -> percentiles
+(** Nearest-rank percentiles; all zero for the empty list. *)
+
+type outcome = {
+  seq : int64;
+  triples : (int * int * int) list;  (** sorted (u, i, t) strategy dump *)
+  realized : float;
+  stale : bool;
+}
+
+val outcome_of_server : Server.t -> outcome
+(** Snapshot a live in-process server's observable state. *)
+
+val reference : Server.config -> Revmax.Instance.t -> workload -> outcome
+(** The fault-free in-process fold (chaos disarmed for its duration). *)
+
+type report = {
+  expected : outcome;  (** the {!reference} outcome *)
+  actual : outcome;  (** the surviving child's final state *)
+  identical : bool;  (** strategy, seq and realized revenue all match *)
+  events_sent : int;  (** includes resends after restarts *)
+  events_refused : int;  (** [Err_r] answers to event frames *)
+  probes : int;
+  stale_probes : int;
+  restarts : int;  (** child deaths survived (chaos or kill schedule) *)
+  event_latency : percentiles;
+  probe_latency : percentiles;
+}
+
+val run_replay :
+  ?kill_every:int ->
+  ?chaos:string ->
+  ?probe_every:int ->
+  ?k:int ->
+  Server.config ->
+  Revmax.Instance.t ->
+  workload ->
+  report
+(** Fork/kill/restart replay. [kill_every] (0 = never, default) SIGKILLs
+    the child after every n-th acknowledged event — on top of whatever
+    [chaos] (a {!Chaos.configure} spec applied in the child, e.g.
+    ["seed=5;fail=journal.sync:0.2;crash=journal.mid_write:40"]) does on
+    its own. Every [probe_every]-th event (default 10) is followed by a
+    [Topk] probe for that event's user at its time. The reference run
+    uses a separate scratch directory derived from [config.data_dir]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,131 @@
+module Budget = Revmax_prelude.Budget
+module Err = Revmax_prelude.Err
+module Rng = Revmax_prelude.Rng
+module Metrics = Revmax_prelude.Metrics
+
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  multiplier : float;
+  max_delay : float;
+  jitter : float;
+  timeout : float option;
+  quarantine_after : int;
+  probe_every : int;
+}
+
+let default_policy =
+  {
+    max_attempts = 3;
+    base_delay = 0.001;
+    multiplier = 2.0;
+    max_delay = 0.1;
+    jitter = 0.25;
+    timeout = None;
+    quarantine_after = 5;
+    probe_every = 16;
+  }
+
+type op_state = {
+  rng : Rng.t; (* jitter stream, derived from (seed, name) *)
+  mutable consecutive : int; (* consecutive exhausted-retry failures *)
+  mutable quarantined : bool;
+  mutable quarantined_calls : int; (* calls short-circuited since quarantine *)
+}
+
+type t = { policy : policy; seed : int; ops : (string, op_state) Hashtbl.t }
+
+let c_retries = Metrics.counter "supervisor.retries"
+let c_failures = Metrics.counter "supervisor.failures"
+let c_quarantined = Metrics.counter "supervisor.quarantined_calls"
+
+let create ?(policy = default_policy) ~seed () =
+  if policy.max_attempts < 1 then invalid_arg "Supervisor.create: max_attempts < 1";
+  { policy; seed; ops = Hashtbl.create 8 }
+
+(* same order-independent per-name stream derivation as Chaos *)
+let hash_name s =
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h * 33) + Char.code c) land 0x3FFFFFFF) s;
+  !h
+
+let op t name =
+  match Hashtbl.find_opt t.ops name with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          rng = Rng.create (t.seed lxor hash_name name);
+          consecutive = 0;
+          quarantined = false;
+          quarantined_calls = 0;
+        }
+      in
+      Hashtbl.add t.ops name s;
+      s
+
+let backoff_delay policy ~rng ~attempt =
+  let d = Float.min policy.max_delay (policy.base_delay *. (policy.multiplier ** float_of_int (attempt - 1))) in
+  let j =
+    if policy.jitter > 0.0 then d *. policy.jitter *. ((2.0 *. Rng.unit_float rng) -. 1.0) else 0.0
+  in
+  Float.max 0.0 (d +. j)
+
+let quarantined t name = (op t name).quarantined
+
+let consecutive_failures t name = (op t name).consecutive
+
+let reset t name =
+  let s = op t name in
+  s.consecutive <- 0;
+  s.quarantined <- false;
+  s.quarantined_calls <- 0
+
+let run t ~name f =
+  let s = op t name in
+  let probe =
+    s.quarantined
+    &&
+    (s.quarantined_calls <- s.quarantined_calls + 1;
+     t.policy.probe_every > 0 && s.quarantined_calls mod t.policy.probe_every = 0)
+  in
+  if s.quarantined && not probe then begin
+    Metrics.incr c_quarantined;
+    Error
+      (Err.Unexpected
+         {
+           context = name;
+           msg =
+             Printf.sprintf "quarantined after %d consecutive failures (request dropped)"
+               s.consecutive;
+         })
+  end
+  else
+    let rec attempt k =
+      let budget = Option.map (fun sec -> Budget.create ~wall_seconds:sec ()) t.policy.timeout in
+      match Err.protect ~context:name (fun () -> f budget) with
+      | Ok v ->
+          s.consecutive <- 0;
+          s.quarantined <- false;
+          s.quarantined_calls <- 0;
+          Ok v
+      | Error e ->
+          if k >= t.policy.max_attempts then begin
+            Metrics.incr c_failures;
+            s.consecutive <- s.consecutive + 1;
+            if t.policy.quarantine_after > 0 && s.consecutive >= t.policy.quarantine_after then begin
+              if not s.quarantined then
+                Metrics.Log.warn "supervisor: quarantining %s after %d consecutive failures\n" name
+                  s.consecutive;
+              s.quarantined <- true;
+              s.quarantined_calls <- 0
+            end;
+            Error e
+          end
+          else begin
+            Metrics.incr c_retries;
+            Unix.sleepf (backoff_delay t.policy ~rng:s.rng ~attempt:k);
+            attempt (k + 1)
+          end
+    in
+    attempt 1

@@ -1,0 +1,61 @@
+(** Typed retry/backoff supervision for the serving layer's IO operations.
+
+    A {!policy} bounds how hard the server fights a failing operation
+    (journal append, fsync, snapshot write) before degrading: up to
+    [max_attempts] tries, exponential backoff with {e deterministic}
+    jitter (each operation name owns a SplitMix64 stream derived from the
+    supervisor seed, so two supervisors with equal seeds sleep the exact
+    same schedule), an optional per-attempt wall-clock timeout delivered
+    to the operation as a {!Revmax_prelude.Budget} (on the monotonic
+    deadline scale), and quarantine: after [quarantine_after] consecutive
+    exhausted-retry failures the operation is short-circuited to an error
+    without being attempted, so a persistently broken dependency cannot
+    stall the event loop with full retry storms on every event. A later
+    {!reset} (or a successful probe, every [probe_every]-th call while
+    quarantined) lifts the quarantine.
+
+    Planner {e state} transitions are deliberately outside supervision:
+    replanning is deterministic and must fail identically in live
+    execution and WAL replay, so it is never retried — only IO, whose
+    success or failure does not change the state fold, is. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts per call, >= 1 *)
+  base_delay : float;  (** seconds before the second attempt *)
+  multiplier : float;  (** exponential backoff factor *)
+  max_delay : float;  (** backoff ceiling, seconds *)
+  jitter : float;  (** +/- fraction of the delay drawn uniformly, in [0,1) *)
+  timeout : float option;  (** per-attempt wall budget handed to the op *)
+  quarantine_after : int;  (** consecutive failures before quarantine; 0 = never *)
+  probe_every : int;  (** while quarantined, attempt every n-th call (0 = never probe) *)
+}
+
+val default_policy : policy
+(** 3 attempts, 1 ms base delay doubling to a 100 ms ceiling, 25% jitter,
+    no timeout, quarantine after 5 consecutive failures, probe every 16th
+    quarantined call. *)
+
+type t
+
+val create : ?policy:policy -> seed:int -> unit -> t
+
+val backoff_delay : policy -> rng:Revmax_prelude.Rng.t -> attempt:int -> float
+(** The sleep before attempt [attempt + 1] (so [attempt] counts completed
+    failures, from 1): [min max_delay (base_delay * multiplier^(attempt-1))]
+    with the jitter drawn from [rng]. Pure given the generator state —
+    exposed for determinism tests. *)
+
+val run : t -> name:string -> (Revmax_prelude.Budget.t option -> 'a) -> ('a, Revmax_prelude.Err.t) result
+(** Run the operation under the policy. The argument is the per-attempt
+    timeout budget ([None] when the policy has no timeout); long
+    operations should poll [Budget.exhausted] and abort. Exceptions are
+    mapped through {!Revmax_prelude.Err.of_exn}; the last attempt's error
+    is returned. Each failure of the full retry loop counts toward
+    quarantine; any success resets the count. *)
+
+val quarantined : t -> string -> bool
+
+val consecutive_failures : t -> string -> int
+
+val reset : t -> string -> unit
+(** Lift quarantine and zero the failure count for the operation. *)

@@ -410,6 +410,55 @@ let with_stdout_captured f =
   Sys.remove path;
   match result with Ok v -> (v, contents) | Error e -> raise e
 
+(* Durability regression for [Io.save_atomic]: a writer SIGKILLed at any
+   point before the rename must leave the previous contents of the target
+   byte-identical — the temp-file-plus-fsync-plus-rename sequence never
+   exposes a torn or empty target. The child is killed (a) mid-[f], before
+   any flush, and (b) after [f] returned but while still inside the
+   callback chain (simulated by killing from within [f] after writing
+   everything) — in both cases only the invisible temp file dies. *)
+let test_save_atomic_kill_leaves_target_intact () =
+  with_temp_dir (fun dir ->
+      Unix.mkdir dir 0o700;
+      let target = Filename.concat dir "state.txt" in
+      let original = "generation-1 contents\n" in
+      Out_channel.with_open_bin target (fun oc -> Out_channel.output_string oc original);
+      List.iter
+        (fun kill_point ->
+          (match Unix.fork () with
+          | 0 ->
+              (* child: die by SIGKILL inside the atomic save *)
+              (try
+                 Revmax.Io.save_atomic target (fun oc ->
+                     output_string oc "generation-2 half";
+                     if kill_point = `Mid_write then Unix.kill (Unix.getpid ()) Sys.sigkill;
+                     output_string oc "generation-2 rest\n";
+                     flush oc;
+                     if kill_point = `After_write then Unix.kill (Unix.getpid ()) Sys.sigkill)
+               with _ -> ());
+              Stdlib.exit 0
+          | pid ->
+              let _, status = Unix.waitpid [] pid in
+              Alcotest.(check bool) "child died of SIGKILL" true
+                (status = Unix.WSIGNALED Sys.sigkill));
+          let now = In_channel.with_open_bin target In_channel.input_all in
+          Alcotest.(check string) "previous contents intact" original now)
+        [ `Mid_write; `After_write ];
+      (* stray temp files from the killed writers must not confuse loaders:
+         they live under dotted names, never under the target's name *)
+      Array.iter
+        (fun name ->
+          if name <> "state.txt" then
+            Alcotest.(check bool)
+              (Printf.sprintf "leftover %s is a dotted temp file" name)
+              true
+              (String.length name > 0 && name.[0] = '.'))
+        (Sys.readdir dir);
+      (* and a completed save replaces the contents atomically *)
+      Revmax.Io.save_atomic target (fun oc -> output_string oc "generation-3\n");
+      let now = In_channel.with_open_bin target In_channel.input_all in
+      Alcotest.(check string) "completed save visible" "generation-3\n" now)
+
 let meta = [ ("scale", "unit"); ("seed", "42") ]
 
 let test_checkpoint_record_roundtrip () =
@@ -636,6 +685,8 @@ let () =
             test_semantic_corruption_is_invalid_instance;
           Alcotest.test_case "truncated files rejected" `Quick test_truncated_files_rejected;
           Alcotest.test_case "byte flips never raise" `Quick test_byte_flips_never_raise;
+          Alcotest.test_case "save_atomic: SIGKILL mid-save leaves target intact" `Quick
+            test_save_atomic_kill_leaves_target_intact;
         ] );
       ( "runner",
         [

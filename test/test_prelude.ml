@@ -217,6 +217,72 @@ let test_histogram () =
   Alcotest.(check int) "low bin" 2 c0;
   Alcotest.(check int) "high bin" 2 c1
 
+module Budget = Revmax_prelude.Budget
+
+let check_float_near msg expected actual =
+  if Float.abs (expected -. actual) > 1e-6 then
+    Alcotest.failf "%s: expected %.6f, got %.6f" msg expected actual
+
+(* Replay a controlled wall-clock sequence through the monotonic-elapsed
+   wrapper: backward steps (NTP corrections) must contribute zero elapsed
+   time, so a deadline can neither be extended by a backward jump nor kept
+   from ever firing. The mocked source returns the scripted samples and
+   then keeps repeating the last one. *)
+let with_mock_clock samples f =
+  let remaining = ref samples in
+  let last = ref (List.hd samples) in
+  Budget.set_time_source_for_tests
+    (Some
+       (fun () ->
+         (match !remaining with
+         | [] -> ()
+         | x :: rest ->
+             last := x;
+             remaining := rest);
+         !last));
+  Fun.protect ~finally:(fun () -> Budget.set_time_source_for_tests None) f
+
+let test_budget_monotonic_backward_clamp () =
+  (* samples consumed: one per monotonic_now call *)
+  with_mock_clock
+    [ 1000.0; (* create: deadline = now_mono + 5 *)
+      990.0; (* NTP step 10s backward: elapsed clamps to 0 *)
+      992.0; (* 2s after the step: 2s elapsed *)
+      994.0; (* 4s elapsed: still inside the deadline *)
+      995.5 (* 5.5s elapsed: expired *) ]
+    (fun () ->
+      let b = Budget.create ~wall_seconds:5.0 () in
+      Alcotest.(check bool) "backward jump does not expire" false (Budget.exhausted b);
+      Alcotest.(check bool) "2s elapsed: alive" false (Budget.exhausted b);
+      Alcotest.(check bool) "4s elapsed: alive" false (Budget.exhausted b);
+      Alcotest.(check bool) "5.5s elapsed: expired" true (Budget.exhausted b))
+
+let test_budget_monotonic_no_extension () =
+  (* Under raw wall-clock deadlines a backward jump extends every deadline
+     by the jump size; on the elapsed scale remaining time never grows. *)
+  with_mock_clock
+    [ 2000.0; (* create: 3s budget *)
+      2001.0; (* 1s elapsed: remaining 2 *)
+      1500.0; (* 501s backward: remaining must NOT become ~503 *)
+      1500.5; (* 0.5s later *)
+      1502.0 (* a further 1.5s: total elapsed 3 -> expired *) ]
+    (fun () ->
+      let b = Budget.create ~wall_seconds:3.0 () in
+      let r1 = Option.get (Budget.remaining_seconds b) in
+      check_float_near "1s elapsed" 2.0 r1;
+      let r2 = Option.get (Budget.remaining_seconds b) in
+      Alcotest.(check bool)
+        (Printf.sprintf "backward jump must not extend (remaining %.3f)" r2)
+        true (r2 <= r1 +. 1e-9);
+      let r3 = Option.get (Budget.remaining_seconds b) in
+      check_float_near "0.5s later" 1.5 r3;
+      Alcotest.(check bool) "3s total elapsed: expired" true (Budget.exhausted b))
+
+let test_budget_monotonic_advances () =
+  let t0 = Budget.monotonic_now () in
+  let t1 = Budget.monotonic_now () in
+  Alcotest.(check bool) "never decreases" true (t1 >= t0)
+
 let contains_substring haystack needle =
   let lh = String.length haystack and ln = String.length needle in
   let rec go i = i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1)) in
@@ -263,6 +329,14 @@ let () =
           Alcotest.test_case "summary stats" `Quick test_summary;
           Alcotest.test_case "quantile interpolation" `Quick test_quantile_interpolation;
           Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "monotonic: backward jump clamps" `Quick
+            test_budget_monotonic_backward_clamp;
+          Alcotest.test_case "monotonic: backward jump never extends" `Quick
+            test_budget_monotonic_no_extension;
+          Alcotest.test_case "monotonic: never decreases" `Quick test_budget_monotonic_advances;
         ] );
       ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
     ]

@@ -1,0 +1,622 @@
+(* The serving-layer suite: WAL journal codec + self-heal, supervised
+   retry/backoff/quarantine, deterministic chaos, crash-recovery identity
+   (in-process and through the fork/SIGKILL/restart driver), degraded
+   mode, wire-codec robustness and SIGPIPE hardening. *)
+
+module Journal = Revmax_serve.Journal
+module Supervisor = Revmax_serve.Supervisor
+module Chaos = Revmax_serve.Chaos
+module Server = Revmax_serve.Server
+module Driver = Revmax_serve.Driver
+module Scalability = Revmax_datagen.Scalability
+module Instance = Revmax.Instance
+module Strategy = Revmax.Strategy
+module Rng = Revmax_prelude.Rng
+module Err = Revmax_prelude.Err
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* the driver creates sibling "<dir>.ref" scratch directories, so tests
+   hand out subdirectories of one disposable root *)
+let with_temp_dir f =
+  let dir = Filename.temp_file "revmax-serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Chaos.disarm ();
+      rm_rf dir)
+    (fun () -> f dir)
+
+let ev_adopt u i t = Journal.Adopt { u; i; t }
+let ev_click u i t = Journal.Click { u; i; t }
+
+let pp_ev = Fmt.of_to_string (Format.asprintf "%a" Journal.pp_event)
+let event_t = Alcotest.testable pp_ev ( = )
+let records_t = Alcotest.(list (pair int64 event_t))
+
+let sample_events =
+  [
+    (1L, ev_adopt 3 7 2);
+    (2L, ev_click 1 4 2);
+    (3L, Journal.Cap { i = 5; delta = -2 });
+    (4L, Journal.Repair);
+    (5L, ev_adopt 0 0 1);
+  ]
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_journal_roundtrip () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "j.wal" in
+  let j, recovered = Journal.openw path in
+  Alcotest.check records_t "fresh journal is empty" [] recovered;
+  List.iter (fun (seq, ev) -> Journal.append j ~seq ev) sample_events;
+  Journal.close j;
+  let j2, recovered = Journal.openw path in
+  Alcotest.check records_t "roundtrip" sample_events recovered;
+  Journal.close j2
+
+let test_journal_truncated_tail_heals () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "j.wal" in
+  let j, _ = Journal.openw path in
+  List.iter (fun (seq, ev) -> Journal.append j ~seq ev) sample_events;
+  Journal.close j;
+  (* cut the file mid-record: a torn final write *)
+  let full = file_size path in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd (full - 5);
+  Unix.close fd;
+  let j2, recovered = Journal.openw path in
+  Alcotest.check records_t "torn tail dropped, prefix intact"
+    (List.filteri (fun k _ -> k < 4) sample_events)
+    recovered;
+  (* the heal is durable and appending over it works *)
+  Journal.append j2 ~seq:5L (ev_click 9 9 1);
+  Journal.close j2;
+  let j3, recovered = Journal.openw path in
+  Alcotest.check records_t "append after heal"
+    (List.filteri (fun k _ -> k < 4) sample_events @ [ (5L, ev_click 9 9 1) ])
+    recovered;
+  Journal.close j3
+
+let test_journal_bit_flip_drops_suffix () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "j.wal" in
+  let j, _ = Journal.openw path in
+  List.iter (fun (seq, ev) -> Journal.append j ~seq ev) sample_events;
+  Journal.close j;
+  (* adopt/click records are 29 bytes; flip a payload byte of record 2 *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd 40 Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x10));
+  ignore (Unix.lseek fd 40 Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd;
+  let j2, recovered = Journal.openw path in
+  Alcotest.check records_t "CRC catches the flip; only the clean prefix survives"
+    [ List.hd sample_events ] recovered;
+  Journal.close j2
+
+let test_journal_rotate () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "j.wal" in
+  let j, _ = Journal.openw path in
+  List.iter (fun (seq, ev) -> Journal.append j ~seq ev) sample_events;
+  Journal.rotate j;
+  Alcotest.(check int) "rotated to empty" 0 (Journal.size_bytes j);
+  Journal.append j ~seq:6L (ev_adopt 1 1 1);
+  Journal.close j;
+  Alcotest.check records_t "only post-rotation records" [ (6L, ev_adopt 1 1 1) ]
+    (Journal.events path)
+
+let test_journal_sync_batching () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "j.wal" in
+  let j, _ = Journal.openw ~sync_every:3 path in
+  Journal.append j ~seq:1L (ev_click 0 0 1);
+  Journal.append j ~seq:2L (ev_click 0 1 1);
+  Alcotest.(check int) "two pending before the batch boundary" 2 (Journal.pending j);
+  Journal.append j ~seq:3L (ev_click 0 2 1);
+  Alcotest.(check int) "third append fsyncs the batch" 0 (Journal.pending j);
+  Journal.append j ~seq:4L (ev_click 0 3 1);
+  Journal.sync j;
+  Alcotest.(check int) "explicit sync drains" 0 (Journal.pending j);
+  Journal.close j
+
+let test_journal_injected_tear_rolls_back () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "j.wal" in
+  let j, _ = Journal.openw path in
+  Journal.append j ~seq:1L (ev_adopt 1 2 3);
+  let size_before = Journal.size_bytes j in
+  Chaos.configure "seed=1;fail=journal.mid_write:1.0";
+  Alcotest.check_raises "half-written record raises" (Sys_error
+    "chaos: injected fault at journal.mid_write (hit 1)") (fun () ->
+      Journal.append j ~seq:2L (ev_adopt 4 5 1));
+  Chaos.disarm ();
+  Alcotest.(check int) "failed append rolled back to the record boundary" size_before
+    (Journal.size_bytes j);
+  Journal.append j ~seq:2L (ev_adopt 4 5 1);
+  Journal.close j;
+  Alcotest.check records_t "retry after rollback leaves a clean journal"
+    [ (1L, ev_adopt 1 2 3); (2L, ev_adopt 4 5 1) ]
+    (Journal.events path)
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fast_policy =
+  {
+    Supervisor.max_attempts = 3;
+    base_delay = 0.0;
+    multiplier = 2.0;
+    max_delay = 0.0;
+    jitter = 0.0;
+    timeout = None;
+    quarantine_after = 2;
+    probe_every = 3;
+  }
+
+let test_supervisor_retries_then_succeeds () =
+  let sup = Supervisor.create ~policy:fast_policy ~seed:0 () in
+  let calls = ref 0 in
+  let r =
+    Supervisor.run sup ~name:"flaky" (fun _ ->
+        incr calls;
+        if !calls < 3 then raise (Sys_error "transient");
+        "ok")
+  in
+  Alcotest.(check (result string reject)) "third attempt lands" (Ok "ok") r;
+  Alcotest.(check int) "two retries consumed" 3 !calls;
+  Alcotest.(check int) "success resets the failure streak" 0
+    (Supervisor.consecutive_failures sup "flaky")
+
+let test_supervisor_quarantine_and_probe () =
+  let sup = Supervisor.create ~policy:fast_policy ~seed:0 () in
+  let calls = ref 0 in
+  let broken _ =
+    incr calls;
+    raise (Sys_error "down")
+  in
+  let expect_error what r =
+    match r with Ok _ -> Alcotest.failf "%s unexpectedly succeeded" what | Error (_ : Err.t) -> ()
+  in
+  expect_error "first" (Supervisor.run sup ~name:"dep" broken);
+  Alcotest.(check bool) "not yet quarantined" false (Supervisor.quarantined sup "dep");
+  expect_error "second" (Supervisor.run sup ~name:"dep" broken);
+  Alcotest.(check bool) "quarantined after 2 streak failures" true
+    (Supervisor.quarantined sup "dep");
+  Alcotest.(check int) "6 attempts so far" 6 !calls;
+  expect_error "short-circuit 1" (Supervisor.run sup ~name:"dep" broken);
+  expect_error "short-circuit 2" (Supervisor.run sup ~name:"dep" broken);
+  Alcotest.(check int) "quarantined calls never reach the operation" 6 !calls;
+  expect_error "probe" (Supervisor.run sup ~name:"dep" broken);
+  Alcotest.(check int) "every 3rd quarantined call probes" 9 !calls;
+  Supervisor.reset sup "dep";
+  Alcotest.(check bool) "reset lifts quarantine" false (Supervisor.quarantined sup "dep");
+  let r = Supervisor.run sup ~name:"dep" (fun _ -> 42) in
+  Alcotest.(check (result int reject)) "healthy after reset" (Ok 42) r
+
+let test_supervisor_backoff_deterministic () =
+  let policy = { Supervisor.default_policy with jitter = 0.5 } in
+  let delays seed =
+    let rng = Rng.create seed in
+    List.init 8 (fun k -> Supervisor.backoff_delay policy ~rng ~attempt:(k + 1))
+  in
+  Alcotest.(check (list (float 0.0))) "same seed, same schedule" (delays 11) (delays 11);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "delay within [0, max*(1+jitter)]" true
+        (d >= 0.0 && d <= policy.Supervisor.max_delay *. 1.5))
+    (delays 11);
+  Alcotest.(check bool) "different seeds differ somewhere" true (delays 11 <> delays 12)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_fault_trace spec site hits =
+  Chaos.configure spec;
+  let faults = ref [] in
+  for k = 1 to hits do
+    try Chaos.point site with Sys_error _ -> faults := k :: !faults
+  done;
+  Chaos.disarm ();
+  List.rev !faults
+
+let test_chaos_deterministic () =
+  let spec = "seed=3;fail=x.site:0.5" in
+  let a = chaos_fault_trace spec "x.site" 64 in
+  let b = chaos_fault_trace spec "x.site" 64 in
+  Alcotest.(check (list int)) "same spec, same fault schedule" a b;
+  Alcotest.(check bool) "p=0.5 faults sometimes, not always" true
+    (a <> [] && List.length a < 64);
+  let c = chaos_fault_trace "seed=4;fail=x.site:0.5" "x.site" 64 in
+  Alcotest.(check bool) "seed changes the schedule" true (a <> c)
+
+let test_chaos_disarmed_is_inert () =
+  Chaos.disarm ();
+  for _ = 1 to 100 do
+    Chaos.point "journal.append"
+  done;
+  Alcotest.(check bool) "disarmed points never fault" true (not (Chaos.active ()))
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let small_instance ?(users = 40) () =
+  let base = Scalability.with_users Scalability.default_config users in
+  Scalability.generate
+    { base with Scalability.num_items = users * 2; num_classes = 4; items_per_user = 10 }
+    ~seed:1
+
+let outcome_t =
+  Alcotest.testable
+    (fun ppf (o : Driver.outcome) ->
+      Format.fprintf ppf "seq=%Ld triples=%d realized=%.17g stale=%b" o.seq
+        (List.length o.triples) o.realized o.stale)
+    (fun a b ->
+      Int64.equal a.Driver.seq b.Driver.seq
+      && a.Driver.triples = b.Driver.triples
+      && Float.equal a.Driver.realized b.Driver.realized
+      && Bool.equal a.Driver.stale b.Driver.stale)
+
+let apply_all st wl =
+  List.iter
+    (fun ev -> match Server.apply st ev with Ok _ -> () | Error e -> Err.raise_ e)
+    wl
+
+(* Abandon a live server (no close, no final snapshot) and boot a second
+   one from its directory: the WAL alone must reproduce the state. *)
+let test_recovery_identity_in_process () =
+  with_temp_dir @@ fun dir ->
+  let inst = small_instance () in
+  let cfg =
+    { (Server.default_config ~data_dir:(Filename.concat dir "d")) with Server.snapshot_every = 17 }
+  in
+  let wl = Driver.synth_workload inst ~seed:2 ~events:60 in
+  let live = Server.create cfg inst in
+  apply_all live wl;
+  let expected = Driver.outcome_of_server live in
+  let recovered = Server.create cfg inst in
+  Alcotest.check outcome_t "crash recovery reproduces the live fold" expected
+    (Driver.outcome_of_server recovered);
+  Server.close recovered
+
+let test_transient_io_faults_keep_journal_clean () =
+  with_temp_dir @@ fun dir ->
+  let inst = small_instance ~users:20 () in
+  let cfg =
+    { (Server.default_config ~data_dir:(Filename.concat dir "d")) with Server.snapshot_every = 0 }
+  in
+  let wl = Driver.synth_workload inst ~seed:5 ~events:50 in
+  let live = Server.create cfg inst in
+  Chaos.configure "seed=9;fail=journal.append:0.3;fail=journal.mid_write:0.3";
+  let accepted = ref 0 and refused = ref 0 in
+  List.iter
+    (fun ev ->
+      match Server.apply live ev with Ok _ -> incr accepted | Error _ -> incr refused)
+    wl;
+  Chaos.disarm ();
+  Alcotest.(check bool) "chaos at p=0.3 refused nothing the retries could save" true
+    (!accepted > 0);
+  (* every accepted event must be a clean, gapless journal record *)
+  let seqs = List.map fst (Journal.events (Filename.concat dir "d/journal.wal")) in
+  Alcotest.(check (list int64)) "journal is gapless despite injected tears"
+    (List.init !accepted (fun k -> Int64.of_int (k + 1)))
+    seqs;
+  let expected = Driver.outcome_of_server live in
+  let recovered = Server.create cfg inst in
+  Alcotest.check outcome_t "recovery matches the live fold" expected
+    (Driver.outcome_of_server recovered);
+  Server.close recovered
+
+let test_degraded_mode_and_repair () =
+  with_temp_dir @@ fun dir ->
+  let inst = small_instance ~users:20 () in
+  let cfg =
+    {
+      (Server.default_config ~data_dir:(Filename.concat dir "d")) with
+      Server.replan_evals = Some 1;
+    }
+  in
+  let st = Server.create cfg inst in
+  (* adopt a planned pair so a (truncated) replan must run *)
+  let z =
+    match Strategy.to_list (Server.strategy st) with
+    | z :: _ -> z
+    | [] -> Alcotest.fail "initial plan is empty"
+  in
+  (match Server.apply st (Journal.Adopt { u = z.u; i = z.i; t = z.t }) with
+  | Ok _ -> ()
+  | Error e -> Err.raise_ e);
+  Alcotest.(check bool) "1-evaluation replan truncates: user is stale" true
+    (List.mem z.u (Server.stale_users st));
+  let _, stale = Server.topk st ~u:z.u ~time:z.t ~k:3 in
+  Alcotest.(check bool) "answers carry the stale flag" true stale;
+  (match Server.apply st Journal.Repair with Ok _ -> () | Error e -> Err.raise_ e);
+  Alcotest.(check (list int)) "repair replans unbounded and clears staleness" []
+    (Server.stale_users st);
+  let _, stale = Server.topk st ~u:z.u ~time:z.t ~k:3 in
+  Alcotest.(check bool) "answers are fresh again" false stale;
+  Server.close st
+
+let test_corrupt_snapshot_is_typed_error () =
+  with_temp_dir @@ fun dir ->
+  let inst = small_instance ~users:10 () in
+  let cfg = Server.default_config ~data_dir:(Filename.concat dir "d") in
+  let st = Server.create cfg inst in
+  Server.close st;
+  let snap = Filename.concat dir "d/snapshot.revmax" in
+  Out_channel.with_open_bin snap (fun oc -> Out_channel.output_string oc "revmax-serve-snapshot 1\nseq zebra\n");
+  (match Server.create cfg inst with
+  | exception Err.Error (Err.Parse_error _) -> ()
+  | exception e -> Alcotest.failf "wanted Parse_error, got %s" (Printexc.to_string e)
+  | st2 ->
+      Server.close st2;
+      Alcotest.fail "corrupt snapshot silently accepted")
+
+let test_topk_scores_and_order () =
+  with_temp_dir @@ fun _dir ->
+  let inst = small_instance ~users:10 () in
+  let s, _ = Revmax.Greedy.run inst in
+  let all = Strategy.to_list s in
+  List.iter
+    (fun (z : Revmax.Triple.t) ->
+      let items = Server.topk_of_strategy inst s ~u:z.u ~time:z.t ~k:1000 in
+      let planned =
+        List.filter (fun (w : Revmax.Triple.t) -> w.u = z.u && w.t = z.t) all |> List.length
+      in
+      Alcotest.(check int) "every planned slot is answered" planned (List.length items);
+      Alcotest.(check bool) "scores are sorted non-increasing" true
+        (let rec sorted = function
+           | (_, a) :: ((_, b) :: _ as rest) -> a >= b && sorted rest
+           | _ -> true
+         in
+         sorted items);
+      List.iter
+        (fun (i, score) ->
+          Alcotest.(check bool) "score is price × in-plan adoption probability" true
+            (Float.equal score
+               (Instance.price inst ~i ~time:z.t
+               *. Revmax.Revenue.dynamic_probability_in s (Revmax.Triple.make ~u:z.u ~i ~t:z.t))))
+        items)
+    (List.filteri (fun k _ -> k < 10) all)
+
+let test_invalid_events_refused_without_journaling () =
+  with_temp_dir @@ fun dir ->
+  let inst = small_instance ~users:10 () in
+  let cfg =
+    { (Server.default_config ~data_dir:(Filename.concat dir "d")) with Server.snapshot_every = 0 }
+  in
+  let st = Server.create cfg inst in
+  List.iter
+    (fun ev ->
+      match Server.apply st ev with
+      | Ok _ -> Alcotest.failf "hostile event accepted: %a" Journal.pp_event ev
+      | Error (_ : Err.t) -> ())
+    [
+      Journal.Adopt { u = -1; i = 0; t = 1 };
+      Journal.Adopt { u = 0; i = 10_000; t = 1 };
+      Journal.Click { u = 0; i = 0; t = 0 };
+      Journal.Cap { i = -3; delta = 1 };
+    ];
+  Alcotest.(check int64) "nothing applied" 0L (Server.seq st);
+  Alcotest.(check (list (pair int64 event_t))) "nothing journaled" []
+    (Journal.events (Filename.concat dir "d/journal.wal"));
+  Server.close st
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_roundtrip () =
+  let reqs =
+    [
+      Server.Wire.Topk { u = 7; time = 3; k = 5 };
+      Server.Wire.Event (ev_adopt 1 2 3);
+      Server.Wire.Event (ev_click 4 5 1);
+      Server.Wire.Event (Journal.Cap { i = 9; delta = -4 });
+      Server.Wire.Event Journal.Repair;
+      Server.Wire.Stats;
+      Server.Wire.Snapshot;
+      Server.Wire.Dump;
+      Server.Wire.Shutdown;
+    ]
+  in
+  List.iter
+    (fun req ->
+      match Server.Wire.decode_request (Server.Wire.encode_request req) with
+      | Ok req' -> Alcotest.(check bool) "request roundtrip" true (req = req')
+      | Error msg -> Alcotest.failf "request failed to roundtrip: %s" msg)
+    reqs;
+  let resps =
+    [
+      Server.Wire.Items { stale = true; items = [ (3, 1.5); (9, 0.25) ] };
+      Server.Wire.Items { stale = false; items = [] };
+      Server.Wire.Ack { seq = 77L; stale = false };
+      Server.Wire.Stats_r { seq = 1L; size = 2; stale = true; realized = 3.25; now = 4 };
+      Server.Wire.Dump_r [ (1, 2, 3); (4, 5, 6) ];
+      Server.Wire.Err_r "nope";
+    ]
+  in
+  List.iter
+    (fun resp ->
+      match Server.Wire.decode_response (Server.Wire.encode_response resp) with
+      | Ok resp' -> Alcotest.(check bool) "response roundtrip" true (resp = resp')
+      | Error msg -> Alcotest.failf "response failed to roundtrip: %s" msg)
+    resps
+
+let test_wire_hostile_bytes_never_raise () =
+  let rng = Rng.create 99 in
+  for _ = 1 to 500 do
+    let len = Rng.int rng 40 in
+    let b = Bytes.init len (fun _ -> Char.chr (Rng.int rng 256)) in
+    (match Server.Wire.decode_request b with Ok _ | Error _ -> ());
+    match Server.Wire.decode_response b with Ok _ | Error _ -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fork/kill/restart driver                                            *)
+(* ------------------------------------------------------------------ *)
+
+let check_replay name (r : Driver.report) =
+  if not r.identical then
+    Alcotest.failf "%s diverged:@.  expected %a@.  actual   %a" name
+      (fun ppf (o : Driver.outcome) ->
+        Format.fprintf ppf "seq=%Ld triples=%d realized=%.17g" o.seq (List.length o.triples)
+          o.realized)
+      r.expected
+      (fun ppf (o : Driver.outcome) ->
+        Format.fprintf ppf "seq=%Ld triples=%d realized=%.17g" o.seq (List.length o.triples)
+          o.realized)
+      r.actual
+
+let test_driver_sigkill_schedule_identity () =
+  with_temp_dir @@ fun dir ->
+  let inst = small_instance () in
+  let cfg =
+    { (Server.default_config ~data_dir:(Filename.concat dir "d")) with Server.snapshot_every = 13 }
+  in
+  let wl = Driver.synth_workload inst ~seed:3 ~events:70 in
+  let r = Driver.run_replay ~kill_every:18 cfg inst wl in
+  check_replay "kill-every-18" r;
+  Alcotest.(check bool) "the schedule actually killed the child" true (r.restarts >= 3)
+
+let test_driver_chaos_torn_write_identity () =
+  with_temp_dir @@ fun dir ->
+  let inst = small_instance () in
+  let cfg = Server.default_config ~data_dir:(Filename.concat dir "d") in
+  let wl = Driver.synth_workload inst ~seed:4 ~events:60 in
+  let r = Driver.run_replay ~chaos:"seed=7;crash=journal.mid_write:25" cfg inst wl in
+  check_replay "torn-write crashes" r;
+  Alcotest.(check bool) "seeded crashes fired" true (r.restarts >= 1)
+
+let test_driver_batched_fsync_loss_is_resent () =
+  with_temp_dir @@ fun dir ->
+  let inst = small_instance () in
+  let cfg =
+    {
+      (Server.default_config ~data_dir:(Filename.concat dir "d")) with
+      Server.sync_every = 8;
+      snapshot_every = 0;
+    }
+  in
+  let wl = Driver.synth_workload inst ~seed:6 ~events:50 in
+  let r = Driver.run_replay ~kill_every:11 cfg inst wl in
+  check_replay "acked-but-unsynced suffix resent after SIGKILL" r;
+  Alcotest.(check bool) "some events needed resending" true (r.events_sent >= List.length wl)
+
+(* ------------------------------------------------------------------ *)
+(* SIGPIPE hardening                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_client_disconnect_does_not_kill_server () =
+  with_temp_dir @@ fun dir ->
+  let inst = small_instance ~users:10 () in
+  let cfg = Server.default_config ~data_dir:(Filename.concat dir "d") in
+  let parent_sock, child_sock = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      Unix.close parent_sock;
+      let code =
+        try
+          let st = Server.create cfg inst in
+          Server.serve st ~in_fd:child_sock ~out_fd:child_sock;
+          Server.close st;
+          0
+        with _ -> 1
+      in
+      Stdlib.exit code
+  | pid ->
+      Unix.close child_sock;
+      (* enough pipelined requests that the server is still writing
+         responses when the client vanishes *)
+      let req = Server.Wire.encode_request (Server.Wire.Dump) in
+      (try
+         for _ = 1 to 200 do
+           Server.Wire.write_frame parent_sock req
+         done
+       with Unix.Unix_error _ -> ());
+      Unix.close parent_sock;
+      let _, status = Unix.waitpid [] pid in
+      Alcotest.(check bool) "server exits cleanly after EPIPE, not by signal" true
+        (status = Unix.WEXITED 0)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "journal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "truncated tail self-heals" `Quick test_journal_truncated_tail_heals;
+          Alcotest.test_case "bit flip drops the suffix" `Quick test_journal_bit_flip_drops_suffix;
+          Alcotest.test_case "rotation" `Quick test_journal_rotate;
+          Alcotest.test_case "batched fsync accounting" `Quick test_journal_sync_batching;
+          Alcotest.test_case "injected tear rolls back" `Quick
+            test_journal_injected_tear_rolls_back;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "retries then succeeds" `Quick test_supervisor_retries_then_succeeds;
+          Alcotest.test_case "quarantine and probe" `Quick test_supervisor_quarantine_and_probe;
+          Alcotest.test_case "backoff is deterministic" `Quick
+            test_supervisor_backoff_deterministic;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "fault schedule is seeded" `Quick test_chaos_deterministic;
+          Alcotest.test_case "disarmed is inert" `Quick test_chaos_disarmed_is_inert;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "in-process recovery identity" `Quick
+            test_recovery_identity_in_process;
+          Alcotest.test_case "transient IO faults keep the journal clean" `Quick
+            test_transient_io_faults_keep_journal_clean;
+          Alcotest.test_case "degraded mode and repair" `Quick test_degraded_mode_and_repair;
+          Alcotest.test_case "corrupt snapshot is a typed error" `Quick
+            test_corrupt_snapshot_is_typed_error;
+          Alcotest.test_case "topk scoring and order" `Quick test_topk_scores_and_order;
+          Alcotest.test_case "hostile events refused unjournaled" `Quick
+            test_invalid_events_refused_without_journaling;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "codec roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "hostile bytes never raise" `Quick
+            test_wire_hostile_bytes_never_raise;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "SIGKILL schedule identity" `Quick
+            test_driver_sigkill_schedule_identity;
+          Alcotest.test_case "chaos torn-write identity" `Quick
+            test_driver_chaos_torn_write_identity;
+          Alcotest.test_case "batched-fsync loss is resent" `Quick
+            test_driver_batched_fsync_loss_is_resent;
+        ] );
+      ( "sigpipe",
+        [
+          Alcotest.test_case "client disconnect does not kill the server" `Quick
+            test_client_disconnect_does_not_kill_server;
+        ] );
+    ]
