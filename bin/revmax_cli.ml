@@ -326,15 +326,34 @@ let plan_cmd =
 
 (* ----- solve (file-based workflow) ----- *)
 
+(* A pack file opens memory-mapped (the out-of-core path); anything else
+   goes through the text instance reader. Sniffed by the 8-byte magic so
+   both formats work at every file-taking entry point. *)
+let load_instance_auto file =
+  let is_pack =
+    match open_in_bin file with
+    | exception Sys_error _ -> false
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> match really_input_string ic 8 with
+            | magic -> magic = "REVMAXPK"
+            | exception End_of_file -> false)
+  in
+  if is_pack then Instance.of_mmap_checked file else Revmax.Io.load_instance_result file
+
 let solve_cmd =
   let file_arg =
     Arg.(
       required
       & pos 0 (some file) None
-      & info [] ~docv:"INSTANCE" ~doc:"Instance file in the revmax-instance format (see Revmax.Io).")
+      & info [] ~docv:"INSTANCE"
+          ~doc:
+            "Instance file: either the revmax-instance text format (see Revmax.Io) or a pack \
+             file (see $(b,pack)), which is opened memory-mapped.")
   in
   let run cfg file algo simulate save_strategy deadline max_evals =
-    match Revmax.Io.load_instance_result file with
+    match load_instance_auto file with
     | Error e -> `Error (false, Revmax_prelude.Err.message e)
     | Ok inst ->
         Format.printf "instance: %a@." Instance.pp_stats inst;
@@ -366,6 +385,112 @@ let solve_cmd =
       ret
         (const run $ config_term $ file_arg $ algo_arg $ simulate_arg $ save_strategy_arg
        $ deadline_arg $ max_evals_arg))
+
+(* ----- pack (out-of-core instance files) ----- *)
+
+let pack_cmd =
+  let out_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Output pack file (overwritten if present).")
+  in
+  let from_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "from" ] ~docv:"INSTANCE"
+          ~doc:
+            "Convert this revmax-instance text file to a pack instead of generating a synthetic \
+             instance.")
+  in
+  let d = Scalability.default_config in
+  let users_arg =
+    Arg.(
+      value
+      & opt int d.Scalability.num_users
+      & info [ "users" ] ~docv:"N" ~doc:"Synthetic instance: number of users.")
+  in
+  let items_arg =
+    Arg.(
+      value
+      & opt int d.Scalability.num_items
+      & info [ "items" ] ~docv:"N" ~doc:"Synthetic instance: number of items.")
+  in
+  let classes_arg =
+    Arg.(
+      value
+      & opt int d.Scalability.num_classes
+      & info [ "classes" ] ~docv:"N" ~doc:"Synthetic instance: number of item classes.")
+  in
+  let ipu_arg =
+    Arg.(
+      value
+      & opt int d.Scalability.items_per_user
+      & info [ "items-per-user" ] ~docv:"N"
+          ~doc:"Synthetic instance: candidate items per user.")
+  in
+  let horizon_arg =
+    Arg.(
+      value
+      & opt int d.Scalability.horizon
+      & info [ "horizon" ] ~docv:"T" ~doc:"Synthetic instance: number of time steps.")
+  in
+  let k_arg =
+    Arg.(
+      value
+      & opt int d.Scalability.display_limit
+      & info [ "display-limit" ] ~docv:"K"
+          ~doc:"Synthetic instance: recommendations per (user, time step).")
+  in
+  let run cfg out from users items classes ipu horizon k =
+    let packed =
+      match from with
+      | Some file -> (
+          match Revmax.Io.load_instance_result file with
+          | Error e -> Error (Revmax_prelude.Err.message e)
+          | Ok inst -> (
+              match Instance.pack_to_file inst out with
+              | () -> Ok ()
+              | exception Invalid_argument msg -> Error msg))
+      | None ->
+          let scfg =
+            Scalability.with_users
+              {
+                Scalability.default_config with
+                num_items = items;
+                num_classes = classes;
+                items_per_user = ipu;
+                horizon;
+                display_limit = k;
+              }
+              users
+          in
+          Ok (Scalability.generate_pack scfg ~seed:cfg.Config.seed ~path:out)
+    in
+    match packed with
+    | Error msg -> `Error (false, msg)
+    | Ok () -> (
+        (* re-open what was just written: the same validation pass every
+           consumer runs, so a bad pack never leaves this command quietly *)
+        match Instance.of_mmap_checked out with
+        | Error e -> `Error (false, Revmax_prelude.Err.message e)
+        | Ok inst ->
+            Format.printf "packed instance: %a@." Instance.pp_stats inst;
+            Printf.printf "%s: %d bytes (memory-mappable; use with `revmax solve')\n" out
+              (Unix.stat out).Unix.st_size;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "pack"
+       ~doc:
+         "Write a memory-mappable pack instance: stream a synthetic scalability dataset \
+          straight to disk (the instance never lives in memory), or convert a text instance \
+          with $(b,--from). Pack files open out-of-core in $(b,solve).")
+    Term.(
+      ret
+        (const run $ config_term $ out_arg $ from_arg $ users_arg $ items_arg $ classes_arg
+       $ ipu_arg $ horizon_arg $ k_arg))
 
 (* ----- serve / replay (online serving layer) ----- *)
 
@@ -554,4 +679,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; experiment_cmd; datasets_cmd; plan_cmd; solve_cmd; serve_cmd; replay_cmd ]))
+          [
+            list_cmd; experiment_cmd; datasets_cmd; plan_cmd; solve_cmd; pack_cmd; serve_cmd;
+            replay_cmd;
+          ]))

@@ -38,72 +38,107 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
   let num_classes = Instance.num_classes inst in
   let horizon = Instance.horizon inst in
   let display_limit = Instance.display_limit inst in
-  (* Candidates are carried through the heaps as packed integer ids —
-     cid = ((u·num_items) + i)·stride + t — so the selection loop recovers
-     (u, i, t) by arithmetic alone instead of dereferencing a per-element
-     record. Every instance fact the oracle needs lives in a flat unboxed
-     array indexed by cid (or by the much smaller item/time key): q0 per
-     candidate, price per (item, time), saturation per item, and the
-     lazy-forward staleness stamp [flag] (the chain length at the last
-     evaluation). A heap element is then an immediate int: popping the
+  (* Candidates are carried through the heaps as packed integer ids — the
+     {e entry id} eid = (pid − plo)·stride + t over the instance's CSR
+     pair ids (pid), with plo the view's first pair — so every per-run
+     array is O(view candidate pairs), never O(num_users · num_items):
+     the dense (u·num_items + i) keying of the previous revision
+     materialized 80 GB of per-candidate state at 10^6 users × 10^4
+     items. Pair ids are strictly increasing in (user, item) lexicographic
+     order, hence eids in (user, item, time) order — exactly the order of
+     the old dense cids — so using eids as heap tie-breakers (and pair
+     ranks as group keys) reproduces every historical tie decision
+     bit-for-bit. A heap element is then an immediate int: popping the
      root, checking feasibility and calling the oracle touch no heap
      records, no float boxes, and trigger no GC write barrier. *)
   let stride = horizon + 1 in
-  let ncid = num_users * num_items * stride in
-  (* [flag] and [q0] interleave in one float array — slots 2·cid and
-     2·cid + 1 — because the loop reads both for the same cid back to back
-     and the candidate id is the one random index of a cycle: one fetched
-     cache line serves both reads. Chain lengths are small integers, exact
-     in floating point, so the staleness stamp compares exactly. *)
-  let fq = Array.make (2 * ncid) 0.0 in
+  let plo, phi = Instance.pair_range inst in
+  let npairs = phi - plo in
+  let neid = npairs * stride in
+  (* staleness stamp per entry — the chain length at the last evaluation.
+     Chain lengths are small integers, exact in floating point, so the
+     stamp compares exactly. The adoption probability itself is no longer
+     mirrored per entry: [Instance.pair_q] reads the same IEEE double
+     straight from the CSR row (heap array or mmapped pack). *)
+  let stamp = Array.make neid 0.0 in
   let cls_arr = Array.init num_items (Instance.class_of inst) in
   let prf = Array.make (num_items * stride) 0.0 in
   let beta_arr = Array.init num_items (Instance.saturation inst) in
-  (* per-run chain cache: chain pointers are stable for the whole run (a
-     greedy only adds triples, and Strategy never replaces a live chain), so
-     one flat array replaces the per-evaluation hashtable probe. Slots flip
-     from None to Some exactly once, at the first accept into that chain. *)
-  let chains = Array.make (num_users * num_classes) None in
-  (for u = 0 to num_users - 1 do
-     for cls = 0 to num_classes - 1 do
-       let ck = (u * num_classes) + cls in
-       match Strategy.chain_view s ~u ~cls with Some _ as c -> chains.(ck) <- c | None -> ()
-     done
-   done);
-  let chain_size_ck ck = match chains.(ck) with None -> 0 | Some c -> Chain.length c in
+  (* per-pair decode mirrors: pops recover (u, i) by two array reads
+     instead of binary-searching the CSR rows *)
+  let pu = Array.make npairs 0 in
+  let pi_arr = Array.make npairs 0 in
+  (* Per-run chain cache, keyed by compact {e chain slots}: every pair of
+     one user whose items share a class shares a slot, so the cache is
+     O(view pairs) — the previous dense (u·num_classes + cls) array would
+     be 4 GB at 10^6 users × 500 classes, almost all of it never touched.
+     Slots are assigned in pair-id order via a per-user class mark; chain
+     pointers are stable for the whole run (a greedy only adds triples,
+     and Strategy never replaces a live chain), so slots flip from None to
+     Some at most once, at the first accept into that chain. *)
+  let chain_slot = Array.make npairs 0 in
+  let nslots = ref 0 in
+  let slot_u = Array.make (max 1 npairs) 0 in
+  let slot_cls = Array.make (max 1 npairs) 0 in
+  let mark = Array.make (max 1 num_classes) 0 in
+  let mark_user = Array.make (max 1 num_classes) (-1) in
+  Instance.iter_candidate_pairs inst (fun ~u ~pid ->
+      let rel = pid - plo in
+      let i = Instance.pair_item inst pid in
+      pu.(rel) <- u;
+      pi_arr.(rel) <- i;
+      let cls = cls_arr.(i) in
+      if mark_user.(cls) <> u then begin
+        mark_user.(cls) <- u;
+        mark.(cls) <- !nslots;
+        slot_u.(!nslots) <- u;
+        slot_cls.(!nslots) <- cls;
+        incr nslots
+      end;
+      chain_slot.(rel) <- mark.(cls));
+  let chains = Array.make (max 1 !nslots) None in
+  (match base with
+  | None -> ()
+  | Some _ ->
+      for sl = 0 to !nslots - 1 do
+        match Strategy.chain_view s ~u:slot_u.(sl) ~cls:slot_cls.(sl) with
+        | Some _ as c -> chains.(sl) <- c
+        | None -> ()
+      done);
+  let chain_size_slot sl = match chains.(sl) with None -> 0 | Some c -> Chain.length c in
   (* result cell of the oracle and of [Tl.max_key_into]: floats enter and
      leave the per-cycle calls through preallocated cells, because without
      flambda every float argument or result of a non-inlined call is boxed
      on the minor heap — with ~10^6 cycles per run those boxes were the
      last allocation left on the steady-state path *)
   let res = [| 0.0 |] in
-  let marginal_into cid u i t =
+  let marginal_into eid u i t =
     incr evals;
     (match budget with Some b -> Budget.spend b 1 | None -> ());
     match evaluator with
     | `Naive -> res.(0) <- Revenue.marginal ~with_saturation s (Triple.make ~u ~i ~t)
     | `Incremental -> (
         (* the open-coded {!Revenue.marginal_incremental}: same arithmetic,
-           but the instance facts come from the flat per-candidate arrays
-           and the chain from the flat cache, so a steady-state evaluation
-           performs no hashtable lookup and no allocation (these oracle
-           calls are accounted under greedy.marginal_evaluations /
-           chain.marginals) *)
-        match chains.((u * num_classes) + cls_arr.(i)) with
+           but the instance facts come from the CSR row and the flat
+           per-item arrays, and the chain from the slot cache, so a
+           steady-state evaluation performs no hashtable lookup and no
+           allocation (these oracle calls are accounted under
+           greedy.marginal_evaluations / chain.marginals) *)
+        match chains.(chain_slot.(eid / stride)) with
         | Some c ->
             let cells = Chain.oracle_cells c in
-            cells.(3) <- fq.((2 * cid) + 1);
+            cells.(3) <- Instance.pair_q inst ~pid:(plo + (eid / stride)) ~time:t;
             cells.(4) <- prf.((i * stride) + t);
             cells.(5) <- beta_arr.(i);
             Chain.marginal_cells ~with_saturation c ~time:t ~res
         | None ->
-            let qz = fq.((2 * cid) + 1) in
+            let qz = Instance.pair_q inst ~pid:(plo + (eid / stride)) ~time:t in
             res.(0) <- (if qz <= 0.0 then 0.0 else prf.((i * stride) + t) *. qz))
   in
   (* boxed-float view of the oracle for the cold paths (initial keys, bulk
      group refreshes) *)
-  let marginal_cid cid u i t =
-    marginal_into cid u i t;
+  let marginal_eid eid u i t =
+    marginal_into eid u i t;
     res.(0)
   in
   (* the budget is consulted between selections only, and only after at
@@ -121,37 +156,57 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
      holder set and count per item. The strategy remains the source of
      truth (accept still goes through [Strategy.add]); these are read on
      every heap pop, where four hashtable probes per cycle dominated the
-     selection loop. A membership re-check is unnecessary: the heaps hold
+     selection loop. The holder set is keyed by pair id (one byte per view
+     pair); a base strategy's out-of-view triples spill into a side table
+     that no popped candidate ever consults — candidates are view pairs by
+     construction. A membership re-check is unnecessary: the heaps hold
      each candidate at most once and a selected triple is deleted before
      [accept], so a popped element can never already be in the strategy. *)
   let capacity = Array.init num_items (Instance.capacity inst) in
   let disp = Array.make (num_users * stride) 0 in
-  let holds = Array.make (num_users * num_items) false in
+  let holds = Bytes.make npairs '\000' in
+  let holds_extra = Hashtbl.create 16 in
   let holders = Array.make num_items 0 in
   let note (z : Triple.t) =
     let dk = (z.u * stride) + z.t in
     disp.(dk) <- disp.(dk) + 1;
-    let hk = (z.u * num_items) + z.i in
-    if not holds.(hk) then begin
-      holds.(hk) <- true;
-      holders.(z.i) <- holders.(z.i) + 1
+    let pid = Instance.pair_find inst ~u:z.u ~i:z.i in
+    if pid >= plo && pid < phi then begin
+      if Bytes.get holds (pid - plo) = '\000' then begin
+        Bytes.set holds (pid - plo) '\001';
+        holders.(z.i) <- holders.(z.i) + 1
+      end
+    end
+    else begin
+      let hk = (z.u * num_items) + z.i in
+      if not (Hashtbl.mem holds_extra hk) then begin
+        Hashtbl.replace holds_extra hk ();
+        holders.(z.i) <- holders.(z.i) + 1
+      end
     end
   in
   List.iter note (Strategy.to_list s);
-  let feasible u i t =
+  (* feasibility of a popped candidate: candidates always carry their own
+     view pair, so the holder probe is one byte read *)
+  let feasible rel u i t =
     disp.((u * stride) + t) < display_limit
-    && (holds.((u * num_items) + i) || holders.(i) < capacity.(i))
+    && (Bytes.get holds rel <> '\000' || holders.(i) < capacity.(i))
   in
   (* the accepted marginal arrives through [res.(0)], not a float argument:
      without flambda a float parameter is boxed at the call boundary, and
      [accept] runs once per selected triple in the steady-state loop *)
-  let accept u i t ck =
+  let accept rel u i t sl =
     let z = Triple.make ~u ~i ~t in
     Strategy.add s z;
-    note z;
-    (match chains.(ck) with
+    let dk = (u * stride) + t in
+    disp.(dk) <- disp.(dk) + 1;
+    if Bytes.get holds rel = '\000' then begin
+      Bytes.set holds rel '\001';
+      holders.(i) <- holders.(i) + 1
+    end;
+    (match chains.(sl) with
     | Some _ -> () (* same chain, mutated in place *)
-    | None -> chains.(ck) <- Strategy.chain_view_of_triple s z);
+    | None -> chains.(sl) <- Strategy.chain_view_of_triple s z);
     incr selected;
     (* a selection is a unit of work even when its key came from the
        closed-form path below and cost no oracle call *)
@@ -164,23 +219,20 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
   in
   (* key for a triple whose chain is known empty: marginal reduces to p·q
      (Algorithm 1 line 8); avoids an oracle call per candidate at startup *)
-  let build_key (z : Triple.t) cid ck =
-    if chain_size_ck ck = 0 then prf.((z.i * stride) + z.t) *. fq.((2 * cid) + 1)
-    else marginal_cid cid z.u z.i z.t
+  let build_key eid u i t qv sl =
+    if chain_size_slot sl = 0 then prf.((i * stride) + t) *. qv else marginal_eid eid u i t
   in
-  let register (z : Triple.t) q =
-    let cid = (((z.u * num_items) + z.i) * stride) + z.t in
-    prf.((z.i * stride) + z.t) <- Instance.price inst ~i:z.i ~time:z.t;
-    let ck = (z.u * num_classes) + cls_arr.(z.i) in
-    fq.(2 * cid) <- float_of_int (chain_size_ck ck);
-    fq.((2 * cid) + 1) <- q;
-    (cid, ck)
+  let register rel i t sl =
+    let eid = (rel * stride) + t in
+    prf.((i * stride) + t) <- Instance.price inst ~i ~time:t;
+    stamp.(eid) <- float_of_int (chain_size_slot sl);
+    eid
   in
   (match heap with
   | `Two_level ->
       let h = Tl.create () in
-      (* Groups are keyed by the paper's (user, item) pair — the packed
-         [ui = u·num_items + i] — so a refresh event touches one pair's
+      (* Groups are keyed by the paper's (user, item) pair — the view pair
+         rank [pid − plo] — so a refresh event touches one pair's
          horizon-bounded lower heap, exactly §5.1's granularity. A
          selection staleness-marks every candidate of one (user, class),
          i.e. all pairs of the user's same-class items, but the lazy loop
@@ -188,21 +240,28 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
          global root before being re-staled; with the coarser user-sized
          groups every event would recompute the whole stale set at once,
          several times more oracle calls for the same trajectory. *)
-      Instance.iter_candidate_triples inst (fun z q ->
-          if allowed z && not (Strategy.mem s z) then begin
-            let cid, ck = register z q in
-            Tl.insert h ~pair:((z.u * num_items) + z.i) ~key:(build_key z cid ck) ~tie:cid cid
-          end);
+      Instance.iter_candidate_pairs inst (fun ~u ~pid ->
+          let rel = pid - plo in
+          let i = pi_arr.(rel) in
+          let sl = chain_slot.(rel) in
+          for t = 1 to horizon do
+            let qv = Instance.pair_q inst ~pid ~time:t in
+            if qv > 0.0 then begin
+              let z = Triple.make ~u ~i ~t in
+              if allowed z && not (Strategy.mem s z) then begin
+                let eid = register rel i t sl in
+                Tl.insert h ~pair:rel ~key:(build_key eid u i t qv sl) ~tie:eid eid
+              end
+            end
+          done);
       (* Recompute one entry's key and staleness stamp; the fresh key is
          left in [res.(0)] for [Tl.refresh_pair_into] to store. Hoisted so
          the refresh calls share one closure instead of allocating one per
          event. *)
-      let refresh_entry cid' =
-        let ui' = cid' / stride in
-        let i' = ui' mod num_items in
-        let u' = ui' / num_items in
-        fq.(2 * cid') <- float_of_int (chain_size_ck ((u' * num_classes) + cls_arr.(i')));
-        marginal_into cid' u' i' (cid' mod stride)
+      let refresh_entry eid' =
+        let rel' = eid' / stride in
+        stamp.(eid') <- float_of_int (chain_size_slot chain_slot.(rel'));
+        marginal_into eid' pu.(rel') pi_arr.(rel') (eid' mod stride)
       in
       (* CELF-style lazy skip, made exact: re-evaluate only the entries
          whose staleness stamp shows their (user, class) chain grew since
@@ -221,36 +280,36 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
          fires (and pays off) under coarser groupings, and keeping it in
          the default path documents the soundness argument lazy skipping
          must meet. *)
-      let refresh_entry_memo cid' =
-        let ui' = cid' / stride in
-        let i' = ui' mod num_items in
-        let u' = ui' / num_items in
-        let cur' = float_of_int (chain_size_ck ((u' * num_classes) + cls_arr.(i'))) in
-        if fq.(2 * cid') < cur' then begin
-          fq.(2 * cid') <- cur';
-          marginal_into cid' u' i' (cid' mod stride)
+      let refresh_entry_memo eid' =
+        let rel' = eid' / stride in
+        let cur' = float_of_int (chain_size_slot chain_slot.(rel')) in
+        if stamp.(eid') < cur' then begin
+          stamp.(eid') <- cur';
+          marginal_into eid' pu.(rel') pi_arr.(rel') (eid' mod stride)
         end
         else incr celf_skips (* res.(0) keeps the stored key *)
       in
-      (* eager mode: after each selection refresh every candidate of the
-         selected triple's (user, class) — every same-class pair group of
-         the user; the user's other-class pairs keep their keys *)
+      (* eager mode: after each selection refresh every candidate pair of
+         the selected triple's (user, class) — walking the user's CSR row
+         visits exactly the class's live groups in the same ascending item
+         order the historical all-items sweep refreshed them in *)
       let eager_refresh u sel_i =
         let cls = cls_arr.(sel_i) in
-        for i' = 0 to num_items - 1 do
-          if cls_arr.(i') = cls then
-            Tl.refresh_pair_into h ((u * num_items) + i') res ~f:refresh_entry
+        let lo, hi = Instance.pair_row inst u in
+        for pid = lo to hi - 1 do
+          if cls_arr.(pi_arr.(pid - plo)) = cls then
+            Tl.refresh_pair_into h (pid - plo) res ~f:refresh_entry
         done
       in
       let rec loop () =
         if (not (out_of_budget ())) && not (Tl.is_empty h) then begin
-          let cid = Tl.max_elt h in
-          let t = cid mod stride in
-          let ui = cid / stride in
-          let i = ui mod num_items in
-          let u = ui / num_items in
+          let eid = Tl.max_elt h in
+          let t = eid mod stride in
+          let rel = eid / stride in
+          let i = pi_arr.(rel) in
+          let u = pu.(rel) in
           incr pops;
-          if not (feasible u i t) then begin
+          if not (feasible rel u i t) then begin
             (* both display fill and capacity blocks are permanent during a
                run (the strategy only grows), so the entry is dropped for
                good — each blocked candidate costs at most one pop *)
@@ -258,17 +317,17 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
             loop ()
           end
           else begin
-            let ck = (u * num_classes) + cls_arr.(i) in
-            let cur = chain_size_ck ck in
-            if fq.(2 * cid) < float_of_int cur then begin
+            let sl = chain_slot.(rel) in
+            let cur = chain_size_slot sl in
+            if stamp.(eid) < float_of_int cur then begin
               (* stale root: re-evaluate its (user, item) group in place —
                  all [T] time slots of the pair — through the cell ABI
                  (allocation-free). [`Celf] additionally stamp-skips
                  entries whose chain is provably unchanged; see
                  [refresh_entry_memo] above. *)
               (match lazy_policy with
-              | `Refresh_pair -> Tl.refresh_pair_into h ui res ~f:refresh_entry
-              | `Celf -> Tl.refresh_pair_into h ui res ~f:refresh_entry_memo);
+              | `Refresh_pair -> Tl.refresh_pair_into h rel res ~f:refresh_entry
+              | `Celf -> Tl.refresh_pair_into h rel res ~f:refresh_entry_memo);
               loop ()
             end
             else begin
@@ -281,7 +340,7 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
               match Tl.celf_step h res with
               | `Finished -> () (* fresh maximum non-positive: done *)
               | `Accepted ->
-                  accept u i t ck;
+                  accept rel u i t sl;
                   if not lazy_forward then eager_refresh u i;
                   loop ()
               | `Rekeyed -> loop ()
@@ -306,18 +365,27 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
         List.iter
           (fun hd ->
             if Bh.contains h hd then begin
-              let u = Bh.value hd / (num_items * stride) in
-              if not holds.((u * num_items) + i) then Bh.remove h hd
+              let rel = Bh.value hd / stride in
+              if Bytes.get holds rel = '\000' then Bh.remove h hd
             end)
           by_item.(i);
         by_item.(i) <- []
       in
       let maybe_purge i = if (not item_purged.(i)) && holders.(i) >= capacity.(i) then purge i in
-      Instance.iter_candidate_triples inst (fun z q ->
-          if allowed z && not (Strategy.mem s z) then begin
-            let cid, ck = register z q in
-            track z.i (Bh.insert h ~key:(build_key z cid ck) ~tie:cid cid)
-          end);
+      Instance.iter_candidate_pairs inst (fun ~u ~pid ->
+          let rel = pid - plo in
+          let i = pi_arr.(rel) in
+          let sl = chain_slot.(rel) in
+          for t = 1 to horizon do
+            let qv = Instance.pair_q inst ~pid ~time:t in
+            if qv > 0.0 then begin
+              let z = Triple.make ~u ~i ~t in
+              if allowed z && not (Strategy.mem s z) then begin
+                let eid = register rel i t sl in
+                track i (Bh.insert h ~key:(build_key eid u i t qv sl) ~tie:eid eid)
+              end
+            end
+          done);
       (* a base strategy may already hold items at capacity *)
       for i = 0 to num_items - 1 do
         maybe_purge i
@@ -326,25 +394,25 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
         if not (out_of_budget ()) then
           match Bh.delete_max h with
           | None -> ()
-          | Some (cid, key) ->
-              let t = cid mod stride in
-              let ui = cid / stride in
-              let i = ui mod num_items in
-              let u = ui / num_items in
+          | Some (eid, key) ->
+              let t = eid mod stride in
+              let rel = eid / stride in
+              let i = pi_arr.(rel) in
+              let u = pu.(rel) in
               incr pops;
-              if not (feasible u i t) then loop () (* display-blocked this round *)
+              if not (feasible rel u i t) then loop () (* display-blocked this round *)
               else begin
-                let ck = (u * num_classes) + cls_arr.(i) in
-                let cur = chain_size_ck ck in
-                if fq.(2 * cid) < float_of_int cur then begin
-                  fq.(2 * cid) <- float_of_int cur;
-                  track i (Bh.insert h ~key:(marginal_cid cid u i t) ~tie:cid cid);
+                let sl = chain_slot.(rel) in
+                let cur = chain_size_slot sl in
+                if stamp.(eid) < float_of_int cur then begin
+                  stamp.(eid) <- float_of_int cur;
+                  track i (Bh.insert h ~key:(marginal_eid eid u i t) ~tie:eid eid);
                   loop ()
                 end
                 else if key <= 0.0 then ()
                 else begin
                   res.(0) <- key;
-                  accept u i t ck;
+                  accept rel u i t sl;
                   maybe_purge i;
                   loop ()
                 end

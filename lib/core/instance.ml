@@ -1,5 +1,30 @@
 module Err = Revmax_prelude.Err
 
+type int_ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type float_ba = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Candidate pairs live in one CSR structure shared by both storage
+   backends: [row_off.(u) .. row_off.(u+1)) indexes user [u]'s candidate
+   pairs (item-ascending), and a global {e pair id} [pid] addresses the
+   per-pair facts. The heap backend keeps the adoption vectors as ordinary
+   float arrays (plus the historical (u·num_items + i) hashtable for O(1)
+   point lookups); the packed backend memory-maps them from a pack file,
+   so a 10^6-user instance's O(users · degree · horizon) payload never
+   enters the OCaml heap — only the O(num_items) item facts and the
+   O(num_users) row offsets do. *)
+type backend =
+  | Heap_b of {
+      items : int array; (* pid -> item id *)
+      qs : float array array; (* pid -> adoption probabilities, length horizon *)
+      q_index : (int, float array) Hashtbl.t; (* (u * num_items + i) -> probs *)
+      ratings : (int, float) Hashtbl.t;
+    }
+  | Packed_b of {
+      item : int_ba; (* pid -> item id *)
+      q : float_ba; (* pid * horizon + (time - 1) -> probability *)
+      rating : float_ba; (* pid -> rating, NaN = absent; length 0 = no ratings *)
+    }
+
 type t = {
   num_users : int;
   num_items : int;
@@ -11,11 +36,8 @@ type t = {
   capacity : int array;
   saturation : float array;
   price : float array array;
-  (* candidate adoption rows per user, item-ascending *)
-  cands : (int * float array) array array;
-  (* (u * num_items + i) -> probability vector, for O(1) lookup *)
-  q_index : (int, float array) Hashtbl.t;
-  ratings : (int, float) Hashtbl.t;
+  row_off : int array; (* num_users + 1 CSR offsets into the pair arrays *)
+  backend : backend;
   num_candidate_triples : int;
   (* the view's user range [u_lo, u_hi); the full instance has [0, num_users).
      Views produced by [shard] share every array above except [capacity]
@@ -27,51 +49,56 @@ type t = {
 
 exception Bad_field of string * string
 
+let fail field msg = raise (Bad_field (field, msg))
+
+(* shared between [create_checked] and the pack writer *)
+let check_item_arrays ~num_items ~horizon ~class_of ~capacity ~saturation ~price =
+  if Array.length class_of <> num_items then
+    fail "class_of"
+      (Printf.sprintf "length %d differs from num_items %d" (Array.length class_of) num_items);
+  if Array.length capacity <> num_items then
+    fail "capacity"
+      (Printf.sprintf "length %d differs from num_items %d" (Array.length capacity) num_items);
+  if Array.length saturation <> num_items then
+    fail "saturation"
+      (Printf.sprintf "length %d differs from num_items %d" (Array.length saturation) num_items);
+  if Array.length price <> num_items then
+    fail "price"
+      (Printf.sprintf "%d rows differ from num_items %d" (Array.length price) num_items);
+  Array.iteri
+    (fun i c ->
+      if c < 0 then fail "class_of" (Printf.sprintf "item %d has negative class id %d" i c))
+    class_of;
+  Array.iteri
+    (fun i c ->
+      if c < 0 then fail "capacity" (Printf.sprintf "item %d has negative capacity %d" i c))
+    capacity;
+  Array.iteri
+    (fun i b ->
+      if b < 0.0 || b > 1.0 || Float.is_nan b then
+        fail "saturation" (Printf.sprintf "item %d: %g outside [0,1]" i b))
+    saturation;
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> horizon then
+        fail "price"
+          (Printf.sprintf "item %d: row length %d differs from horizon %d" i (Array.length row)
+             horizon);
+      Array.iter
+        (fun p ->
+          if (not (Float.is_finite p)) || p < 0.0 then
+            fail "price" (Printf.sprintf "item %d: price %g not finite and non-negative" i p))
+        row)
+    price
+
 let create_checked ~num_users ~num_items ~horizon ~display_limit ~class_of ~capacity ~saturation
     ~price ?(ratings = []) ~adoption () =
-  let fail field msg = raise (Bad_field (field, msg)) in
   try
     if num_users < 0 then fail "num_users" "negative number of users";
     if num_items < 0 then fail "num_items" "negative number of items";
     if horizon < 1 then fail "horizon" "horizon must be at least 1";
     if display_limit < 1 then fail "display_limit" "display_limit must be at least 1";
-    if Array.length class_of <> num_items then
-      fail "class_of"
-        (Printf.sprintf "length %d differs from num_items %d" (Array.length class_of) num_items);
-    if Array.length capacity <> num_items then
-      fail "capacity"
-        (Printf.sprintf "length %d differs from num_items %d" (Array.length capacity) num_items);
-    if Array.length saturation <> num_items then
-      fail "saturation"
-        (Printf.sprintf "length %d differs from num_items %d" (Array.length saturation) num_items);
-    if Array.length price <> num_items then
-      fail "price"
-        (Printf.sprintf "%d rows differ from num_items %d" (Array.length price) num_items);
-    Array.iteri
-      (fun i c ->
-        if c < 0 then fail "class_of" (Printf.sprintf "item %d has negative class id %d" i c))
-      class_of;
-    Array.iteri
-      (fun i c ->
-        if c < 0 then fail "capacity" (Printf.sprintf "item %d has negative capacity %d" i c))
-      capacity;
-    Array.iteri
-      (fun i b ->
-        if b < 0.0 || b > 1.0 || Float.is_nan b then
-          fail "saturation" (Printf.sprintf "item %d: %g outside [0,1]" i b))
-      saturation;
-    Array.iteri
-      (fun i row ->
-        if Array.length row <> horizon then
-          fail "price"
-            (Printf.sprintf "item %d: row length %d differs from horizon %d" i (Array.length row)
-               horizon);
-        Array.iter
-          (fun p ->
-            if (not (Float.is_finite p)) || p < 0.0 then
-              fail "price" (Printf.sprintf "item %d: price %g not finite and non-negative" i p))
-          row)
-      price;
+    check_item_arrays ~num_items ~horizon ~class_of ~capacity ~saturation ~price;
     let num_classes = Array.fold_left (fun m c -> max m (c + 1)) 0 class_of in
     let class_sizes = Array.make num_classes 0 in
     Array.iter (fun c -> class_sizes.(c) <- class_sizes.(c) + 1) class_of;
@@ -99,7 +126,7 @@ let create_checked ~num_users ~num_items ~horizon ~display_limit ~class_of ~capa
         buckets.(u) <- (i, qs) :: buckets.(u);
         Array.iter (fun p -> if p > 0.0 then incr triples) qs)
       adoption;
-    let cands =
+    let rows =
       Array.map
         (fun l ->
           let a = Array.of_list l in
@@ -107,6 +134,22 @@ let create_checked ~num_users ~num_items ~horizon ~display_limit ~class_of ~capa
           a)
         buckets
     in
+    let num_pairs = Array.fold_left (fun acc r -> acc + Array.length r) 0 rows in
+    let row_off = Array.make (num_users + 1) 0 in
+    let items = Array.make num_pairs 0 in
+    let qs_arr = Array.make num_pairs [||] in
+    let off = ref 0 in
+    Array.iteri
+      (fun u row ->
+        row_off.(u) <- !off;
+        Array.iter
+          (fun (i, qv) ->
+            items.(!off) <- i;
+            qs_arr.(!off) <- qv;
+            incr off)
+          row)
+      rows;
+    row_off.(num_users) <- !off;
     let rating_tbl = Hashtbl.create (max 16 (List.length ratings)) in
     List.iter
       (fun (u, i, r) ->
@@ -126,9 +169,8 @@ let create_checked ~num_users ~num_items ~horizon ~display_limit ~class_of ~capa
         capacity = Array.copy capacity;
         saturation = Array.copy saturation;
         price = Array.map Array.copy price;
-        cands;
-        q_index;
-        ratings = rating_tbl;
+        row_off;
+        backend = Heap_b { items; qs = qs_arr; q_index; ratings = rating_tbl };
         num_candidate_triples = !triples;
         u_lo = 0;
         u_hi = num_users;
@@ -162,35 +204,133 @@ let price t ~i ~time =
   check_time t time;
   t.price.(i).(time - 1)
 
+let is_packed t = match t.backend with Heap_b _ -> false | Packed_b _ -> true
+
+(* ----- pair-indexed access (the out-of-core hot path) ----- *)
+
+let pair_count t = t.row_off.(t.num_users)
+
+let pair_range t = (t.row_off.(t.u_lo), t.row_off.(t.u_hi))
+
+let pair_item t pid =
+  match t.backend with Heap_b h -> h.items.(pid) | Packed_b p -> p.item.{pid}
+
+let pair_q t ~pid ~time =
+  match t.backend with
+  | Heap_b h -> h.qs.(pid).(time - 1)
+  | Packed_b p -> p.q.{(pid * t.horizon) + time - 1}
+
+(* binary search for item [i] inside user [u]'s item-ascending row *)
+let pair_find t ~u ~i =
+  let res = ref (-1) in
+  let lo = ref t.row_off.(u) and hi = ref (t.row_off.(u + 1) - 1) in
+  (match t.backend with
+  | Heap_b h ->
+      while !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        let x = h.items.(mid) in
+        if x = i then begin
+          res := mid;
+          lo := !hi + 1
+        end
+        else if x < i then lo := mid + 1
+        else hi := mid - 1
+      done
+  | Packed_b p ->
+      while !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        let x = p.item.{mid} in
+        if x = i then begin
+          res := mid;
+          lo := !hi + 1
+        end
+        else if x < i then lo := mid + 1
+        else hi := mid - 1
+      done);
+  !res
+
+(* largest u with row_off.(u) <= pid; pids are dense so this is total *)
+let pair_user t pid =
+  let lo = ref 0 and hi = ref (t.num_users - 1) and res = ref 0 in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.row_off.(mid) <= pid then begin
+      res := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  !res
+
+let pair_row t u = (t.row_off.(u), t.row_off.(u + 1))
+
+let iter_candidate_pairs t f =
+  for u = t.u_lo to t.u_hi - 1 do
+    for pid = t.row_off.(u) to t.row_off.(u + 1) - 1 do
+      f ~u ~pid
+    done
+  done
+
 let q t ~u ~i ~time =
   check_time t time;
-  (* exception form instead of [find_opt]: no [Some] allocation on a hot
-     oracle lookup *)
-  match Hashtbl.find t.q_index ((u * t.num_items) + i) with
-  | qs -> qs.(time - 1)
-  | exception Not_found -> 0.0
+  match t.backend with
+  | Heap_b h -> (
+      (* exception form instead of [find_opt]: no [Some] allocation on a hot
+         oracle lookup *)
+      match Hashtbl.find h.q_index ((u * t.num_items) + i) with
+      | qs -> qs.(time - 1)
+      | exception Not_found -> 0.0)
+  | Packed_b p ->
+      let pid = pair_find t ~u ~i in
+      if pid < 0 then 0.0 else p.q.{(pid * t.horizon) + time - 1}
 
-let is_candidate t ~u ~i = Hashtbl.mem t.q_index ((u * t.num_items) + i)
+let is_candidate t ~u ~i =
+  match t.backend with
+  | Heap_b h -> Hashtbl.mem h.q_index ((u * t.num_items) + i)
+  | Packed_b _ -> pair_find t ~u ~i >= 0
 
-let candidates t u = t.cands.(u)
+let candidates t u =
+  let off = t.row_off.(u) in
+  let n = t.row_off.(u + 1) - off in
+  match t.backend with
+  | Heap_b h -> Array.init n (fun k -> (h.items.(off + k), h.qs.(off + k)))
+  | Packed_b p ->
+      Array.init n (fun k ->
+          let pid = off + k in
+          (p.item.{pid}, Array.init t.horizon (fun d -> p.q.{(pid * t.horizon) + d})))
 
 let candidate_items_in_class t ~u ~cls =
-  Array.fold_left
-    (fun acc (i, _) -> if t.class_of.(i) = cls then i :: acc else acc)
-    [] t.cands.(u)
-  |> List.rev
+  let acc = ref [] in
+  for pid = t.row_off.(u + 1) - 1 downto t.row_off.(u) do
+    let i = pair_item t pid in
+    if t.class_of.(i) = cls then acc := i :: !acc
+  done;
+  !acc
 
 let num_candidate_triples t = t.num_candidate_triples
 
 let iter_candidate_triples t f =
   for u = t.u_lo to t.u_hi - 1 do
-    Array.iter
-      (fun (i, qs) ->
-        Array.iteri (fun idx p -> if p > 0.0 then f (Triple.make ~u ~i ~t:(idx + 1)) p) qs)
-      t.cands.(u)
+    for pid = t.row_off.(u) to t.row_off.(u + 1) - 1 do
+      let i = pair_item t pid in
+      for time = 1 to t.horizon do
+        let p = pair_q t ~pid ~time in
+        if p > 0.0 then f (Triple.make ~u ~i ~t:time) p
+      done
+    done
   done
 
-let rating t ~u ~i = Hashtbl.find_opt t.ratings ((u * t.num_items) + i)
+let rating t ~u ~i =
+  match t.backend with
+  | Heap_b h -> Hashtbl.find_opt h.ratings ((u * t.num_items) + i)
+  | Packed_b p ->
+      if Bigarray.Array1.dim p.rating = 0 then None
+      else
+        let pid = pair_find t ~u ~i in
+        if pid < 0 then None
+        else
+          let r = p.rating.{pid} in
+          if Float.is_nan r then None else Some r
 
 let with_saturation_disabled t = { t with saturation = Array.make t.num_items 1.0 }
 
@@ -216,7 +356,11 @@ let user_range t = (t.u_lo, t.u_hi)
 let view_triple_count t ~u_lo ~u_hi =
   let n = ref 0 in
   for u = u_lo to u_hi - 1 do
-    Array.iter (fun (_, qs) -> Array.iter (fun p -> if p > 0.0 then incr n) qs) t.cands.(u)
+    for pid = t.row_off.(u) to t.row_off.(u + 1) - 1 do
+      for time = 1 to t.horizon do
+        if pair_q t ~pid ~time > 0.0 then incr n
+      done
+    done
   done;
   !n
 
@@ -226,7 +370,13 @@ let view_triple_count t ~u_lo ~u_hi =
    deterministic, and the shares always sum to the capacity. *)
 let proportional_shares ~capacity ~user_counts ~num_users =
   let shards = Array.length user_counts in
-  if num_users = 0 then Array.make shards capacity
+  if num_users = 0 then
+    (* all weights are zero, so largest-remainder degenerates; keep the
+       exact-sum contract with an even split, remainder to the lower shard
+       indices. (The old [Array.make shards capacity] handed every shard
+       the full capacity — the shares summed to shards·q_i, not q_i.) *)
+    Array.init shards (fun s ->
+        (capacity / shards) + if s < capacity mod shards then 1 else 0)
   else begin
     let shares = Array.map (fun n_s -> capacity * n_s / num_users) user_counts in
     let leftover = capacity - Array.fold_left ( + ) 0 shares in
@@ -282,6 +432,343 @@ let shard ?(policy = `Water_filling) ~shards t =
         u_lo;
         u_hi;
       })
+
+(* ----- the pack file: an out-of-core instance representation -----
+
+   Little-endian, 64-bit words. Layout:
+
+     header        12 × i64 (see the slot list below)
+     class_of      num_items × i64
+     capacity      num_items × i64
+     saturation    num_items × f64
+     price         num_items · horizon × f64
+     pair_q        num_pairs · horizon × f64     (streamed by the writer)
+     pair_item     num_pairs × i64
+     row_off       (num_users + 1) × i64
+     pair_rating   num_pairs × f64               (only when has_ratings = 1)
+
+   [of_mmap] reads the item-level sections and row offsets into ordinary
+   heap arrays (they are O(num_items + num_users)) and memory-maps the
+   three pair sections, which dominate the footprint. The endianness
+   sentinel is verified through the same [Bigarray.int] mapped-read path
+   the pair data uses, so a byte-order or word-size mismatch fails at open
+   instead of corrupting silently. *)
+module Pack = struct
+  let magic = "REVMAXPK"
+  let version = 1
+  let sentinel = 0x0123456789ABCDEF
+
+  (* header slots, i64 each; slot 0 holds the magic bytes *)
+  let s_version = 1
+  let s_sentinel = 2
+  let s_num_users = 3
+  let s_num_items = 4
+  let s_horizon = 5
+  let s_display_limit = 6
+  let s_num_pairs = 7
+  let s_num_triples = 8
+  let s_has_ratings = 9
+  let header_words = 12
+  let header_bytes = 8 * header_words
+
+  type writer = {
+    oc : out_channel;
+    w_num_users : int;
+    w_num_items : int;
+    w_horizon : int;
+    w_items : Buffer.t; (* pair item ids, i64, appended after the q stream *)
+    w_ratings : Buffer.t; (* pair ratings, f64, NaN = absent *)
+    w_row_off : int array;
+    mutable w_next_user : int;
+    mutable w_pairs : int;
+    mutable w_triples : int;
+    mutable w_has_ratings : bool;
+    mutable w_closed : bool;
+    b8 : Bytes.t;
+  }
+
+  let put_i64 w v =
+    Bytes.set_int64_le w.b8 0 (Int64.of_int v);
+    output_bytes w.oc w.b8
+
+  let put_f64 w v =
+    Bytes.set_int64_le w.b8 0 (Int64.bits_of_float v);
+    output_bytes w.oc w.b8
+
+  let buf_i64 buf b8 v =
+    Bytes.set_int64_le b8 0 (Int64.of_int v);
+    Buffer.add_bytes buf b8
+
+  let buf_f64 buf b8 v =
+    Bytes.set_int64_le b8 0 (Int64.bits_of_float v);
+    Buffer.add_bytes buf b8
+
+  let create_writer ~path ~num_users ~num_items ~horizon ~display_limit ~class_of ~capacity
+      ~saturation ~price () =
+    if num_users < 0 then invalid_arg "Instance.Pack.create_writer: negative number of users";
+    if num_items < 0 then invalid_arg "Instance.Pack.create_writer: negative number of items";
+    if horizon < 1 then invalid_arg "Instance.Pack.create_writer: horizon must be at least 1";
+    if display_limit < 1 then
+      invalid_arg "Instance.Pack.create_writer: display_limit must be at least 1";
+    (try check_item_arrays ~num_items ~horizon ~class_of ~capacity ~saturation ~price
+     with Bad_field (field, msg) ->
+       invalid_arg (Printf.sprintf "Instance.Pack.create_writer: %s: %s" field msg));
+    let oc = open_out_bin path in
+    let w =
+      {
+        oc;
+        w_num_users = num_users;
+        w_num_items = num_items;
+        w_horizon = horizon;
+        w_items = Buffer.create 4096;
+        w_ratings = Buffer.create 4096;
+        w_row_off = Array.make (num_users + 1) 0;
+        w_next_user = 0;
+        w_pairs = 0;
+        w_triples = 0;
+        w_has_ratings = false;
+        w_closed = false;
+        b8 = Bytes.create 8;
+      }
+    in
+    output_string oc magic;
+    put_i64 w version;
+    put_i64 w sentinel;
+    put_i64 w num_users;
+    put_i64 w num_items;
+    put_i64 w horizon;
+    put_i64 w display_limit;
+    (* num_pairs / num_triples / has_ratings patched by [finish] *)
+    for _ = s_num_pairs to header_words - 1 do
+      put_i64 w 0
+    done;
+    Array.iter (put_i64 w) class_of;
+    Array.iter (put_i64 w) capacity;
+    Array.iter (put_f64 w) saturation;
+    Array.iter (fun row -> Array.iter (put_f64 w) row) price;
+    w
+
+  let add_user w ~u ?ratings row =
+    if w.w_closed then invalid_arg "Instance.Pack.add_user: writer is closed";
+    if u <> w.w_next_user then
+      invalid_arg
+        (Printf.sprintf "Instance.Pack.add_user: users must arrive in order (expected %d, got %d)"
+           w.w_next_user u);
+    (match ratings with
+    | Some r when Array.length r <> Array.length row ->
+        invalid_arg "Instance.Pack.add_user: ratings array must align with the candidate row"
+    | _ -> ());
+    let prev = ref (-1) in
+    Array.iteri
+      (fun k (i, qs) ->
+        if i <= !prev || i < 0 || i >= w.w_num_items then
+          invalid_arg
+            (Printf.sprintf
+               "Instance.Pack.add_user: user %d: items must be strictly ascending and in range" u);
+        prev := i;
+        if Array.length qs <> w.w_horizon then
+          invalid_arg
+            (Printf.sprintf "Instance.Pack.add_user: pair (%d, %d): vector length %d, horizon %d"
+               u i (Array.length qs) w.w_horizon);
+        Array.iter
+          (fun p ->
+            if p < 0.0 || p > 1.0 || Float.is_nan p then
+              invalid_arg
+                (Printf.sprintf "Instance.Pack.add_user: pair (%d, %d): probability outside [0,1]"
+                   u i);
+            if p > 0.0 then w.w_triples <- w.w_triples + 1;
+            put_f64 w p)
+          qs;
+        buf_i64 w.w_items w.b8 i;
+        (match ratings with
+        | Some r -> (
+            match r.(k) with
+            | Some v ->
+                w.w_has_ratings <- true;
+                buf_f64 w.w_ratings w.b8 v
+            | None -> buf_f64 w.w_ratings w.b8 Float.nan)
+        | None -> buf_f64 w.w_ratings w.b8 Float.nan);
+        w.w_pairs <- w.w_pairs + 1)
+      row;
+    w.w_next_user <- u + 1;
+    w.w_row_off.(u + 1) <- w.w_pairs
+
+  let finish w =
+    if w.w_closed then invalid_arg "Instance.Pack.finish: writer is closed";
+    if w.w_next_user <> w.w_num_users then
+      invalid_arg
+        (Printf.sprintf "Instance.Pack.finish: %d of %d users added" w.w_next_user w.w_num_users);
+    w.w_closed <- true;
+    Buffer.output_buffer w.oc w.w_items;
+    Array.iter (put_i64 w) w.w_row_off;
+    if w.w_has_ratings then Buffer.output_buffer w.oc w.w_ratings;
+    (* patch the deferred header slots *)
+    seek_out w.oc (8 * s_num_pairs);
+    put_i64 w w.w_pairs;
+    put_i64 w w.w_triples;
+    put_i64 w (if w.w_has_ratings then 1 else 0);
+    close_out w.oc
+end
+
+let pack_to_file t path =
+  if t.u_lo <> 0 || t.u_hi <> t.num_users then
+    invalid_arg "Instance.pack_to_file: cannot pack a shard view";
+  let w =
+    Pack.create_writer ~path ~num_users:t.num_users ~num_items:t.num_items ~horizon:t.horizon
+      ~display_limit:t.display_limit ~class_of:t.class_of ~capacity:t.capacity
+      ~saturation:t.saturation ~price:t.price ()
+  in
+  for u = 0 to t.num_users - 1 do
+    let row = candidates t u in
+    let ratings = Array.map (fun (i, _) -> rating t ~u ~i) row in
+    Pack.add_user w ~u ~ratings row
+  done;
+  Pack.finish w
+
+let of_mmap_checked path =
+  try
+    let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+    Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+    let file_size = (Unix.fstat fd).Unix.st_size in
+    if file_size < Pack.header_bytes then fail "header" "file shorter than the pack header";
+    let hdr = Bytes.create Pack.header_bytes in
+    let rec really_read off len =
+      if len > 0 then begin
+        let k = Unix.read fd hdr off len in
+        if k = 0 then fail "header" "unexpected end of file";
+        really_read (off + k) (len - k)
+      end
+    in
+    really_read 0 Pack.header_bytes;
+    if Bytes.sub_string hdr 0 8 <> Pack.magic then fail "magic" "not a REVMAXPK pack file";
+    let slot s = Int64.to_int (Bytes.get_int64_le hdr (8 * s)) in
+    if slot Pack.s_version <> Pack.version then
+      fail "version" (Printf.sprintf "unsupported pack version %d" (slot Pack.s_version));
+    let num_users = slot Pack.s_num_users in
+    let num_items = slot Pack.s_num_items in
+    let horizon = slot Pack.s_horizon in
+    let display_limit = slot Pack.s_display_limit in
+    let num_pairs = slot Pack.s_num_pairs in
+    let num_triples = slot Pack.s_num_triples in
+    let has_ratings = slot Pack.s_has_ratings <> 0 in
+    if num_users < 0 || num_items < 0 || num_pairs < 0 || horizon < 1 || display_limit < 1 then
+      fail "header" "dimensions out of range";
+    let expected_size =
+      Pack.header_bytes
+      + (8 * num_items * (3 + horizon))
+      + (8 * num_pairs * (horizon + 1))
+      + (8 * (num_users + 1))
+      + if has_ratings then 8 * num_pairs else 0
+    in
+    if file_size <> expected_size then
+      fail "size"
+        (Printf.sprintf "file is %d bytes, header implies %d" file_size expected_size);
+    let map_i64 pos dim : int_ba =
+      if dim = 0 then Bigarray.Array1.create Bigarray.int Bigarray.c_layout 0
+      else
+        Bigarray.array1_of_genarray
+          (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.int Bigarray.c_layout false [| dim |])
+    in
+    let map_f64 pos dim : float_ba =
+      if dim = 0 then Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 0
+      else
+        Bigarray.array1_of_genarray
+          (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.float64 Bigarray.c_layout false
+             [| dim |])
+    in
+    (* verify the sentinel through the same mapped-int read path the pair
+       data uses: catches byte-order and word-size mismatches at open *)
+    let sent = map_i64 (8 * Pack.s_sentinel) 1 in
+    if sent.{0} <> Pack.sentinel then
+      fail "endianness" "pack file written with a different byte order or word size";
+    let off_class = Pack.header_bytes in
+    let off_cap = off_class + (8 * num_items) in
+    let off_sat = off_cap + (8 * num_items) in
+    let off_price = off_sat + (8 * num_items) in
+    let off_q = off_price + (8 * num_items * horizon) in
+    let off_item = off_q + (8 * num_pairs * horizon) in
+    let off_row = off_item + (8 * num_pairs) in
+    let off_rating = off_row + (8 * (num_users + 1)) in
+    (* item-level facts and row offsets are O(items + users): copy them to
+       heap arrays for ordinary array access *)
+    let class_ba = map_i64 off_class num_items in
+    let class_of = Array.init num_items (fun i -> class_ba.{i}) in
+    let cap_ba = map_i64 off_cap num_items in
+    let capacity = Array.init num_items (fun i -> cap_ba.{i}) in
+    let sat_ba = map_f64 off_sat num_items in
+    let saturation = Array.init num_items (fun i -> sat_ba.{i}) in
+    let price_ba = map_f64 off_price (num_items * horizon) in
+    let price =
+      Array.init num_items (fun i -> Array.init horizon (fun d -> price_ba.{(i * horizon) + d}))
+    in
+    check_item_arrays ~num_items ~horizon ~class_of ~capacity ~saturation ~price;
+    let row_ba = map_i64 off_row (num_users + 1) in
+    let row_off = Array.init (num_users + 1) (fun u -> row_ba.{u}) in
+    if row_off.(0) <> 0 then fail "row_off" "offsets must start at 0";
+    for u = 0 to num_users - 1 do
+      if row_off.(u + 1) < row_off.(u) then fail "row_off" "offsets must be non-decreasing"
+    done;
+    if row_off.(num_users) <> num_pairs then
+      fail "row_off" "offsets must end at the pair count";
+    let item = map_i64 off_item num_pairs in
+    let q = map_f64 off_q (num_pairs * horizon) in
+    let rating =
+      if has_ratings then map_f64 off_rating num_pairs
+      else Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 0
+    in
+    (* one integrity pass over the mapped pair data: rows item-ascending
+       and in range, probabilities in [0,1], and the triple count matches
+       the header. Also pre-faults the pages the planner will touch. *)
+    let triples = ref 0 in
+    for u = 0 to num_users - 1 do
+      let prev = ref (-1) in
+      for pid = row_off.(u) to row_off.(u + 1) - 1 do
+        let i = item.{pid} in
+        if i <= !prev || i < 0 || i >= num_items then
+          fail "pair_item" (Printf.sprintf "user %d: items not strictly ascending in range" u);
+        prev := i;
+        for d = 0 to horizon - 1 do
+          let p = q.{(pid * horizon) + d} in
+          if p < 0.0 || p > 1.0 || Float.is_nan p then
+            fail "pair_q" (Printf.sprintf "pair (%d, %d): probability outside [0,1]" u i);
+          if p > 0.0 then incr triples
+        done
+      done
+    done;
+    if !triples <> num_triples then
+      fail "num_candidate_triples"
+        (Printf.sprintf "header claims %d candidate triples, data holds %d" num_triples !triples);
+    let num_classes = Array.fold_left (fun m c -> max m (c + 1)) 0 class_of in
+    let class_sizes = Array.make num_classes 0 in
+    Array.iter (fun c -> class_sizes.(c) <- class_sizes.(c) + 1) class_of;
+    Ok
+      {
+        num_users;
+        num_items;
+        horizon;
+        display_limit;
+        class_of;
+        num_classes;
+        class_sizes;
+        capacity;
+        saturation;
+        price;
+        row_off;
+        backend = Packed_b { item; q; rating };
+        num_candidate_triples = num_triples;
+        u_lo = 0;
+        u_hi = num_users;
+      }
+  with
+  | Bad_field (field, msg) -> Error (Err.Invalid_instance { field; msg })
+  | Unix.Unix_error (e, _, _) ->
+      Error (Err.Invalid_instance { field = "file"; msg = Unix.error_message e })
+  | Sys_error msg -> Error (Err.Invalid_instance { field = "file"; msg })
+
+let of_mmap path =
+  match of_mmap_checked path with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Instance.of_mmap: " ^ Err.message e)
 
 let pp_stats ppf t =
   Format.fprintf ppf "users=%d items=%d classes=%d T=%d k=%d candidate-triples=%d" t.num_users

@@ -109,6 +109,112 @@ val iter_candidate_triples : t -> (Triple.t -> float -> unit) -> unit
 val rating : t -> u:int -> i:int -> float option
 (** Predicted rating [r̂_ui] if attached. *)
 
+(** {1 Pair-indexed access}
+
+    Candidate (user, item) pairs are stored in one CSR structure: user
+    [u]'s pairs occupy the dense {e pair id} range given by the row
+    offsets, item-ascending within the row. Pair ids are global (stable
+    across {!shard} views) and strictly increasing in (user, item)
+    lexicographic order, which makes them usable as deterministic heap
+    tie-breakers. The pair-indexed accessors below are the out-of-core
+    hot path: they read flat storage directly — no hashtable, and for a
+    memory-mapped instance no OCaml-heap data at all. *)
+
+val pair_count : t -> int
+(** Total number of candidate pairs of the full instance. *)
+
+val pair_range : t -> int * int
+(** The view's pair-id range [(lo, hi)) — [(0, pair_count t)] for a full
+    instance. *)
+
+val pair_item : t -> int -> int
+(** The item of a pair id. *)
+
+val pair_user : t -> int -> int
+(** The user of a pair id (binary search over the row offsets; intended
+    for cold paths — hot loops should carry the user alongside). *)
+
+val pair_q : t -> pid:int -> time:int -> float
+(** [q(u,i,t)] addressed by pair id — no bounds or candidacy check beyond
+    the array access itself. *)
+
+val pair_find : t -> u:int -> i:int -> int
+(** The pair id of [(u, i)], or [-1] when the pair is not a candidate. *)
+
+val pair_row : t -> int -> int * int
+(** [pair_row t u]: the pair-id range [(lo, hi)) of user [u]'s candidate
+    row. *)
+
+val iter_candidate_pairs : t -> (u:int -> pid:int -> unit) -> unit
+(** Visit the view's candidate pairs in pair-id order (users ascending,
+    items ascending within a user). *)
+
+val is_packed : t -> bool
+(** Whether the instance is backed by a memory-mapped pack file. *)
+
+(** {1 Out-of-core packs}
+
+    A {e pack} is an on-disk instance representation (little-endian,
+    64-bit words) whose pair-level payload — adoption vectors, pair item
+    ids, optional ratings — is memory-mapped by {!of_mmap} instead of
+    loaded: only the O(num_items) item facts and O(num_users) row offsets
+    enter the OCaml heap, so a 10^6-user × 10^4-item instance plans
+    without materializing gigabytes of boxed candidates. The mapped path
+    yields bit-identical values to the heap path: the same IEEE doubles
+    are stored and read back verbatim. *)
+
+module Pack : sig
+  type writer
+  (** A streaming pack writer: candidate rows are written user by user,
+      so the full instance never needs to exist in memory. *)
+
+  val create_writer :
+    path:string ->
+    num_users:int ->
+    num_items:int ->
+    horizon:int ->
+    display_limit:int ->
+    class_of:int array ->
+    capacity:int array ->
+    saturation:float array ->
+    price:float array array ->
+    unit ->
+    writer
+  (** Validates the item-level arrays (same checks as {!create}) and
+      writes the pack header and item sections. Raises [Invalid_argument]
+      on violation. *)
+
+  val add_user : writer -> u:int -> ?ratings:float option array -> (int * float array) array -> unit
+  (** [add_user w ~u row] appends user [u]'s candidate row — items
+      strictly ascending, each with a length-[horizon] probability vector
+      in [[0,1]] — streaming the probabilities straight to disk. Users
+      must arrive exactly in order [0 .. num_users-1] (empty rows
+      included). [ratings], when given, aligns with [row] and attaches
+      predicted ratings per candidate pair. *)
+
+  val finish : writer -> unit
+  (** Writes the deferred trailer sections (pair items, row offsets,
+      ratings), patches the header counts, and closes the file. Raises
+      [Invalid_argument] unless every user was added. *)
+end
+
+val pack_to_file : t -> string -> unit
+(** Serialize a (full, heap- or pack-backed) instance to a pack file.
+    Raises [Invalid_argument] on a shard view. Ratings are carried per
+    candidate pair; a rating attached to a non-candidate pair is not
+    representable in the pack and is dropped. *)
+
+val of_mmap : string -> t
+(** Open a pack file as a memory-mapped instance. Validates the header,
+    the byte order (through the same mapped-read path the planner uses),
+    the row structure and every probability in one pass — which also
+    pre-faults the pages — then maps the pair sections read-only.
+    Raises [Invalid_argument] on any violation. *)
+
+val of_mmap_checked : string -> (t, Revmax_prelude.Err.t) result
+(** Like {!of_mmap} but never raises: violations yield
+    [Error (Invalid_instance {field; msg})]. *)
+
 (** {1 Derived views} *)
 
 val with_saturation_disabled : t -> t
@@ -141,6 +247,14 @@ type split_policy = [ `Proportional | `Water_filling ]
       with deterministic largest-remainder rounding, so budgets sum to
       exactly [q_i] and the merged plan can never over-subscribe — at the
       cost of stranding capacity in shards that cannot use it. *)
+
+val proportional_shares : capacity:int -> user_counts:int array -> num_users:int -> int array
+(** The largest-remainder split behind [`Proportional]: floor shares
+    first, then the leftover units go to the shards of largest fractional
+    remainder, ties broken towards the lower shard index. Shares always
+    sum to exactly [capacity]; with [num_users = 0] the split degenerates
+    to an even division with the remainder on the lower shard indices.
+    Exposed for tests and capacity diagnostics. *)
 
 val shard : ?policy:split_policy -> shards:int -> t -> t array
 (** [shard ~shards t] partitions the users into [shards] contiguous,

@@ -74,6 +74,14 @@ val solve :
     the merge and reconciliation preserve validity — with
     [truncated = true] in the statistics. *)
 
+val removal_loss : with_saturation:bool -> Instance.t -> Strategy.t -> u:int -> i:int -> float
+(** The reconciliation ranking key: the revenue lost when user [u] gives
+    up item [i] entirely — the chain-revenue delta of the one affected
+    (user, class) chain. Chains are canonically ordered and per-user, so
+    the value is bit-identical whether computed against the merged global
+    strategy or against the user's shard-local strategy; {!Hier_greedy}
+    relies on this to rank candidates child-side. *)
+
 val default_shards : unit -> int
 (** The process-wide default shard count, used whenever [?shards] is
     omitted. Initialised from the [REVMAX_SHARDS] environment variable (a

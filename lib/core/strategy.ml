@@ -14,21 +14,61 @@ type t = {
      replaces a hashtable probe (plus, for the per-item user sets, a
      second-level probe). *)
   display : int array; (* (u * (horizon+1)) + time -> #items displayed *)
-  pair_reps : int array; (* (i * num_users) + u -> #triples of this (user, item) pair *)
+  (* Per-pair repetition counts, keyed by the instance's CSR pair ids so
+     the array is O(view candidate pairs), not O(num_items · num_users) —
+     a dense (i, u) grid would be 80 GB at 10^6 users × 10^4 items. Pairs
+     outside the view's pair-id range (a base strategy's out-of-view
+     triples) or without a candidate pair at all spill into the overflow
+     table, which stays empty on every planner path. *)
+  pair_reps : int array; (* (pid - plo) -> #triples of this candidate (user, item) pair *)
+  pair_overflow : (int, int) Hashtbl.t; (* (i * num_users) + u for out-of-range pairs *)
+  plo : int;
+  phi : int;
   item_distinct : int array; (* item -> #distinct users holding it *)
   mutable cardinality : int;
 }
 
 let create inst =
+  let plo, phi = Instance.pair_range inst in
   {
     inst;
     triples = Hashtbl.create 256;
     chains = Hashtbl.create 256;
     display = Array.make (Instance.num_users inst * (Instance.horizon inst + 1)) 0;
-    pair_reps = Array.make (Instance.num_items inst * Instance.num_users inst) 0;
+    pair_reps = Array.make (phi - plo) 0;
+    pair_overflow = Hashtbl.create 16;
+    plo;
+    phi;
     item_distinct = Array.make (Instance.num_items inst) 0;
     cardinality = 0;
   }
+
+(* add [delta] to the pair's repetition count, returning the previous
+   count (the 0 -> 1 and 1 -> 0 edges drive [item_distinct]) *)
+let bump_pair t ~u ~i delta =
+  let pid = Instance.pair_find t.inst ~u ~i in
+  if pid >= t.plo && pid < t.phi then begin
+    let k = pid - t.plo in
+    let prev = t.pair_reps.(k) in
+    t.pair_reps.(k) <- prev + delta;
+    prev
+  end
+  else begin
+    let key = (i * Instance.num_users t.inst) + u in
+    let prev = match Hashtbl.find_opt t.pair_overflow key with Some n -> n | None -> 0 in
+    let next = prev + delta in
+    if next = 0 then Hashtbl.remove t.pair_overflow key
+    else Hashtbl.replace t.pair_overflow key next;
+    prev
+  end
+
+let pair_reps_count t ~u ~i =
+  let pid = Instance.pair_find t.inst ~u ~i in
+  if pid >= t.plo && pid < t.phi then t.pair_reps.(pid - t.plo)
+  else
+    match Hashtbl.find_opt t.pair_overflow ((i * Instance.num_users t.inst) + u) with
+    | Some n -> n
+    | None -> 0
 
 let instance t = t.inst
 
@@ -60,9 +100,7 @@ let add_unchecked t (z : Triple.t) =
   Chain.insert chain z;
   let dk = display_key t z in
   t.display.(dk) <- t.display.(dk) + 1;
-  let pk = (z.i * Instance.num_users t.inst) + z.u in
-  if t.pair_reps.(pk) = 0 then t.item_distinct.(z.i) <- t.item_distinct.(z.i) + 1;
-  t.pair_reps.(pk) <- t.pair_reps.(pk) + 1;
+  if bump_pair t ~u:z.u ~i:z.i 1 = 0 then t.item_distinct.(z.i) <- t.item_distinct.(z.i) + 1;
   t.cardinality <- t.cardinality + 1
 
 let add_result t (z : Triple.t) =
@@ -96,9 +134,7 @@ let remove t z =
       if Chain.length chain = 0 then Hashtbl.remove t.chains ck);
   let dk = display_key t z in
   t.display.(dk) <- t.display.(dk) - 1;
-  let pk = (z.i * Instance.num_users t.inst) + z.u in
-  t.pair_reps.(pk) <- t.pair_reps.(pk) - 1;
-  if t.pair_reps.(pk) = 0 then t.item_distinct.(z.i) <- t.item_distinct.(z.i) - 1;
+  if bump_pair t ~u:z.u ~i:z.i (-1) = 1 then t.item_distinct.(z.i) <- t.item_distinct.(z.i) - 1;
   t.cardinality <- t.cardinality - 1
 
 let to_list t =
@@ -132,7 +168,7 @@ let display_count t ~u ~time = t.display.((u * (Instance.horizon t.inst + 1)) + 
 
 let item_user_count t i = t.item_distinct.(i)
 
-let item_has_user t ~i ~u = t.pair_reps.((i * Instance.num_users t.inst) + u) > 0
+let item_has_user t ~i ~u = pair_reps_count t ~u ~i > 0
 
 let can_add t (z : Triple.t) =
   (not (mem t z))
@@ -176,13 +212,14 @@ let validate t =
 
 let repeat_histogram t =
   let hist = Array.make (Instance.horizon t.inst) 0 in
-  Array.iter
-    (fun count ->
-      if count > 0 then begin
-        let idx = min count (Array.length hist) - 1 in
-        hist.(idx) <- hist.(idx) + 1
-      end)
-    t.pair_reps;
+  let tally count =
+    if count > 0 then begin
+      let idx = min count (Array.length hist) - 1 in
+      hist.(idx) <- hist.(idx) + 1
+    end
+  in
+  Array.iter tally t.pair_reps;
+  Hashtbl.iter (fun _ count -> tally count) t.pair_overflow;
   hist
 
 let item_recommendations_up_to t ~i ~time =

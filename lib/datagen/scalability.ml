@@ -32,7 +32,20 @@ let default_config =
 
 let with_users c n = { c with num_users = n; capacity = capacity_for_users n }
 
-let generate c ~seed =
+(* Item-level draws plus the positioned user-row generator, shared by the
+   heap builder and the streaming pack writer. Both consume the RNG in
+   exactly the same order, so for one seed they describe the same
+   instance — the mmap ≡ heap equivalence gates rely on it. *)
+type drawn = {
+  class_of : int array;
+  price : float array array;
+  level : float array;
+  capacity : int array;
+  saturation : float array;
+  adopt_rng : Rng.t;
+}
+
+let draw_items c ~seed =
   let rng = Rng.create seed in
   let class_of =
     Catalog.uniform_classes ~num_items:c.num_items ~num_classes:c.num_classes (Rng.split rng)
@@ -65,31 +78,57 @@ let generate c ~seed =
         | Pipeline.Beta_fixed b -> b)
   in
   let adopt_rng = Rng.split rng in
+  { class_of; price; level; capacity; saturation; adopt_rng }
+
+(* one user's candidate row, in the sample's draw order (the caller sorts
+   if it needs item-ascending rows) *)
+let user_row c d =
+  let items =
+    Rng.sample_without_replacement d.adopt_rng c.num_items (min c.items_per_user c.num_items)
+  in
+  Array.map
+    (fun i ->
+      (* T probabilities around the item level, anti-monotone in price:
+         the largest probability is matched to the cheapest time step *)
+      let probs =
+        Array.init c.horizon (fun _ ->
+            Util.clamp_prob (Rng.gaussian_mv d.adopt_rng ~mean:d.level.(i) ~sigma:(sqrt 0.1)))
+      in
+      Array.sort compare probs;
+      (* probs ascending *)
+      let order = Util.with_index d.price.(i) in
+      Array.sort (fun (_, p1) (_, p2) -> compare p2 p1) order;
+      (* order: time indices from most expensive to cheapest *)
+      let qs = Array.make c.horizon 0.0 in
+      Array.iteri (fun pos (tidx, _) -> qs.(tidx) <- probs.(pos)) order;
+      (i, qs))
+    items
+
+let generate c ~seed =
+  let d = draw_items c ~seed in
   let adoption = ref [] in
   for u = 0 to c.num_users - 1 do
-    let items =
-      Rng.sample_without_replacement adopt_rng c.num_items (min c.items_per_user c.num_items)
-    in
-    Array.iter
-      (fun i ->
-        (* T probabilities around the item level, anti-monotone in price:
-           the largest probability is matched to the cheapest time step *)
-        let probs =
-          Array.init c.horizon (fun _ ->
-              Util.clamp_prob (Rng.gaussian_mv adopt_rng ~mean:level.(i) ~sigma:(sqrt 0.1)))
-        in
-        Array.sort compare probs;
-        (* probs ascending *)
-        let order = Util.with_index price.(i) in
-        Array.sort (fun (_, p1) (_, p2) -> compare p2 p1) order;
-        (* order: time indices from most expensive to cheapest *)
-        let qs = Array.make c.horizon 0.0 in
-        Array.iteri (fun pos (tidx, _) -> qs.(tidx) <- probs.(pos)) order;
-        adoption := (u, i, qs) :: !adoption)
-      items
+    Array.iter (fun (i, qs) -> adoption := (u, i, qs) :: !adoption) (user_row c d)
   done;
   Instance.create ~num_users:c.num_users ~num_items:c.num_items ~horizon:c.horizon
-    ~display_limit:c.display_limit ~class_of ~capacity ~saturation ~price ~adoption:!adoption ()
+    ~display_limit:c.display_limit ~class_of:d.class_of ~capacity:d.capacity
+    ~saturation:d.saturation ~price:d.price ~adoption:!adoption ()
+
+let generate_pack c ~seed ~path =
+  let d = draw_items c ~seed in
+  let w =
+    Instance.Pack.create_writer ~path ~num_users:c.num_users ~num_items:c.num_items
+      ~horizon:c.horizon ~display_limit:c.display_limit ~class_of:d.class_of ~capacity:d.capacity
+      ~saturation:d.saturation ~price:d.price ()
+  in
+  for u = 0 to c.num_users - 1 do
+    let row = user_row c d in
+    (* the pack stores rows item-ascending (CSR order); the heap builder
+       sorts the same rows the same way inside Instance.create *)
+    Array.sort (fun (a, _) (b, _) -> compare (a : int) b) row;
+    Instance.Pack.add_user w ~u row
+  done;
+  Instance.Pack.finish w
 
 let table1_row c ~seed =
   let inst = generate c ~seed in

@@ -37,5 +37,14 @@ val generate : config -> seed:int -> Revmax.Instance.t
 (** Build the instance directly (no ratings/MF stage). Deterministic in
     [seed]. *)
 
+val generate_pack : config -> seed:int -> path:string -> unit
+(** Stream the same instance {!generate} would build straight into a pack
+    file ({!Revmax.Instance.Pack}), one user row at a time — O(items +
+    one row) live memory, so instances far beyond RAM can be produced.
+    For equal [seed] and [config],
+    [Revmax.Instance.of_mmap path] observes exactly the instance
+    [generate] returns (same RNG consumption order; the equivalence is
+    gated by the bench-scale cell and the [@scale] suite). *)
+
 val table1_row : config -> seed:int -> string list
 (** Dataset-statistics row for Table 1 without materializing algorithms. *)

@@ -606,6 +606,221 @@ let bench_shards (cfg : Config.t) =
     "(ratio is sharded/unsharded expected revenue — honest accounting of what the\n\
     \ shard cut costs; shards=1 is bit-identical to plain greedy and must ratio 1)\n"
 
+(* ----- Benchmark: out-of-core scale (pack + mmap + hierarchical shards) ----- *)
+
+(* peak resident set (VmHWM) in kB from /proc/self/status; 0 when the
+   file is unavailable (non-Linux), which disables the RSS ceiling gate *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec scan () =
+            match input_line ic with
+            | exception End_of_file -> 0
+            | line when String.length line > 6 && String.sub line 0 6 = "VmHWM:" -> (
+                try Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d kB" Fun.id
+                with Scanf.Scan_failure _ | Failure _ | End_of_file -> 0)
+            | _ -> scan ()
+          in
+          scan ())
+
+let bench_scale (cfg : Config.t) =
+  Runner.section "Benchmark: out-of-core scale (pack + mmap + hierarchical shards)";
+  let users, items, classes =
+    match cfg.Config.scale with
+    | Config.Quick -> (2_000, 400, 50)
+    | Config.Default -> (50_000, 2_000, 200)
+    | Config.Full -> (1_000_000, 10_000, 500)
+  in
+  (* the §6 synthetic family, thinned to 10 candidate items per user and
+     T = 4 so the full cell is 10^6 users × 10^4 items = 10^7 candidate
+     pairs (4×10^7 triples); capacities keep the paper's user ratio *)
+  let scfg =
+    Scalability.with_users
+      {
+        Scalability.default_config with
+        num_items = items;
+        num_classes = classes;
+        items_per_user = 10;
+        horizon = 4;
+        display_limit = 3;
+      }
+      users
+  in
+  let seed = cfg.Config.seed in
+  let heap_gate = cfg.Config.scale <> Config.Full in
+  let rss_ceiling_kb =
+    match cfg.Config.scale with
+    | Config.Quick -> 2_000_000
+    | Config.Default -> 8_000_000
+    | Config.Full -> 64_000_000
+  in
+  let pack_dir =
+    Option.value (Sys.getenv_opt "REVMAX_PACK_DIR") ~default:(Filename.get_temp_dir_name ())
+  in
+  let pack_path = Filename.temp_file ~temp_dir:pack_dir "revmax_scale" ".pack" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove pack_path with Sys_error _ -> ())
+  @@ fun () ->
+  let (), write_s = Util.time_it (fun () -> Scalability.generate_pack scfg ~seed ~path:pack_path) in
+  let pack_bytes = (Unix.stat pack_path).Unix.st_size in
+  let inst, open_s = Util.time_it (fun () -> Instance.of_mmap pack_path) in
+  Log.out "pack: %d users x %d items, %d pairs, %.1f MB (wrote %.1fs, mapped %.2fs)\n" users items
+    (Instance.pair_count inst)
+    (float_of_int pack_bytes /. 1e6)
+    write_s open_s;
+  (* a compact order-independent fingerprint of a strategy: size, the
+     exact revenue double, and an integer fold over the sorted selection.
+     Bit-identical plans (the invariance contract) fingerprint equally;
+     Hashtbl.hash is deliberately avoided — it samples a prefix. *)
+  let fingerprint s =
+    let h =
+      List.fold_left
+        (fun h (z : Revmax.Triple.t) ->
+          let mix h v = ((h * 1_000_003) lxor v) land max_int in
+          mix (mix (mix h z.u) z.i) z.t)
+        0
+        (List.sort Revmax.Triple.compare (Strategy.to_list s))
+    in
+    (Strategy.size s, Revenue.total s, h)
+  in
+  let t =
+    Table.create ~columns:[ "run"; "selected"; "revenue"; "wall s"; "released"; "rounds" ]
+  in
+  let row label (s, wall) ~released ~rounds =
+    let size, v, h = fingerprint s in
+    Table.add_row t
+      [
+        label;
+        string_of_int size;
+        Printf.sprintf "%.1f" v;
+        Printf.sprintf "%.2f" wall;
+        string_of_int released;
+        string_of_int rounds;
+      ];
+    (label, size, v, h, wall)
+  in
+  (* the hierarchical run must come first: once any run spawns a domain,
+     OCaml 5.1 refuses fork and Hier_greedy degrades to in-process *)
+  let (hs, hst), hier_wall =
+    Util.time_it (fun () -> Revmax_hier.Hier_greedy.solve ~procs:2 ~shards_per_proc:2 ~jobs:1 inst)
+  in
+  let hier =
+    row "hier procs=2 spp=2" (hs, hier_wall)
+      ~released:hst.Revmax_hier.Hier_greedy.released_pairs
+      ~rounds:hst.Revmax_hier.Hier_greedy.reconciliation_rounds
+  in
+  if hst.Revmax_hier.Hier_greedy.degraded then
+    Log.out
+      "(hier run degraded to in-process planning: fork unavailable after a domain spawn — the\n\
+      \ invariance gate below still holds by construction, run bench-scale alone to exercise it)\n";
+  (* heap ≡ mmap: build the same instance on the OCaml heap and demand the
+     identical greedy trace. At full scale the heap build is skipped — not
+     holding the instance in the heap is the point of the cell. *)
+  let heap_status =
+    if not heap_gate then "skipped (full scale plans from the mapping only)"
+    else begin
+      let heap_inst = Scalability.generate scfg ~seed in
+      let traced i =
+        let order = ref [] in
+        let s, _ = Greedy.run ~trace:(fun (pt : Greedy.trace_point) -> order := pt.z :: !order) i in
+        (Revenue.total s, List.rev !order)
+      in
+      let vh, th = traced heap_inst and vm, tm = traced inst in
+      if vh <> vm || th <> tm then
+        failwith "bench-scale: mmap-backed greedy diverged from the heap instance";
+      Printf.sprintf "identical (%d-step trace, revenue %.12g)" (List.length th) vh
+    end
+  in
+  (* jobs × shards invariance grid on the mapped instance *)
+  let grid =
+    List.map
+      (fun shards ->
+        ( shards,
+          List.map
+            (fun jobs ->
+              let (s, st), wall =
+                Util.time_it (fun () -> Revmax.Shard_greedy.solve ~shards ~jobs inst)
+              in
+              row
+                (Printf.sprintf "flat shards=%d jobs=%d" shards jobs)
+                (s, wall) ~released:st.Revmax.Shard_greedy.released_pairs
+                ~rounds:st.Revmax.Shard_greedy.reconciliation_rounds)
+            [ 1; 4 ] ))
+      [ 1; 4 ]
+  in
+  Table.print t;
+  let fp (_, size, v, h, _) = (size, v, h) in
+  List.iter
+    (fun (shards, runs) ->
+      match runs with
+      | first :: rest ->
+          List.iter
+            (fun r ->
+              if fp r <> fp first then
+                failwith (Printf.sprintf "bench-scale: shards=%d plan depends on jobs" shards))
+            rest
+      | [] -> failwith "bench-scale: empty invariance group")
+    grid;
+  let flat4 = List.hd (List.assoc 4 grid) in
+  if fp hier <> fp flat4 then
+    failwith "bench-scale: hierarchical plan diverged from flat shards=4";
+  let rss_kb = peak_rss_kb () in
+  let gc = Gc.stat () in
+  Log.out "equivalence: heap/mmap %s; hier ≡ flat shards=4; jobs-invariant at shards 1 and 4\n"
+    heap_status;
+  Log.out "memory: peak RSS %.1f MB (ceiling %.1f MB), OCaml top heap %.1f MB\n"
+    (float_of_int rss_kb /. 1e3)
+    (float_of_int rss_ceiling_kb /. 1e3)
+    (float_of_int (gc.Gc.top_heap_words * (Sys.word_size / 8)) /. 1e6);
+  if rss_kb > 0 && rss_kb > rss_ceiling_kb then
+    failwith
+      (Printf.sprintf "bench-scale: peak RSS %d kB exceeds the %d kB ceiling" rss_kb rss_ceiling_kb);
+  (* machine-readable cell, consumed by CI (artifact + gates) *)
+  let out =
+    Option.value (Sys.getenv_opt "REVMAX_BENCH_OUT") ~default:"BENCH_scale.json"
+  in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"experiment\": \"bench-scale\",\n";
+  add "  \"description\": \"out-of-core planning: packed mmap instance, flat and hierarchical shards\",\n";
+  add "  \"scale\": \"%s\",\n"
+    (match cfg.Config.scale with
+    | Config.Quick -> "quick"
+    | Config.Default -> "default"
+    | Config.Full -> "full");
+  add "  \"config\": { \"users\": %d, \"items\": %d, \"classes\": %d, \"items_per_user\": 10, \"horizon\": 4, \"display_limit\": 3, \"seed\": %d },\n"
+    users items classes seed;
+  add "  \"pack\": { \"bytes\": %d, \"pairs\": %d, \"write_seconds\": %.3f, \"open_seconds\": %.3f },\n"
+    pack_bytes (Instance.pair_count inst) write_s open_s;
+  add "  \"equivalence\": {\n";
+  add "    \"heap_mmap\": \"%s\",\n" heap_status;
+  add "    \"hier_vs_flat_shards4\": \"identical\",\n";
+  add "    \"jobs_invariant\": true,\n";
+  add "    \"hier_degraded\": %b\n" hst.Revmax_hier.Hier_greedy.degraded;
+  add "  },\n";
+  add "  \"runs\": [\n";
+  let all_runs = hier :: List.concat_map snd grid in
+  List.iteri
+    (fun idx (label, size, v, h, wall) ->
+      add "    { \"label\": \"%s\", \"selected\": %d, \"revenue\": %.12g, \"fingerprint\": %d, \"wall_seconds\": %.3f }%s\n"
+        label size v h wall
+        (if idx = List.length all_runs - 1 then "" else ","))
+    all_runs;
+  add "  ],\n";
+  add "  \"memory\": { \"peak_rss_kb\": %d, \"rss_ceiling_kb\": %d, \"ocaml_top_heap_words\": %d }\n"
+    rss_kb rss_ceiling_kb gc.Gc.top_heap_words;
+  add "}\n";
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Log.out "wrote %s\n" out
+
 (* ----- Ablations ----- *)
 
 let abl_heap (cfg : Config.t) =
@@ -777,6 +992,9 @@ let all =
       "Benchmark: SoA hot path, CELF vs refresh-pair; identity + allocation gates",
       bench_greedy_soa );
     ("bench-shards", "Benchmark: user-sharded greedy vs unsharded (ratio, wall time)", bench_shards);
+    ( "bench-scale",
+      "Benchmark: out-of-core scale — packed mmap instance, hierarchical shards, RSS gate",
+      bench_scale );
     ("abl-heap", "Ablation: heaps and lazy forward", abl_heap);
     ("abl-exact", "Ablation: greedy vs exact optima", abl_exact);
     ("abl-rs", "Ablation: MF vs kNN vs content-based substrate", abl_rs);

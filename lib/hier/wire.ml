@@ -1,0 +1,207 @@
+module Util = Revmax_prelude.Util
+module Triple = Revmax.Triple
+
+exception Protocol_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Protocol_error msg)) fmt
+
+(* payloads are bounded by one shard's triple list; anything beyond this in
+   a length prefix is stream corruption, not a message *)
+let max_payload = 1 lsl 30
+
+type shard_result = {
+  shard : int;
+  selected : int;
+  evaluations : int;
+  pops : int;
+  truncated : bool;
+  triples : Triple.t array;  (* sorted by Triple.compare, the sender's to_list order *)
+}
+
+type msg =
+  | Shard_result of shard_result
+  | Reconcile_request of int array  (* over-subscribed item ids, ascending *)
+  | Loss_lists of (int * (float * int) array) array
+      (* per requested item: (item, ranked (loss, user)), loss ascending, ties
+         to the lower user id — the sender's own holders only *)
+  | Release of { item : int; users : int array }
+      (* the globally-ranked losers of one item; every receiver drops the
+         pairs it owns so later loss queries see the updated chains *)
+  | Shutdown
+  | Child_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Payload codec (little-endian, tag byte first)                       *)
+(* ------------------------------------------------------------------ *)
+
+let tag_shard_result = 1
+let tag_reconcile_request = 2
+let tag_loss_lists = 3
+let tag_shutdown = 4
+let tag_child_error = 5
+let tag_release = 6
+
+let encode msg =
+  let b = Buffer.create 256 in
+  let i32 v = Buffer.add_int32_le b (Int32.of_int v) in
+  (match msg with
+  | Shard_result r ->
+      Buffer.add_uint8 b tag_shard_result;
+      i32 r.shard;
+      i32 r.selected;
+      i32 r.evaluations;
+      i32 r.pops;
+      Buffer.add_uint8 b (if r.truncated then 1 else 0);
+      i32 (Array.length r.triples);
+      Array.iter
+        (fun (z : Triple.t) ->
+          i32 z.u;
+          i32 z.i;
+          i32 z.t)
+        r.triples
+  | Reconcile_request items ->
+      Buffer.add_uint8 b tag_reconcile_request;
+      i32 (Array.length items);
+      Array.iter i32 items
+  | Loss_lists lists ->
+      Buffer.add_uint8 b tag_loss_lists;
+      i32 (Array.length lists);
+      Array.iter
+        (fun (item, ranked) ->
+          i32 item;
+          i32 (Array.length ranked);
+          Array.iter
+            (fun (loss, u) ->
+              Buffer.add_int64_le b (Int64.bits_of_float loss);
+              i32 u)
+            ranked)
+        lists
+  | Release { item; users } ->
+      Buffer.add_uint8 b tag_release;
+      i32 item;
+      i32 (Array.length users);
+      Array.iter i32 users
+  | Shutdown -> Buffer.add_uint8 b tag_shutdown
+  | Child_error msg ->
+      Buffer.add_uint8 b tag_child_error;
+      i32 (String.length msg);
+      Buffer.add_string b msg);
+  Buffer.to_bytes b
+
+(* a tiny cursor-based reader; every decode error is a Protocol_error, never
+   an out-of-bounds crash in the parent *)
+type cursor = { buf : bytes; mutable pos : int }
+
+let need c n = if c.pos + n > Bytes.length c.buf then fail "truncated payload"
+
+let r8 c =
+  need c 1;
+  let v = Bytes.get_uint8 c.buf c.pos in
+  c.pos <- c.pos + 1;
+  v
+
+let r32 c =
+  need c 4;
+  let v = Int32.to_int (Bytes.get_int32_le c.buf c.pos) in
+  c.pos <- c.pos + 4;
+  v
+
+let r64f c =
+  need c 8;
+  let v = Int64.float_of_bits (Bytes.get_int64_le c.buf c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let rlen c what =
+  let n = r32 c in
+  if n < 0 || n > max_payload then fail "bad %s count %d" what n;
+  n
+
+let decode buf =
+  let c = { buf; pos = 0 } in
+  let msg =
+    match r8 c with
+    | 1 ->
+        let shard = r32 c in
+        let selected = r32 c in
+        let evaluations = r32 c in
+        let pops = r32 c in
+        let truncated = r8 c <> 0 in
+        let n = rlen c "triple" in
+        let triples =
+          Array.init n (fun _ ->
+              let u = r32 c in
+              let i = r32 c in
+              let t = r32 c in
+              Triple.make ~u ~i ~t)
+        in
+        Shard_result { shard; selected; evaluations; pops; truncated; triples }
+    | 2 -> Reconcile_request (Array.init (rlen c "item") (fun _ -> r32 c))
+    | 3 ->
+        let n = rlen c "list" in
+        Loss_lists
+          (Array.init n (fun _ ->
+               let item = r32 c in
+               let m = rlen c "holder" in
+               ( item,
+                 Array.init m (fun _ ->
+                     let loss = r64f c in
+                     let u = r32 c in
+                     (loss, u)) )))
+    | 4 -> Shutdown
+    | 6 ->
+        let item = r32 c in
+        Release { item; users = Array.init (rlen c "user") (fun _ -> r32 c) }
+    | 5 ->
+        let n = rlen c "error byte" in
+        need c n;
+        let s = Bytes.sub_string c.buf c.pos n in
+        c.pos <- c.pos + n;
+        Child_error s
+    | t -> fail "unknown message tag %d" t
+  in
+  if c.pos <> Bytes.length buf then fail "%d trailing payload bytes" (Bytes.length buf - c.pos);
+  msg
+
+(* ------------------------------------------------------------------ *)
+(* Framing: u32-le length, u32-le CRC-32 of the payload, payload       *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd b off len =
+  let written = ref off in
+  let remaining = ref len in
+  while !remaining > 0 do
+    let n = Unix.write fd b !written !remaining in
+    written := !written + n;
+    remaining := !remaining - n
+  done
+
+let read_all fd b off len =
+  let read = ref off in
+  let remaining = ref len in
+  while !remaining > 0 do
+    let n = Unix.read fd b !read !remaining in
+    if n = 0 then fail "unexpected end of stream (%d bytes short)" !remaining;
+    read := !read + n;
+    remaining := !remaining - n
+  done
+
+let send fd msg =
+  let payload = encode msg in
+  let plen = Bytes.length payload in
+  let frame = Bytes.create (8 + plen) in
+  Bytes.set_int32_le frame 0 (Int32.of_int plen);
+  Bytes.set_int32_le frame 4 (Int32.of_int (Util.crc32 payload 0 plen));
+  Bytes.blit payload 0 frame 8 plen;
+  write_all fd frame 0 (8 + plen)
+
+let recv fd =
+  let header = Bytes.create 8 in
+  read_all fd header 0 8;
+  let plen = Int32.to_int (Bytes.get_int32_le header 0) in
+  if plen < 1 || plen > max_payload then fail "bad frame length %d" plen;
+  let crc = Int32.to_int (Bytes.get_int32_le header 4) land 0xFFFFFFFF in
+  let payload = Bytes.create plen in
+  read_all fd payload 0 plen;
+  if Util.crc32 payload 0 plen <> crc then fail "frame checksum mismatch";
+  decode payload

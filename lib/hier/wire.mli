@@ -1,0 +1,49 @@
+(** Framed messages of the hierarchical planner's process protocol.
+
+    Frames follow the serving journal's record layout (PR 7): a
+    little-endian u32 payload length, a u32 CRC-32 of the payload
+    ({!Revmax_prelude.Util.crc32} — the same implementation on both ends),
+    then the payload, whose first byte is a message tag. The protocol is
+    strictly request/response over a pair of unidirectional pipes, so no
+    framing-level sequencing is needed; a checksum or structure violation
+    raises {!Protocol_error} rather than silently desynchronizing the
+    planner. *)
+
+exception Protocol_error of string
+
+type shard_result = {
+  shard : int;  (** flat shard index in the parent's [procs × spp] grid *)
+  selected : int;
+  evaluations : int;
+  pops : int;
+  truncated : bool;
+  triples : Revmax.Triple.t array;
+      (** the shard strategy, sorted by [Triple.compare] (the sender's
+          [Strategy.to_list] order) — the parent replays them in this
+          order so the merge is bit-identical to the in-process one *)
+}
+
+type msg =
+  | Shard_result of shard_result  (** child → parent, one per owned shard, shard-ascending *)
+  | Reconcile_request of int array
+      (** parent → child: the over-subscribed item ids (ascending). Only
+          these items' candidate lists cross the process boundary. *)
+  | Loss_lists of (int * (float * int) array) array
+      (** child → parent: for each requested item, the child's own holders
+          ranked by (removal loss, user id) ascending. Losses travel as
+          IEEE-754 bit patterns, so the parent ranks the exact doubles the
+          child computed. *)
+  | Release of { item : int; users : int array }
+      (** parent → child: the globally-ranked losers of one item. Each
+          child drops the (user, item) pairs it owns before answering the
+          next query, so per-item loss values reflect earlier items'
+          releases exactly as the in-process reconciliation's do. *)
+  | Shutdown  (** parent → child: protocol complete, exit *)
+  | Child_error of string  (** child → parent: the child raised; message follows *)
+
+val send : Unix.file_descr -> msg -> unit
+(** Write one frame, handling short writes. *)
+
+val recv : Unix.file_descr -> msg
+(** Read one frame, handling short reads. Raises {!Protocol_error} on end
+    of stream, checksum mismatch, or a malformed payload. *)

@@ -1,5 +1,25 @@
 let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
 
+(* CRC-32 (IEEE 802.3, the zlib polynomial), table-driven; shared by the
+   serving journal and the hierarchical planner's pipe framing so both ends
+   of every checksummed byte agree on one implementation *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 bytes off len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for k = off to off + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.get bytes k)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
 let clamp_prob x = clamp ~lo:0.0 ~hi:1.0 x
 
 let float_equal ?(eps = 1e-9) a b =

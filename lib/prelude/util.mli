@@ -3,6 +3,12 @@
 val clamp : lo:float -> hi:float -> float -> float
 (** [clamp ~lo ~hi x] restricts [x] to the closed interval [\[lo, hi\]]. *)
 
+val crc32 : bytes -> int -> int -> int
+(** [crc32 b off len]: CRC-32 (IEEE 802.3 / zlib polynomial) of
+    [b.(off .. off+len-1)], as a non-negative int below [2^32]. Used by the
+    serving journal's record framing and the hierarchical planner's pipe
+    protocol. *)
+
 val clamp_prob : float -> float
 (** [clamp_prob x] clamps [x] to [\[0, 1\]]. *)
 

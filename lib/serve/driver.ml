@@ -37,8 +37,15 @@ let percentiles_of xs =
   | sorted ->
       let a = Array.of_list sorted in
       let n = Array.length a in
-      let pick p = a.(max 0 (min (n - 1) (int_of_float (Float.ceil (p *. float_of_int n)) - 1))) in
-      { p50 = pick 0.50; p95 = pick 0.95; p99 = pick 0.99; max = a.(n - 1) }
+      (* nearest-rank: index ⌈pct·n/100⌉ − 1, in exact integer arithmetic.
+         The former float form — ceil (p *. float n) — is only correct when
+         the double for p sits at or below the exact rational: 0.50, 0.95
+         and 0.99 all round down, so the product never crosses the next
+         integer from below, but e.g. 0.55 rounds up and overshoots the
+         rank by one whenever 0.55·n is integral (p55 of 100 samples read
+         index 55, not 54). The integer form is exact for every pct. *)
+      let pick pct = a.(max 0 (min (n - 1) (((pct * n) + 99) / 100 - 1))) in
+      { p50 = pick 50; p95 = pick 95; p99 = pick 99; max = a.(n - 1) }
 
 type outcome = { seq : int64; triples : (int * int * int) list; realized : float; stale : bool }
 

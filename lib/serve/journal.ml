@@ -26,26 +26,7 @@ let c_syncs = Metrics.counter "journal.syncs"
 let c_healed_bytes = Metrics.counter "journal.healed_bytes"
 let c_healed_records = Metrics.counter "journal.dropped_corrupt_records"
 
-(* ------------------------------------------------------------------ *)
-(* CRC-32 (IEEE 802.3, the zlib polynomial), table-driven              *)
-(* ------------------------------------------------------------------ *)
-
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
-
-let crc32 bytes off len =
-  let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFF in
-  for k = off to off + len - 1 do
-    c := table.((!c lxor Char.code (Bytes.get bytes k)) land 0xff) lxor (!c lsr 8)
-  done;
-  !c lxor 0xFFFFFFFF
+let crc32 = Revmax_prelude.Util.crc32
 
 (* ------------------------------------------------------------------ *)
 (* Record codec                                                        *)

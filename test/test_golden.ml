@@ -167,11 +167,39 @@ let check_fixture name build () =
         (String.concat "\n" (diff ~expected:actual ~actual:actual_rp))
   end
 
+(* The same fixtures, re-run with the instance routed through a pack file
+   and opened memory-mapped. The mapped backend stores and reads back the
+   exact IEEE doubles, so the traces must match the {e existing} fixture
+   byte-for-byte — there is deliberately no bless path here: a divergence
+   means the mmap backend broke, never that the fixture needs updating. *)
+let check_fixture_mmap name build () =
+  let path = Filename.temp_file "golden" ".pack" in
+  let inst =
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        Instance.pack_to_file (build ()) path;
+        Instance.of_mmap path)
+  in
+  let fixture = fixture_path name in
+  if not (Sys.file_exists fixture) then
+    Alcotest.failf "golden fixture %s is missing (bless via the heap suite first)" fixture
+  else
+    match diff ~expected:(read_file fixture) ~actual:(render name inst) with
+    | [] -> ()
+    | mismatches ->
+        Alcotest.failf "mmap-backed trace %s diverged from the heap fixture:\n%s" name
+          (String.concat "\n" mismatches)
+
 let () =
   Alcotest.run "golden"
     [
       ( "golden-traces",
         List.map
           (fun (name, build) -> Alcotest.test_case name `Quick (check_fixture name build))
+          fixtures );
+      ( "golden-traces-mmap",
+        List.map
+          (fun (name, build) -> Alcotest.test_case name `Quick (check_fixture_mmap name build))
           fixtures );
     ]

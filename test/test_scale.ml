@@ -1,0 +1,375 @@
+(* Out-of-core scale machinery: pack files and the memory-mapped instance
+   backend (bit-identical to the heap path through every planner), the
+   hierarchical process-level planner's equivalence to the flat in-process
+   one, and the pipe wire codec both planners' processes speak. *)
+
+module Rng = Revmax_prelude.Rng
+module Instance = Revmax.Instance
+module Triple = Revmax.Triple
+module Strategy = Revmax.Strategy
+module Revenue = Revmax.Revenue
+module Greedy = Revmax.Greedy
+module Shard_greedy = Revmax.Shard_greedy
+module Hier_greedy = Revmax_hier.Hier_greedy
+module Wire = Revmax_hier.Wire
+open Helpers
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let sorted s = List.sort Triple.compare (Strategy.to_list s)
+
+let with_temp_pack f =
+  let path = Filename.temp_file "revmax" ".pack" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+(* pack → mmap round trip of a heap instance; the mapping outlives the
+   file (mmap keeps the pages), so the temp file can be removed eagerly *)
+let mmap_of inst =
+  with_temp_pack (fun path ->
+      Instance.pack_to_file inst path;
+      Instance.of_mmap path)
+
+(* a random instance with predicted ratings on some candidate pairs, so
+   the pack's optional rating section is exercised *)
+let random_rated_instance rng =
+  let inst = random_instance ~max_users:5 ~max_items:5 ~max_horizon:3 rng in
+  let ratings = ref [] in
+  for u = 0 to Instance.num_users inst - 1 do
+    Array.iter
+      (fun (i, _) -> if Rng.bernoulli rng 0.5 then ratings := (u, i, Rng.unit_float rng) :: !ratings)
+      (Instance.candidates inst u)
+  done;
+  if !ratings = [] then inst
+  else begin
+    (* rebuild the same instance with ratings attached *)
+    let adoption = ref [] in
+    for u = 0 to Instance.num_users inst - 1 do
+      Array.iter
+        (fun (i, qs) -> adoption := (u, i, Array.copy qs) :: !adoption)
+        (Instance.candidates inst u)
+    done;
+    Instance.create ~num_users:(Instance.num_users inst) ~num_items:(Instance.num_items inst)
+      ~horizon:(Instance.horizon inst) ~display_limit:(Instance.display_limit inst)
+      ~class_of:(Array.init (Instance.num_items inst) (Instance.class_of inst))
+      ~capacity:(Array.init (Instance.num_items inst) (Instance.capacity inst))
+      ~saturation:(Array.init (Instance.num_items inst) (Instance.saturation inst))
+      ~price:
+        (Array.init (Instance.num_items inst) (fun i ->
+             Array.init (Instance.horizon inst) (fun k -> Instance.price inst ~i ~time:(k + 1))))
+      ~ratings:!ratings ~adoption:!adoption ()
+  end
+
+(* ----- pack round trip: every observable fact survives bit-for-bit ----- *)
+
+let check_instances_equal ~what a b =
+  let ck msg got exp = if got <> exp then Alcotest.failf "%s: %s differ" what msg in
+  ck "num_users" (Instance.num_users b) (Instance.num_users a);
+  ck "num_items" (Instance.num_items b) (Instance.num_items a);
+  ck "horizon" (Instance.horizon b) (Instance.horizon a);
+  ck "display_limit" (Instance.display_limit b) (Instance.display_limit a);
+  ck "num_classes" (Instance.num_classes b) (Instance.num_classes a);
+  ck "triples" (Instance.num_candidate_triples b) (Instance.num_candidate_triples a);
+  ck "pair_count" (Instance.pair_count b) (Instance.pair_count a);
+  for i = 0 to Instance.num_items a - 1 do
+    ck "class_of" (Instance.class_of b i) (Instance.class_of a i);
+    ck "capacity" (Instance.capacity b i) (Instance.capacity a i);
+    (* floats: exact bit equality, not approximate *)
+    if Instance.saturation b i <> Instance.saturation a i then
+      Alcotest.failf "%s: saturation %d differs" what i;
+    for t = 1 to Instance.horizon a do
+      if Instance.price b ~i ~time:t <> Instance.price a ~i ~time:t then
+        Alcotest.failf "%s: price (%d,%d) differs" what i t
+    done
+  done;
+  for u = 0 to Instance.num_users a - 1 do
+    for i = 0 to Instance.num_items a - 1 do
+      ck "is_candidate" (Instance.is_candidate b ~u ~i) (Instance.is_candidate a ~u ~i);
+      if Instance.rating b ~u ~i <> Instance.rating a ~u ~i then
+        Alcotest.failf "%s: rating (%d,%d) differs" what u i;
+      for t = 1 to Instance.horizon a do
+        if Instance.q b ~u ~i ~time:t <> Instance.q a ~u ~i ~time:t then
+          Alcotest.failf "%s: q (%d,%d,%d) differs" what u i t
+      done
+    done
+  done;
+  (* candidate iteration order and payloads are identical *)
+  let collect inst =
+    let acc = ref [] in
+    Instance.iter_candidate_triples inst (fun z q -> acc := (z, q) :: !acc);
+    List.rev !acc
+  in
+  if collect b <> collect a then Alcotest.failf "%s: candidate triple streams differ" what
+
+let prop_pack_roundtrip =
+  QCheck2.Test.make ~name:"pack → mmap round trip preserves every fact" ~count:100 seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_rated_instance rng in
+      let mapped = mmap_of inst in
+      if not (Instance.is_packed mapped) then Alcotest.fail "of_mmap did not yield a packed instance";
+      check_instances_equal ~what:(Printf.sprintf "seed %d" seed) inst mapped;
+      (* a pack written from the mapped instance reads back equal too *)
+      let repacked = mmap_of mapped in
+      check_instances_equal ~what:(Printf.sprintf "seed %d repack" seed) inst repacked;
+      true)
+
+let test_pack_rejects_corruption () =
+  let rng = Rng.create 42 in
+  let inst = random_rated_instance rng in
+  with_temp_pack (fun path ->
+      Instance.pack_to_file inst path;
+      let size = (Unix.stat path).Unix.st_size in
+      (* truncation: every prefix strictly shorter than the file is invalid *)
+      List.iter
+        (fun keep ->
+          let cut = Filename.temp_file "revmax" ".cut" in
+          Fun.protect
+            ~finally:(fun () -> Sys.remove cut)
+            (fun () ->
+              let data = In_channel.with_open_bin path In_channel.input_all in
+              Out_channel.with_open_bin cut (fun oc ->
+                  Out_channel.output_string oc (String.sub data 0 keep));
+              match Instance.of_mmap_checked cut with
+              | Error _ -> ()
+              | Ok _ -> Alcotest.failf "truncated pack (%d of %d bytes) accepted" keep size))
+        [ 0; 4; 8 * 6; size / 2; size - 1 ];
+      (* a flipped magic byte is rejected *)
+      let data = Bytes.of_string (In_channel.with_open_bin path In_channel.input_all) in
+      Bytes.set data 0 'X';
+      let bad = Filename.temp_file "revmax" ".bad" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove bad)
+        (fun () ->
+          Out_channel.with_open_bin bad (fun oc -> Out_channel.output_bytes oc data);
+          match Instance.of_mmap_checked bad with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "pack with corrupted magic accepted"))
+
+let test_pack_rejects_bad_probability () =
+  (* bytes of a probability > 1 planted directly in the q section must be
+     caught by the open-time integrity pass *)
+  let inst =
+    Instance.create ~num_users:1 ~num_items:1 ~horizon:1 ~display_limit:1 ~class_of:[| 0 |]
+      ~capacity:[| 1 |] ~saturation:[| 1.0 |]
+      ~price:[| [| 1.0 |] |]
+      ~adoption:[ (0, 0, [| 0.5 |]) ]
+      ()
+  in
+  with_temp_pack (fun path ->
+      Instance.pack_to_file inst path;
+      let data = Bytes.of_string (In_channel.with_open_bin path In_channel.input_all) in
+      (* the single q double is the last 8 bytes before the pair-item and
+         row-offset trailers: locate it by value instead of offset math *)
+      let needle = Int64.bits_of_float 0.5 in
+      let pos = ref (-1) in
+      for off = 0 to Bytes.length data - 8 do
+        if Bytes.get_int64_le data off = needle then pos := off
+      done;
+      if !pos < 0 then Alcotest.fail "q payload not found in pack";
+      Bytes.set_int64_le data !pos (Int64.bits_of_float 1.5);
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc data);
+      match Instance.of_mmap_checked path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "pack with q = 1.5 accepted")
+
+(* ----- mmap ≡ heap through the planners ----- *)
+
+let trace_of run =
+  let order = ref [] in
+  let s, _ = run ~trace:(fun (pt : Greedy.trace_point) -> order := (pt.z, pt.revenue) :: !order) in
+  (s, List.rev !order)
+
+let prop_greedy_mmap_identity =
+  QCheck2.Test.make ~name:"greedy trace on mmap is bit-identical to heap" ~count:100 seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance ~max_users:5 ~max_items:5 ~max_horizon:3 rng in
+      let mapped = mmap_of inst in
+      List.iter
+        (fun heap ->
+          let s_h, tr_h = trace_of (fun ~trace -> Greedy.run ~heap ~trace inst) in
+          let s_m, tr_m = trace_of (fun ~trace -> Greedy.run ~heap ~trace mapped) in
+          (* selection order, per-step running revenue (exact doubles),
+             and the final strategy must all coincide *)
+          if tr_h <> tr_m then Alcotest.failf "seed %d: traces diverge on mmap" seed;
+          if sorted s_h <> sorted s_m then Alcotest.failf "seed %d: strategies diverge" seed;
+          if Revenue.total s_h <> Revenue.total s_m then
+            Alcotest.failf "seed %d: revenue diverges" seed)
+        [ `Two_level; `Giant ];
+      true)
+
+let prop_shard_mmap_identity =
+  QCheck2.Test.make ~name:"sharded planning on mmap equals heap at shards in {1,3}" ~count:60
+    seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance ~max_users:7 ~max_items:4 ~max_horizon:3 rng in
+      let mapped = mmap_of inst in
+      List.iter
+        (fun shards ->
+          let s_h, (st_h : Shard_greedy.stats) = Shard_greedy.solve ~shards inst in
+          let s_m, (st_m : Shard_greedy.stats) = Shard_greedy.solve ~shards mapped in
+          if sorted s_h <> sorted s_m then
+            Alcotest.failf "seed %d shards %d: selections diverge" seed shards;
+          if st_h.released_pairs <> st_m.released_pairs then
+            Alcotest.failf "seed %d shards %d: reconciliation diverges" seed shards)
+        [ 1; 3 ];
+      true)
+
+(* ----- hierarchical ≡ flat ----- *)
+
+let check_hier_equiv ?policy ~what inst ~procs ~spp =
+  let flat, (st_flat : Shard_greedy.stats) =
+    Shard_greedy.solve ?policy ~shards:(procs * spp) inst
+  in
+  let hier, (st_hier : Hier_greedy.stats) =
+    Hier_greedy.solve ?policy ~procs ~shards_per_proc:spp inst
+  in
+  if procs > 1 && st_hier.degraded then
+    Alcotest.failf "%s: hierarchical planner unexpectedly degraded" what;
+  if sorted hier <> sorted flat then Alcotest.failf "%s: hier selection differs from flat" what;
+  if Revenue.total hier <> Revenue.total flat then Alcotest.failf "%s: hier revenue differs" what;
+  if st_hier.per_shard_selected <> st_flat.per_shard_selected then
+    Alcotest.failf "%s: per-shard selections differ" what;
+  if st_hier.released_pairs <> st_flat.released_pairs then
+    Alcotest.failf "%s: released pairs differ (%d vs %d)" what st_hier.released_pairs
+      st_flat.released_pairs;
+  if st_hier.reconciliation_rounds <> st_flat.reconciliation_rounds then
+    Alcotest.failf "%s: reconciliation rounds differ" what;
+  if st_hier.replanned <> st_flat.replanned then Alcotest.failf "%s: replanned counts differ" what
+
+let test_hier_equals_flat () =
+  for seed = 0 to 14 do
+    let rng = Rng.create seed in
+    let inst = random_instance ~max_users:9 ~max_items:4 ~max_horizon:3 rng in
+    List.iter
+      (fun (procs, spp) ->
+        check_hier_equiv ~what:(Printf.sprintf "seed %d procs %d spp %d" seed procs spp) inst
+          ~procs ~spp)
+      [ (1, 2); (2, 1); (2, 2); (3, 2) ]
+  done
+
+let test_hier_reconciles_like_flat () =
+  (* hunt for seeds whose water-filling merge genuinely over-subscribes, so
+     the cross-process loss exchange is exercised, not just the merge *)
+  let exercised = ref 0 in
+  let seed = ref 0 in
+  while !exercised < 5 && !seed < 200 do
+    let rng = Rng.create !seed in
+    let inst = random_instance ~max_users:9 ~max_items:3 ~max_horizon:3 rng in
+    let _, (st : Shard_greedy.stats) = Shard_greedy.solve ~shards:4 inst in
+    if st.released_pairs > 0 then begin
+      incr exercised;
+      check_hier_equiv ~what:(Printf.sprintf "contended seed %d" !seed) inst ~procs:2 ~spp:2
+    end;
+    incr seed
+  done;
+  if !exercised = 0 then Alcotest.fail "no contended seed found; generator drifted?"
+
+let test_hier_on_mmap () =
+  let rng = Rng.create 7 in
+  let inst = random_instance ~max_users:9 ~max_items:4 ~max_horizon:3 rng in
+  let mapped = mmap_of inst in
+  check_hier_equiv ~what:"mmap-backed hier" mapped ~procs:2 ~spp:2;
+  (* and across backends: the hierarchical plan on the mapped instance
+     equals the flat plan on the heap instance *)
+  let flat, _ = Shard_greedy.solve ~shards:4 inst in
+  let hier, _ = Hier_greedy.solve ~procs:2 ~shards_per_proc:2 mapped in
+  if sorted hier <> sorted flat then Alcotest.fail "mmap hier differs from heap flat"
+
+(* ----- wire codec ----- *)
+
+let roundtrip msg =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () ->
+      Wire.send w msg;
+      Wire.recv r)
+
+let test_wire_roundtrip () =
+  let msgs =
+    [
+      Wire.Shard_result
+        {
+          shard = 3;
+          selected = 2;
+          evaluations = 17;
+          pops = 9;
+          truncated = true;
+          triples = [| triple 0 1 2; triple 4 0 1 |];
+        };
+      Wire.Reconcile_request [| 1; 5; 9 |];
+      Wire.Loss_lists [| (5, [| (0.125, 2); (Float.max_float, 0) |]); (9, [||]) |];
+      Wire.Release { item = 5; users = [| 2; 7 |] };
+      Wire.Shutdown;
+      Wire.Child_error "boom";
+    ]
+  in
+  List.iter (fun m -> if roundtrip m <> m then Alcotest.fail "wire round trip changed a message") msgs
+
+let test_wire_rejects_corruption () =
+  let payload_flip () =
+    let r, w = Unix.pipe () in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close r with Unix.Unix_error _ -> ());
+        try Unix.close w with Unix.Unix_error _ -> ())
+      (fun () ->
+        Wire.send w (Wire.Reconcile_request [| 1; 2; 3 |]);
+        Unix.close w;
+        (* read the frame raw, flip one payload byte, re-send *)
+        let buf = Bytes.create 4096 in
+        let n = Unix.read r buf 0 4096 in
+        Bytes.set buf (n - 1) (Char.chr (Char.code (Bytes.get buf (n - 1)) lxor 1));
+        let r2, w2 = Unix.pipe () in
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.close r2 with Unix.Unix_error _ -> ());
+            try Unix.close w2 with Unix.Unix_error _ -> ())
+          (fun () ->
+            ignore (Unix.write w2 buf 0 n);
+            Unix.close w2;
+            match Wire.recv r2 with
+            | exception Wire.Protocol_error _ -> ()
+            | _ -> Alcotest.fail "corrupted frame accepted"))
+  in
+  payload_flip ();
+  (* EOF mid-frame *)
+  let r, w = Unix.pipe () in
+  ignore (Unix.write_substring w "\x10\x00\x00\x00" 0 4);
+  Unix.close w;
+  (match Wire.recv r with
+  | exception Wire.Protocol_error _ -> ()
+  | _ -> Alcotest.fail "truncated frame accepted");
+  Unix.close r
+
+let () =
+  Alcotest.run "scale"
+    [
+      ( "pack",
+        [
+          QCheck_alcotest.to_alcotest prop_pack_roundtrip;
+          Alcotest.test_case "corrupted packs are rejected" `Quick test_pack_rejects_corruption;
+          Alcotest.test_case "out-of-range q is rejected" `Quick test_pack_rejects_bad_probability;
+        ] );
+      ( "mmap-equivalence",
+        [
+          QCheck_alcotest.to_alcotest prop_greedy_mmap_identity;
+          QCheck_alcotest.to_alcotest prop_shard_mmap_identity;
+        ] );
+      ( "hier",
+        [
+          Alcotest.test_case "hier(p,s) ≡ flat(p·s) on random instances" `Quick
+            test_hier_equals_flat;
+          Alcotest.test_case "hier reconciliation matches flat under contention" `Quick
+            test_hier_reconciles_like_flat;
+          Alcotest.test_case "hier on an mmap-backed instance" `Quick test_hier_on_mmap;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "codec round trip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "corruption is rejected" `Quick test_wire_rejects_corruption;
+        ] );
+    ]

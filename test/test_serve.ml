@@ -561,6 +561,42 @@ let test_client_disconnect_does_not_kill_server () =
       Alcotest.(check bool) "server exits cleanly after EPIPE, not by signal" true
         (status = Unix.WEXITED 0)
 
+(* ----- Driver.percentiles_of: nearest-rank pinning vectors ----- *)
+
+let check_pcts name xs ~p50 ~p95 ~p99 ~max =
+  let got = Driver.percentiles_of xs in
+  Alcotest.(check (float 0.0)) (name ^ " p50") p50 got.Driver.p50;
+  Alcotest.(check (float 0.0)) (name ^ " p95") p95 got.Driver.p95;
+  Alcotest.(check (float 0.0)) (name ^ " p99") p99 got.Driver.p99;
+  Alcotest.(check (float 0.0)) (name ^ " max") max got.Driver.max
+
+let test_percentiles_hand_vectors () =
+  (* nearest-rank definition: value at index ⌈p·n⌉ − 1 of the sorted
+     sample. Hand-computed over small vectors, exercising the boundary
+     cases the integer rank must get right. *)
+  check_pcts "empty" [] ~p50:0.0 ~p95:0.0 ~p99:0.0 ~max:0.0;
+  (* n = 1: every percentile is the single sample *)
+  check_pcts "n=1" [ 7.5 ] ~p50:7.5 ~p95:7.5 ~p99:7.5 ~max:7.5;
+  (* n = 2: p50 rank ⌈1.0⌉ = 1 → the lower sample, not the upper *)
+  check_pcts "n=2" [ 2.0; 1.0 ] ~p50:1.0 ~p95:2.0 ~p99:2.0 ~max:2.0;
+  (* n = 10: p50 rank 5, p95 rank ⌈9.5⌉ = 10, p99 rank ⌈9.9⌉ = 10 *)
+  let v10 = List.init 10 (fun i -> float_of_int (i + 1)) in
+  check_pcts "n=10" v10 ~p50:5.0 ~p95:10.0 ~p99:10.0 ~max:10.0;
+  (* n = 20: p95·n exactly integral — rank 19, not 20 *)
+  let v20 = List.init 20 (fun i -> float_of_int (i + 1)) in
+  check_pcts "n=20" v20 ~p50:10.0 ~p95:19.0 ~p99:20.0 ~max:20.0;
+  (* n = 100: every pct·n integral — p50 rank 50, p95 rank 95, p99 rank 99 *)
+  let v100 = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check_pcts "n=100" v100 ~p50:50.0 ~p95:95.0 ~p99:99.0 ~max:100.0;
+  (* n = 200: p99·n = 198 exactly — rank 198 is the 198th value *)
+  let v200 = List.init 200 (fun i -> float_of_int (i + 1)) in
+  check_pcts "n=200" v200 ~p50:100.0 ~p95:190.0 ~p99:198.0 ~max:200.0
+
+let test_percentiles_sort_input () =
+  (* the function sorts; feed a shuffled vector and expect sorted ranks *)
+  let xs = [ 9.0; 1.0; 5.0; 3.0; 7.0; 8.0; 2.0; 6.0; 4.0; 10.0 ] in
+  check_pcts "shuffled n=10" xs ~p50:5.0 ~p95:10.0 ~p99:10.0 ~max:10.0
+
 let () =
   Alcotest.run "serve"
     [
@@ -618,5 +654,10 @@ let () =
         [
           Alcotest.test_case "client disconnect does not kill the server" `Quick
             test_client_disconnect_does_not_kill_server;
+        ] );
+      ( "percentiles",
+        [
+          Alcotest.test_case "nearest-rank hand vectors" `Quick test_percentiles_hand_vectors;
+          Alcotest.test_case "input is sorted first" `Quick test_percentiles_sort_input;
         ] );
     ]

@@ -113,6 +113,88 @@ let test_shard_rejects_bad_arguments () =
     (Invalid_argument "Instance.shard: cannot re-shard a shard view") (fun () ->
       ignore (Instance.shard ~shards:1 view))
 
+(* ----- proportional_shares: largest-remainder arithmetic ----- *)
+
+let test_proportional_shares_frozen_vectors () =
+  let check name expected ~capacity ~user_counts ~num_users =
+    Alcotest.(check (list int))
+      name expected
+      (Array.to_list (Instance.proportional_shares ~capacity ~user_counts ~num_users))
+  in
+  (* floors [2;2;1;1] sum to 6; the single leftover goes to the largest
+     remainder (shard 2, remainder 4, beating shard 3 on the index tie) *)
+  check "leftover to largest remainder" [ 2; 2; 2; 1 ] ~capacity:7
+    ~user_counts:[| 3; 3; 2; 2 |] ~num_users:10;
+  (* q_i < shards: all floors are 0 and the one unit lands on the largest
+     remainder — shard 0 here (remainder 3 ties shard 1, lower index wins) *)
+  check "capacity smaller than shard count" [ 1; 0; 0; 0 ] ~capacity:1
+    ~user_counts:[| 3; 3; 2; 2 |] ~num_users:10;
+  (* all remainders tie (every shard has remainder 4): leftover walks the
+     shard indices in ascending order *)
+  check "all remainders tie" [ 2; 2; 1; 1 ] ~capacity:6 ~user_counts:[| 2; 2; 2; 2 |]
+    ~num_users:8;
+  (* num_users = 0 degenerates to an even split, remainder to the lower
+     indices — the pre-fix code handed every shard the full capacity *)
+  check "zero users still sums to capacity" [ 2; 2; 1 ] ~capacity:5 ~user_counts:[| 0; 0; 0 |]
+    ~num_users:0;
+  check "zero users, zero capacity" [ 0; 0 ] ~capacity:0 ~user_counts:[| 0; 0 |] ~num_users:0;
+  (* exact division: no leftover, pure floors *)
+  check "exact division" [ 4; 2; 2 ] ~capacity:8 ~user_counts:[| 4; 2; 2 |] ~num_users:8
+
+let shares_gen =
+  QCheck2.Gen.(
+    let* shards = int_range 1 8 in
+    let* user_counts = array_size (return shards) (int_range 0 50) in
+    let* capacity = int_range 0 200 in
+    return (capacity, user_counts))
+
+let prop_proportional_shares_sum_exactly =
+  QCheck2.Test.make ~name:"proportional shares sum exactly to capacity" ~count:500 shares_gen
+    (fun (capacity, user_counts) ->
+      let num_users = Array.fold_left ( + ) 0 user_counts in
+      let shares = Instance.proportional_shares ~capacity ~user_counts ~num_users in
+      Array.length shares = Array.length user_counts
+      && Array.for_all (fun s -> s >= 0) shares
+      && Array.fold_left ( + ) 0 shares = capacity)
+
+let prop_proportional_shares_deterministic =
+  QCheck2.Test.make ~name:"proportional shares are deterministic (stable tie order)" ~count:500
+    shares_gen (fun (capacity, user_counts) ->
+      let num_users = Array.fold_left ( + ) 0 user_counts in
+      let a = Instance.proportional_shares ~capacity ~user_counts ~num_users in
+      let b = Instance.proportional_shares ~capacity ~user_counts ~num_users in
+      a = b)
+
+let prop_proportional_shares_off_floor_by_at_most_one =
+  (* largest-remainder never moves a shard more than one unit off its floor *)
+  QCheck2.Test.make ~name:"shares are floor or floor+1" ~count:500 shares_gen
+    (fun (capacity, user_counts) ->
+      let num_users = Array.fold_left ( + ) 0 user_counts in
+      if num_users = 0 then QCheck2.assume_fail ()
+      else
+        let shares = Instance.proportional_shares ~capacity ~user_counts ~num_users in
+        Array.for_all2
+          (fun s n_s ->
+            let floor = capacity * n_s / num_users in
+            s = floor || s = floor + 1)
+          shares user_counts)
+
+let test_shard_zero_user_instance_budgets_sum () =
+  (* end-to-end: a zero-user instance sharded proportionally must still
+     carry budgets that sum to q_i across the views *)
+  let inst =
+    Instance.create ~num_users:0 ~num_items:2 ~horizon:1 ~display_limit:1 ~class_of:[| 0; 1 |]
+      ~capacity:[| 5; 3 |] ~saturation:[| 0.5; 0.5 |]
+      ~price:[| [| 1.0 |]; [| 1.0 |] |]
+      ~adoption:[] ()
+  in
+  let views = Instance.shard ~policy:`Proportional ~shards:4 inst in
+  for i = 0 to 1 do
+    let total = Array.fold_left (fun acc v -> acc + Instance.capacity v i) 0 views in
+    Alcotest.(check int) (Printf.sprintf "item %d budgets sum to q_i" i)
+      (Instance.capacity inst i) total
+  done
+
 (* ----- Budget.split / absorb ----- *)
 
 let test_budget_split_shares () =
@@ -146,6 +228,53 @@ let test_budget_split_accounts_prior_spend () =
   Alcotest.(check bool) "part 0 exhausted at its share" true (Budget.exhausted parts.(0));
   Budget.absorb b parts;
   Alcotest.(check int) "parent total" 10 (Budget.evaluations b)
+
+let budget_part_cap p =
+  (* probe a part's evaluation cap by spending until exhaustion *)
+  let n = ref 0 in
+  while not (Budget.exhausted p) && !n < 10_000 do
+    Budget.spend p 1;
+    incr n
+  done;
+  !n
+
+let test_budget_split_exact_sum_sweep () =
+  (* audit pin: for every (cap, n) the shares sum exactly to the cap, the
+     remainder lands on the earlier parts, and no share is zero once
+     cap >= n *)
+  List.iter
+    (fun cap ->
+      List.iter
+        (fun n ->
+          let b = Budget.create ~max_evaluations:cap () in
+          let caps = Array.map budget_part_cap (Budget.split b n) in
+          let total = Array.fold_left ( + ) 0 caps in
+          if total <> cap then
+            Alcotest.failf "cap=%d n=%d: shares sum to %d" cap n total;
+          (* deterministic remainder: earlier parts are never smaller *)
+          for idx = 1 to n - 1 do
+            if caps.(idx) > caps.(idx - 1) then
+              Alcotest.failf "cap=%d n=%d: share %d exceeds share %d" cap n idx (idx - 1)
+          done;
+          if cap >= n && Array.exists (fun c -> c = 0) caps then
+            Alcotest.failf "cap=%d n=%d: zero share despite cap >= n" cap n)
+        [ 1; 2; 3; 4; 7; 8 ])
+    [ 1; 2; 5; 7; 8; 16; 100 ]
+
+let test_budget_absorb_roundtrip_identity () =
+  (* absorb (split t n) = t: splitting and absorbing untouched parts is a
+     no-op on the parent's accounting, with or without prior spend *)
+  List.iter
+    (fun prior ->
+      let b = Budget.create ~max_evaluations:20 () in
+      Budget.spend b prior;
+      let parts = Budget.split b 4 in
+      Budget.absorb b parts;
+      Alcotest.(check int)
+        (Printf.sprintf "prior=%d: absorb of untouched parts is a no-op" prior)
+        prior (Budget.evaluations b);
+      Alcotest.(check bool) "exhaustion unchanged" (prior >= 20) (Budget.exhausted b))
+    [ 0; 5; 20 ]
 
 let test_budget_split_unlimited () =
   let b = Budget.create () in
@@ -299,11 +428,25 @@ let () =
             test_shard_views_are_zero_copy_slices;
           Alcotest.test_case "invalid arguments rejected" `Quick test_shard_rejects_bad_arguments;
         ] );
+      ( "proportional-shares",
+        [
+          Alcotest.test_case "frozen regression vectors" `Quick
+            test_proportional_shares_frozen_vectors;
+          QCheck_alcotest.to_alcotest prop_proportional_shares_sum_exactly;
+          QCheck_alcotest.to_alcotest prop_proportional_shares_deterministic;
+          QCheck_alcotest.to_alcotest prop_proportional_shares_off_floor_by_at_most_one;
+          Alcotest.test_case "zero-user instance budgets still sum" `Quick
+            test_shard_zero_user_instance_budgets_sum;
+        ] );
       ( "budget-split",
         [
           Alcotest.test_case "split shares and absorb round-trip" `Quick test_budget_split_shares;
           Alcotest.test_case "split divides only the remaining allowance" `Quick
             test_budget_split_accounts_prior_spend;
+          Alcotest.test_case "exact-sum sweep with deterministic remainder" `Quick
+            test_budget_split_exact_sum_sweep;
+          Alcotest.test_case "absorb of an untouched split is the identity" `Quick
+            test_budget_absorb_roundtrip_identity;
           Alcotest.test_case "splitting an unlimited budget" `Quick test_budget_split_unlimited;
         ] );
       ( "shard-greedy",
