@@ -253,8 +253,48 @@ let save_strategy_arg =
     & opt (some string) None
     & info [ "save-strategy" ] ~docv:"FILE" ~doc:"Write the planned strategy to FILE.")
 
+(* constraint-variant flags, shared by plan / solve / pack *)
+let slate_k_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "slate-k" ] ~docv:"K"
+        ~doc:
+          "Plan with K-slot ad slates: each (user, time) display becomes an ordered slate of K \
+           slots whose adoption probabilities decay with the position (the display limit \
+           becomes K).")
+
+let slate_decay_arg =
+  Arg.(
+    value
+    & opt float 0.7
+    & info [ "slate-decay" ] ~docv:"R"
+        ~doc:
+          "Geometric position-decay ratio in (0,1\\] for $(b,--slate-k): slot s multiplies q by \
+           R^(s-1).")
+
+let max_total_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-total" ] ~docv:"N"
+        ~doc:
+          "Global quantity budget: the planned strategy may contain at most N recommendations \
+           in total.")
+
+let apply_variants ~slate_k ~slate_decay ~max_total inst =
+  let inst =
+    match slate_k with
+    | None -> inst
+    | Some k ->
+        Instance.with_slate ~display_limit:k inst
+          (Pipeline.position_curve ~decay:(`Geometric slate_decay) k)
+  in
+  match max_total with None -> inst | Some n -> Instance.with_max_total inst n
+
 let plan_cmd =
-  let run cfg dataset algo beta simulate show save_instance save_strategy deadline max_evals =
+  let run cfg dataset algo beta simulate show save_instance save_strategy deadline max_evals
+      slate_k slate_decay max_total =
     let beta_spec =
       match beta with
       | None -> Pipeline.Beta_uniform
@@ -274,6 +314,7 @@ let plan_cmd =
             (Scalability.with_users (Config.fig6_base cfg) (List.hd (Config.fig6_user_counts cfg)))
             ~seed:cfg.Config.seed
     in
+    let inst = apply_variants ~slate_k ~slate_decay ~max_total inst in
     Format.printf "instance: %a@." Instance.pp_stats inst;
     (match save_instance with
     | Some path ->
@@ -322,7 +363,8 @@ let plan_cmd =
     (Cmd.info "plan" ~doc:"Generate a dataset, run a planning algorithm, report the strategy.")
     Term.(
       const run $ config_term $ dataset_arg $ algo_arg $ beta_arg $ simulate_arg $ show_arg
-      $ save_instance_arg $ save_strategy_arg $ deadline_arg $ max_evals_arg)
+      $ save_instance_arg $ save_strategy_arg $ deadline_arg $ max_evals_arg $ slate_k_arg
+      $ slate_decay_arg $ max_total_arg)
 
 (* ----- solve (file-based workflow) ----- *)
 
@@ -352,10 +394,13 @@ let solve_cmd =
             "Instance file: either the revmax-instance text format (see Revmax.Io) or a pack \
              file (see $(b,pack)), which is opened memory-mapped.")
   in
-  let run cfg file algo simulate save_strategy deadline max_evals =
+  let run cfg file algo simulate save_strategy deadline max_evals slate_k slate_decay max_total =
     match load_instance_auto file with
     | Error e -> `Error (false, Revmax_prelude.Err.message e)
-    | Ok inst ->
+    | Ok inst -> (
+        match apply_variants ~slate_k ~slate_decay ~max_total inst with
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | inst ->
         Format.printf "instance: %a@." Instance.pp_stats inst;
         let budget = budget_of ~deadline ~max_evals in
         let (s, truncated), seconds =
@@ -377,14 +422,14 @@ let solve_cmd =
           Printf.printf "simulated revenue over %d worlds: %.2f (stderr %.2f)\n" simulate
             est.Revmax_stats.Mc.mean est.Revmax_stats.Mc.std_error
         end;
-        `Ok ()
+        `Ok ())
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Plan on an instance loaded from a file.")
     Term.(
       ret
         (const run $ config_term $ file_arg $ algo_arg $ simulate_arg $ save_strategy_arg
-       $ deadline_arg $ max_evals_arg))
+       $ deadline_arg $ max_evals_arg $ slate_k_arg $ slate_decay_arg $ max_total_arg))
 
 (* ----- pack (out-of-core instance files) ----- *)
 
@@ -443,17 +488,19 @@ let pack_cmd =
       & info [ "display-limit" ] ~docv:"K"
           ~doc:"Synthetic instance: recommendations per (user, time step).")
   in
-  let run cfg out from users items classes ipu horizon k =
+  let run cfg out from users items classes ipu horizon k slate_k slate_decay max_total =
     let packed =
       match from with
       | Some file -> (
           match Revmax.Io.load_instance_result file with
           | Error e -> Error (Revmax_prelude.Err.message e)
           | Ok inst -> (
-              match Instance.pack_to_file inst out with
+              match Instance.pack_to_file (apply_variants ~slate_k ~slate_decay ~max_total inst) out with
               | () -> Ok ()
               | exception Invalid_argument msg -> Error msg))
-      | None ->
+      | None -> (
+          (* --slate-k doubles as the display limit, as in plan/solve *)
+          let display_limit = Option.value slate_k ~default:k in
           let scfg =
             Scalability.with_users
               {
@@ -462,11 +509,18 @@ let pack_cmd =
                 num_classes = classes;
                 items_per_user = ipu;
                 horizon;
-                display_limit = k;
+                display_limit;
+                slate =
+                  Option.map
+                    (fun n -> Pipeline.position_curve ~decay:(`Geometric slate_decay) n)
+                    slate_k;
+                max_total;
               }
               users
           in
-          Ok (Scalability.generate_pack scfg ~seed:cfg.Config.seed ~path:out)
+          match Scalability.generate_pack scfg ~seed:cfg.Config.seed ~path:out with
+          | () -> Ok ()
+          | exception Invalid_argument msg -> Error msg)
     in
     match packed with
     | Error msg -> `Error (false, msg)
@@ -490,7 +544,7 @@ let pack_cmd =
     Term.(
       ret
         (const run $ config_term $ out_arg $ from_arg $ users_arg $ items_arg $ classes_arg
-       $ ipu_arg $ horizon_arg $ k_arg))
+       $ ipu_arg $ horizon_arg $ k_arg $ slate_k_arg $ slate_decay_arg $ max_total_arg))
 
 (* ----- serve / replay (online serving layer) ----- *)
 

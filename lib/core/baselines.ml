@@ -1,11 +1,15 @@
 module Util = Revmax_prelude.Util
 
 (* Recommend each user their k best items under [score], repeated at every
-   time step; skip items whose capacity is exhausted by earlier users. *)
+   time step; skip items whose capacity is exhausted by earlier users, and
+   stop at the global quantity budget when the instance carries one (the
+   static baselines bypass [Strategy.can_add], so the cap is enforced
+   here). *)
 let static_top score inst =
   let s = Strategy.create inst in
   let k = Instance.display_limit inst in
   let horizon = Instance.horizon inst in
+  let cap = Instance.max_total_cap inst in
   for u = 0 to Instance.num_users inst - 1 do
     let cands = Instance.candidates inst u in
     let ranked = Util.top_k_by (Array.length cands) (score u) cands in
@@ -15,7 +19,7 @@ let static_top score inst =
         if !taken < k && Strategy.item_user_count s i < Instance.capacity inst i then begin
           incr taken;
           for tm = 1 to horizon do
-            Strategy.add s (Triple.make ~u ~i ~t:tm)
+            if Strategy.size s < cap then Strategy.add s (Triple.make ~u ~i ~t:tm)
           done
         end)
       ranked

@@ -186,12 +186,14 @@ let ensure_capacity c n =
     c.prob <- grow_f c.prob
   end
 
-let insert c (z : Triple.t) =
+let insert ?qz c (z : Triple.t) =
   Metrics.incr c_inserts;
   ensure_capacity c (c.len + 1);
   (let j0 = find c z in
    if j0 >= 0 && Triple.equal c.zs.(j0) z then invalid_arg "Chain.insert: duplicate triple");
-  let qz = Instance.q c.inst ~u:z.u ~i:z.i ~time:z.t in
+  let qz =
+    match qz with Some q -> q | None -> Instance.q c.inst ~u:z.u ~i:z.i ~time:z.t
+  in
   let one_minus_qz = 1.0 -. qz in
   (* splice z's effects into the existing aggregates and accumulate z's own
      memory / competition in the same O(L) pass. The accumulators live in

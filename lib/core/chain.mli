@@ -32,9 +32,12 @@ val iter : t -> (Triple.t -> unit) -> unit
 val mem : t -> Triple.t -> bool
 (** O(log L). *)
 
-val insert : t -> Triple.t -> unit
-(** Splice a triple in, updating every cached aggregate in O(L). Raises
-    [Invalid_argument] on a duplicate. *)
+val insert : ?qz:float -> t -> Triple.t -> unit
+(** Splice a triple in, updating every cached aggregate in O(L). [qz]
+    overrides the stored primitive probability (default
+    [Instance.q]) — how slate strategies store the slot-scaled
+    effective q̃ = m_slot · q(u,i,t). Raises [Invalid_argument] on a
+    duplicate. *)
 
 val remove : t -> Triple.t -> unit
 (** Remove exactly the given triple and rebuild the cached aggregates.

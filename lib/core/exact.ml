@@ -33,7 +33,10 @@ let brute_force_anytime ?(max_ground = 18) ?budget inst =
     incr nodes;
     if acc > !best_value then begin
       best_value := acc;
-      best := Strategy.to_list s
+      (* remember slot assignments with the incumbent: on slate instances
+         the DFS's auto-assigned slots depend on insertion order, and the
+         accumulated value was computed at those slots *)
+      best := List.map (fun z -> (z, Strategy.slot_of s z)) (Strategy.to_list s)
     end;
     if idx < Array.length ground && not (out_of_budget ()) then begin
       let z = ground.(idx) in
@@ -41,21 +44,34 @@ let brute_force_anytime ?(max_ground = 18) ?budget inst =
       go (idx + 1) acc;
       (* include, if valid *)
       if Strategy.can_add s z && not (out_of_budget ()) then begin
-        let gain = Revenue.marginal_incremental s z in
-        (match budget with Some b -> Budget.spend b 1 | None -> ());
-        Strategy.add s z;
-        go (idx + 1) (acc +. gain);
-        Strategy.remove s z
+        if not (Instance.is_slate inst) then begin
+          let gain = Revenue.marginal_incremental s z in
+          (match budget with Some b -> Budget.spend b 1 | None -> ());
+          Strategy.add s z;
+          go (idx + 1) (acc +. gain);
+          Strategy.remove s z
+        end
+        else
+          (* slate: the slot a triple takes scales its effective
+             probability and its competition on display mates, so the
+             optimum must branch over every free slot of the display, not
+             just the canonical lowest one *)
+          for slot = 1 to Instance.display_limit inst do
+            if (not (Strategy.slot_occupied s z ~slot)) && not (out_of_budget ()) then begin
+              (match budget with Some b -> Budget.spend b 1 | None -> ());
+              let before = Revenue.total_incremental s in
+              Strategy.add ~slot s z;
+              go (idx + 1) (acc +. (Revenue.total_incremental s -. before));
+              Strategy.remove s z
+            end
+          done
       end
     end
   in
   go 0 0.0;
-  {
-    strategy = Strategy.of_list inst !best;
-    value = !best_value;
-    nodes = !nodes;
-    truncated = !truncated;
-  }
+  let winner = Strategy.create inst in
+  List.iter (fun (z, slot) -> Strategy.add ?slot winner z) !best;
+  { strategy = winner; value = !best_value; nodes = !nodes; truncated = !truncated }
 
 let brute_force ?max_ground ?budget inst =
   let r = brute_force_anytime ?max_ground ?budget inst in

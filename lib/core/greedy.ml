@@ -52,9 +52,22 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
      root, checking feasibility and calling the oracle touch no heap
      records, no float boxes, and trigger no GC write barrier. *)
   let stride = horizon + 1 in
+  (* Slate instances fold the ordered slot into the candidate space: the
+     entry id becomes eid = ((pid − plo)·stride + t)·nsl + (slot − 1) with
+     nsl = display_limit, so each (pair, time) contributes one entry per
+     slot and slot assignment is decided by the same heap order as
+     everything else. On plain instances nsl = 1 and every formula below
+     reduces to the historical eid = (pid − plo)·stride + t — same ids,
+     same ties, bit-identical selections. [mult.(slot − 1)] scales the
+     candidate's q; the plain path multiplies by 1.0, which is IEEE-exact. *)
+  let nsl = if Instance.is_slate inst then display_limit else 1 in
+  let mult =
+    match Instance.slot_multipliers inst with Some m -> m | None -> [| 1.0 |]
+  in
+  let estride = stride * nsl in
   let plo, phi = Instance.pair_range inst in
   let npairs = phi - plo in
-  let neid = npairs * stride in
+  let neid = npairs * estride in
   (* staleness stamp per entry — the chain length at the last evaluation.
      Chain lengths are small integers, exact in floating point, so the
      stamp compares exactly. The adoption probability itself is no longer
@@ -116,7 +129,19 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
     incr evals;
     (match budget with Some b -> Budget.spend b 1 | None -> ());
     match evaluator with
-    | `Naive -> res.(0) <- Revenue.marginal ~with_saturation s (Triple.make ~u ~i ~t)
+    | `Naive ->
+        if nsl = 1 then res.(0) <- Revenue.marginal ~with_saturation s (Triple.make ~u ~i ~t)
+        else begin
+          (* slate-aware naive reference: members carry their assigned
+             slots' effective q̃, the candidate this entry's slot *)
+          let z = Triple.make ~u ~i ~t in
+          let qz = mult.(eid mod nsl) *. Instance.q inst ~u ~i ~time:t in
+          let q_of z' = if Triple.equal z' z then qz else Strategy.effective_q s z' in
+          let chain = Strategy.chain_of_triple s z in
+          res.(0) <-
+            Revenue.chain_revenue ~with_saturation ~q_of inst (Triple.chain_insert chain z)
+            -. Revenue.chain_revenue ~with_saturation ~q_of inst chain
+        end
     | `Incremental -> (
         (* the open-coded {!Revenue.marginal_incremental}: same arithmetic,
            but the instance facts come from the CSR row and the flat
@@ -124,15 +149,18 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
            steady-state evaluation performs no hashtable lookup and no
            allocation (these oracle calls are accounted under
            greedy.marginal_evaluations / chain.marginals) *)
-        match chains.(chain_slot.(eid / stride)) with
+        match chains.(chain_slot.(eid / estride)) with
         | Some c ->
             let cells = Chain.oracle_cells c in
-            cells.(3) <- Instance.pair_q inst ~pid:(plo + (eid / stride)) ~time:t;
+            cells.(3) <-
+              mult.(eid mod nsl) *. Instance.pair_q inst ~pid:(plo + (eid / estride)) ~time:t;
             cells.(4) <- prf.((i * stride) + t);
             cells.(5) <- beta_arr.(i);
             Chain.marginal_cells ~with_saturation c ~time:t ~res
         | None ->
-            let qz = Instance.pair_q inst ~pid:(plo + (eid / stride)) ~time:t in
+            let qz =
+              mult.(eid mod nsl) *. Instance.pair_q inst ~pid:(plo + (eid / estride)) ~time:t
+            in
             res.(0) <- (if qz <= 0.0 then 0.0 else prf.((i * stride) + t) *. qz))
   in
   (* boxed-float view of the oracle for the cold paths (initial keys, bulk
@@ -151,6 +179,13 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
         true
     | _ -> false
   in
+  (* global quantity budget: reaching the cap is {e completion} — the run
+     found the best strategy of the allowed size — so it must not set the
+     truncated flag (that means the evaluation budget cut the run short).
+     Unbounded instances carry [max_int], which [Strategy.size] never
+     reaches, so the plain path pays one dead compare per cycle. *)
+  let cap_total = Instance.max_total_cap inst in
+  let quota_full () = Strategy.size s >= cap_total in
   (* flat mirrors of the three feasibility facts [Strategy.can_add] would
      probe hashtables for — display fill per (user, time), the distinct-user
      holder set and count per item. The strategy remains the source of
@@ -167,6 +202,15 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
   let holds = Bytes.make npairs '\000' in
   let holds_extra = Hashtbl.create 16 in
   let holders = Array.make num_items 0 in
+  (* slate-only byte maps (empty on plain instances): [tsel] marks a
+     (pair, time) whose triple is already selected in {e some} slot — the
+     other nsl − 1 entries of the same triple are then permanently
+     infeasible, since a triple occupies exactly one slot; [slot_taken]
+     marks an occupied (user, time, slot). Both facts are permanent during
+     a run (the strategy only grows, slots never free), so blocked entries
+     can be dropped for good, exactly like display/capacity blocks. *)
+  let tsel = Bytes.make (if nsl = 1 then 0 else npairs * stride) '\000' in
+  let slot_taken = Bytes.make (if nsl = 1 then 0 else num_users * stride * nsl) '\000' in
   let note (z : Triple.t) =
     let dk = (z.u * stride) + z.t in
     disp.(dk) <- disp.(dk) + 1;
@@ -175,7 +219,8 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
       if Bytes.get holds (pid - plo) = '\000' then begin
         Bytes.set holds (pid - plo) '\001';
         holders.(z.i) <- holders.(z.i) + 1
-      end
+      end;
+      if nsl > 1 then Bytes.set tsel (((pid - plo) * stride) + z.t) '\001'
     end
     else begin
       let hk = (z.u * num_items) + z.i in
@@ -183,26 +228,37 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
         Hashtbl.replace holds_extra hk ();
         holders.(z.i) <- holders.(z.i) + 1
       end
-    end
+    end;
+    if nsl > 1 then
+      match Strategy.slot_of s z with
+      | Some slot -> Bytes.set slot_taken ((dk * nsl) + slot - 1) '\001'
+      | None -> ()
   in
   List.iter note (Strategy.to_list s);
   (* feasibility of a popped candidate: candidates always carry their own
      view pair, so the holder probe is one byte read *)
-  let feasible rel u i t =
+  let feasible rel u i t slot =
     disp.((u * stride) + t) < display_limit
     && (Bytes.get holds rel <> '\000' || holders.(i) < capacity.(i))
+    && (nsl = 1
+       || Bytes.get tsel ((rel * stride) + t) = '\000'
+          && Bytes.get slot_taken ((((u * stride) + t) * nsl) + slot - 1) = '\000')
   in
   (* the accepted marginal arrives through [res.(0)], not a float argument:
      without flambda a float parameter is boxed at the call boundary, and
      [accept] runs once per selected triple in the steady-state loop *)
-  let accept rel u i t sl =
+  let accept rel u i t slot sl =
     let z = Triple.make ~u ~i ~t in
-    Strategy.add s z;
+    if nsl = 1 then Strategy.add s z else Strategy.add ~slot s z;
     let dk = (u * stride) + t in
     disp.(dk) <- disp.(dk) + 1;
     if Bytes.get holds rel = '\000' then begin
       Bytes.set holds rel '\001';
       holders.(i) <- holders.(i) + 1
+    end;
+    if nsl > 1 then begin
+      Bytes.set tsel ((rel * stride) + t) '\001';
+      Bytes.set slot_taken ((dk * nsl) + slot - 1) '\001'
     end;
     (match chains.(sl) with
     | Some _ -> () (* same chain, mutated in place *)
@@ -222,8 +278,8 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
   let build_key eid u i t qv sl =
     if chain_size_slot sl = 0 then prf.((i * stride) + t) *. qv else marginal_eid eid u i t
   in
-  let register rel i t sl =
-    let eid = (rel * stride) + t in
+  let register rel i t sl ~slot =
+    let eid = (((rel * stride) + t) * nsl) + slot - 1 in
     prf.((i * stride) + t) <- Instance.price inst ~i ~time:t;
     stamp.(eid) <- float_of_int (chain_size_slot sl);
     eid
@@ -248,10 +304,14 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
             let qv = Instance.pair_q inst ~pid ~time:t in
             if qv > 0.0 then begin
               let z = Triple.make ~u ~i ~t in
-              if allowed z && not (Strategy.mem s z) then begin
-                let eid = register rel i t sl in
-                Tl.insert h ~pair:rel ~key:(build_key eid u i t qv sl) ~tie:eid eid
-              end
+              if allowed z && not (Strategy.mem s z) then
+                for slot = 1 to nsl do
+                  let qe = mult.(slot - 1) *. qv in
+                  if qe > 0.0 then begin
+                    let eid = register rel i t sl ~slot in
+                    Tl.insert h ~pair:rel ~key:(build_key eid u i t qe sl) ~tie:eid eid
+                  end
+                done
             end
           done);
       (* Recompute one entry's key and staleness stamp; the fresh key is
@@ -259,9 +319,9 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
          the refresh calls share one closure instead of allocating one per
          event. *)
       let refresh_entry eid' =
-        let rel' = eid' / stride in
+        let rel' = eid' / estride in
         stamp.(eid') <- float_of_int (chain_size_slot chain_slot.(rel'));
-        marginal_into eid' pu.(rel') pi_arr.(rel') (eid' mod stride)
+        marginal_into eid' pu.(rel') pi_arr.(rel') ((eid' / nsl) mod stride)
       in
       (* CELF-style lazy skip, made exact: re-evaluate only the entries
          whose staleness stamp shows their (user, class) chain grew since
@@ -281,11 +341,11 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
          the default path documents the soundness argument lazy skipping
          must meet. *)
       let refresh_entry_memo eid' =
-        let rel' = eid' / stride in
+        let rel' = eid' / estride in
         let cur' = float_of_int (chain_size_slot chain_slot.(rel')) in
         if stamp.(eid') < cur' then begin
           stamp.(eid') <- cur';
-          marginal_into eid' pu.(rel') pi_arr.(rel') (eid' mod stride)
+          marginal_into eid' pu.(rel') pi_arr.(rel') ((eid' / nsl) mod stride)
         end
         else incr celf_skips (* res.(0) keeps the stored key *)
       in
@@ -302,14 +362,15 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
         done
       in
       let rec loop () =
-        if (not (out_of_budget ())) && not (Tl.is_empty h) then begin
+        if (not (quota_full ())) && (not (out_of_budget ())) && not (Tl.is_empty h) then begin
           let eid = Tl.max_elt h in
-          let t = eid mod stride in
-          let rel = eid / stride in
+          let t = (eid / nsl) mod stride in
+          let rel = eid / estride in
+          let slot = (eid mod nsl) + 1 in
           let i = pi_arr.(rel) in
           let u = pu.(rel) in
           incr pops;
-          if not (feasible rel u i t) then begin
+          if not (feasible rel u i t slot) then begin
             (* both display fill and capacity blocks are permanent during a
                run (the strategy only grows), so the entry is dropped for
                good — each blocked candidate costs at most one pop *)
@@ -340,7 +401,7 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
               match Tl.celf_step h res with
               | `Finished -> () (* fresh maximum non-positive: done *)
               | `Accepted ->
-                  accept rel u i t sl;
+                  accept rel u i t slot sl;
                   if not lazy_forward then eager_refresh u i;
                   loop ()
               | `Rekeyed -> loop ()
@@ -365,7 +426,7 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
         List.iter
           (fun hd ->
             if Bh.contains h hd then begin
-              let rel = Bh.value hd / stride in
+              let rel = Bh.value hd / estride in
               if Bytes.get holds rel = '\000' then Bh.remove h hd
             end)
           by_item.(i);
@@ -380,10 +441,14 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
             let qv = Instance.pair_q inst ~pid ~time:t in
             if qv > 0.0 then begin
               let z = Triple.make ~u ~i ~t in
-              if allowed z && not (Strategy.mem s z) then begin
-                let eid = register rel i t sl in
-                track i (Bh.insert h ~key:(build_key eid u i t qv sl) ~tie:eid eid)
-              end
+              if allowed z && not (Strategy.mem s z) then
+                for slot = 1 to nsl do
+                  let qe = mult.(slot - 1) *. qv in
+                  if qe > 0.0 then begin
+                    let eid = register rel i t sl ~slot in
+                    track i (Bh.insert h ~key:(build_key eid u i t qe sl) ~tie:eid eid)
+                  end
+                done
             end
           done);
       (* a base strategy may already hold items at capacity *)
@@ -391,16 +456,17 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
         maybe_purge i
       done;
       let rec loop () =
-        if not (out_of_budget ()) then
+        if (not (quota_full ())) && not (out_of_budget ()) then
           match Bh.delete_max h with
           | None -> ()
           | Some (eid, key) ->
-              let t = eid mod stride in
-              let rel = eid / stride in
+              let t = (eid / nsl) mod stride in
+              let rel = eid / estride in
+              let slot = (eid mod nsl) + 1 in
               let i = pi_arr.(rel) in
               let u = pu.(rel) in
               incr pops;
-              if not (feasible rel u i t) then loop () (* display-blocked this round *)
+              if not (feasible rel u i t slot) then loop () (* display-blocked this round *)
               else begin
                 let sl = chain_slot.(rel) in
                 let cur = chain_size_slot sl in
@@ -412,7 +478,7 @@ let run ?(with_saturation = true) ?(heap = `Two_level) ?(lazy_forward = true)
                 else if key <= 0.0 then ()
                 else begin
                   res.(0) <- key;
-                  accept rel u i t sl;
+                  accept rel u i t slot sl;
                   maybe_purge i;
                   loop ()
                 end

@@ -45,6 +45,14 @@ type t = {
      strategies planned on a view merge into the parent without renaming. *)
   u_lo : int;
   u_hi : int;
+  (* constraint variants, sentinel-encoded so the plain REVMAX shape costs
+     nothing: an empty [slot_mult] means unordered k-sets (no slates); a
+     non-empty one has length [display_limit] and turns each (user,time)
+     display into ordered slots, slot s scaling q(u,i,t) by
+     [slot_mult.(s-1)]. [max_total = max_int] means no global quantity
+     budget; anything else caps the total number of recommendations. *)
+  slot_mult : float array;
+  max_total : int;
 }
 
 exception Bad_field of string * string
@@ -91,14 +99,48 @@ let check_item_arrays ~num_items ~horizon ~class_of ~capacity ~saturation ~price
         row)
     price
 
+(* slate multipliers: one per ordered slot, finite, within [0,1] and
+   non-increasing (position effects never help a lower slot — the shape
+   the greedy slot auto-assignment and the Keerthi–Tomlin model assume) *)
+let check_slot_mult ~display_limit mult =
+  if Array.length mult <> display_limit then
+    fail "slot_mult"
+      (Printf.sprintf "length %d differs from display_limit %d" (Array.length mult) display_limit);
+  Array.iteri
+    (fun s m ->
+      if (not (Float.is_finite m)) || m < 0.0 || m > 1.0 then
+        fail "slot_mult" (Printf.sprintf "slot %d: multiplier %g outside [0,1]" (s + 1) m);
+      if s > 0 && m > mult.(s - 1) then
+        fail "slot_mult"
+          (Printf.sprintf "slot %d: multiplier %g exceeds slot %d's %g (must be non-increasing)"
+             (s + 1) m s mult.(s - 1)))
+    mult
+
+let check_max_total cap =
+  if cap < 0 then fail "max_total" "quantity budget must be non-negative"
+
 let create_checked ~num_users ~num_items ~horizon ~display_limit ~class_of ~capacity ~saturation
-    ~price ?(ratings = []) ~adoption () =
+    ~price ?(ratings = []) ?slot_mult ?max_total ~adoption () =
   try
     if num_users < 0 then fail "num_users" "negative number of users";
     if num_items < 0 then fail "num_items" "negative number of items";
     if horizon < 1 then fail "horizon" "horizon must be at least 1";
     if display_limit < 1 then fail "display_limit" "display_limit must be at least 1";
     check_item_arrays ~num_items ~horizon ~class_of ~capacity ~saturation ~price;
+    let slot_mult =
+      match slot_mult with
+      | None -> [||]
+      | Some m ->
+          check_slot_mult ~display_limit m;
+          Array.copy m
+    in
+    let max_total =
+      match max_total with
+      | None -> max_int
+      | Some cap ->
+          check_max_total cap;
+          cap
+    in
     let num_classes = Array.fold_left (fun m c -> max m (c + 1)) 0 class_of in
     let class_sizes = Array.make num_classes 0 in
     Array.iter (fun c -> class_sizes.(c) <- class_sizes.(c) + 1) class_of;
@@ -174,14 +216,16 @@ let create_checked ~num_users ~num_items ~horizon ~display_limit ~class_of ~capa
         num_candidate_triples = !triples;
         u_lo = 0;
         u_hi = num_users;
+        slot_mult;
+        max_total;
       }
   with Bad_field (field, msg) -> Error (Err.Invalid_instance { field; msg })
 
 let create ~num_users ~num_items ~horizon ~display_limit ~class_of ~capacity ~saturation ~price
-    ?ratings ~adoption () =
+    ?ratings ?slot_mult ?max_total ~adoption () =
   match
     create_checked ~num_users ~num_items ~horizon ~display_limit ~class_of ~capacity ~saturation
-      ~price ?ratings ~adoption ()
+      ~price ?ratings ?slot_mult ?max_total ~adoption ()
   with
   | Ok t -> t
   | Error e -> invalid_arg ("Instance.create: " ^ Err.message e)
@@ -332,6 +376,43 @@ let rating t ~u ~i =
           let r = p.rating.{pid} in
           if Float.is_nan r then None else Some r
 
+(* ----- constraint variants: slates and quantity budgets ----- *)
+
+let is_slate t = Array.length t.slot_mult > 0
+
+let slot_multipliers t = if is_slate t then Some (Array.copy t.slot_mult) else None
+
+(* position multiplier of 1-based [slot]; 1.0 on non-slate instances, so
+   callers can fold it into q(u,i,t) unconditionally (q *. 1.0 is
+   IEEE-exact, keeping the degenerate path bit-identical) *)
+let slot_factor t ~slot =
+  if not (is_slate t) then 1.0
+  else begin
+    if slot < 1 || slot > t.display_limit then invalid_arg "Instance.slot_factor: slot out of range";
+    t.slot_mult.(slot - 1)
+  end
+
+let max_total t = if t.max_total = max_int then None else Some t.max_total
+
+let max_total_cap t = t.max_total
+
+let with_slate ?display_limit t mult =
+  let display_limit = Option.value display_limit ~default:t.display_limit in
+  (try
+     if display_limit < 1 then fail "display_limit" "display_limit must be at least 1";
+     check_slot_mult ~display_limit mult
+   with Bad_field (field, msg) ->
+     invalid_arg (Printf.sprintf "Instance.with_slate: %s: %s" field msg));
+  { t with display_limit; slot_mult = Array.copy mult }
+
+let with_max_total t cap =
+  (try check_max_total cap
+   with Bad_field (field, msg) ->
+     invalid_arg (Printf.sprintf "Instance.with_max_total: %s: %s" field msg));
+  { t with max_total = cap }
+
+let without_quantity_budget t = { t with max_total = max_int }
+
 let with_saturation_disabled t = { t with saturation = Array.make t.num_items 1.0 }
 
 let with_prices t price =
@@ -423,6 +504,21 @@ let shard ?(policy = `Water_filling) ~shards t =
         fun i -> proportional_shares ~capacity:t.capacity.(i) ~user_counts ~num_users:n
   in
   let budgets = Array.init t.num_items budget_of_item in
+  (* the global quantity budget splits like an item capacity: water-filling
+     hands each shard min(cap, its own selection ceiling) and lets the
+     merge-time trim resolve over-subscription (the min is composition
+     invariant, so hierarchical = flat splits see the same budgets);
+     proportional shares sum to exactly the cap and never need a trim *)
+  let quantity_budgets =
+    if t.max_total = max_int then Array.make shards max_int
+    else
+      match policy with
+      | `Water_filling ->
+          Array.map
+            (fun n_s -> min t.max_total (n_s * t.horizon * t.display_limit))
+            user_counts
+      | `Proportional -> proportional_shares ~capacity:t.max_total ~user_counts ~num_users:n
+  in
   Array.init shards (fun s ->
       let u_lo, u_hi = bounds.(s) in
       {
@@ -431,6 +527,7 @@ let shard ?(policy = `Water_filling) ~shards t =
         num_candidate_triples = view_triple_count t ~u_lo ~u_hi;
         u_lo;
         u_hi;
+        max_total = quantity_budgets.(s);
       })
 
 (* ----- the pack file: an out-of-core instance representation -----
@@ -468,6 +565,13 @@ module Pack = struct
   let s_num_pairs = 7
   let s_num_triples = 8
   let s_has_ratings = 9
+
+  (* constraint-variant slots (0 in packs written before they existed, which
+     decodes as "no budget, no slate" — old packs stay readable): slot 10
+     holds max_total + 1 (0 = unbounded); slot 11 flags a trailing
+     display_limit × f64 slot-multiplier section. *)
+  let s_max_total_plus1 = 10
+  let s_has_slate = 11
   let header_words = 12
   let header_bytes = 8 * header_words
 
@@ -479,6 +583,7 @@ module Pack = struct
     w_items : Buffer.t; (* pair item ids, i64, appended after the q stream *)
     w_ratings : Buffer.t; (* pair ratings, f64, NaN = absent *)
     w_row_off : int array;
+    w_slot_mult : float array; (* empty = no slate section *)
     mutable w_next_user : int;
     mutable w_pairs : int;
     mutable w_triples : int;
@@ -504,13 +609,16 @@ module Pack = struct
     Buffer.add_bytes buf b8
 
   let create_writer ~path ~num_users ~num_items ~horizon ~display_limit ~class_of ~capacity
-      ~saturation ~price () =
+      ~saturation ~price ?slot_mult ?max_total () =
     if num_users < 0 then invalid_arg "Instance.Pack.create_writer: negative number of users";
     if num_items < 0 then invalid_arg "Instance.Pack.create_writer: negative number of items";
     if horizon < 1 then invalid_arg "Instance.Pack.create_writer: horizon must be at least 1";
     if display_limit < 1 then
       invalid_arg "Instance.Pack.create_writer: display_limit must be at least 1";
-    (try check_item_arrays ~num_items ~horizon ~class_of ~capacity ~saturation ~price
+    (try
+       check_item_arrays ~num_items ~horizon ~class_of ~capacity ~saturation ~price;
+       (match slot_mult with Some m -> check_slot_mult ~display_limit m | None -> ());
+       match max_total with Some cap -> check_max_total cap | None -> ()
      with Bad_field (field, msg) ->
        invalid_arg (Printf.sprintf "Instance.Pack.create_writer: %s: %s" field msg));
     let oc = open_out_bin path in
@@ -523,6 +631,7 @@ module Pack = struct
         w_items = Buffer.create 4096;
         w_ratings = Buffer.create 4096;
         w_row_off = Array.make (num_users + 1) 0;
+        w_slot_mult = (match slot_mult with Some m -> Array.copy m | None -> [||]);
         w_next_user = 0;
         w_pairs = 0;
         w_triples = 0;
@@ -539,9 +648,11 @@ module Pack = struct
     put_i64 w horizon;
     put_i64 w display_limit;
     (* num_pairs / num_triples / has_ratings patched by [finish] *)
-    for _ = s_num_pairs to header_words - 1 do
+    for _ = s_num_pairs to s_has_ratings do
       put_i64 w 0
     done;
+    put_i64 w (match max_total with Some cap -> cap + 1 | None -> 0);
+    put_i64 w (if Array.length w.w_slot_mult > 0 then 1 else 0);
     Array.iter (put_i64 w) class_of;
     Array.iter (put_i64 w) capacity;
     Array.iter (put_f64 w) saturation;
@@ -602,6 +713,7 @@ module Pack = struct
     Buffer.output_buffer w.oc w.w_items;
     Array.iter (put_i64 w) w.w_row_off;
     if w.w_has_ratings then Buffer.output_buffer w.oc w.w_ratings;
+    Array.iter (put_f64 w) w.w_slot_mult;
     (* patch the deferred header slots *)
     seek_out w.oc (8 * s_num_pairs);
     put_i64 w w.w_pairs;
@@ -616,7 +728,8 @@ let pack_to_file t path =
   let w =
     Pack.create_writer ~path ~num_users:t.num_users ~num_items:t.num_items ~horizon:t.horizon
       ~display_limit:t.display_limit ~class_of:t.class_of ~capacity:t.capacity
-      ~saturation:t.saturation ~price:t.price ()
+      ~saturation:t.saturation ~price:t.price ?slot_mult:(slot_multipliers t)
+      ?max_total:(max_total t) ()
   in
   for u = 0 to t.num_users - 1 do
     let row = candidates t u in
@@ -651,14 +764,18 @@ let of_mmap_checked path =
     let num_pairs = slot Pack.s_num_pairs in
     let num_triples = slot Pack.s_num_triples in
     let has_ratings = slot Pack.s_has_ratings <> 0 in
+    let max_total_plus1 = slot Pack.s_max_total_plus1 in
+    let has_slate = slot Pack.s_has_slate <> 0 in
     if num_users < 0 || num_items < 0 || num_pairs < 0 || horizon < 1 || display_limit < 1 then
       fail "header" "dimensions out of range";
+    if max_total_plus1 < 0 then fail "max_total" "quantity budget out of range";
     let expected_size =
       Pack.header_bytes
       + (8 * num_items * (3 + horizon))
       + (8 * num_pairs * (horizon + 1))
       + (8 * (num_users + 1))
-      + if has_ratings then 8 * num_pairs else 0
+      + (if has_ratings then 8 * num_pairs else 0)
+      + if has_slate then 8 * display_limit else 0
     in
     if file_size <> expected_size then
       fail "size"
@@ -689,6 +806,7 @@ let of_mmap_checked path =
     let off_item = off_q + (8 * num_pairs * horizon) in
     let off_row = off_item + (8 * num_pairs) in
     let off_rating = off_row + (8 * (num_users + 1)) in
+    let off_slate = off_rating + if has_ratings then 8 * num_pairs else 0 in
     (* item-level facts and row offsets are O(items + users): copy them to
        heap arrays for ordinary array access *)
     let class_ba = map_i64 off_class num_items in
@@ -715,6 +833,15 @@ let of_mmap_checked path =
     let rating =
       if has_ratings then map_f64 off_rating num_pairs
       else Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 0
+    in
+    let slot_mult =
+      if not has_slate then [||]
+      else begin
+        let ba = map_f64 off_slate display_limit in
+        let m = Array.init display_limit (fun s -> ba.{s}) in
+        check_slot_mult ~display_limit m;
+        m
+      end
     in
     (* one integrity pass over the mapped pair data: rows item-ascending
        and in range, probabilities in [0,1], and the triple count matches
@@ -758,6 +885,8 @@ let of_mmap_checked path =
         num_candidate_triples = num_triples;
         u_lo = 0;
         u_hi = num_users;
+        slot_mult;
+        max_total = (if max_total_plus1 = 0 then max_int else max_total_plus1 - 1);
       }
   with
   | Bad_field (field, msg) -> Error (Err.Invalid_instance { field; msg })
@@ -772,4 +901,8 @@ let of_mmap path =
 
 let pp_stats ppf t =
   Format.fprintf ppf "users=%d items=%d classes=%d T=%d k=%d candidate-triples=%d" t.num_users
-    t.num_items t.num_classes t.horizon t.display_limit t.num_candidate_triples
+    t.num_items t.num_classes t.horizon t.display_limit t.num_candidate_triples;
+  if is_slate t then
+    Format.fprintf ppf " slate=[%s]"
+      (String.concat ";" (Array.to_list (Array.map (Printf.sprintf "%g") t.slot_mult)));
+  if t.max_total <> max_int then Format.fprintf ppf " max-total=%d" t.max_total

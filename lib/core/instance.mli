@@ -24,6 +24,8 @@ val create :
   saturation:float array ->
   price:float array array ->
   ?ratings:(int * int * float) list ->
+  ?slot_mult:float array ->
+  ?max_total:int ->
   adoption:(int * int * float array) list ->
   unit ->
   t
@@ -37,6 +39,12 @@ val create :
     - [adoption] lists candidate pairs as [(u, i, qs)] with [qs] of length
       [horizon], [qs.(t-1) = q(u,i,t) ∈ [0,1]]; at most one entry per (u,i).
     - [ratings] optionally attaches predicted ratings to (u,i) pairs.
+    - [slot_mult] turns each (user, time) display into an ordered ad
+      {e slate}: length [display_limit], non-increasing, each in [[0,1]];
+      a recommendation in slot [s] has its [q(u,i,t)] scaled by
+      [slot_mult.(s-1)]. Omitted = the paper's unordered k-set.
+    - [max_total] imposes a global {e quantity budget}: the strategy may
+      hold at most this many recommendations in total. Omitted = unbounded.
 
     Raises [Invalid_argument] on any violation. *)
 
@@ -50,6 +58,8 @@ val create_checked :
   saturation:float array ->
   price:float array array ->
   ?ratings:(int * int * float) list ->
+  ?slot_mult:float array ->
+  ?max_total:int ->
   adoption:(int * int * float array) list ->
   unit ->
   (t, Revmax_prelude.Err.t) result
@@ -85,6 +95,49 @@ val saturation : t -> int -> float
 
 val price : t -> i:int -> time:int -> float
 (** [p(i,t)] for [time ∈ 1..T]. *)
+
+(** {1 Constraint variants}
+
+    Two generalizations from the related work, both off by default:
+    {e slates} (Keerthi–Tomlin: the (user, time) display is an ordered
+    list of slots with position-dependent adoption multipliers) and a
+    {e quantity budget} (Teng et al.: a global cap on the total number of
+    recommendations — a uniform matroid intersected with the display
+    partition matroid). Both are carried by the instance and enforced by
+    [Strategy.validate]; {!shard} splits the quantity budget across views
+    like an item capacity. *)
+
+val is_slate : t -> bool
+(** Whether the instance carries slate position multipliers. *)
+
+val slot_multipliers : t -> float array option
+(** The position multipliers, one per 1-based slot ([Array.length =
+    display_limit]), non-increasing; [None] on plain instances. *)
+
+val slot_factor : t -> slot:int -> float
+(** Multiplier of 1-based [slot]; [1.0] on non-slate instances (so callers
+    may fold it into [q] unconditionally). Raises [Invalid_argument] when
+    the slot is out of range on a slate instance. *)
+
+val max_total : t -> int option
+(** The global quantity budget, if any. *)
+
+val max_total_cap : t -> int
+(** Sentinel form of {!max_total}: the cap, or [max_int] when unbounded —
+    branch-free for hot-path comparisons against [Strategy.size]. *)
+
+val with_slate : ?display_limit:int -> t -> float array -> t
+(** A copy with slate position multipliers attached (shares the adoption
+    data). [display_limit], when given, also replaces [k] — the
+    multipliers must have that length. Same validation as {!create}'s
+    [slot_mult]; raises [Invalid_argument] on violation. *)
+
+val with_max_total : t -> int -> t
+(** A copy with a global quantity budget attached (shares the adoption
+    data). Raises [Invalid_argument] when negative. *)
+
+val without_quantity_budget : t -> t
+(** A copy with the quantity budget removed. *)
 
 (** {1 Adoption probabilities} *)
 
@@ -178,11 +231,15 @@ module Pack : sig
     capacity:int array ->
     saturation:float array ->
     price:float array array ->
+    ?slot_mult:float array ->
+    ?max_total:int ->
     unit ->
     writer
   (** Validates the item-level arrays (same checks as {!create}) and
-      writes the pack header and item sections. Raises [Invalid_argument]
-      on violation. *)
+      writes the pack header and item sections. [slot_mult] / [max_total]
+      persist the constraint variants (packs written without them read
+      back as plain instances, and old packs remain readable). Raises
+      [Invalid_argument] on violation. *)
 
   val add_user : writer -> u:int -> ?ratings:float option array -> (int * float array) array -> unit
   (** [add_user w ~u row] appends user [u]'s candidate row — items
@@ -265,6 +322,12 @@ val shard : ?policy:split_policy -> shards:int -> t -> t array
     the parent instance without renaming. [iter_candidate_triples] and
     [num_candidate_triples] reflect only the view's users; point lookups
     ([q], [price], [candidates], …) remain valid for any user id.
+
+    A quantity budget splits across views like an item capacity:
+    [`Water_filling] hands each shard [min max_total (its selection
+    ceiling)] — over-subscription is resolved by the planner's merge-time
+    trim — while [`Proportional] shares sum to exactly the cap. Slate
+    multipliers are global and shared by every view.
 
     With [shards = 1] the single view's behaviour is indistinguishable
     from [t] under both policies. Raises [Invalid_argument] when

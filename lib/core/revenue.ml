@@ -17,8 +17,14 @@ let memory ~chain ~time =
       if z.t < time then acc +. (1.0 /. float_of_int (time - z.t)) else acc)
     0.0 chain
 
-let dynamic_probability ?(with_saturation = true) inst ~chain (z : Triple.t) =
-  let q0 = Instance.q inst ~u:z.u ~i:z.i ~time:z.t in
+let dynamic_probability ?(with_saturation = true) ?q_of inst ~chain (z : Triple.t) =
+  (* [q_of] overrides the primitive probability of every chain member —
+     slate strategies pass their slot-scaled effective q̃; the default is
+     the raw instance lookup, byte-identical to the historical path *)
+  let qv (z' : Triple.t) =
+    match q_of with Some f -> f z' | None -> Instance.q inst ~u:z'.u ~i:z'.i ~time:z'.t
+  in
+  let q0 = qv z in
   if q0 <= 0.0 then 0.0
   else begin
     let sat =
@@ -31,24 +37,30 @@ let dynamic_probability ?(with_saturation = true) inst ~chain (z : Triple.t) =
     let comp =
       List.fold_left
         (fun acc (z' : Triple.t) ->
-          if z'.t < z.t || (z'.t = z.t && z'.i <> z.i) then
-            acc *. (1.0 -. Instance.q inst ~u:z'.u ~i:z'.i ~time:z'.t)
-          else acc)
+          if z'.t < z.t || (z'.t = z.t && z'.i <> z.i) then acc *. (1.0 -. qv z') else acc)
         1.0 chain
     in
     q0 *. sat *. comp
   end
 
-let chain_revenue ?with_saturation inst chain =
+let chain_revenue ?with_saturation ?q_of inst chain =
   List.fold_left
     (fun acc (z : Triple.t) ->
       acc
       +. Instance.price inst ~i:z.i ~time:z.t
-         *. dynamic_probability ?with_saturation inst ~chain z)
+         *. dynamic_probability ?with_saturation ?q_of inst ~chain z)
     0.0 chain
+
+(* a strategy's own q view: the slot-scaled effective probability on slate
+   instances, nothing (the raw-q default) otherwise — so the plain path
+   stays byte-identical *)
+let strategy_q_of s =
+  if Instance.is_slate (Strategy.instance s) then Some (fun z -> Strategy.effective_q s z)
+  else None
 
 let total ?with_saturation s =
   let inst = Strategy.instance s in
+  let q_of = strategy_q_of s in
   (* group triples into chains via the strategy's own chain index *)
   let seen = Hashtbl.create 64 in
   List.fold_left
@@ -58,7 +70,7 @@ let total ?with_saturation s =
       if Hashtbl.mem seen key then acc
       else begin
         Hashtbl.add seen key ();
-        acc +. chain_revenue ?with_saturation inst (Strategy.chain s ~u:z.u ~cls)
+        acc +. chain_revenue ?with_saturation ?q_of inst (Strategy.chain s ~u:z.u ~cls)
       end)
     0.0 (Strategy.to_list s)
 
@@ -74,25 +86,35 @@ let marginal ?with_saturation s z =
   else begin
     Metrics.incr c_marginal_naive;
     let inst = Strategy.instance s in
+    let q_of = strategy_q_of s in
     let chain = Strategy.chain_of_triple s z in
-    chain_revenue ?with_saturation inst (Triple.chain_insert chain z)
-    -. chain_revenue ?with_saturation inst chain
+    chain_revenue ?with_saturation ?q_of inst (Triple.chain_insert chain z)
+    -. chain_revenue ?with_saturation ?q_of inst chain
   end
 
-let marginal_incremental ?(with_saturation = true) s z =
+let marginal_incremental ?(with_saturation = true) s (z : Triple.t) =
   if Strategy.mem s z then 0.0
   else begin
     Metrics.incr c_marginal_incremental;
+    let inst = Strategy.instance s in
+    let slate = Instance.is_slate inst in
     match Strategy.chain_view_of_triple s z with
     | Some c ->
         Metrics.incr c_marginal_cached;
-        Chain.marginal ~with_saturation c z
+        if not slate then Chain.marginal ~with_saturation c z
+        else
+          (* candidate scored at its would-be slot's effective q̃; chain
+             members already carry theirs in the cached aggregates *)
+          Chain.marginal_flat ~with_saturation c ~time:z.t ~qz:(Strategy.effective_q s z)
+            ~price:(Instance.price inst ~i:z.i ~time:z.t)
+            ~beta:(Instance.saturation inst z.i)
     | None ->
         (* empty chain: the marginal reduces to p·q (no memory, no
            competition), exactly Algorithm 1's initialization value *)
         Metrics.incr c_marginal_empty;
-        let inst = Strategy.instance s in
-        let q = Instance.q inst ~u:z.u ~i:z.i ~time:z.t in
+        let q =
+          if slate then Strategy.effective_q s z else Instance.q inst ~u:z.u ~i:z.i ~time:z.t
+        in
         if q <= 0.0 then 0.0 else Instance.price inst ~i:z.i ~time:z.t *. q
   end
 

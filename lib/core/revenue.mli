@@ -20,19 +20,29 @@ val memory : chain:Triple.t list -> time:int -> float
     whichever item it recommends. *)
 
 val dynamic_probability :
-  ?with_saturation:bool -> Instance.t -> chain:Triple.t list -> Triple.t -> float
+  ?with_saturation:bool ->
+  ?q_of:(Triple.t -> float) ->
+  Instance.t ->
+  chain:Triple.t list ->
+  Triple.t ->
+  float
 (** [dynamic_probability inst ~chain z] is [qS(z)] of Definition 1 where
     [chain] is the (user, class) chain of [z] in [S], {e including} [z]
     itself. The saturation exponent uses the chain's earlier triples; the
     competition products use primitive probabilities of earlier triples and
-    of same-time triples recommending a different item. *)
+    of same-time triples recommending a different item. [q_of] overrides
+    the primitive probability of every triple (default: [Instance.q]) —
+    slate callers pass the strategy's slot-scaled effective q̃. *)
 
-val chain_revenue : ?with_saturation:bool -> Instance.t -> Triple.t list -> float
+val chain_revenue :
+  ?with_saturation:bool -> ?q_of:(Triple.t -> float) -> Instance.t -> Triple.t list -> float
 (** Expected revenue contributed by one chain:
     [Σ_{z ∈ chain} p(z.i, z.t) · qS(z)]. *)
 
 val total : ?with_saturation:bool -> Strategy.t -> float
-(** [Rev(S)] (Definition 2). *)
+(** [Rev(S)] (Definition 2). On slate instances the strategy's slot
+    assignments determine each member's effective probability, so [total]
+    is automatically slate-aware. *)
 
 val dynamic_probability_in : ?with_saturation:bool -> Strategy.t -> Triple.t -> float
 (** [qS(u,i,t)] for a triple of the strategy; 0 when [(u,i,t) ∉ S]

@@ -12,6 +12,8 @@ let c_released = Metrics.counter "shard_greedy.released_pairs"
 
 let c_replanned = Metrics.counter "shard_greedy.replanned"
 
+let c_trimmed = Metrics.counter "shard_greedy.quantity_trimmed"
+
 (* count/sum/min/max of reconciliation rounds per run — the round
    "histogram" summary exposed through the Metrics registry *)
 let t_rounds = Metrics.timer "shard_greedy.reconciliation_rounds"
@@ -61,8 +63,20 @@ let removal_loss ~with_saturation inst s ~u ~i =
   let cls = Instance.class_of inst i in
   let chain = Strategy.chain s ~u ~cls in
   let keep = List.filter (fun (z : Triple.t) -> z.i <> i) chain in
-  Revenue.chain_revenue ~with_saturation inst chain
-  -. Revenue.chain_revenue ~with_saturation inst keep
+  let q_of = if Instance.is_slate inst then Some (Strategy.effective_q s) else None in
+  Revenue.chain_revenue ~with_saturation ?q_of inst chain
+  -. Revenue.chain_revenue ~with_saturation ?q_of inst keep
+
+(* The quantity-trim ranking key: the revenue lost when one triple leaves
+   the strategy — the delta of its own (user, class) chain. Like
+   [removal_loss] it is computable child- or parent-side with identical
+   bytes (chains are per-user and canonically ordered). *)
+let triple_removal_loss ~with_saturation inst s (z : Triple.t) =
+  let chain = Strategy.chain_of_triple s z in
+  let keep = List.filter (fun z' -> not (Triple.equal z' z)) chain in
+  let q_of = if Instance.is_slate inst then Some (Strategy.effective_q s) else None in
+  Revenue.chain_revenue ~with_saturation ?q_of inst chain
+  -. Revenue.chain_revenue ~with_saturation ?q_of inst keep
 
 let solve ?(policy = `Water_filling) ?shards ?jobs ?(with_saturation = true)
     ?(lazy_policy = `Celf) ?budget inst =
@@ -80,9 +94,15 @@ let solve ?(policy = `Water_filling) ?shards ?jobs ?(with_saturation = true)
   in
   (match (budget, parts) with Some b, Some a -> Budget.absorb b a | _ -> ());
   (* deterministic merge in shard order; shards partition the users, so no
-     triple can collide and no display slot can overflow *)
+     triple can collide and no display slot can overflow. On slate
+     instances each triple keeps the slot its shard assigned it — shard
+     displays are whole (user, time) displays, so slots cannot collide
+     either. *)
   let s = Strategy.create inst in
-  Array.iter (fun (sh, _) -> List.iter (Strategy.add s) (Strategy.to_list sh)) results;
+  Array.iter
+    (fun (sh, _) ->
+      List.iter (fun z -> Strategy.add ?slot:(Strategy.slot_of sh z) s z) (Strategy.to_list sh))
+    results;
   let evals = ref 0 and pops = ref 0 and truncated = ref false in
   Array.iter
     (fun (_, (st : Greedy.stats)) ->
@@ -153,8 +173,37 @@ let solve ?(policy = `Water_filling) ?shards ?jobs ?(with_saturation = true)
     end
   in
   reconcile ();
+  (* Quantity reconciliation, after capacities are settled. `Water_filling
+     hands every shard an optimistic [min cap shard-universe] budget, so
+     the merged size may exceed the global cap ([`Proportional] shares sum
+     to the cap exactly and can never trigger this). Release the triple of
+     globally lowest removal loss (ties to the smaller triple) one at a
+     time — each removal changes its chain's aggregates, so the ranking is
+     recomputed per step — until the strategy is back under the cap.
+     Removals cannot violate any other constraint, so the result stays
+     valid. *)
+  let trimmed = ref 0 in
+  (match Instance.max_total inst with
+  | None -> ()
+  | Some cap ->
+      while Strategy.size !merged > cap do
+        let cur = !merged in
+        let best =
+          List.fold_left
+            (fun acc z ->
+              let l = triple_removal_loss ~with_saturation inst cur z in
+              match acc with Some (l0, _) when l0 <= l -> acc | _ -> Some (l, z))
+            None (Strategy.to_list cur)
+        in
+        match best with
+        | Some (_, z) ->
+            Strategy.remove cur z;
+            incr trimmed
+        | None -> assert false (* size > cap ≥ 0 implies a non-empty strategy *)
+      done);
   let per_shard_selected = Array.map (fun (_, (st : Greedy.stats)) -> st.selected) results in
   Metrics.incr c_runs;
+  Metrics.incr c_trimmed ~by:!trimmed;
   Metrics.incr c_released ~by:!released_pairs;
   Metrics.incr c_replanned ~by:!replanned;
   Metrics.observe t_rounds (float_of_int !rounds);

@@ -24,6 +24,20 @@
       strategy as base, whose [can_add] checks the true global
       constraints. A re-plan can never over-subscribe, so the fixed point
       is reached after at most one release round.
+    + {b Quantity reconciliation.} On instances with a global
+      [Instance.max_total] budget, [`Water_filling] hands every shard an
+      optimistic [min cap shard-universe] quota, so the merged size may
+      exceed the cap ([`Proportional] shares sum to the cap exactly and
+      never trigger this phase). After capacities settle, the triple of
+      globally lowest {!triple_removal_loss} (ties to the smaller triple)
+      is released, one at a time with the ranking recomputed per step,
+      until the strategy is back under the cap. Removals cannot violate
+      any other constraint, so the result stays valid.
+
+    On slate instances every phase is slot-aware: the merge preserves each
+    shard's slot assignments (shards own whole (user, time) displays, so
+    slots cannot collide), and both removal-loss ranking keys score chains
+    at their members' slot-scaled effective probabilities.
 
     Proof obligations (enforced by the [@shard] qcheck suite and the
     golden fixtures):
@@ -81,6 +95,12 @@ val removal_loss : with_saturation:bool -> Instance.t -> Strategy.t -> u:int -> 
     the value is bit-identical whether computed against the merged global
     strategy or against the user's shard-local strategy; {!Hier_greedy}
     relies on this to rank candidates child-side. *)
+
+val triple_removal_loss : with_saturation:bool -> Instance.t -> Strategy.t -> Triple.t -> float
+(** The quantity-trim ranking key: the revenue lost when one triple leaves
+    the strategy — the chain-revenue delta of its own (user, class) chain.
+    Shares {!removal_loss}'s locality: bit-identical whether computed
+    against the merged global strategy or the owner's shard-local one. *)
 
 val default_shards : unit -> int
 (** The process-wide default shard count, used whenever [?shards] is

@@ -25,6 +25,13 @@ type t = {
   plo : int;
   phi : int;
   item_distinct : int array; (* item -> #distinct users holding it *)
+  (* slate bookkeeping, touched only when the instance carries position
+     multipliers: the 1-based slot each member occupies, and per
+     ((u * (horizon+1) + time) * (k+1) + slot) occupancy counts (sparse —
+     O(members), not O(users · horizon · k)). On plain instances both
+     tables stay empty and no [add]/[remove] path reads them. *)
+  slot_of_tbl : (Triple.t, int) Hashtbl.t;
+  slot_occ : (int, int) Hashtbl.t;
   mutable cardinality : int;
 }
 
@@ -40,6 +47,8 @@ let create inst =
     plo;
     phi;
     item_distinct = Array.make (Instance.num_items inst) 0;
+    slot_of_tbl = Hashtbl.create 16;
+    slot_occ = Hashtbl.create 16;
     cardinality = 0;
   }
 
@@ -86,8 +95,47 @@ let range_error t (z : Triple.t) =
   else if z.t < 1 || z.t > Instance.horizon t.inst then Some "time step outside the horizon"
   else None
 
-let add_unchecked t (z : Triple.t) =
+let occ_key t (z : Triple.t) slot =
+  (display_key t z * (Instance.display_limit t.inst + 1)) + slot
+
+let occ_count t key = match Hashtbl.find_opt t.slot_occ key with Some n -> n | None -> 0
+
+(* the slot an auto-assigning add would take: the lowest unoccupied slot of
+   the (u, time) display, or slot k when the display is already full (the
+   add is then reported by [violations] as display + slot-conflict
+   witnesses, like an over-limit add on a plain instance). Deterministic,
+   and optimal under the non-increasing multipliers [Instance] enforces. *)
+let next_free_slot t (z : Triple.t) =
+  let k = Instance.display_limit t.inst in
+  let rec scan s =
+    if s > k then k else if occ_count t (occ_key t z s) = 0 then s else scan (s + 1)
+  in
+  scan 1
+
+let slot_of t z = Hashtbl.find_opt t.slot_of_tbl z
+
+let slot_occupied t (z : Triple.t) ~slot = occ_count t (occ_key t z slot) > 0
+
+let effective_q t (z : Triple.t) =
+  let q = Instance.q t.inst ~u:z.u ~i:z.i ~time:z.t in
+  if not (Instance.is_slate t.inst) then q
+  else
+    let slot = match slot_of t z with Some s -> s | None -> next_free_slot t z in
+    Instance.slot_factor t.inst ~slot *. q
+
+let add_unchecked ?slot t (z : Triple.t) =
   Hashtbl.replace t.triples z ();
+  let slate = Instance.is_slate t.inst in
+  let qz =
+    if not slate then None
+    else begin
+      let s = match slot with Some s -> s | None -> next_free_slot t z in
+      Hashtbl.replace t.slot_of_tbl z s;
+      let key = occ_key t z s in
+      Hashtbl.replace t.slot_occ key (occ_count t key + 1);
+      Some (Instance.slot_factor t.inst ~slot:s *. Instance.q t.inst ~u:z.u ~i:z.i ~time:z.t)
+    end
+  in
   let ck = chain_key t z in
   let chain =
     match Hashtbl.find_opt t.chains ck with
@@ -97,24 +145,45 @@ let add_unchecked t (z : Triple.t) =
         Hashtbl.replace t.chains ck c;
         c
   in
-  Chain.insert chain z;
+  Chain.insert ?qz chain z;
   let dk = display_key t z in
   t.display.(dk) <- t.display.(dk) + 1;
   if bump_pair t ~u:z.u ~i:z.i 1 = 0 then t.item_distinct.(z.i) <- t.item_distinct.(z.i) + 1;
   t.cardinality <- t.cardinality + 1
 
-let add_result t (z : Triple.t) =
+(* the malformed-triple checks shared by [add] and [add_result]: a bad
+   [slot] argument is a caller bug (raises either way); a range or
+   duplicate problem is strategy state and comes back as a result *)
+let precheck ?slot t (z : Triple.t) =
+  (match slot with
+  | Some s when s < 1 || s > Instance.display_limit t.inst ->
+      invalid_arg "Strategy.add: slot outside 1..display_limit"
+  | Some _ when not (Instance.is_slate t.inst) ->
+      invalid_arg "Strategy.add: slot given on a non-slate instance"
+  | _ -> ());
   match range_error t z with
   | Some msg ->
       Error (Err.Invalid_strategy [ Err.Triple_out_of_range { u = z.u; i = z.i; t = z.t; msg } ])
   | None ->
       if Hashtbl.mem t.triples z then
         Error (Err.Invalid_strategy [ Err.Duplicate_triple { u = z.u; i = z.i; t = z.t } ])
-      else Ok (add_unchecked t z)
+      else Ok ()
 
-let add t z =
-  match add_result t z with
-  | Ok () -> ()
+let add_result ?slot t (z : Triple.t) =
+  match precheck ?slot t z with
+  | Error _ as e -> e
+  | Ok () ->
+      (* unlike [add], the checked variant also guards the global quantity
+         budget: exceeding it is never useful to a loader or caller that
+         asked for a result, and the typed witness names the overshoot *)
+      let cap = Instance.max_total_cap t.inst in
+      if t.cardinality >= cap then
+        Error (Err.Invalid_strategy [ Err.Quantity_budget { count = t.cardinality + 1; cap } ])
+      else Ok (add_unchecked ?slot t z)
+
+let add ?slot t z =
+  match precheck ?slot t z with
+  | Ok () -> add_unchecked ?slot t z
   | Error (Err.Invalid_strategy (Err.Duplicate_triple _ :: _)) ->
       invalid_arg "Strategy.add: duplicate triple"
   | Error (Err.Invalid_strategy (Err.Triple_out_of_range _ :: _)) ->
@@ -124,6 +193,13 @@ let add t z =
 let remove t z =
   if not (Hashtbl.mem t.triples z) then invalid_arg "Strategy.remove: absent triple";
   Hashtbl.remove t.triples z;
+  (match Hashtbl.find_opt t.slot_of_tbl z with
+  | None -> ()
+  | Some s ->
+      Hashtbl.remove t.slot_of_tbl z;
+      let key = occ_key t z s in
+      let n = occ_count t key - 1 in
+      if n = 0 then Hashtbl.remove t.slot_occ key else Hashtbl.replace t.slot_occ key n);
   let ck = chain_key t z in
   (match Hashtbl.find_opt t.chains ck with
   | None -> invalid_arg "Strategy.remove: chain entry missing"
@@ -145,7 +221,13 @@ let of_list inst l =
   List.iter (add t) l;
   t
 
-let copy t = of_list t.inst (to_list t)
+(* preserves slate slot assignments exactly — [of_list] would re-derive
+   them by auto-assignment in list order, which coincides only when the
+   source was itself built in order *)
+let copy t =
+  let fresh = create t.inst in
+  List.iter (fun z -> add ?slot:(slot_of t z) fresh z) (to_list t);
+  fresh
 
 let chain_view t ~u ~cls = Hashtbl.find_opt t.chains ((u * Instance.num_classes t.inst) + cls)
 
@@ -172,6 +254,7 @@ let item_has_user t ~i ~u = pair_reps_count t ~u ~i > 0
 
 let can_add t (z : Triple.t) =
   (not (mem t z))
+  && t.cardinality < Instance.max_total_cap t.inst
   && display_count t ~u:z.u ~time:z.t < Instance.display_limit t.inst
   && (item_has_user t ~i:z.i ~u:z.u || item_user_count t z.i < Instance.capacity t.inst z.i)
 
@@ -179,8 +262,12 @@ let is_valid_display_only t =
   let k = Instance.display_limit t.inst in
   Array.for_all (fun d -> d <= k) t.display
 
+let has_slot_conflict t = Hashtbl.fold (fun _ n acc -> acc || n > 1) t.slot_occ false
+
 let is_valid t =
   is_valid_display_only t
+  && t.cardinality <= Instance.max_total_cap t.inst
+  && (not (has_slot_conflict t))
   && begin
        let ok = ref true in
        Array.iteri (fun i n -> if n > Instance.capacity t.inst i then ok := false) t.item_distinct;
@@ -192,20 +279,33 @@ let violations t =
   let stride = Instance.horizon t.inst + 1 in
   (* deterministic witness set — ascending index order matches the sorted
      order the hashtable-backed implementation produced: every display
-     violation by (user, time), then every capacity violation by item *)
+     violation by (user, time), then every slate slot conflict by
+     (user, time, slot), then every capacity violation by item, then the
+     quantity-budget breach, if any, last *)
   let display = ref [] in
   for dk = Array.length t.display - 1 downto 0 do
     let count = t.display.(dk) in
     if count > k then
       display := Err.Display_limit { u = dk / stride; time = dk mod stride; count; limit = k } :: !display
   done;
+  let conflicts =
+    Hashtbl.fold (fun key n acc -> if n > 1 then key :: acc else acc) t.slot_occ []
+    |> List.sort compare
+    |> List.map (fun key ->
+           let dk = key / (k + 1) and slot = key mod (k + 1) in
+           Err.Slot_conflict { u = dk / stride; time = dk mod stride; slot })
+  in
   let capacity = ref [] in
   for i = Array.length t.item_distinct - 1 downto 0 do
     let n = t.item_distinct.(i) in
     if n > Instance.capacity t.inst i then
       capacity := Err.Capacity { item = i; distinct_users = n; capacity = Instance.capacity t.inst i } :: !capacity
   done;
-  !display @ !capacity
+  let quantity =
+    let cap = Instance.max_total_cap t.inst in
+    if t.cardinality > cap then [ Err.Quantity_budget { count = t.cardinality; cap } ] else []
+  in
+  !display @ conflicts @ !capacity @ quantity
 
 let validate t =
   match violations t with [] -> Ok () | vs -> Error (Err.Invalid_strategy vs)

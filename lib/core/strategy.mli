@@ -18,15 +18,29 @@ val size : t -> int
 
 val mem : t -> Triple.t -> bool
 
-val add : t -> Triple.t -> unit
+val add : ?slot:int -> t -> Triple.t -> unit
 (** Raises [Invalid_argument] if the triple is already present or its ids
     are out of range. Does {e not} enforce validity — R-REVMAX strategies
     may exceed capacities on purpose; use [can_add] / [is_valid] to enforce
-    Problem 1's constraints. *)
+    Problem 1's constraints.
 
-val add_result : t -> Triple.t -> (unit, Revmax_prelude.Err.t) result
-(** Like {!add} but never raises: a duplicate or out-of-range triple yields
-    [Error (Invalid_strategy [_])] carrying the offending triple. *)
+    On a slate instance the triple occupies ordered slot [slot] (1-based);
+    when omitted, the lowest unoccupied slot of the (user, time) display is
+    auto-assigned — deterministic, and optimal under the non-increasing
+    multipliers. The chain stores the slot-scaled effective probability
+    [slot_mult.(slot-1) · q(u,i,t)]. [slot] raises [Invalid_argument] when
+    out of [1..k] or given on a non-slate instance; claiming an occupied
+    slot is {e allowed} (like an over-limit display add) and reported by
+    {!violations} as a [Slot_conflict]. *)
+
+val add_result : ?slot:int -> t -> Triple.t -> (unit, Revmax_prelude.Err.t) result
+(** Like {!add} but never raises on bad triples: a duplicate or
+    out-of-range triple yields [Error (Invalid_strategy [_])] carrying the
+    offending triple. Unlike {!add} it also enforces the global quantity
+    budget: an add past [Instance.max_total] yields
+    [Error (Invalid_strategy [Quantity_budget _])] naming the overshoot
+    and the cap. (A malformed [slot] argument still raises — it is a
+    caller bug, not strategy state.) *)
 
 val remove : t -> Triple.t -> unit
 (** Removes exactly one occurrence. Raises [Invalid_argument] if the triple
@@ -39,7 +53,32 @@ val to_list : t -> Triple.t list
 val of_list : Instance.t -> Triple.t list -> t
 
 val copy : t -> t
-(** Independent deep copy. *)
+(** Independent deep copy (slate slot assignments included). *)
+
+(** {1 Slates}
+
+    Meaningful only on instances with [Instance.slot_multipliers]; on
+    plain instances {!slot_of} is always [None] and {!effective_q}
+    degenerates to [Instance.q]. *)
+
+val slot_of : t -> Triple.t -> int option
+(** The 1-based slot a member triple occupies; [None] for non-members and
+    on non-slate instances. *)
+
+val slot_occupied : t -> Triple.t -> slot:int -> bool
+(** Whether some member of the triple's (user, time) display already holds
+    the given slot. Always [false] on plain instances. *)
+
+val next_free_slot : t -> Triple.t -> int
+(** The slot an auto-assigning {!add} of this triple would take: the
+    lowest unoccupied slot of its (user, time) display, or [k] when the
+    display is full. [1] on non-slate instances (every display has one
+    implicit slot per item). *)
+
+val effective_q : t -> Triple.t -> float
+(** The slot-scaled adoption probability [slot_mult.(slot-1) · q(u,i,t)]:
+    a member's assigned slot, a non-member's {!next_free_slot}. Plain
+    [Instance.q] on non-slate instances. *)
 
 (** {1 Chains} *)
 
@@ -79,9 +118,11 @@ val item_user_count : t -> int -> int
 val item_has_user : t -> i:int -> u:int -> bool
 
 val can_add : t -> Triple.t -> bool
-(** True iff the triple is absent and adding it keeps both the display
-    constraint ([display_count < k]) and the capacity constraint
-    ([item_user_count < q_i], unless the user already receives the item). *)
+(** True iff the triple is absent and adding it keeps the display
+    constraint ([display_count < k]), the capacity constraint
+    ([item_user_count < q_i], unless the user already receives the item),
+    and the global quantity budget ([size < Instance.max_total], when the
+    instance carries one). *)
 
 val is_valid : t -> bool
 (** Both constraints of Problem 1 hold for the whole strategy. *)
@@ -90,11 +131,13 @@ val is_valid_display_only : t -> bool
 (** Only the display constraint — validity in the R-REVMAX sense (§4.2). *)
 
 val violations : t -> Revmax_prelude.Err.violated_constraint list
-(** Every violated constraint of Problem 1, in a deterministic order:
-    display-limit overflows (with the offending user, time, count, and
-    limit) sorted by (user, time), then capacity overflows (with the
-    offending item, its distinct-user count, and its capacity) sorted by
-    item. Empty iff {!is_valid}. *)
+(** Every violated constraint of Problem 1 (and of the active constraint
+    variants), in a deterministic order: display-limit overflows (with the
+    offending user, time, count, and limit) sorted by (user, time), then
+    slate slot conflicts sorted by (user, time, slot), then capacity
+    overflows (with the offending item, its distinct-user count, and its
+    capacity) sorted by item, then the quantity-budget breach (with the
+    total count and the cap), if any, last. Empty iff {!is_valid}. *)
 
 val validate : t -> (unit, Revmax_prelude.Err.t) result
 (** Like {!is_valid} but explains failure: [Error (Invalid_strategy cs)]

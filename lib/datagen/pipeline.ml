@@ -52,7 +52,21 @@ let sample_beta spec rng =
       if b < 0.0 || b > 1.0 then invalid_arg "Pipeline: saturation must be in [0,1]";
       b
 
-let instantiate ?(display_limit = 5) ?(singleton_classes = false) ~capacity ~beta ~seed t =
+(* Position-multiplier curves for slate instances: slot 1 always carries
+   multiplier 1.0 and the curve is non-increasing into [0,1] — the two
+   shapes standard position-bias models use. Deterministic (no RNG), so
+   attaching a curve never perturbs a generator's draw order. *)
+let position_curve ?(decay = `Geometric 0.7) k =
+  if k < 1 then invalid_arg "Pipeline.position_curve: need at least one slot";
+  match decay with
+  | `Geometric r ->
+      if r <= 0.0 || r > 1.0 then
+        invalid_arg "Pipeline.position_curve: geometric ratio must be in (0, 1]";
+      Array.init k (fun j -> r ** float_of_int j)
+  | `Harmonic -> Array.init k (fun j -> 1.0 /. float_of_int (j + 1))
+
+let instantiate ?(display_limit = 5) ?(singleton_classes = false) ?slate ?max_total ~capacity
+    ~beta ~seed t =
   let rng = Rng.create seed in
   let class_of =
     if singleton_classes then Catalog.singleton_classes ~num_items:t.num_items
@@ -60,9 +74,15 @@ let instantiate ?(display_limit = 5) ?(singleton_classes = false) ~capacity ~bet
   in
   let cap = Array.init t.num_items (fun _ -> sample_capacity capacity rng) in
   let sat = Array.init t.num_items (fun _ -> sample_beta beta rng) in
-  Instance.create ~num_users:t.num_users ~num_items:t.num_items ~horizon:t.horizon
-    ~display_limit ~class_of ~capacity:cap ~saturation:sat ~price:t.price
-    ~ratings:t.ratings_pred ~adoption:t.adoption ()
+  let inst =
+    Instance.create ~num_users:t.num_users ~num_items:t.num_items ~horizon:t.horizon
+      ~display_limit ~class_of ~capacity:cap ~saturation:sat ~price:t.price
+      ~ratings:t.ratings_pred ~adoption:t.adoption ()
+  in
+  (* constraint variants attach post-hoc: the RNG consumption above is
+     identical whether or not a knob is set *)
+  let inst = match slate with None -> inst | Some m -> Instance.with_slate inst m in
+  match max_total with None -> inst | Some cap -> Instance.with_max_total inst cap
 
 let build_candidates_with ~num_users ~top_n_of ~valuation ~price ~r_max =
   let adoption = ref [] and preds = ref [] in

@@ -43,9 +43,19 @@ val capacity_name : capacity_spec -> string
 (** "normal", "exponential", "power", "uniform", "fixed" — the Figure 1
     x-axis labels. *)
 
+val position_curve : ?decay:[ `Geometric of float | `Harmonic ] -> int -> float array
+(** A length-[k] slate position-multiplier curve: slot 1 carries 1.0 and
+    the curve decays non-increasingly into \[0,1\], satisfying
+    [Instance.with_slate]'s requirements. [`Geometric r] (default
+    [r = 0.7]) yields [r^(slot-1)]; [`Harmonic] yields [1/slot].
+    Deterministic — attaching a curve never perturbs a generator's RNG
+    draw order. *)
+
 val instantiate :
   ?display_limit:int ->
   ?singleton_classes:bool ->
+  ?slate:float array ->
+  ?max_total:int ->
   capacity:capacity_spec ->
   beta:beta_spec ->
   seed:int ->
@@ -55,7 +65,13 @@ val instantiate :
     the given seed, optionally collapse every item into its own class
     ("class size = 1"), and attach prices, candidates and predicted ratings
     from the prepared dataset. [display_limit] defaults to 5 (the paper's
-    top-k display setting). *)
+    top-k display setting).
+
+    [slate] attaches position multipliers (length [display_limit], e.g.
+    {!position_curve}) and [max_total] a global quantity budget — both
+    post-hoc via [Instance.with_slate] / [Instance.with_max_total], after
+    all random draws, so instances with and without the knobs share every
+    sampled capacity and saturation value. *)
 
 val build_candidates :
   mf:Revmax_mf.Mf_model.t ->

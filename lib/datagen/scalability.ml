@@ -11,6 +11,8 @@ type config = {
   capacity : Pipeline.capacity_spec;
   beta : Pipeline.beta_spec;
   display_limit : int;
+  slate : float array option;
+  max_total : int option;
 }
 
 let capacity_for_users n =
@@ -28,9 +30,22 @@ let default_config =
     capacity = capacity_for_users 10_000;
     beta = Pipeline.Beta_uniform;
     display_limit = 5;
+    slate = None;
+    max_total = None;
   }
 
 let with_users c n = { c with num_users = n; capacity = capacity_for_users n }
+
+let with_slate c mult = { c with slate = Some mult }
+
+(* quantity-budget tightness knob: the cap as a fraction of the universe's
+   display volume |U|·T·k (frac = 1 is the loosest cap that can still
+   bind — a strategy can never exceed the display volume anyway) *)
+let with_quantity_fraction c frac =
+  if frac <= 0.0 || frac > 1.0 then
+    invalid_arg "Scalability.with_quantity_fraction: fraction must be in (0, 1]";
+  let full = c.num_users * c.horizon * c.display_limit in
+  { c with max_total = Some (max 1 (int_of_float (Float.round (frac *. float_of_int full)))) }
 
 (* Item-level draws plus the positioned user-row generator, shared by the
    heap builder and the streaming pack writer. Both consume the RNG in
@@ -110,16 +125,23 @@ let generate c ~seed =
   for u = 0 to c.num_users - 1 do
     Array.iter (fun (i, qs) -> adoption := (u, i, qs) :: !adoption) (user_row c d)
   done;
-  Instance.create ~num_users:c.num_users ~num_items:c.num_items ~horizon:c.horizon
-    ~display_limit:c.display_limit ~class_of:d.class_of ~capacity:d.capacity
-    ~saturation:d.saturation ~price:d.price ~adoption:!adoption ()
+  let inst =
+    Instance.create ~num_users:c.num_users ~num_items:c.num_items ~horizon:c.horizon
+      ~display_limit:c.display_limit ~class_of:d.class_of ~capacity:d.capacity
+      ~saturation:d.saturation ~price:d.price ~adoption:!adoption ()
+  in
+  (* constraint variants attach after every random draw, and the pack
+     writer carries the same knobs in its header, so the mmap ≡ heap
+     equivalence is knob-invariant *)
+  let inst = match c.slate with None -> inst | Some m -> Instance.with_slate inst m in
+  match c.max_total with None -> inst | Some cap -> Instance.with_max_total inst cap
 
 let generate_pack c ~seed ~path =
   let d = draw_items c ~seed in
   let w =
     Instance.Pack.create_writer ~path ~num_users:c.num_users ~num_items:c.num_items
       ~horizon:c.horizon ~display_limit:c.display_limit ~class_of:d.class_of ~capacity:d.capacity
-      ~saturation:d.saturation ~price:d.price ()
+      ~saturation:d.saturation ~price:d.price ?slot_mult:c.slate ?max_total:c.max_total ()
   in
   for u = 0 to c.num_users - 1 do
     let row = user_row c d in

@@ -23,15 +23,31 @@ type config = {
   capacity : Pipeline.capacity_spec;
   beta : Pipeline.beta_spec;
   display_limit : int;
+  slate : float array option;
+      (** position multipliers (length [display_limit]) attached to the
+          generated instance; [None] (the default) generates a plain one *)
+  max_total : int option;  (** global quantity budget; [None] = unbounded *)
 }
 
 val default_config : config
 (** 10K users, 20K items, 500 classes, 100 items/user, T = 5, Gaussian
-    capacities scaled to the user count, β ~ U\[0,1\], k = 5. *)
+    capacities scaled to the user count, β ~ U\[0,1\], k = 5, no slate,
+    no quantity budget. *)
 
 val with_users : config -> int -> config
 (** Same configuration at a different user count (capacity mean rescales
     proportionally). *)
+
+val with_slate : config -> float array -> config
+(** Attach slate position multipliers (e.g. {!Pipeline.position_curve}
+    [config.display_limit]). Applied after all random draws, so the slate
+    instance shares every sampled value with the plain one. *)
+
+val with_quantity_fraction : config -> float -> config
+(** Set the global quantity budget to the given fraction of the display
+    volume [num_users · horizon · display_limit] (clamped to ≥ 1; the
+    fraction must lie in (0, 1]). Like {!with_slate}, draw-order
+    invariant. *)
 
 val generate : config -> seed:int -> Revmax.Instance.t
 (** Build the instance directly (no ratings/MF stage). Deterministic in

@@ -606,6 +606,126 @@ let bench_shards (cfg : Config.t) =
     "(ratio is sharded/unsharded expected revenue — honest accounting of what the\n\
     \ shard cut costs; shards=1 is bit-identical to plain greedy and must ratio 1)\n"
 
+(* ----- Benchmark: ad slates and quantity budgets vs the unordered-k baseline ----- *)
+
+let bench_slate (cfg : Config.t) =
+  Runner.section "Benchmark: ad slates (position decay) and quantity budgets vs unordered-k";
+  (* the bench-shards synthetic regime: dense candidate rows and moderate
+     competition, so position decay and the global cap both genuinely bind *)
+  let synth ~users ~items ~classes ~horizon ~k =
+    let rng = Rng.create cfg.Config.seed in
+    let adoption = ref [] in
+    for u = 0 to users - 1 do
+      for i = 0 to items - 1 do
+        if Rng.bernoulli rng 0.8 then
+          adoption :=
+            (u, i, Array.init horizon (fun _ -> Rng.uniform_in rng 0.02 0.10)) :: !adoption
+      done
+    done;
+    Instance.create ~num_users:users ~num_items:items ~horizon ~display_limit:k
+      ~class_of:(Array.init items (fun i -> i mod classes))
+      ~capacity:(Array.make items (max 1 (users / 3)))
+      ~saturation:(Array.init items (fun _ -> Rng.uniform_in rng 0.7 1.0))
+      ~price:
+        (Array.init items (fun _ -> Array.init horizon (fun _ -> Rng.uniform_in rng 1.0 10.0)))
+      ~adoption:!adoption ()
+  in
+  let inst, k =
+    match cfg.Config.scale with
+    | Config.Quick -> (synth ~users:60 ~items:16 ~classes:2 ~horizon:8 ~k:3, 3)
+    | Config.Default -> (synth ~users:150 ~items:32 ~classes:2 ~horizon:12 ~k:4, 4)
+    | Config.Full -> (synth ~users:400 ~items:40 ~classes:2 ~horizon:15 ~k:5, 5)
+  in
+  let (s_plain, _), sec_plain = Util.time_it (fun () -> Greedy.run inst) in
+  let v_plain = Revenue.total s_plain in
+  (* degenerate gate: all-1.0 multipliers rank every slot of a display
+     identically, so the slate planner must reproduce the unordered-k
+     selection triple for triple, and its revenue to the last bit *)
+  let all_ones = Instance.with_slate inst (Array.make k 1.0) in
+  let s_ones, _ = Greedy.run all_ones in
+  if not (List.equal Revmax.Triple.equal (Strategy.to_list s_ones) (Strategy.to_list s_plain)) then
+    failwith "bench-slate: all-1.0 slate drifted from the unordered-k baseline";
+  if Revenue.total s_ones <> v_plain then
+    failwith "bench-slate: all-1.0 slate revenue is not bit-identical to plain greedy";
+  let t = Table.create ~columns:[ "decay"; "selected"; "revenue"; "ratio"; "sharded"; "wall s" ] in
+  List.iter
+    (fun decay ->
+      let slate =
+        Instance.with_slate inst (Pipeline.position_curve ~decay:(`Geometric decay) k)
+      in
+      let (s, _), sec = Util.time_it (fun () -> Greedy.run slate) in
+      (match Strategy.validate s with
+      | Ok () -> ()
+      | Error e ->
+          failwith
+            (Printf.sprintf "bench-slate: invalid slate strategy at decay %.2f: %s" decay
+               (Revmax_prelude.Err.message e)));
+      let v = Revenue.total s in
+      (* the sharded planner must agree with the flat one on validity, and
+         bit-identically on the selection whenever it runs with one shard;
+         REVMAX_SHARDS steers this leg in the CI matrix *)
+      let shards = Revmax.Shard_greedy.default_shards () in
+      let s_sh, _ = Revmax.Shard_greedy.solve ~shards slate in
+      (match Strategy.validate s_sh with
+      | Ok () -> ()
+      | Error e ->
+          failwith
+            (Printf.sprintf "bench-slate: invalid sharded slate strategy at decay %.2f: %s" decay
+               (Revmax_prelude.Err.message e)));
+      if
+        shards = 1
+        && not (List.equal Revmax.Triple.equal (Strategy.to_list s_sh) (Strategy.to_list s))
+      then failwith "bench-slate: shards=1 slate plan drifted from flat greedy";
+      Table.add_row t
+        [
+          Printf.sprintf "%.2f" decay;
+          string_of_int (Strategy.size s);
+          Printf.sprintf "%.1f" v;
+          Printf.sprintf "%.4f" (v /. Float.max 1e-9 v_plain);
+          Printf.sprintf "%d ok" shards;
+          Printf.sprintf "%.3f" sec;
+        ])
+    [ 1.0; 0.9; 0.7; 0.5 ];
+  Table.print t;
+  (* quantity budgets: the cap as a fraction of the unconstrained plan.
+     A cap at exactly |S_plain| never fires mid-run, so the plan must be
+     bit-identical to the unconstrained one — the quantity stop only
+     changes behaviour when it binds. *)
+  let full = Strategy.size s_plain in
+  let tq = Table.create ~columns:[ "cap"; "selected"; "revenue"; "ratio" ] in
+  List.iter
+    (fun frac ->
+      let cap = max 1 (int_of_float (Float.round (frac *. float_of_int full))) in
+      let capped = Instance.with_max_total inst cap in
+      let s, _ = Greedy.run capped in
+      if Strategy.size s > cap then
+        failwith (Printf.sprintf "bench-slate: quantity cap %d exceeded (%d)" cap (Strategy.size s));
+      (match Strategy.validate s with
+      | Ok () -> ()
+      | Error e ->
+          failwith
+            (Printf.sprintf "bench-slate: invalid capped strategy at cap %d: %s" cap
+               (Revmax_prelude.Err.message e)));
+      if
+        frac = 1.0
+        && not (List.equal Revmax.Triple.equal (Strategy.to_list s) (Strategy.to_list s_plain))
+      then failwith "bench-slate: non-binding quantity cap changed the plan";
+      let v = Revenue.total s in
+      Table.add_row tq
+        [
+          string_of_int cap;
+          string_of_int (Strategy.size s);
+          Printf.sprintf "%.1f" v;
+          Printf.sprintf "%.4f" (v /. Float.max 1e-9 v_plain);
+        ])
+    [ 1.0; 0.5; 0.25 ];
+  Table.print tq;
+  Log.out
+    "(plain greedy: %d selected, %.1f revenue, %.3fs. Ratios are against the unordered-k\n\
+    \ baseline; decay=1.00 and cap=|S| are gated bit-identical to it, so any drift fails\n\
+    \ the cell rather than shifting a ratio)\n"
+    (Strategy.size s_plain) v_plain sec_plain
+
 (* ----- Benchmark: out-of-core scale (pack + mmap + hierarchical shards) ----- *)
 
 (* peak resident set (VmHWM) in kB from /proc/self/status; 0 when the
@@ -992,6 +1112,9 @@ let all =
       "Benchmark: SoA hot path, CELF vs refresh-pair; identity + allocation gates",
       bench_greedy_soa );
     ("bench-shards", "Benchmark: user-sharded greedy vs unsharded (ratio, wall time)", bench_shards);
+    ( "bench-slate",
+      "Benchmark: ad slates (position decay) and quantity budgets vs unordered-k; identity gates",
+      bench_slate );
     ( "bench-scale",
       "Benchmark: out-of-core scale — packed mmap instance, hierarchical shards, RSS gate",
       bench_scale );

@@ -82,6 +82,14 @@ let child_main ~with_saturation ~lazy_policy ~jobs ~views ~lo ~hi ~req_r ~resp_w
   in
   Array.iteri
     (fun k ((sh : Strategy.t), (st : Greedy.stats)) ->
+      let triples = Array.of_list (Strategy.to_list sh) in
+      let slots =
+        if Instance.is_slate (Strategy.instance sh) then
+          Array.map
+            (fun z -> match Strategy.slot_of sh z with Some sl -> sl | None -> 1)
+            triples
+        else [||]
+      in
       Wire.send resp_w
         (Wire.Shard_result
            {
@@ -90,7 +98,8 @@ let child_main ~with_saturation ~lazy_policy ~jobs ~views ~lo ~hi ~req_r ~resp_w
              evaluations = st.marginal_evaluations;
              pops = st.pops;
              truncated = st.truncated;
-             triples = Array.of_list (Strategy.to_list sh);
+             triples;
+             slots;
            }))
     results;
   let strategies = Array.map fst results in
@@ -288,7 +297,8 @@ let solve ?(policy = `Water_filling) ?procs ?shards_per_proc ?jobs ?(with_satura
                   evals := !evals + r.evaluations;
                   pops := !pops + r.pops;
                   truncated := !truncated || r.truncated;
-                  Array.iter (Strategy.add s) r.triples
+                  if Array.length r.slots = 0 then Array.iter (Strategy.add s) r.triples
+                  else Array.iteri (fun j z -> Strategy.add ~slot:r.slots.(j) s z) r.triples
               | _ -> raise (Wire.Protocol_error "parent: expected a shard result")
             done)
           children;
@@ -375,6 +385,29 @@ let solve ?(policy = `Water_filling) ?procs ?shards_per_proc ?jobs ?(with_satura
           end
         in
         reconcile ();
+        (* Quantity reconciliation, parent-side only, mirroring
+           Shard_greedy.solve: removal-loss ranking keys are per-user
+           chain deltas, so the trim computes the same doubles the flat
+           planner does and releases the same triples in the same order.
+           The children's mirrors do not see the removals, but they are
+           never queried again (capacity rounds are over), so staleness
+           is unobservable. *)
+        (match Instance.max_total inst with
+        | None -> ()
+        | Some cap ->
+            while Strategy.size !merged > cap do
+              let cur = !merged in
+              let best =
+                List.fold_left
+                  (fun acc z ->
+                    let l = Shard_greedy.triple_removal_loss ~with_saturation inst cur z in
+                    match acc with Some (l0, _) when l0 <= l -> acc | _ -> Some (l, z))
+                  None (Strategy.to_list cur)
+              in
+              match best with
+              | Some (_, z) -> Strategy.remove cur z
+              | None -> assert false (* size > cap ≥ 0 implies a non-empty strategy *)
+            done);
         Array.iter (fun c -> Wire.send c.req_w Wire.Shutdown) children;
         cleanup ~ok:true;
         ( !merged,

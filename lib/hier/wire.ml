@@ -16,6 +16,9 @@ type shard_result = {
   pops : int;
   truncated : bool;
   triples : Triple.t array;  (* sorted by Triple.compare, the sender's to_list order *)
+  slots : int array;
+      (* slate slot of each triple, parallel to [triples]; empty on
+         non-slate instances *)
 }
 
 type msg =
@@ -58,7 +61,9 @@ let encode msg =
           i32 z.u;
           i32 z.i;
           i32 z.t)
-        r.triples
+        r.triples;
+      i32 (Array.length r.slots);
+      Array.iter i32 r.slots
   | Reconcile_request items ->
       Buffer.add_uint8 b tag_reconcile_request;
       i32 (Array.length items);
@@ -135,7 +140,10 @@ let decode buf =
               let t = r32 c in
               Triple.make ~u ~i ~t)
         in
-        Shard_result { shard; selected; evaluations; pops; truncated; triples }
+        let nslots = rlen c "slot" in
+        if nslots <> 0 && nslots <> n then fail "slot count %d for %d triples" nslots n;
+        let slots = Array.init nslots (fun _ -> r32 c) in
+        Shard_result { shard; selected; evaluations; pops; truncated; triples; slots }
     | 2 -> Reconcile_request (Array.init (rlen c "item") (fun _ -> r32 c))
     | 3 ->
         let n = rlen c "list" in

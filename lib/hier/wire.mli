@@ -21,6 +21,10 @@ type shard_result = {
       (** the shard strategy, sorted by [Triple.compare] (the sender's
           [Strategy.to_list] order) — the parent replays them in this
           order so the merge is bit-identical to the in-process one *)
+  slots : int array;
+      (** on slate instances, each triple's 1-based slot assignment,
+          parallel to [triples], so the parent's merge reproduces the
+          shard's slot choices exactly; empty on plain instances *)
 }
 
 type msg =

@@ -3,6 +3,8 @@ type violated_constraint =
   | Capacity of { item : int; distinct_users : int; capacity : int }
   | Duplicate_triple of { u : int; i : int; t : int }
   | Triple_out_of_range of { u : int; i : int; t : int; msg : string }
+  | Quantity_budget of { count : int; cap : int }
+  | Slot_conflict of { u : int; time : int; slot : int }
 
 type t =
   | Invalid_instance of { field : string; msg : string }
@@ -23,6 +25,12 @@ let constraint_message = function
   | Duplicate_triple { u; i; t } -> Printf.sprintf "duplicate triple (u=%d, i=%d, t=%d)" u i t
   | Triple_out_of_range { u; i; t; msg } ->
       Printf.sprintf "triple (u=%d, i=%d, t=%d) out of range: %s" u i t msg
+  | Quantity_budget { count; cap } ->
+      Printf.sprintf "quantity budget violated: %d recommendations exceed the global cap %d" count
+        cap
+  | Slot_conflict { u; time; slot } ->
+      Printf.sprintf "slate slot conflict: user %d has slot %d at time %d assigned twice" u slot
+        time
 
 let message = function
   | Invalid_instance { field; msg } -> Printf.sprintf "invalid instance (%s): %s" field msg

@@ -22,6 +22,13 @@ type violated_constraint =
       (** The triple is already in the strategy. *)
   | Triple_out_of_range of { u : int; i : int; t : int; msg : string }
       (** An id of the triple lies outside the instance's dimensions. *)
+  | Quantity_budget of { count : int; cap : int }
+      (** The strategy holds [count] > [cap] recommendations in total
+          (the global quantity budget of a uniform matroid; see
+          [Instance.max_total]). *)
+  | Slot_conflict of { u : int; time : int; slot : int }
+      (** Two recommendations of a slate strategy claim the same ordered
+          slot of the [(u, time)] display. *)
 
 type t =
   | Invalid_instance of { field : string; msg : string }
@@ -33,7 +40,9 @@ type t =
       (** A strategy breaks Problem 1 constraints; the payload names {e
           every} violated constraint with an offending witness, in a
           deterministic order (display violations sorted by (user, time),
-          then capacity violations sorted by item). The list is never
+          then slot conflicts sorted by (user, time, slot), then capacity
+          violations sorted by item, then the quantity-budget breach, if
+          any, last). The list is never
           empty; code interested only in the primary failure can match
           [Invalid_strategy (first :: _)]. *)
   | Io_error of { path : string; msg : string }

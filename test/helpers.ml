@@ -53,6 +53,27 @@ let random_instance ?(max_users = 3) ?(max_items = 4) ?(max_horizon = 3) ?(max_c
   Instance.create ~num_users ~num_items ~horizon ~display_limit ~class_of ~capacity ~saturation
     ~price ~adoption:!adoption ()
 
+(* A random admissible slate position curve: slot 1 carries 1.0, then
+   non-increasing into [0,1] (Instance.with_slate's contract). *)
+let random_curve rng k =
+  let m = Array.make k 1.0 in
+  for s = 1 to k - 1 do
+    m.(s) <- m.(s - 1) *. Rng.uniform_in rng 0.3 1.0
+  done;
+  m
+
+(* The two constraint-variant instance families: the plain random instance
+   with a random slate curve attached, and with a random (often binding)
+   global quantity budget. *)
+let random_slate_instance ?max_users ?max_items ?max_horizon rng =
+  let inst = random_instance ?max_users ?max_items ?max_horizon rng in
+  Instance.with_slate inst (random_curve rng (Instance.display_limit inst))
+
+let random_budgeted_instance ?max_users ?max_items ?max_horizon rng =
+  let inst = random_instance ?max_users ?max_items ?max_horizon rng in
+  let full = max 1 (Instance.num_candidate_triples inst) in
+  Instance.with_max_total inst (1 + Rng.int rng full)
+
 (* All candidate triples of an instance. *)
 let candidate_triples inst =
   let acc = ref [] in

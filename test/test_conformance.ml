@@ -36,6 +36,40 @@ let prop_every_solver_validates =
           | Error _ -> false)
         solvers)
 
+(* the same sweep over the constraint-variant families: slates (position
+   multipliers scale each slot's primitive probability) and global
+   quantity budgets — every registered solver must come back valid there
+   too, with the full multi-witness validate agreeing with [violations] *)
+let prop_every_solver_validates_on_slates =
+  QCheck2.Test.make ~name:"every solver passes Strategy.validate on slate instances" ~count:40
+    seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_slate_instance rng in
+      List.for_all
+        (fun algo ->
+          let s = Algorithms.run algo inst ~seed in
+          match Strategy.validate s with
+          | Ok () -> Strategy.violations s = []
+          | Error _ -> false)
+        solvers)
+
+let prop_every_solver_validates_on_quantity_budgets =
+  QCheck2.Test.make
+    ~name:"every solver passes Strategy.validate and the cap on budgeted instances" ~count:40
+    seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_budgeted_instance rng in
+      let cap = Instance.max_total_cap inst in
+      List.for_all
+        (fun algo ->
+          let s = Algorithms.run algo inst ~seed in
+          Strategy.size s <= cap
+          &&
+          match Strategy.validate s with
+          | Ok () -> Strategy.violations s = []
+          | Error _ -> false)
+        solvers)
+
 (* Greedy selects globally best-first, so the marginals credited to one
    (user, time) display slot come out non-increasing along the trace: a
    later, larger marginal for the same slot would have been selected
@@ -165,6 +199,8 @@ let () =
       ( "solver-conformance",
         [
           QCheck_alcotest.to_alcotest prop_every_solver_validates;
+          QCheck_alcotest.to_alcotest prop_every_solver_validates_on_slates;
+          QCheck_alcotest.to_alcotest prop_every_solver_validates_on_quantity_budgets;
           Alcotest.test_case "greedy slot marginals non-increasing" `Quick
             test_greedy_slot_marginals_non_increasing;
           QCheck_alcotest.to_alcotest prop_t1_greedy_bounded_by_flow_optimum;

@@ -327,6 +327,46 @@ let test_scalability_with_users_rescales () =
   | Pipeline.Cap_gaussian { mean; _ } -> Alcotest.(check bool) "capacity rescaled" true (mean > 50.0)
   | _ -> Alcotest.fail "expected Gaussian capacity"
 
+let test_scalability_variant_knobs_draw_invariant () =
+  (* with_slate / with_quantity_fraction attach after every RNG draw, so
+     the variant instance shares each sampled value with the plain one,
+     and the streaming pack writer carries the knobs in its header *)
+  let mult = [| 1.0; 0.8; 0.6; 0.4; 0.2 |] in
+  let c =
+    Scalability.with_quantity_fraction (Scalability.with_slate small_scal_config mult) 0.25
+  in
+  let plain = Scalability.generate small_scal_config ~seed:16 in
+  let variant = Scalability.generate c ~seed:16 in
+  (* 0.25 · 50·5·5 = 312.5, Float.round half-away-from-zero *)
+  Alcotest.(check (option int)) "cap = round(frac · |U|·T·k)" (Some 313)
+    (Instance.max_total variant);
+  (match Instance.slot_multipliers variant with
+  | Some m when m = mult -> ()
+  | _ -> Alcotest.fail "slate multipliers not attached");
+  Alcotest.(check int) "same candidate count" (Instance.num_candidate_triples plain)
+    (Instance.num_candidate_triples variant);
+  for i = 0 to 99 do
+    if Instance.saturation plain i <> Instance.saturation variant i then
+      Alcotest.failf "saturation %d drifted under the knobs" i
+  done;
+  let path = Filename.temp_file "revmax-datagen" ".pack" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Scalability.generate_pack c ~seed:16 ~path;
+      let mapped = Instance.of_mmap path in
+      Alcotest.(check (option int)) "pack carries the cap" (Instance.max_total variant)
+        (Instance.max_total mapped);
+      (match Instance.slot_multipliers mapped with
+      | Some m when m = mult -> ()
+      | _ -> Alcotest.fail "pack dropped the slate multipliers");
+      Alcotest.(check int) "pack carries the same candidates"
+        (Instance.num_candidate_triples variant)
+        (Instance.num_candidate_triples mapped));
+  match Scalability.with_quantity_fraction small_scal_config 1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "fraction above 1 should be rejected"
+
 let test_table1_row_shape () =
   let row = Scalability.table1_row small_scal_config ~seed:16 in
   Alcotest.(check int) "9 cells" 9 (List.length row);
@@ -380,6 +420,8 @@ let () =
           Alcotest.test_case "prices in band" `Quick test_scalability_prices_in_band;
           Alcotest.test_case "anti-monotone matching" `Quick test_scalability_anti_monotone_matching;
           Alcotest.test_case "with_users rescale" `Quick test_scalability_with_users_rescales;
+          Alcotest.test_case "variant knobs are draw-invariant and pack" `Quick
+            test_scalability_variant_knobs_draw_invariant;
           Alcotest.test_case "table1 row" `Quick test_table1_row_shape;
         ] );
     ]

@@ -91,7 +91,7 @@ let test_runner_suite_shape () =
 
 let test_registry_ids_unique () =
   let ids = List.map (fun (id, _, _) -> id) Experiments.all in
-  Alcotest.(check int) "17 experiments" 17 (List.length ids);
+  Alcotest.(check int) "18 experiments" 18 (List.length ids);
   Alcotest.(check int) "unique ids" (List.length ids)
     (List.length (List.sort_uniq compare ids))
 

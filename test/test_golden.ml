@@ -58,12 +58,22 @@ let three_user_mixed () =
       ]
     ()
 
+(* the constraint-variant fixtures: the same pinned instances with a
+   position-decayed slate (k = 2, geometric 0.6) and with a global
+   quantity budget of 2, freezing the slot-scaled marginals and the
+   cap-bounded selection through every solver *)
+let three_user_slate () = Instance.with_slate (three_user_mixed ()) [| 1.0; 0.6 |]
+
+let two_user_budget () = Instance.with_max_total (two_user_tight ()) 2
+
 let fixtures =
   [
     ("example4", fun () -> example4_instance ());
     ("example1-a07", fun () -> example1_instance 0.7);
     ("two-user-tight", two_user_tight);
     ("three-user-mixed", three_user_mixed);
+    ("three-user-slate", three_user_slate);
+    ("two-user-budget", two_user_budget);
   ]
 
 (* ----- rendering: one "key value" line per frozen fact ----- *)

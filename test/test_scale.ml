@@ -98,7 +98,11 @@ let check_instances_equal ~what a b =
     Instance.iter_candidate_triples inst (fun z q -> acc := (z, q) :: !acc);
     List.rev !acc
   in
-  if collect b <> collect a then Alcotest.failf "%s: candidate triple streams differ" what
+  if collect b <> collect a then Alcotest.failf "%s: candidate triple streams differ" what;
+  (* the constraint-variant knobs live in the pack header and must survive *)
+  ck "max_total" (Instance.max_total b) (Instance.max_total a);
+  if Instance.slot_multipliers b <> Instance.slot_multipliers a then
+    Alcotest.failf "%s: slate multipliers differ" what
 
 let prop_pack_roundtrip =
   QCheck2.Test.make ~name:"pack → mmap round trip preserves every fact" ~count:100 seed_gen
@@ -111,6 +115,19 @@ let prop_pack_roundtrip =
       (* a pack written from the mapped instance reads back equal too *)
       let repacked = mmap_of mapped in
       check_instances_equal ~what:(Printf.sprintf "seed %d repack" seed) inst repacked;
+      true)
+
+let prop_pack_roundtrip_variants =
+  QCheck2.Test.make ~name:"pack → mmap round trip carries slate and quantity knobs" ~count:60
+    seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let base = random_rated_instance rng in
+      let inst =
+        Instance.with_max_total
+          (Instance.with_slate base (random_curve rng (Instance.display_limit base)))
+          (1 + Rng.int rng (max 1 (Instance.num_candidate_triples base)))
+      in
+      check_instances_equal ~what:(Printf.sprintf "variant seed %d" seed) inst (mmap_of inst);
       true)
 
 let test_pack_rejects_corruption () =
@@ -248,6 +265,21 @@ let test_hier_equals_flat () =
       [ (1, 2); (2, 1); (2, 2); (3, 2) ]
   done
 
+(* the same equivalence on the constraint-variant families: slate slot
+   assignments travel over the wire, and the global quantity budget is
+   charged at the parent in the same order as the flat planner *)
+let test_hier_equals_flat_on_variants () =
+  for seed = 0 to 19 do
+    let rng = Rng.create seed in
+    List.iter
+      (fun (kind, inst) ->
+        check_hier_equiv ~what:(Printf.sprintf "%s seed %d" kind seed) inst ~procs:2 ~spp:2)
+      [
+        ("slate", random_slate_instance ~max_users:9 ~max_items:4 ~max_horizon:3 rng);
+        ("budgeted", random_budgeted_instance ~max_users:9 ~max_items:4 ~max_horizon:3 rng);
+      ]
+  done
+
 let test_hier_reconciles_like_flat () =
   (* hunt for seeds whose water-filling merge genuinely over-subscribes, so
      the cross-process loss exchange is exercised, not just the merge *)
@@ -299,6 +331,17 @@ let test_wire_roundtrip () =
           pops = 9;
           truncated = true;
           triples = [| triple 0 1 2; triple 4 0 1 |];
+          slots = [||];
+        };
+      Wire.Shard_result
+        {
+          shard = 0;
+          selected = 2;
+          evaluations = 4;
+          pops = 2;
+          truncated = false;
+          triples = [| triple 0 1 2; triple 4 0 1 |];
+          slots = [| 2; 1 |];
         };
       Wire.Reconcile_request [| 1; 5; 9 |];
       Wire.Loss_lists [| (5, [| (0.125, 2); (Float.max_float, 0) |]); (9, [||]) |];
@@ -351,6 +394,7 @@ let () =
       ( "pack",
         [
           QCheck_alcotest.to_alcotest prop_pack_roundtrip;
+          QCheck_alcotest.to_alcotest prop_pack_roundtrip_variants;
           Alcotest.test_case "corrupted packs are rejected" `Quick test_pack_rejects_corruption;
           Alcotest.test_case "out-of-range q is rejected" `Quick test_pack_rejects_bad_probability;
         ] );
@@ -363,6 +407,8 @@ let () =
         [
           Alcotest.test_case "hier(p,s) ≡ flat(p·s) on random instances" `Quick
             test_hier_equals_flat;
+          Alcotest.test_case "hier(2,2) ≡ flat(4) on slate and budgeted instances" `Quick
+            test_hier_equals_flat_on_variants;
           Alcotest.test_case "hier reconciliation matches flat under contention" `Quick
             test_hier_reconciles_like_flat;
           Alcotest.test_case "hier on an mmap-backed instance" `Quick test_hier_on_mmap;

@@ -357,6 +357,35 @@ let test_degraded_mode_and_repair () =
   Alcotest.(check bool) "answers are fresh again" false stale;
   Server.close st
 
+(* the global quantity budget (DESIGN.md §14) rides the serving adoption
+   path for free: releases and incremental replans go through
+   [Greedy.run ~allowed ~base], which treats a full quota as completion —
+   the cap must hold after every event and across WAL recovery *)
+let test_quantity_budget_respected_through_serving () =
+  with_temp_dir @@ fun dir ->
+  let plain = small_instance ~users:20 () in
+  let s_plain, _ = Revmax.Greedy.run plain in
+  let cap = max 1 (Strategy.size s_plain / 2) in
+  let inst = Instance.with_max_total plain cap in
+  let cfg = Server.default_config ~data_dir:(Filename.concat dir "d") in
+  let st = Server.create cfg inst in
+  Alcotest.(check bool) "initial plan within the cap" true
+    (Strategy.size (Server.strategy st) <= cap);
+  List.iter
+    (fun ev ->
+      (match Server.apply st ev with Ok _ -> () | Error e -> Err.raise_ e);
+      let n = Strategy.size (Server.strategy st) in
+      if n > cap then Alcotest.failf "cap %d exceeded after %a: %d" cap Journal.pp_event ev n)
+    (Driver.synth_workload inst ~seed:4 ~events:40);
+  (match Strategy.validate (Server.strategy st) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "final serving strategy invalid: %s" (Err.message e));
+  let expected = Driver.outcome_of_server st in
+  let recovered = Server.create cfg inst in
+  Alcotest.check outcome_t "budgeted recovery reproduces the live fold" expected
+    (Driver.outcome_of_server recovered);
+  Server.close recovered
+
 let test_corrupt_snapshot_is_typed_error () =
   with_temp_dir @@ fun dir ->
   let inst = small_instance ~users:10 () in
@@ -629,6 +658,8 @@ let () =
           Alcotest.test_case "transient IO faults keep the journal clean" `Quick
             test_transient_io_faults_keep_journal_clean;
           Alcotest.test_case "degraded mode and repair" `Quick test_degraded_mode_and_repair;
+          Alcotest.test_case "quantity budget holds through adoption and recovery" `Quick
+            test_quantity_budget_respected_through_serving;
           Alcotest.test_case "corrupt snapshot is a typed error" `Quick
             test_corrupt_snapshot_is_typed_error;
           Alcotest.test_case "topk scoring and order" `Quick test_topk_scores_and_order;

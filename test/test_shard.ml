@@ -337,6 +337,26 @@ let prop_one_shard_is_plain_greedy =
           && st.Shard_greedy.released_pairs = 0)
         [ `Water_filling; `Proportional ])
 
+(* the same single-shard identity on the constraint-variant families: a
+   slate or a global quantity budget must not open a gap between the
+   sharded planner's shards=1 path and plain greedy *)
+let prop_one_shard_is_plain_greedy_on_variants =
+  QCheck2.Test.make ~name:"shards=1 equals Greedy.run on slate and budgeted instances" ~count:60
+    seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      List.for_all
+        (fun inst ->
+          let s_plain, _ = Greedy.run inst in
+          List.for_all
+            (fun policy ->
+              let s_sh, _ = Shard_greedy.solve ~policy ~shards:1 inst in
+              sorted s_sh = sorted s_plain)
+            [ `Water_filling; `Proportional ])
+        [
+          random_slate_instance ~max_users:8 ~max_items:4 ~max_horizon:3 rng;
+          random_budgeted_instance ~max_users:8 ~max_items:4 ~max_horizon:3 rng;
+        ])
+
 let prop_proportional_never_reconciles =
   QCheck2.Test.make ~name:"proportional split never needs reconciliation" ~count:60 seed_gen
     (fun seed ->
@@ -454,6 +474,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_sharded_always_valid;
           QCheck_alcotest.to_alcotest prop_sharded_respects_capacities;
           QCheck_alcotest.to_alcotest prop_one_shard_is_plain_greedy;
+          QCheck_alcotest.to_alcotest prop_one_shard_is_plain_greedy_on_variants;
           QCheck_alcotest.to_alcotest prop_proportional_never_reconciles;
           Alcotest.test_case "deterministic and jobs-invariant" `Quick
             test_sharded_deterministic_and_jobs_invariant;

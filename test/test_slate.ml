@@ -1,0 +1,287 @@
+(* Constraint-variant suite: ad slates with position multipliers and the
+   global quantity budget. Pins (a) validity of every planner's output on
+   slate / budgeted instances, (b) the cap is never exceeded and binds
+   exactly when it should, (c) the two degenerate identities — an
+   unbounded budget and an all-1.0 slate are bit-identical, triple for
+   triple, to the plain planner — and (d) the typed violation witnesses
+   with their exact rendered message bytes. Run it alone with
+   `dune build @slate`. *)
+
+module Rng = Revmax_prelude.Rng
+module Err = Revmax_prelude.Err
+module Instance = Revmax.Instance
+module Triple = Revmax.Triple
+module Strategy = Revmax.Strategy
+module Revenue = Revmax.Revenue
+module Greedy = Revmax.Greedy
+module Shard_greedy = Revmax.Shard_greedy
+module Hier_greedy = Revmax_hier.Hier_greedy
+module Pipeline = Revmax_datagen.Pipeline
+open Helpers
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let sorted s = List.sort Triple.compare (Strategy.to_list s)
+
+let random_slate_instance rng = random_slate_instance ~max_users:5 ~max_items:4 ~max_horizon:3 rng
+
+let random_budgeted_instance rng =
+  random_budgeted_instance ~max_users:5 ~max_items:4 ~max_horizon:3 rng
+
+(* the greedy selection trace, revenue included, for bit-identity checks *)
+let trace_of run =
+  let order = ref [] in
+  let s, _ = run ~trace:(fun (pt : Greedy.trace_point) -> order := (pt.z, pt.revenue) :: !order) in
+  (s, List.rev !order)
+
+let traces_bit_identical ta tb =
+  List.length ta = List.length tb
+  && List.for_all2
+       (fun (za, va) (zb, vb) ->
+         Triple.equal za zb && Int64.bits_of_float va = Int64.bits_of_float vb)
+       ta tb
+
+(* ----- validity on the new instance families ----- *)
+
+let prop_slate_planners_valid =
+  QCheck2.Test.make ~name:"slate instances: greedy, sharded and hier outputs validate" ~count:60
+    seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_slate_instance rng in
+      let ok s = Strategy.validate s = Ok () && Strategy.violations s = [] in
+      let s, _ = Greedy.run inst in
+      let sh, _ = Shard_greedy.solve ~shards:3 inst in
+      let hr, _ = Hier_greedy.solve ~procs:2 ~shards_per_proc:2 inst in
+      ok s && ok sh && ok hr)
+
+let prop_quantity_planners_never_exceed_cap =
+  QCheck2.Test.make ~name:"quantity instances: no planner exceeds the cap" ~count:60 seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_budgeted_instance rng in
+      let cap = Instance.max_total_cap inst in
+      let ok s = Strategy.size s <= cap && Strategy.validate s = Ok () in
+      let s, _ = Greedy.run inst in
+      let sh, _ = Shard_greedy.solve ~shards:3 inst in
+      let hr, _ = Hier_greedy.solve ~procs:2 ~shards_per_proc:2 inst in
+      ok s && ok sh && ok hr)
+
+(* a loose cap (the full candidate count) can never bind, so the budgeted
+   planner must not stop early: greedy picks exactly what plain greedy
+   picks, and a genuinely tight cap is met with equality whenever the
+   plain run overshoots it *)
+let prop_tight_cap_binds_exactly =
+  QCheck2.Test.make ~name:"a cap below the plain size binds with equality" ~count:60 seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance ~max_users:5 ~max_items:4 ~max_horizon:3 rng in
+      let s_plain, _ = Greedy.run inst in
+      let n = Strategy.size s_plain in
+      if n < 2 then QCheck2.assume_fail ()
+      else begin
+        let cap = 1 + Rng.int rng (n - 1) in
+        let s_cap, _ = Greedy.run (Instance.with_max_total inst cap) in
+        Strategy.size s_cap = cap
+      end)
+
+(* ----- degenerate bit-identity ----- *)
+
+let prop_unbounded_budget_identity =
+  QCheck2.Test.make
+    ~name:"max_total = candidate count is bit-identical to plain greedy, triple for triple"
+    ~count:80 seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance ~max_users:5 ~max_items:4 ~max_horizon:3 rng in
+      let loose = Instance.with_max_total inst (Instance.num_candidate_triples inst) in
+      let s_p, tr_p = trace_of (fun ~trace -> Greedy.run ~trace inst) in
+      let s_l, tr_l = trace_of (fun ~trace -> Greedy.run ~trace loose) in
+      traces_bit_identical tr_p tr_l
+      && List.equal Triple.equal (sorted s_p) (sorted s_l)
+      && Int64.bits_of_float (Revenue.total s_p) = Int64.bits_of_float (Revenue.total s_l))
+
+let prop_without_quantity_budget_identity =
+  QCheck2.Test.make ~name:"without_quantity_budget strips the cap back to the plain planner"
+    ~count:60 seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance ~max_users:5 ~max_items:4 ~max_horizon:3 rng in
+      let stripped = Instance.without_quantity_budget (Instance.with_max_total inst 1) in
+      let _, tr_p = trace_of (fun ~trace -> Greedy.run ~trace inst) in
+      let _, tr_s = trace_of (fun ~trace -> Greedy.run ~trace stripped) in
+      Instance.max_total stripped = None && traces_bit_identical tr_p tr_s)
+
+let prop_all_ones_slate_identity =
+  QCheck2.Test.make
+    ~name:"all-1.0 multipliers are bit-identical to the unordered-k planner" ~count:80 seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance ~max_users:5 ~max_items:4 ~max_horizon:3 rng in
+      let ones =
+        Instance.with_slate inst (Array.make (Instance.display_limit inst) 1.0)
+      in
+      let s_p, tr_p = trace_of (fun ~trace -> Greedy.run ~trace inst) in
+      let s_o, tr_o = trace_of (fun ~trace -> Greedy.run ~trace ones) in
+      traces_bit_identical tr_p tr_o
+      && List.equal Triple.equal (sorted s_p) (sorted s_o)
+      && Int64.bits_of_float (Revenue.total s_p) = Int64.bits_of_float (Revenue.total s_o))
+
+(* ----- slate mechanics ----- *)
+
+let prop_slate_slots_injective_and_scaled =
+  QCheck2.Test.make
+    ~name:"every member holds a distinct slot per display; effective q is the slot-scaled q"
+    ~count:60 seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_slate_instance rng in
+      let s, _ = Greedy.run inst in
+      let seen : (int * int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+      List.for_all
+        (fun (z : Triple.t) ->
+          match Strategy.slot_of s z with
+          | None -> false
+          | Some slot ->
+              let key = (z.u, z.t, slot) in
+              let fresh = not (Hashtbl.mem seen key) in
+              Hashtbl.replace seen key ();
+              fresh
+              && slot >= 1
+              && slot <= Instance.display_limit inst
+              && float_eq (Strategy.effective_q s z)
+                   (Instance.slot_factor inst ~slot *. Instance.q inst ~u:z.u ~i:z.i ~time:z.t))
+        (Strategy.to_list s))
+
+let prop_decay_never_beats_plain_revenue =
+  QCheck2.Test.make ~name:"position decay never increases the planned revenue" ~count:60 seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inst = random_instance ~max_users:5 ~max_items:4 ~max_horizon:3 rng in
+      let k = Instance.display_limit inst in
+      let s_plain, _ = Greedy.run inst in
+      let s_slate, _ =
+        Greedy.run (Instance.with_slate inst (Pipeline.position_curve ~decay:(`Geometric 0.7) k))
+      in
+      Revenue.total s_slate <= Revenue.total s_plain +. 1e-9)
+
+(* position_curve contract: slot 1 = 1.0, non-increasing, within [0,1] —
+   i.e. always admissible for Instance.with_slate *)
+let test_position_curve_admissible () =
+  List.iter
+    (fun decay ->
+      List.iter
+        (fun k ->
+          let m = Pipeline.position_curve ~decay k in
+          Alcotest.(check int) "length" k (Array.length m);
+          check_float "slot 1" 1.0 m.(0);
+          Array.iteri
+            (fun j v ->
+              if v < 0.0 || v > 1.0 then Alcotest.failf "slot %d: %g outside [0,1]" (j + 1) v;
+              if j > 0 && v > m.(j - 1) then
+                Alcotest.failf "slot %d: %g increases over %g" (j + 1) v m.(j - 1))
+            m)
+        [ 1; 2; 5 ])
+    [ `Geometric 0.7; `Geometric 1.0; `Harmonic ];
+  List.iter
+    (fun bad -> match Pipeline.position_curve ~decay:(`Geometric bad) 3 with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "geometric ratio %g should be rejected" bad)
+    [ 0.0; 1.5; -0.2 ]
+
+(* ----- typed witnesses and pinned message bytes ----- *)
+
+let quantity_instance () =
+  let inst =
+    Instance.create ~num_users:2 ~num_items:2 ~horizon:2 ~display_limit:1 ~class_of:[| 0; 1 |]
+      ~capacity:[| 2; 2 |] ~saturation:[| 0.5; 0.5 |]
+      ~price:[| [| 1.0; 1.0 |]; [| 2.0; 2.0 |] |]
+      ~adoption:
+        [ (0, 0, [| 0.5; 0.5 |]); (0, 1, [| 0.5; 0.5 |]); (1, 0, [| 0.5; 0.5 |]) ]
+      ()
+  in
+  Instance.with_max_total inst 2
+
+let test_quantity_witness_and_message () =
+  let inst = quantity_instance () in
+  let s = Strategy.create inst in
+  (* Strategy.add deliberately allows overshoot (repair loops need it);
+     validate must then report the typed witness, ordered last *)
+  List.iter (Strategy.add s) [ triple 0 0 1; triple 0 1 2; triple 1 0 1 ];
+  (match Strategy.add_result s (triple 1 0 2) with
+  | Error (Err.Invalid_strategy [ Err.Quantity_budget { count = 4; cap = 2 } ]) -> ()
+  | Error e -> Alcotest.failf "add_result: wrong error %s" (Err.message e)
+  | Ok () -> Alcotest.fail "add_result accepted a strategy past the cap");
+  (match Strategy.violations s with
+  | [ Err.Quantity_budget { count; cap } ] ->
+      Alcotest.(check int) "count" 3 count;
+      Alcotest.(check int) "cap" 2 cap
+  | vs ->
+      Alcotest.failf "expected exactly the quantity witness, got %d violations" (List.length vs));
+  match Strategy.validate s with
+  | Error (Err.Invalid_strategy [ v ]) ->
+      (* pinned bytes: downstream log scrapers match on this exact text *)
+      Alcotest.(check string) "constraint message"
+        "quantity budget violated: 3 recommendations exceed the global cap 2"
+        (Err.constraint_message v);
+      Alcotest.(check string) "singleton render"
+        "invalid strategy: quantity budget violated: 3 recommendations exceed the global cap 2"
+        (Err.message (Err.Invalid_strategy [ v ]))
+  | _ -> Alcotest.fail "expected exactly one violation"
+
+let test_slot_conflict_witness_and_message () =
+  let inst =
+    Instance.with_slate (example1_instance 0.5) ~display_limit:2 [| 1.0; 0.5 |]
+  in
+  let s = Strategy.create inst in
+  Strategy.add ~slot:2 s (triple 0 0 1);
+  Strategy.add ~slot:2 s (triple 0 1 1);
+  (match Strategy.violations s with
+  | [ Err.Slot_conflict { u = 0; time = 1; slot = 2 } ] -> ()
+  | vs -> Alcotest.failf "expected exactly the slot witness, got %d violations" (List.length vs));
+  match Strategy.validate s with
+  | Error (Err.Invalid_strategy [ v ]) ->
+      Alcotest.(check string) "constraint message"
+        "slate slot conflict: user 0 has slot 2 at time 1 assigned twice"
+        (Err.constraint_message v)
+  | _ -> Alcotest.fail "expected exactly one violation"
+
+(* greedy stops on the cap as *completion*, not budget exhaustion: the
+   truncated flag stays false so resume/monitoring logic keeps its meaning *)
+let test_cap_stop_is_not_truncation () =
+  let rng = Rng.create 17 in
+  let inst = random_instance ~max_users:5 ~max_items:4 ~max_horizon:3 rng in
+  let s_plain, _ = Greedy.run inst in
+  let n = Strategy.size s_plain in
+  Alcotest.(check bool) "plain run needs a few picks" true (n >= 2);
+  let s, (st : Greedy.stats) = Greedy.run (Instance.with_max_total inst (n - 1)) in
+  Alcotest.(check int) "stops exactly at the cap" (n - 1) (Strategy.size s);
+  Alcotest.(check bool) "not flagged truncated" false st.truncated
+
+let () =
+  Alcotest.run "slate"
+    [
+      ( "validity",
+        [
+          QCheck_alcotest.to_alcotest prop_slate_planners_valid;
+          QCheck_alcotest.to_alcotest prop_quantity_planners_never_exceed_cap;
+          QCheck_alcotest.to_alcotest prop_tight_cap_binds_exactly;
+        ] );
+      ( "degenerate-identity",
+        [
+          QCheck_alcotest.to_alcotest prop_unbounded_budget_identity;
+          QCheck_alcotest.to_alcotest prop_without_quantity_budget_identity;
+          QCheck_alcotest.to_alcotest prop_all_ones_slate_identity;
+        ] );
+      ( "slate-mechanics",
+        [
+          QCheck_alcotest.to_alcotest prop_slate_slots_injective_and_scaled;
+          QCheck_alcotest.to_alcotest prop_decay_never_beats_plain_revenue;
+          Alcotest.test_case "position_curve admissible" `Quick test_position_curve_admissible;
+        ] );
+      ( "witnesses",
+        [
+          Alcotest.test_case "quantity witness and pinned message" `Quick
+            test_quantity_witness_and_message;
+          Alcotest.test_case "slot conflict witness and pinned message" `Quick
+            test_slot_conflict_witness_and_message;
+          Alcotest.test_case "cap stop is completion, not truncation" `Quick
+            test_cap_stop_is_not_truncation;
+        ] );
+    ]
